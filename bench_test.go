@@ -1,0 +1,143 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one benchmark per artifact. They run at a reduced matrix
+// scale so `go test -bench=.` completes on a laptop; run
+// `cmd/spmvbench -full` for paper-scale instances. Reported custom metrics
+// summarize the table's headline comparison (geometric-mean volume ratios
+// and imbalances), so a regression in the reproduction shows up as a
+// metric shift, not just a time change.
+package repro
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// benchCfg is the shared reduced-scale configuration. K values follow the
+// paper; matrices shrink to keep a full table run in seconds.
+func benchCfg() harness.Config {
+	return harness.Config{Scale: 1.0 / 64, Seed: 1}
+}
+
+// benchCfgB reduces the K list for the dense-row tables so the smallest
+// scaled matrices keep a sensible number of rows per part (the paper's
+// K=4096 needs full-size matrices).
+func benchCfgB() harness.Config {
+	cfg := benchCfg()
+	cfg.Ks = []int{64, 256}
+	return cfg
+}
+
+func geomeanRatio(rows []harness.Row, num, den string) float64 {
+	logSum, n := 0.0, 0
+	for _, r := range rows {
+		a, okA := r.Find(num)
+		b, okB := r.Find(den)
+		if okA && okB && a.Volume > 0 && b.Volume > 0 {
+			logSum += math.Log(float64(a.Volume) / float64(b.Volume))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+func geomeanLI(rows []harness.Row, method string) float64 {
+	logSum, n := 0.0, 0
+	for _, r := range rows {
+		if m, ok := r.Find(method); ok && m.LI > 0 {
+			logSum += math.Log(m.LI)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.Figure1(io.Discard)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.Table1(io.Discard, benchCfg())
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Table2(io.Discard, benchCfg())
+	}
+	b.ReportMetric(geomeanRatio(rows, "s2D", "1D"), "s2D/1D-vol")
+	b.ReportMetric(geomeanRatio(rows, "2D", "1D"), "2D/1D-vol")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Table3(io.Discard, benchCfg())
+	}
+	b.ReportMetric(geomeanRatio(rows, "2D-b", "1D"), "2Db/1D-vol")
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.Table4(io.Discard, benchCfg())
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Table5(io.Discard, benchCfgB())
+	}
+	b.ReportMetric(geomeanRatio(rows, "s2D", "1D"), "s2D/1D-vol")
+	b.ReportMetric(geomeanRatio(rows, "s2D-b", "1D"), "s2Db/1D-vol")
+	b.ReportMetric(geomeanLI(rows, "1D"), "1D-LI")
+	b.ReportMetric(geomeanLI(rows, "s2D"), "s2D-LI")
+}
+
+func BenchmarkTable6(b *testing.B) {
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Table6(io.Discard, benchCfgB())
+	}
+	b.ReportMetric(geomeanRatio(rows, "s2D-b", "2D-b"), "s2Db/2Db-vol")
+	b.ReportMetric(geomeanRatio(rows, "1D-b", "2D-b"), "1Db/2Db-vol")
+	b.ReportMetric(geomeanLI(rows, "2D-b"), "2Db-LI")
+	b.ReportMetric(geomeanLI(rows, "s2D-b"), "s2Db-LI")
+}
+
+func BenchmarkTable7(b *testing.B) {
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Table7(io.Discard, benchCfgB())
+	}
+	b.ReportMetric(geomeanRatio(rows, "s2D", "s2D-mg"), "s2D/mg-vol")
+	b.ReportMetric(geomeanLI(rows, "s2D-mg"), "mg-LI")
+	b.ReportMetric(geomeanLI(rows, "s2D"), "s2D-LI")
+}
+
+// BenchmarkAblation regenerates the design-choice ablation (DESIGN.md §4):
+// s2D construction variants, vector-partition sources, and the three
+// latency-bounding schemes.
+func BenchmarkAblation(b *testing.B) {
+	var rows []harness.Row
+	cfg := benchCfgB()
+	for i := 0; i < b.N; i++ {
+		rows = harness.Ablation(io.Discard, cfg)
+	}
+	b.ReportMetric(geomeanRatio(rows, "s2D", "s2D-opt"), "s2D/opt-vol")
+	b.ReportMetric(geomeanRatio(rows, "s2D-x", "s2D"), "ext/s2D-vol")
+	b.ReportMetric(geomeanRatio(rows, "s2D/rcm", "s2D"), "rcm/hp-vol")
+	b.ReportMetric(geomeanLI(rows, "s2D-x"), "ext-LI")
+}

@@ -1,0 +1,218 @@
+// Command s2dpart partitions a sparse matrix with any of the implemented
+// methods and prints a quality report (load imbalance, communication
+// volume, message counts, modelled speedup). It optionally verifies the
+// partition by running the distributed SpMV engine against the serial
+// reference.
+//
+// Usage:
+//
+//	s2dpart -matrix c-big -k 64 -method s2d
+//	s2dpart -file m.mtx -k 16 -method 2d -verify
+//	s2dpart -matrix rmat_20 -scale 0.01 -k 256 -method s2d-b
+//
+// Methods: 1d, 1d-col, 2d, 2d-b, 1d-b, s2d, s2d-opt, s2d-b, s2d-mg.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/sparse"
+	"repro/internal/spmv"
+)
+
+func main() {
+	matrix := flag.String("matrix", "", "named suite matrix (see -list)")
+	file := flag.String("file", "", "MatrixMarket file to partition")
+	list := flag.Bool("list", false, "list the named suite matrices")
+	k := flag.Int("k", 16, "number of parts")
+	method := flag.String("method", "s2d", "partitioning method")
+	scale := flag.Float64("scale", 1.0/64, "suite matrix scale (1.0 = paper size)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	verify := flag.Bool("verify", false, "run the parallel engine against serial SpMV")
+	viz := flag.Bool("viz", false, "print the K x K message-volume heatmap (small K)")
+	flag.Parse()
+
+	if *list {
+		for _, s := range append(gen.SetA(), gen.SetB()...) {
+			fmt.Printf("%-12s %10d x %-10d nnz %-10d %s\n", s.Name, s.PaperN, s.PaperN, s.PaperNNZ, s.App)
+		}
+		return
+	}
+
+	a, name, err := loadMatrix(*matrix, *file, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s2dpart:", err)
+		os.Exit(1)
+	}
+	st := a.ComputeStats()
+	fmt.Printf("matrix %s: %d x %d, %d nonzeros (davg %.1f, dmax %d)\n",
+		name, st.Rows, st.Cols, st.NNZ, st.DavgRow, st.DmaxRow)
+
+	d, mesh, err := buildDistribution(a, *method, *k, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s2dpart:", err)
+		os.Exit(1)
+	}
+
+	var cs distrib.CommStats
+	if mesh != nil {
+		cs = core.S2DBComm(d, *mesh)
+	} else {
+		cs = d.Comm()
+	}
+	est := model.CrayXE6().Evaluate(d.PartLoads(), cs.Phases, a.NNZ())
+
+	fmt.Printf("method %s, K=%d", *method, *k)
+	if mesh != nil {
+		fmt.Printf(" (mesh %v)", *mesh)
+	}
+	fmt.Println()
+	fmt.Printf("  s2D property:       %v\n", d.IsS2D())
+	fmt.Printf("  load imbalance:     %.1f%%\n", d.LoadImbalance()*100)
+	fmt.Printf("  total volume:       %d words\n", cs.TotalVolume)
+	fmt.Printf("  messages:           total %d, avg/proc %.1f, max/proc %d\n",
+		cs.TotalMsgs, cs.AvgSendMsgs, cs.MaxSendMsgs)
+	for i, ph := range cs.Phases {
+		fmt.Printf("  phase %d:            vol %d, msgs %d, max-send %d\n",
+			i+1, ph.TotalVolume, ph.TotalMsgs, ph.MaxSendMsgs)
+	}
+	fmt.Printf("  modelled speedup:   %.1f (compute %.3gs, comm %.3gs, serial %.3gs)\n",
+		est.Speedup, est.ComputeTime, est.CommTime, est.SerialTime)
+
+	if *verify {
+		if err := verifyEngine(a, d, mesh); err != nil {
+			fmt.Fprintln(os.Stderr, "s2dpart: VERIFY FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("  engine verification: OK (parallel == serial)")
+	}
+	if *viz {
+		printHeatmap(d, *k)
+	}
+}
+
+// printHeatmap renders the pairwise message-volume matrix; brightness
+// buckets are powers of four.
+func printHeatmap(d *distrib.Distribution, k int) {
+	if k > 64 {
+		fmt.Println("  (heatmap suppressed for K > 64)")
+		return
+	}
+	expand, fold := d.ExpandFold()
+	vol := make([]int, k*k)
+	for key, words := range expand.Vol {
+		vol[key] += words
+	}
+	for key, words := range fold.Vol {
+		vol[key] += words
+	}
+	shades := []byte(" .:*#@")
+	fmt.Println("  message-volume heatmap (rows = sender, cols = receiver):")
+	for from := 0; from < k; from++ {
+		fmt.Print("   ")
+		for to := 0; to < k; to++ {
+			v := vol[from*k+to]
+			s := 0
+			for t := v; t > 0 && s < len(shades)-1; t /= 4 {
+				s++
+			}
+			fmt.Printf("%c", shades[s])
+		}
+		fmt.Println()
+	}
+}
+
+func loadMatrix(name, file string, scale float64, seed int64) (*sparse.CSR, string, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		a, err := sparse.ReadMatrixMarket(f)
+		return a, file, err
+	case name != "":
+		spec, ok := gen.ByName(name)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown matrix %q (try -list)", name)
+		}
+		return spec.Generate(scale, seed), name, nil
+	default:
+		return nil, "", fmt.Errorf("one of -matrix or -file is required")
+	}
+}
+
+func buildDistribution(a *sparse.CSR, method string, k int, seed int64) (*distrib.Distribution, *core.Mesh, error) {
+	opt := baselines.Options{Seed: seed}
+	switch method {
+	case "1d":
+		return baselines.Rowwise1D(a, k, opt), nil, nil
+	case "1d-col":
+		return baselines.Colwise1D(a, k, opt), nil, nil
+	case "2d":
+		return baselines.FineGrain2D(a, k, opt), nil, nil
+	case "2d-b":
+		return baselines.Checkerboard2DB(a, k, opt), nil, nil
+	case "1d-b":
+		rows := baselines.RowwiseParts(a, k, opt)
+		return baselines.OneDB(a, rows, k, opt), nil, nil
+	case "s2d", "s2d-opt", "s2d-b":
+		rows := baselines.RowwiseParts(a, k, opt)
+		oneD := baselines.Rowwise1DFromParts(a, rows, k)
+		var d *distrib.Distribution
+		if method == "s2d-opt" {
+			d = core.Optimal(a, oneD.XPart, oneD.YPart, k)
+		} else {
+			d = core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+		}
+		if method == "s2d-b" {
+			mesh := core.NewMesh(k)
+			return d, &mesh, nil
+		}
+		return d, nil, nil
+	case "s2d-mg":
+		return baselines.MediumGrainS2D(a, k, opt), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func verifyEngine(a *sparse.CSR, d *distrib.Distribution, mesh *core.Mesh) error {
+	r := rand.New(rand.NewSource(7))
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = r.Float64()*2 - 1
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(x, want)
+	got := make([]float64, a.Rows)
+	if mesh != nil {
+		e, err := spmv.NewRoutedEngine(d, *mesh)
+		if err != nil {
+			return err
+		}
+		e.Multiply(x, got)
+	} else {
+		e, err := spmv.NewEngine(d)
+		if err != nil {
+			return err
+		}
+		e.Multiply(x, got)
+	}
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+			return fmt.Errorf("y[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command spmvbench regenerates the paper's evaluation tables and figure.
+//
+// Usage:
+//
+//	spmvbench -table 2              # Table II at the default scale
+//	spmvbench -table 5 -scale 0.05  # Table V on larger instances
+//	spmvbench -figure 1             # Figure 1 ASCII rendering
+//	spmvbench -all                  # everything
+//	spmvbench -table 6 -k 64,256    # override the K list
+//	spmvbench -full                 # paper-scale matrices (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (1-7)")
+	figure := flag.Int("figure", 0, "figure number to regenerate (1)")
+	ablation := flag.Bool("ablation", false, "run the design-choice ablation instead of a paper table")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	scale := flag.Float64("scale", 1.0/16, "matrix scale in (0,1]; 1.0 = paper size")
+	full := flag.Bool("full", false, "shorthand for -scale 1.0 (slow)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	kList := flag.String("k", "", "comma-separated K override, e.g. 16,64,256")
+	par := flag.Int("p", 0, "max concurrent experiment cells (default NumCPU)")
+	flag.Parse()
+
+	cfg := harness.Config{Scale: *scale, Seed: *seed, Parallelism: *par}
+	if *full {
+		cfg.Scale = 1.0
+	}
+	if *kList != "" {
+		for _, s := range strings.Split(*kList, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || k < 1 {
+				fmt.Fprintf(os.Stderr, "spmvbench: bad -k element %q\n", s)
+				os.Exit(2)
+			}
+			cfg.Ks = append(cfg.Ks, k)
+		}
+	}
+
+	w := os.Stdout
+	run := func(n int) {
+		switch n {
+		case 1:
+			harness.Table1(w, cfg)
+		case 2:
+			harness.Table2(w, cfg)
+		case 3:
+			harness.Table3(w, cfg)
+		case 4:
+			harness.Table4(w, cfg)
+		case 5:
+			harness.Table5(w, cfg)
+		case 6:
+			harness.Table6(w, cfg)
+		case 7:
+			harness.Table7(w, cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "spmvbench: unknown table %d\n", n)
+			os.Exit(2)
+		}
+	}
+
+	switch {
+	case *all:
+		harness.Figure1(w)
+		for n := 1; n <= 7; n++ {
+			run(n)
+		}
+		harness.Ablation(w, cfg)
+	case *ablation:
+		harness.Ablation(w, cfg)
+	case *figure == 1:
+		harness.Figure1(w)
+	case *figure != 0:
+		fmt.Fprintf(os.Stderr, "spmvbench: unknown figure %d\n", *figure)
+		os.Exit(2)
+	case *table != 0:
+		run(*table)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

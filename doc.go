@@ -1,0 +1,18 @@
+// Package repro reproduces "Semi-two-dimensional partitioning for parallel
+// sparse matrix-vector multiplication" (Kayaaslan, Uçar, Aykanat; PCO
+// 2015, IPDPS Workshops).
+//
+// The library lives under internal/: sparse matrices (internal/sparse),
+// synthetic workload generators (internal/gen), bipartite matching and
+// Dulmage–Mendelsohn decomposition (internal/bipartite), hypergraph models
+// and a multilevel partitioner (internal/hypergraph, internal/partition),
+// the s2D core (internal/core), the comparison methods
+// (internal/baselines), a goroutine message-passing SpMV engine
+// (internal/spmv), the α–β cost model (internal/model), and the experiment
+// harness regenerating the paper's Tables I–VII and Figure 1
+// (internal/harness).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate one table or figure each.
+package repro

@@ -1,0 +1,244 @@
+// Package baselines implements the partitioning methods the paper compares
+// against:
+//
+//   - 1D rowwise and columnwise (column-net / row-net hypergraph models);
+//   - 2D fine-grain (row-column-net model, Çatalyürek & Aykanat);
+//   - 2D-b Cartesian "checkerboard" (bounded latency);
+//   - 1D-b, the mesh post-processing of Boman et al. applied to a 1D
+//     partition;
+//   - s2D-mg, the medium-grain method of Pelt & Bisseling adapted to
+//     produce an s2D partition (via the composite hypergraph of §V).
+//
+// All methods return the common distrib.Distribution representation.
+package baselines
+
+import (
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+	"repro/internal/vecpart"
+)
+
+// Options carries the partitioner knobs shared by all methods.
+type Options struct {
+	Seed    int64
+	Epsilon float64 // imbalance tolerance; default 0.03
+}
+
+func (o Options) pcfg(k int) partition.Config {
+	return partition.Config{K: k, Seed: o.Seed, Epsilon: o.Epsilon}
+}
+
+// RowwiseParts partitions the rows of a into k parts with the column-net
+// hypergraph model, minimizing the expand volume under row-nnz balance.
+func RowwiseParts(a *sparse.CSR, k int, opt Options) []int {
+	h := hypergraph.ColumnNetModel(a)
+	return partition.Partition(h, opt.pcfg(k))
+}
+
+// Rowwise1D is the 1D rowwise method: every nonzero goes with its row, and
+// the single communication phase expands x entries.
+func Rowwise1D(a *sparse.CSR, k int, opt Options) *distrib.Distribution {
+	rows := RowwiseParts(a, k, opt)
+	return Rowwise1DFromParts(a, rows, k)
+}
+
+// Rowwise1DFromParts builds the 1D rowwise distribution for an existing
+// row partition (used to hold the vector partition fixed across methods).
+func Rowwise1DFromParts(a *sparse.CSR, rows []int, k int) *distrib.Distribution {
+	xp, yp := vecpart.FromRowParts(a, rows, k)
+	owner := make([]int, a.NNZ())
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			owner[p] = rows[i]
+			p++
+		}
+	}
+	return &distrib.Distribution{A: a, K: k, Owner: owner, XPart: xp, YPart: yp, Fused: true}
+}
+
+// Colwise1D is the 1D columnwise method: every nonzero goes with its
+// column, and the single communication phase folds partial results.
+func Colwise1D(a *sparse.CSR, k int, opt Options) *distrib.Distribution {
+	h := hypergraph.RowNetModel(a)
+	cols := partition.Partition(h, opt.pcfg(k))
+	ypFromCols, xp := vecpart.FromRowParts(a.Transpose(), cols, k)
+	owner := make([]int, a.NNZ())
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			owner[p] = cols[a.ColIdx[q]]
+			p++
+		}
+	}
+	return &distrib.Distribution{A: a, K: k, Owner: owner, XPart: xp, YPart: ypFromCols, Fused: true}
+}
+
+// FineGrain2D is the 2D fine-grain method: each nonzero is a free agent
+// partitioned by the row-column-net hypergraph; vector entries follow the
+// majority owner of their column/row. Two communication phases.
+func FineGrain2D(a *sparse.CSR, k int, opt Options) *distrib.Distribution {
+	fg := hypergraph.FineGrain(a)
+	owner := partition.Partition(fg.H, opt.pcfg(k))
+	xp := majorityByIndex(fg.NonzeroCol, owner, a.Cols, k)
+	yp := majorityByIndex(fg.NonzeroRow, owner, a.Rows, k)
+	return &distrib.Distribution{A: a, K: k, Owner: owner, XPart: xp, YPart: yp, Fused: false}
+}
+
+// majorityByIndex assigns each index (row or column) to the part owning
+// most of its nonzeros; indexless entries go round-robin.
+func majorityByIndex(idx []int, owner []int, n, k int) []int {
+	counts := make([]map[int]int, n)
+	for p, ix := range idx {
+		if counts[ix] == nil {
+			counts[ix] = make(map[int]int, 4)
+		}
+		counts[ix][owner[p]]++
+	}
+	out := make([]int, n)
+	for ix := 0; ix < n; ix++ {
+		if len(counts[ix]) == 0 {
+			out[ix] = ix % k
+			continue
+		}
+		best, bestCount := -1, -1
+		for part, c := range counts[ix] {
+			if c > bestCount || (c == bestCount && part < best) {
+				best, bestCount = part, c
+			}
+		}
+		out[ix] = best
+	}
+	return out
+}
+
+// MediumGrainS2D is the medium-grain method adapted to s2D (§V): the
+// composite hypergraph amalgamates vector entries with the split nonzeros,
+// so a K-way partition decodes directly into an s2D distribution with a
+// single fused phase.
+func MediumGrainS2D(a *sparse.CSR, k int, opt Options) *distrib.Distribution {
+	return mediumGrain(a, hypergraph.MediumGrain(a), k, opt)
+}
+
+// MediumGrainS2DSym is the symmetric-vector-partition variant for square
+// matrices (§V): row i and column i amalgamate into one vertex, so the
+// decoded x and y partitions coincide.
+func MediumGrainS2DSym(a *sparse.CSR, k int, opt Options) *distrib.Distribution {
+	return mediumGrain(a, hypergraph.MediumGrainSym(a), k, opt)
+}
+
+func mediumGrain(a *sparse.CSR, mg *hypergraph.MediumGrainModel, k int, opt Options) *distrib.Distribution {
+	parts := partition.Partition(mg.H, opt.pcfg(k))
+	xp := make([]int, a.Cols)
+	yp := make([]int, a.Rows)
+	for j := 0; j < a.Cols; j++ {
+		xp[j] = parts[mg.ColVertex(j)]
+	}
+	for i := 0; i < a.Rows; i++ {
+		yp[i] = parts[mg.RowVertex(i)]
+	}
+	owner := make([]int, a.NNZ())
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			if mg.ToRowSide[p] {
+				owner[p] = yp[i]
+			} else {
+				owner[p] = xp[a.ColIdx[q]]
+			}
+			p++
+		}
+	}
+	return &distrib.Distribution{A: a, K: k, Owner: owner, XPart: xp, YPart: yp, Fused: true}
+}
+
+// Checkerboard2DB is the Cartesian (checkerboard) method the paper calls
+// 2D-b [5][7]. Rows are partitioned into P_r stripes with the column-net
+// model; columns are then partitioned into P_c stripes with the row-net
+// model under P_r balance constraints — each column carries one weight per
+// row stripe, so every mesh cell is balanced, exactly as PaToH's
+// multi-constraint second phase. Nonzero a_ij goes to mesh cell
+// (rowStripe(i), colStripe(j)); expand stays within mesh columns and fold
+// within mesh rows, bounding the per-processor message count by P_r+P_c−2.
+func Checkerboard2DB(a *sparse.CSR, k int, opt Options) *distrib.Distribution {
+	mesh := core.NewMesh(k)
+	rowStripe := partition.Partition(hypergraph.ColumnNetModel(a), partition.Config{
+		K: mesh.Pr, Seed: opt.Seed, Epsilon: opt.Epsilon,
+	})
+
+	// Column phase: row-net model, one balance constraint per row stripe.
+	colModel := hypergraph.RowNetModel(a) // vertex j = column j
+	weights := make([][]int, mesh.Pr)
+	for r := range weights {
+		weights[r] = make([]int, a.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		r := rowStripe[i]
+		for _, j := range a.RowCols(i) {
+			weights[r][j]++
+		}
+	}
+	colStripe := partition.PartitionMC(colModel, weights, partition.Config{
+		K: mesh.Pc, Seed: opt.Seed + 1, Epsilon: opt.Epsilon,
+	})
+
+	owner := make([]int, a.NNZ())
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		r := rowStripe[i]
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			owner[p] = mesh.PartAt(r, colStripe[a.ColIdx[q]])
+			p++
+		}
+	}
+	// x_j must live in mesh column colStripe(j); y_i in mesh row
+	// rowStripe(i). The free coordinate follows the symmetric choice for
+	// square matrices and round-robin otherwise.
+	xp := make([]int, a.Cols)
+	for j := range xp {
+		r := j % mesh.Pr
+		if a.Rows == a.Cols {
+			r = rowStripe[j]
+		}
+		xp[j] = mesh.PartAt(r, colStripe[j])
+	}
+	yp := make([]int, a.Rows)
+	for i := range yp {
+		c := i % mesh.Pc
+		if a.Rows == a.Cols {
+			c = colStripe[i]
+		}
+		yp[i] = mesh.PartAt(rowStripe[i], c)
+	}
+	return &distrib.Distribution{A: a, K: k, Owner: owner, XPart: xp, YPart: yp, Fused: false}
+}
+
+// OneDB is the 1D-b method of Boman et al.: starting from a 1D rowwise
+// partition (which fixes the vector partition), each off-diagonal block
+// A_ℓk is reassigned to the processor at mesh cell (row(ℓ), col(k)). The
+// expand then stays within mesh columns and the fold within mesh rows,
+// bounding latency like the checkerboard, but the nonzero redistribution
+// disturbs the load balance and volume of the 1D partition (the paper's
+// §V critique).
+func OneDB(a *sparse.CSR, rowParts []int, k int, opt Options) *distrib.Distribution {
+	mesh := core.NewMesh(k)
+	xp, yp := vecpart.FromRowParts(a, rowParts, k)
+	owner := make([]int, a.NNZ())
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		l := yp[i]
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			kk := xp[a.ColIdx[q]]
+			if l == kk {
+				owner[p] = l
+			} else {
+				owner[p] = mesh.PartAt(mesh.RowOf(l), mesh.ColOf(kk))
+			}
+			p++
+		}
+	}
+	return &distrib.Distribution{A: a, K: k, Owner: owner, XPart: xp, YPart: yp, Fused: false}
+}

@@ -1,0 +1,41 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(nr, nc, edges int) *Graph {
+	r := rand.New(rand.NewSource(1))
+	g := NewGraph(nr, nc)
+	for e := 0; e < edges; e++ {
+		g.AddEdge(r.Intn(nr), r.Intn(nc))
+	}
+	return g
+}
+
+func BenchmarkHopcroftKarp(b *testing.B) {
+	g := benchGraph(20000, 20000, 120000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HopcroftKarp(g)
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	g := benchGraph(20000, 25000, 120000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Decompose(g)
+	}
+}
+
+// BenchmarkDecomposeWide exercises the horizontal-dominant regime the s2D
+// optimizer hits on dense-row blocks (few rows, many columns).
+func BenchmarkDecomposeWide(b *testing.B) {
+	g := benchGraph(100, 50000, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Decompose(g)
+	}
+}

@@ -1,0 +1,254 @@
+// Package bipartite implements maximum bipartite matching (Hopcroft–Karp)
+// and the coarse Dulmage–Mendelsohn decomposition used by the paper's
+// volume-optimal semi-2D splitting (§II-B, §IV-A).
+//
+// The DM decomposition of a rectangular pattern B permutes it to
+//
+//	      C_H  C_S  C_V
+//	R_H [  H    X    Z ]
+//	R_S [  0    S    Y ]
+//	R_V [  0    0    V ]
+//
+// with m̂(H) < n̂(H) (unless H is empty), m̂(S) = n̂(S), and
+// m̂(V) > n̂(V). By König duality, m̂(H)+m̂(S)+n̂(V) is both the maximum
+// matching size and the minimum number of rows and columns needed to cover
+// all nonzeros — exactly the minimum communication volume of an s2D split
+// of an off-diagonal block.
+package bipartite
+
+// Graph is a bipartite graph with NR row vertices and NC column vertices.
+// Adjacency is stored row-side only; edges must be unique.
+type Graph struct {
+	NR, NC int
+	Adj    [][]int // Adj[r] lists column neighbours of row r
+}
+
+// NewGraph returns an empty bipartite graph.
+func NewGraph(nr, nc int) *Graph {
+	return &Graph{NR: nr, NC: nc, Adj: make([][]int, nr)}
+}
+
+// AddEdge connects row r to column c.
+func (g *Graph) AddEdge(r, c int) {
+	g.Adj[r] = append(g.Adj[r], c)
+}
+
+const unmatched = -1
+
+// Matching holds a bipartite matching: MatchR[r] is the column matched to
+// row r or -1; MatchC is the inverse; Size is the number of matched pairs.
+type Matching struct {
+	MatchR, MatchC []int
+	Size           int
+}
+
+// HopcroftKarp computes a maximum matching in O(E√V).
+func HopcroftKarp(g *Graph) Matching {
+	matchR := make([]int, g.NR)
+	matchC := make([]int, g.NC)
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+	for j := range matchC {
+		matchC[j] = unmatched
+	}
+
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, g.NR)
+	queue := make([]int, 0, g.NR)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for r := 0; r < g.NR; r++ {
+			if matchR[r] == unmatched {
+				dist[r] = 0
+				queue = append(queue, r)
+			} else {
+				dist[r] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			r := queue[head]
+			for _, c := range g.Adj[r] {
+				nr := matchC[c]
+				if nr == unmatched {
+					found = true
+				} else if dist[nr] == inf {
+					dist[nr] = dist[r] + 1
+					queue = append(queue, nr)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(r int) bool
+	dfs = func(r int) bool {
+		for _, c := range g.Adj[r] {
+			nr := matchC[c]
+			if nr == unmatched || (dist[nr] == dist[r]+1 && dfs(nr)) {
+				matchR[r] = c
+				matchC[c] = r
+				return true
+			}
+		}
+		dist[r] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for r := 0; r < g.NR; r++ {
+			if matchR[r] == unmatched && dfs(r) {
+				size++
+			}
+		}
+	}
+	return Matching{MatchR: matchR, MatchC: matchC, Size: size}
+}
+
+// BlockKind labels a row or column with its coarse DM block.
+type BlockKind int8
+
+const (
+	// Horizontal: the underdetermined block H (more columns than rows).
+	Horizontal BlockKind = iota
+	// Square: the perfectly matched block S.
+	Square
+	// Vertical: the overdetermined block V (more rows than columns).
+	Vertical
+)
+
+// String returns the block letter H, S, or V.
+func (k BlockKind) String() string {
+	switch k {
+	case Horizontal:
+		return "H"
+	case Square:
+		return "S"
+	case Vertical:
+		return "V"
+	}
+	return "?"
+}
+
+// DM is the result of a coarse Dulmage–Mendelsohn decomposition.
+type DM struct {
+	Matching
+	RowKind, ColKind []BlockKind
+	// Counts of rows/columns per block.
+	HRows, HCols int
+	SRows        int // = SCols
+	VRows, VCols int
+}
+
+// MinCover returns the minimum number of rows plus columns covering all
+// nonzeros: m̂(H) + m̂(S) + n̂(V). Equals the maximum matching size.
+func (d *DM) MinCover() int { return d.HRows + d.SRows + d.VCols }
+
+// Decompose computes the coarse DM decomposition of g. Empty (degree-zero)
+// columns are placed in H and empty rows in V; they do not contribute to
+// block nonzero counts.
+func Decompose(g *Graph) DM {
+	m := HopcroftKarp(g)
+
+	// Column-side adjacency, needed to walk alternating paths from
+	// unmatched rows.
+	colAdj := make([][]int, g.NC)
+	for r := 0; r < g.NR; r++ {
+		for _, c := range g.Adj[r] {
+			colAdj[c] = append(colAdj[c], r)
+		}
+	}
+
+	rowKind := make([]BlockKind, g.NR)
+	colKind := make([]BlockKind, g.NC)
+	for r := range rowKind {
+		rowKind[r] = Square
+	}
+	for c := range colKind {
+		colKind[c] = Square
+	}
+
+	// H: alternating BFS from unmatched columns. Column→row steps use any
+	// edge; row→column steps use the matching edge.
+	visitedR := make([]bool, g.NR)
+	visitedC := make([]bool, g.NC)
+	cq := make([]int, 0)
+	for c := 0; c < g.NC; c++ {
+		if m.MatchC[c] == unmatched {
+			visitedC[c] = true
+			colKind[c] = Horizontal
+			cq = append(cq, c)
+		}
+	}
+	for head := 0; head < len(cq); head++ {
+		c := cq[head]
+		for _, r := range colAdj[c] {
+			if visitedR[r] {
+				continue
+			}
+			visitedR[r] = true
+			rowKind[r] = Horizontal
+			if mc := m.MatchR[r]; mc != unmatched && !visitedC[mc] {
+				visitedC[mc] = true
+				colKind[mc] = Horizontal
+				cq = append(cq, mc)
+			}
+		}
+	}
+
+	// V: alternating BFS from unmatched rows. Row→column steps use any
+	// edge; column→row steps use the matching edge.
+	visR := make([]bool, g.NR)
+	visC := make([]bool, g.NC)
+	rq := make([]int, 0)
+	for r := 0; r < g.NR; r++ {
+		if m.MatchR[r] == unmatched {
+			visR[r] = true
+			rowKind[r] = Vertical
+			rq = append(rq, r)
+		}
+	}
+	for head := 0; head < len(rq); head++ {
+		r := rq[head]
+		for _, c := range g.Adj[r] {
+			if visC[c] {
+				continue
+			}
+			visC[c] = true
+			colKind[c] = Vertical
+			if mr := m.MatchC[c]; mr != unmatched && !visR[mr] {
+				visR[mr] = true
+				rowKind[mr] = Vertical
+				rq = append(rq, mr)
+			}
+		}
+	}
+
+	d := DM{Matching: m, RowKind: rowKind, ColKind: colKind}
+	for r, k := range rowKind {
+		switch k {
+		case Horizontal:
+			d.HRows++
+		case Vertical:
+			if len(g.Adj[r]) > 0 {
+				d.VRows++
+			}
+		case Square:
+			d.SRows++
+		}
+	}
+	for c, k := range colKind {
+		switch k {
+		case Horizontal:
+			if len(colAdj[c]) > 0 {
+				d.HCols++
+			}
+		case Vertical:
+			d.VCols++
+		}
+	}
+	return d
+}

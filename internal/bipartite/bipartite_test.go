@@ -1,0 +1,268 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func graphFromEdges(nr, nc int, edges [][2]int) *Graph {
+	g := NewGraph(nr, nc)
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestHopcroftKarpPerfect(t *testing.T) {
+	// Identity-matchable 4x4.
+	g := graphFromEdges(4, 4, [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {0, 1}, {2, 3}})
+	m := HopcroftKarp(g)
+	if m.Size != 4 {
+		t.Fatalf("matching size = %d, want 4", m.Size)
+	}
+}
+
+func TestHopcroftKarpNeedsAugmenting(t *testing.T) {
+	// A graph where greedy matching fails without augmenting paths:
+	// r0-{c0,c1}, r1-{c0}, r2-{c1}. Max matching is 2.
+	g := graphFromEdges(3, 2, [][2]int{{0, 0}, {0, 1}, {1, 0}, {2, 1}})
+	m := HopcroftKarp(g)
+	if m.Size != 2 {
+		t.Fatalf("matching size = %d, want 2", m.Size)
+	}
+}
+
+func TestHopcroftKarpEmpty(t *testing.T) {
+	m := HopcroftKarp(NewGraph(3, 3))
+	if m.Size != 0 {
+		t.Fatalf("empty graph matching size = %d", m.Size)
+	}
+	m2 := HopcroftKarp(NewGraph(0, 0))
+	if m2.Size != 0 {
+		t.Fatal("zero graph")
+	}
+}
+
+func validMatching(g *Graph, m Matching) bool {
+	count := 0
+	for r, c := range m.MatchR {
+		if c == unmatched {
+			continue
+		}
+		count++
+		if m.MatchC[c] != r {
+			return false
+		}
+		found := false
+		for _, cc := range g.Adj[r] {
+			if cc == c {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return count == m.Size
+}
+
+// bruteMaxMatching finds the true maximum matching by exhaustive search
+// (rows ≤ ~10).
+func bruteMaxMatching(g *Graph) int {
+	usedC := make([]bool, g.NC)
+	var rec func(r int) int
+	rec = func(r int) int {
+		if r == g.NR {
+			return 0
+		}
+		best := rec(r + 1) // skip row r
+		for _, c := range g.Adj[r] {
+			if !usedC[c] {
+				usedC[c] = true
+				if v := 1 + rec(r+1); v > best {
+					best = v
+				}
+				usedC[c] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func randomGraph(r *rand.Rand, nr, nc, edges int) *Graph {
+	g := NewGraph(nr, nc)
+	seen := map[[2]int]bool{}
+	for k := 0; k < edges; k++ {
+		e := [2]int{r.Intn(nr), r.Intn(nc)}
+		if !seen[e] {
+			seen[e] = true
+			g.AddEdge(e[0], e[1])
+		}
+	}
+	return g
+}
+
+func TestHopcroftKarpAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(r, 1+r.Intn(8), 1+r.Intn(8), r.Intn(20))
+		m := HopcroftKarp(g)
+		if !validMatching(g, m) {
+			t.Fatalf("trial %d: invalid matching", trial)
+		}
+		if want := bruteMaxMatching(g); m.Size != want {
+			t.Fatalf("trial %d: size %d, want %d", trial, m.Size, want)
+		}
+	}
+}
+
+func TestDecomposePaperExample(t *testing.T) {
+	// A 2x3 all-horizontal block: 2 rows, 3 cols, every row nonempty, more
+	// cols than rows, perfectly matchable on the row side.
+	g := graphFromEdges(2, 3, [][2]int{{0, 0}, {0, 1}, {1, 1}, {1, 2}})
+	d := Decompose(g)
+	if d.HRows != 2 || d.HCols != 3 {
+		t.Fatalf("H = %dx%d, want 2x3", d.HRows, d.HCols)
+	}
+	if d.SRows != 0 || d.VRows != 0 || d.VCols != 0 {
+		t.Fatalf("unexpected S/V blocks: %+v", d)
+	}
+	if d.MinCover() != 2 {
+		t.Fatalf("MinCover = %d, want 2", d.MinCover())
+	}
+}
+
+func TestDecomposeSquareBlock(t *testing.T) {
+	// Perfect matching, no unmatched vertices: everything is Square.
+	g := graphFromEdges(3, 3, [][2]int{{0, 0}, {1, 1}, {2, 2}, {0, 1}})
+	d := Decompose(g)
+	if d.SRows != 3 || d.HRows != 0 || d.VRows != 0 {
+		t.Fatalf("S=%d H=%d V=%d, want 3 0 0", d.SRows, d.HRows, d.VRows)
+	}
+	if d.MinCover() != 3 {
+		t.Fatalf("MinCover = %d", d.MinCover())
+	}
+}
+
+func TestDecomposeVerticalBlock(t *testing.T) {
+	// 3 rows, 1 col: vertical.
+	g := graphFromEdges(3, 1, [][2]int{{0, 0}, {1, 0}, {2, 0}})
+	d := Decompose(g)
+	if d.VRows != 3 || d.VCols != 1 {
+		t.Fatalf("V = %dx%d, want 3x1", d.VRows, d.VCols)
+	}
+	if d.MinCover() != 1 {
+		t.Fatalf("MinCover = %d, want 1", d.MinCover())
+	}
+}
+
+func TestDecomposeMixed(t *testing.T) {
+	// Rows 0-1 with cols 0-2 horizontal; row 2 with col 3 square;
+	// rows 3-4 with col 4 vertical.
+	g := graphFromEdges(5, 5, [][2]int{
+		{0, 0}, {0, 1}, {1, 1}, {1, 2},
+		{2, 3},
+		{3, 4}, {4, 4},
+	})
+	d := Decompose(g)
+	if d.HRows != 2 || d.HCols != 3 {
+		t.Errorf("H = %dx%d, want 2x3", d.HRows, d.HCols)
+	}
+	if d.SRows != 1 {
+		t.Errorf("S rows = %d, want 1", d.SRows)
+	}
+	if d.VRows != 2 || d.VCols != 1 {
+		t.Errorf("V = %dx%d, want 2x1", d.VRows, d.VCols)
+	}
+	if d.MinCover() != 4 {
+		t.Errorf("MinCover = %d, want 4", d.MinCover())
+	}
+}
+
+func TestDecomposeEmptyRowsCols(t *testing.T) {
+	// Col 2 and row 2 are empty; they must not inflate block counts.
+	g := graphFromEdges(3, 3, [][2]int{{0, 0}, {1, 1}})
+	d := Decompose(g)
+	if d.MinCover() != 2 {
+		t.Fatalf("MinCover = %d, want 2", d.MinCover())
+	}
+	if d.HCols != 0 || d.VRows != 0 {
+		t.Errorf("empty row/col counted: HCols=%d VRows=%d", d.HCols, d.VRows)
+	}
+}
+
+// checkDMStructure verifies the zero-block structure of the coarse DM
+// decomposition: no edges in (S∪V rows × H cols) or (V rows × S cols), and
+// the cover property.
+func checkDMStructure(t *testing.T, g *Graph, d DM) {
+	t.Helper()
+	for r := 0; r < g.NR; r++ {
+		for _, c := range g.Adj[r] {
+			rk, ck := d.RowKind[r], d.ColKind[c]
+			if rk != Horizontal && ck == Horizontal {
+				t.Fatalf("edge (%d,%d) in zero block: row %v, col %v", r, c, rk, ck)
+			}
+			if rk == Vertical && ck == Square {
+				t.Fatalf("edge (%d,%d) in zero block: row V, col S", r, c)
+			}
+			if rk == Vertical && ck == Horizontal {
+				t.Fatalf("edge (%d,%d) in zero block: row V, col H", r, c)
+			}
+		}
+	}
+	if d.MinCover() != d.Size {
+		t.Fatalf("König violated: cover %d != matching %d", d.MinCover(), d.Size)
+	}
+	// The cover must actually cover: every edge touches an H-row, S-row,
+	// or V-col.
+	for r := 0; r < g.NR; r++ {
+		for _, c := range g.Adj[r] {
+			if d.RowKind[r] == Horizontal || d.RowKind[r] == Square || d.ColKind[c] == Vertical {
+				continue
+			}
+			t.Fatalf("edge (%d,%d) uncovered", r, c)
+		}
+	}
+}
+
+func TestDecomposeRandomStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		g := randomGraph(r, 1+r.Intn(25), 1+r.Intn(25), r.Intn(120))
+		d := Decompose(g)
+		checkDMStructure(t, g, d)
+	}
+}
+
+func TestPropertyDMCoverEqualsMatching(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 1+r.Intn(15), 1+r.Intn(15), r.Intn(60))
+		d := Decompose(g)
+		return d.MinCover() == d.Size && d.Size == bruteMaxMatching(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockKindString(t *testing.T) {
+	if Horizontal.String() != "H" || Square.String() != "S" || Vertical.String() != "V" {
+		t.Error("BlockKind strings wrong")
+	}
+	if BlockKind(9).String() != "?" {
+		t.Error("unknown BlockKind string")
+	}
+}
+
+func TestDecomposeLargeRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	g := randomGraph(r, 2000, 2500, 12000)
+	d := Decompose(g)
+	checkDMStructure(t, g, d)
+	if d.Size == 0 {
+		t.Fatal("large random graph has empty matching")
+	}
+}

@@ -1,0 +1,131 @@
+package bipartite
+
+// Fine Dulmage–Mendelsohn decomposition (Pothen & Fan 1990, cited as [15]
+// in the paper): the square block S of the coarse decomposition further
+// decomposes into strongly connected components of the directed graph
+// induced by the perfect matching on S, yielding the block triangular
+// form. The components are returned in a topological order, so permuting S
+// by the concatenated blocks gives a block lower triangular matrix.
+
+// FineDM extends the coarse decomposition with the square block's BTF.
+type FineDM struct {
+	DM
+	// Blocks lists the square-part components in topological order; each
+	// holds matched (row, col) pairs.
+	Blocks [][]MatchedPair
+}
+
+// MatchedPair is one matched row/column of the square block.
+type MatchedPair struct{ Row, Col int }
+
+// FineDecompose computes the coarse DM decomposition and the block
+// triangular form of its square part.
+func FineDecompose(g *Graph) FineDM {
+	dm := Decompose(g)
+	f := FineDM{DM: dm}
+
+	// Directed graph on the square block's columns: j → j' when the row
+	// matched to j has an edge to j' (both in S).
+	isSquareCol := func(c int) bool { return dm.ColKind[c] == Square }
+	var sccCols [][]int
+	sccCols = tarjanSCC(g, dm, isSquareCol)
+
+	// Tarjan emits components sinks-first: dependencies (earlier columns)
+	// come before dependents, which is exactly the block *lower*
+	// triangular order.
+	for _, comp := range sccCols {
+		blk := make([]MatchedPair, 0, len(comp))
+		for _, c := range comp {
+			blk = append(blk, MatchedPair{Row: dm.MatchC[c], Col: c})
+		}
+		f.Blocks = append(f.Blocks, blk)
+	}
+	return f
+}
+
+// tarjanSCC runs Tarjan's algorithm over the matching-induced digraph on
+// square columns, iteratively (no recursion, safe for large blocks).
+func tarjanSCC(g *Graph, dm DM, inScope func(int) bool) [][]int {
+	const none = -1
+	index := make([]int, g.NC)
+	low := make([]int, g.NC)
+	onStack := make([]bool, g.NC)
+	for c := range index {
+		index[c] = none
+	}
+	var stack []int
+	var sccs [][]int
+	next := 0
+
+	// successors of column c: columns j' != c adjacent to c's matched row.
+	succ := func(c int) []int {
+		r := dm.MatchC[c]
+		if r < 0 {
+			return nil
+		}
+		var out []int
+		for _, c2 := range g.Adj[r] {
+			if c2 != c && inScope(c2) {
+				out = append(out, c2)
+			}
+		}
+		return out
+	}
+
+	type frame struct {
+		c     int
+		succs []int
+		idx   int
+	}
+	for c0 := 0; c0 < g.NC; c0++ {
+		if !inScope(c0) || index[c0] != none {
+			continue
+		}
+		var callStack []frame
+		push := func(c int) {
+			index[c] = next
+			low[c] = next
+			next++
+			stack = append(stack, c)
+			onStack[c] = true
+			callStack = append(callStack, frame{c: c, succs: succ(c)})
+		}
+		push(c0)
+		for len(callStack) > 0 {
+			fr := &callStack[len(callStack)-1]
+			if fr.idx < len(fr.succs) {
+				w := fr.succs[fr.idx]
+				fr.idx++
+				if index[w] == none {
+					push(w)
+				} else if onStack[w] && index[w] < low[fr.c] {
+					low[fr.c] = index[w]
+				}
+				continue
+			}
+			// Post-visit.
+			c := fr.c
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[c] < low[parent.c] {
+					low[parent.c] = low[c]
+				}
+			}
+			if low[c] == index[c] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == c {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,136 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFineDecomposeTriangular(t *testing.T) {
+	// Lower-triangular pattern: every diagonal block is a singleton.
+	g := NewGraph(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j <= i; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	f := FineDecompose(g)
+	if f.SRows != 4 {
+		t.Fatalf("square rows = %d", f.SRows)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4 singletons", len(f.Blocks))
+	}
+	for _, b := range f.Blocks {
+		if len(b) != 1 {
+			t.Fatalf("non-singleton block in triangular matrix: %v", b)
+		}
+	}
+}
+
+func TestFineDecomposeCycle(t *testing.T) {
+	// A full cycle: i matched to i, and i -> i+1 edges form one SCC.
+	const n = 5
+	g := NewGraph(n, n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, i)
+		g.AddEdge(i, (i+1)%n)
+	}
+	f := FineDecompose(g)
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want single SCC", len(f.Blocks))
+	}
+	if len(f.Blocks[0]) != n {
+		t.Fatalf("SCC size = %d", len(f.Blocks[0]))
+	}
+}
+
+func TestFineDecomposeTopologicalOrder(t *testing.T) {
+	// Two 2-cycles with a one-way bridge: block containing {0,1} must
+	// appear before the block of {2,3} in lower-triangular order only if
+	// edges point from later to earlier; verify no edge goes from an
+	// earlier block's rows to a later block's columns... in BTF lower
+	// triangular: for blocks B1 before B2, there is no edge (row in B1,
+	// col in B2).
+	g := NewGraph(4, 4)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 3)
+	g.AddEdge(3, 2)
+	g.AddEdge(2, 0) // bridge: block {2,3} depends on block {0,1}
+	f := FineDecompose(g)
+	if len(f.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(f.Blocks))
+	}
+	blockOfCol := map[int]int{}
+	for bi, blk := range f.Blocks {
+		for _, p := range blk {
+			blockOfCol[p.Col] = bi
+		}
+	}
+	for r := 0; r < g.NR; r++ {
+		for _, c := range g.Adj[r] {
+			// Row r belongs to the block of its matched column.
+			rBlk, okR := blockOfCol[f.MatchR[r]]
+			cBlk, okC := blockOfCol[c]
+			if okR && okC && rBlk < cBlk {
+				t.Fatalf("edge (%d,%d) above the block diagonal: row block %d, col block %d",
+					r, c, rBlk, cBlk)
+			}
+		}
+	}
+}
+
+func TestFineDecomposeMixedWithHV(t *testing.T) {
+	// Horizontal + square + vertical parts together; only S columns form
+	// blocks.
+	g := graphFromEdges(5, 5, [][2]int{
+		{0, 0}, {0, 1}, {1, 1}, {1, 2}, // horizontal-ish
+		{2, 3},         // square singleton
+		{3, 4}, {4, 4}, // vertical
+	})
+	f := FineDecompose(g)
+	count := 0
+	for _, blk := range f.Blocks {
+		count += len(blk)
+	}
+	if count != f.SRows {
+		t.Fatalf("block pairs %d != square rows %d", count, f.SRows)
+	}
+}
+
+func TestFineDecomposeRandomConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(r, 1+r.Intn(30), 1+r.Intn(30), r.Intn(150))
+		f := FineDecompose(g)
+		// Every square column appears in exactly one block.
+		seen := map[int]bool{}
+		for _, blk := range f.Blocks {
+			for _, p := range blk {
+				if seen[p.Col] {
+					t.Fatalf("trial %d: column %d in two blocks", trial, p.Col)
+				}
+				seen[p.Col] = true
+				if f.ColKind[p.Col] != Square {
+					t.Fatalf("trial %d: non-square column in block", trial)
+				}
+				if f.MatchC[p.Col] != p.Row {
+					t.Fatalf("trial %d: pair not matched", trial)
+				}
+			}
+		}
+		squareCols := 0
+		for c := 0; c < g.NC; c++ {
+			if f.ColKind[c] == Square {
+				squareCols++
+			}
+		}
+		if len(seen) != squareCols {
+			t.Fatalf("trial %d: %d columns in blocks, %d square", trial, len(seen), squareCols)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+// benchInstance builds a dense-row matrix with a block-contiguous vector
+// partition, the setting the s2D builders face in the harness.
+func benchInstance(k int) (m *sparse.CSR, xp, yp []int) {
+	a := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 20000, Cols: 20000, NNZ: 120000, Beta: 0.5,
+		DenseRows: 2, DenseMax: 1500, Symmetric: true, Locality: 0.9,
+	}, 1)
+	yp = make([]int, a.Rows)
+	for i := range yp {
+		yp[i] = i * k / a.Rows
+	}
+	xp = append([]int(nil), yp...)
+	return a, xp, yp
+}
+
+func BenchmarkOptimal(b *testing.B) {
+	a, xp, yp := benchInstance(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Optimal(a, xp, yp, 64)
+	}
+}
+
+func BenchmarkBalanced(b *testing.B) {
+	a, xp, yp := benchInstance(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Balanced(a, xp, yp, 64, BalanceConfig{})
+	}
+}
+
+func BenchmarkBalancedExt(b *testing.B) {
+	a, xp, yp := benchInstance(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BalancedExt(a, xp, yp, 64, BalanceConfig{})
+	}
+}
+
+func BenchmarkS2DBComm(b *testing.B) {
+	a, xp, yp := benchInstance(256)
+	d := Balanced(a, xp, yp, 256, BalanceConfig{})
+	mesh := NewMesh(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = S2DBComm(d, mesh)
+	}
+}

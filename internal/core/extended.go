@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/distrib"
+	"repro/internal/sparse"
+)
+
+// BalancedExt implements the extension sketched in the paper's conclusion:
+// "more sophisticated heuristics that also take square and vertical blocks
+// of off-diagonal blocks into account can be considered ... to mitigate
+// this dependency [of the load balance on the vector partition]".
+//
+// It first runs Algorithm 1 (choices A1/A2). Then, while a part remains
+// above the load bound, it considers a third alternative per off-diagonal
+// block of that part:
+//
+//	(A3) A^(k)_ℓk = A_ℓk, A^(ℓ)_ℓk = 0 — the whole block, including its
+//	     square and vertical sub-blocks, moves to the column part.
+//
+// A3's volume is m̂(A_ℓk) (every nonzero row ships one partial), which is
+// never below the DM optimum, but it sheds the entire block's load from
+// the overloaded row part instead of only the horizontal sub-block.
+// Blocks are chosen by the best load-shed per extra volume; the maximum
+// load never increases.
+func BalancedExt(a *sparse.CSR, xpart, ypart []int, k int, cfg BalanceConfig) *distrib.Distribution {
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.03
+	}
+	wlim := cfg.Wlim
+	if wlim <= 0 {
+		wlim = int(float64(a.NNZ())/float64(k)*(1+cfg.Epsilon)) + 1
+	}
+
+	owner := baseRowwiseOwner(a, ypart)
+	w := make([]int, k)
+	for _, o := range owner {
+		w[o]++
+	}
+	blocks := collectBlocks(a, xpart, ypart, k)
+
+	// Phase 1 — Algorithm 1 (A1 → A2 flips in decreasing gain order).
+	order := make([]int, len(blocks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return blocks[order[x]].gain() > blocks[order[y]].gain()
+	})
+	state := make([]int8, len(blocks)) // 1 = A1, 2 = A2, 3 = A3
+	for i := range state {
+		state[i] = 1
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range order {
+			b := blocks[bi]
+			if state[bi] != 1 || len(b.hEntries) == 0 {
+				continue
+			}
+			h := len(b.hEntries)
+			if w[b.k]+h <= wlim || (w[b.l] > wlim && w[b.k]+h < w[b.l]) {
+				for _, p := range b.hEntries {
+					owner[p] = b.k
+				}
+				w[b.k] += h
+				w[b.l] -= h
+				state[bi] = 2
+				changed = true
+			}
+		}
+	}
+
+	// Phase 2 — A3 escalation for parts still above the bound.
+	byRowPart := make([][]int, k)
+	for bi, b := range blocks {
+		byRowPart[b.l] = append(byRowPart[b.l], bi)
+	}
+	for changed := true; changed; {
+		changed = false
+		for l := 0; l < k; l++ {
+			if w[l] <= wlim {
+				continue
+			}
+			// Best remaining block of part ℓ: maximize shed per extra
+			// volume word.
+			best, bestScore := -1, 0.0
+			for _, bi := range byRowPart[l] {
+				b := blocks[bi]
+				if state[bi] == 3 {
+					continue
+				}
+				shed := len(b.entries) - len(b.hEntries)
+				if state[bi] == 1 {
+					shed = len(b.entries)
+				}
+				if shed == 0 {
+					continue
+				}
+				if w[b.k]+shed > wlim && w[b.k]+shed >= w[l] {
+					continue // receiver would become the new problem
+				}
+				extra := b.a3ExtraVolume(state[bi])
+				score := float64(shed) / float64(maxIntCore(extra, 1))
+				if score > bestScore {
+					best, bestScore = bi, score
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			b := blocks[best]
+			shed := 0
+			for t, p := range b.entries {
+				_ = t
+				if owner[p] == b.l {
+					owner[p] = b.k
+					shed++
+				}
+			}
+			w[b.k] += shed
+			w[b.l] -= shed
+			state[best] = 3
+			changed = true
+		}
+	}
+	return &distrib.Distribution{A: a, K: k, Owner: owner, XPart: xpart, YPart: ypart, Fused: true}
+}
+
+// a3ExtraVolume returns the volume increase of moving this block from its
+// current choice to (A3). Current costs: A1 = n̂(A); A2 = m̂(H)+n̂(A−H).
+// A3 costs m̂(A).
+func (b *block) a3ExtraVolume(state int8) int {
+	mA, nA := b.distinctRows(), b.distinctCols()
+	var current int
+	switch state {
+	case 1:
+		current = nA
+	default:
+		current = b.mH + (nA - b.nH) // n̂(S)+n̂(V) = n̂(A) − n̂(H)
+	}
+	extra := mA - current
+	if extra < 0 {
+		return extra // A3 can even reduce volume on vertical-ish blocks
+	}
+	return extra
+}
+
+func (b *block) distinctRows() int {
+	seen := make(map[int]struct{}, len(b.rows))
+	for _, r := range b.rows {
+		seen[r] = struct{}{}
+	}
+	return len(seen)
+}
+
+func (b *block) distinctCols() int {
+	seen := make(map[int]struct{}, len(b.cols))
+	for _, c := range b.cols {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+func maxIntCore(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestBalancedExtIsS2D(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		a := randomMatrix(r, 30+r.Intn(60), 30+r.Intn(60), 100+r.Intn(400))
+		k := 2 + r.Intn(6)
+		xp, yp := randomVecParts(r, a, k)
+		d := BalancedExt(a, xp, yp, k, BalanceConfig{})
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !d.IsS2D() {
+			t.Fatalf("trial %d: not s2D", trial)
+		}
+	}
+}
+
+// TestBalancedExtImprovesBalance: on a matrix whose dense row defeats
+// Algorithm 1 (the horizontal sub-block alone cannot shed enough), the A3
+// escalation must cut the maximum load further.
+func TestBalancedExtImprovesBalance(t *testing.T) {
+	// A matrix with a dense *column* block structure: the dense rows'
+	// blocks are mostly square/vertical, so plain Algorithm 1 is stuck.
+	m := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 600, Cols: 600, NNZ: 6000, Beta: 0.4,
+		DenseRows: 2, DenseMax: 300, Symmetric: true, Locality: 0.9,
+	}, 17)
+	const k = 16
+	yp := make([]int, m.Rows)
+	for i := range yp {
+		yp[i] = i * k / m.Rows
+	}
+	xp := append([]int(nil), yp...)
+
+	bal := Balanced(m, xp, yp, k, BalanceConfig{})
+	ext := BalancedExt(m, xp, yp, k, BalanceConfig{})
+	if got, want := maxLoad(ext), maxLoad(bal); got > want {
+		t.Errorf("A3 escalation worsened max load: %d > %d", got, want)
+	}
+	if !ext.IsS2D() {
+		t.Fatal("extended result not s2D")
+	}
+	t.Logf("1D-induced max load: balanced=%d extended=%d (avg %d)",
+		maxLoad(bal), maxLoad(ext), m.NNZ()/k)
+}
+
+func TestBalancedExtNeverIncreasesMaxLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		a := randomMatrix(r, 50+r.Intn(100), 50+r.Intn(100), 400+r.Intn(800))
+		k := 4 + r.Intn(8)
+		xp, yp := randomVecParts(r, a, k)
+		oneDMax := maxLoad(rowwise1D(a, xp, yp, k))
+		extMax := maxLoad(BalancedExt(a, xp, yp, k, BalanceConfig{}))
+		// Wlim may exceed the 1D max on easy instances; only the
+		// combination bound must hold.
+		wlim := int(float64(a.NNZ())/float64(k)*1.03) + 1
+		bound := oneDMax
+		if wlim > bound {
+			bound = wlim
+		}
+		if extMax > bound {
+			t.Fatalf("trial %d: extended max %d above bound %d", trial, extMax, bound)
+		}
+	}
+}
+
+func TestA3ExtraVolume(t *testing.T) {
+	// Block with 2 rows and 3 cols, all entries distinct coords:
+	// rows {0,0,1}, cols {0,1,2}: m̂(A)=2, n̂(A)=3.
+	b := &block{rows: []int{0, 0, 1}, cols: []int{0, 1, 2}, entries: []int{0, 1, 2}}
+	decomposeBlock(b)
+	// From A1 (cost n̂=3) to A3 (cost m̂=2): extra = -1 (a gain).
+	if got := b.a3ExtraVolume(1); got != -1 {
+		t.Errorf("extra from A1 = %d, want -1", got)
+	}
+	// Vertical block: 3 rows, 1 col: m̂=3, n̂=1. A3 extra from A1 = 2.
+	v := &block{rows: []int{0, 1, 2}, cols: []int{0, 0, 0}, entries: []int{0, 1, 2}}
+	decomposeBlock(v)
+	if got := v.a3ExtraVolume(1); got != 2 {
+		t.Errorf("vertical extra from A1 = %d, want 2", got)
+	}
+}
+
+func TestBalancedExtVolumeAtLeastOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 20; trial++ {
+		a := randomMatrix(r, 40+r.Intn(60), 40+r.Intn(60), 200+r.Intn(500))
+		k := 2 + r.Intn(6)
+		xp, yp := randomVecParts(r, a, k)
+		vOpt := Optimal(a, xp, yp, k).Comm().TotalVolume
+		vExt := BalancedExt(a, xp, yp, k, BalanceConfig{}).Comm().TotalVolume
+		if vExt < vOpt {
+			t.Fatalf("trial %d: extended volume %d below optimum %d", trial, vExt, vOpt)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/distrib"
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+// rowwise1D builds the 1D rowwise distribution for the same vector
+// partition (all nonzeros owned by their y part).
+func rowwise1D(a *sparse.CSR, xpart, ypart []int, k int) *distrib.Distribution {
+	return &distrib.Distribution{
+		A: a, K: k,
+		Owner: baseRowwiseOwner(a, ypart),
+		XPart: xpart, YPart: ypart,
+		Fused: true,
+	}
+}
+
+func randomMatrix(r *rand.Rand, rows, cols, nnz int) *sparse.CSR {
+	c := sparse.NewCOO(rows, cols)
+	for t := 0; t < nnz; t++ {
+		c.Add(r.Intn(rows), r.Intn(cols), 1+r.Float64())
+	}
+	return c.ToCSR()
+}
+
+func randomVecParts(r *rand.Rand, a *sparse.CSR, k int) (xp, yp []int) {
+	xp = make([]int, a.Cols)
+	yp = make([]int, a.Rows)
+	for j := range xp {
+		xp[j] = r.Intn(k)
+	}
+	for i := range yp {
+		yp[i] = r.Intn(k)
+	}
+	return
+}
+
+func TestOptimalIsS2D(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a := randomMatrix(r, 10+r.Intn(30), 10+r.Intn(30), r.Intn(200))
+		k := 2 + r.Intn(6)
+		xp, yp := randomVecParts(r, a, k)
+		d := Optimal(a, xp, yp, k)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !d.IsS2D() {
+			t.Fatalf("trial %d: Optimal violated the s2D property", trial)
+		}
+	}
+}
+
+func TestOptimalNeverWorseThan1D(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a := randomMatrix(r, 15+r.Intn(40), 15+r.Intn(40), r.Intn(400))
+		k := 2 + r.Intn(7)
+		xp, yp := randomVecParts(r, a, k)
+		vOpt := Optimal(a, xp, yp, k).Comm().TotalVolume
+		v1D := rowwise1D(a, xp, yp, k).Comm().TotalVolume
+		if vOpt > v1D {
+			t.Fatalf("trial %d: optimal volume %d > 1D volume %d", trial, vOpt, v1D)
+		}
+	}
+}
+
+// bruteBlockMin enumerates all 2^|entries| assignments of a block's
+// nonzeros to its row part or column part and returns the minimum
+// communication volume n̂(A^(ℓ)) + m̂(A^(k)).
+func bruteBlockMin(rows, cols []int) int {
+	n := len(rows)
+	best := 1 << 30
+	for mask := 0; mask < 1<<n; mask++ {
+		// Bit set: nonzero assigned to the column part k (partial y sent);
+		// clear: assigned to the row part ℓ (x needed).
+		rowSet := map[int]bool{}
+		colSet := map[int]bool{}
+		for t := 0; t < n; t++ {
+			if mask&(1<<t) != 0 {
+				rowSet[rows[t]] = true
+			} else {
+				colSet[cols[t]] = true
+			}
+		}
+		if v := len(rowSet) + len(colSet); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestOptimalMatchesBruteForcePerBlock(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		a := randomMatrix(r, 6+r.Intn(8), 6+r.Intn(8), 3+r.Intn(12))
+		k := 2 + r.Intn(3)
+		xp, yp := randomVecParts(r, a, k)
+		blocks := collectBlocks(a, xp, yp, k)
+		d := Optimal(a, xp, yp, k)
+		for _, b := range blocks {
+			if len(b.entries) > 14 {
+				continue
+			}
+			want := bruteBlockMin(b.rows, b.cols)
+			// Measure this block's realized volume: distinct columns with
+			// ℓ-owned nonzeros plus distinct rows with k-owned nonzeros.
+			colSet := map[int]bool{}
+			rowSet := map[int]bool{}
+			for t, p := range b.entries {
+				if d.Owner[p] == b.l {
+					colSet[b.cols[t]] = true
+				} else {
+					rowSet[b.rows[t]] = true
+				}
+			}
+			got := len(colSet) + len(rowSet)
+			if got != want {
+				t.Fatalf("trial %d block (%d,%d): volume %d, brute-force optimum %d",
+					trial, b.l, b.k, got, want)
+			}
+		}
+	}
+}
+
+func TestBalancedIsS2DAndRespectsVolumeBound(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		a := randomMatrix(r, 20+r.Intn(40), 20+r.Intn(40), 50+r.Intn(400))
+		k := 2 + r.Intn(6)
+		xp, yp := randomVecParts(r, a, k)
+		d := Balanced(a, xp, yp, k, BalanceConfig{})
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		v := d.Comm().TotalVolume
+		v1D := rowwise1D(a, xp, yp, k).Comm().TotalVolume
+		vOpt := Optimal(a, xp, yp, k).Comm().TotalVolume
+		if v > v1D {
+			t.Fatalf("trial %d: balanced volume %d > 1D %d", trial, v, v1D)
+		}
+		if v < vOpt {
+			t.Fatalf("trial %d: balanced volume %d below the optimum %d (impossible)", trial, v, vOpt)
+		}
+	}
+}
+
+func TestBalancedUnlimitedEqualsOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		a := randomMatrix(r, 20+r.Intn(30), 20+r.Intn(30), 50+r.Intn(300))
+		k := 2 + r.Intn(5)
+		xp, yp := randomVecParts(r, a, k)
+		d := Balanced(a, xp, yp, k, BalanceConfig{Wlim: 1 << 30})
+		vOpt := Optimal(a, xp, yp, k).Comm().TotalVolume
+		if v := d.Comm().TotalVolume; v != vOpt {
+			t.Fatalf("trial %d: unlimited Balanced volume %d != optimal %d", trial, v, vOpt)
+		}
+	}
+}
+
+func TestBalancedImprovesLoadOverOptimal(t *testing.T) {
+	// A matrix with one dense row: 1D rowwise overloads its owner; the
+	// balanced heuristic must not exceed max(W1D, Wlim), while Optimal may
+	// pile weight on x-side parts arbitrarily.
+	m := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 400, Cols: 400, NNZ: 3000, Beta: 0.5, DenseRows: 1, DenseMax: 200,
+	}, 6)
+	k := 8
+	yp := make([]int, m.Rows)
+	for i := range yp {
+		yp[i] = i * k / m.Rows
+	}
+	xp := append([]int(nil), yp...)
+
+	oneD := rowwise1D(m, xp, yp, k)
+	w1D := maxLoad(oneD)
+	bal := Balanced(m, xp, yp, k, BalanceConfig{})
+	wBal := maxLoad(bal)
+	if wBal > w1D {
+		t.Errorf("balanced max load %d exceeds 1D %d", wBal, w1D)
+	}
+	if !bal.IsS2D() {
+		t.Error("balanced result not s2D")
+	}
+}
+
+func maxLoad(d *distrib.Distribution) int {
+	max := 0
+	for _, w := range d.PartLoads() {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// TestS2DPatternMatches1D verifies the paper's first observation in §III:
+// s2D and 1D have identical communication patterns (the same set of
+// (sender, receiver) pairs) whenever they share the vector partition.
+func TestS2DPatternMatches1D(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		a := randomMatrix(r, 20+r.Intn(40), 20+r.Intn(40), 50+r.Intn(400))
+		k := 2 + r.Intn(6)
+		xp, yp := randomVecParts(r, a, k)
+
+		pairs := func(d *distrib.Distribution) map[int64]bool {
+			e, f := d.ExpandFold()
+			set := map[int64]bool{}
+			for key := range e.Vol {
+				set[key] = true
+			}
+			for key := range f.Vol {
+				set[key] = true
+			}
+			return set
+		}
+		p1 := pairs(rowwise1D(a, xp, yp, k))
+		p2 := pairs(Optimal(a, xp, yp, k))
+		if len(p1) != len(p2) {
+			t.Fatalf("trial %d: pattern sizes differ: 1D %d, s2D %d", trial, len(p1), len(p2))
+		}
+		for key := range p1 {
+			if !p2[key] {
+				t.Fatalf("trial %d: pair %d missing from s2D pattern", trial, key)
+			}
+		}
+	}
+}
+
+// TestS2DLatencyEquals1D: the fused s2D schedule has exactly as many
+// messages as 1D rowwise on the same vector partition.
+func TestS2DLatencyEquals1D(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	a := randomMatrix(r, 200, 200, 2000)
+	k := 8
+	xp, yp := randomVecParts(r, a, k)
+	c1 := rowwise1D(a, xp, yp, k).Comm()
+	c2 := Optimal(a, xp, yp, k).Comm()
+	if c1.TotalMsgs != c2.TotalMsgs {
+		t.Errorf("message counts differ: 1D %d, s2D %d", c1.TotalMsgs, c2.TotalMsgs)
+	}
+	if c1.MaxSendMsgs != c2.MaxSendMsgs {
+		t.Errorf("max send messages differ: 1D %d, s2D %d", c1.MaxSendMsgs, c2.MaxSendMsgs)
+	}
+}
+
+func TestCollectBlocksDiagonalExcluded(t *testing.T) {
+	a := randomMatrix(rand.New(rand.NewSource(9)), 30, 30, 200)
+	k := 4
+	yp := make([]int, 30)
+	for i := range yp {
+		yp[i] = i % k
+	}
+	xp := append([]int(nil), yp...)
+	for _, b := range collectBlocks(a, xp, yp, k) {
+		if b.l == b.k {
+			t.Fatal("diagonal block collected")
+		}
+		for t2 := range b.entries {
+			if yp[b.rows[t2]] != b.l || xp[b.cols[t2]] != b.k {
+				t.Fatal("entry in wrong block")
+			}
+		}
+	}
+}
+
+func TestGainNonNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 30; trial++ {
+		a := randomMatrix(r, 10+r.Intn(30), 10+r.Intn(30), r.Intn(300))
+		k := 2 + r.Intn(5)
+		xp, yp := randomVecParts(r, a, k)
+		for _, b := range collectBlocks(a, xp, yp, k) {
+			if b.gain() < 0 {
+				t.Fatalf("negative gain %d (H is %dx%d)", b.gain(), b.mH, b.nH)
+			}
+		}
+	}
+}

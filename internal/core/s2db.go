@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/distrib"
+)
+
+// Mesh maps K parts onto a P_r × P_c virtual processor mesh, the device
+// the paper borrows from Boman et al. to bound the per-processor message
+// count by O(√K). Part k sits at mesh coordinates (RowOf(k), ColOf(k)).
+type Mesh struct {
+	Pr, Pc int
+}
+
+// NewMesh chooses P_r as the divisor of k closest to √k (from below), so
+// the mesh is as square as possible and every mesh cell hosts the same
+// number of parts.
+func NewMesh(k int) Mesh {
+	best := 1
+	for d := 1; d*d <= k; d++ {
+		if k%d == 0 {
+			best = d
+		}
+	}
+	return Mesh{Pr: best, Pc: k / best}
+}
+
+// RowOf returns the mesh row of part k.
+func (m Mesh) RowOf(k int) int { return k / m.Pc }
+
+// ColOf returns the mesh column of part k.
+func (m Mesh) ColOf(k int) int { return k % m.Pc }
+
+// PartAt returns the part at mesh coordinates (r, c).
+func (m Mesh) PartAt(r, c int) int { return r*m.Pc + c }
+
+// String renders the mesh as "PrxPc".
+func (m Mesh) String() string { return fmt.Sprintf("%dx%d", m.Pr, m.Pc) }
+
+// S2DBComm computes the communication statistics of the latency-bounded
+// s2D-b schedule (§VI-B1) for an s2D distribution d on the given mesh.
+//
+// The fused packet from P_k to P_ℓ is routed through the intermediate
+// processor at (RowOf(ℓ), ColOf(k)): phase 1 travels within P_k's mesh
+// column, phase 2 within P_ℓ's mesh row. Payloads combine at the
+// intermediates — an x_j needed by several destinations in the same mesh
+// row is shipped there once, and partial y results for the same y_i
+// arriving from different sources in the same mesh column are summed into
+// one word before forwarding. Each processor therefore sends fewer than
+// P_r messages in phase 1 and fewer than P_c in phase 2, at the price of
+// a volume increase over plain s2D (the paper observes ~1.2×).
+func S2DBComm(d *distrib.Distribution, mesh Mesh) distrib.CommStats {
+	phase1 := distrib.NewMsgAccum(d.K)
+	phase2 := distrib.NewMsgAccum(d.K)
+
+	type hop1Key struct{ src, mid, item int }
+	type hop2Key struct{ mid, dst, item int }
+	seen1 := make(map[hop1Key]struct{})
+	seen2 := make(map[hop2Key]struct{})
+
+	route := func(src, dst, itemID int) {
+		mid := mesh.PartAt(mesh.RowOf(dst), mesh.ColOf(src))
+		if k1 := (hop1Key{src, mid, itemID}); src != mid {
+			if _, dup := seen1[k1]; !dup {
+				seen1[k1] = struct{}{}
+				phase1.Add(src, mid, 1)
+			}
+		}
+		if k2 := (hop2Key{mid, dst, itemID}); mid != dst {
+			if _, dup := seen2[k2]; !dup {
+				seen2[k2] = struct{}{}
+				phase2.Add(mid, dst, 1)
+			}
+		}
+	}
+
+	a := d.A
+	// x traffic: x_j goes from its owner to every distinct other part
+	// owning a nonzero in column j. Item ids: columns.
+	// y traffic: a partial for y_i goes from every distinct other owner in
+	// row i to YPart[i]. Item ids: Cols + row index (distinct space).
+	mark := make(map[int]struct{}, 8)
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		clear(mark)
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			o := d.Owner[p]
+			p++
+			if o == d.YPart[i] {
+				continue
+			}
+			if _, dup := mark[o]; !dup {
+				mark[o] = struct{}{}
+				route(o, d.YPart[i], a.Cols+i)
+			}
+		}
+	}
+	csc := a.ToCSC()
+	ownerByCol := make([]int, a.NNZ())
+	{
+		pos := make([]int, a.Cols)
+		copy(pos, csc.ColPtr[:a.Cols])
+		pp := 0
+		for i := 0; i < a.Rows; i++ {
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				j := a.ColIdx[q]
+				ownerByCol[pos[j]] = d.Owner[pp]
+				pos[j]++
+				pp++
+			}
+		}
+	}
+	for j := 0; j < a.Cols; j++ {
+		clear(mark)
+		for t := csc.ColPtr[j]; t < csc.ColPtr[j+1]; t++ {
+			o := ownerByCol[t]
+			if o == d.XPart[j] {
+				continue
+			}
+			if _, dup := mark[o]; !dup {
+				mark[o] = struct{}{}
+				route(d.XPart[j], o, j)
+			}
+		}
+	}
+	return distrib.CombineStats(d.K, phase1, phase2)
+}

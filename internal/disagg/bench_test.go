@@ -1,0 +1,35 @@
+package disagg
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkSplit(b *testing.B) {
+	a := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 50000, Cols: 50000, NNZ: 400000, Beta: 0.5,
+		DenseRows: 3, DenseMax: 20000, Symmetric: true,
+	}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Split(a, 128)
+	}
+}
+
+func BenchmarkDisaggMulVec(b *testing.B) {
+	a := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 20000, Cols: 20000, NNZ: 200000, Beta: 0.5,
+		DenseRows: 2, DenseMax: 8000, Symmetric: true,
+	}, 1)
+	d := Split(a, 128)
+	x := make([]float64, a.Cols)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i % 13)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.MulVec(x, y)
+	}
+}

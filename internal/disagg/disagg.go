@@ -1,0 +1,220 @@
+// Package disagg implements the disaggregation approach of Kuhlemann and
+// Vassilevski (SIAM J. Sci. Comput. 2013), discussed in §V of the paper:
+// high-degree rows and columns of a scale-free matrix are split into
+// bounded-degree copies, embedding A into a larger matrix B with
+// duplication operators so that y ← Ax is computed as the triple product
+//
+//	y ← Qrᵀ (B (Qc x)),
+//
+// where Qc duplicates split input entries across their copies and Qrᵀ sums
+// the partial results of split output rows. Because every row and column
+// of B has at most dlim nonzeros, any 1D partition of B bounds the number
+// of SpMV messages per processor — an alternative to the paper's s2D-b for
+// taming latency, at the price of extra duplication traffic.
+package disagg
+
+import (
+	"fmt"
+
+	"repro/internal/distrib"
+	"repro/internal/sparse"
+)
+
+// Disaggregated holds the embedded matrix and the copy maps.
+type Disaggregated struct {
+	B *sparse.CSR
+	// RowOf[r'] is the original row of B row r'; ColOf[c'] likewise.
+	RowOf, ColOf []int
+	// CopiesOfRow[i] lists the B rows copying original row i; CopiesOfCol
+	// likewise for columns.
+	CopiesOfRow, CopiesOfCol [][]int
+	OrigRows, OrigCols       int
+	DLim                     int
+}
+
+// Split embeds a into a bounded-degree matrix: any row with more than dlim
+// nonzeros is divided into ⌈deg/dlim⌉ row copies, and any column likewise
+// into column copies (column splitting is applied after row splitting, on
+// the intermediate matrix).
+func Split(a *sparse.CSR, dlim int) *Disaggregated {
+	if dlim < 2 {
+		panic("disagg: dlim must be at least 2")
+	}
+	// Pass 1 — split rows.
+	type entry struct {
+		r, c int
+		v    float64
+	}
+	var entries []entry
+	rowOf := []int{}
+	copiesOfRow := make([][]int, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		cols := a.RowCols(i)
+		vals := a.RowVals(i)
+		if len(cols) == 0 {
+			// Keep one (empty) copy so y_i exists.
+			rid := len(rowOf)
+			rowOf = append(rowOf, i)
+			copiesOfRow[i] = []int{rid}
+			continue
+		}
+		for start := 0; start < len(cols); start += dlim {
+			rid := len(rowOf)
+			rowOf = append(rowOf, i)
+			copiesOfRow[i] = append(copiesOfRow[i], rid)
+			end := start + dlim
+			if end > len(cols) {
+				end = len(cols)
+			}
+			for t := start; t < end; t++ {
+				entries = append(entries, entry{r: rid, c: cols[t], v: vals[t]})
+			}
+		}
+	}
+	// Pass 2 — split columns of the intermediate matrix.
+	colDeg := make([]int, a.Cols)
+	for _, e := range entries {
+		colDeg[e.c]++
+	}
+	colOf := []int{}
+	copiesOfCol := make([][]int, a.Cols)
+	colNext := make([]int, a.Cols) // entries assigned to current copy
+	colCur := make([]int, a.Cols)  // current copy id per column
+	for j := 0; j < a.Cols; j++ {
+		cid := len(colOf)
+		colOf = append(colOf, j)
+		copiesOfCol[j] = []int{cid}
+		colCur[j] = cid
+	}
+	c := sparse.NewCOO(len(rowOf), 0)
+	for _, e := range entries {
+		j := e.c
+		if colNext[j] == dlim {
+			cid := len(colOf)
+			colOf = append(colOf, j)
+			copiesOfCol[j] = append(copiesOfCol[j], cid)
+			colCur[j] = cid
+			colNext[j] = 0
+		}
+		colNext[j]++
+		c.Add(e.r, colCur[j], e.v)
+	}
+	c.Cols = len(colOf)
+	return &Disaggregated{
+		B:           c.ToCSR(),
+		RowOf:       rowOf,
+		ColOf:       colOf,
+		CopiesOfRow: copiesOfRow,
+		CopiesOfCol: copiesOfCol,
+		OrigRows:    a.Rows,
+		OrigCols:    a.Cols,
+		DLim:        dlim,
+	}
+}
+
+// MulVec computes y ← Qrᵀ(B(Qc x)) serially. It must agree with the
+// original matrix's MulVec.
+func (d *Disaggregated) MulVec(x, y []float64) {
+	if len(x) != d.OrigCols || len(y) != d.OrigRows {
+		panic(fmt.Sprintf("disagg: dimension mismatch %d/%d", len(x), len(y)))
+	}
+	// Qc x: duplicate.
+	bx := make([]float64, d.B.Cols)
+	for c, j := range d.ColOf {
+		bx[c] = x[j]
+	}
+	by := make([]float64, d.B.Rows)
+	d.B.MulVec(bx, by)
+	// Qrᵀ: sum copies.
+	for i := range y {
+		y[i] = 0
+	}
+	for r, i := range d.RowOf {
+		y[i] += by[r]
+	}
+}
+
+// HomeVectors derives home parts for the original vector entries from a
+// partition of B's rows: y_i lives with its first row copy; x_j lives with
+// the first B row consuming its first column copy (round-robin for empty
+// columns).
+func (d *Disaggregated) HomeVectors(bParts []int, k int) (homeX, homeY []int) {
+	homeY = make([]int, d.OrigRows)
+	for i := 0; i < d.OrigRows; i++ {
+		homeY[i] = bParts[d.CopiesOfRow[i][0]]
+	}
+	homeX = make([]int, d.OrigCols)
+	csc := d.B.ToCSC()
+	for j := 0; j < d.OrigCols; j++ {
+		cid := d.CopiesOfCol[j][0]
+		rows := csc.ColRows(cid)
+		if len(rows) == 0 {
+			homeX[j] = j % k
+			continue
+		}
+		homeX[j] = bParts[rows[0]]
+	}
+	return homeX, homeY
+}
+
+// MaxDegree returns the maximum row and column degree of B (both ≤ DLim by
+// construction).
+func (d *Disaggregated) MaxDegree() (rowMax, colMax int) {
+	s := d.B.ComputeStats()
+	return s.DmaxRow, s.DmaxCol
+}
+
+// Comm evaluates the communication of the disaggregated SpMV under a 1D
+// rowwise partition of B (rows of B and their y copies together, bParts),
+// with original vector entries homed as in homeX/homeY. Three phases:
+//
+//  1. duplication: x_j travels from homeX[j] to every part holding one of
+//     its column copies' nonzero owners;
+//  2. the B SpMV expand (copy values to B-nonzero owners) — free under 1D
+//     rowwise of B because each column copy's consumers are its own rows;
+//  3. collection: each part holding row copies of i sends one partial to
+//     homeY[i].
+//
+// The per-processor message count is bounded because every original row
+// or column has at most ⌈deg/dlim⌉ copies.
+func (d *Disaggregated) Comm(bParts []int, homeX, homeY []int, k int) distrib.CommStats {
+	if len(bParts) != d.B.Rows {
+		panic("disagg: bParts must partition the rows of B")
+	}
+	dup := distrib.NewMsgAccum(k)
+	col := distrib.NewMsgAccum(k)
+
+	// Owner part of each column copy's consumers: under 1D rowwise of B,
+	// x copy c is needed by the parts of B rows with a nonzero in c.
+	csc := d.B.ToCSC()
+	seen := make(map[[2]int]struct{})
+	for cpy := 0; cpy < d.B.Cols; cpy++ {
+		j := d.ColOf[cpy]
+		for _, r := range csc.ColRows(cpy) {
+			p := bParts[r]
+			if p == homeX[j] {
+				continue
+			}
+			key := [2]int{j, p}
+			if _, dupSeen := seen[key]; !dupSeen {
+				seen[key] = struct{}{}
+				dup.Add(homeX[j], p, 1)
+			}
+		}
+	}
+	// Collection: parts holding copies of row i each send one partial.
+	seenY := make(map[[2]int]struct{})
+	for r := 0; r < d.B.Rows; r++ {
+		i := d.RowOf[r]
+		p := bParts[r]
+		if p == homeY[i] {
+			continue
+		}
+		key := [2]int{i, p}
+		if _, dupSeen := seenY[key]; !dupSeen {
+			seenY[key] = struct{}{}
+			col.Add(p, homeY[i], 1)
+		}
+	}
+	return distrib.CombineStats(k, dup, col)
+}

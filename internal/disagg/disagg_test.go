@@ -1,0 +1,138 @@
+package disagg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+func randomMatrix(r *rand.Rand, rows, cols, nnz int) *sparse.CSR {
+	c := sparse.NewCOO(rows, cols)
+	for t := 0; t < nnz; t++ {
+		c.Add(r.Intn(rows), r.Intn(cols), r.Float64()+0.5)
+	}
+	return c.ToCSR()
+}
+
+func TestSplitBoundsDegrees(t *testing.T) {
+	a := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 500, Cols: 500, NNZ: 4000, Beta: 0.5,
+		DenseRows: 2, DenseMax: 200, Symmetric: true,
+	}, 1)
+	for _, dlim := range []int{4, 16, 64} {
+		d := Split(a, dlim)
+		rowMax, colMax := d.MaxDegree()
+		if rowMax > dlim {
+			t.Errorf("dlim=%d: row degree %d exceeds bound", dlim, rowMax)
+		}
+		if colMax > dlim {
+			t.Errorf("dlim=%d: col degree %d exceeds bound", dlim, colMax)
+		}
+		if d.B.NNZ() != a.NNZ() {
+			t.Errorf("dlim=%d: nnz changed %d -> %d", dlim, a.NNZ(), d.B.NNZ())
+		}
+	}
+}
+
+func TestSplitCopyCounts(t *testing.T) {
+	// Row with 10 nonzeros, dlim 4 -> 3 copies.
+	c := sparse.NewCOO(2, 10)
+	for j := 0; j < 10; j++ {
+		c.Add(0, j, 1)
+	}
+	c.Add(1, 0, 1)
+	a := c.ToCSR()
+	d := Split(a, 4)
+	if got := len(d.CopiesOfRow[0]); got != 3 {
+		t.Errorf("copies of dense row = %d, want 3", got)
+	}
+	if got := len(d.CopiesOfRow[1]); got != 1 {
+		t.Errorf("copies of sparse row = %d, want 1", got)
+	}
+}
+
+func TestMulVecMatchesOriginal(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		a := randomMatrix(r, 30+r.Intn(80), 30+r.Intn(80), 100+r.Intn(600))
+		dlim := 2 + r.Intn(12)
+		d := Split(a, dlim)
+		x := make([]float64, a.Cols)
+		for i := range x {
+			x[i] = r.Float64()*2 - 1
+		}
+		want := make([]float64, a.Rows)
+		a.MulVec(x, want)
+		got := make([]float64, a.Rows)
+		d.MulVec(x, got)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-10*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d dlim %d: y[%d] = %v, want %v", trial, dlim, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulVecEmptyRows(t *testing.T) {
+	c := sparse.NewCOO(3, 3)
+	c.Add(0, 0, 2)
+	a := c.ToCSR() // rows 1,2 empty
+	d := Split(a, 4)
+	x := []float64{1, 1, 1}
+	y := make([]float64, 3)
+	d.MulVec(x, y)
+	if y[0] != 2 || y[1] != 0 || y[2] != 0 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func TestCommBoundsMessages(t *testing.T) {
+	// A matrix with one full row: under plain 1D its owner receives ~K
+	// messages; after disaggregation each part's fan-in/out is bounded by
+	// the number of copies it hosts.
+	a := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 800, Cols: 800, NNZ: 6000, Beta: 0.4,
+		DenseRows: 1, DenseMax: 700, Symmetric: true, Locality: 0.9,
+	}, 3)
+	const k = 16
+	const dlim = 64
+	d := Split(a, dlim)
+
+	// Contiguous partition of B rows by nnz weight; home vectors follow
+	// the first copy of each original index.
+	weights := make([]int, d.B.Rows)
+	for r := 0; r < d.B.Rows; r++ {
+		weights[r] = d.B.RowNNZ(r)
+	}
+	bParts := order.ContiguousParts(d.B.Rows, k, weights)
+	homeX := make([]int, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		homeX[j] = bParts[d.CopiesOfRow[j%a.Rows][0]]
+	}
+	homeY := make([]int, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		homeY[i] = bParts[d.CopiesOfRow[i][0]]
+	}
+	cs := d.Comm(bParts, homeX, homeY, k)
+	if cs.TotalMsgs == 0 {
+		t.Fatal("no communication measured")
+	}
+	// The dense row has ceil(700/64) = 11 copies: its collection fan-in is
+	// at most 11 instead of k-1.
+	if cs.Phases[1].MaxRecvMsgs > 12 {
+		t.Errorf("collection fan-in %d exceeds copy bound", cs.Phases[1].MaxRecvMsgs)
+	}
+}
+
+func TestSplitPanicsOnBadDlim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split accepted dlim < 2")
+		}
+	}()
+	Split(randomMatrix(rand.New(rand.NewSource(1)), 5, 5, 10), 1)
+}

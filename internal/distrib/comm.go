@@ -1,0 +1,207 @@
+package distrib
+
+// PhaseStats summarizes one communication phase.
+type PhaseStats struct {
+	TotalVolume  int // words sent by all processors
+	MaxSendVol   int // largest per-processor send volume
+	MaxRecvVol   int // largest per-processor receive volume
+	TotalMsgs    int // number of point-to-point messages
+	MaxSendMsgs  int // largest per-processor outgoing message count
+	MaxRecvMsgs  int // largest per-processor incoming message count
+	AvgSendMsgs  float64
+	SendersCount int // processors that send at least one message
+}
+
+// CommStats aggregates the communication requirements of a distribution
+// under its schedule (one fused phase, or expand+fold).
+type CommStats struct {
+	Phases []PhaseStats
+	// Totals across phases.
+	TotalVolume int
+	TotalMsgs   int
+	MaxSendMsgs int // max over processors of total messages sent (all phases)
+	AvgSendMsgs float64
+	MaxSendVol  int // max over processors of total words sent (all phases)
+}
+
+// MsgAccum accumulates per-(source,destination) message volumes sparsely.
+// It is exported so that routed schedules (s2D-b) in other packages can
+// produce PhaseStats with the same accounting.
+type MsgAccum struct {
+	K   int
+	Vol map[int64]int
+}
+
+// NewMsgAccum returns an empty accumulator for k processors.
+func NewMsgAccum(k int) *MsgAccum { return &MsgAccum{K: k, Vol: make(map[int64]int)} }
+
+// Add records words sent from processor `from` to `to`; self-sends are
+// ignored.
+func (m *MsgAccum) Add(from, to, words int) {
+	if from == to {
+		return
+	}
+	m.Vol[int64(from)*int64(m.K)+int64(to)] += words
+}
+
+// Merge adds all of o's traffic into m.
+func (m *MsgAccum) Merge(o *MsgAccum) {
+	for key, v := range o.Vol {
+		m.Vol[key] += v
+	}
+}
+
+// Stats summarizes the accumulated traffic as one phase.
+func (m *MsgAccum) Stats() PhaseStats {
+	var st PhaseStats
+	sendVol := make(map[int]int)
+	recvVol := make(map[int]int)
+	sendMsg := make(map[int]int)
+	recvMsg := make(map[int]int)
+	for key, words := range m.Vol {
+		from := int(key / int64(m.K))
+		to := int(key % int64(m.K))
+		st.TotalVolume += words
+		st.TotalMsgs++
+		sendVol[from] += words
+		recvVol[to] += words
+		sendMsg[from]++
+		recvMsg[to]++
+	}
+	st.MaxSendVol = maxVal(sendVol)
+	st.MaxRecvVol = maxVal(recvVol)
+	st.MaxSendMsgs = maxVal(sendMsg)
+	st.MaxRecvMsgs = maxVal(recvMsg)
+	st.SendersCount = len(sendMsg)
+	if m.K > 0 {
+		st.AvgSendMsgs = float64(st.TotalMsgs) / float64(m.K)
+	}
+	return st
+}
+
+func maxVal(m map[int]int) int {
+	max := 0
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// CombineStats aggregates per-phase statistics into totals. Per-processor
+// maxima are taken over the per-phase sums.
+func CombineStats(k int, accums ...*MsgAccum) CommStats {
+	var cs CommStats
+	perProcMsgs := make(map[int]int)
+	perProcVol := make(map[int]int)
+	for _, acc := range accums {
+		ph := acc.Stats()
+		cs.Phases = append(cs.Phases, ph)
+		cs.TotalVolume += ph.TotalVolume
+		cs.TotalMsgs += ph.TotalMsgs
+		for key, words := range acc.Vol {
+			from := int(key / int64(acc.K))
+			perProcVol[from] += words
+			perProcMsgs[from]++
+		}
+	}
+	cs.MaxSendMsgs = maxVal(perProcMsgs)
+	cs.MaxSendVol = maxVal(perProcVol)
+	if k > 0 {
+		cs.AvgSendMsgs = float64(cs.TotalMsgs) / float64(k)
+	}
+	return cs
+}
+
+// ExpandFold computes the two fundamental message sets of parallel SpMV:
+//
+//   - expand: x_j travels from XPart[j] to every other part owning a
+//     nonzero in column j;
+//   - fold: a partial result for y_i travels from every other part owning
+//     a nonzero in row i to YPart[i].
+func (d *Distribution) ExpandFold() (expand, fold *MsgAccum) {
+	expand = NewMsgAccum(d.K)
+	fold = NewMsgAccum(d.K)
+
+	// Fold: per row, each distinct non-YPart owner sends one partial.
+	mark := make(map[int]struct{}, 8)
+	p := 0
+	for i := 0; i < d.A.Rows; i++ {
+		clear(mark)
+		for q := d.A.RowPtr[i]; q < d.A.RowPtr[i+1]; q++ {
+			o := d.Owner[p]
+			p++
+			if o == d.YPart[i] {
+				continue
+			}
+			if _, dup := mark[o]; !dup {
+				mark[o] = struct{}{}
+				fold.Add(o, d.YPart[i], 1)
+			}
+		}
+	}
+	// Expand: per column, each distinct non-XPart owner receives x_j once.
+	ownerByCol, colPtr := colOrderOwners(d)
+	for j := 0; j < d.A.Cols; j++ {
+		clear(mark)
+		for t := colPtr[j]; t < colPtr[j+1]; t++ {
+			o := ownerByCol[t]
+			if o == d.XPart[j] {
+				continue
+			}
+			if _, dup := mark[o]; !dup {
+				mark[o] = struct{}{}
+				expand.Add(d.XPart[j], o, 1)
+			}
+		}
+	}
+	return expand, fold
+}
+
+// colOrderOwners returns Owner reordered to column-major traversal along
+// with the column pointer array.
+func colOrderOwners(d *Distribution) ([]int, []int) {
+	a := d.A
+	colPtr := make([]int, a.Cols+1)
+	for _, j := range a.ColIdx {
+		colPtr[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		colPtr[j+1] += colPtr[j]
+	}
+	pos := make([]int, a.Cols)
+	copy(pos, colPtr[:a.Cols])
+	out := make([]int, a.NNZ())
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			out[pos[j]] = d.Owner[p]
+			pos[j]++
+			p++
+		}
+	}
+	return out, colPtr
+}
+
+// Comm computes the communication statistics of d under its schedule.
+//
+// Two-phase (Fused=false): phase 0 is expand, phase 1 is fold.
+//
+// Fused (Fused=true): the expand and fold message sets are merged —
+// processor k sends processor ℓ one packet containing both the x entries ℓ
+// needs from k and the partial y results k precomputed for ℓ (the paper's
+// Expand-and-Fold). The volume is unchanged; the message count drops to
+// the number of nonempty (k,ℓ) pairs, identical to 1D rowwise whenever the
+// vector partitions agree (§III, first observation).
+func (d *Distribution) Comm() CommStats {
+	expand, fold := d.ExpandFold()
+	if d.Fused {
+		merged := NewMsgAccum(d.K)
+		merged.Merge(expand)
+		merged.Merge(fold)
+		return CombineStats(d.K, merged)
+	}
+	return CombineStats(d.K, expand, fold)
+}

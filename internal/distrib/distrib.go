@@ -1,0 +1,113 @@
+// Package distrib defines the common data-distribution representation
+// shared by every partitioning method in this repository, and the quality
+// metrics the paper reports: computational load imbalance, total and
+// maximum communication volume, and per-processor message (latency) counts.
+//
+// A Distribution assigns every stored nonzero of A to an owner processor
+// and every input/output vector entry to a part. All methods — 1D, 2D
+// fine-grain, semi-2D, and the latency-bounded variants — reduce to this
+// form; what differs is the communication schedule, captured by Fused.
+package distrib
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// Distribution is a K-way data partition for y ← Ax. Owner is indexed in
+// CSR order (Owner[p] owns the p-th stored nonzero of A); XPart and YPart
+// give the owners of input and output vector entries.
+type Distribution struct {
+	A     *sparse.CSR
+	K     int
+	Owner []int
+	XPart []int
+	YPart []int
+	// Fused marks distributions executed with the paper's single
+	// Expand-and-Fold phase. Requires the s2D property (Validate checks
+	// it). Non-fused distributions use the standard two-phase schedule.
+	Fused bool
+}
+
+// Validate checks structural consistency, and — for fused distributions —
+// the s2D property: every nonzero is owned by the part holding its x or
+// its y entry.
+func (d *Distribution) Validate() error {
+	if len(d.Owner) != d.A.NNZ() {
+		return fmt.Errorf("distrib: Owner has %d entries for %d nonzeros", len(d.Owner), d.A.NNZ())
+	}
+	if len(d.XPart) != d.A.Cols || len(d.YPart) != d.A.Rows {
+		return fmt.Errorf("distrib: vector partition sizes %d/%d for %dx%d matrix",
+			len(d.XPart), len(d.YPart), d.A.Rows, d.A.Cols)
+	}
+	check := func(name string, ps []int) error {
+		for i, p := range ps {
+			if p < 0 || p >= d.K {
+				return fmt.Errorf("distrib: %s[%d] = %d outside [0,%d)", name, i, p, d.K)
+			}
+		}
+		return nil
+	}
+	if err := check("Owner", d.Owner); err != nil {
+		return err
+	}
+	if err := check("XPart", d.XPart); err != nil {
+		return err
+	}
+	if err := check("YPart", d.YPart); err != nil {
+		return err
+	}
+	if d.Fused {
+		if bad := d.countNonS2D(); bad > 0 {
+			return fmt.Errorf("distrib: fused distribution violates the s2D property on %d nonzeros", bad)
+		}
+	}
+	return nil
+}
+
+// countNonS2D returns the number of nonzeros owned by a part holding
+// neither the x nor the y entry (the paper's computational group (iv)).
+func (d *Distribution) countNonS2D() int {
+	bad := 0
+	p := 0
+	for i := 0; i < d.A.Rows; i++ {
+		for q := d.A.RowPtr[i]; q < d.A.RowPtr[i+1]; q++ {
+			j := d.A.ColIdx[q]
+			if o := d.Owner[p]; o != d.XPart[j] && o != d.YPart[i] {
+				bad++
+			}
+			p++
+		}
+	}
+	return bad
+}
+
+// IsS2D reports whether the distribution satisfies the semi-2D constraint.
+func (d *Distribution) IsS2D() bool { return d.countNonS2D() == 0 }
+
+// PartLoads returns the number of nonzeros owned by each part — the
+// computational load model used throughout the paper (eq. 7).
+func (d *Distribution) PartLoads() []int {
+	w := make([]int, d.K)
+	for _, o := range d.Owner {
+		w[o]++
+	}
+	return w
+}
+
+// LoadImbalance returns max/avg − 1 over part loads (the paper's LI).
+func (d *Distribution) LoadImbalance() float64 {
+	w := d.PartLoads()
+	var sum, max int
+	for _, x := range w {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max)/(float64(sum)/float64(d.K)) - 1
+}

@@ -1,0 +1,213 @@
+package distrib
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// tiny returns the 3x3 matrix
+//
+//	[a .. a02]
+//	[.. a11 .]
+//	[a20 . a22]
+//
+// with a convenient hand-checkable structure.
+func tiny() *sparse.CSR {
+	c := sparse.NewCOO(3, 3)
+	c.Add(0, 0, 1)
+	c.Add(0, 2, 2)
+	c.Add(1, 1, 3)
+	c.Add(2, 0, 4)
+	c.Add(2, 2, 5)
+	return c.ToCSR()
+}
+
+func TestValidateCatchesSizeErrors(t *testing.T) {
+	a := tiny()
+	d := &Distribution{A: a, K: 2, Owner: []int{0}, XPart: []int{0, 0, 0}, YPart: []int{0, 0, 0}}
+	if err := d.Validate(); err == nil {
+		t.Error("accepted short Owner")
+	}
+	d2 := &Distribution{A: a, K: 2, Owner: []int{0, 0, 0, 0, 0}, XPart: []int{0, 0}, YPart: []int{0, 0, 0}}
+	if err := d2.Validate(); err == nil {
+		t.Error("accepted short XPart")
+	}
+	d3 := &Distribution{A: a, K: 2, Owner: []int{0, 0, 5, 0, 0}, XPart: []int{0, 0, 0}, YPart: []int{0, 0, 0}}
+	if err := d3.Validate(); err == nil {
+		t.Error("accepted out-of-range owner")
+	}
+}
+
+func TestValidateEnforcesS2DWhenFused(t *testing.T) {
+	a := tiny()
+	// Nonzero (0,2): owner 1, XPart[2] = 0, YPart[0] = 0 -> violates s2D.
+	d := &Distribution{
+		A: a, K: 2,
+		Owner: []int{0, 1, 0, 0, 0},
+		XPart: []int{0, 0, 0},
+		YPart: []int{0, 0, 0},
+		Fused: true,
+	}
+	if err := d.Validate(); err == nil {
+		t.Error("fused distribution with group-(iv) nonzero accepted")
+	}
+	d.Fused = false
+	if err := d.Validate(); err != nil {
+		t.Errorf("two-phase distribution rejected: %v", err)
+	}
+	if d.IsS2D() {
+		t.Error("IsS2D true for violating distribution")
+	}
+}
+
+func TestPartLoadsAndImbalance(t *testing.T) {
+	a := tiny()
+	d := &Distribution{A: a, K: 2, Owner: []int{0, 0, 0, 1, 1}, XPart: []int{0, 0, 1}, YPart: []int{0, 0, 1}}
+	w := d.PartLoads()
+	if w[0] != 3 || w[1] != 2 {
+		t.Fatalf("loads = %v", w)
+	}
+	// max 3, avg 2.5 -> 0.2
+	if li := d.LoadImbalance(); li < 0.19 || li > 0.21 {
+		t.Errorf("LI = %v, want 0.2", li)
+	}
+}
+
+func TestCommHandComputed(t *testing.T) {
+	a := tiny()
+	// K=2. Rows 0,1 -> P0; row 2 -> P1. x: 0,1 -> P0; 2 -> P1.
+	// Owners rowwise: (0,0)=0 (0,2)=0 (1,1)=0 (2,0)=1 (2,2)=1.
+	d := &Distribution{
+		A: a, K: 2,
+		Owner: []int{0, 0, 0, 1, 1},
+		XPart: []int{0, 0, 1},
+		YPart: []int{0, 0, 1},
+	}
+	// Expand: col0: owners {0 (local), 1} -> x0 P0->P1 (1 word).
+	// col1: owner 0 local. col2: owners {0,1}, XPart=1 -> x2 P1->P0.
+	// Fold: all nonzeros owned by their row part -> none.
+	cs := d.Comm()
+	if cs.TotalVolume != 2 {
+		t.Errorf("volume = %d, want 2", cs.TotalVolume)
+	}
+	if cs.TotalMsgs != 2 {
+		t.Errorf("messages = %d, want 2 (P0->P1 and P1->P0)", cs.TotalMsgs)
+	}
+	if len(cs.Phases) != 2 {
+		t.Errorf("phases = %d, want 2 (unfused)", len(cs.Phases))
+	}
+	if cs.Phases[1].TotalVolume != 0 {
+		t.Errorf("fold volume = %d, want 0", cs.Phases[1].TotalVolume)
+	}
+}
+
+func TestCommFusedMergesMessages(t *testing.T) {
+	a := tiny()
+	// Make nonzero (2,0) owned by P0 (x side): fold traffic P0->P1 for y2,
+	// expand traffic for x2 P1->P0 remains. Fused: the P0->P1 x0 message
+	// and P0->P1 partial-y2 combine into one message.
+	d := &Distribution{
+		A: a, K: 2,
+		Owner: []int{0, 0, 0, 0, 1},
+		XPart: []int{0, 0, 1},
+		YPart: []int{0, 0, 1},
+		Fused: true,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cs := d.Comm()
+	// Volume: x0 P0->P1 (needed by owner... check: col0 owners: (0,0)=P0
+	// local to XPart0; (2,0)=P0 local -> no expand for x0!
+	// col2: (0,2) owner 0, XPart2=1 -> x2: P1->P0. (2,2) owner 1 local.
+	// Fold: row2: (2,0) owner 0 != YPart2=1 -> partial P0->P1.
+	// Total volume 2; messages: P1->P0 (x2), P0->P1 (partial y2) -> 2.
+	if cs.TotalVolume != 2 {
+		t.Errorf("volume = %d, want 2", cs.TotalVolume)
+	}
+	if cs.TotalMsgs != 2 {
+		t.Errorf("messages = %d, want 2", cs.TotalMsgs)
+	}
+	if len(cs.Phases) != 1 {
+		t.Errorf("phases = %d, want 1 (fused)", len(cs.Phases))
+	}
+}
+
+func TestFusedVolumeEqualsUnfused(t *testing.T) {
+	// Fusing merges messages but never changes the volume.
+	r := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 20+r.Intn(50), 20+r.Intn(50)
+		c := sparse.NewCOO(rows, cols)
+		for tt := 0; tt < 50+r.Intn(300); tt++ {
+			c.Add(r.Intn(rows), r.Intn(cols), 1)
+		}
+		a := c.ToCSR()
+		k := 2 + r.Intn(6)
+		d := &Distribution{A: a, K: k, Owner: make([]int, a.NNZ()),
+			XPart: make([]int, cols), YPart: make([]int, rows)}
+		for j := range d.XPart {
+			d.XPart[j] = r.Intn(k)
+		}
+		// s2D-legal random owners: coin-flip between x side and y side.
+		p := 0
+		for i := 0; i < rows; i++ {
+			d.YPart[i] = r.Intn(k)
+		}
+		for i := 0; i < rows; i++ {
+			for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+				if r.Intn(2) == 0 {
+					d.Owner[p] = d.XPart[a.ColIdx[q]]
+				} else {
+					d.Owner[p] = d.YPart[i]
+				}
+				p++
+			}
+		}
+		d.Fused = false
+		v2 := d.Comm()
+		d.Fused = true
+		v1 := d.Comm()
+		if v1.TotalVolume != v2.TotalVolume {
+			t.Fatalf("trial %d: fused volume %d != two-phase %d", trial, v1.TotalVolume, v2.TotalVolume)
+		}
+		if v1.TotalMsgs > v2.TotalMsgs {
+			t.Fatalf("trial %d: fusing increased messages %d > %d", trial, v1.TotalMsgs, v2.TotalMsgs)
+		}
+	}
+}
+
+func TestMsgAccumIgnoresSelfSends(t *testing.T) {
+	m := NewMsgAccum(4)
+	m.Add(1, 1, 5)
+	m.Add(1, 2, 3)
+	st := m.Stats()
+	if st.TotalVolume != 3 || st.TotalMsgs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCombineStats(t *testing.T) {
+	a := NewMsgAccum(3)
+	a.Add(0, 1, 2)
+	a.Add(0, 2, 1)
+	b := NewMsgAccum(3)
+	b.Add(0, 1, 4)
+	b.Add(1, 0, 1)
+	cs := CombineStats(3, a, b)
+	if cs.TotalVolume != 8 {
+		t.Errorf("volume = %d, want 8", cs.TotalVolume)
+	}
+	if cs.TotalMsgs != 4 {
+		t.Errorf("messages = %d, want 4", cs.TotalMsgs)
+	}
+	// Processor 0 sends 3 messages total (2 in phase a, 1 in phase b).
+	if cs.MaxSendMsgs != 3 {
+		t.Errorf("max send msgs = %d, want 3", cs.MaxSendMsgs)
+	}
+	if cs.MaxSendVol != 7 {
+		t.Errorf("max send vol = %d, want 7", cs.MaxSendVol)
+	}
+}

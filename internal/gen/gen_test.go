@@ -1,0 +1,223 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := RMATConfig{Scale: 8, Edges: 2000, A: 0.57, B: 0.19, C: 0.19, D: 0.05, Undirected: true}
+	a := RMAT(cfg, 42)
+	b := RMAT(cfg, 42)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := RMAT(cfg, 43)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	cfg := RMATConfig{Scale: 10, Edges: 8000, A: 0.57, B: 0.19, C: 0.19, D: 0.05, Undirected: true}
+	m := RMAT(cfg, 1)
+	if m.Rows != 1024 || m.Cols != 1024 {
+		t.Fatalf("dims = %dx%d", m.Rows, m.Cols)
+	}
+	// Undirected: structurally symmetric.
+	mt := m.Transpose()
+	if !m.Equal(mt) {
+		t.Fatal("undirected RMAT is not symmetric")
+	}
+	// Skewed: max degree well above average.
+	s := m.ComputeStats()
+	if float64(s.DmaxRow) < 3*s.DavgRow {
+		t.Errorf("RMAT not skewed: dmax=%d davg=%.1f", s.DmaxRow, s.DavgRow)
+	}
+}
+
+func TestRMATNoSelf(t *testing.T) {
+	cfg := RMATConfig{Scale: 7, Edges: 3000, A: 0.57, B: 0.19, C: 0.19, D: 0.05, NoSelf: true}
+	m := RMAT(cfg, 7)
+	for i := 0; i < m.Rows; i++ {
+		for _, j := range m.RowCols(i) {
+			if i == j {
+				t.Fatalf("self loop at %d", i)
+			}
+		}
+	}
+}
+
+func TestBandRegularDegrees(t *testing.T) {
+	m := Band(BandConfig{N: 500, MinHalfBand: 10, MaxHalfBand: 12}, 3)
+	s := m.ComputeStats()
+	// Interior rows: degree 2w+1 in [21,25]; boundary rows lower.
+	if s.DmaxRow > 2*12+1 {
+		t.Errorf("dmax = %d exceeds band bound %d", s.DmaxRow, 25)
+	}
+	if s.DavgRow < 15 || s.DavgRow > 25 {
+		t.Errorf("davg = %.1f outside expected band range", s.DavgRow)
+	}
+	// Symmetric.
+	if !m.Equal(m.Transpose()) {
+		t.Fatal("band matrix not symmetric")
+	}
+}
+
+func TestBandDenseRows(t *testing.T) {
+	m := Band(BandConfig{N: 800, MinHalfBand: 2, MaxHalfBand: 3, DenseRows: 2, DenseDegree: 300}, 5)
+	s := m.ComputeStats()
+	if s.DmaxRow < 200 {
+		t.Errorf("planted dense rows missing: dmax = %d", s.DmaxRow)
+	}
+	if !m.Equal(m.Transpose()) {
+		t.Fatal("band+dense matrix not symmetric")
+	}
+}
+
+func TestPowerLawTargets(t *testing.T) {
+	cfg := PowerLawConfig{Rows: 2000, Cols: 2000, NNZ: 12000, Beta: 0.5, DenseRows: 1, DenseMax: 400}
+	m := PowerLaw(cfg, 11)
+	s := m.ComputeStats()
+	if s.DmaxRow < 300 || s.DmaxRow > 401 {
+		t.Errorf("dmax = %d, want ~400", s.DmaxRow)
+	}
+	if s.NNZ < 8000 || s.NNZ > 16000 {
+		t.Errorf("nnz = %d, want ~12000", s.NNZ)
+	}
+}
+
+func TestPowerLawSymmetric(t *testing.T) {
+	cfg := PowerLawConfig{Rows: 500, Cols: 500, NNZ: 4000, Beta: 0.5, Symmetric: true}
+	m := PowerLaw(cfg, 13)
+	mt := m.Transpose()
+	// Structural symmetry: pattern of m equals pattern of m^T.
+	for i := 0; i < m.Rows; i++ {
+		a, b := m.RowCols(i), mt.RowCols(i)
+		if len(a) != len(b) {
+			t.Fatalf("row %d: degree %d vs %d in transpose", i, len(a), len(b))
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("row %d: pattern asymmetry", i)
+			}
+		}
+	}
+}
+
+func TestSuiteNamesAndOrder(t *testing.T) {
+	a, b := SetA(), SetB()
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("set sizes = %d, %d; want 8, 8", len(a), len(b))
+	}
+	wantA := []string{"crystk02", "turon_m", "trdheim", "c-big", "ASIC_680k", "3dtube", "pkustk12", "pattern1"}
+	for i, s := range a {
+		if s.Name != wantA[i] {
+			t.Errorf("SetA[%d] = %q, want %q", i, s.Name, wantA[i])
+		}
+	}
+	wantB := []string{"boyd2", "lp1", "c-big", "ASIC_680k", "ins2", "com-Youtube", "rajat30", "rmat_20"}
+	for i, s := range b {
+		if s.Name != wantB[i] {
+			t.Errorf("SetB[%d] = %q, want %q", i, s.Name, wantB[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("crystk02"); !ok {
+		t.Error("crystk02 not found")
+	}
+	if _, ok := ByName("rmat_20"); !ok {
+		t.Error("rmat_20 not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("found nonexistent matrix")
+	}
+}
+
+// TestSuiteStatsShape checks, at a small scale, that each stand-in
+// preserves the qualitative property the paper relies on: the ratio
+// d_max / n (row-degree skew).
+func TestSuiteStatsShape(t *testing.T) {
+	const scale = 1.0 / 64
+	for _, spec := range append(SetA(), SetB()...) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m := spec.Generate(scale, 99)
+			s := m.ComputeStats()
+			if s.NNZ == 0 {
+				t.Fatal("empty matrix")
+			}
+			// Row-degree skew = d_max / d_avg; scale-invariant, unlike
+			// d_max/n which saturates at tiny scales.
+			paperSkew := float64(spec.PaperDmax) / spec.PaperDavg
+			genSkew := float64(s.DmaxRow) / s.DavgRow
+			if paperSkew > 20 && genSkew < 5 {
+				t.Errorf("skew lost: paper %.1f, generated %.1f", paperSkew, genSkew)
+			}
+			if paperSkew < 3 && genSkew > 8 {
+				t.Errorf("spurious skew: paper %.1f, generated %.1f", paperSkew, genSkew)
+			}
+			// d_avg within a factor 3 of the paper value, unless the scaled
+			// dimension makes that average unreachable.
+			if spec.PaperDavg < 0.3*float64(s.Rows) {
+				if s.DavgRow > 3*spec.PaperDavg || s.DavgRow < spec.PaperDavg/3 {
+					t.Errorf("davg = %.1f, paper %.1f", s.DavgRow, spec.PaperDavg)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateRejectsBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate accepted scale 0")
+		}
+	}()
+	SetA()[0].Generate(0, 1)
+}
+
+func TestScaleDegreesToSum(t *testing.T) {
+	deg := scaleDegreesToSum([]int{10, 20, 30}, 120, 1, 100)
+	var sum int
+	for _, d := range deg {
+		sum += d
+	}
+	if sum < 100 || sum > 140 {
+		t.Errorf("sum = %d, want ~120", sum)
+	}
+	capped := scaleDegreesToSum([]int{1000, 1}, 1001, 1, 50)
+	if capped[0] != 50 {
+		t.Errorf("cap not applied: %v", capped)
+	}
+}
+
+func TestDiscreteSamplerDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	s := newDiscreteSampler([]float64{1, 0, 3})
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[s.sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight item sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestPropertyGeneratorsDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := PowerLawConfig{Rows: 300, Cols: 300, NNZ: 2000, Beta: 0.5, DenseRows: 1, DenseMax: 60}
+		return PowerLaw(cfg, seed).Equal(PowerLaw(cfg, seed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

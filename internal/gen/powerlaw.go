@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// PowerLawConfig configures a scale-free matrix generator used to model the
+// optimization/circuit/social matrices (c-big, ASIC_680k, boyd2, lp1, ins2,
+// rajat30, com-Youtube). Row degrees follow a power law capped at DenseMax;
+// a few rows are planted at exactly DenseMax to reproduce the published
+// d_max. Column endpoints are drawn from a power-law popularity so columns
+// are skewed too, as in circuit and LP matrices.
+type PowerLawConfig struct {
+	Rows, Cols int
+	NNZ        int     // target nonzero count (approximate)
+	Beta       float64 // degree-weight exponent, typically 0.6–1.2
+	DenseRows  int     // rows planted at DenseMax degree
+	DenseMax   int     // maximum row degree (the published d_max)
+	Symmetric  bool    // mirror entries (graph-like matrices)
+	// Locality is the fraction of background (non-planted) entries placed
+	// near the diagonal instead of at power-law-sampled columns.
+	// Optimization and circuit matrices (boyd2, lp1, ins2, ASIC_680k,
+	// rajat30) are mostly local plus a few dense rows — that structure is
+	// what lets s2D nearly eliminate their communication volume. Social
+	// networks (com-Youtube) have no locality.
+	Locality float64
+	// LocalBand is the half-bandwidth for local entries; 0 means
+	// 3·(NNZ/Rows)+2.
+	LocalBand int
+}
+
+// PowerLaw generates a scale-free sparse matrix per cfg.
+func PowerLaw(cfg PowerLawConfig, seed int64) *sparse.CSR {
+	r := rand.New(rand.NewSource(seed))
+	m, n := cfg.Rows, cfg.Cols
+
+	// Power-law row degrees scattered over row indices.
+	rowPerm := r.Perm(m)
+	raw := make([]int, m)
+	for rank := 0; rank < m; rank++ {
+		// Degree ∝ (rank+1)^(-beta), scaled later to hit NNZ.
+		raw[rowPerm[rank]] = 1 + int(1e6/math.Pow(float64(rank+1), cfg.Beta))
+	}
+	budget := cfg.NNZ
+	if cfg.Symmetric {
+		budget = cfg.NNZ / 2
+	}
+	planted := cfg.DenseRows * cfg.DenseMax
+	if planted > budget {
+		planted = budget
+	}
+	deg := scaleDegreesToSum(raw, budget-planted, 1, maxInt(1, cfg.DenseMax))
+
+	// Column popularity sampler, also power-law.
+	colPerm := r.Perm(n)
+	colW := powerLawWeights(n, cfg.Beta, colPerm)
+	cs := newDiscreteSampler(colW)
+
+	band := cfg.LocalBand
+	if band <= 0 {
+		band = 3*(cfg.NNZ/maxInt(m, 1)) + 2
+	}
+	if band > n/2 {
+		band = n / 2
+	}
+	if band < 1 {
+		band = 1
+	}
+	c := sparse.NewCOO(m, n)
+	c.Entries = make([]sparse.Entry, 0, cfg.NNZ+m)
+	for i := 0; i < m; i++ {
+		for t := 0; t < deg[i]; t++ {
+			var j int
+			if r.Float64() < cfg.Locality {
+				j = ((i+r.Intn(2*band+1)-band)%n + n) % n
+			} else {
+				j = cs.sample(r)
+			}
+			c.Add(i, j, 1+r.Float64())
+			if cfg.Symmetric && i != j && j < m && i < n {
+				c.Add(j, i, 1+r.Float64())
+			}
+		}
+	}
+	plantDenseRows(c, r, cfg.DenseRows, cfg.DenseMax, cfg.Symmetric)
+	return c.ToCSR()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// RMATConfig configures an R-MAT recursive graph generator (Chakrabarti,
+// Zhan, Faloutsos 2004). The paper's rmat_20 instance uses a=0.57,
+// b=c=0.19, d=0.05, scale 20, with edges made undirected.
+type RMATConfig struct {
+	Scale      int     // n = 2^Scale vertices
+	Edges      int     // directed edges sampled before mirroring/dedup
+	A, B, C, D float64 // quadrant probabilities, must sum to ~1
+	Undirected bool    // add the mirror of every edge
+	NoSelf     bool    // drop self loops
+}
+
+// RMAT generates an R-MAT adjacency matrix. Duplicate edges are merged
+// (values summed to 1 per structural nonzero via overwrite), so the
+// resulting nnz is slightly below Edges (×2 if undirected).
+func RMAT(cfg RMATConfig, seed int64) *sparse.CSR {
+	n := 1 << cfg.Scale
+	r := rand.New(rand.NewSource(seed))
+	c := sparse.NewCOO(n, n)
+	c.Entries = make([]sparse.Entry, 0, cfg.Edges*2)
+	for e := 0; e < cfg.Edges; e++ {
+		i, j := rmatEdge(r, cfg)
+		if cfg.NoSelf && i == j {
+			continue
+		}
+		c.Add(i, j, 1)
+		if cfg.Undirected && i != j {
+			c.Add(j, i, 1)
+		}
+	}
+	m := c.ToCSR()
+	// Structural matrix: merged duplicates collapse to value 1.
+	for p := range m.Val {
+		m.Val[p] = 1
+	}
+	return m
+}
+
+func rmatEdge(r *rand.Rand, cfg RMATConfig) (int, int) {
+	var i, j int
+	for bit := cfg.Scale - 1; bit >= 0; bit-- {
+		u := r.Float64()
+		switch {
+		case u < cfg.A:
+			// top-left: nothing set
+		case u < cfg.A+cfg.B:
+			j |= 1 << bit
+		case u < cfg.A+cfg.B+cfg.C:
+			i |= 1 << bit
+		default:
+			i |= 1 << bit
+			j |= 1 << bit
+		}
+	}
+	return i, j
+}

@@ -1,0 +1,71 @@
+// Package gen provides deterministic synthetic sparse-matrix generators that
+// stand in for the University of Florida and SNAP matrices used in the
+// paper's evaluation (the module is offline, so the real collections are
+// unavailable). Each generator is matched to the published n, nnz, d_avg and
+// d_max of its target matrix and to its structure class: FEM-like banded
+// matrices, power-law matrices with planted dense rows, and R-MAT graphs.
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// discreteSampler draws indices with probability proportional to a fixed
+// weight vector, using inverse-CDF binary search.
+type discreteSampler struct {
+	cum []float64 // cumulative weights, cum[len-1] == total
+}
+
+func newDiscreteSampler(weights []float64) *discreteSampler {
+	cum := make([]float64, len(weights))
+	var s float64
+	for i, w := range weights {
+		s += w
+		cum[i] = s
+	}
+	return &discreteSampler{cum: cum}
+}
+
+func (d *discreteSampler) sample(r *rand.Rand) int {
+	total := d.cum[len(d.cum)-1]
+	u := r.Float64() * total
+	return sort.SearchFloat64s(d.cum, u)
+}
+
+// powerLawWeights returns n weights w_rank ∝ (rank+1)^(-beta), assigned to
+// positions via the permutation perm so that heavy items are scattered.
+func powerLawWeights(n int, beta float64, perm []int) []float64 {
+	w := make([]float64, n)
+	for rank := 0; rank < n; rank++ {
+		w[perm[rank]] = math.Pow(float64(rank+1), -beta)
+	}
+	return w
+}
+
+// scaleDegreesToSum proportionally rescales degrees so they sum to target,
+// clamping each to [minDeg, maxDeg]. The result may miss the target by a
+// small amount due to rounding and clamping.
+func scaleDegreesToSum(deg []int, target, minDeg, maxDeg int) []int {
+	var sum int
+	for _, d := range deg {
+		sum += d
+	}
+	if sum == 0 {
+		sum = 1
+	}
+	f := float64(target) / float64(sum)
+	out := make([]int, len(deg))
+	for i, d := range deg {
+		v := int(math.Round(float64(d) * f))
+		if v < minDeg {
+			v = minDeg
+		}
+		if v > maxDeg {
+			v = maxDeg
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Laplace2D returns the 5-point (or 9-point) finite-difference Laplacian
+// on an nx×ny grid — the canonical FEM-like SPD matrix. Row i corresponds
+// to grid point (i%nx, i/nx).
+func Laplace2D(nx, ny int, ninePoint bool) *sparse.CSR {
+	n := nx * ny
+	c := sparse.NewCOO(n, n)
+	id := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := id(x, y)
+			diag := 4.0
+			add := func(dx, dy int, v float64) {
+				xx, yy := x+dx, y+dy
+				if xx >= 0 && xx < nx && yy >= 0 && yy < ny {
+					c.Add(i, id(xx, yy), v)
+				}
+			}
+			add(-1, 0, -1)
+			add(1, 0, -1)
+			add(0, -1, -1)
+			add(0, 1, -1)
+			if ninePoint {
+				diag = 8.0 / 3
+				add(-1, -1, -1.0/3)
+				add(1, -1, -1.0/3)
+				add(-1, 1, -1.0/3)
+				add(1, 1, -1.0/3)
+			}
+			c.Add(i, i, diag)
+		}
+	}
+	return c.ToCSR()
+}
+
+// Laplace3D returns the 7-point Laplacian on an nx×ny×nz grid.
+func Laplace3D(nx, ny, nz int) *sparse.CSR {
+	n := nx * ny * nz
+	c := sparse.NewCOO(n, n)
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				i := id(x, y, z)
+				c.Add(i, i, 6)
+				add := func(dx, dy, dz int) {
+					xx, yy, zz := x+dx, y+dy, z+dz
+					if xx >= 0 && xx < nx && yy >= 0 && yy < ny && zz >= 0 && zz < nz {
+						c.Add(i, id(xx, yy, zz), -1)
+					}
+				}
+				add(-1, 0, 0)
+				add(1, 0, 0)
+				add(0, -1, 0)
+				add(0, 1, 0)
+				add(0, 0, -1)
+				add(0, 0, 1)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// FEMBlocks emulates a finite-element matrix with b×b dense node blocks
+// (multiple degrees of freedom per mesh node, as in the paper's structural
+// matrices whose d_avg ≈ 70–90): a 2D mesh of nodes, each adjacent node
+// pair coupling all of their DOF. The result is symmetric.
+func FEMBlocks(nx, ny, dofs int, seed int64) *sparse.CSR {
+	r := rand.New(rand.NewSource(seed))
+	nodes := nx * ny
+	n := nodes * dofs
+	c := sparse.NewCOO(n, n)
+	id := func(x, y int) int { return y*nx + x }
+	couple := func(a, b int) {
+		for p := 0; p < dofs; p++ {
+			for q := 0; q < dofs; q++ {
+				v := -1 + r.Float64()*0.2
+				if a == b && p == q {
+					v = 8 + r.Float64()
+				}
+				c.Add(a*dofs+p, b*dofs+q, v)
+				if a != b {
+					c.Add(b*dofs+q, a*dofs+p, v)
+				}
+			}
+		}
+	}
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := id(x, y)
+			couple(i, i)
+			if x+1 < nx {
+				couple(i, id(x+1, y))
+			}
+			if y+1 < ny {
+				couple(i, id(x, y+1))
+			}
+			if x+1 < nx && y+1 < ny {
+				couple(i, id(x+1, y+1))
+			}
+		}
+	}
+	return c.ToCSR()
+}

@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLaplace2DStructure(t *testing.T) {
+	a := Laplace2D(4, 3, false)
+	if a.Rows != 12 || a.Cols != 12 {
+		t.Fatalf("dims %dx%d", a.Rows, a.Cols)
+	}
+	// Interior point (1,1) = row 5: 5 entries.
+	if a.RowNNZ(5) != 5 {
+		t.Errorf("interior row nnz = %d, want 5", a.RowNNZ(5))
+	}
+	// Corner (0,0): 3 entries.
+	if a.RowNNZ(0) != 3 {
+		t.Errorf("corner row nnz = %d, want 3", a.RowNNZ(0))
+	}
+	if !a.Equal(a.Transpose()) {
+		t.Error("Laplacian not symmetric")
+	}
+	// Row sums of interior rows are 0 (discrete Laplacian).
+	sum := 0.0
+	for _, v := range a.RowVals(5) {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Errorf("interior row sum = %v, want 0", sum)
+	}
+}
+
+func TestLaplace2DNinePoint(t *testing.T) {
+	a := Laplace2D(5, 5, true)
+	// Interior point row 12: 9 entries.
+	if a.RowNNZ(12) != 9 {
+		t.Errorf("nine-point interior nnz = %d", a.RowNNZ(12))
+	}
+	if !a.Equal(a.Transpose()) {
+		t.Error("nine-point not symmetric")
+	}
+}
+
+func TestLaplace3DStructure(t *testing.T) {
+	a := Laplace3D(3, 3, 3)
+	if a.Rows != 27 {
+		t.Fatalf("dims %d", a.Rows)
+	}
+	// Center point (1,1,1) = row 13: 7 entries.
+	if a.RowNNZ(13) != 7 {
+		t.Errorf("center row nnz = %d, want 7", a.RowNNZ(13))
+	}
+	if !a.Equal(a.Transpose()) {
+		t.Error("3D Laplacian not symmetric")
+	}
+}
+
+func TestLaplaceDiagonalDominant(t *testing.T) {
+	m := Laplace3D(4, 4, 4)
+	for i := 0; i < m.Rows; i++ {
+		var diag, off float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if m.ColIdx[p] == i {
+				diag = m.Val[p]
+			} else {
+				off += math.Abs(m.Val[p])
+			}
+		}
+		if diag < off {
+			t.Fatalf("row %d not diagonally dominant: %v < %v", i, diag, off)
+		}
+	}
+}
+
+func TestFEMBlocksStructure(t *testing.T) {
+	a := FEMBlocks(6, 5, 3, 1)
+	if a.Rows != 90 {
+		t.Fatalf("dims %d, want 6*5*3", a.Rows)
+	}
+	mt := a.Transpose()
+	// Structural symmetry.
+	for i := 0; i < a.Rows; i++ {
+		x, y := a.RowCols(i), mt.RowCols(i)
+		if len(x) != len(y) {
+			t.Fatalf("row %d: structural asymmetry", i)
+		}
+	}
+	// Degrees in the FEM range: interior node couples with up to 6
+	// neighbours (right/down/diag pattern symmetrized) x dofs.
+	s := a.ComputeStats()
+	if s.DavgRow < 9 || s.DavgRow > 24 {
+		t.Errorf("davg = %.1f outside FEM block range", s.DavgRow)
+	}
+	if s.DmaxRow > 24 {
+		t.Errorf("dmax = %d too high", s.DmaxRow)
+	}
+}
+
+func TestFEMBlocksDeterministic(t *testing.T) {
+	a := FEMBlocks(4, 4, 2, 9)
+	b := FEMBlocks(4, 4, 2, 9)
+	if !a.Equal(b) {
+		t.Error("FEMBlocks not deterministic")
+	}
+}

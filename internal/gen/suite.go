@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Spec describes one synthetic stand-in for a paper test matrix. PaperN,
+// PaperNNZ, PaperDavg and PaperDmax are the published properties (Tables I
+// and IV); Generate builds a matrix with the same structure class whose
+// statistics approach those targets at scale 1.0 and shrink proportionally
+// at smaller scales (d_max keeps its ratio to n, which is what drives the
+// paper's dense-row findings).
+type Spec struct {
+	Name      string
+	App       string // application area, as listed in the paper
+	PaperN    int
+	PaperNNZ  int
+	PaperDavg float64
+	PaperDmax int
+	build     func(scale float64, seed int64) *sparse.CSR
+}
+
+// Generate builds the matrix at the given scale (1.0 = paper size) with a
+// deterministic seed. Scale values in (0,1] shrink n and nnz
+// proportionally.
+func (s Spec) Generate(scale float64, seed int64) *sparse.CSR {
+	if scale <= 0 || scale > 1 {
+		panic("gen: scale must be in (0,1]")
+	}
+	return s.build(scale, seed)
+}
+
+func scaled(v int, scale float64, floor int) int {
+	n := int(math.Round(float64(v) * scale))
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
+// femSpec models the paper's structural-engineering matrices as 2D-mesh
+// finite-element matrices with dofs degrees of freedom per node (giving
+// d_avg ≈ 7·dofs), optionally with planted dense rows. The 2D geometry
+// matters: it is what lets Cartesian checkerboard partitions balance
+// their mesh cells, as they do on the paper's 3D-mesh matrices.
+func femSpec(name, app string, n, nnz int, davg float64, dmax int,
+	dofs, denseRows, denseDeg int) Spec {
+	return Spec{
+		Name: name, App: app, PaperN: n, PaperNNZ: nnz, PaperDavg: davg, PaperDmax: dmax,
+		build: func(scale float64, seed int64) *sparse.CSR {
+			nodes := scaled(n, scale, 128) / dofs
+			if nodes < 16 {
+				nodes = 16
+			}
+			nx := intSqrt(2 * nodes)
+			if nx < 2 {
+				nx = 2
+			}
+			ny := nodes / nx
+			if ny < 2 {
+				ny = 2
+			}
+			m := FEMBlocks(nx, ny, dofs, seed)
+			if denseRows > 0 {
+				sn := m.Rows
+				dd := scaled(denseDeg, scale, 8)
+				// Dense rows must stay clearly denser than the stencil.
+				if lo := 40 * dofs; dd < lo {
+					dd = lo
+				}
+				if dd > sn-1 {
+					dd = sn - 1
+				}
+				c := m.ToCOO()
+				r := rand.New(rand.NewSource(seed + 7))
+				plantDenseRows(c, r, denseRows, dd, true)
+				m = c.ToCSR()
+			}
+			return m
+		},
+	}
+}
+
+func intSqrt(x int) int {
+	r := 1
+	for r*r < x {
+		r++
+	}
+	return r
+}
+
+func plSpec(name, app string, n, nnz int, davg float64, dmax int,
+	beta float64, denseRows int, symmetric bool, locality float64) Spec {
+	return Spec{
+		Name: name, App: app, PaperN: n, PaperNNZ: nnz, PaperDavg: davg, PaperDmax: dmax,
+		build: func(scale float64, seed int64) *sparse.CSR {
+			sn := scaled(n, scale, 64)
+			dm := scaled(dmax, scale, 8)
+			// d_max may not drop below ~2×d_avg, or the degree cap would
+			// make the published average degree unreachable at small scales.
+			if lo := int(2 * davg); dm < lo {
+				dm = lo
+			}
+			if dm > sn {
+				dm = sn
+			}
+			return PowerLaw(PowerLawConfig{
+				Rows: sn, Cols: sn,
+				NNZ:       scaled(nnz, scale, 256),
+				Beta:      beta,
+				DenseRows: denseRows,
+				DenseMax:  dm,
+				Symmetric: symmetric,
+				Locality:  locality,
+			}, seed)
+		},
+	}
+}
+
+func rmatSpec(name, app string, logN, nnz, dmax int, davg float64) Spec {
+	n := 1 << logN
+	return Spec{
+		Name: name, App: app, PaperN: n, PaperNNZ: nnz, PaperDavg: davg, PaperDmax: dmax,
+		build: func(scale float64, seed int64) *sparse.CSR {
+			lg := logN
+			f := scale
+			for f < 0.75 && lg > 6 {
+				lg--
+				f *= 2
+			}
+			// Oversample ~15% to compensate for duplicate edges.
+			edges := int(float64(nnz) * scale * 0.575)
+			return RMAT(RMATConfig{
+				Scale: lg, Edges: edges,
+				A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+				Undirected: true,
+			}, seed)
+		},
+	}
+}
+
+// SetA returns the eight general matrices of Table I, in the paper's order.
+func SetA() []Spec {
+	return []Spec{
+		femSpec("crystk02", "materials problem", 13965, 968583, 69.4, 81, 10, 0, 0),
+		femSpec("turon_m", "structural engineering", 189924, 1690876, 8.9, 11, 1, 0, 0),
+		femSpec("trdheim", "structural engineering", 22098, 1935324, 87.6, 150, 12, 0, 0),
+		plSpec("c-big", "non-linear optimization", 345241, 2340859, 6.8, 19578, 0.45, 3, true, 0.90),
+		plSpec("ASIC_680k", "circuit simulation", 682862, 2638997, 3.9, 388488, 0.40, 2, true, 0.995),
+		femSpec("3dtube", "structural engineering", 45330, 3213618, 70.9, 2364, 10, 4, 2300),
+		femSpec("pkustk12", "structural engineering", 94653, 7512317, 79.4, 4146, 11, 6, 4100),
+		plSpec("pattern1", "optimization problem", 19242, 9323432, 484.5, 6028, 0.25, 4, false, 0.50),
+	}
+}
+
+// SetB returns the eight dense-row matrices of Table IV, in the paper's
+// order.
+func SetB() []Spec {
+	return []Spec{
+		plSpec("boyd2", "optimization", 466316, 1500397, 3.2, 93263, 0.40, 2, true, 0.995),
+		plSpec("lp1", "optimization", 534388, 1643420, 3.1, 249644, 0.40, 2, true, 0.995),
+		plSpec("c-big", "non-linear opt.", 345241, 2340859, 6.8, 19579, 0.45, 3, true, 0.90),
+		plSpec("ASIC_680k", "optimization", 682862, 2638997, 3.9, 388489, 0.40, 2, true, 0.995),
+		plSpec("ins2", "circuit sim.", 309412, 2751484, 8.9, 309413, 0.45, 1, true, 0.995),
+		plSpec("com-Youtube", "Youtube social", 1157827, 5975248, 5.2, 28755, 0.75, 1, true, 0),
+		plSpec("rajat30", "circuit sim.", 643994, 6175244, 9.6, 454747, 0.45, 2, true, 0.995),
+		rmatSpec("rmat_20", "Graph500 ben.", 20, 8174570, 23716, 7.8),
+	}
+}
+
+// ByName returns the spec with the given name, searching SetA then SetB.
+func ByName(name string) (Spec, bool) {
+	for _, s := range SetA() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range SetB() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

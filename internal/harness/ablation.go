@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/disagg"
+	"repro/internal/gen"
+	"repro/internal/order"
+	"repro/internal/sparse"
+)
+
+// Ablation examines the design choices DESIGN.md calls out, on the
+// dense-row set at one K:
+//
+//  1. s2D construction: volume-optimal DM split (§IV-A) vs Algorithm 1
+//     (§IV-B) vs the A3 extension from the paper's future work vs the
+//     medium-grain adaptation — the volume/balance trade-off.
+//  2. Vector partition source: hypergraph-partitioned vs RCM-contiguous
+//     chunks — how much the s2D result depends on the imported vector
+//     partition (the dependency §VII highlights).
+//  3. Latency bounding: fused s2D-b routing vs Cartesian 2D-b vs
+//     Kuhlemann–Vassilevski disaggregation — three ways to cap the
+//     per-processor message count.
+func Ablation(w io.Writer, cfg Config) []Row {
+	cfg = cfg.withDefaults()
+	k := 256
+	if len(cfg.Ks) > 0 {
+		k = cfg.Ks[0]
+	}
+
+	rows := forEachCell(cfg, gen.SetB(), []int{k}, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
+		opt := baselines.Options{Seed: seed}
+		rowParts := baselines.RowwiseParts(a, k, opt)
+		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
+		xp, yp := oneD.XPart, oneD.YPart
+
+		// RCM-contiguous vector partition.
+		perm := order.RCM(a)
+		inv := make([]int, len(perm))
+		for old, new := range perm {
+			inv[new] = old
+		}
+		weights := make([]int, a.Rows)
+		for new := 0; new < a.Rows; new++ {
+			weights[new] = a.RowNNZ(inv[new])
+		}
+		chunk := order.ContiguousParts(a.Rows, k, weights)
+		rcmParts := make([]int, a.Rows)
+		for old := 0; old < a.Rows; old++ {
+			rcmParts[old] = chunk[perm[old]]
+		}
+		rcm1D := baselines.Rowwise1DFromParts(a, rcmParts, k)
+
+		mesh := core.NewMesh(k)
+		s2d := core.Balanced(a, xp, yp, k, core.BalanceConfig{})
+		res := []MethodResult{
+			Cell("1D", oneD, nil, cfg.Machine),
+			Cell("s2D-opt", core.Optimal(a, xp, yp, k), nil, cfg.Machine),
+			Cell("s2D", s2d, nil, cfg.Machine),
+			Cell("s2D-x", core.BalancedExt(a, xp, yp, k, core.BalanceConfig{}), nil, cfg.Machine),
+			Cell("s2D-mg", baselines.MediumGrainS2D(a, k, opt), nil, cfg.Machine),
+			Cell("s2D-mgS", baselines.MediumGrainS2DSym(a, k, opt), nil, cfg.Machine),
+			Cell("s2D/rcm", core.Balanced(a, rcm1D.XPart, rcm1D.YPart, k, core.BalanceConfig{}), nil, cfg.Machine),
+			Cell("s2D-b", s2d, &mesh, cfg.Machine),
+			Cell("2D-b", baselines.Checkerboard2DB(a, k, opt), nil, cfg.Machine),
+			disaggCell(a, k, cfg),
+		}
+		return res
+	})
+
+	fprintf(w, "Ablation (set B, K=%d, scale=%.4g)\n", k, cfg.Scale)
+	fprintf(w, "%-12s |", "name")
+	for _, m := range rows[0].Res {
+		fprintf(w, " %-8s %6s %5s %8s |", m.Method, "LI", "max", "vol")
+	}
+	fprintf(w, "\n")
+	for _, r := range rows {
+		fprintf(w, "%-12s |", r.Matrix)
+		for _, m := range r.Res {
+			fprintf(w, " %-8s %6s %5d %8d |", "", fmtLI(m.LI), m.MaxMsgs, m.Volume)
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "\n")
+	return rows
+}
+
+// disaggCell evaluates the disaggregation baseline: split to a degree
+// bound comparable to s2D-b's mesh fan-out, partition B's rows in
+// RCM-contiguous chunks, and measure the triple-product communication.
+func disaggCell(a *sparse.CSR, k int, cfg Config) MethodResult {
+	dlim := maxOf(8, a.NNZ()/(4*k))
+	d := disagg.Split(a, dlim)
+	weights := make([]int, d.B.Rows)
+	for r := 0; r < d.B.Rows; r++ {
+		weights[r] = d.B.RowNNZ(r)
+	}
+	bParts := order.ContiguousParts(d.B.Rows, k, weights)
+	homeX, homeY := d.HomeVectors(bParts, k)
+	cs := d.Comm(bParts, homeX, homeY, k)
+
+	loads := make([]int, k)
+	for r := 0; r < d.B.Rows; r++ {
+		loads[bParts[r]] += d.B.RowNNZ(r)
+	}
+	est := cfg.Machine.Evaluate(loads, cs.Phases, a.NNZ())
+	li := 0.0
+	{
+		sum, max := 0, 0
+		for _, x := range loads {
+			sum += x
+			if x > max {
+				max = x
+			}
+		}
+		if sum > 0 {
+			li = float64(max)/(float64(sum)/float64(k)) - 1
+		}
+	}
+	return MethodResult{
+		Method:  "disagg",
+		LI:      li,
+		AvgMsgs: cs.AvgSendMsgs,
+		MaxMsgs: cs.MaxSendMsgs,
+		Volume:  cs.TotalVolume,
+		Speedup: est.Speedup,
+	}
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblationRuns(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyCfg()
+	cfg.Ks = []int{16}
+	rows := Ablation(&buf, cfg)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		opt, _ := r.Find("s2D-opt")
+		s2d, _ := r.Find("s2D")
+		ext, _ := r.Find("s2D-x")
+		oneD, _ := r.Find("1D")
+		// Volume ordering: optimal <= Algorithm 1 <= 1D.
+		if opt.Volume > s2d.Volume || s2d.Volume > oneD.Volume {
+			t.Errorf("%s: volume ordering violated: opt %d, s2D %d, 1D %d",
+				r.Matrix, opt.Volume, s2d.Volume, oneD.Volume)
+		}
+		// Extension never worsens the max load relative to Algorithm 1
+		// (checked via LI since loads share the denominator).
+		if ext.LI > s2d.LI+1e-9 {
+			t.Errorf("%s: extension LI %.3f worse than s2D %.3f", r.Matrix, ext.LI, s2d.LI)
+		}
+		// Disaggregation is present and bounded.
+		if _, ok := r.Find("disagg"); !ok {
+			t.Errorf("%s: disagg cell missing", r.Matrix)
+		}
+	}
+}

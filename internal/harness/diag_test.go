@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestDiag is a development aid printing 1D-vs-s2D quality across K; run
+// with -v to inspect. Assertions are minimal (direction only).
+func TestDiag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, name := range []string{"boyd2", "ASIC_680k", "com-Youtube"} {
+		spec, _ := gen.ByName(name)
+		a := spec.Generate(1.0/64, 1)
+		st := a.ComputeStats()
+		for _, k := range []int{16, 64, 256} {
+			opt := baselines.Options{Seed: 1}
+			rows := baselines.RowwiseParts(a, k, opt)
+			oneD := baselines.Rowwise1DFromParts(a, rows, k)
+			s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+			v1 := oneD.Comm().TotalVolume
+			vs := s2d.Comm().TotalVolume
+			t.Logf("%-12s K=%-4d n=%d nnz=%d dmax=%d | 1D LI=%6.2f vol=%7d | s2D LI=%5.2f vol=%7d ratio=%.3f",
+				name, k, st.Rows, st.NNZ, st.DmaxRow,
+				oneD.LoadImbalance(), v1, s2d.LoadImbalance(), vs,
+				float64(vs)/float64(v1))
+			if vs > v1 {
+				t.Errorf("%s K=%d: s2D volume above 1D", name, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeomeanAccumulator(t *testing.T) {
+	g := newGeomean()
+	g.add(2)
+	g.add(8)
+	if v := g.value(); math.Abs(v-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v, want 4", v)
+	}
+	g2 := newGeomean()
+	g2.add(0)  // skipped
+	g2.add(-3) // skipped
+	if g2.value() != 0 {
+		t.Errorf("empty geomean = %v", g2.value())
+	}
+}
+
+func TestTablesPrintGeomeanRows(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyCfg()
+	cfg.Ks = []int{4}
+	Table2(&buf, cfg)
+	out := buf.String()
+	if !strings.Contains(out, "geomean") {
+		t.Error("Table II missing geomean row")
+	}
+	// One geomean row per K value.
+	if strings.Count(out, "geomean") != 1 {
+		t.Errorf("geomean rows = %d, want 1", strings.Count(out, "geomean"))
+	}
+}
+
+func TestFmtLI(t *testing.T) {
+	if got := fmtLI(0.031); got != "3.1%" {
+		t.Errorf("fmtLI(0.031) = %q", got)
+	}
+	if got := fmtLI(2.5); got != "2.5*" {
+		t.Errorf("fmtLI(2.5) = %q", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if ratio(4, 2) != 2 {
+		t.Error("ratio wrong")
+	}
+	if ratio(0, 0) != 1 {
+		t.Error("0/0 should report 1 (equal)")
+	}
+	if ratio(5, 0) != 5 {
+		t.Error("x/0 should degrade to x")
+	}
+}

@@ -1,0 +1,138 @@
+// Package harness regenerates the paper's evaluation: Tables I–VII and
+// Figure 1. Each Table function renders the same rows the paper reports
+// (load imbalance, message counts, normalized communication volume,
+// modelled speedup) for synthetic stand-ins of the paper's matrices.
+//
+// Scale controls matrix size (1.0 = paper scale); the qualitative shape —
+// which method wins, where, and by roughly what factor — is stable across
+// scales, which is what the reproduction targets (absolute numbers depend
+// on the authors' PaToH seeds and Cray XE6 testbed).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/sparse"
+)
+
+// Config controls experiment scale and reproducibility.
+type Config struct {
+	Scale   float64 // matrix scale in (0,1]; default 1/64
+	Seed    int64
+	Ks      []int // override the per-table K list (optional)
+	Machine model.Machine
+	// Parallelism bounds concurrent matrix evaluations; default NumCPU.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1.0 / 64
+	}
+	if c.Machine == (model.Machine{}) {
+		c.Machine = model.CrayXE6()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	return c
+}
+
+// MethodResult is one method's quality numbers on one (matrix, K) cell.
+type MethodResult struct {
+	Method  string
+	LI      float64 // load imbalance (0.03 = 3%)
+	AvgMsgs float64 // average messages sent per processor
+	MaxMsgs int     // maximum messages sent by a processor
+	Volume  int     // total communication volume (words)
+	Speedup float64 // modelled speedup vs serial
+}
+
+// Cell evaluates a distribution into a MethodResult, using the s2D-b
+// routed statistics when mesh is non-nil.
+func Cell(name string, d *distrib.Distribution, mesh *core.Mesh, m model.Machine) MethodResult {
+	var cs distrib.CommStats
+	if mesh != nil {
+		cs = core.S2DBComm(d, *mesh)
+	} else {
+		cs = d.Comm()
+	}
+	est := m.Evaluate(d.PartLoads(), cs.Phases, d.A.NNZ())
+	return MethodResult{
+		Method:  name,
+		LI:      d.LoadImbalance(),
+		AvgMsgs: cs.AvgSendMsgs,
+		MaxMsgs: cs.MaxSendMsgs,
+		Volume:  cs.TotalVolume,
+		Speedup: est.Speedup,
+	}
+}
+
+// Row is all methods' results for one (matrix, K) pair.
+type Row struct {
+	Matrix string
+	K      int
+	NNZ    int
+	Res    []MethodResult
+}
+
+// Find returns the result of a named method in the row, if present.
+func (r Row) Find(method string) (MethodResult, bool) {
+	for _, m := range r.Res {
+		if m.Method == method {
+			return m, true
+		}
+	}
+	return MethodResult{}, false
+}
+
+// forEachCell evaluates f over specs × ks with bounded parallelism and
+// deterministic per-cell seeds, returning rows in (spec, k) order.
+func forEachCell(cfg Config, specs []gen.Spec, ks []int,
+	f func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult) []Row {
+
+	type cellKey struct{ si, ki int }
+	rows := make([]Row, len(specs)*len(ks))
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+
+	for si, spec := range specs {
+		// One matrix instance per spec, shared across K values.
+		a := spec.Generate(cfg.Scale, cfg.Seed+int64(si))
+		for ki, k := range ks {
+			wg.Add(1)
+			go func(spec gen.Spec, a *sparse.CSR, key cellKey, k int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				seed := cfg.Seed + int64(key.si*1000+key.ki)
+				rows[key.si*len(ks)+key.ki] = Row{
+					Matrix: spec.Name, K: k, NNZ: a.NNZ(),
+					Res: f(spec, a, k, seed),
+				}
+			}(spec, a, cellKey{si, ki}, k)
+		}
+	}
+	wg.Wait()
+	return rows
+}
+
+// fmtLI renders load imbalance in the paper's convention: "12.3%" below
+// 100%, and "1.2*" for 120% (×100%).
+func fmtLI(li float64) string {
+	if li < 1.0 {
+		return fmt.Sprintf("%.1f%%", li*100)
+	}
+	return fmt.Sprintf("%.1f*", li)
+}
+
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}

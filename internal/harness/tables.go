@@ -1,0 +1,303 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+// Table1 prints the properties of the Table I matrices (set A) at the
+// configured scale, alongside the paper's published full-scale values.
+func Table1(w io.Writer, cfg Config) []sparse.Stats {
+	return propertiesTable(w, cfg, gen.SetA(), "Table I: properties of the general test matrices")
+}
+
+// Table4 prints the properties of the Table IV dense-row matrices (set B).
+func Table4(w io.Writer, cfg Config) []sparse.Stats {
+	return propertiesTable(w, cfg, gen.SetB(), "Table IV: properties of the dense-row test matrices")
+}
+
+func propertiesTable(w io.Writer, cfg Config, specs []gen.Spec, title string) []sparse.Stats {
+	cfg = cfg.withDefaults()
+	fprintf(w, "%s (scale=%.4g)\n", title, cfg.Scale)
+	fprintf(w, "%-12s %10s %12s %8s %9s | %10s %12s %8s %9s  %s\n",
+		"name", "n", "nnz", "davg", "dmax", "paper n", "paper nnz", "p.davg", "p.dmax", "application")
+	out := make([]sparse.Stats, 0, len(specs))
+	for i, spec := range specs {
+		a := spec.Generate(cfg.Scale, cfg.Seed+int64(i))
+		s := a.ComputeStats()
+		out = append(out, s)
+		fprintf(w, "%-12s %10d %12d %8.1f %9d | %10d %12d %8.1f %9d  %s\n",
+			spec.Name, s.Rows, s.NNZ, s.DavgRow, s.DmaxRow,
+			spec.PaperN, spec.PaperNNZ, spec.PaperDavg, spec.PaperDmax, spec.App)
+	}
+	fprintf(w, "\n")
+	return out
+}
+
+// Table2 reproduces Table II: 1D rowwise vs 2D fine-grain vs s2D on set A
+// for K ∈ {16, 64, 256}. The s2D column uses Algorithm 1 on the vector
+// partition induced by the 1D rowwise partition, exactly as in §VI-A, so
+// its communication pattern (and message counts) match 1D by construction.
+func Table2(w io.Writer, cfg Config) []Row {
+	cfg = cfg.withDefaults()
+	ks := cfg.Ks
+	if ks == nil {
+		ks = []int{16, 64, 256}
+	}
+	rows := forEachCell(cfg, gen.SetA(), ks, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
+		opt := baselines.Options{Seed: seed}
+		rowParts := baselines.RowwiseParts(a, k, opt)
+		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
+		twoD := baselines.FineGrain2D(a, k, opt)
+		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+		return []MethodResult{
+			Cell("1D", oneD, nil, cfg.Machine),
+			Cell("2D", twoD, nil, cfg.Machine),
+			Cell("s2D", s2d, nil, cfg.Machine),
+		}
+	})
+	renderVersus(w, "Table II: 1D vs 2D fine-grain vs s2D", rows, "1D")
+	return rows
+}
+
+// Table3 reproduces Table III: the Cartesian checkerboard 2D-b at the
+// largest K against the best of {1D, 2D, s2D}.
+func Table3(w io.Writer, cfg Config) []Row {
+	cfg = cfg.withDefaults()
+	k := 256
+	if len(cfg.Ks) > 0 {
+		k = cfg.Ks[len(cfg.Ks)-1]
+	}
+	rows := forEachCell(cfg, gen.SetA(), []int{k}, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
+		opt := baselines.Options{Seed: seed}
+		rowParts := baselines.RowwiseParts(a, k, opt)
+		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
+		twoD := baselines.FineGrain2D(a, k, opt)
+		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+		cb := baselines.Checkerboard2DB(a, k, opt)
+		return []MethodResult{
+			Cell("1D", oneD, nil, cfg.Machine),
+			Cell("2D", twoD, nil, cfg.Machine),
+			Cell("s2D", s2d, nil, cfg.Machine),
+			Cell("2D-b", cb, nil, cfg.Machine),
+		}
+	})
+
+	fprintf(w, "Table III: checkerboard 2D-b vs best of {1D, 2D, s2D} at K=%d (scale=%.4g)\n", k, cfg.Scale)
+	fprintf(w, "%-12s %18s | %8s %8s %8s %10s %9s\n",
+		"name", "best-unbounded(Sp)", "2db-LI", "avg", "max", "vol/1D", "2db-Sp")
+	for _, r := range rows {
+		best, bestName := 0.0, ""
+		for _, m := range r.Res[:3] {
+			if m.Speedup > best {
+				best, bestName = m.Speedup, m.Method
+			}
+		}
+		oneD, _ := r.Find("1D")
+		cb, _ := r.Find("2D-b")
+		fprintf(w, "%-12s %11.1f (%3s) | %8s %8.0f %8d %10.2f %9.1f\n",
+			r.Matrix, best, bestName, fmtLI(cb.LI), cb.AvgMsgs, cb.MaxMsgs,
+			ratio(cb.Volume, oneD.Volume), cb.Speedup)
+	}
+	fprintf(w, "\n")
+	return rows
+}
+
+// Table5 reproduces Table V: 1D vs s2D vs s2D-b on the dense-row set for
+// K ∈ {256, 1024, 4096}. s2D-b shares the nonzero partition with s2D; only
+// the (routed, bounded) schedule differs.
+func Table5(w io.Writer, cfg Config) []Row {
+	cfg = cfg.withDefaults()
+	ks := cfg.Ks
+	if ks == nil {
+		ks = []int{256, 1024, 4096}
+	}
+	rows := forEachCell(cfg, gen.SetB(), ks, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
+		opt := baselines.Options{Seed: seed}
+		rowParts := baselines.RowwiseParts(a, k, opt)
+		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
+		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+		mesh := core.NewMesh(k)
+		return []MethodResult{
+			Cell("1D", oneD, nil, cfg.Machine),
+			Cell("s2D", s2d, nil, cfg.Machine),
+			Cell("s2D-b", s2d, &mesh, cfg.Machine),
+		}
+	})
+	renderVersus(w, "Table V: 1D vs s2D vs s2D-b (dense-row matrices)", rows, "1D")
+	return rows
+}
+
+// Table6 reproduces Table VI: 2D-b vs 1D-b vs s2D-b on the dense-row set.
+// 1D-b shares the 1D vector partition; volumes are normalized to 2D-b as
+// in the paper.
+func Table6(w io.Writer, cfg Config) []Row {
+	cfg = cfg.withDefaults()
+	ks := cfg.Ks
+	if ks == nil {
+		ks = []int{256, 1024, 4096}
+	}
+	rows := forEachCell(cfg, gen.SetB(), ks, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
+		opt := baselines.Options{Seed: seed}
+		rowParts := baselines.RowwiseParts(a, k, opt)
+		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
+		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+		mesh := core.NewMesh(k)
+		return []MethodResult{
+			Cell("2D-b", baselines.Checkerboard2DB(a, k, opt), nil, cfg.Machine),
+			Cell("1D-b", baselines.OneDB(a, rowParts, k, opt), nil, cfg.Machine),
+			Cell("s2D-b", s2d, &mesh, cfg.Machine),
+		}
+	})
+
+	fprintf(w, "Table VI: 2D-b vs 1D-b vs s2D-b (volumes normalized to 2D-b, scale=%.4g)\n", cfg.Scale)
+	fprintf(w, "%-12s %6s | %8s %10s | %8s %10s | %8s %10s\n",
+		"name", "K", "2db-LI", "vol(2db)", "1db-LI", "vol/2db", "s2db-LI", "vol/2db")
+	for _, r := range rows {
+		cb, _ := r.Find("2D-b")
+		ob, _ := r.Find("1D-b")
+		sb, _ := r.Find("s2D-b")
+		fprintf(w, "%-12s %6d | %8s %10d | %8s %10.2f | %8s %10.2f\n",
+			r.Matrix, r.K, fmtLI(cb.LI), cb.Volume,
+			fmtLI(ob.LI), ratio(ob.Volume, cb.Volume),
+			fmtLI(sb.LI), ratio(sb.Volume, cb.Volume))
+	}
+	fprintf(w, "\n")
+	return rows
+}
+
+// Table7 reproduces Table VII: the medium-grain s2D-mg adaptation against
+// Algorithm 1's s2D (volumes normalized to s2D-mg).
+func Table7(w io.Writer, cfg Config) []Row {
+	cfg = cfg.withDefaults()
+	ks := cfg.Ks
+	if ks == nil {
+		ks = []int{256, 1024, 4096}
+	}
+	rows := forEachCell(cfg, gen.SetB(), ks, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
+		opt := baselines.Options{Seed: seed}
+		rowParts := baselines.RowwiseParts(a, k, opt)
+		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
+		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+		mg := baselines.MediumGrainS2D(a, k, opt)
+		return []MethodResult{
+			Cell("s2D-mg", mg, nil, cfg.Machine),
+			Cell("s2D", s2d, nil, cfg.Machine),
+		}
+	})
+
+	fprintf(w, "Table VII: s2D vs medium-grain s2D-mg (volumes normalized to s2D-mg, scale=%.4g)\n", cfg.Scale)
+	fprintf(w, "%-12s %6s | %8s %6s %10s | %8s %6s %10s\n",
+		"name", "K", "mg-LI", "mg-Lat", "vol(mg)", "s2D-LI", "Lat", "vol/mg")
+	for _, r := range rows {
+		mg, _ := r.Find("s2D-mg")
+		sd, _ := r.Find("s2D")
+		fprintf(w, "%-12s %6d | %8s %6.0f %10d | %8s %6.0f %10.2f\n",
+			r.Matrix, r.K, fmtLI(mg.LI), mg.AvgMsgs, mg.Volume,
+			fmtLI(sd.LI), sd.AvgMsgs, ratio(sd.Volume, mg.Volume))
+	}
+	fprintf(w, "\n")
+	return rows
+}
+
+// renderVersus prints rows in the Table II/V style: LI, latency, volume
+// normalized to the named base method, and modelled speedup, with the
+// paper's per-K geometric-mean summary rows.
+func renderVersus(w io.Writer, title string, rows []Row, base string) {
+	if len(rows) == 0 {
+		return
+	}
+	fprintf(w, "%s\n", title)
+	fprintf(w, "%-12s %6s |", "name", "K")
+	for _, m := range rows[0].Res {
+		fprintf(w, " %-8s %6s %5s %5s %8s %7s |", m.Method, "LI", "avg", "max", "vol", "Sp")
+	}
+	fprintf(w, "\n")
+	for _, r := range rows {
+		fprintf(w, "%-12s %6d |", r.Matrix, r.K)
+		b, _ := r.Find(base)
+		for _, m := range r.Res {
+			vol := fmt.Sprintf("%.2f", ratio(m.Volume, b.Volume))
+			if m.Method == base {
+				vol = fmt.Sprintf("%.3g", float64(m.Volume))
+			}
+			fprintf(w, " %-8s %6s %5.0f %5d %8s %7.1f |", "", fmtLI(m.LI), m.AvgMsgs, m.MaxMsgs, vol, m.Speedup)
+		}
+		fprintf(w, "\n")
+	}
+	// Geometric means per K, in the paper's style.
+	ks := []int{}
+	seen := map[int]bool{}
+	for _, r := range rows {
+		if !seen[r.K] {
+			seen[r.K] = true
+			ks = append(ks, r.K)
+		}
+	}
+	for _, k := range ks {
+		fprintf(w, "%-12s %6d |", "geomean", k)
+		for mi := range rows[0].Res {
+			gLI := newGeomean()
+			gVol := newGeomean()
+			gSp := newGeomean()
+			gMax := newGeomean()
+			for _, r := range rows {
+				if r.K != k {
+					continue
+				}
+				m := r.Res[mi]
+				b, _ := r.Find(base)
+				gLI.add(m.LI)
+				gVol.add(ratio(m.Volume, b.Volume))
+				gSp.add(m.Speedup)
+				gMax.add(float64(m.MaxMsgs))
+			}
+			vol := fmt.Sprintf("%.2f", gVol.value())
+			if rows[0].Res[mi].Method == base {
+				vol = "1.00"
+			}
+			fprintf(w, " %-8s %6s %5s %5.0f %8s %7.1f |", "", fmtLI(gLI.value()), "", gMax.value(), vol, gSp.value())
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "\n")
+}
+
+// geomean accumulates a geometric mean over positive samples (zeros and
+// negatives are skipped, as with the paper's LI entries of 0.0%).
+type geomean struct {
+	logSum float64
+	n      int
+}
+
+func newGeomean() *geomean { return &geomean{} }
+
+func (g *geomean) add(x float64) {
+	if x > 0 {
+		g.logSum += math.Log(x)
+		g.n++
+	}
+}
+
+func (g *geomean) value() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return math.Exp(g.logSum / float64(g.n))
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return float64(a)
+	}
+	return float64(a) / float64(b)
+}

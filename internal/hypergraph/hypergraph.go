@@ -1,0 +1,193 @@
+// Package hypergraph defines the hypergraph type used by the partitioner
+// and the sparse-matrix hypergraph models from the partitioning literature:
+// the column-net model (1D rowwise), the row-net model (1D columnwise), the
+// fine-grain row-column-net model (2D), and the medium-grain composite
+// model of Pelt and Bisseling (which decodes directly to an s2D partition).
+package hypergraph
+
+import "fmt"
+
+// H is an immutable hypergraph with weighted vertices and costed nets.
+// Pins are stored twice (net→vertex and vertex→net) in CSR-like arrays.
+type H struct {
+	NumV, NumN int
+	VWeight    []int
+	NCost      []int
+	NetPtr     []int // len NumN+1; net n's pins are NetPins[NetPtr[n]:NetPtr[n+1]]
+	NetPins    []int
+	VtxPtr     []int // len NumV+1; vertex v's nets are VtxNets[VtxPtr[v]:VtxPtr[v+1]]
+	VtxNets    []int
+}
+
+// Pins returns the vertices of net n (a view, do not modify).
+func (h *H) Pins(n int) []int { return h.NetPins[h.NetPtr[n]:h.NetPtr[n+1]] }
+
+// Nets returns the nets incident to vertex v (a view, do not modify).
+func (h *H) Nets(v int) []int { return h.VtxNets[h.VtxPtr[v]:h.VtxPtr[v+1]] }
+
+// NetSize returns the number of pins of net n.
+func (h *H) NetSize(n int) int { return h.NetPtr[n+1] - h.NetPtr[n] }
+
+// TotalVWeight returns the sum of all vertex weights.
+func (h *H) TotalVWeight() int {
+	var s int
+	for _, w := range h.VWeight {
+		s += w
+	}
+	return s
+}
+
+// Builder accumulates vertices and nets and produces an H.
+type Builder struct {
+	numV    int
+	vweight []int
+	nets    [][]int
+	ncost   []int
+}
+
+// NewBuilder returns a builder for a hypergraph with numV vertices, each
+// initially of weight 1.
+func NewBuilder(numV int) *Builder {
+	w := make([]int, numV)
+	for i := range w {
+		w[i] = 1
+	}
+	return &Builder{numV: numV, vweight: w}
+}
+
+// SetWeight sets the weight of vertex v.
+func (b *Builder) SetWeight(v, w int) { b.vweight[v] = w }
+
+// AddNet appends a net with the given cost and pins. Duplicate pins within
+// a net are removed at Build time.
+func (b *Builder) AddNet(cost int, pins ...int) {
+	b.nets = append(b.nets, pins)
+	b.ncost = append(b.ncost, cost)
+}
+
+// Build assembles the hypergraph. Pins within each net are deduplicated;
+// net order and vertex order are preserved.
+func (b *Builder) Build() *H {
+	h := &H{
+		NumV:    b.numV,
+		NumN:    len(b.nets),
+		VWeight: b.vweight,
+		NCost:   b.ncost,
+		NetPtr:  make([]int, len(b.nets)+1),
+	}
+	seen := make([]int, b.numV)
+	for i := range seen {
+		seen[i] = -1
+	}
+	var pins []int
+	for n, raw := range b.nets {
+		for _, v := range raw {
+			if v < 0 || v >= b.numV {
+				panic(fmt.Sprintf("hypergraph: pin %d out of range [0,%d)", v, b.numV))
+			}
+			if seen[v] != n {
+				seen[v] = n
+				pins = append(pins, v)
+			}
+		}
+		h.NetPtr[n+1] = len(pins)
+	}
+	h.NetPins = pins
+	h.buildVtxIndex()
+	return h
+}
+
+func (h *H) buildVtxIndex() {
+	h.VtxPtr = make([]int, h.NumV+1)
+	for _, v := range h.NetPins {
+		h.VtxPtr[v+1]++
+	}
+	for v := 0; v < h.NumV; v++ {
+		h.VtxPtr[v+1] += h.VtxPtr[v]
+	}
+	h.VtxNets = make([]int, len(h.NetPins))
+	pos := make([]int, h.NumV)
+	copy(pos, h.VtxPtr[:h.NumV])
+	for n := 0; n < h.NumN; n++ {
+		for _, v := range h.Pins(n) {
+			h.VtxNets[pos[v]] = n
+			pos[v]++
+		}
+	}
+}
+
+// ConnectivityMinusOne returns the K-way connectivity-λ−1 cut metric:
+// Σ_nets cost(n)·(λ(n)−1) where λ(n) is the number of distinct parts among
+// n's pins. In SpMV models this equals the total communication volume.
+func ConnectivityMinusOne(h *H, parts []int, k int) int {
+	mark := make([]int, k)
+	for i := range mark {
+		mark[i] = -1
+	}
+	total := 0
+	for n := 0; n < h.NumN; n++ {
+		lambda := 0
+		for _, v := range h.Pins(n) {
+			p := parts[v]
+			if mark[p] != n {
+				mark[p] = n
+				lambda++
+			}
+		}
+		if lambda > 1 {
+			total += h.NCost[n] * (lambda - 1)
+		}
+	}
+	return total
+}
+
+// CutNets returns the cut-net metric: Σ cost(n) over nets spanning more
+// than one part.
+func CutNets(h *H, parts []int, k int) int {
+	mark := make([]int, k)
+	for i := range mark {
+		mark[i] = -1
+	}
+	total := 0
+	for n := 0; n < h.NumN; n++ {
+		lambda := 0
+		for _, v := range h.Pins(n) {
+			p := parts[v]
+			if mark[p] != n {
+				mark[p] = n
+				lambda++
+				if lambda > 1 {
+					total += h.NCost[n]
+					break
+				}
+			}
+		}
+	}
+	return total
+}
+
+// PartWeights returns the total vertex weight per part.
+func PartWeights(h *H, parts []int, k int) []int {
+	w := make([]int, k)
+	for v, p := range parts {
+		w[p] += h.VWeight[v]
+	}
+	return w
+}
+
+// Imbalance returns (maxPartWeight / avgPartWeight) − 1.
+func Imbalance(h *H, parts []int, k int) float64 {
+	w := PartWeights(h, parts, k)
+	var sum, max int
+	for _, x := range w {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	avg := float64(sum) / float64(k)
+	return float64(max)/avg - 1
+}

@@ -1,0 +1,282 @@
+package hypergraph
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func testMatrix() *sparse.CSR {
+	// 4x4:
+	// [1 1 0 0]
+	// [0 1 1 0]
+	// [0 0 1 1]
+	// [1 0 0 1]
+	c := sparse.NewCOO(4, 4)
+	for _, e := range [][2]int{{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}, {2, 3}, {3, 0}, {3, 3}} {
+		c.Add(e[0], e[1], 1)
+	}
+	return c.ToCSR()
+}
+
+func TestBuilderDedupesPins(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddNet(2, 0, 1, 1, 0)
+	h := b.Build()
+	if h.NetSize(0) != 2 {
+		t.Fatalf("net size = %d, want 2 after dedupe", h.NetSize(0))
+	}
+	if h.NCost[0] != 2 {
+		t.Fatalf("cost = %d", h.NCost[0])
+	}
+}
+
+func TestBuilderPanicsOnBadPin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range pin")
+		}
+	}()
+	b := NewBuilder(2)
+	b.AddNet(1, 5)
+	b.Build()
+}
+
+func TestVertexIndexConsistent(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddNet(1, 0, 1)
+	b.AddNet(1, 1, 2, 3)
+	b.AddNet(1, 0, 3)
+	h := b.Build()
+	// Vertex 1 appears in nets 0 and 1.
+	nets := h.Nets(1)
+	if len(nets) != 2 || nets[0] != 0 || nets[1] != 1 {
+		t.Errorf("Nets(1) = %v", nets)
+	}
+	if h.NumN != 3 {
+		t.Errorf("NumN = %d", h.NumN)
+	}
+}
+
+func TestConnectivityMinusOne(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddNet(1, 0, 1, 2, 3) // spans all
+	b.AddNet(2, 0, 1)       // may be internal
+	h := b.Build()
+	parts := []int{0, 0, 1, 2}
+	// Net 0: parts {0,1,2} -> lambda 3, contributes 2. Net 1: internal.
+	if got := ConnectivityMinusOne(h, parts, 3); got != 2 {
+		t.Errorf("conn-1 = %d, want 2", got)
+	}
+	parts2 := []int{0, 1, 1, 2}
+	// Net 0: 2. Net 1: cut, cost 2 * (2-1) = 2. Total 4.
+	if got := ConnectivityMinusOne(h, parts2, 3); got != 4 {
+		t.Errorf("conn-1 = %d, want 4", got)
+	}
+}
+
+func TestCutNets(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddNet(3, 0, 1, 2, 3)
+	b.AddNet(2, 0, 1)
+	h := b.Build()
+	parts := []int{0, 0, 1, 2}
+	if got := CutNets(h, parts, 3); got != 3 {
+		t.Errorf("cutnets = %d, want 3", got)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	b := NewBuilder(4)
+	b.SetWeight(0, 30)
+	b.SetWeight(1, 10)
+	b.SetWeight(2, 10)
+	b.SetWeight(3, 10)
+	h := b.Build()
+	parts := []int{0, 1, 1, 1}
+	// Weights: 30 vs 30, avg 30 -> imbalance 0.
+	if imb := Imbalance(h, parts, 2); imb != 0 {
+		t.Errorf("imbalance = %v, want 0", imb)
+	}
+	parts2 := []int{0, 0, 1, 1}
+	// 40 vs 20, avg 30 -> 0.333...
+	if imb := Imbalance(h, parts2, 2); imb < 0.33 || imb > 0.34 {
+		t.Errorf("imbalance = %v, want ~0.333", imb)
+	}
+}
+
+func TestColumnNetModel(t *testing.T) {
+	a := testMatrix()
+	h := ColumnNetModel(a)
+	if h.NumV != 4 || h.NumN != 4 {
+		t.Fatalf("dims %d/%d", h.NumV, h.NumN)
+	}
+	// Vertex weights = row nnz.
+	for i := 0; i < 4; i++ {
+		if h.VWeight[i] != 2 {
+			t.Errorf("VWeight[%d] = %d, want 2", i, h.VWeight[i])
+		}
+	}
+	// Column 0 has nonzeros in rows 0,3; the vector vertex 0 dedupes away
+	// because a_00 is present.
+	pins := h.Pins(0)
+	if len(pins) != 2 {
+		t.Errorf("net 0 pins = %v, want rows {0,3}", pins)
+	}
+}
+
+func TestColumnNetAddsVectorVertex(t *testing.T) {
+	// Square matrix with a_11 missing: net 1 must still pin vertex 1 so
+	// that x_1's owner is encoded.
+	c := sparse.NewCOO(3, 3)
+	c.Add(0, 1, 1)
+	c.Add(1, 0, 1)
+	c.Add(2, 2, 1)
+	h := ColumnNetModel(c.ToCSR())
+	pins := h.Pins(1) // rows with nonzero in col 1: {0}; plus vertex 1
+	if len(pins) != 2 {
+		t.Fatalf("net 1 pins = %v, want {0,1}", pins)
+	}
+}
+
+// TestColumnNetVolumeSemantics: connectivity-1 of the column-net model
+// under a symmetric vector partition equals the expand volume of 1D
+// rowwise SpMV: for every column j, each part that has a nonzero in column
+// j but does not own x_j receives x_j once.
+func TestColumnNetVolumeSemantics(t *testing.T) {
+	a := testMatrix()
+	h := ColumnNetModel(a)
+	parts := []int{0, 0, 1, 1} // rows 0,1 -> P0; rows 2,3 -> P1
+	got := ConnectivityMinusOne(h, parts, 2)
+
+	// Manual count: x_j lives with row j. Column nets:
+	// col0: rows {0,3}, x0 at P0 -> P1 needs x0: 1
+	// col1: rows {0,1}, x1 at P0 -> 0
+	// col2: rows {1,2}, x2 at P1 -> P0 needs x2: 1
+	// col3: rows {2,3}, x3 at P1 -> 0
+	if got != 2 {
+		t.Errorf("volume = %d, want 2", got)
+	}
+}
+
+func TestRowNetModel(t *testing.T) {
+	a := testMatrix()
+	h := RowNetModel(a)
+	if h.NumV != 4 || h.NumN != 4 {
+		t.Fatalf("dims %d/%d", h.NumV, h.NumN)
+	}
+}
+
+func TestFineGrainModel(t *testing.T) {
+	a := testMatrix()
+	fg := FineGrain(a)
+	if fg.H.NumV != 8 {
+		t.Fatalf("vertices = %d, want nnz=8", fg.H.NumV)
+	}
+	if fg.H.NumN != 8 {
+		t.Fatalf("nets = %d, want rows+cols=8", fg.H.NumN)
+	}
+	// Every vertex has exactly 2 nets (its row net and its column net).
+	for v := 0; v < fg.H.NumV; v++ {
+		if len(fg.H.Nets(v)) != 2 {
+			t.Errorf("vertex %d has %d nets", v, len(fg.H.Nets(v)))
+		}
+	}
+	// Coordinates match the CSR traversal.
+	if fg.NonzeroRow[0] != 0 || fg.NonzeroCol[0] != 0 {
+		t.Errorf("first nonzero coords (%d,%d)", fg.NonzeroRow[0], fg.NonzeroCol[0])
+	}
+}
+
+func TestMediumGrainModel(t *testing.T) {
+	a := testMatrix()
+	mg := MediumGrain(a)
+	if mg.H.NumV != 8 {
+		t.Fatalf("vertices = %d, want rows+cols=8", mg.H.NumV)
+	}
+	if mg.H.NumN != 8 {
+		t.Fatalf("nets = %d", mg.H.NumN)
+	}
+	// Weight conservation: total vertex weight == nnz.
+	if mg.H.TotalVWeight() != a.NNZ() {
+		t.Errorf("total weight %d != nnz %d", mg.H.TotalVWeight(), a.NNZ())
+	}
+	// Every net contains its own amalgamated vector vertex.
+	for j := 0; j < a.Cols; j++ {
+		found := false
+		for _, p := range mg.H.Pins(j) {
+			if p == mg.ColVertex(j) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("column net %d missing its column vertex", j)
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		found := false
+		for _, p := range mg.H.Pins(a.Cols + i) {
+			if p == mg.RowVertex(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("row net %d missing its row vertex", i)
+		}
+	}
+}
+
+func TestMediumGrainSplitRule(t *testing.T) {
+	// Matrix with a dense row: its nonzeros should go to the column side
+	// (row degree > column degree).
+	c := sparse.NewCOO(3, 3)
+	c.Add(0, 0, 1)
+	c.Add(0, 1, 1)
+	c.Add(0, 2, 1)
+	c.Add(1, 1, 1)
+	c.Add(2, 2, 1)
+	a := c.ToCSR()
+	mg := MediumGrain(a)
+	// Row 0 degree 3; columns have degree 1 or 2. Nonzero (0,0): rowdeg 3 >
+	// coldeg 1 -> column side.
+	if mg.ToRowSide[0] {
+		t.Error("dense-row nonzero went to row side")
+	}
+	// Nonzero (1,1): rowdeg 1 <= coldeg 2 -> row side.
+	if !mg.ToRowSide[3] {
+		t.Error("sparse-row nonzero went to column side")
+	}
+}
+
+func TestMediumGrainSymModel(t *testing.T) {
+	a := testMatrix()
+	mg := MediumGrainSym(a)
+	if !mg.Sym {
+		t.Fatal("Sym flag unset")
+	}
+	if mg.H.NumV != a.Rows {
+		t.Fatalf("vertices = %d, want %d (amalgamated)", mg.H.NumV, a.Rows)
+	}
+	if mg.ColVertex(2) != 2 || mg.RowVertex(2) != 2 {
+		t.Error("amalgamated vertex indices differ")
+	}
+	// Weight conservation still holds.
+	if mg.H.TotalVWeight() != a.NNZ() {
+		t.Errorf("total weight %d != nnz %d", mg.H.TotalVWeight(), a.NNZ())
+	}
+	// Net count unchanged: one per column + one per row.
+	if mg.H.NumN != a.Rows+a.Cols {
+		t.Errorf("nets = %d", mg.H.NumN)
+	}
+}
+
+func TestMediumGrainSymPanicsOnRectangular(t *testing.T) {
+	c := sparse.NewCOO(2, 3)
+	c.Add(0, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MediumGrainSym(c.ToCSR())
+}

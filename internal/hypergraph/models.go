@@ -1,0 +1,213 @@
+package hypergraph
+
+import "repro/internal/sparse"
+
+// ColumnNetModel is the column-net hypergraph of Çatalyürek and Aykanat for
+// 1D rowwise partitioning: one vertex per row (weight = row nnz), one net
+// per column (cost 1) whose pins are the rows with a nonzero in that
+// column. For square matrices, net j additionally pins vertex j so that a
+// symmetric vector partition (x_j with row j) is encoded exactly and the
+// connectivity−1 metric equals the expand volume.
+func ColumnNetModel(a *sparse.CSR) *H {
+	b := NewBuilder(a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		w := a.RowNNZ(i)
+		if w == 0 {
+			w = 1 // keep empty rows movable without zero-weight pathologies
+		}
+		b.SetWeight(i, w)
+	}
+	csc := a.ToCSC()
+	square := a.Rows == a.Cols
+	for j := 0; j < a.Cols; j++ {
+		pins := csc.ColRows(j)
+		if square {
+			withDiag := make([]int, 0, len(pins)+1)
+			withDiag = append(withDiag, pins...)
+			withDiag = append(withDiag, j)
+			b.AddNet(1, withDiag...)
+			continue
+		}
+		if len(pins) > 0 {
+			b.AddNet(1, pins...)
+		} else {
+			b.AddNet(1) // keep net indices aligned with columns
+		}
+	}
+	return b.Build()
+}
+
+// RowNetModel is the row-net hypergraph for 1D columnwise partitioning:
+// the column-net model of the transpose.
+func RowNetModel(a *sparse.CSR) *H {
+	return ColumnNetModel(a.Transpose())
+}
+
+// FineGrainModel is the row-column-net hypergraph of Çatalyürek and
+// Aykanat for 2D nonzero-based partitioning. Vertices are the nonzeros of
+// A in CSR order (vertex p = p-th stored nonzero, weight 1). Net i (for
+// each row, cost 1) pins the nonzeros of row i; net Rows+j (for each
+// column) pins the nonzeros of column j. The connectivity−1 metric counts
+// expand volume (column nets) plus fold volume (row nets).
+type FineGrainModel struct {
+	H *H
+	// NonzeroRow/NonzeroCol give the matrix coordinates of vertex p.
+	NonzeroRow, NonzeroCol []int
+}
+
+// FineGrain builds the fine-grain model of a.
+func FineGrain(a *sparse.CSR) *FineGrainModel {
+	nnz := a.NNZ()
+	m := &FineGrainModel{
+		NonzeroRow: make([]int, nnz),
+		NonzeroCol: make([]int, nnz),
+	}
+	b := NewBuilder(nnz)
+	rowPins := make([][]int, a.Rows)
+	colPins := make([][]int, a.Cols)
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			m.NonzeroRow[p] = i
+			m.NonzeroCol[p] = j
+			rowPins[i] = append(rowPins[i], p)
+			colPins[j] = append(colPins[j], p)
+			p++
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		b.AddNet(1, rowPins[i]...)
+	}
+	for j := 0; j < a.Cols; j++ {
+		b.AddNet(1, colPins[j]...)
+	}
+	m.H = b.Build()
+	return m
+}
+
+// MediumGrainModel is the composite hypergraph of the medium-grain method
+// (Pelt and Bisseling 2014), in the amalgamated form described in §V of
+// the paper. The nonzeros are split A = A_r + A_c: a_ij joins A_r (grouped
+// with its row) when nnz(row i) ≤ nnz(col j), and A_c (grouped with its
+// column) otherwise. Vertices: one per row (0..Rows-1) amalgamating y_i
+// with the A_r nonzeros of row i, and one per column (Rows..Rows+Cols-1)
+// amalgamating x_j with the A_c nonzeros of column j. Nets: column-net j
+// pins {row-vertex i : a_ij ∈ A_r} ∪ {column-vertex j}; row-net i pins
+// {column-vertex j : a_ij ∈ A_c} ∪ {row-vertex i}. A K-way partition of
+// this model decodes directly to an s2D partition, and connectivity−1 is
+// exactly its fused-phase communication volume.
+type MediumGrainModel struct {
+	H    *H
+	Rows int
+	Cols int
+	// Sym marks the amalgamated (symmetric vector partition) variant,
+	// where row i and column i share one vertex.
+	Sym bool
+	// ToRowSide[p] reports whether the p-th nonzero (CSR order) went to A_r.
+	ToRowSide []bool
+}
+
+// RowVertex returns the vertex index of row i.
+func (m *MediumGrainModel) RowVertex(i int) int { return i }
+
+// ColVertex returns the vertex index of column j.
+func (m *MediumGrainModel) ColVertex(j int) int {
+	if m.Sym {
+		return j
+	}
+	return m.Rows + j
+}
+
+// MediumGrainSym builds the composite model for a square matrix with row
+// vertex i and column vertex i amalgamated, as §V of the paper suggests:
+// "the use of composite models enable obtaining symmetric vector
+// partitions ... while exactly encoding the total communication volume."
+// Vertex i then owns y_i, x_i, the A_r nonzeros of row i and the A_c
+// nonzeros of column i; a K-way partition decodes to an s2D partition
+// with identical x and y partitions.
+func MediumGrainSym(a *sparse.CSR) *MediumGrainModel {
+	if a.Rows != a.Cols {
+		panic("hypergraph: MediumGrainSym requires a square matrix")
+	}
+	rowDeg := a.RowDegrees()
+	colDeg := a.ColDegrees()
+	mg := &MediumGrainModel{Rows: a.Rows, Cols: a.Cols, Sym: true, ToRowSide: make([]bool, a.NNZ())}
+
+	b := NewBuilder(a.Rows)
+	w := make([]int, a.Rows)
+	colNetPins := make([][]int, a.Cols)
+	rowNetPins := make([][]int, a.Rows)
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			if rowDeg[i] <= colDeg[j] {
+				mg.ToRowSide[p] = true
+				w[i]++
+				colNetPins[j] = append(colNetPins[j], i)
+			} else {
+				w[j]++
+				rowNetPins[i] = append(rowNetPins[i], j)
+			}
+			p++
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		b.SetWeight(i, w[i])
+	}
+	for j := 0; j < a.Cols; j++ {
+		b.AddNet(1, append(colNetPins[j], j)...)
+	}
+	for i := 0; i < a.Rows; i++ {
+		b.AddNet(1, append(rowNetPins[i], i)...)
+	}
+	mg.H = b.Build()
+	return mg
+}
+
+// MediumGrain builds the composite medium-grain model of a.
+func MediumGrain(a *sparse.CSR) *MediumGrainModel {
+	rowDeg := a.RowDegrees()
+	colDeg := a.ColDegrees()
+	mg := &MediumGrainModel{Rows: a.Rows, Cols: a.Cols, ToRowSide: make([]bool, a.NNZ())}
+
+	b := NewBuilder(a.Rows + a.Cols)
+	rowW := make([]int, a.Rows)
+	colW := make([]int, a.Cols)
+	colNetPins := make([][]int, a.Cols) // pins of column-net j (A_r rows)
+	rowNetPins := make([][]int, a.Rows) // pins of row-net i (A_c cols)
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			if rowDeg[i] <= colDeg[j] {
+				mg.ToRowSide[p] = true
+				rowW[i]++
+				colNetPins[j] = append(colNetPins[j], mg.RowVertex(i))
+			} else {
+				colW[j]++
+				rowNetPins[i] = append(rowNetPins[i], mg.ColVertex(j))
+			}
+			p++
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		b.SetWeight(mg.RowVertex(i), rowW[i])
+	}
+	for j := 0; j < a.Cols; j++ {
+		b.SetWeight(mg.ColVertex(j), colW[j])
+	}
+	// Column-net j: A_r rows of column j plus the column vertex (x_j).
+	for j := 0; j < a.Cols; j++ {
+		pins := append(colNetPins[j], mg.ColVertex(j))
+		b.AddNet(1, pins...)
+	}
+	// Row-net i: A_c columns of row i plus the row vertex (y_i).
+	for i := 0; i < a.Rows; i++ {
+		pins := append(rowNetPins[i], mg.RowVertex(i))
+		b.AddNet(1, pins...)
+	}
+	mg.H = b.Build()
+	return mg
+}

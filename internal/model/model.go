@@ -1,0 +1,83 @@
+// Package model estimates parallel SpMV execution time and speedup from a
+// distribution's load and communication statistics, using the classic
+// α–β–flop machine model. The paper reports measured speedups on a Cray
+// XE6 (Gemini 3D torus); we cannot reproduce the testbed, so speedups here
+// come from this model fed with the very quantities the partitioners
+// control — maximum load, per-phase message counts and volumes. The model
+// reproduces the paper's qualitative regimes: bandwidth-bound at small K,
+// latency-bound at large K, and catastrophic serialization when one
+// processor holds a dense row's worth of work.
+package model
+
+import "repro/internal/distrib"
+
+// Machine is an α–β–flop cost model.
+type Machine struct {
+	// TNonzero is the time for one fused multiply-add on a streamed
+	// nonzero (seconds). SpMV is memory-bound, so this is an effective
+	// rate, not a peak-flop rate.
+	TNonzero float64
+	// Alpha is the fixed per-message cost (seconds).
+	Alpha float64
+	// Beta is the per-word transfer cost (seconds per 8-byte word).
+	Beta float64
+}
+
+// CrayXE6 returns coefficients tuned to the paper's testbed class: ~250M
+// nonzeros/s effective serial SpMV per core, ~2µs message latency on the
+// Gemini torus, and ~10ns effective per-word bandwidth cost including
+// packing.
+func CrayXE6() Machine {
+	return Machine{TNonzero: 4e-9, Alpha: 2e-6, Beta: 1e-8}
+}
+
+// Estimate holds the modelled timings of one parallel SpMV.
+type Estimate struct {
+	SerialTime   float64
+	ParallelTime float64
+	ComputeTime  float64 // max-load compute component
+	CommTime     float64 // summed phase communication components
+	Speedup      float64
+}
+
+// Evaluate models the execution of one SpMV with the given per-part loads
+// (nonzeros owned) and per-phase communication statistics, for a matrix
+// with nnz total nonzeros.
+//
+// T_par = maxLoad·TNonzero + Σ_phases (α·maxMsgs + β·maxWords), where the
+// per-phase maxima are over processors (send and receive considered
+// independently, as both gate progress on a torus NIC).
+func (m Machine) Evaluate(loads []int, phases []distrib.PhaseStats, nnz int) Estimate {
+	maxLoad := 0
+	for _, w := range loads {
+		if w > maxLoad {
+			maxLoad = w
+		}
+	}
+	est := Estimate{
+		SerialTime:  float64(nnz) * m.TNonzero,
+		ComputeTime: float64(maxLoad) * m.TNonzero,
+	}
+	for _, ph := range phases {
+		msgs := ph.MaxSendMsgs
+		if ph.MaxRecvMsgs > msgs {
+			msgs = ph.MaxRecvMsgs
+		}
+		words := ph.MaxSendVol
+		if ph.MaxRecvVol > words {
+			words = ph.MaxRecvVol
+		}
+		est.CommTime += m.Alpha*float64(msgs) + m.Beta*float64(words)
+	}
+	est.ParallelTime = est.ComputeTime + est.CommTime
+	if est.ParallelTime > 0 {
+		est.Speedup = est.SerialTime / est.ParallelTime
+	}
+	return est
+}
+
+// EvaluateDistribution is a convenience wrapper: loads and phases are taken
+// from the distribution's own schedule.
+func (m Machine) EvaluateDistribution(d *distrib.Distribution) Estimate {
+	return m.Evaluate(d.PartLoads(), d.Comm().Phases, d.A.NNZ())
+}

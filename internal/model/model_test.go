@@ -1,0 +1,88 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/distrib"
+	"repro/internal/gen"
+)
+
+func TestEvaluateHandComputed(t *testing.T) {
+	m := Machine{TNonzero: 1e-9, Alpha: 1e-6, Beta: 1e-8}
+	loads := []int{100, 200, 150}
+	phases := []distrib.PhaseStats{
+		{MaxSendMsgs: 2, MaxRecvMsgs: 3, MaxSendVol: 50, MaxRecvVol: 40},
+	}
+	est := m.Evaluate(loads, phases, 450)
+	wantCompute := 200e-9
+	wantComm := 3e-6 + 50e-8
+	if !close(est.ComputeTime, wantCompute) {
+		t.Errorf("compute = %v, want %v", est.ComputeTime, wantCompute)
+	}
+	if !close(est.CommTime, wantComm) {
+		t.Errorf("comm = %v, want %v", est.CommTime, wantComm)
+	}
+	if !close(est.SerialTime, 450e-9) {
+		t.Errorf("serial = %v", est.SerialTime)
+	}
+	if !close(est.Speedup, est.SerialTime/est.ParallelTime) {
+		t.Errorf("speedup inconsistent")
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(1+b)
+}
+
+func TestSpeedupNeverExceedsK(t *testing.T) {
+	// With equal loads and no communication, speedup == K exactly.
+	m := CrayXE6()
+	loads := []int{100, 100, 100, 100}
+	est := m.Evaluate(loads, nil, 400)
+	if !close(est.Speedup, 4) {
+		t.Errorf("ideal speedup = %v, want 4", est.Speedup)
+	}
+}
+
+func TestLatencyDominatesAtHighMessageCounts(t *testing.T) {
+	// The paper's key observation: with dense rows, a processor sending
+	// O(K) messages kills the speedup even with modest volume.
+	m := CrayXE6()
+	few := m.Evaluate([]int{1000, 1000}, []distrib.PhaseStats{{MaxSendMsgs: 2, MaxSendVol: 100}}, 2000)
+	many := m.Evaluate([]int{1000, 1000}, []distrib.PhaseStats{{MaxSendMsgs: 250, MaxSendVol: 100}}, 2000)
+	if many.Speedup >= few.Speedup {
+		t.Errorf("latency not penalized: %v >= %v", many.Speedup, few.Speedup)
+	}
+	if many.CommTime < 100*few.CommTime/2 {
+		t.Errorf("250 messages should cost ~125x more than 2")
+	}
+}
+
+func TestEvaluateDistributionShape(t *testing.T) {
+	// s2D must model faster than 1D on a dense-row matrix: same pattern,
+	// less volume, better balance.
+	a := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 600, Cols: 600, NNZ: 5000, Beta: 0.5, DenseRows: 2, DenseMax: 250, Symmetric: true,
+	}, 3)
+	const k = 16
+	opt := baselines.Options{Seed: 4}
+	oneD := baselines.Rowwise1D(a, k, opt)
+	m := CrayXE6()
+	e1 := m.EvaluateDistribution(oneD)
+	if e1.Speedup <= 0 || e1.Speedup > k {
+		t.Errorf("1D speedup = %v outside (0,%d]", e1.Speedup, k)
+	}
+}
+
+func TestZeroWork(t *testing.T) {
+	m := CrayXE6()
+	est := m.Evaluate(nil, nil, 0)
+	if est.Speedup != 0 {
+		t.Errorf("zero-work speedup = %v", est.Speedup)
+	}
+}

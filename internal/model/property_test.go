@@ -1,0 +1,74 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distrib"
+)
+
+// TestMonotonicity: more load, more messages, or more volume can never
+// make the modelled time smaller.
+func TestMonotonicity(t *testing.T) {
+	m := CrayXE6()
+	base := m.Evaluate([]int{500, 400}, []distrib.PhaseStats{{MaxSendMsgs: 5, MaxSendVol: 100}}, 900)
+	worseLoad := m.Evaluate([]int{900, 400}, []distrib.PhaseStats{{MaxSendMsgs: 5, MaxSendVol: 100}}, 900)
+	worseMsgs := m.Evaluate([]int{500, 400}, []distrib.PhaseStats{{MaxSendMsgs: 50, MaxSendVol: 100}}, 900)
+	worseVol := m.Evaluate([]int{500, 400}, []distrib.PhaseStats{{MaxSendMsgs: 5, MaxSendVol: 10000}}, 900)
+	if worseLoad.ParallelTime <= base.ParallelTime {
+		t.Error("extra load did not increase time")
+	}
+	if worseMsgs.ParallelTime <= base.ParallelTime {
+		t.Error("extra messages did not increase time")
+	}
+	if worseVol.ParallelTime <= base.ParallelTime {
+		t.Error("extra volume did not increase time")
+	}
+}
+
+func TestPropertySpeedupBounds(t *testing.T) {
+	m := CrayXE6()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(64)
+		loads := make([]int, k)
+		nnz := 0
+		for i := range loads {
+			loads[i] = r.Intn(10000)
+			nnz += loads[i]
+		}
+		if nnz == 0 {
+			return true
+		}
+		phases := []distrib.PhaseStats{{
+			MaxSendMsgs: r.Intn(100), MaxRecvMsgs: r.Intn(100),
+			MaxSendVol: r.Intn(5000), MaxRecvVol: r.Intn(5000),
+		}}
+		est := m.Evaluate(loads, phases, nnz)
+		// Speedup can never exceed nnz / maxLoad (perfect comm).
+		maxLoad := 0
+		for _, w := range loads {
+			if w > maxLoad {
+				maxLoad = w
+			}
+		}
+		limit := float64(nnz)/float64(maxLoad) + 1e-9
+		return est.Speedup > 0 && est.Speedup <= limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPhaseAdds(t *testing.T) {
+	m := Machine{TNonzero: 1e-9, Alpha: 1e-6, Beta: 1e-8}
+	one := m.Evaluate([]int{100}, []distrib.PhaseStats{{MaxSendMsgs: 3, MaxSendVol: 10}}, 100)
+	two := m.Evaluate([]int{100}, []distrib.PhaseStats{
+		{MaxSendMsgs: 3, MaxSendVol: 10},
+		{MaxSendMsgs: 3, MaxSendVol: 10},
+	}, 100)
+	if diff := two.CommTime - 2*one.CommTime; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("two phases != 2x one phase: %v vs %v", two.CommTime, one.CommTime)
+	}
+}

@@ -1,0 +1,19 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkRCM(b *testing.B) {
+	m := gen.Band(gen.BandConfig{N: 50000, MinHalfBand: 3, MaxHalfBand: 6}, 1)
+	r := rand.New(rand.NewSource(2))
+	perm := r.Perm(m.Rows)
+	scrambled := m.Permute(perm, perm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RCM(scrambled)
+	}
+}

@@ -1,0 +1,202 @@
+// Package order provides sparse-matrix reordering. Reverse Cuthill–McKee
+// (RCM) reduces the bandwidth of a symmetric pattern; contiguous chunks of
+// an RCM ordering give a cheap — partitioner-free — vector partition whose
+// boundary cut is small, which the harness uses as an ablation against the
+// hypergraph-partitioned vector partitions.
+package order
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// RCM returns a permutation newIndex[old] = new implementing reverse
+// Cuthill–McKee on the symmetrized pattern of a. Disconnected components
+// are each started from a pseudo-peripheral vertex.
+func RCM(a *sparse.CSR) []int {
+	n := a.Rows
+	if a.Cols != n {
+		panic("order: RCM requires a square matrix")
+	}
+	adj := symmetricAdjacency(a)
+	deg := make([]int, n)
+	for v := range adj {
+		deg[v] = len(adj[v])
+	}
+
+	visited := make([]bool, n)
+	orderOld := make([]int, 0, n) // Cuthill–McKee order (pre-reversal)
+	var queue []int
+
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		root := pseudoPeripheral(adj, deg, visited, start)
+		visited[root] = true
+		queue = append(queue[:0], root)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			orderOld = append(orderOld, v)
+			// Neighbours in increasing degree order.
+			nbrs := make([]int, 0, len(adj[v]))
+			for _, u := range adj[v] {
+				if !visited[u] {
+					visited[u] = true
+					nbrs = append(nbrs, u)
+				}
+			}
+			sort.Slice(nbrs, func(x, y int) bool {
+				if deg[nbrs[x]] != deg[nbrs[y]] {
+					return deg[nbrs[x]] < deg[nbrs[y]]
+				}
+				return nbrs[x] < nbrs[y]
+			})
+			queue = append(queue, nbrs...)
+		}
+	}
+
+	// Reverse.
+	perm := make([]int, n)
+	for pos, old := range orderOld {
+		perm[old] = n - 1 - pos
+	}
+	return perm
+}
+
+// symmetricAdjacency builds the adjacency of the pattern of A+Aᵀ without
+// self loops.
+func symmetricAdjacency(a *sparse.CSR) [][]int {
+	n := a.Rows
+	adj := make([][]int, n)
+	add := func(u, v int) {
+		adj[u] = append(adj[u], v)
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range a.RowCols(i) {
+			if i != j {
+				add(i, j)
+				add(j, i)
+			}
+		}
+	}
+	// Dedupe.
+	for v := range adj {
+		sort.Ints(adj[v])
+		out := adj[v][:0]
+		for t, u := range adj[v] {
+			if t == 0 || u != adj[v][t-1] {
+				out = append(out, u)
+			}
+		}
+		adj[v] = out
+	}
+	return adj
+}
+
+// pseudoPeripheral finds a vertex of (near-)maximum eccentricity in the
+// component of start, via the usual double-BFS sweep.
+func pseudoPeripheral(adj [][]int, deg []int, visited []bool, start int) int {
+	bfsFurthest := func(root int) int {
+		seen := map[int]bool{root: true}
+		frontier := []int{root}
+		last := root
+		for len(frontier) > 0 {
+			var next []int
+			bestDeg := -1
+			for _, v := range frontier {
+				for _, u := range adj[v] {
+					if !seen[u] && !visited[u] {
+						seen[u] = true
+						next = append(next, u)
+					}
+				}
+			}
+			if len(next) == 0 {
+				// Lowest-degree vertex of the last level.
+				for _, v := range frontier {
+					if bestDeg == -1 || deg[v] < bestDeg {
+						bestDeg = deg[v]
+						last = v
+					}
+				}
+			}
+			frontier = next
+		}
+		return last
+	}
+	far := bfsFurthest(start)
+	return bfsFurthest(far)
+}
+
+// Bandwidth returns max |i−j| over the nonzeros of a.
+func Bandwidth(a *sparse.CSR) int {
+	bw := 0
+	for i := 0; i < a.Rows; i++ {
+		for _, j := range a.RowCols(i) {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// Profile returns the sum over rows of (i − min column index of row i),
+// another standard envelope size metric.
+func Profile(a *sparse.CSR) int {
+	total := 0
+	for i := 0; i < a.Rows; i++ {
+		cols := a.RowCols(i)
+		if len(cols) == 0 {
+			continue
+		}
+		min := cols[0]
+		for _, j := range cols {
+			if j < min {
+				min = j
+			}
+		}
+		if i > min {
+			total += i - min
+		}
+	}
+	return total
+}
+
+// ContiguousParts assigns n indices to k parts in contiguous weight-
+// balanced chunks: index i gets part p such that the cumulative weight up
+// to i falls in p's share. weights may be nil for uniform.
+func ContiguousParts(n, k int, weights []int) []int {
+	parts := make([]int, n)
+	total := 0
+	if weights == nil {
+		total = n
+	} else {
+		for _, w := range weights {
+			total += w
+		}
+	}
+	if total == 0 {
+		total = 1
+	}
+	cum := 0
+	for i := 0; i < n; i++ {
+		w := 1
+		if weights != nil {
+			w = weights[i]
+		}
+		p := cum * k / total
+		if p >= k {
+			p = k - 1
+		}
+		parts[i] = p
+		cum += w
+	}
+	return parts
+}

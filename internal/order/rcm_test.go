@@ -1,0 +1,132 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func TestRCMIsPermutation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + r.Intn(100)
+		c := sparse.NewCOO(n, n)
+		for i := 0; i < n; i++ {
+			c.Add(i, i, 1)
+		}
+		for e := 0; e < n*2; e++ {
+			i, j := r.Intn(n), r.Intn(n)
+			c.Add(i, j, 1)
+			c.Add(j, i, 1)
+		}
+		a := c.ToCSR()
+		perm := RCM(a)
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				t.Fatalf("trial %d: not a permutation", trial)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	// A band matrix scrambled by a random permutation: RCM must recover a
+	// bandwidth far below the scrambled one.
+	band := gen.Band(gen.BandConfig{N: 400, MinHalfBand: 2, MaxHalfBand: 3}, 7)
+	r := rand.New(rand.NewSource(2))
+	scramble := r.Perm(400)
+	scrambled := band.Permute(scramble, scramble)
+	bwScrambled := Bandwidth(scrambled)
+
+	perm := RCM(scrambled)
+	restored := scrambled.Permute(perm, perm)
+	bwRestored := Bandwidth(restored)
+	if bwRestored*10 > bwScrambled {
+		t.Errorf("RCM bandwidth %d not clearly below scrambled %d", bwRestored, bwScrambled)
+	}
+	if Profile(restored) >= Profile(scrambled) {
+		t.Errorf("RCM profile did not improve: %d vs %d", Profile(restored), Profile(scrambled))
+	}
+}
+
+func TestRCMHandlesDisconnected(t *testing.T) {
+	// Two separate chains plus an isolated vertex.
+	c := sparse.NewCOO(9, 9)
+	for i := 0; i < 3; i++ {
+		c.Add(i, (i+1)%4, 1)
+		c.Add((i+1)%4, i, 1)
+	}
+	for i := 5; i < 7; i++ {
+		c.Add(i, i+1, 1)
+		c.Add(i+1, i, 1)
+	}
+	a := c.ToCSR()
+	perm := RCM(a)
+	seen := make([]bool, 9)
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatal("duplicate index")
+		}
+		seen[p] = true
+	}
+}
+
+func TestRCMRejectsRectangular(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RCM accepted a rectangular matrix")
+		}
+	}()
+	c := sparse.NewCOO(3, 4)
+	RCM(c.ToCSR())
+}
+
+func TestBandwidthAndProfile(t *testing.T) {
+	c := sparse.NewCOO(4, 4)
+	c.Add(0, 0, 1)
+	c.Add(1, 3, 1)
+	c.Add(3, 1, 1)
+	a := c.ToCSR()
+	if bw := Bandwidth(a); bw != 2 {
+		t.Errorf("bandwidth = %d, want 2", bw)
+	}
+	// Profile: row 0: 0; row 1: min col 3 -> 0 (i<min); row 3: min col 1 -> 2.
+	if p := Profile(a); p != 2 {
+		t.Errorf("profile = %d, want 2", p)
+	}
+}
+
+func TestContiguousParts(t *testing.T) {
+	parts := ContiguousParts(10, 2, nil)
+	for i := 0; i < 5; i++ {
+		if parts[i] != 0 {
+			t.Errorf("parts[%d] = %d, want 0", i, parts[i])
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if parts[i] != 1 {
+			t.Errorf("parts[%d] = %d, want 1", i, parts[i])
+		}
+	}
+	// Weighted: one heavy item takes a whole part.
+	w := []int{100, 1, 1, 1, 1}
+	wp := ContiguousParts(5, 2, w)
+	if wp[0] != 0 {
+		t.Errorf("heavy item part = %d", wp[0])
+	}
+	for i := 1; i < 5; i++ {
+		if wp[i] != 1 {
+			t.Errorf("light item %d part = %d, want 1", i, wp[i])
+		}
+	}
+	// Monotone non-decreasing always.
+	for i := 1; i < 5; i++ {
+		if wp[i] < wp[i-1] {
+			t.Error("parts not monotone")
+		}
+	}
+}

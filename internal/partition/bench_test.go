@@ -1,0 +1,70 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+)
+
+func benchHypergraph() *hypergraph.H {
+	m := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 20000, Cols: 20000, NNZ: 120000, Beta: 0.5,
+		DenseRows: 2, DenseMax: 1500, Symmetric: true, Locality: 0.9,
+	}, 1)
+	return hypergraph.ColumnNetModel(m)
+}
+
+func BenchmarkPartitionK16(b *testing.B) {
+	h := benchHypergraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Partition(h, Config{K: 16, Seed: int64(i)})
+	}
+}
+
+func BenchmarkPartitionK256(b *testing.B) {
+	h := benchHypergraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Partition(h, Config{K: 256, Seed: int64(i)})
+	}
+}
+
+func BenchmarkCoarsen(b *testing.B) {
+	h := benchHypergraph()
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = coarsen(h, r)
+	}
+}
+
+func BenchmarkFMRefine(b *testing.B) {
+	h := benchHypergraph()
+	r := rand.New(rand.NewSource(1))
+	total := h.TotalVWeight()
+	maxW := [2]int{total/2 + total/20, total/2 + total/20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		side := make([]int8, h.NumV)
+		for v := range side {
+			side[v] = int8(r.Intn(2))
+		}
+		b.StartTimer()
+		_ = fmRefine(h, side, maxW, 2, r)
+	}
+}
+
+// BenchmarkPartitionFineGrain measures the heaviest model: one vertex per
+// nonzero.
+func BenchmarkPartitionFineGrain(b *testing.B) {
+	m := gen.Band(gen.BandConfig{N: 8000, MinHalfBand: 4, MaxHalfBand: 8}, 2)
+	fg := hypergraph.FineGrain(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Partition(fg.H, Config{K: 64, Seed: int64(i)})
+	}
+}

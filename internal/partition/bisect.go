@@ -1,0 +1,210 @@
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/hypergraph"
+)
+
+// bisect computes a two-way partition of h with side weight bounds maxW,
+// where side 0 will be split into k1 parts and side 1 into k2. It coarsens
+// multilevel, tries several initial partitions at the coarsest level, then
+// refines on the way back up.
+func bisect(h *hypergraph.H, maxW [2]int, k1, k2 int, cfg Config, r *rand.Rand) []int8 {
+	type level struct {
+		fine     *hypergraph.H
+		toCoarse []int
+	}
+	var levels []level
+	cur := h
+	for cur.NumV > cfg.CoarsenTo {
+		coarse, toCoarse := coarsen(cur, r)
+		if float64(coarse.NumV) > 0.95*float64(cur.NumV) {
+			break // matching stalled; stop coarsening
+		}
+		levels = append(levels, level{fine: cur, toCoarse: toCoarse})
+		cur = coarse
+	}
+
+	side := initialBisection(cur, maxW, k1, k2, cfg, r)
+	fmRefine(cur, side, maxW, cfg.Passes, r)
+
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fineSide := make([]int8, lv.fine.NumV)
+		for v := 0; v < lv.fine.NumV; v++ {
+			fineSide[v] = side[lv.toCoarse[v]]
+		}
+		side = fineSide
+		fmRefine(lv.fine, side, maxW, cfg.Passes, r)
+	}
+	return side
+}
+
+// initialBisection tries cfg.Runs greedy-hypergraph-growing starts plus a
+// weight-balancing greedy start, FM-refines each, and keeps the best by
+// (feasibility, cut, max overweight).
+func initialBisection(h *hypergraph.H, maxW [2]int, k1, k2 int, cfg Config, r *rand.Rand) []int8 {
+	totalW := h.TotalVWeight()
+	target0 := int(float64(totalW) * float64(k1) / float64(k1+k2))
+
+	type candidate struct {
+		side []int8
+		cut  int
+		over int
+	}
+	evaluate := func(side []int8) candidate {
+		cut := fmRefine(h, side, maxW, 2, r)
+		w := [2]int{}
+		for v, s := range side {
+			w[s] += h.VWeight[v]
+		}
+		over := maxInt(0, maxInt(w[0]-maxW[0], w[1]-maxW[1]))
+		return candidate{side: side, cut: cut, over: over}
+	}
+	better := func(a, b candidate) bool {
+		if (a.over == 0) != (b.over == 0) {
+			return a.over == 0
+		}
+		if a.cut != b.cut {
+			return a.cut < b.cut
+		}
+		return a.over < b.over
+	}
+
+	var best candidate
+	haveBest := false
+	consider := func(side []int8) {
+		c := evaluate(side)
+		if !haveBest || better(c, best) {
+			best = c
+			haveBest = true
+		}
+	}
+
+	for run := 0; run < cfg.Runs; run++ {
+		consider(growSide(h, target0, r))
+	}
+	consider(greedyBalance(h, target0))
+	return best.side
+}
+
+// growSide grows side 0 from a random seed vertex by net-BFS until it
+// reaches the target weight; everything else is side 1.
+func growSide(h *hypergraph.H, target0 int, r *rand.Rand) []int8 {
+	side := make([]int8, h.NumV)
+	for i := range side {
+		side[i] = 1
+	}
+	visited := make([]bool, h.NumV)
+	w0 := 0
+	queue := make([]int, 0, h.NumV)
+	head := 0
+	addVertex := func(v int) {
+		if !visited[v] {
+			visited[v] = true
+			queue = append(queue, v)
+		}
+	}
+	addVertex(r.Intn(h.NumV))
+	for w0 < target0 {
+		if head == len(queue) {
+			// Disconnected: restart from an unvisited vertex.
+			v := -1
+			for trial := 0; trial < 16; trial++ {
+				u := r.Intn(h.NumV)
+				if !visited[u] {
+					v = u
+					break
+				}
+			}
+			if v < 0 {
+				for u := 0; u < h.NumV; u++ {
+					if !visited[u] {
+						v = u
+						break
+					}
+				}
+			}
+			if v < 0 {
+				break
+			}
+			addVertex(v)
+		}
+		v := queue[head]
+		head++
+		side[v] = 0
+		w0 += h.VWeight[v]
+		for _, n := range h.Nets(v) {
+			if h.NetSize(n) > coarsenNetLimit {
+				continue
+			}
+			for _, u := range h.Pins(n) {
+				addVertex(u)
+			}
+		}
+	}
+	return side
+}
+
+// greedyBalance assigns vertices in decreasing weight to whichever side is
+// further below its share — robust when a few vertices dominate the weight.
+func greedyBalance(h *hypergraph.H, target0 int) []int8 {
+	order := make([]int, h.NumV)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by decreasing weight (stable enough with simple sort).
+	sortByWeightDesc(order, h.VWeight)
+	side := make([]int8, h.NumV)
+	total := h.TotalVWeight()
+	target1 := total - target0
+	w := [2]int{}
+	for _, v := range order {
+		// Relative slack.
+		d0 := float64(target0-w[0]) / float64(maxInt(target0, 1))
+		d1 := float64(target1-w[1]) / float64(maxInt(target1, 1))
+		if d0 >= d1 {
+			side[v] = 0
+			w[0] += h.VWeight[v]
+		} else {
+			side[v] = 1
+			w[1] += h.VWeight[v]
+		}
+	}
+	return side
+}
+
+func sortByWeightDesc(order []int, w []int) {
+	// Counting-sort-free path: simple quicksort via sort.Slice would
+	// allocate a closure; this is a hot path only at the coarsest level,
+	// so clarity wins.
+	quickSortDesc(order, w, 0, len(order)-1)
+}
+
+func quickSortDesc(order, w []int, lo, hi int) {
+	for lo < hi {
+		p := order[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for w[order[i]] > w[p] {
+				i++
+			}
+			for w[order[j]] < w[p] {
+				j--
+			}
+			if i <= j {
+				order[i], order[j] = order[j], order[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickSortDesc(order, w, lo, j)
+			lo = i
+		} else {
+			quickSortDesc(order, w, i, hi)
+			hi = j
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package partition
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"repro/internal/hypergraph"
+)
+
+// coarsenNetLimit: nets larger than this are ignored during matching; huge
+// nets carry almost no connectivity signal and would make matching
+// quadratic.
+const coarsenNetLimit = 400
+
+// coarsen contracts a heavy-connectivity matching of h and returns the
+// coarse hypergraph plus the fine→coarse vertex map. Matched pairs share at
+// least one net; the score of a candidate pair is Σ cost(n)/(|n|−1) over
+// shared nets (the expected cut saving). Cluster weight is capped so a few
+// heavy vertices cannot swallow the graph.
+func coarsen(h *hypergraph.H, r *rand.Rand) (*hypergraph.H, []int) {
+	numV := h.NumV
+	match := make([]int, numV)
+	for i := range match {
+		match[i] = -1
+	}
+	totalW := h.TotalVWeight()
+	capW := totalW / 8
+	if capW < 2 {
+		capW = 2
+	}
+
+	score := make([]float64, numV)
+	touched := make([]int, 0, 64)
+	order := r.Perm(numV)
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		touched = touched[:0]
+		for _, n := range h.Nets(v) {
+			sz := h.NetSize(n)
+			if sz < 2 || sz > coarsenNetLimit {
+				continue
+			}
+			w := float64(h.NCost[n]) / float64(sz-1)
+			for _, u := range h.Pins(n) {
+				if u == v || match[u] != -1 {
+					continue
+				}
+				if score[u] == 0 {
+					touched = append(touched, u)
+				}
+				score[u] += w
+			}
+		}
+		best, bestScore := -1, 0.0
+		for _, u := range touched {
+			if score[u] > bestScore && h.VWeight[v]+h.VWeight[u] <= capW {
+				best, bestScore = u, score[u]
+			}
+			score[u] = 0
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+
+	// Assign coarse ids.
+	toCoarse := make([]int, numV)
+	for i := range toCoarse {
+		toCoarse[i] = -1
+	}
+	nc := 0
+	for v := 0; v < numV; v++ {
+		if toCoarse[v] != -1 {
+			continue
+		}
+		toCoarse[v] = nc
+		if m := match[v]; m != v && m >= 0 {
+			toCoarse[m] = nc
+		}
+		nc++
+	}
+
+	coarse := &hypergraph.H{NumV: nc, VWeight: make([]int, nc)}
+	for v := 0; v < numV; v++ {
+		coarse.VWeight[toCoarse[v]] += h.VWeight[v]
+	}
+
+	// Remap nets: dedupe pins within a net, drop nets below two pins, and
+	// merge structurally identical nets (their costs add) — essential for
+	// speed on banded matrices whose column nets collapse together.
+	type netRec struct{ cost, ptr, len int }
+	var pins []int
+	var recs []netRec
+	seen := make([]int, nc)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for n := 0; n < h.NumN; n++ {
+		start := len(pins)
+		for _, v := range h.Pins(n) {
+			cv := toCoarse[v]
+			if seen[cv] != n {
+				seen[cv] = n
+				pins = append(pins, cv)
+			}
+		}
+		if len(pins)-start < 2 {
+			pins = pins[:start]
+			continue
+		}
+		seg := pins[start:]
+		sort.Ints(seg)
+		recs = append(recs, netRec{cost: h.NCost[n], ptr: start, len: len(seg)})
+	}
+
+	// Merge identical nets by hashing sorted pin lists.
+	byHash := make(map[uint64][]int, len(recs))
+	merged := make([]int, 0, len(recs)) // indices of representative recs
+	for idx := range recs {
+		hsh := hashPins(pins[recs[idx].ptr : recs[idx].ptr+recs[idx].len])
+		dup := -1
+		for _, other := range byHash[hsh] {
+			if samePins(pins, recs[other], recs[idx]) {
+				dup = other
+				break
+			}
+		}
+		if dup >= 0 {
+			recs[dup].cost += recs[idx].cost
+		} else {
+			byHash[hsh] = append(byHash[hsh], idx)
+			merged = append(merged, idx)
+		}
+	}
+
+	coarse.NumN = len(merged)
+	coarse.NCost = make([]int, len(merged))
+	coarse.NetPtr = make([]int, len(merged)+1)
+	coarse.NetPins = make([]int, 0, len(pins))
+	for i, idx := range merged {
+		rec := recs[idx]
+		coarse.NCost[i] = rec.cost
+		coarse.NetPins = append(coarse.NetPins, pins[rec.ptr:rec.ptr+rec.len]...)
+		coarse.NetPtr[i+1] = len(coarse.NetPins)
+	}
+	rebuildVtxIndex(coarse)
+	return coarse, toCoarse
+}
+
+func hashPins(pins []int) uint64 {
+	f := fnv.New64a()
+	var b [8]byte
+	for _, p := range pins {
+		b[0] = byte(p)
+		b[1] = byte(p >> 8)
+		b[2] = byte(p >> 16)
+		b[3] = byte(p >> 24)
+		b[4] = byte(p >> 32)
+		b[5] = byte(p >> 40)
+		b[6] = byte(p >> 48)
+		b[7] = byte(p >> 56)
+		f.Write(b[:])
+	}
+	return f.Sum64()
+}
+
+func samePins(pins []int, a, b struct{ cost, ptr, len int }) bool {
+	if a.len != b.len {
+		return false
+	}
+	pa, pb := pins[a.ptr:a.ptr+a.len], pins[b.ptr:b.ptr+b.len]
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false
+		}
+	}
+	return true
+}

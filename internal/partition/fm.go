@@ -1,0 +1,342 @@
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/hypergraph"
+)
+
+// fmRefine runs up to `passes` Fiduccia–Mattheyses passes on a bisection,
+// minimizing the cut-net cost subject to side weight bounds maxW. When a
+// side exceeds its bound (possible with vertices heavier than a part),
+// moves that reduce the maximum side weight are permitted so the pass can
+// still improve balance. side is modified in place; returns the final cut.
+func fmRefine(h *hypergraph.H, side []int8, maxW [2]int, passes int, r *rand.Rand) int {
+	st := newFMState(h, side, maxW)
+	for p := 0; p < passes; p++ {
+		if improved := st.pass(r); !improved {
+			break
+		}
+	}
+	return st.cut
+}
+
+type fmState struct {
+	h    *hypergraph.H
+	side []int8
+	w    [2]int
+	maxW [2]int
+	pin  [2][]int // pin[s][n]: pins of net n on side s
+	cut  int
+
+	gain   []int
+	locked []bool
+	// Gain bucket lists per side.
+	off    int // gain offset so indices are non-negative
+	head   [2][]int
+	next   []int
+	prev   []int
+	curMax [2]int
+	moves  []int // order of moved vertices in current pass
+}
+
+func newFMState(h *hypergraph.H, side []int8, maxW [2]int) *fmState {
+	st := &fmState{h: h, side: side, maxW: maxW}
+	st.pin[0] = make([]int, h.NumN)
+	st.pin[1] = make([]int, h.NumN)
+	for v := 0; v < h.NumV; v++ {
+		st.w[side[v]] += h.VWeight[v]
+	}
+	for n := 0; n < h.NumN; n++ {
+		for _, v := range h.Pins(n) {
+			st.pin[side[v]][n]++
+		}
+		if st.pin[0][n] > 0 && st.pin[1][n] > 0 {
+			st.cut += h.NCost[n]
+		}
+	}
+	st.gain = make([]int, h.NumV)
+	st.locked = make([]bool, h.NumV)
+	st.next = make([]int, h.NumV)
+	st.prev = make([]int, h.NumV)
+
+	// Maximum possible |gain|: the largest per-vertex incident net cost sum.
+	maxG := 1
+	for v := 0; v < h.NumV; v++ {
+		s := 0
+		for _, n := range h.Nets(v) {
+			s += h.NCost[n]
+		}
+		if s > maxG {
+			maxG = s
+		}
+	}
+	st.off = maxG
+	st.head[0] = make([]int, 2*maxG+1)
+	st.head[1] = make([]int, 2*maxG+1)
+	return st
+}
+
+const nilV = -1
+
+func (st *fmState) computeGain(v int) int {
+	s := st.side[v]
+	g := 0
+	for _, n := range st.h.Nets(v) {
+		if st.pin[s][n] == 1 {
+			g += st.h.NCost[n] // moving v uncuts (or keeps uncut) this net
+		}
+		if st.pin[1-s][n] == 0 {
+			g -= st.h.NCost[n] // moving v cuts this net
+		}
+	}
+	return g
+}
+
+func (st *fmState) bucketInsert(v int) {
+	s := st.side[v]
+	idx := st.gain[v] + st.off
+	st.next[v] = st.head[s][idx] - 1 // head stores id+1, 0 = empty
+	st.prev[v] = nilV
+	if st.next[v] != nilV {
+		st.prev[st.next[v]] = v
+	}
+	st.head[s][idx] = v + 1
+	if idx > st.curMax[s] {
+		st.curMax[s] = idx
+	}
+}
+
+func (st *fmState) bucketRemove(v int) {
+	s := st.side[v]
+	idx := st.gain[v] + st.off
+	if st.prev[v] != nilV {
+		st.next[st.prev[v]] = st.next[v]
+	} else {
+		st.head[s][idx] = st.next[v] + 1
+	}
+	if st.next[v] != nilV {
+		st.prev[st.next[v]] = st.prev[v]
+	}
+}
+
+func (st *fmState) updateGain(v, delta int) {
+	if st.locked[v] {
+		return
+	}
+	st.bucketRemove(v)
+	st.gain[v] += delta
+	st.bucketInsert(v)
+}
+
+// bestFrom returns the highest-gain unlocked vertex on side s, or -1.
+func (st *fmState) bestFrom(s int8) int {
+	for st.curMax[s] >= 0 {
+		if id := st.head[s][st.curMax[s]]; id != 0 {
+			return id - 1
+		}
+		st.curMax[s]--
+	}
+	return -1
+}
+
+// legalMove reports whether moving v (weight wv) from side s is allowed:
+// the destination stays within bound, or the move strictly reduces the
+// maximum side weight (rescue mode for oversized vertices).
+func (st *fmState) legalMove(v int) bool {
+	s := st.side[v]
+	wv := st.h.VWeight[v]
+	if st.w[1-s]+wv <= st.maxW[1-s] {
+		return true
+	}
+	return st.w[1-s]+wv < st.w[s]
+}
+
+// applyMove moves v across and updates pin counts, cut, and neighbor gains.
+func (st *fmState) applyMove(v int) {
+	f := st.side[v]
+	t := 1 - f
+	st.cut -= st.gain[v]
+	for _, n := range st.h.Nets(v) {
+		cost := st.h.NCost[n]
+		// Before-move updates.
+		switch st.pin[t][n] {
+		case 0: // net becomes cut; every other F pin now gains from following
+			for _, u := range st.h.Pins(n) {
+				if u != v {
+					st.updateGain(u, cost)
+				}
+			}
+		case 1: // the lone T pin no longer uncuts the net by moving back
+			for _, u := range st.h.Pins(n) {
+				if u != v && st.side[u] == int8(t) {
+					st.updateGain(u, -cost)
+					break
+				}
+			}
+		}
+		st.pin[f][n]--
+		st.pin[t][n]++
+		// After-move updates.
+		switch st.pin[f][n] {
+		case 0: // net now internal to T; moving any pin would cut it
+			for _, u := range st.h.Pins(n) {
+				if u != v {
+					st.updateGain(u, -cost)
+				}
+			}
+		case 1: // the lone remaining F pin can uncut the net
+			for _, u := range st.h.Pins(n) {
+				if u != v && st.side[u] == int8(f) {
+					st.updateGain(u, cost)
+					break
+				}
+			}
+		}
+	}
+	st.w[f] -= st.h.VWeight[v]
+	st.w[t] += st.h.VWeight[v]
+	st.side[v] = int8(t)
+	st.locked[v] = true
+	st.moves = append(st.moves, v)
+}
+
+// pass runs one FM pass with prefix rollback; returns whether the cut or
+// the balance improved.
+func (st *fmState) pass(r *rand.Rand) bool {
+	numV := st.h.NumV
+	for v := 0; v < numV; v++ {
+		st.locked[v] = false
+		st.gain[v] = st.computeGain(v)
+	}
+	for s := 0; s < 2; s++ {
+		for i := range st.head[s] {
+			st.head[s][i] = 0
+		}
+		st.curMax[s] = len(st.head[s]) - 1
+	}
+	// Insert in random order so ties break differently between passes.
+	for _, v := range r.Perm(numV) {
+		st.bucketInsert(v)
+	}
+	st.moves = st.moves[:0]
+
+	startCut := st.cut
+	startBal := maxInt(st.w[0]-st.maxW[0], st.w[1]-st.maxW[1])
+	bestCut := st.cut
+	bestBal := startBal
+	bestIdx := 0
+	negRun := 0
+	maxNegRun := maxInt(120, numV/50)
+
+	// Feasibility first: while a side exceeds its bound, reducing the
+	// overweight dominates the cut; once feasible, the cut dominates.
+	better := func(cut, bal int) bool {
+		feasNew, feasBest := bal <= 0, bestBal <= 0
+		if feasNew != feasBest {
+			return feasNew
+		}
+		if !feasNew { // both infeasible
+			if bal != bestBal {
+				return bal < bestBal
+			}
+			return cut < bestCut
+		}
+		if cut != bestCut {
+			return cut < bestCut
+		}
+		return bal < bestBal
+	}
+
+	for len(st.moves) < numV {
+		v := st.pickMove()
+		if v < 0 {
+			break
+		}
+		st.bucketRemove(v)
+		st.applyMove(v)
+		bal := maxInt(st.w[0]-st.maxW[0], st.w[1]-st.maxW[1])
+		if better(st.cut, bal) {
+			bestCut, bestBal, bestIdx = st.cut, bal, len(st.moves)
+			negRun = 0
+		} else {
+			negRun++
+			if negRun > maxNegRun {
+				break
+			}
+		}
+	}
+	// Roll back to the best prefix.
+	for i := len(st.moves) - 1; i >= bestIdx; i-- {
+		st.undoMove(st.moves[i])
+	}
+	st.moves = st.moves[:bestIdx]
+	return st.cut < startCut || bestBal < startBal
+}
+
+// pickMove selects the legal unlocked vertex with the highest gain across
+// both sides; ties prefer moving off the heavier side. While a side is
+// over its bound, only moves off that side are considered, so the pass
+// drains it even when those moves cost cut.
+func (st *fmState) pickMove() int {
+	v0 := st.bestFrom(0)
+	v1 := st.bestFrom(1)
+	for {
+		over0 := st.w[0] > st.maxW[0]
+		over1 := st.w[1] > st.maxW[1]
+		var cand int
+		switch {
+		case v0 < 0 && v1 < 0:
+			return -1
+		case over0 && !over1 && v0 >= 0:
+			cand = v0
+		case over1 && !over0 && v1 >= 0:
+			cand = v1
+		case v1 < 0:
+			cand = v0
+		case v0 < 0:
+			cand = v1
+		case st.gain[v0] > st.gain[v1]:
+			cand = v0
+		case st.gain[v1] > st.gain[v0]:
+			cand = v1
+		case st.w[0] >= st.w[1]:
+			cand = v0
+		default:
+			cand = v1
+		}
+		if st.legalMove(cand) {
+			return cand
+		}
+		// Illegal: remove from bucket (stays unlocked but unmovable this
+		// step); it will be re-inserted on its next gain update.
+		st.bucketRemove(cand)
+		st.locked[cand] = true // treat as locked for the rest of the pass
+		if cand == v0 {
+			v0 = st.bestFrom(0)
+		} else {
+			v1 = st.bestFrom(1)
+		}
+	}
+}
+
+// undoMove reverses a move without touching gains (used after a pass).
+func (st *fmState) undoMove(v int) {
+	f := st.side[v] // current side (the move target)
+	t := 1 - f      // original side
+	for _, n := range st.h.Nets(v) {
+		st.pin[f][n]--
+		st.pin[t][n]++
+	}
+	st.w[f] -= st.h.VWeight[v]
+	st.w[t] += st.h.VWeight[v]
+	st.side[v] = t
+	st.cut += st.gain[v] // gain was banked when the move applied
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hypergraph"
+)
+
+// mcInstance: a hypergraph whose vertices carry two constraint weights
+// anti-correlated by halves — single-constraint balance on the sum would
+// allow putting all of constraint 0 on one side.
+func mcInstance(n int) (*hypergraph.H, [][]int) {
+	b := hypergraph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddNet(1, i, i+1)
+	}
+	h := b.Build()
+	w := make([][]int, 2)
+	w[0] = make([]int, n)
+	w[1] = make([]int, n)
+	for v := 0; v < n; v++ {
+		if v < n/2 {
+			w[0][v] = 3
+			w[1][v] = 1
+		} else {
+			w[0][v] = 1
+			w[1][v] = 3
+		}
+	}
+	return h, w
+}
+
+func constraintLoads(parts []int, w [][]int, k int) [][]int {
+	out := make([][]int, len(w))
+	for c := range w {
+		out[c] = make([]int, k)
+		for v, p := range parts {
+			out[c][p] += w[c][v]
+		}
+	}
+	return out
+}
+
+func TestPartitionMCBalancesEveryConstraint(t *testing.T) {
+	h, w := mcInstance(400)
+	const k = 4
+	parts := PartitionMC(h, w, Config{K: k, Seed: 1})
+	loads := constraintLoads(parts, w, k)
+	for c := range loads {
+		var sum, max int
+		for _, x := range loads[c] {
+			sum += x
+			if x > max {
+				max = x
+			}
+		}
+		imb := float64(max)/(float64(sum)/float64(k)) - 1
+		if imb > 0.12 {
+			t.Errorf("constraint %d imbalance = %.3f (loads %v)", c, imb, loads[c])
+		}
+	}
+}
+
+func TestPartitionMCCutReasonable(t *testing.T) {
+	h, w := mcInstance(400)
+	parts := PartitionMC(h, w, Config{K: 4, Seed: 2})
+	cut := hypergraph.ConnectivityMinusOne(h, parts, 4)
+	// A chain cut into 4 balanced-by-two-constraints pieces: the
+	// anti-correlated weights force interleaving, but the cut should stay
+	// far below random (~300).
+	if cut > 90 {
+		t.Errorf("cut = %d, want small", cut)
+	}
+}
+
+func TestPartitionMCSingleConstraintMatchesScalar(t *testing.T) {
+	h := chainHypergraph(200)
+	w := [][]int{make([]int, 200)}
+	for v := range w[0] {
+		w[0][v] = 1
+	}
+	parts := PartitionMC(h, w, Config{K: 4, Seed: 3})
+	if imb := hypergraph.Imbalance(h, parts, 4); imb > 0.08 {
+		t.Errorf("imbalance = %.3f", imb)
+	}
+	cut := hypergraph.ConnectivityMinusOne(h, parts, 4)
+	if cut > 8 {
+		t.Errorf("cut = %d on a chain", cut)
+	}
+}
+
+func TestPartitionMCNoConstraintsFallsBack(t *testing.T) {
+	h := chainHypergraph(64)
+	parts := PartitionMC(h, nil, Config{K: 2, Seed: 4})
+	if cut := hypergraph.ConnectivityMinusOne(h, parts, 2); cut != 1 {
+		t.Errorf("fallback cut = %d", cut)
+	}
+}
+
+func TestPartitionMCValidOutput(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		n := 30 + r.Intn(100)
+		b := hypergraph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.AddNet(1, r.Intn(n), r.Intn(n), r.Intn(n))
+		}
+		h := b.Build()
+		nc := 1 + r.Intn(3)
+		w := make([][]int, nc)
+		for c := range w {
+			w[c] = make([]int, n)
+			for v := range w[c] {
+				w[c][v] = r.Intn(5)
+			}
+		}
+		k := 2 + r.Intn(6)
+		parts := PartitionMC(h, w, Config{K: k, Seed: int64(trial)})
+		for _, p := range parts {
+			if p < 0 || p >= k {
+				t.Fatalf("trial %d: part out of range", trial)
+			}
+		}
+	}
+}

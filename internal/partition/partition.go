@@ -1,0 +1,164 @@
+// Package partition implements a from-scratch multilevel K-way hypergraph
+// partitioner in the style of PaToH (which is closed source): recursive
+// bisection with heavy-connectivity-matching coarsening, greedy hypergraph
+// growing initial partitions, and Fiduccia–Mattheyses boundary refinement.
+// Cut nets are split between the two sides at each bisection, which makes
+// the sum of bisection cuts equal the K-way connectivity−1 metric — the
+// total SpMV communication volume under the standard hypergraph models.
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/hypergraph"
+)
+
+// Config controls a K-way partitioning run.
+type Config struct {
+	K         int     // number of parts, ≥ 1
+	Epsilon   float64 // imbalance tolerance; default 0.03
+	Seed      int64   // RNG seed; same seed ⇒ same partition
+	CoarsenTo int     // stop coarsening below this many vertices; default 96
+	Runs      int     // initial-partition trials per bisection; default 6
+	Passes    int     // FM passes per uncoarsening level; default 3
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.03
+	}
+	if c.CoarsenTo <= 0 {
+		c.CoarsenTo = 96
+	}
+	if c.Runs <= 0 {
+		c.Runs = 6
+	}
+	if c.Passes <= 0 {
+		c.Passes = 3
+	}
+	return c
+}
+
+// Partition computes a K-way partition of h and returns the part index of
+// every vertex. The imbalance target applies to vertex weight; vertices
+// heavier than a part's capacity make perfect balance impossible, in which
+// case the partitioner minimizes the maximum part weight best-effort (this
+// is exactly the regime the paper studies for 1D partitions of dense-row
+// matrices).
+func Partition(h *hypergraph.H, cfg Config) []int {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 {
+		panic("partition: K must be >= 1")
+	}
+	parts := make([]int, h.NumV)
+	if cfg.K == 1 || h.NumV == 0 {
+		return parts
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	// Global per-part capacity: proportional allocation keeps the final
+	// K-way imbalance near Epsilon without per-level tolerance shrinking.
+	cell := float64(h.TotalVWeight()) / float64(cfg.K) * (1 + cfg.Epsilon)
+	rb(h, identity(h.NumV), cfg.K, 0, parts, cell, cfg, r)
+	return parts
+}
+
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// rb recursively bisects h (whose vertices map to original ids origID) into
+// k parts labelled partBase..partBase+k-1, writing results into out.
+func rb(h *hypergraph.H, origID []int, k, partBase int, out []int, cell float64, cfg Config, r *rand.Rand) {
+	if k == 1 {
+		for _, id := range origID {
+			out[id] = partBase
+		}
+		return
+	}
+	if h.NumV <= k {
+		// Fewer vertices than parts: spread them out.
+		for v, id := range origID {
+			out[id] = partBase + v%k
+		}
+		return
+	}
+	k1 := (k + 1) / 2
+	k2 := k - k1
+	maxW := [2]int{int(cell * float64(k1)), int(cell * float64(k2))}
+	side := bisect(h, maxW, k1, k2, cfg, r)
+
+	h0, ids0 := subHypergraph(h, side, 0, origID)
+	h1, ids1 := subHypergraph(h, side, 1, origID)
+	rb(h0, ids0, k1, partBase, out, cell, cfg, r)
+	rb(h1, ids1, k2, partBase+k1, out, cell, cfg, r)
+}
+
+// subHypergraph extracts the side-s induced hypergraph with net splitting:
+// each net keeps only its side-s pins; nets with fewer than two remaining
+// pins are dropped (they can never be cut again). Identical split nets are
+// not merged here — coarsening handles that.
+func subHypergraph(h *hypergraph.H, side []int8, s int8, origID []int) (*hypergraph.H, []int) {
+	newID := make([]int, h.NumV)
+	var ids []int
+	for v := 0; v < h.NumV; v++ {
+		if side[v] == s {
+			newID[v] = len(ids)
+			ids = append(ids, origID[v])
+		} else {
+			newID[v] = -1
+		}
+	}
+	sub := &hypergraph.H{NumV: len(ids)}
+	sub.VWeight = make([]int, len(ids))
+	for v := 0; v < h.NumV; v++ {
+		if newID[v] >= 0 {
+			sub.VWeight[newID[v]] = h.VWeight[v]
+		}
+	}
+	netPtr := []int{0}
+	var pins []int
+	var costs []int
+	for n := 0; n < h.NumN; n++ {
+		start := len(pins)
+		for _, v := range h.Pins(n) {
+			if newID[v] >= 0 {
+				pins = append(pins, newID[v])
+			}
+		}
+		if len(pins)-start < 2 {
+			pins = pins[:start]
+			continue
+		}
+		netPtr = append(netPtr, len(pins))
+		costs = append(costs, h.NCost[n])
+	}
+	sub.NumN = len(costs)
+	sub.NCost = costs
+	sub.NetPtr = netPtr
+	sub.NetPins = pins
+	rebuildVtxIndex(sub)
+	return sub, ids
+}
+
+func rebuildVtxIndex(h *hypergraph.H) {
+	h.VtxPtr = make([]int, h.NumV+1)
+	for _, v := range h.NetPins {
+		h.VtxPtr[v+1]++
+	}
+	for v := 0; v < h.NumV; v++ {
+		h.VtxPtr[v+1] += h.VtxPtr[v]
+	}
+	h.VtxNets = make([]int, len(h.NetPins))
+	pos := make([]int, h.NumV)
+	copy(pos, h.VtxPtr[:h.NumV])
+	for n := 0; n < h.NumN; n++ {
+		for _, v := range h.Pins(n) {
+			h.VtxNets[pos[v]] = n
+			pos[v]++
+		}
+	}
+}

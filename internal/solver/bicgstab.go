@@ -1,0 +1,83 @@
+package solver
+
+import (
+	"errors"
+	"math"
+)
+
+// BiCGSTAB solves Ax = b for general (unsymmetric) A — the solver class
+// behind the paper's circuit-simulation matrices. x is both the initial
+// guess and the output.
+func BiCGSTAB(mul MulVec, b, x []float64, tol float64, maxIter int) (Result, error) {
+	n := len(b)
+	if len(x) != n {
+		return Result{}, ErrDimension
+	}
+	r := make([]float64, n)
+	mul(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	rHat := append([]float64(nil), r...)
+	v := make([]float64, n)
+	p := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	bNorm := math.Sqrt(Dot(b, b))
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	var res Result
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		res.Residual = math.Sqrt(Dot(r, r)) / bNorm
+		if res.Residual < tol {
+			res.Converged = true
+			return res, nil
+		}
+		rhoNew := Dot(rHat, r)
+		if rhoNew == 0 {
+			return res, errors.New("solver: BiCGSTAB breakdown (rho = 0)")
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		mul(p, v)
+		den := Dot(rHat, v)
+		if den == 0 {
+			return res, errors.New("solver: BiCGSTAB breakdown (rHat·v = 0)")
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if math.Sqrt(Dot(s, s))/bNorm < tol {
+			for i := range x {
+				x[i] += alpha * p[i]
+			}
+			res.Iterations++
+			res.Residual = math.Sqrt(Dot(s, s)) / bNorm
+			res.Converged = true
+			return res, nil
+		}
+		mul(s, t)
+		tt := Dot(t, t)
+		if tt == 0 {
+			return res, errors.New("solver: BiCGSTAB breakdown (t = 0)")
+		}
+		omega = Dot(t, s) / tt
+		if omega == 0 {
+			return res, errors.New("solver: BiCGSTAB breakdown (omega = 0)")
+		}
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+			r[i] = s[i] - omega*t[i]
+		}
+	}
+	res.Residual = math.Sqrt(Dot(r, r)) / bNorm
+	res.Converged = res.Residual < tol
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// unsymmetricDominant builds a random diagonally dominant unsymmetric
+// matrix (guaranteed nonsingular).
+func unsymmetricDominant(n int, seed int64) *sparse.CSR {
+	r := rand.New(rand.NewSource(seed))
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		var off float64
+		for t := 0; t < 4; t++ {
+			j := r.Intn(n)
+			if j == i {
+				continue
+			}
+			v := r.Float64()*2 - 1
+			off += math.Abs(v)
+			c.Add(i, j, v)
+		}
+		c.Add(i, i, off+1+r.Float64())
+	}
+	return c.ToCSR()
+}
+
+func TestBiCGSTABSolvesUnsymmetric(t *testing.T) {
+	for _, n := range []int{50, 300} {
+		a := unsymmetricDominant(n, int64(n))
+		r := rand.New(rand.NewSource(3))
+		xStar := make([]float64, n)
+		for i := range xStar {
+			xStar[i] = r.Float64()*2 - 1
+		}
+		b := make([]float64, n)
+		a.MulVec(xStar, b)
+		x := make([]float64, n)
+		res, err := BiCGSTAB(a.MulVec, b, x, 1e-10, 2000)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !res.Converged {
+			t.Fatalf("n=%d: not converged: %+v", n, res)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xStar[i]) > 1e-6 {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, x[i], xStar[i])
+			}
+		}
+	}
+}
+
+func TestBiCGSTABDimensionError(t *testing.T) {
+	if _, err := BiCGSTAB(nil, make([]float64, 4), make([]float64, 2), 1e-8, 5); err != ErrDimension {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBiCGSTABZeroRHS(t *testing.T) {
+	a := unsymmetricDominant(20, 9)
+	b := make([]float64, 20)
+	x := make([]float64, 20)
+	res, err := BiCGSTAB(a.MulVec, b, x, 1e-12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("zero system should converge immediately")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("nonzero solution for zero system")
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package solver provides the iterative methods that motivate SpMV
+// partitioning quality: the same communication pattern repeats every
+// iteration, so the volume, latency, and balance the partitioners optimize
+// compound over hundreds of multiplies. All solvers take the multiply as a
+// function, so the serial reference and the distributed engines plug in
+// interchangeably.
+package solver
+
+import (
+	"errors"
+	"math"
+)
+
+// MulVec computes y ← Ax; implementations include (*sparse.CSR).MulVec,
+// (*spmv.Engine).Multiply, and (*spmv.RoutedEngine).Multiply.
+type MulVec func(x, y []float64)
+
+// Result reports a solver run.
+type Result struct {
+	Iterations int
+	Residual   float64 // relative residual at exit
+	Converged  bool
+}
+
+// ErrDimension is returned when vector sizes disagree.
+var ErrDimension = errors.New("solver: dimension mismatch")
+
+// CG solves Ax = b for symmetric positive definite A. x is both the
+// initial guess and the output. n is the system dimension.
+func CG(mul MulVec, b, x []float64, tol float64, maxIter int) (Result, error) {
+	n := len(b)
+	if len(x) != n {
+		return Result{}, ErrDimension
+	}
+	r := make([]float64, n)
+	ap := make([]float64, n)
+	mul(x, ap)
+	for i := range r {
+		r[i] = b[i] - ap[i]
+	}
+	p := append([]float64(nil), r...)
+	rr := Dot(r, r)
+	bNorm := math.Sqrt(Dot(b, b))
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	var res Result
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		res.Residual = math.Sqrt(rr) / bNorm
+		if res.Residual < tol {
+			res.Converged = true
+			return res, nil
+		}
+		mul(p, ap)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return res, errors.New("solver: matrix not positive definite (pᵀAp <= 0)")
+		}
+		alpha := rr / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rrNew := Dot(r, r)
+		beta := rrNew / rr
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rr = rrNew
+	}
+	res.Residual = math.Sqrt(rr) / bNorm
+	res.Converged = res.Residual < tol
+	return res, nil
+}
+
+// Jacobi solves Ax = b with the weighted Jacobi iteration
+// x ← x + ω D⁻¹ (b − Ax). diag must hold A's diagonal (nonzero entries).
+func Jacobi(mul MulVec, diag, b, x []float64, omega, tol float64, maxIter int) (Result, error) {
+	n := len(b)
+	if len(x) != n || len(diag) != n {
+		return Result{}, ErrDimension
+	}
+	for i, d := range diag {
+		if d == 0 {
+			return Result{}, errors.New("solver: zero diagonal entry in Jacobi")
+		}
+		_ = i
+	}
+	ax := make([]float64, n)
+	bNorm := math.Sqrt(Dot(b, b))
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	var res Result
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		mul(x, ax)
+		var rr float64
+		for i := range x {
+			r := b[i] - ax[i]
+			rr += r * r
+			x[i] += omega * r / diag[i]
+		}
+		res.Residual = math.Sqrt(rr) / bNorm
+		if res.Residual < tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// PowerIteration computes the dominant eigenvalue and eigenvector of A.
+// v is the starting vector (overwritten with the eigenvector estimate).
+func PowerIteration(mul MulVec, v []float64, tol float64, maxIter int) (lambda float64, res Result, err error) {
+	n := len(v)
+	if n == 0 {
+		return 0, Result{}, ErrDimension
+	}
+	Normalize(v)
+	av := make([]float64, n)
+	prev := 0.0
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		mul(v, av)
+		lambda = Dot(v, av)
+		norm := math.Sqrt(Dot(av, av))
+		if norm == 0 {
+			return 0, res, errors.New("solver: power iteration hit the zero vector")
+		}
+		for i := range v {
+			v[i] = av[i] / norm
+		}
+		res.Residual = math.Abs(lambda - prev)
+		if res.Iterations > 0 && res.Residual < tol*math.Max(1, math.Abs(lambda)) {
+			res.Converged = true
+			return lambda, res, nil
+		}
+		prev = lambda
+	}
+	return lambda, res, nil
+}
+
+// PageRank runs the damped power iteration r ← (1−d)/n + d·M r until the
+// L1 change drops below tol. mul must apply the column-stochastic
+// transition matrix.
+func PageRank(mul MulVec, n int, damping, tol float64, maxIter int) ([]float64, Result) {
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	mr := make([]float64, n)
+	var res Result
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		mul(r, mr)
+		var delta float64
+		for i := range r {
+			next := (1-damping)/float64(n) + damping*mr[i]
+			delta += math.Abs(next - r[i])
+			r[i] = next
+		}
+		res.Residual = delta
+		if delta < tol {
+			res.Converged = true
+			break
+		}
+	}
+	return r, res
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Normalize scales v to unit 2-norm (no-op on the zero vector).
+func Normalize(v []float64) {
+	n := math.Sqrt(Dot(v, v))
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

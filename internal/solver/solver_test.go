@@ -1,0 +1,155 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+// spd returns a small SPD system via the 2D Laplacian.
+func spd() *sparse.CSR {
+	return gen.Laplace2D(20, 20, false)
+}
+
+func TestCGSolvesLaplacian(t *testing.T) {
+	a := spd()
+	n := a.Rows
+	r := rand.New(rand.NewSource(1))
+	xStar := make([]float64, n)
+	for i := range xStar {
+		xStar[i] = r.Float64()*2 - 1
+	}
+	b := make([]float64, n)
+	a.MulVec(xStar, b)
+
+	x := make([]float64, n)
+	res, err := CG(a.MulVec, b, x, 1e-10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge: %+v", res)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xStar[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xStar[i])
+		}
+	}
+}
+
+func TestCGDimensionError(t *testing.T) {
+	a := spd()
+	if _, err := CG(a.MulVec, make([]float64, a.Rows), make([]float64, 3), 1e-8, 10); err != ErrDimension {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestCGRejectsIndefinite(t *testing.T) {
+	// A = -I is negative definite: pᵀAp < 0 on the first step.
+	c := sparse.NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		c.Add(i, i, -1)
+	}
+	a := c.ToCSR()
+	b := []float64{1, 2, 3, 4}
+	x := make([]float64, 4)
+	if _, err := CG(a.MulVec, b, x, 1e-8, 10); err == nil {
+		t.Fatal("CG accepted an indefinite matrix")
+	}
+}
+
+func TestJacobiSolvesDominantSystem(t *testing.T) {
+	a := gen.Laplace2D(10, 10, false) // diagonally dominant
+	n := a.Rows
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if a.ColIdx[p] == i {
+				diag[i] = a.Val[p]
+			}
+		}
+	}
+	xStar := make([]float64, n)
+	for i := range xStar {
+		xStar[i] = float64(i%5) - 2
+	}
+	b := make([]float64, n)
+	a.MulVec(xStar, b)
+	x := make([]float64, n)
+	res, err := Jacobi(a.MulVec, diag, b, x, 0.8, 1e-9, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("Jacobi did not converge: %+v", res)
+	}
+}
+
+func TestJacobiZeroDiagonal(t *testing.T) {
+	diag := []float64{1, 0}
+	if _, err := Jacobi(nil, diag, make([]float64, 2), make([]float64, 2), 1, 1e-8, 5); err == nil {
+		t.Fatal("Jacobi accepted a zero diagonal")
+	}
+}
+
+func TestPowerIterationDiagonal(t *testing.T) {
+	// Diagonal matrix: dominant eigenvalue is the max diagonal entry.
+	c := sparse.NewCOO(4, 4)
+	for i, v := range []float64{1, 3, 7, 2} {
+		c.Add(i, i, v)
+	}
+	a := c.ToCSR()
+	v := []float64{1, 1, 1, 1}
+	lambda, res, err := PowerIteration(a.MulVec, v, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if math.Abs(lambda-7) > 1e-6 {
+		t.Errorf("lambda = %v, want 7", lambda)
+	}
+	// Eigenvector concentrated on index 2.
+	if math.Abs(math.Abs(v[2])-1) > 1e-4 {
+		t.Errorf("eigenvector = %v", v)
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// A directed cycle is doubly stochastic: PageRank is uniform.
+	const n = 8
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add((i+1)%n, i, 1) // column-stochastic: col i -> row i+1
+	}
+	a := c.ToCSR()
+	r, res := PageRank(a.MulVec, n, 0.85, 1e-12, 1000)
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	for i := range r {
+		if math.Abs(r[i]-1.0/n) > 1e-9 {
+			t.Errorf("r[%d] = %v, want uniform", i, r[i])
+		}
+	}
+}
+
+func TestDotAndNormalize(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	v := []float64{3, 4}
+	Normalize(v)
+	if math.Abs(v[0]-0.6) > 1e-15 || math.Abs(v[1]-0.8) > 1e-15 {
+		t.Errorf("Normalize = %v", v)
+	}
+	z := []float64{0, 0}
+	Normalize(z) // must not NaN
+	if z[0] != 0 {
+		t.Error("zero vector changed")
+	}
+}

@@ -1,0 +1,58 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n, nnz int) *CSR {
+	r := rand.New(rand.NewSource(1))
+	c := NewCOO(n, n)
+	for t := 0; t < nnz; t++ {
+		c.Add(r.Intn(n), r.Intn(n), r.Float64())
+	}
+	return c.ToCSR()
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	m := benchMatrix(20000, 400000)
+	x := make([]float64, m.Cols)
+	y := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x, y)
+	}
+	b.SetBytes(int64(m.NNZ() * 12)) // 8B value + 4B index per nonzero
+}
+
+func BenchmarkToCSC(b *testing.B) {
+	m := benchMatrix(20000, 400000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.ToCSC()
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	m := benchMatrix(20000, 400000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Transpose()
+	}
+}
+
+func BenchmarkCOOToCSR(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	entries := make([]Entry, 400000)
+	for i := range entries {
+		entries[i] = Entry{Row: r.Intn(20000), Col: r.Intn(20000), Val: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := &COO{Rows: 20000, Cols: 20000, Entries: append([]Entry(nil), entries...)}
+		_ = c.ToCSR()
+	}
+}

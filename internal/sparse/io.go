@@ -1,0 +1,119 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes m in MatrixMarket coordinate format
+// ("%%MatrixMarket matrix coordinate real general"). Indices are 1-based on
+// the wire per the format specification.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.ColIdx[p]+1, m.Val[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file. Supported
+// qualifiers: real/integer/pattern and general/symmetric. Symmetric input
+// is expanded to general storage (mirror entries added for off-diagonals).
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	}
+	field, sym := header[3], header[4]
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported field type %q", field)
+	}
+	switch sym {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", sym)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("sparse: missing size line")
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+		}
+		break
+	}
+
+	c := NewCOO(rows, cols)
+	c.Entries = make([]Entry, 0, nnz)
+	for read := 0; read < nnz; {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, read)
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		read++
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("sparse: malformed entry line %q", line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index in %q: %w", line, err)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad col index in %q: %w", line, err)
+		}
+		v := 1.0
+		if field != "pattern" {
+			if len(f) < 3 {
+				return nil, fmt.Errorf("sparse: missing value in %q", line)
+			}
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value in %q: %w", line, err)
+			}
+		}
+		c.Add(i-1, j-1, v)
+		if sym == "symmetric" && i != j {
+			c.Add(j-1, i-1, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c.ToCSR(), nil
+}

@@ -1,0 +1,92 @@
+package sparse
+
+import "math"
+
+// Diagonal returns the main-diagonal values (zero where absent). Defined
+// for rectangular matrices over the leading min(Rows, Cols) entries.
+func (m *CSR) Diagonal() []float64 {
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if m.ColIdx[p] == i {
+				d[i] = m.Val[p]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// ScaleRows multiplies row i by s[i] in place.
+func (m *CSR) ScaleRows(s []float64) {
+	if len(s) != m.Rows {
+		panic("sparse: ScaleRows length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			m.Val[p] *= s[i]
+		}
+	}
+}
+
+// ScaleCols multiplies column j by s[j] in place.
+func (m *CSR) ScaleCols(s []float64) {
+	if len(s) != m.Cols {
+		panic("sparse: ScaleCols length mismatch")
+	}
+	for p, j := range m.ColIdx {
+		m.Val[p] *= s[j]
+	}
+}
+
+// NormInf returns the infinity norm: the maximum absolute row sum.
+func (m *CSR) NormInf() float64 {
+	var norm float64
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += math.Abs(m.Val[p])
+		}
+		if s > norm {
+			norm = s
+		}
+	}
+	return norm
+}
+
+// Submatrix extracts the block with the given (sorted or unsorted, unique)
+// row and column index sets, compacted to a len(rows)×len(cols) matrix.
+func (m *CSR) Submatrix(rows, cols []int) *CSR {
+	colMap := make(map[int]int, len(cols))
+	for lj, j := range cols {
+		colMap[j] = lj
+	}
+	c := NewCOO(len(rows), len(cols))
+	for li, i := range rows {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if lj, ok := colMap[m.ColIdx[p]]; ok {
+				c.Add(li, lj, m.Val[p])
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// AddDiagonal returns a copy of m with shift added to every diagonal entry
+// (entries are created where missing) — the standard spectral shift used
+// to make systems definite.
+func (m *CSR) AddDiagonal(shift float64) *CSR {
+	c := m.ToCOO()
+	n := m.Rows
+	if m.Cols < n {
+		n = m.Cols
+	}
+	for i := 0; i < n; i++ {
+		c.Add(i, i, shift)
+	}
+	return c.ToCSR()
+}

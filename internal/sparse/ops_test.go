@@ -1,0 +1,105 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDiagonal(t *testing.T) {
+	m := small() // diag entries: (0,0)=1, (1,1)=3, (2,2)=5
+	d := m.Diagonal()
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("d[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestDiagonalMissingEntries(t *testing.T) {
+	c := NewCOO(3, 3)
+	c.Add(0, 1, 9)
+	c.Add(2, 2, 4)
+	d := c.ToCSR().Diagonal()
+	if d[0] != 0 || d[1] != 0 || d[2] != 4 {
+		t.Errorf("d = %v", d)
+	}
+}
+
+func TestScaleRowsAndCols(t *testing.T) {
+	m := small().Clone()
+	m.ScaleRows([]float64{2, 3, 1})
+	if m.Val[0] != 2 { // (0,0): 1*2
+		t.Errorf("row scale wrong: %v", m.Val[0])
+	}
+	m.ScaleCols([]float64{1, 1, 10, 1})
+	// (0,2) was 2, scaled by row 2x then col 10x -> 40.
+	if m.Val[1] != 40 {
+		t.Errorf("col scale wrong: %v", m.Val[1])
+	}
+}
+
+func TestScalePanics(t *testing.T) {
+	m := small()
+	for _, f := range []func(){
+		func() { m.ScaleRows(make([]float64, 1)) },
+		func() { m.ScaleCols(make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on length mismatch")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormInf(t *testing.T) {
+	m := small()
+	// Row sums of |v|: 3, 3, 15.
+	if got := m.NormInf(); got != 15 {
+		t.Errorf("NormInf = %v, want 15", got)
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := small()
+	// Rows {0,2}, cols {0,2,3}:
+	// [1 2 0]
+	// [4 5 6]
+	s := m.Submatrix([]int{0, 2}, []int{0, 2, 3})
+	if s.Rows != 2 || s.Cols != 3 || s.NNZ() != 5 {
+		t.Fatalf("submatrix %dx%d nnz %d", s.Rows, s.Cols, s.NNZ())
+	}
+	x := []float64{1, 1, 1}
+	y := make([]float64, 2)
+	s.MulVec(x, y)
+	if y[0] != 3 || y[1] != 15 {
+		t.Errorf("y = %v", y)
+	}
+}
+
+func TestAddDiagonal(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	m := randomCSR(r, 20, 20, 60)
+	shifted := m.AddDiagonal(5)
+	d0 := m.Diagonal()
+	d1 := shifted.Diagonal()
+	for i := range d0 {
+		if math.Abs(d1[i]-d0[i]-5) > 1e-12 {
+			t.Fatalf("diag[%d]: %v -> %v", i, d0[i], d1[i])
+		}
+	}
+	if shifted.NNZ() < m.NNZ() {
+		t.Error("AddDiagonal lost entries")
+	}
+	// Original untouched.
+	for i := range d0 {
+		if m.Diagonal()[i] != d0[i] {
+			t.Error("AddDiagonal mutated the receiver")
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package sparse provides the sparse-matrix substrate used throughout the
+// repository: coordinate (COO), compressed sparse row (CSR) and compressed
+// sparse column (CSC) storage, conversions, permutations, degree statistics,
+// a serial SpMV reference implementation, and Matrix Market I/O.
+//
+// All index types are int; values are float64. Matrices may be rectangular.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is a single nonzero in coordinate form.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// COO is a coordinate-format sparse matrix. Entries may be unsorted but must
+// be unique (no duplicate (Row,Col) pairs) once Canonicalize has been called.
+type COO struct {
+	Rows, Cols int
+	Entries    []Entry
+}
+
+// NewCOO returns an empty COO matrix with the given dimensions.
+func NewCOO(rows, cols int) *COO {
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Add appends a nonzero. It does not check for duplicates; call
+// Canonicalize to sort and merge.
+func (c *COO) Add(i, j int, v float64) {
+	c.Entries = append(c.Entries, Entry{Row: i, Col: j, Val: v})
+}
+
+// NNZ returns the number of stored entries.
+func (c *COO) NNZ() int { return len(c.Entries) }
+
+// Canonicalize sorts entries in row-major order and merges duplicates by
+// summing their values. Entries with value 0 are kept: structural nonzeros
+// matter for partitioning even when numerically zero.
+func (c *COO) Canonicalize() {
+	if len(c.Entries) == 0 {
+		return
+	}
+	sort.Slice(c.Entries, func(a, b int) bool {
+		ea, eb := c.Entries[a], c.Entries[b]
+		if ea.Row != eb.Row {
+			return ea.Row < eb.Row
+		}
+		return ea.Col < eb.Col
+	})
+	out := c.Entries[:1]
+	for _, e := range c.Entries[1:] {
+		last := &out[len(out)-1]
+		if e.Row == last.Row && e.Col == last.Col {
+			last.Val += e.Val
+		} else {
+			out = append(out, e)
+		}
+	}
+	c.Entries = out
+}
+
+// Validate checks that all entries lie within the matrix dimensions.
+func (c *COO) Validate() error {
+	for _, e := range c.Entries {
+		if e.Row < 0 || e.Row >= c.Rows || e.Col < 0 || e.Col >= c.Cols {
+			return fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", e.Row, e.Col, c.Rows, c.Cols)
+		}
+	}
+	return nil
+}
+
+// CSR is a compressed sparse row matrix. Row i's nonzeros occupy
+// ColIdx[RowPtr[i]:RowPtr[i+1]] and Val likewise; column indices within a
+// row are sorted ascending.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// RowNNZ returns the number of nonzeros in row i.
+func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// RowCols returns the column indices of row i (a view, do not modify).
+func (m *CSR) RowCols(i int) []int { return m.ColIdx[m.RowPtr[i]:m.RowPtr[i+1]] }
+
+// RowVals returns the values of row i (a view, do not modify).
+func (m *CSR) RowVals(i int) []float64 { return m.Val[m.RowPtr[i]:m.RowPtr[i+1]] }
+
+// ToCSR converts a COO matrix to CSR. The receiver is canonicalized first.
+func (c *COO) ToCSR() *CSR {
+	c.Canonicalize()
+	m := &CSR{
+		Rows:   c.Rows,
+		Cols:   c.Cols,
+		RowPtr: make([]int, c.Rows+1),
+		ColIdx: make([]int, len(c.Entries)),
+		Val:    make([]float64, len(c.Entries)),
+	}
+	for _, e := range c.Entries {
+		m.RowPtr[e.Row+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	pos := make([]int, c.Rows)
+	copy(pos, m.RowPtr[:c.Rows])
+	for _, e := range c.Entries {
+		p := pos[e.Row]
+		m.ColIdx[p] = e.Col
+		m.Val[p] = e.Val
+		pos[e.Row]++
+	}
+	return m
+}
+
+// ToCOO converts a CSR matrix back to coordinate form.
+func (m *CSR) ToCOO() *COO {
+	c := NewCOO(m.Rows, m.Cols)
+	c.Entries = make([]Entry, 0, m.NNZ())
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			c.Entries = append(c.Entries, Entry{Row: i, Col: m.ColIdx[p], Val: m.Val[p]})
+		}
+	}
+	return c
+}
+
+// CSC is a compressed sparse column matrix. Column j's nonzeros occupy
+// RowIdx[ColPtr[j]:ColPtr[j+1]]; row indices within a column are sorted.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int
+	RowIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSC) NNZ() int { return len(m.RowIdx) }
+
+// ColNNZ returns the number of nonzeros in column j.
+func (m *CSC) ColNNZ(j int) int { return m.ColPtr[j+1] - m.ColPtr[j] }
+
+// ColRows returns the row indices of column j (a view, do not modify).
+func (m *CSC) ColRows(j int) []int { return m.RowIdx[m.ColPtr[j]:m.ColPtr[j+1]] }
+
+// ToCSC converts a CSR matrix to CSC.
+func (m *CSR) ToCSC() *CSC {
+	t := &CSC{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		ColPtr: make([]int, m.Cols+1),
+		RowIdx: make([]int, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, j := range m.ColIdx {
+		t.ColPtr[j+1]++
+	}
+	for j := 0; j < m.Cols; j++ {
+		t.ColPtr[j+1] += t.ColPtr[j]
+	}
+	pos := make([]int, m.Cols)
+	copy(pos, t.ColPtr[:m.Cols])
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			j := m.ColIdx[p]
+			q := pos[j]
+			t.RowIdx[q] = i
+			t.Val[q] = m.Val[p]
+			pos[j]++
+		}
+	}
+	return t
+}
+
+// Transpose returns the CSR form of the transpose of m.
+func (m *CSR) Transpose() *CSR {
+	t := m.ToCSC()
+	return &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: t.ColPtr, ColIdx: t.RowIdx, Val: t.Val}
+}
+
+// Clone returns a deep copy of m.
+func (m *CSR) Clone() *CSR {
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	return out
+}
+
+// Permute returns P_r * A * P_c^T where rowPerm[i] is the new index of old
+// row i and colPerm[j] the new index of old column j. Either permutation
+// may be nil to mean identity.
+func (m *CSR) Permute(rowPerm, colPerm []int) *CSR {
+	c := NewCOO(m.Rows, m.Cols)
+	c.Entries = make([]Entry, 0, m.NNZ())
+	for i := 0; i < m.Rows; i++ {
+		ni := i
+		if rowPerm != nil {
+			ni = rowPerm[i]
+		}
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			nj := m.ColIdx[p]
+			if colPerm != nil {
+				nj = colPerm[nj]
+			}
+			c.Entries = append(c.Entries, Entry{Row: ni, Col: nj, Val: m.Val[p]})
+		}
+	}
+	return c.ToCSR()
+}
+
+// MulVec computes y = A*x serially. It is the reference implementation all
+// distributed executors are verified against. y must have length Rows and
+// x length Cols.
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: A is %dx%d, len(x)=%d, len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * x[m.ColIdx[p]]
+		}
+		y[i] = s
+	}
+}
+
+// Stats summarizes the degree distribution of a matrix, mirroring the
+// columns of Tables I and IV in the paper.
+type Stats struct {
+	Rows, Cols, NNZ  int
+	DavgRow, DavgCol float64
+	DmaxRow, DmaxCol int
+}
+
+// ComputeStats returns row/column degree statistics for m.
+func (m *CSR) ComputeStats() Stats {
+	s := Stats{Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ()}
+	for i := 0; i < m.Rows; i++ {
+		if d := m.RowNNZ(i); d > s.DmaxRow {
+			s.DmaxRow = d
+		}
+	}
+	colDeg := make([]int, m.Cols)
+	for _, j := range m.ColIdx {
+		colDeg[j]++
+	}
+	for _, d := range colDeg {
+		if d > s.DmaxCol {
+			s.DmaxCol = d
+		}
+	}
+	if m.Rows > 0 {
+		s.DavgRow = float64(s.NNZ) / float64(m.Rows)
+	}
+	if m.Cols > 0 {
+		s.DavgCol = float64(s.NNZ) / float64(m.Cols)
+	}
+	return s
+}
+
+// RowDegrees returns the number of nonzeros in each row.
+func (m *CSR) RowDegrees() []int {
+	d := make([]int, m.Rows)
+	for i := range d {
+		d[i] = m.RowNNZ(i)
+	}
+	return d
+}
+
+// ColDegrees returns the number of nonzeros in each column.
+func (m *CSR) ColDegrees() []int {
+	d := make([]int, m.Cols)
+	for _, j := range m.ColIdx {
+		d[j]++
+	}
+	return d
+}
+
+// Equal reports whether two CSR matrices have identical structure and values.
+func (m *CSR) Equal(o *CSR) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols || m.NNZ() != o.NNZ() {
+		return false
+	}
+	for i := range m.RowPtr {
+		if m.RowPtr[i] != o.RowPtr[i] {
+			return false
+		}
+	}
+	for p := range m.ColIdx {
+		if m.ColIdx[p] != o.ColIdx[p] || m.Val[p] != o.Val[p] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,314 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func small() *CSR {
+	// 3x4 matrix:
+	// [1 0 2 0]
+	// [0 3 0 0]
+	// [4 0 5 6]
+	c := NewCOO(3, 4)
+	c.Add(0, 0, 1)
+	c.Add(0, 2, 2)
+	c.Add(1, 1, 3)
+	c.Add(2, 0, 4)
+	c.Add(2, 2, 5)
+	c.Add(2, 3, 6)
+	return c.ToCSR()
+}
+
+func randomCSR(r *rand.Rand, rows, cols, nnz int) *CSR {
+	c := NewCOO(rows, cols)
+	for k := 0; k < nnz; k++ {
+		c.Add(r.Intn(rows), r.Intn(cols), float64(r.Intn(9)+1))
+	}
+	return c.ToCSR()
+}
+
+func TestCOOToCSR(t *testing.T) {
+	m := small()
+	if m.NNZ() != 6 {
+		t.Fatalf("NNZ = %d, want 6", m.NNZ())
+	}
+	wantPtr := []int{0, 2, 3, 6}
+	for i, v := range wantPtr {
+		if m.RowPtr[i] != v {
+			t.Errorf("RowPtr[%d] = %d, want %d", i, m.RowPtr[i], v)
+		}
+	}
+	if got := m.RowCols(2); got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("RowCols(2) = %v", got)
+	}
+}
+
+func TestCanonicalizeMergesDuplicates(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 0, 2)
+	c.Add(1, 1, 5)
+	m := c.ToCSR()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2 after merge", m.NNZ())
+	}
+	if m.Val[0] != 3 {
+		t.Errorf("merged value = %v, want 3", m.Val[0])
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(2, 0, 1)
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range row")
+	}
+	c2 := NewCOO(2, 2)
+	c2.Add(0, -1, 1)
+	if err := c2.Validate(); err == nil {
+		t.Fatal("Validate accepted negative column")
+	}
+}
+
+func TestCSRToCSCRoundTrip(t *testing.T) {
+	m := small()
+	csc := m.ToCSC()
+	if csc.NNZ() != m.NNZ() {
+		t.Fatalf("CSC NNZ = %d, want %d", csc.NNZ(), m.NNZ())
+	}
+	// Column 2 holds rows 0 and 2.
+	if got := csc.ColRows(2); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("ColRows(2) = %v, want [0 2]", got)
+	}
+	// Column 1 holds row 1 only.
+	if csc.ColNNZ(1) != 1 {
+		t.Errorf("ColNNZ(1) = %d, want 1", csc.ColNNZ(1))
+	}
+}
+
+func TestTransposeTwiceIsIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		m := randomCSR(r, 1+r.Intn(30), 1+r.Intn(30), r.Intn(200))
+		tt := m.Transpose().Transpose()
+		if !m.Equal(tt) {
+			t.Fatalf("trial %d: transpose^2 != identity", trial)
+		}
+	}
+}
+
+func TestTransposeMulVecAgrees(t *testing.T) {
+	// (A^T x)_j == sum_i a_ij x_i
+	r := rand.New(rand.NewSource(2))
+	m := randomCSR(r, 17, 11, 90)
+	at := m.Transpose()
+	x := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	y := make([]float64, m.Cols)
+	at.MulVec(x, y)
+	want := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			want[m.ColIdx[p]] += m.Val[p] * x[i]
+		}
+	}
+	for j := range want {
+		if math.Abs(want[j]-y[j]) > 1e-12 {
+			t.Fatalf("col %d: got %v want %v", j, y[j], want[j])
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := small()
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 3)
+	m.MulVec(x, y)
+	want := []float64{1*1 + 2*3, 3 * 2, 4*1 + 5*3 + 6*4}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestMulVecPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulVec did not panic on mismatched dims")
+		}
+	}()
+	small().MulVec(make([]float64, 3), make([]float64, 3))
+}
+
+func TestPermuteIdentity(t *testing.T) {
+	m := small()
+	p := m.Permute(nil, nil)
+	if !m.Equal(p) {
+		t.Fatal("identity permutation changed matrix")
+	}
+}
+
+func TestPermutePreservesSpMV(t *testing.T) {
+	// (P_r A P_c^T)(P_c x) == P_r (A x)
+	r := rand.New(rand.NewSource(3))
+	m := randomCSR(r, 12, 9, 60)
+	rowPerm := r.Perm(m.Rows)
+	colPerm := r.Perm(m.Cols)
+	pm := m.Permute(rowPerm, colPerm)
+
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	px := make([]float64, m.Cols)
+	for j := range x {
+		px[colPerm[j]] = x[j]
+	}
+	y := make([]float64, m.Rows)
+	m.MulVec(x, y)
+	py := make([]float64, m.Rows)
+	pm.MulVec(px, py)
+	for i := range y {
+		if math.Abs(py[rowPerm[i]]-y[i]) > 1e-12 {
+			t.Fatalf("row %d: permuted SpMV mismatch", i)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := small().ComputeStats()
+	if s.NNZ != 6 || s.DmaxRow != 3 || s.DmaxCol != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if math.Abs(s.DavgRow-2.0) > 1e-15 {
+		t.Errorf("DavgRow = %v, want 2", s.DavgRow)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	m := small()
+	rd := m.RowDegrees()
+	if rd[0] != 2 || rd[1] != 1 || rd[2] != 3 {
+		t.Errorf("RowDegrees = %v", rd)
+	}
+	cd := m.ColDegrees()
+	if cd[0] != 2 || cd[1] != 1 || cd[2] != 2 || cd[3] != 1 {
+		t.Errorf("ColDegrees = %v", cd)
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m := randomCSR(r, 25, 18, 120)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Fatal("MatrixMarket round trip changed matrix")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2.0
+2 1 5.0
+3 3 1.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 4 { // off-diagonal mirrored
+		t.Fatalf("NNZ = %d, want 4", m.NNZ())
+	}
+	if m.RowCols(0)[1] != 1 {
+		t.Errorf("mirror entry (0,1) missing: row0 = %v", m.RowCols(0))
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 || m.Val[0] != 1 {
+		t.Fatalf("pattern parse wrong: nnz=%d val=%v", m.NNZ(), m.Val)
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", // truncated
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n", // out of range
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPropertyCOOCSRRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomCSR(r, 1+r.Intn(40), 1+r.Intn(40), r.Intn(300))
+		back := m.ToCOO().ToCSR()
+		return m.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCSRInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomCSR(r, 1+r.Intn(40), 1+r.Intn(40), r.Intn(300))
+		if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != m.NNZ() {
+			return false
+		}
+		for i := 0; i < m.Rows; i++ {
+			cols := m.RowCols(i)
+			for k := 1; k < len(cols); k++ {
+				if cols[k] <= cols[k-1] {
+					return false // unsorted or duplicate
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := small()
+	c := m.Clone()
+	c.Val[0] = 99
+	if m.Val[0] == 99 {
+		t.Fatal("Clone shares value storage")
+	}
+}

@@ -1,0 +1,83 @@
+package spmv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func benchSetup(b *testing.B, k int) (eng *Engine, routed *RoutedEngine, x, y []float64) {
+	b.Helper()
+	a := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 20000, Cols: 20000, NNZ: 200000, Beta: 0.5,
+		DenseRows: 2, DenseMax: 1500, Symmetric: true, Locality: 0.9,
+	}, 1)
+	opt := baselines.Options{Seed: 1}
+	rows := baselines.RowwiseParts(a, k, opt)
+	oneD := baselines.Rowwise1DFromParts(a, rows, k)
+	d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+	var err error
+	eng, err = NewEngine(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	routed, err = NewRoutedEngine(d, core.NewMesh(k))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	x = make([]float64, a.Cols)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	y = make([]float64, a.Rows)
+	return eng, routed, x, y
+}
+
+func BenchmarkEngineFusedK16(b *testing.B) {
+	eng, _, x, y := benchSetup(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Multiply(x, y)
+	}
+}
+
+func BenchmarkEngineFusedK64(b *testing.B) {
+	eng, _, x, y := benchSetup(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Multiply(x, y)
+	}
+}
+
+func BenchmarkEngineRoutedK64(b *testing.B) {
+	_, routed, x, y := benchSetup(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routed.Multiply(x, y)
+	}
+}
+
+func BenchmarkEngineTwoPhaseK64(b *testing.B) {
+	a := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 20000, Cols: 20000, NNZ: 200000, Beta: 0.5,
+		DenseRows: 2, DenseMax: 1500, Symmetric: true, Locality: 0.9,
+	}, 1)
+	d := baselines.FineGrain2D(a, 64, baselines.Options{Seed: 1})
+	eng, err := NewEngine(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, a.Cols)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Multiply(x, y)
+	}
+}

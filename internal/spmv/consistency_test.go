@@ -1,0 +1,154 @@
+package spmv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/gen"
+)
+
+// countPackets tallies the engine's real packets: number of messages and
+// words per (phase, from, to), to be checked against the analytic
+// distrib.Comm statistics. The engine schedule is static, so this can be
+// derived without running Multiply.
+func countFusedPackets(e *Engine) (msgs, words int) {
+	type pair struct{ from, to int }
+	seen := map[pair]int{}
+	for _, pr := range e.procs {
+		dests := map[int]int{}
+		for d, idxs := range pr.xNeed {
+			dests[d] += len(idxs)
+		}
+		for d, nzs := range pr.preGroups {
+			rows := map[int]struct{}{}
+			for _, nz := range nzs {
+				rows[nz.row] = struct{}{}
+			}
+			dests[d] += len(rows)
+		}
+		for d, w := range dests {
+			seen[pair{pr.id, d}] += w
+		}
+	}
+	for _, w := range seen {
+		msgs++
+		words += w
+	}
+	return msgs, words
+}
+
+func countTwoPhasePackets(e *Engine) (msgs, words int) {
+	for _, pr := range e.procs {
+		for _, idxs := range pr.xNeed {
+			msgs++
+			words += len(idxs)
+		}
+		for _, nzs := range pr.preGroups {
+			rows := map[int]struct{}{}
+			for _, nz := range nzs {
+				rows[nz.row] = struct{}{}
+			}
+			msgs++
+			words += len(rows)
+		}
+	}
+	return msgs, words
+}
+
+// TestEnginePacketsMatchCommStats: the communication the engine actually
+// schedules must equal what the metrics predict — the statistics feed the
+// cost model, so a mismatch would invalidate every speedup in the tables.
+func TestEnginePacketsMatchCommStats(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 15; trial++ {
+		a := randomMatrix(r, 80+r.Intn(120), 80+r.Intn(120), 900)
+		k := 2 + r.Intn(14)
+
+		// Fused s2D.
+		yp := make([]int, a.Rows)
+		for i := range yp {
+			yp[i] = r.Intn(k)
+		}
+		xp := make([]int, a.Cols)
+		for j := range xp {
+			xp[j] = r.Intn(k)
+		}
+		d := core.Balanced(a, xp, yp, k, core.BalanceConfig{})
+		e, err := NewEngine(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := d.Comm()
+		msgs, words := countFusedPackets(e)
+		if msgs != cs.TotalMsgs {
+			t.Fatalf("trial %d fused: engine %d msgs, metrics %d", trial, msgs, cs.TotalMsgs)
+		}
+		if words != cs.TotalVolume {
+			t.Fatalf("trial %d fused: engine %d words, metrics %d", trial, words, cs.TotalVolume)
+		}
+
+		// Two-phase 2D.
+		d2 := &distrib.Distribution{A: a, K: k,
+			Owner: make([]int, a.NNZ()), XPart: xp, YPart: yp}
+		for p := range d2.Owner {
+			d2.Owner[p] = r.Intn(k)
+		}
+		e2, err := NewEngine(d2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs2 := d2.Comm()
+		msgs2, words2 := countTwoPhasePackets(e2)
+		if msgs2 != cs2.TotalMsgs {
+			t.Fatalf("trial %d 2D: engine %d msgs, metrics %d", trial, msgs2, cs2.TotalMsgs)
+		}
+		if words2 != cs2.TotalVolume {
+			t.Fatalf("trial %d 2D: engine %d words, metrics %d", trial, words2, cs2.TotalVolume)
+		}
+	}
+}
+
+// TestRoutedPacketsWithinS2DBStats: the routed engine's phase-1/phase-2
+// fan-out per processor must respect the mesh bounds that S2DBComm
+// reports.
+func TestRoutedPacketsWithinS2DBStats(t *testing.T) {
+	spec, _ := gen.ByName("ins2")
+	a := spec.Generate(1.0/256, 3)
+	const k = 16
+	opt := baselines.Options{Seed: 3}
+	rows := baselines.RowwiseParts(a, k, opt)
+	oneD := baselines.Rowwise1DFromParts(a, rows, k)
+	d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+	mesh := core.NewMesh(k)
+	e, err := NewRoutedEngine(d, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := core.S2DBComm(d, mesh)
+	for _, pr := range e.rprocs {
+		if n := len(pr.phase1Dests); n > mesh.Pr-1 {
+			t.Errorf("proc %d: %d phase-1 destinations > Pr-1", pr.id, n)
+		}
+		if n := len(pr.phase2Dests); n > mesh.Pc-1 {
+			t.Errorf("proc %d: %d phase-2 destinations > Pc-1", pr.id, n)
+		}
+	}
+	// Engine phase-1 message count equals the metric phase's TotalMsgs.
+	p1 := 0
+	for _, pr := range e.rprocs {
+		p1 += len(pr.phase1Dests)
+	}
+	if p1 != cs.Phases[0].TotalMsgs {
+		t.Errorf("engine phase-1 msgs %d != metrics %d", p1, cs.Phases[0].TotalMsgs)
+	}
+	p2 := 0
+	for _, pr := range e.rprocs {
+		p2 += len(pr.phase2Dests)
+	}
+	if p2 != cs.Phases[1].TotalMsgs {
+		t.Errorf("engine phase-2 msgs %d != metrics %d", p2, cs.Phases[1].TotalMsgs)
+	}
+}

@@ -1,0 +1,120 @@
+package spmv
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/sparse"
+)
+
+func TestEngineK1(t *testing.T) {
+	c := sparse.NewCOO(4, 4)
+	c.Add(0, 1, 2)
+	c.Add(2, 3, 3)
+	a := c.ToCSR()
+	d := &distrib.Distribution{
+		A: a, K: 1,
+		Owner: make([]int, a.NNZ()),
+		XPart: make([]int, 4),
+		YPart: make([]int, 4),
+		Fused: true,
+	}
+	e, err := NewEngine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSerial(t, a, e.Multiply)
+	cs := e.ScheduleStats()
+	if cs.TotalMsgs != 0 {
+		t.Errorf("K=1 engine communicates: %d msgs", cs.TotalMsgs)
+	}
+}
+
+func TestEngineEmptyMatrix(t *testing.T) {
+	a := sparse.NewCOO(5, 5).ToCSR()
+	d := &distrib.Distribution{
+		A: a, K: 2,
+		Owner: []int{},
+		XPart: make([]int, 5),
+		YPart: make([]int, 5),
+		Fused: true,
+	}
+	e, err := NewEngine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{9, 9, 9, 9, 9}
+	e.Multiply(x, y)
+	for i, v := range y {
+		if v != 0 {
+			t.Errorf("y[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestEngineEmptyRowsAndCols(t *testing.T) {
+	// Rows 1,3 and columns 0,2 empty.
+	c := sparse.NewCOO(4, 4)
+	c.Add(0, 1, 5)
+	c.Add(2, 3, 7)
+	a := c.ToCSR()
+	d := &distrib.Distribution{
+		A: a, K: 2,
+		Owner: []int{0, 1},
+		XPart: []int{0, 0, 1, 1},
+		YPart: []int{0, 1, 1, 0},
+		Fused: true,
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSerial(t, a, e.Multiply)
+}
+
+func TestRoutedEngineMesh1x1(t *testing.T) {
+	c := sparse.NewCOO(3, 3)
+	c.Add(0, 0, 1)
+	c.Add(1, 2, 2)
+	a := c.ToCSR()
+	d := &distrib.Distribution{
+		A: a, K: 1,
+		Owner: make([]int, 2),
+		XPart: make([]int, 3),
+		YPart: make([]int, 3),
+		Fused: true,
+	}
+	e, err := NewRoutedEngine(d, core.NewMesh(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSerial(t, a, e.Multiply)
+}
+
+func TestMultiplyPanicsOnBadDims(t *testing.T) {
+	c := sparse.NewCOO(3, 4)
+	c.Add(0, 0, 1)
+	a := c.ToCSR()
+	d := &distrib.Distribution{
+		A: a, K: 1,
+		Owner: []int{0},
+		XPart: make([]int, 4),
+		YPart: make([]int, 3),
+		Fused: true,
+	}
+	e, err := NewEngine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad dims")
+		}
+	}()
+	e.Multiply(make([]float64, 3), make([]float64, 3))
+}

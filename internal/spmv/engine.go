@@ -1,0 +1,359 @@
+// Package spmv executes distributed-memory parallel SpMV over K logical
+// processors (goroutines exchanging explicit message packets), under any
+// distrib.Distribution. It implements the three schedules of the paper:
+//
+//   - the classic two-phase algorithm (expand x, multiply, fold ȳ) for 2D
+//     partitions;
+//   - the paper's fused single-phase algorithm (§III) for s2D partitions:
+//     Precompute, Expand-and-Fold (one packet [x̂,ŷ] per destination),
+//     Compute;
+//   - the routed two-hop variant for s2D-b (§VI-B1), where packets travel
+//     through mesh intermediates and partial results combine en route.
+//
+// The engine exists to prove the algorithms compute the right answer and
+// to count real packets; wall-clock modelling is internal/model's job.
+package spmv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/distrib"
+)
+
+// packet is one point-to-point message: x entries requested by the
+// destination and partial y results destined for (or routed towards) it.
+type packet struct {
+	from int
+	xIdx []int
+	xVal []float64
+	yIdx []int
+	yVal []float64
+}
+
+// proc holds one processor's static schedule and runtime buffers.
+type proc struct {
+	id int
+
+	// Owned nonzeros whose output row is local: computed in the final
+	// Compute step. src ≥ 0 means x[src] is locally owned; src < 0 means
+	// external slot -(src+1).
+	ownRows []localNZ
+	// Owned nonzeros whose output row is remote (the precompute set),
+	// grouped by destination part. x is always local for these under s2D.
+	preGroups map[int][]localNZ
+
+	// xNeed[dest] lists the locally-owned x indices dest requires.
+	xNeed map[int][]int
+	// extSlot maps a remote x index to a slot in extX.
+	extSlot map[int]int
+	extX    []float64
+
+	recvCount []int // packets expected per phase
+
+	// One inbox per phase: a fast sender must not inject a later-phase
+	// packet into an earlier receive loop.
+	inbox []chan packet
+}
+
+type localNZ struct {
+	row int
+	src int
+	val float64
+}
+
+// Engine runs parallel SpMV for a fixed distribution. Build once with
+// NewEngine, call Multiply repeatedly.
+type Engine struct {
+	d     *distrib.Distribution
+	procs []*proc
+	fused bool
+}
+
+// NewEngine builds the static communication and computation schedule for
+// d. Fused distributions must satisfy the s2D property.
+func NewEngine(d *distrib.Distribution) (*Engine, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Fused {
+		return newFusedEngine(d)
+	}
+	return newTwoPhaseEngine(d)
+}
+
+func newProcs(k, phases int) []*proc {
+	procs := make([]*proc, k)
+	for i := range procs {
+		inbox := make([]chan packet, phases)
+		for ph := range inbox {
+			// Capacity k: sends never block, so no deadlock between
+			// mutually waiting processors.
+			inbox[ph] = make(chan packet, k)
+		}
+		procs[i] = &proc{
+			id:        i,
+			preGroups: make(map[int][]localNZ),
+			xNeed:     make(map[int][]int),
+			extSlot:   make(map[int]int),
+			recvCount: make([]int, phases),
+			inbox:     inbox,
+		}
+	}
+	return procs
+}
+
+func (p *proc) slotFor(j int) int {
+	s, ok := p.extSlot[j]
+	if !ok {
+		s = len(p.extSlot)
+		p.extSlot[j] = s
+	}
+	return s
+}
+
+// newFusedEngine builds the §III schedule: every nonzero is x-local or
+// y-local; x-local/y-remote nonzeros are precomputed and their partials
+// ride in the same packet as the x entries the destination needs.
+func newFusedEngine(d *distrib.Distribution) (*Engine, error) {
+	a := d.A
+	procs := newProcs(d.K, 1)
+
+	// xWant[owner][dest] tracks the set of x indices dest needs from owner.
+	type pair struct{ from, to int }
+	xWant := make(map[pair]map[int]struct{})
+
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		yOwner := d.YPart[i]
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			v := a.Val[p]
+			o := d.Owner[p]
+			xOwner := d.XPart[j]
+			pr := procs[o]
+			switch {
+			case o == yOwner && o == xOwner:
+				pr.ownRows = append(pr.ownRows, localNZ{row: i, src: j, val: v})
+			case o == yOwner: // x remote: request x_j from its owner
+				key := pair{from: xOwner, to: o}
+				if xWant[key] == nil {
+					xWant[key] = make(map[int]struct{})
+				}
+				xWant[key][j] = struct{}{}
+				pr.ownRows = append(pr.ownRows, localNZ{row: i, src: -(pr.slotFor(j) + 1), val: v})
+			case o == xOwner: // y remote: precompute, ship the partial
+				pr.preGroups[yOwner] = append(pr.preGroups[yOwner], localNZ{row: i, src: j, val: v})
+			default:
+				return nil, fmt.Errorf("spmv: nonzero (%d,%d) violates s2D", i, j)
+			}
+			p++
+		}
+	}
+	for key, set := range xWant {
+		idxs := make([]int, 0, len(set))
+		for j := range set {
+			idxs = append(idxs, j)
+		}
+		sort.Ints(idxs)
+		procs[key.from].xNeed[key.to] = idxs
+	}
+	// A packet k→ℓ exists if k has x entries for ℓ or precomputed partials
+	// for ℓ — count expected receives.
+	senders := make(map[pair]struct{})
+	for key := range xWant {
+		senders[key] = struct{}{}
+	}
+	for _, pr := range procs {
+		for dest := range pr.preGroups {
+			senders[pair{from: pr.id, to: dest}] = struct{}{}
+		}
+	}
+	for key := range senders {
+		procs[key.to].recvCount[0]++
+	}
+	for _, pr := range procs {
+		pr.extX = make([]float64, len(pr.extSlot))
+	}
+	return &Engine{d: d, procs: procs, fused: true}, nil
+}
+
+// newTwoPhaseEngine builds the classic expand/fold schedule used by 2D
+// partitions: phase 0 ships x entries to nonzero owners, phase 1 ships
+// partial y results to row owners.
+func newTwoPhaseEngine(d *distrib.Distribution) (*Engine, error) {
+	a := d.A
+	procs := newProcs(d.K, 2)
+
+	type pair struct{ from, to int }
+	xWant := make(map[pair]map[int]struct{})
+
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		yOwner := d.YPart[i]
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			v := a.Val[p]
+			o := d.Owner[p]
+			pr := procs[o]
+			src := j
+			if d.XPart[j] != o {
+				key := pair{from: d.XPart[j], to: o}
+				if xWant[key] == nil {
+					xWant[key] = make(map[int]struct{})
+				}
+				xWant[key][j] = struct{}{}
+				src = -(pr.slotFor(j) + 1)
+			}
+			if yOwner == o {
+				pr.ownRows = append(pr.ownRows, localNZ{row: i, src: src, val: v})
+			} else {
+				pr.preGroups[yOwner] = append(pr.preGroups[yOwner], localNZ{row: i, src: src, val: v})
+			}
+			p++
+		}
+	}
+	for key, set := range xWant {
+		idxs := make([]int, 0, len(set))
+		for j := range set {
+			idxs = append(idxs, j)
+		}
+		sort.Ints(idxs)
+		procs[key.from].xNeed[key.to] = idxs
+		procs[key.to].recvCount[0]++
+	}
+	for _, pr := range procs {
+		for dest := range pr.preGroups {
+			procs[dest].recvCount[1]++
+		}
+		pr.extX = make([]float64, len(pr.extSlot))
+	}
+	return &Engine{d: d, procs: procs, fused: false}, nil
+}
+
+// Multiply computes y ← Ax in parallel. x and y must have the matrix's
+// dimensions; y is fully overwritten.
+func (e *Engine) Multiply(x, y []float64) {
+	a := e.d.A
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic("spmv: dimension mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.procs))
+	for _, pr := range e.procs {
+		go func(pr *proc) {
+			defer wg.Done()
+			if e.fused {
+				e.runFused(pr, x, y)
+			} else {
+				e.runTwoPhase(pr, x, y)
+			}
+		}(pr)
+	}
+	wg.Wait()
+}
+
+// runFused executes one processor's part of the §III algorithm.
+func (e *Engine) runFused(pr *proc, x, y []float64) {
+	// Step 1 — Precompute: partials for remote rows, grouped by owner.
+	partials := make(map[int]map[int]float64, len(pr.preGroups))
+	for dest, nzs := range pr.preGroups {
+		acc := make(map[int]float64, len(nzs))
+		for _, nz := range nzs {
+			acc[nz.row] += nz.val * x[nz.src] // src is always local here
+		}
+		partials[dest] = acc
+	}
+	// Step 2 — Expand-and-Fold: one packet per destination with [x̂, ŷ].
+	dests := make(map[int]struct{})
+	for d := range pr.xNeed {
+		dests[d] = struct{}{}
+	}
+	for d := range partials {
+		dests[d] = struct{}{}
+	}
+	for dest := range dests {
+		pk := packet{from: pr.id}
+		for _, j := range pr.xNeed[dest] {
+			pk.xIdx = append(pk.xIdx, j)
+			pk.xVal = append(pk.xVal, x[j])
+		}
+		for i, v := range partials[dest] {
+			pk.yIdx = append(pk.yIdx, i)
+			pk.yVal = append(pk.yVal, v)
+		}
+		e.procs[dest].inbox[0] <- pk
+	}
+	// Receive: stash x̂ entries, bank ŷ partials.
+	for n := 0; n < pr.recvCount[0]; n++ {
+		pk := <-pr.inbox[0]
+		for t, j := range pk.xIdx {
+			pr.extX[pr.extSlot[j]] = pk.xVal[t]
+		}
+		for t, i := range pk.yIdx {
+			y[i] += pk.yVal[t] // rows owned exclusively by this proc
+		}
+	}
+	// Step 3 — Compute: local rows with local and received x.
+	for _, nz := range pr.ownRows {
+		xv := 0.0
+		if nz.src >= 0 {
+			xv = x[nz.src]
+		} else {
+			xv = pr.extX[-(nz.src + 1)]
+		}
+		y[nz.row] += nz.val * xv
+	}
+}
+
+// runTwoPhase executes one processor's part of the classic algorithm.
+func (e *Engine) runTwoPhase(pr *proc, x, y []float64) {
+	// Phase 0 — Expand.
+	for dest, idxs := range pr.xNeed {
+		pk := packet{from: pr.id}
+		for _, j := range idxs {
+			pk.xIdx = append(pk.xIdx, j)
+			pk.xVal = append(pk.xVal, x[j])
+		}
+		e.procs[dest].inbox[0] <- pk
+	}
+	for n := 0; n < pr.recvCount[0]; n++ {
+		pk := <-pr.inbox[0]
+		for t, j := range pk.xIdx {
+			pr.extX[pr.extSlot[j]] = pk.xVal[t]
+		}
+	}
+	// Multiply.
+	readX := func(src int) float64 {
+		if src >= 0 {
+			return x[src]
+		}
+		return pr.extX[-(src + 1)]
+	}
+	for _, nz := range pr.ownRows {
+		y[nz.row] += nz.val * readX(nz.src)
+	}
+	// Phase 1 — Fold.
+	for dest, nzs := range pr.preGroups {
+		acc := make(map[int]float64, len(nzs))
+		for _, nz := range nzs {
+			acc[nz.row] += nz.val * readX(nz.src)
+		}
+		pk := packet{from: pr.id}
+		for i, v := range acc {
+			pk.yIdx = append(pk.yIdx, i)
+			pk.yVal = append(pk.yVal, v)
+		}
+		e.procs[dest].inbox[1] <- pk
+	}
+	for n := 0; n < pr.recvCount[1]; n++ {
+		pk := <-pr.inbox[1]
+		for t, i := range pk.yIdx {
+			y[i] += pk.yVal[t]
+		}
+	}
+}

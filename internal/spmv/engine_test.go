@@ -1,0 +1,253 @@
+package spmv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/gen"
+	"repro/internal/sparse"
+	"repro/internal/vecpart"
+)
+
+func randomMatrix(r *rand.Rand, rows, cols, nnz int) *sparse.CSR {
+	c := sparse.NewCOO(rows, cols)
+	for t := 0; t < nnz; t++ {
+		c.Add(r.Intn(rows), r.Intn(cols), r.Float64()*2-1)
+	}
+	// Guarantee no empty rows so results exercise every output.
+	for i := 0; i < rows; i++ {
+		c.Add(i, r.Intn(cols), r.Float64())
+	}
+	return c.ToCSR()
+}
+
+func randomVector(r *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64()*4 - 2
+	}
+	return x
+}
+
+func checkAgainstSerial(t *testing.T, a *sparse.CSR, mul func(x, y []float64)) {
+	t.Helper()
+	r := rand.New(rand.NewSource(99))
+	x := randomVector(r, a.Cols)
+	want := make([]float64, a.Rows)
+	a.MulVec(x, want)
+	got := make([]float64, a.Rows)
+	mul(x, got)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFusedEngineMatchesSerial1D(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		a := randomMatrix(r, 40+r.Intn(80), 40+r.Intn(80), 300)
+		k := 2 + r.Intn(7)
+		d := baselines.Rowwise1D(a, k, baselines.Options{Seed: int64(trial)})
+		e, err := NewEngine(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstSerial(t, a, e.Multiply)
+	}
+}
+
+func TestFusedEngineMatchesSerialS2D(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		a := randomMatrix(r, 60+r.Intn(100), 60+r.Intn(100), 600)
+		k := 2 + r.Intn(10)
+		yp := make([]int, a.Rows)
+		for i := range yp {
+			yp[i] = r.Intn(k)
+		}
+		xp := vecpart.ColMajority(a, yp, k)
+		d := core.Balanced(a, xp, yp, k, core.BalanceConfig{})
+		e, err := NewEngine(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstSerial(t, a, e.Multiply)
+	}
+}
+
+func TestFusedEngineMatchesSerialOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		a := randomMatrix(r, 50+r.Intn(80), 50+r.Intn(80), 500)
+		k := 2 + r.Intn(8)
+		yp := make([]int, a.Rows)
+		xp := make([]int, a.Cols)
+		for i := range yp {
+			yp[i] = r.Intn(k)
+		}
+		for j := range xp {
+			xp[j] = r.Intn(k)
+		}
+		d := core.Optimal(a, xp, yp, k)
+		e, err := NewEngine(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstSerial(t, a, e.Multiply)
+	}
+}
+
+func TestTwoPhaseEngineMatchesSerialFineGrain(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 6; trial++ {
+		a := randomMatrix(r, 60+r.Intn(60), 60+r.Intn(60), 500)
+		k := 2 + r.Intn(7)
+		d := baselines.FineGrain2D(a, k, baselines.Options{Seed: int64(trial)})
+		e, err := NewEngine(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstSerial(t, a, e.Multiply)
+	}
+}
+
+func TestTwoPhaseEngineMatchesSerialCheckerboard(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := randomMatrix(r, 150, 150, 1200)
+	d := baselines.Checkerboard2DB(a, 16, baselines.Options{Seed: 6})
+	e, err := NewEngine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSerial(t, a, e.Multiply)
+}
+
+func TestTwoPhaseEngineMatchesSerialOneDB(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	a := randomMatrix(r, 150, 150, 1200)
+	opt := baselines.Options{Seed: 7}
+	rows := baselines.RowwiseParts(a, 16, opt)
+	d := baselines.OneDB(a, rows, 16, opt)
+	e, err := NewEngine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSerial(t, a, e.Multiply)
+}
+
+func TestTwoPhaseEngineMatchesSerialArbitrary2D(t *testing.T) {
+	// Fully random (non-s2D) owners: the general 2D case with group-(iv)
+	// nonzeros linking both phases.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		a := randomMatrix(r, 50+r.Intn(70), 50+r.Intn(70), 600)
+		k := 2 + r.Intn(8)
+		d := &distrib.Distribution{
+			A: a, K: k,
+			Owner: make([]int, a.NNZ()),
+			XPart: make([]int, a.Cols),
+			YPart: make([]int, a.Rows),
+		}
+		for p := range d.Owner {
+			d.Owner[p] = r.Intn(k)
+		}
+		for j := range d.XPart {
+			d.XPart[j] = r.Intn(k)
+		}
+		for i := range d.YPart {
+			d.YPart[i] = r.Intn(k)
+		}
+		e, err := NewEngine(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstSerial(t, a, e.Multiply)
+	}
+}
+
+func TestRoutedEngineMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 8; trial++ {
+		a := randomMatrix(r, 100+r.Intn(100), 100+r.Intn(100), 1200)
+		const k = 16
+		yp := make([]int, a.Rows)
+		for i := range yp {
+			yp[i] = r.Intn(k)
+		}
+		xp := vecpart.ColMajority(a, yp, k)
+		d := core.Balanced(a, xp, yp, k, core.BalanceConfig{})
+		e, err := NewRoutedEngine(d, core.NewMesh(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstSerial(t, a, e.Multiply)
+	}
+}
+
+func TestRoutedEngineRejectsUnfused(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a := randomMatrix(r, 50, 50, 300)
+	d := baselines.FineGrain2D(a, 4, baselines.Options{Seed: 1})
+	if _, err := NewRoutedEngine(d, core.NewMesh(4)); err == nil {
+		t.Fatal("routed engine accepted a non-fused distribution")
+	}
+}
+
+func TestRoutedEngineRejectsBadMesh(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	a := randomMatrix(r, 50, 50, 300)
+	d := baselines.Rowwise1D(a, 4, baselines.Options{Seed: 1})
+	if _, err := NewRoutedEngine(d, core.Mesh{Pr: 3, Pc: 3}); err == nil {
+		t.Fatal("routed engine accepted a mesh not covering K")
+	}
+}
+
+func TestEngineRejectsInvalidDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a := randomMatrix(r, 20, 20, 100)
+	d := &distrib.Distribution{A: a, K: 2, Owner: []int{0}, XPart: make([]int, 20), YPart: make([]int, 20)}
+	if _, err := NewEngine(d); err == nil {
+		t.Fatal("engine accepted invalid distribution")
+	}
+}
+
+func TestEngineRepeatedMultiplies(t *testing.T) {
+	// The engine must be reusable: buffers reset correctly between calls.
+	r := rand.New(rand.NewSource(12))
+	a := randomMatrix(r, 80, 80, 600)
+	d := baselines.MediumGrainS2D(a, 8, baselines.Options{Seed: 2})
+	e, err := NewEngine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		checkAgainstSerial(t, a, e.Multiply)
+	}
+}
+
+func TestEngineOnSuiteMatrix(t *testing.T) {
+	spec, _ := gen.ByName("c-big")
+	a := spec.Generate(1.0/256, 5)
+	const k = 8
+	opt := baselines.Options{Seed: 3}
+	rows := baselines.RowwiseParts(a, k, opt)
+	oneD := baselines.Rowwise1DFromParts(a, rows, k)
+	s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+	e, err := NewEngine(s2d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSerial(t, a, e.Multiply)
+
+	re, err := NewRoutedEngine(s2d, core.NewMesh(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSerial(t, a, re.Multiply)
+}

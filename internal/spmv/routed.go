@@ -1,0 +1,317 @@
+package spmv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+)
+
+// RoutedEngine executes the s2D-b schedule (§VI-B1): the fused [x̂,ŷ]
+// packet from P_k to P_ℓ travels via the mesh intermediate at
+// (RowOf(ℓ), ColOf(k)). Phase 1 moves packets within mesh columns, phase 2
+// within mesh rows. Intermediates combine payloads: an x entry needed by
+// several parts in one mesh row ships to that row once, and partial y
+// results for the same output entry are summed before forwarding. Each
+// processor therefore contacts fewer than P_r + P_c peers in total.
+type RoutedEngine struct {
+	d    *distrib.Distribution
+	mesh core.Mesh
+
+	rprocs []*rproc
+}
+
+type rproc struct {
+	id int
+
+	ownRows   []localNZ         // nonzeros with local output row
+	preGroups map[int][]localNZ // x-local nonzeros grouped by final y owner
+
+	// Phase-1 x payloads: hop1X[mid] lists locally-owned x indices routed
+	// via mid. Phase-2 forwarding schedule at an intermediate:
+	// hop2X[dest] lists x indices to forward to dest.
+	hop1X map[int][]int
+	hop2X map[int][]int
+
+	// Static sender sets per phase (destinations this proc will message).
+	phase1Dests map[int]struct{}
+	phase2Dests map[int]struct{}
+
+	extSlot map[int]int
+	extX    []float64
+
+	recvCount [2]int
+	inbox     [2]chan packet
+
+	// Runtime routing buffers, reset each multiply.
+	routeX map[int]float64
+	routeY map[int]float64
+}
+
+// NewRoutedEngine builds the two-hop schedule for a fused s2D distribution
+// on the given mesh.
+func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if !d.Fused {
+		return nil, fmt.Errorf("spmv: routed engine requires a fused (s2D) distribution")
+	}
+	if mesh.Pr*mesh.Pc != d.K {
+		return nil, fmt.Errorf("spmv: mesh %v does not cover K=%d", mesh, d.K)
+	}
+	e := &RoutedEngine{d: d, mesh: mesh}
+	e.rprocs = make([]*rproc, d.K)
+	for i := range e.rprocs {
+		e.rprocs[i] = &rproc{
+			id:          i,
+			preGroups:   make(map[int][]localNZ),
+			hop1X:       make(map[int][]int),
+			hop2X:       make(map[int][]int),
+			phase1Dests: make(map[int]struct{}),
+			phase2Dests: make(map[int]struct{}),
+			extSlot:     make(map[int]int),
+		}
+		e.rprocs[i].inbox[0] = make(chan packet, d.K)
+		e.rprocs[i].inbox[1] = make(chan packet, d.K)
+	}
+
+	a := d.A
+	// Per (owner, dest) x needs, as in the fused engine.
+	type pair struct{ from, to int }
+	xWant := make(map[pair]map[int]struct{})
+	p := 0
+	for i := 0; i < a.Rows; i++ {
+		yOwner := d.YPart[i]
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			j := a.ColIdx[q]
+			v := a.Val[p]
+			o := d.Owner[p]
+			pr := e.rprocs[o]
+			switch {
+			case o == yOwner && o == d.XPart[j]:
+				pr.ownRows = append(pr.ownRows, localNZ{row: i, src: j, val: v})
+			case o == yOwner:
+				key := pair{from: d.XPart[j], to: o}
+				if xWant[key] == nil {
+					xWant[key] = make(map[int]struct{})
+				}
+				xWant[key][j] = struct{}{}
+				s, ok := pr.extSlot[j]
+				if !ok {
+					s = len(pr.extSlot)
+					pr.extSlot[j] = s
+				}
+				pr.ownRows = append(pr.ownRows, localNZ{row: i, src: -(s + 1), val: v})
+			case o == d.XPart[j]:
+				pr.preGroups[yOwner] = append(pr.preGroups[yOwner], localNZ{row: i, src: j, val: v})
+			default:
+				return nil, fmt.Errorf("spmv: nonzero (%d,%d) violates s2D", i, j)
+			}
+			p++
+		}
+	}
+
+	// Build the x routing tables.
+	for key, set := range xWant {
+		src, dst := key.from, key.to
+		mid := mesh.PartAt(mesh.RowOf(dst), mesh.ColOf(src))
+		idxs := make([]int, 0, len(set))
+		for j := range set {
+			idxs = append(idxs, j)
+		}
+		sort.Ints(idxs)
+		if mid != src {
+			hop := e.rprocs[src].hop1X[mid]
+			hop = append(hop, idxs...)
+			e.rprocs[src].hop1X[mid] = hop
+			e.rprocs[src].phase1Dests[mid] = struct{}{}
+		}
+		if dst != mid {
+			e.rprocs[mid].hop2X[dst] = append(e.rprocs[mid].hop2X[dst], idxs...)
+			e.rprocs[mid].phase2Dests[dst] = struct{}{}
+		}
+	}
+	// Deduplicate hop1X payloads (two destinations in the same mesh row
+	// share the shipment).
+	for _, pr := range e.rprocs {
+		for mid, idxs := range pr.hop1X {
+			pr.hop1X[mid] = dedupSorted(idxs)
+		}
+		for dst, idxs := range pr.hop2X {
+			pr.hop2X[dst] = dedupSorted(idxs)
+		}
+	}
+	// y routing structure: source k with partials for dest ℓ messages
+	// mid=(RowOf(ℓ), ColOf(k)) in phase 1; mid messages ℓ in phase 2.
+	for _, pr := range e.rprocs {
+		for dest := range pr.preGroups {
+			mid := mesh.PartAt(mesh.RowOf(dest), mesh.ColOf(pr.id))
+			if mid != pr.id {
+				pr.phase1Dests[mid] = struct{}{}
+			}
+			if dest != mid {
+				e.rprocs[mid].phase2Dests[dest] = struct{}{}
+			}
+		}
+	}
+	// Expected receive counts.
+	for _, pr := range e.rprocs {
+		for mid := range pr.phase1Dests {
+			e.rprocs[mid].recvCount[0]++
+		}
+		for dst := range pr.phase2Dests {
+			e.rprocs[dst].recvCount[1]++
+		}
+	}
+	for _, pr := range e.rprocs {
+		pr.extX = make([]float64, len(pr.extSlot))
+	}
+	return e, nil
+}
+
+func dedupSorted(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Multiply computes y ← Ax with the routed two-phase schedule.
+func (e *RoutedEngine) Multiply(x, y []float64) {
+	a := e.d.A
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic("spmv: dimension mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.rprocs))
+	for _, pr := range e.rprocs {
+		go func(pr *rproc) {
+			defer wg.Done()
+			e.run(pr, x, y)
+		}(pr)
+	}
+	wg.Wait()
+}
+
+func (e *RoutedEngine) run(pr *rproc, x, y []float64) {
+	mesh := e.mesh
+	pr.routeX = make(map[int]float64)
+	pr.routeY = make(map[int]float64)
+
+	// Precompute partials per final destination, then fold them into
+	// per-intermediate phase-1 payloads (or keep locally if self-routed).
+	hop1Y := make(map[int]map[int]float64) // mid -> row -> partial
+	for dest, nzs := range pr.preGroups {
+		mid := mesh.PartAt(mesh.RowOf(dest), mesh.ColOf(pr.id))
+		acc := hop1Y[mid]
+		if acc == nil {
+			acc = make(map[int]float64)
+			hop1Y[mid] = acc
+		}
+		for _, nz := range nzs {
+			acc[nz.row] += nz.val * x[nz.src]
+		}
+	}
+	// Phase 1 sends.
+	for mid := range pr.phase1Dests {
+		pk := packet{from: pr.id}
+		for _, j := range pr.hop1X[mid] {
+			pk.xIdx = append(pk.xIdx, j)
+			pk.xVal = append(pk.xVal, x[j])
+		}
+		for i, v := range hop1Y[mid] {
+			pk.yIdx = append(pk.yIdx, i)
+			pk.yVal = append(pk.yVal, v)
+		}
+		e.rprocs[mid].inbox[0] <- pk
+	}
+	// Self-routed payloads bypass the channel.
+	for _, j := range pr.hop1X[pr.id] {
+		pr.routeX[j] = x[j]
+	}
+	if acc := hop1Y[pr.id]; acc != nil {
+		for i, v := range acc {
+			pr.routeY[i] += v
+		}
+	}
+	// Locally-owned x entries we must forward in phase 2 but never shipped
+	// in phase 1 (we are our own intermediate for same-row destinations).
+	for _, idxs := range pr.hop2X {
+		for _, j := range idxs {
+			if e.d.XPart[j] == pr.id {
+				pr.routeX[j] = x[j]
+			}
+		}
+	}
+	// Phase 1 receives: combine. An x value whose final destination is
+	// this very processor (source in our mesh column) is consumed here.
+	for n := 0; n < pr.recvCount[0]; n++ {
+		pk := <-pr.inbox[0]
+		for t, j := range pk.xIdx {
+			pr.routeX[j] = pk.xVal[t]
+			if s, ok := pr.extSlot[j]; ok {
+				pr.extX[s] = pk.xVal[t]
+			}
+		}
+		for t, i := range pk.yIdx {
+			pr.routeY[i] += pk.yVal[t] // combining: same y_i from many sources
+		}
+	}
+	// Phase 2 sends: forward combined payloads to final destinations.
+	yByDest := make(map[int]map[int]float64)
+	for i, v := range pr.routeY {
+		dest := e.d.YPart[i]
+		if dest == pr.id {
+			y[i] += v // we are the final owner
+			continue
+		}
+		acc := yByDest[dest]
+		if acc == nil {
+			acc = make(map[int]float64)
+			yByDest[dest] = acc
+		}
+		acc[i] += v
+	}
+	for dest := range pr.phase2Dests {
+		pk := packet{from: pr.id}
+		for _, j := range pr.hop2X[dest] {
+			pk.xIdx = append(pk.xIdx, j)
+			pk.xVal = append(pk.xVal, pr.routeX[j])
+		}
+		for i, v := range yByDest[dest] {
+			pk.yIdx = append(pk.yIdx, i)
+			pk.yVal = append(pk.yVal, v)
+		}
+		e.rprocs[dest].inbox[1] <- pk
+	}
+	// Phase 2 receives.
+	for n := 0; n < pr.recvCount[1]; n++ {
+		pk := <-pr.inbox[1]
+		for t, j := range pk.xIdx {
+			pr.extX[pr.extSlot[j]] = pk.xVal[t]
+		}
+		for t, i := range pk.yIdx {
+			y[i] += pk.yVal[t]
+		}
+	}
+	// Compute local rows.
+	for _, nz := range pr.ownRows {
+		xv := 0.0
+		if nz.src >= 0 {
+			xv = x[nz.src]
+		} else {
+			xv = pr.extX[-(nz.src + 1)]
+		}
+		y[nz.row] += nz.val * xv
+	}
+}

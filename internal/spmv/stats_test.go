@@ -1,0 +1,106 @@
+package spmv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+)
+
+// TestScheduleStatsMatchAnalytic: the engine's static schedule must carry
+// exactly the traffic the distribution metrics predict, in both schedules.
+func TestScheduleStatsMatchAnalytic(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 12; trial++ {
+		a := randomMatrix(r, 80+r.Intn(120), 80+r.Intn(120), 1000)
+		k := 2 + r.Intn(12)
+
+		yp := make([]int, a.Rows)
+		for i := range yp {
+			yp[i] = r.Intn(k)
+		}
+		xp := make([]int, a.Cols)
+		for j := range xp {
+			xp[j] = r.Intn(k)
+		}
+		d := core.Balanced(a, xp, yp, k, core.BalanceConfig{})
+		e, err := NewEngine(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := e.ScheduleStats()
+		want := d.Comm()
+		if got.TotalVolume != want.TotalVolume || got.TotalMsgs != want.TotalMsgs {
+			t.Fatalf("trial %d fused: schedule (%d vol, %d msgs) != analytic (%d, %d)",
+				trial, got.TotalVolume, got.TotalMsgs, want.TotalVolume, want.TotalMsgs)
+		}
+		if got.MaxSendMsgs != want.MaxSendMsgs {
+			t.Fatalf("trial %d fused: max msgs %d != %d", trial, got.MaxSendMsgs, want.MaxSendMsgs)
+		}
+	}
+}
+
+func TestScheduleStatsTwoPhase(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	a := randomMatrix(r, 150, 150, 1500)
+	d := baselines.FineGrain2D(a, 8, baselines.Options{Seed: 1})
+	e, err := NewEngine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.ScheduleStats()
+	want := d.Comm()
+	if got.TotalVolume != want.TotalVolume {
+		t.Fatalf("volume %d != %d", got.TotalVolume, want.TotalVolume)
+	}
+	if len(got.Phases) != 2 {
+		t.Fatalf("phases = %d", len(got.Phases))
+	}
+	for ph := range got.Phases {
+		if got.Phases[ph].TotalMsgs != want.Phases[ph].TotalMsgs {
+			t.Fatalf("phase %d msgs %d != %d", ph, got.Phases[ph].TotalMsgs, want.Phases[ph].TotalMsgs)
+		}
+	}
+}
+
+// TestRoutedScheduleStatsMatchS2DB: the routed engine's schedule must match
+// core.S2DBComm exactly — the harness quotes the latter for Table V/VI.
+func TestRoutedScheduleStatsMatchS2DB(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 8; trial++ {
+		a := randomMatrix(r, 150+r.Intn(100), 150+r.Intn(100), 1800)
+		const k = 16
+		yp := make([]int, a.Rows)
+		for i := range yp {
+			yp[i] = r.Intn(k)
+		}
+		xp := append([]int(nil), yp...)
+		if a.Cols != a.Rows {
+			xp = make([]int, a.Cols)
+			for j := range xp {
+				xp[j] = r.Intn(k)
+			}
+		}
+		d := core.Balanced(a, xp, yp, k, core.BalanceConfig{})
+		mesh := core.NewMesh(k)
+		e, err := NewRoutedEngine(d, mesh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := e.ScheduleStats()
+		want := core.S2DBComm(d, mesh)
+		if got.TotalVolume != want.TotalVolume {
+			t.Fatalf("trial %d: routed volume %d != analytic %d", trial, got.TotalVolume, want.TotalVolume)
+		}
+		if got.TotalMsgs != want.TotalMsgs {
+			t.Fatalf("trial %d: routed msgs %d != analytic %d", trial, got.TotalMsgs, want.TotalMsgs)
+		}
+		for ph := 0; ph < 2; ph++ {
+			if got.Phases[ph].TotalVolume != want.Phases[ph].TotalVolume {
+				t.Fatalf("trial %d phase %d: %d != %d", trial, ph,
+					got.Phases[ph].TotalVolume, want.Phases[ph].TotalVolume)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package vecpart derives input/output vector partitions from row or
+// nonzero partitions. The s2D method takes a vector partition as input
+// (Problem 1 in the paper); these helpers produce the one induced by a 1D
+// rowwise partition, which is the choice the paper uses (§IV: "1D rowwise
+// partitioning is the most relevant one to obtain a vector partition").
+package vecpart
+
+import "repro/internal/sparse"
+
+// FromRowParts returns (xpart, ypart) induced by a K-way rowwise partition.
+// The output vector follows the rows. For square matrices the input vector
+// is partitioned symmetrically (x_j with row j); for rectangular matrices
+// x_j goes to the part owning the most nonzeros of column j (ties to the
+// lowest part; empty columns are dealt round-robin).
+func FromRowParts(a *sparse.CSR, rowParts []int, k int) (xpart, ypart []int) {
+	ypart = append([]int(nil), rowParts...)
+	if a.Rows == a.Cols {
+		xpart = append([]int(nil), rowParts...)
+		return xpart, ypart
+	}
+	xpart = ColMajority(a, rowParts, k)
+	return xpart, ypart
+}
+
+// ColMajority assigns each column to the part that owns the most nonzeros
+// in it under the given rowwise partition. Empty columns are distributed
+// round-robin.
+func ColMajority(a *sparse.CSR, rowParts []int, k int) []int {
+	xpart := make([]int, a.Cols)
+	counts := make(map[int]int, 8)
+	csc := a.ToCSC()
+	for j := 0; j < a.Cols; j++ {
+		clear(counts)
+		best, bestCount := -1, 0
+		for _, i := range csc.ColRows(j) {
+			p := rowParts[i]
+			counts[p]++
+			if counts[p] > bestCount || (counts[p] == bestCount && p < best) {
+				best, bestCount = p, counts[p]
+			}
+		}
+		if best < 0 {
+			best = j % k
+		}
+		xpart[j] = best
+	}
+	return xpart
+}

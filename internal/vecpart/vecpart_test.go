@@ -1,0 +1,85 @@
+package vecpart
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func rect() *sparse.CSR {
+	// 4x3:
+	// [1 1 0]
+	// [0 1 0]
+	// [0 1 1]
+	// [0 0 1]
+	c := sparse.NewCOO(4, 3)
+	c.Add(0, 0, 1)
+	c.Add(0, 1, 1)
+	c.Add(1, 1, 1)
+	c.Add(2, 1, 1)
+	c.Add(2, 2, 1)
+	c.Add(3, 2, 1)
+	return c.ToCSR()
+}
+
+func TestFromRowPartsSquareIsSymmetric(t *testing.T) {
+	c := sparse.NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		c.Add(i, i, 1)
+	}
+	a := c.ToCSR()
+	rows := []int{0, 1, 0, 1}
+	xp, yp := FromRowParts(a, rows, 2)
+	for i := range rows {
+		if xp[i] != rows[i] || yp[i] != rows[i] {
+			t.Fatalf("symmetric partition violated at %d", i)
+		}
+	}
+}
+
+func TestFromRowPartsRectangularMajority(t *testing.T) {
+	a := rect()
+	rows := []int{0, 0, 1, 1}
+	xp, yp := FromRowParts(a, rows, 2)
+	if len(xp) != 3 || len(yp) != 4 {
+		t.Fatalf("lengths %d/%d", len(xp), len(yp))
+	}
+	// Col 0: only row 0 (part 0). Col 2: rows 2,3 (part 1).
+	if xp[0] != 0 {
+		t.Errorf("xp[0] = %d, want 0", xp[0])
+	}
+	if xp[2] != 1 {
+		t.Errorf("xp[2] = %d, want 1", xp[2])
+	}
+	// Col 1: rows 0,1 (part 0) vs row 2 (part 1): majority part 0.
+	if xp[1] != 0 {
+		t.Errorf("xp[1] = %d, want 0 (majority)", xp[1])
+	}
+}
+
+func TestColMajorityEmptyColumns(t *testing.T) {
+	c := sparse.NewCOO(2, 4)
+	c.Add(0, 0, 1)
+	c.Add(1, 0, 1)
+	a := c.ToCSR()
+	xp := ColMajority(a, []int{0, 1}, 2)
+	for j, p := range xp {
+		if p < 0 || p >= 2 {
+			t.Fatalf("xp[%d] = %d out of range", j, p)
+		}
+	}
+}
+
+func TestFromRowPartsDoesNotAliasInput(t *testing.T) {
+	c := sparse.NewCOO(3, 3)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, 1)
+	c.Add(2, 2, 1)
+	a := c.ToCSR()
+	rows := []int{0, 1, 2}
+	xp, yp := FromRowParts(a, rows, 3)
+	rows[0] = 2
+	if xp[0] != 0 || yp[0] != 0 {
+		t.Fatal("FromRowParts aliases the input slice")
+	}
+}
