@@ -61,18 +61,21 @@ func geomeanLI(rows []harness.Row, method string) float64 {
 }
 
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		harness.Figure1(io.Discard)
 	}
 }
 
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		harness.Table1(io.Discard, benchCfg())
 	}
 }
 
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	var rows []harness.Row
 	for i := 0; i < b.N; i++ {
 		rows = harness.Table2(io.Discard, benchCfg())
@@ -82,6 +85,7 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 func BenchmarkTable3(b *testing.B) {
+	b.ReportAllocs()
 	var rows []harness.Row
 	for i := 0; i < b.N; i++ {
 		rows = harness.Table3(io.Discard, benchCfg())
@@ -90,12 +94,14 @@ func BenchmarkTable3(b *testing.B) {
 }
 
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		harness.Table4(io.Discard, benchCfg())
 	}
 }
 
 func BenchmarkTable5(b *testing.B) {
+	b.ReportAllocs()
 	var rows []harness.Row
 	for i := 0; i < b.N; i++ {
 		rows = harness.Table5(io.Discard, benchCfgB())
@@ -107,6 +113,7 @@ func BenchmarkTable5(b *testing.B) {
 }
 
 func BenchmarkTable6(b *testing.B) {
+	b.ReportAllocs()
 	var rows []harness.Row
 	for i := 0; i < b.N; i++ {
 		rows = harness.Table6(io.Discard, benchCfgB())
@@ -118,6 +125,7 @@ func BenchmarkTable6(b *testing.B) {
 }
 
 func BenchmarkTable7(b *testing.B) {
+	b.ReportAllocs()
 	var rows []harness.Row
 	for i := 0; i < b.N; i++ {
 		rows = harness.Table7(io.Discard, benchCfgB())
@@ -131,6 +139,7 @@ func BenchmarkTable7(b *testing.B) {
 // s2D construction variants, vector-partition sources, and the three
 // latency-bounding schemes.
 func BenchmarkAblation(b *testing.B) {
+	b.ReportAllocs()
 	var rows []harness.Row
 	cfg := benchCfgB()
 	for i := 0; i < b.N; i++ {

@@ -201,12 +201,14 @@ func verifyEngine(a *sparse.CSR, d *distrib.Distribution, mesh *core.Mesh) error
 		if err != nil {
 			return err
 		}
+		defer e.Close()
 		e.Multiply(x, got)
 	} else {
 		e, err := spmv.NewEngine(d)
 		if err != nil {
 			return err
 		}
+		defer e.Close()
 		e.Multiply(x, got)
 	}
 	for i := range want {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/spmv"
+)
+
+// benchRecord is one machine-readable engine measurement, emitted by
+// `spmvbench -json` so successive PRs can track the perf trajectory in
+// BENCH_*.json files.
+type benchRecord struct {
+	Schedule    string  `json:"schedule"`
+	K           int     `json:"k"`
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	NNZ         int     `json:"nnz"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Packets     int     `json:"packets_per_multiply"`
+	VolumeWords int     `json:"volume_words"`
+}
+
+type multiplier interface {
+	Multiply(x, y []float64)
+	ScheduleStats() distrib.CommStats
+	Close()
+}
+
+// runJSONBench benchmarks steady-state Multiply for every schedule at each
+// K and writes a JSON array to w.
+func runJSONBench(w io.Writer, cfg harness.Config) error {
+	ks := cfg.Ks
+	if len(ks) == 0 {
+		ks = []int{4, 16, 64}
+	}
+	n := int(320000 * cfg.Scale)
+	if n < 1000 {
+		n = 1000
+	}
+	a := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: n, Cols: n, NNZ: 10 * n, Beta: 0.5,
+		DenseRows: 2, DenseMax: n / 16, Symmetric: true, Locality: 0.9,
+	}, cfg.Seed)
+	x := make([]float64, a.Cols)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+
+	var recs []benchRecord
+	measure := func(schedule string, k int, eng multiplier) {
+		defer eng.Close()
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.Multiply(x, y)
+			}
+		})
+		cs := eng.ScheduleStats()
+		recs = append(recs, benchRecord{
+			Schedule:    schedule,
+			K:           k,
+			Rows:        a.Rows,
+			Cols:        a.Cols,
+			NNZ:         a.NNZ(),
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Packets:     cs.TotalMsgs,
+			VolumeWords: cs.TotalVolume,
+		})
+	}
+
+	for _, k := range ks {
+		opt := baselines.Options{Seed: cfg.Seed}
+		rows := baselines.RowwiseParts(a, k, opt)
+		oneD := baselines.Rowwise1DFromParts(a, rows, k)
+		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+
+		fused, err := spmv.NewEngine(s2d)
+		if err != nil {
+			return fmt.Errorf("fused K=%d: %w", k, err)
+		}
+		measure("fused", k, fused)
+
+		routed, err := spmv.NewRoutedEngine(s2d, core.NewMesh(k))
+		if err != nil {
+			return fmt.Errorf("routed K=%d: %w", k, err)
+		}
+		measure("routed", k, routed)
+
+		twoPhase, err := spmv.NewEngine(baselines.FineGrain2D(a, k, opt))
+		if err != nil {
+			return fmt.Errorf("two-phase K=%d: %w", k, err)
+		}
+		measure("twophase", k, twoPhase)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

@@ -8,6 +8,7 @@
 //	spmvbench -all                  # everything
 //	spmvbench -table 6 -k 64,256    # override the K list
 //	spmvbench -full                 # paper-scale matrices (slow)
+//	spmvbench -json > BENCH.json    # machine-readable engine benchmarks
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	kList := flag.String("k", "", "comma-separated K override, e.g. 16,64,256")
 	par := flag.Int("p", 0, "max concurrent experiment cells (default NumCPU)")
+	jsonBench := flag.Bool("json", false, "benchmark steady-state Multiply per schedule and emit JSON results")
 	flag.Parse()
 
 	cfg := harness.Config{Scale: *scale, Seed: *seed, Parallelism: *par}
@@ -71,6 +73,11 @@ func main() {
 	}
 
 	switch {
+	case *jsonBench:
+		if err := runJSONBench(w, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "spmvbench: %v\n", err)
+			os.Exit(1)
+		}
 	case *all:
 		harness.Figure1(w)
 		for n := 1; n <= 7; n++ {

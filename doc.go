@@ -7,8 +7,10 @@
 // Dulmage–Mendelsohn decomposition (internal/bipartite), hypergraph models
 // and a multilevel partitioner (internal/hypergraph, internal/partition),
 // the s2D core (internal/core), the comparison methods
-// (internal/baselines), a goroutine message-passing SpMV engine
-// (internal/spmv), the α–β cost model (internal/model), and the experiment
+// (internal/baselines), a message-passing SpMV engine that compiles each
+// schedule into an allocation-free execution plan run by persistent
+// workers (internal/spmv), the α–β cost model (internal/model), and the
+// experiment
 // harness regenerating the paper's Tables I–VII and Figure 1
 // (internal/harness).
 //

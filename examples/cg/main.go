@@ -33,6 +33,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer engine.Close()
 	cs := d.Comm()
 	fmt.Printf("s2D partition: volume %d words/SpMV, %d msgs, LI %.1f%%\n",
 		cs.TotalVolume, cs.TotalMsgs, d.LoadImbalance()*100)

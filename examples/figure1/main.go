@@ -23,6 +23,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer engine.Close()
 	a := d.A
 	x := make([]float64, a.Cols)
 	for j := range x {

@@ -44,6 +44,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer engine.Close()
 	cs := d.Comm()
 	fmt.Printf("s2D partition: K=%d, volume %d words/iter, max %d msgs/proc, LI %.1f%%\n",
 		k, cs.TotalVolume, cs.MaxSendMsgs, d.LoadImbalance()*100)

@@ -53,6 +53,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer engine.Close()
 	r := rand.New(rand.NewSource(7))
 	x := make([]float64, a.Cols)
 	for i := range x {

@@ -35,6 +35,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer engine.Close()
 	cs := d.Comm()
 	fmt.Printf("s2D on A:  volume %d, msgs %d, LI %.1f%%\n",
 		cs.TotalVolume, cs.TotalMsgs, d.LoadImbalance()*100)
@@ -60,6 +61,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer engineT.Close()
 	z := make([]float64, cols)
 	engineT.Multiply(y, z)
 	wantZ := make([]float64, cols)

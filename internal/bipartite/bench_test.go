@@ -16,6 +16,7 @@ func benchGraph(nr, nc, edges int) *Graph {
 
 func BenchmarkHopcroftKarp(b *testing.B) {
 	g := benchGraph(20000, 20000, 120000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = HopcroftKarp(g)
@@ -24,6 +25,7 @@ func BenchmarkHopcroftKarp(b *testing.B) {
 
 func BenchmarkDecompose(b *testing.B) {
 	g := benchGraph(20000, 25000, 120000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Decompose(g)
@@ -34,6 +36,7 @@ func BenchmarkDecompose(b *testing.B) {
 // optimizer hits on dense-row blocks (few rows, many columns).
 func BenchmarkDecomposeWide(b *testing.B) {
 	g := benchGraph(100, 50000, 100000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Decompose(g)

@@ -24,6 +24,7 @@ func benchInstance(k int) (m *sparse.CSR, xp, yp []int) {
 
 func BenchmarkOptimal(b *testing.B) {
 	a, xp, yp := benchInstance(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Optimal(a, xp, yp, 64)
@@ -32,6 +33,7 @@ func BenchmarkOptimal(b *testing.B) {
 
 func BenchmarkBalanced(b *testing.B) {
 	a, xp, yp := benchInstance(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Balanced(a, xp, yp, 64, BalanceConfig{})
@@ -40,6 +42,7 @@ func BenchmarkBalanced(b *testing.B) {
 
 func BenchmarkBalancedExt(b *testing.B) {
 	a, xp, yp := benchInstance(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = BalancedExt(a, xp, yp, 64, BalanceConfig{})
@@ -50,6 +53,7 @@ func BenchmarkS2DBComm(b *testing.B) {
 	a, xp, yp := benchInstance(256)
 	d := Balanced(a, xp, yp, 256, BalanceConfig{})
 	mesh := NewMesh(256)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = S2DBComm(d, mesh)

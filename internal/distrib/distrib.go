@@ -86,6 +86,17 @@ func (d *Distribution) countNonS2D() int {
 // IsS2D reports whether the distribution satisfies the semi-2D constraint.
 func (d *Distribution) IsS2D() bool { return d.countNonS2D() == 0 }
 
+// EachNZ visits every stored nonzero in CSR order with its row, column,
+// value, and owner — the traversal every schedule builder performs.
+func (d *Distribution) EachNZ(f func(i, j int, v float64, owner int)) {
+	a := d.A
+	for i := 0; i < a.Rows; i++ {
+		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
+			f(i, a.ColIdx[q], a.Val[q], d.Owner[q])
+		}
+	}
+}
+
 // PartLoads returns the number of nonzeros owned by each part — the
 // computational load model used throughout the paper (eq. 7).
 func (d *Distribution) PartLoads() []int {

@@ -12,6 +12,7 @@ func BenchmarkRCM(b *testing.B) {
 	r := rand.New(rand.NewSource(2))
 	perm := r.Perm(m.Rows)
 	scrambled := m.Permute(perm, perm)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = RCM(scrambled)

@@ -1,0 +1,77 @@
+package solver_test
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/spmv"
+)
+
+// laplacian1D builds the SPD tridiagonal [-1, 2+eps, -1] system — the
+// iterative-workload stand-in: every CG iteration repeats the same SpMV
+// communication pattern.
+func laplacian1D(n int) *sparse.CSR {
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 2.001)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+		}
+	}
+	return c.ToCSR()
+}
+
+// BenchmarkCGEngineBacked measures a full CG solve driven by the parallel
+// engine. With compiled plans and persistent workers the only allocations
+// are CG's own work vectors, built once per solve — iterations themselves
+// are allocation-free.
+func BenchmarkCGEngineBacked(b *testing.B) {
+	a := laplacian1D(20000)
+	d := baselines.Rowwise1D(a, 8, baselines.Options{Seed: 1})
+	eng, err := spmv.NewEngine(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	x := make([]float64, a.Rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+		}
+		if _, err := solver.CG(eng.Multiply, rhs, x, 1e-8, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCGSerialBaseline is the serial reference for the benchmark
+// above, so the engine's parallel overhead stays visible in the trend.
+func BenchmarkCGSerialBaseline(b *testing.B) {
+	a := laplacian1D(20000)
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	x := make([]float64, a.Rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+		}
+		if _, err := solver.CG(a.MulVec, rhs, x, 1e-8, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ func BenchmarkMulVec(b *testing.B) {
 	for i := range x {
 		x[i] = float64(i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.MulVec(x, y)
@@ -30,6 +31,7 @@ func BenchmarkMulVec(b *testing.B) {
 
 func BenchmarkToCSC(b *testing.B) {
 	m := benchMatrix(20000, 400000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.ToCSC()
@@ -38,6 +40,7 @@ func BenchmarkToCSC(b *testing.B) {
 
 func BenchmarkTranspose(b *testing.B) {
 	m := benchMatrix(20000, 400000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.Transpose()
@@ -50,6 +53,7 @@ func BenchmarkCOOToCSR(b *testing.B) {
 	for i := range entries {
 		entries[i] = Entry{Row: r.Intn(20000), Col: r.Intn(20000), Val: 1}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := &COO{Rows: 20000, Cols: 20000, Entries: append([]Entry(nil), entries...)}

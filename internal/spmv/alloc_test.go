@@ -1,0 +1,103 @@
+package spmv
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/vecpart"
+)
+
+// allocFixtures builds one engine per schedule on a small shared matrix.
+func allocFixtures(t *testing.T) (fused, twoPhase *Engine, routed *RoutedEngine, x, y []float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(17))
+	a := randomMatrix(r, 400, 400, 4000)
+	const k = 8
+	yp := make([]int, a.Rows)
+	for i := range yp {
+		yp[i] = r.Intn(k)
+	}
+	xp := vecpart.ColMajority(a, yp, k)
+	d := core.Balanced(a, xp, yp, k, core.BalanceConfig{})
+	var err error
+	fused, err = NewEngine(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fused.Close)
+	routed, err = NewRoutedEngine(d, core.NewMesh(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(routed.Close)
+	d2 := baselines.FineGrain2D(a, k, baselines.Options{Seed: 5})
+	twoPhase, err = NewEngine(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(twoPhase.Close)
+	x = randomVector(r, a.Cols)
+	y = make([]float64, a.Rows)
+	return fused, twoPhase, routed, x, y
+}
+
+// TestMultiplySteadyStateZeroAlloc pins the 0-alloc contract: once built,
+// an engine's Multiply must not touch the heap, for all three schedules.
+func TestMultiplySteadyStateZeroAlloc(t *testing.T) {
+	fused, twoPhase, routed, x, y := allocFixtures(t)
+	cases := []struct {
+		name string
+		mul  func(x, y []float64)
+	}{
+		{"fused", fused.Multiply},
+		{"twophase", twoPhase.Multiply},
+		{"routed", routed.Multiply},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.mul(x, y) // warm up worker/channel pools
+			if n := testing.AllocsPerRun(100, func() { tc.mul(x, y) }); n != 0 {
+				t.Errorf("%s Multiply allocates %v times per call, want 0", tc.name, n)
+			}
+		})
+	}
+}
+
+// TestMultiplyDeterministic pins bitwise reproducibility: packet emission
+// is sorted by destination and folds run in sender order, so repeated
+// multiplies — and rebuilt engines — produce identical bits despite
+// nondeterministic channel arrival order.
+func TestMultiplyDeterministic(t *testing.T) {
+	fused, twoPhase, routed, x, y := allocFixtures(t)
+	for _, tc := range []struct {
+		name string
+		mul  func(x, y []float64)
+	}{
+		{"fused", fused.Multiply},
+		{"twophase", twoPhase.Multiply},
+		{"routed", routed.Multiply},
+	} {
+		tc.mul(x, y)
+		want := append([]float64(nil), y...)
+		for rep := 0; rep < 5; rep++ {
+			tc.mul(x, y)
+			for i := range y {
+				if y[i] != want[i] {
+					t.Fatalf("%s rep %d: y[%d] = %x, first run %x", tc.name, rep, i, y[i], want[i])
+				}
+			}
+		}
+	}
+	// A rebuilt engine over the same distribution must agree bitwise too.
+	fused2, _, _, _, _ := allocFixtures(t)
+	fused.Multiply(x, y)
+	want := append([]float64(nil), y...)
+	fused2.Multiply(x, y)
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("rebuilt engine diverges at y[%d]: %x vs %x", i, y[i], want[i])
+		}
+	}
+}

@@ -1,20 +1,26 @@
 package spmv
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/sparse"
 )
 
-func benchSetup(b *testing.B, k int) (eng *Engine, routed *RoutedEngine, x, y []float64) {
-	b.Helper()
-	a := gen.PowerLaw(gen.PowerLawConfig{
+func benchMatrix() *sparse.CSR {
+	return gen.PowerLaw(gen.PowerLawConfig{
 		Rows: 20000, Cols: 20000, NNZ: 200000, Beta: 0.5,
 		DenseRows: 2, DenseMax: 1500, Symmetric: true, Locality: 0.9,
 	}, 1)
+}
+
+func benchSetup(b *testing.B, k int) (eng *Engine, routed *RoutedEngine, x, y []float64) {
+	b.Helper()
+	a := benchMatrix()
 	opt := baselines.Options{Seed: 1}
 	rows := baselines.RowwiseParts(a, k, opt)
 	oneD := baselines.Rowwise1DFromParts(a, rows, k)
@@ -24,10 +30,12 @@ func benchSetup(b *testing.B, k int) (eng *Engine, routed *RoutedEngine, x, y []
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(eng.Close)
 	routed, err = NewRoutedEngine(d, core.NewMesh(k))
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(routed.Close)
 	r := rand.New(rand.NewSource(2))
 	x = make([]float64, a.Cols)
 	for i := range x {
@@ -37,8 +45,26 @@ func benchSetup(b *testing.B, k int) (eng *Engine, routed *RoutedEngine, x, y []
 	return eng, routed, x, y
 }
 
+func benchTwoPhaseSetup(b *testing.B, k int) (eng *Engine, x, y []float64) {
+	b.Helper()
+	a := benchMatrix()
+	d := baselines.FineGrain2D(a, k, baselines.Options{Seed: 1})
+	eng, err := NewEngine(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	x = make([]float64, a.Cols)
+	y = make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	return eng, x, y
+}
+
 func BenchmarkEngineFusedK16(b *testing.B) {
 	eng, _, x, y := benchSetup(b, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Multiply(x, y)
@@ -47,6 +73,7 @@ func BenchmarkEngineFusedK16(b *testing.B) {
 
 func BenchmarkEngineFusedK64(b *testing.B) {
 	eng, _, x, y := benchSetup(b, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Multiply(x, y)
@@ -55,6 +82,7 @@ func BenchmarkEngineFusedK64(b *testing.B) {
 
 func BenchmarkEngineRoutedK64(b *testing.B) {
 	_, routed, x, y := benchSetup(b, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		routed.Multiply(x, y)
@@ -62,22 +90,42 @@ func BenchmarkEngineRoutedK64(b *testing.B) {
 }
 
 func BenchmarkEngineTwoPhaseK64(b *testing.B) {
-	a := gen.PowerLaw(gen.PowerLawConfig{
-		Rows: 20000, Cols: 20000, NNZ: 200000, Beta: 0.5,
-		DenseRows: 2, DenseMax: 1500, Symmetric: true, Locality: 0.9,
-	}, 1)
-	d := baselines.FineGrain2D(a, 64, baselines.Options{Seed: 1})
-	eng, err := NewEngine(d)
-	if err != nil {
-		b.Fatal(err)
-	}
-	x := make([]float64, a.Cols)
-	y := make([]float64, a.Rows)
-	for i := range x {
-		x[i] = float64(i % 7)
-	}
+	eng, x, y := benchTwoPhaseSetup(b, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Multiply(x, y)
+	}
+}
+
+// BenchmarkMultiplySteadyState is the perf-trajectory benchmark tracked
+// across PRs: every schedule at K ∈ {4,16,64}, steady-state (engines built
+// outside the timed loop). All variants must report 0 allocs/op.
+func BenchmarkMultiplySteadyState(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("fused/K=%d", k), func(b *testing.B) {
+			eng, _, x, y := benchSetup(b, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Multiply(x, y)
+			}
+		})
+		b.Run(fmt.Sprintf("twophase/K=%d", k), func(b *testing.B) {
+			eng, x, y := benchTwoPhaseSetup(b, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Multiply(x, y)
+			}
+		})
+		b.Run(fmt.Sprintf("routed/K=%d", k), func(b *testing.B) {
+			_, routed, x, y := benchSetup(b, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				routed.Multiply(x, y)
+			}
+		})
 	}
 }

@@ -81,6 +81,7 @@ func TestEnginePacketsMatchCommStats(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(e.Close)
 		cs := d.Comm()
 		msgs, words := countFusedPackets(e)
 		if msgs != cs.TotalMsgs {
@@ -100,6 +101,7 @@ func TestEnginePacketsMatchCommStats(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(e2.Close)
 		cs2 := d2.Comm()
 		msgs2, words2 := countTwoPhasePackets(e2)
 		if msgs2 != cs2.TotalMsgs {
@@ -127,6 +129,7 @@ func TestRoutedPacketsWithinS2DBStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	cs := core.S2DBComm(d, mesh)
 	for _, pr := range e.rprocs {
 		if n := len(pr.phase1Dests); n > mesh.Pr-1 {

@@ -24,6 +24,7 @@ func TestEngineK1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	checkAgainstSerial(t, a, e.Multiply)
 	cs := e.ScheduleStats()
 	if cs.TotalMsgs != 0 {
@@ -44,6 +45,7 @@ func TestEngineEmptyMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	x := []float64{1, 2, 3, 4, 5}
 	y := []float64{9, 9, 9, 9, 9}
 	e.Multiply(x, y)
@@ -74,6 +76,7 @@ func TestEngineEmptyRowsAndCols(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	checkAgainstSerial(t, a, e.Multiply)
 }
 
@@ -93,6 +96,7 @@ func TestRoutedEngineMesh1x1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	checkAgainstSerial(t, a, e.Multiply)
 }
 
@@ -111,6 +115,7 @@ func TestMultiplyPanicsOnBadDims(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic on bad dims")

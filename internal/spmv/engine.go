@@ -10,20 +10,24 @@
 //   - the routed two-hop variant for s2D-b (§VI-B1), where packets travel
 //     through mesh intermediates and partial results combine en route.
 //
-// The engine exists to prove the algorithms compute the right answer and
-// to count real packets; wall-clock modelling is internal/model's job.
+// The engine exists to prove the algorithms compute the right answer, to
+// count real packets, and to serve iterative solvers efficiently:
+// NewEngine compiles the static schedule into a flat execution plan (see
+// plan.go) and parks K persistent workers, so a steady-state Multiply
+// spawns no goroutines and performs no heap allocations.
 package spmv
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/distrib"
 )
 
 // packet is one point-to-point message: x entries requested by the
 // destination and partial y results destined for (or routed towards) it.
+// Index arrays are fixed at build time; value arrays are per-proc buffers
+// refilled on every Multiply.
 type packet struct {
 	from int
 	xIdx []int
@@ -32,7 +36,9 @@ type packet struct {
 	yVal []float64
 }
 
-// proc holds one processor's static schedule and runtime buffers.
+// proc holds one processor's schedule. The map-based fields describe the
+// schedule for ScheduleStats and the consistency tests; the compiled plan
+// fields below are what Multiply actually executes.
 type proc struct {
 	id int
 
@@ -50,11 +56,18 @@ type proc struct {
 	extSlot map[int]int
 	extX    []float64
 
-	recvCount []int // packets expected per phase
-
 	// One inbox per phase: a fast sender must not inject a later-phase
 	// packet into an earlier receive loop.
 	inbox []chan packet
+
+	// Compiled execution plan (see plan.go).
+	own    rowKernel   // Compute step over ownRows
+	sends  []*sendPlan // fused: [x̂,ŷ] packets; two-phase: phase-0 x packets
+	ySends []*sendPlan // two-phase phase-1 fold packets
+	// recvX[sender] maps the t-th x entry of that sender's packet to an
+	// extX slot.
+	recvX map[int][]int
+	recv  []recvPlan // one per phase, fixing fold order by sender
 }
 
 type localNZ struct {
@@ -64,24 +77,51 @@ type localNZ struct {
 }
 
 // Engine runs parallel SpMV for a fixed distribution. Build once with
-// NewEngine, call Multiply repeatedly.
+// NewEngine, call Multiply repeatedly. Multiply must not be called
+// concurrently on the same engine: calls share the compiled packet
+// buffers.
 type Engine struct {
 	d     *distrib.Distribution
 	procs []*proc
 	fused bool
+	pool  workerPool
 }
 
 // NewEngine builds the static communication and computation schedule for
-// d. Fused distributions must satisfy the s2D property.
+// d, compiles it into an allocation-free execution plan, and starts one
+// persistent worker per processor. Fused distributions must satisfy the
+// s2D property.
 func NewEngine(d *distrib.Distribution) (*Engine, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	var (
+		e   *Engine
+		err error
+	)
 	if d.Fused {
-		return newFusedEngine(d)
+		e, err = newFusedEngine(d)
+	} else {
+		e, err = newTwoPhaseEngine(d)
 	}
-	return newTwoPhaseEngine(d)
+	if err != nil {
+		return nil, err
+	}
+	e.pool.launch(len(e.procs), func(i int, x, y []float64) {
+		if e.fused {
+			e.runFused(e.procs[i], x, y)
+		} else {
+			e.runTwoPhase(e.procs[i], x, y)
+		}
+	})
+	return e, nil
 }
+
+// Close parks the engine permanently: its worker goroutines exit and
+// Multiply must not be called again. Closing is optional — an unclosed
+// engine merely keeps K goroutines parked until process exit — but
+// long-lived programs that build many engines should close them.
+func (e *Engine) Close() { e.pool.close() }
 
 func newProcs(k, phases int) []*proc {
 	procs := make([]*proc, k)
@@ -97,8 +137,8 @@ func newProcs(k, phases int) []*proc {
 			preGroups: make(map[int][]localNZ),
 			xNeed:     make(map[int][]int),
 			extSlot:   make(map[int]int),
-			recvCount: make([]int, phases),
 			inbox:     inbox,
+			recvX:     make(map[int][]int),
 		}
 	}
 	return procs
@@ -113,43 +153,56 @@ func (p *proc) slotFor(j int) int {
 	return s
 }
 
+// compileRecvX installs, on every destination, the extX slot translation
+// for each sender's fixed x payload.
+func compileRecvX(procs []*proc) {
+	for _, pr := range procs {
+		for dest, idxs := range pr.xNeed {
+			slots := make([]int, len(idxs))
+			for t, j := range idxs {
+				slots[t] = procs[dest].extSlot[j]
+			}
+			procs[dest].recvX[pr.id] = slots
+		}
+	}
+}
+
 // newFusedEngine builds the §III schedule: every nonzero is x-local or
 // y-local; x-local/y-remote nonzeros are precomputed and their partials
 // ride in the same packet as the x entries the destination needs.
 func newFusedEngine(d *distrib.Distribution) (*Engine, error) {
-	a := d.A
 	procs := newProcs(d.K, 1)
 
 	// xWant[owner][dest] tracks the set of x indices dest needs from owner.
 	type pair struct{ from, to int }
 	xWant := make(map[pair]map[int]struct{})
 
-	p := 0
-	for i := 0; i < a.Rows; i++ {
-		yOwner := d.YPart[i]
-		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
-			j := a.ColIdx[q]
-			v := a.Val[p]
-			o := d.Owner[p]
-			xOwner := d.XPart[j]
-			pr := procs[o]
-			switch {
-			case o == yOwner && o == xOwner:
-				pr.ownRows = append(pr.ownRows, localNZ{row: i, src: j, val: v})
-			case o == yOwner: // x remote: request x_j from its owner
-				key := pair{from: xOwner, to: o}
-				if xWant[key] == nil {
-					xWant[key] = make(map[int]struct{})
-				}
-				xWant[key][j] = struct{}{}
-				pr.ownRows = append(pr.ownRows, localNZ{row: i, src: -(pr.slotFor(j) + 1), val: v})
-			case o == xOwner: // y remote: precompute, ship the partial
-				pr.preGroups[yOwner] = append(pr.preGroups[yOwner], localNZ{row: i, src: j, val: v})
-			default:
-				return nil, fmt.Errorf("spmv: nonzero (%d,%d) violates s2D", i, j)
-			}
-			p++
+	var s2dErr error
+	d.EachNZ(func(i, j int, v float64, o int) {
+		if s2dErr != nil {
+			return
 		}
+		yOwner := d.YPart[i]
+		xOwner := d.XPart[j]
+		pr := procs[o]
+		switch {
+		case o == yOwner && o == xOwner:
+			pr.ownRows = append(pr.ownRows, localNZ{row: i, src: j, val: v})
+		case o == yOwner: // x remote: request x_j from its owner
+			key := pair{from: xOwner, to: o}
+			if xWant[key] == nil {
+				xWant[key] = make(map[int]struct{})
+			}
+			xWant[key][j] = struct{}{}
+			pr.ownRows = append(pr.ownRows, localNZ{row: i, src: -(pr.slotFor(j) + 1), val: v})
+		case o == xOwner: // y remote: precompute, ship the partial
+			pr.preGroups[yOwner] = append(pr.preGroups[yOwner], localNZ{row: i, src: j, val: v})
+		default:
+			s2dErr = fmt.Errorf("spmv: nonzero (%d,%d) violates s2D", i, j)
+		}
+	})
+	if s2dErr != nil {
+		return nil, s2dErr
 	}
 	for key, set := range xWant {
 		idxs := make([]int, 0, len(set))
@@ -160,59 +213,100 @@ func newFusedEngine(d *distrib.Distribution) (*Engine, error) {
 		procs[key.from].xNeed[key.to] = idxs
 	}
 	// A packet k→ℓ exists if k has x entries for ℓ or precomputed partials
-	// for ℓ — count expected receives.
-	senders := make(map[pair]struct{})
+	// for ℓ — collect the sender set of every destination.
+	sendersOf := make(map[int]map[int]struct{})
+	addSender := func(from, to int) {
+		if sendersOf[to] == nil {
+			sendersOf[to] = make(map[int]struct{})
+		}
+		sendersOf[to][from] = struct{}{}
+	}
 	for key := range xWant {
-		senders[key] = struct{}{}
+		addSender(key.from, key.to)
 	}
 	for _, pr := range procs {
 		for dest := range pr.preGroups {
-			senders[pair{from: pr.id, to: dest}] = struct{}{}
+			addSender(pr.id, dest)
 		}
-	}
-	for key := range senders {
-		procs[key.to].recvCount[0]++
 	}
 	for _, pr := range procs {
 		pr.extX = make([]float64, len(pr.extSlot))
 	}
+
+	// ---- compile the execution plan ----
+	for _, pr := range procs {
+		pr.own = compileRows(pr.ownRows)
+		destSet := make(map[int]struct{}, len(pr.xNeed)+len(pr.preGroups))
+		for dst := range pr.xNeed {
+			destSet[dst] = struct{}{}
+		}
+		for dst := range pr.preGroups {
+			destSet[dst] = struct{}{}
+		}
+		dests := sortedKeys(destSet)
+		grps := make([]rowKernel, len(dests))
+		words := 0
+		for t, dst := range dests {
+			grps[t] = compileRows(pr.preGroups[dst])
+			words += len(pr.xNeed[dst]) + len(grps[t].rows)
+		}
+		arena := newValArena(words)
+		for t, dst := range dests {
+			pr.sends = append(pr.sends, newSendPlan(pr.id, dst, pr.xNeed[dst], grps[t], arena))
+		}
+		pr.recv = []recvPlan{newRecvPlan(sortedKeys(sendersOf[pr.id]))}
+	}
+	compileRecvX(procs)
 	return &Engine{d: d, procs: procs, fused: true}, nil
+}
+
+// compiledGroupRows returns the distinct rows a fold group will ship —
+// the group's packet yVal length — without building the kernel twice.
+func compiledGroupRows(nzs []localNZ) []int {
+	if len(nzs) == 0 {
+		return nil
+	}
+	rows := make([]int, 0, len(nzs))
+	for _, nz := range nzs {
+		rows = append(rows, nz.row)
+	}
+	return dedupSorted(rows)
 }
 
 // newTwoPhaseEngine builds the classic expand/fold schedule used by 2D
 // partitions: phase 0 ships x entries to nonzero owners, phase 1 ships
 // partial y results to row owners.
 func newTwoPhaseEngine(d *distrib.Distribution) (*Engine, error) {
-	a := d.A
 	procs := newProcs(d.K, 2)
 
 	type pair struct{ from, to int }
 	xWant := make(map[pair]map[int]struct{})
 
-	p := 0
-	for i := 0; i < a.Rows; i++ {
+	d.EachNZ(func(i, j int, v float64, o int) {
 		yOwner := d.YPart[i]
-		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
-			j := a.ColIdx[q]
-			v := a.Val[p]
-			o := d.Owner[p]
-			pr := procs[o]
-			src := j
-			if d.XPart[j] != o {
-				key := pair{from: d.XPart[j], to: o}
-				if xWant[key] == nil {
-					xWant[key] = make(map[int]struct{})
-				}
-				xWant[key][j] = struct{}{}
-				src = -(pr.slotFor(j) + 1)
+		pr := procs[o]
+		src := j
+		if d.XPart[j] != o {
+			key := pair{from: d.XPart[j], to: o}
+			if xWant[key] == nil {
+				xWant[key] = make(map[int]struct{})
 			}
-			if yOwner == o {
-				pr.ownRows = append(pr.ownRows, localNZ{row: i, src: src, val: v})
-			} else {
-				pr.preGroups[yOwner] = append(pr.preGroups[yOwner], localNZ{row: i, src: src, val: v})
-			}
-			p++
+			xWant[key][j] = struct{}{}
+			src = -(pr.slotFor(j) + 1)
 		}
+		if yOwner == o {
+			pr.ownRows = append(pr.ownRows, localNZ{row: i, src: src, val: v})
+		} else {
+			pr.preGroups[yOwner] = append(pr.preGroups[yOwner], localNZ{row: i, src: src, val: v})
+		}
+	})
+	xSenders := make(map[int]map[int]struct{})
+	ySenders := make(map[int]map[int]struct{})
+	addSender := func(m map[int]map[int]struct{}, from, to int) {
+		if m[to] == nil {
+			m[to] = make(map[int]struct{})
+		}
+		m[to][from] = struct{}{}
 	}
 	for key, set := range xWant {
 		idxs := make([]int, 0, len(set))
@@ -221,137 +315,99 @@ func newTwoPhaseEngine(d *distrib.Distribution) (*Engine, error) {
 		}
 		sort.Ints(idxs)
 		procs[key.from].xNeed[key.to] = idxs
-		procs[key.to].recvCount[0]++
+		addSender(xSenders, key.from, key.to)
 	}
 	for _, pr := range procs {
 		for dest := range pr.preGroups {
-			procs[dest].recvCount[1]++
+			addSender(ySenders, pr.id, dest)
 		}
+	}
+	for _, pr := range procs {
 		pr.extX = make([]float64, len(pr.extSlot))
 	}
+
+	// ---- compile the execution plan ----
+	for _, pr := range procs {
+		pr.own = compileRows(pr.ownRows)
+		yDests := sortedKeys(pr.preGroups)
+		grps := make([]rowKernel, len(yDests))
+		words := 0
+		for _, idxs := range pr.xNeed {
+			words += len(idxs)
+		}
+		for t, dst := range yDests {
+			grps[t] = compileRows(pr.preGroups[dst])
+			words += len(grps[t].rows)
+		}
+		arena := newValArena(words)
+		for _, dst := range sortedKeys(pr.xNeed) {
+			pr.sends = append(pr.sends, newSendPlan(pr.id, dst, pr.xNeed[dst], rowKernel{}, arena))
+		}
+		for t, dst := range yDests {
+			pr.ySends = append(pr.ySends, newSendPlan(pr.id, dst, nil, grps[t], arena))
+		}
+		pr.recv = []recvPlan{
+			newRecvPlan(sortedKeys(xSenders[pr.id])),
+			newRecvPlan(sortedKeys(ySenders[pr.id])),
+		}
+	}
+	compileRecvX(procs)
 	return &Engine{d: d, procs: procs, fused: false}, nil
 }
 
 // Multiply computes y ← Ax in parallel. x and y must have the matrix's
-// dimensions; y is fully overwritten.
+// dimensions; y is fully overwritten. Steady-state calls spawn no
+// goroutines and allocate nothing: the parked workers execute the
+// compiled plan against the published x and y.
 func (e *Engine) Multiply(x, y []float64) {
 	a := e.d.A
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("spmv: dimension mismatch")
 	}
-	for i := range y {
-		y[i] = 0
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(e.procs))
-	for _, pr := range e.procs {
-		go func(pr *proc) {
-			defer wg.Done()
-			if e.fused {
-				e.runFused(pr, x, y)
-			} else {
-				e.runTwoPhase(pr, x, y)
-			}
-		}(pr)
-	}
-	wg.Wait()
+	e.pool.dispatch(x, y)
 }
 
-// runFused executes one processor's part of the §III algorithm.
+// runFused executes one processor's part of the §III algorithm: fill the
+// precompiled [x̂,ŷ] packets (Precompute + Expand-and-Fold), bank the
+// incoming ones in sender order, then run the local Compute kernel.
 func (e *Engine) runFused(pr *proc, x, y []float64) {
-	// Step 1 — Precompute: partials for remote rows, grouped by owner.
-	partials := make(map[int]map[int]float64, len(pr.preGroups))
-	for dest, nzs := range pr.preGroups {
-		acc := make(map[int]float64, len(nzs))
-		for _, nz := range nzs {
-			acc[nz.row] += nz.val * x[nz.src] // src is always local here
-		}
-		partials[dest] = acc
+	for _, sp := range pr.sends {
+		sp.fill(x, pr.extX)
+		e.procs[sp.dest].inbox[0] <- sp.buf
 	}
-	// Step 2 — Expand-and-Fold: one packet per destination with [x̂, ŷ].
-	dests := make(map[int]struct{})
-	for d := range pr.xNeed {
-		dests[d] = struct{}{}
-	}
-	for d := range partials {
-		dests[d] = struct{}{}
-	}
-	for dest := range dests {
-		pk := packet{from: pr.id}
-		for _, j := range pr.xNeed[dest] {
-			pk.xIdx = append(pk.xIdx, j)
-			pk.xVal = append(pk.xVal, x[j])
-		}
-		for i, v := range partials[dest] {
-			pk.yIdx = append(pk.yIdx, i)
-			pk.yVal = append(pk.yVal, v)
-		}
-		e.procs[dest].inbox[0] <- pk
-	}
-	// Receive: stash x̂ entries, bank ŷ partials.
-	for n := 0; n < pr.recvCount[0]; n++ {
-		pk := <-pr.inbox[0]
-		for t, j := range pk.xIdx {
-			pr.extX[pr.extSlot[j]] = pk.xVal[t]
+	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
+		slots := pr.recvX[pk.from]
+		for t, v := range pk.xVal {
+			pr.extX[slots[t]] = v
 		}
 		for t, i := range pk.yIdx {
 			y[i] += pk.yVal[t] // rows owned exclusively by this proc
 		}
 	}
-	// Step 3 — Compute: local rows with local and received x.
-	for _, nz := range pr.ownRows {
-		xv := 0.0
-		if nz.src >= 0 {
-			xv = x[nz.src]
-		} else {
-			xv = pr.extX[-(nz.src + 1)]
-		}
-		y[nz.row] += nz.val * xv
-	}
+	pr.own.addInto(y, x, pr.extX)
 }
 
 // runTwoPhase executes one processor's part of the classic algorithm.
 func (e *Engine) runTwoPhase(pr *proc, x, y []float64) {
 	// Phase 0 — Expand.
-	for dest, idxs := range pr.xNeed {
-		pk := packet{from: pr.id}
-		for _, j := range idxs {
-			pk.xIdx = append(pk.xIdx, j)
-			pk.xVal = append(pk.xVal, x[j])
-		}
-		e.procs[dest].inbox[0] <- pk
+	for _, sp := range pr.sends {
+		sp.fill(x, pr.extX)
+		e.procs[sp.dest].inbox[0] <- sp.buf
 	}
-	for n := 0; n < pr.recvCount[0]; n++ {
-		pk := <-pr.inbox[0]
-		for t, j := range pk.xIdx {
-			pr.extX[pr.extSlot[j]] = pk.xVal[t]
+	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
+		slots := pr.recvX[pk.from]
+		for t, v := range pk.xVal {
+			pr.extX[slots[t]] = v
 		}
 	}
 	// Multiply.
-	readX := func(src int) float64 {
-		if src >= 0 {
-			return x[src]
-		}
-		return pr.extX[-(src + 1)]
-	}
-	for _, nz := range pr.ownRows {
-		y[nz.row] += nz.val * readX(nz.src)
-	}
+	pr.own.addInto(y, x, pr.extX)
 	// Phase 1 — Fold.
-	for dest, nzs := range pr.preGroups {
-		acc := make(map[int]float64, len(nzs))
-		for _, nz := range nzs {
-			acc[nz.row] += nz.val * readX(nz.src)
-		}
-		pk := packet{from: pr.id}
-		for i, v := range acc {
-			pk.yIdx = append(pk.yIdx, i)
-			pk.yVal = append(pk.yVal, v)
-		}
-		e.procs[dest].inbox[1] <- pk
+	for _, sp := range pr.ySends {
+		sp.fill(x, pr.extX)
+		e.procs[sp.dest].inbox[1] <- sp.buf
 	}
-	for n := 0; n < pr.recvCount[1]; n++ {
-		pk := <-pr.inbox[1]
+	for _, pk := range pr.recv[1].gather(pr.inbox[1]) {
 		for t, i := range pk.yIdx {
 			y[i] += pk.yVal[t]
 		}

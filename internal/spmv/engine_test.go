@@ -58,6 +58,7 @@ func TestFusedEngineMatchesSerial1D(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(e.Close)
 		checkAgainstSerial(t, a, e.Multiply)
 	}
 }
@@ -77,6 +78,7 @@ func TestFusedEngineMatchesSerialS2D(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(e.Close)
 		checkAgainstSerial(t, a, e.Multiply)
 	}
 }
@@ -99,6 +101,7 @@ func TestFusedEngineMatchesSerialOptimal(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(e.Close)
 		checkAgainstSerial(t, a, e.Multiply)
 	}
 }
@@ -113,6 +116,7 @@ func TestTwoPhaseEngineMatchesSerialFineGrain(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(e.Close)
 		checkAgainstSerial(t, a, e.Multiply)
 	}
 }
@@ -125,6 +129,7 @@ func TestTwoPhaseEngineMatchesSerialCheckerboard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	checkAgainstSerial(t, a, e.Multiply)
 }
 
@@ -138,6 +143,7 @@ func TestTwoPhaseEngineMatchesSerialOneDB(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	checkAgainstSerial(t, a, e.Multiply)
 }
 
@@ -167,6 +173,7 @@ func TestTwoPhaseEngineMatchesSerialArbitrary2D(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(e.Close)
 		checkAgainstSerial(t, a, e.Multiply)
 	}
 }
@@ -186,6 +193,7 @@ func TestRoutedEngineMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(e.Close)
 		checkAgainstSerial(t, a, e.Multiply)
 	}
 }
@@ -226,6 +234,7 @@ func TestEngineRepeatedMultiplies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	for rep := 0; rep < 3; rep++ {
 		checkAgainstSerial(t, a, e.Multiply)
 	}
@@ -243,11 +252,13 @@ func TestEngineOnSuiteMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	checkAgainstSerial(t, a, e.Multiply)
 
 	re, err := NewRoutedEngine(s2d, core.NewMesh(k))
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(re.Close)
 	checkAgainstSerial(t, a, re.Multiply)
 }

@@ -1,0 +1,253 @@
+package spmv
+
+import (
+	"maps"
+	"slices"
+	"sync"
+)
+
+// This file holds the compiled execution plan shared by all three
+// schedules. NewEngine / NewRoutedEngine first build the human-readable
+// schedule (xNeed, preGroups, hop tables — kept for ScheduleStats and the
+// consistency tests), then compile it down to flat arrays so the
+// steady-state Multiply performs zero heap allocations:
+//
+//   - segKernel / rowKernel: branch-free SoA CSR segments. Each output
+//     slot has one run of local-x nonzeros and one run of external-x
+//     nonzeros, so the inner loops never test the sign-encoded src that
+//     localNZ uses at build time.
+//   - sendPlan: a packet with fixed index arrays built once; only the
+//     value arrays (carved from a per-proc valArena) are refilled per
+//     call.
+//   - recvPlan: fixes the fold order of incoming packets by sender
+//     ordinal, making y accumulation bitwise-deterministic run-to-run
+//     even though channel arrival order is not.
+
+// segKernel is a pair of CSR-style nonzero runs per output slot t:
+// a local run reading x directly and an external run reading the
+// proc's extX (or any other gathered buffer).
+type segKernel struct {
+	locPtr []int
+	locSrc []int
+	locVal []float64
+	extPtr []int
+	extSrc []int
+	extVal []float64
+}
+
+// value computes slot t's dot-product contribution.
+func (k *segKernel) value(t int, x, ext []float64) float64 {
+	s := 0.0
+	for q := k.locPtr[t]; q < k.locPtr[t+1]; q++ {
+		s += k.locVal[q] * x[k.locSrc[q]]
+	}
+	for q := k.extPtr[t]; q < k.extPtr[t+1]; q++ {
+		s += k.extVal[q] * ext[k.extSrc[q]]
+	}
+	return s
+}
+
+// rowKernel couples a segKernel with its output indices (global y rows
+// for compute kernels, dense slots for routed accumulators).
+type rowKernel struct {
+	rows []int
+	segKernel
+}
+
+// addInto accumulates every slot's value into dst[rows[t]].
+func (k *rowKernel) addInto(dst, x, ext []float64) {
+	for t, row := range k.rows {
+		dst[row] += k.value(t, x, ext)
+	}
+}
+
+// fillInto overwrites dst[t] with slot t's value; dst must have
+// len(k.rows) entries (a packet's yVal buffer).
+func (k *rowKernel) fillInto(dst, x, ext []float64) {
+	for t := range k.rows {
+		dst[t] = k.value(t, x, ext)
+	}
+}
+
+// compileRows groups build-time nonzeros by output row into a rowKernel
+// with sorted distinct rows and separated local/external runs.
+func compileRows(nzs []localNZ) rowKernel {
+	var k rowKernel
+	if len(nzs) == 0 {
+		k.locPtr = []int{0}
+		k.extPtr = []int{0}
+		return k
+	}
+	rows := make([]int, 0, len(nzs))
+	for _, nz := range nzs {
+		rows = append(rows, nz.row)
+	}
+	rows = dedupSorted(rows)
+	slot := make(map[int]int, len(rows))
+	for t, r := range rows {
+		slot[r] = t
+	}
+	k.rows = rows
+	k.locPtr = make([]int, len(rows)+1)
+	k.extPtr = make([]int, len(rows)+1)
+	for _, nz := range nzs {
+		if nz.src >= 0 {
+			k.locPtr[slot[nz.row]+1]++
+		} else {
+			k.extPtr[slot[nz.row]+1]++
+		}
+	}
+	for t := 0; t < len(rows); t++ {
+		k.locPtr[t+1] += k.locPtr[t]
+		k.extPtr[t+1] += k.extPtr[t]
+	}
+	k.locSrc = make([]int, k.locPtr[len(rows)])
+	k.locVal = make([]float64, k.locPtr[len(rows)])
+	k.extSrc = make([]int, k.extPtr[len(rows)])
+	k.extVal = make([]float64, k.extPtr[len(rows)])
+	locPos := slices.Clone(k.locPtr[:len(rows)])
+	extPos := slices.Clone(k.extPtr[:len(rows)])
+	for _, nz := range nzs {
+		t := slot[nz.row]
+		if nz.src >= 0 {
+			p := locPos[t]
+			locPos[t]++
+			k.locSrc[p] = nz.src
+			k.locVal[p] = nz.val
+		} else {
+			p := extPos[t]
+			extPos[t]++
+			k.extSrc[p] = -(nz.src + 1)
+			k.extVal[p] = nz.val
+		}
+	}
+	return k
+}
+
+// valArena carves fixed float64 buffers for a proc's packet values out of
+// one backing allocation. Sizing happens in a counting pass before any
+// take.
+type valArena struct{ buf []float64 }
+
+func newValArena(n int) *valArena { return &valArena{buf: make([]float64, n)} }
+
+func (a *valArena) take(n int) []float64 {
+	s := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return s
+}
+
+// sendPlan is one precompiled outgoing packet: fixed destination and index
+// arrays, value buffers refilled per call. The packet's yIdx aliases
+// grp.rows.
+type sendPlan struct {
+	dest int
+	xIdx []int
+	grp  rowKernel
+	buf  packet
+}
+
+func newSendPlan(from, dest int, xIdx []int, grp rowKernel, arena *valArena) *sendPlan {
+	sp := &sendPlan{dest: dest, xIdx: xIdx, grp: grp}
+	sp.buf = packet{
+		from: from,
+		xIdx: xIdx,
+		xVal: arena.take(len(xIdx)),
+		yIdx: grp.rows,
+		yVal: arena.take(len(grp.rows)),
+	}
+	return sp
+}
+
+// fill refreshes the packet's value arrays from the current x (and the
+// proc's external buffer for two-phase fold groups).
+func (sp *sendPlan) fill(x, ext []float64) {
+	for t, j := range sp.xIdx {
+		sp.buf.xVal[t] = x[j]
+	}
+	sp.grp.fillInto(sp.buf.yVal, x, ext)
+}
+
+// recvPlan stashes one phase's incoming packets by sender ordinal so they
+// are processed in ascending sender order regardless of arrival order.
+type recvPlan struct {
+	ord  map[int]int
+	pend []packet
+}
+
+func newRecvPlan(senders []int) recvPlan {
+	r := recvPlan{ord: make(map[int]int, len(senders)), pend: make([]packet, len(senders))}
+	for t, s := range senders {
+		r.ord[s] = t
+	}
+	return r
+}
+
+// gather receives exactly len(pend) packets and returns them ordered by
+// sender. The returned slice is reused across calls.
+func (r *recvPlan) gather(ch <-chan packet) []packet {
+	for n := 0; n < len(r.pend); n++ {
+		pk := <-ch
+		r.pend[r.ord[pk.from]] = pk
+	}
+	return r.pend
+}
+
+// sortedKeys returns m's keys in ascending order — every send loop
+// iterates destinations through this, which is what makes packet emission
+// deterministic.
+func sortedKeys[V any](m map[int]V) []int {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// workerPool is the persistent-worker barrier shared by Engine and
+// RoutedEngine: K goroutines parked on per-worker start channels, a
+// WaitGroup to collect them, and the per-call x/y published through the
+// pool. dispatch performs no heap allocations.
+type workerPool struct {
+	x, y      []float64
+	start     []chan struct{}
+	done      sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// launch spawns n workers; each waits for a start signal, executes run
+// with the published vectors, and reports done.
+func (p *workerPool) launch(n int, run func(i int, x, y []float64)) {
+	p.start = make([]chan struct{}, n)
+	for i := 0; i < n; i++ {
+		ch := make(chan struct{}, 1)
+		p.start[i] = ch
+		go func(i int, ch chan struct{}) {
+			for range ch {
+				run(i, p.x, p.y)
+				p.done.Done()
+			}
+		}(i, ch)
+	}
+}
+
+// dispatch zeroes y, publishes the vectors, releases every worker, and
+// waits for all of them to finish.
+func (p *workerPool) dispatch(x, y []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	p.x, p.y = x, y
+	p.done.Add(len(p.start))
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	p.done.Wait()
+	p.x, p.y = nil, nil
+}
+
+// close releases the parked workers permanently; dispatch must not be
+// called afterwards.
+func (p *workerPool) close() {
+	p.closeOnce.Do(func() {
+		for _, ch := range p.start {
+			close(ch)
+		}
+	})
+}

@@ -3,7 +3,6 @@ package spmv
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/distrib"
@@ -16,11 +15,17 @@ import (
 // several parts in one mesh row ships to that row once, and partial y
 // results for the same output entry are summed before forwarding. Each
 // processor therefore contacts fewer than P_r + P_c peers in total.
+//
+// Like Engine, the routed engine compiles its static schedule into a flat
+// plan at construction — dense routing buffers with fixed slot layouts and
+// precompiled forward packets — and executes it on persistent workers, so
+// steady-state Multiply is allocation- and goroutine-spawn-free.
 type RoutedEngine struct {
 	d    *distrib.Distribution
 	mesh core.Mesh
 
 	rprocs []*rproc
+	pool   workerPool
 }
 
 type rproc struct {
@@ -42,16 +47,54 @@ type rproc struct {
 	extSlot map[int]int
 	extX    []float64
 
-	recvCount [2]int
-	inbox     [2]chan packet
+	inbox [2]chan packet
 
-	// Runtime routing buffers, reset each multiply.
-	routeX map[int]float64
-	routeY map[int]float64
+	// Compiled plan. The routing state that used to live in per-call maps
+	// (routeX, routeY) is laid out densely: every x index this proc ever
+	// routes and every y row it ever combines has a fixed slot.
+	own       rowKernel
+	routeXVal []float64
+	routeYVal []float64
+	// selfX seeds routeXVal with locally-owned entries this proc forwards
+	// as its own intermediate; selfY accumulates self-routed partials into
+	// routeYVal slots.
+	selfX []slotIdx
+	selfY rowKernel
+	// Phase-1 packets to other intermediates, sorted by destination.
+	p1Sends []*sendPlan
+	// p1Recv[sender] translates that sender's fixed payload into routeXVal
+	// (and extX where this proc is the final consumer) and routeYVal slots.
+	p1Recv map[int]*routeRecv
+	// Phase-2 forwards, sorted by destination: values gathered from the
+	// dense routing buffers.
+	p2Sends []*fwdPlan
+	// p2Recv[sender] maps the t-th forwarded x entry to an extX slot.
+	p2Recv map[int][]int
+	// Rows whose final owner is this proc, folded straight from routeYVal.
+	yLocalRows []int
+	yLocalSlot []int
+	recv       [2]recvPlan
+}
+
+type slotIdx struct{ slot, idx int }
+
+type routeRecv struct {
+	xRoute []int
+	xExt   []int // extX slot or -1
+	ySlot  []int
+}
+
+// fwdPlan is a precompiled phase-2 packet: fixed index arrays, values
+// gathered from the sender's dense routing buffers each call.
+type fwdPlan struct {
+	dest  int
+	xSlot []int
+	ySlot []int
+	buf   packet
 }
 
 // NewRoutedEngine builds the two-hop schedule for a fused s2D distribution
-// on the given mesh.
+// on the given mesh, compiles it, and starts the persistent workers.
 func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -73,45 +116,46 @@ func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, er
 			phase1Dests: make(map[int]struct{}),
 			phase2Dests: make(map[int]struct{}),
 			extSlot:     make(map[int]int),
+			p1Recv:      make(map[int]*routeRecv),
+			p2Recv:      make(map[int][]int),
 		}
 		e.rprocs[i].inbox[0] = make(chan packet, d.K)
 		e.rprocs[i].inbox[1] = make(chan packet, d.K)
 	}
 
-	a := d.A
 	// Per (owner, dest) x needs, as in the fused engine.
 	type pair struct{ from, to int }
 	xWant := make(map[pair]map[int]struct{})
-	p := 0
-	for i := 0; i < a.Rows; i++ {
-		yOwner := d.YPart[i]
-		for q := a.RowPtr[i]; q < a.RowPtr[i+1]; q++ {
-			j := a.ColIdx[q]
-			v := a.Val[p]
-			o := d.Owner[p]
-			pr := e.rprocs[o]
-			switch {
-			case o == yOwner && o == d.XPart[j]:
-				pr.ownRows = append(pr.ownRows, localNZ{row: i, src: j, val: v})
-			case o == yOwner:
-				key := pair{from: d.XPart[j], to: o}
-				if xWant[key] == nil {
-					xWant[key] = make(map[int]struct{})
-				}
-				xWant[key][j] = struct{}{}
-				s, ok := pr.extSlot[j]
-				if !ok {
-					s = len(pr.extSlot)
-					pr.extSlot[j] = s
-				}
-				pr.ownRows = append(pr.ownRows, localNZ{row: i, src: -(s + 1), val: v})
-			case o == d.XPart[j]:
-				pr.preGroups[yOwner] = append(pr.preGroups[yOwner], localNZ{row: i, src: j, val: v})
-			default:
-				return nil, fmt.Errorf("spmv: nonzero (%d,%d) violates s2D", i, j)
-			}
-			p++
+	var s2dErr error
+	d.EachNZ(func(i, j int, v float64, o int) {
+		if s2dErr != nil {
+			return
 		}
+		yOwner := d.YPart[i]
+		pr := e.rprocs[o]
+		switch {
+		case o == yOwner && o == d.XPart[j]:
+			pr.ownRows = append(pr.ownRows, localNZ{row: i, src: j, val: v})
+		case o == yOwner:
+			key := pair{from: d.XPart[j], to: o}
+			if xWant[key] == nil {
+				xWant[key] = make(map[int]struct{})
+			}
+			xWant[key][j] = struct{}{}
+			s, ok := pr.extSlot[j]
+			if !ok {
+				s = len(pr.extSlot)
+				pr.extSlot[j] = s
+			}
+			pr.ownRows = append(pr.ownRows, localNZ{row: i, src: -(s + 1), val: v})
+		case o == d.XPart[j]:
+			pr.preGroups[yOwner] = append(pr.preGroups[yOwner], localNZ{row: i, src: j, val: v})
+		default:
+			s2dErr = fmt.Errorf("spmv: nonzero (%d,%d) violates s2D", i, j)
+		}
+	})
+	if s2dErr != nil {
+		return nil, s2dErr
 	}
 
 	// Build the x routing tables.
@@ -157,19 +201,201 @@ func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, er
 			}
 		}
 	}
-	// Expected receive counts.
-	for _, pr := range e.rprocs {
-		for mid := range pr.phase1Dests {
-			e.rprocs[mid].recvCount[0]++
-		}
-		for dst := range pr.phase2Dests {
-			e.rprocs[dst].recvCount[1]++
-		}
-	}
 	for _, pr := range e.rprocs {
 		pr.extX = make([]float64, len(pr.extSlot))
 	}
+
+	e.compile()
+	e.pool.launch(len(e.rprocs), func(i int, x, y []float64) {
+		e.run(e.rprocs[i], x, y)
+	})
 	return e, nil
+}
+
+// compile lowers the routing schedule to the dense execution plan.
+func (e *RoutedEngine) compile() {
+	mesh := e.mesh
+	// midNZ[p][mid]: p's precompute nonzeros routed via mid (mid may be p
+	// itself for same-mesh-row destinations).
+	midNZ := make([]map[int][]localNZ, len(e.rprocs))
+	for _, pr := range e.rprocs {
+		midNZ[pr.id] = make(map[int][]localNZ)
+		for dest, nzs := range pr.preGroups {
+			mid := mesh.PartAt(mesh.RowOf(dest), mesh.ColOf(pr.id))
+			midNZ[pr.id][mid] = append(midNZ[pr.id][mid], nzs...)
+		}
+	}
+
+	// Per-proc slot layouts, kept for the receive-translation pass below.
+	xSlots := make([]map[int]int, len(e.rprocs))
+	ySlots := make([]map[int]int, len(e.rprocs))
+
+	for _, pr := range e.rprocs {
+		pr.own = compileRows(pr.ownRows)
+
+		// Dense routed-x layout: everything this proc forwards in phase 2
+		// plus everything arriving in phase 1.
+		xIdxs := make([]int, 0)
+		for _, idxs := range pr.hop2X {
+			xIdxs = append(xIdxs, idxs...)
+		}
+		for _, s := range e.rprocs {
+			xIdxs = append(xIdxs, s.hop1X[pr.id]...)
+		}
+		xIdxs = dedupSorted(xIdxs)
+		xSlot := make(map[int]int, len(xIdxs))
+		for t, j := range xIdxs {
+			xSlot[j] = t
+		}
+		xSlots[pr.id] = xSlot
+		pr.routeXVal = make([]float64, len(xIdxs))
+
+		// Dense routed-y layout: every row this proc combines, own partials
+		// and incoming alike.
+		yRows := make([]int, 0)
+		for s := range e.rprocs {
+			for _, nz := range midNZ[s][pr.id] {
+				yRows = append(yRows, nz.row)
+			}
+		}
+		yRows = dedupSorted(yRows)
+		ySlot := make(map[int]int, len(yRows))
+		for t, r := range yRows {
+			ySlot[r] = t
+		}
+		ySlots[pr.id] = ySlot
+		pr.routeYVal = make([]float64, len(yRows))
+
+		// Locally-owned x entries this proc forwards as its own
+		// intermediate (never shipped in phase 1).
+		for _, idxs := range pr.hop2X {
+			for _, j := range idxs {
+				if e.d.XPart[j] == pr.id {
+					pr.selfX = append(pr.selfX, slotIdx{slot: xSlot[j], idx: j})
+				}
+			}
+		}
+		sort.Slice(pr.selfX, func(a, b int) bool { return pr.selfX[a].slot < pr.selfX[b].slot })
+		pr.selfX = dedupSelfX(pr.selfX)
+
+		// Self-routed partials accumulate straight into routeYVal.
+		pr.selfY = compileRows(midNZ[pr.id][pr.id])
+		for t, r := range pr.selfY.rows {
+			pr.selfY.rows[t] = ySlot[r]
+		}
+
+		// Phase-1 packets, sorted by intermediate.
+		mids := sortedKeys(pr.phase1Dests)
+		grps := make([]rowKernel, len(mids))
+		words := 0
+		for t, mid := range mids {
+			grps[t] = compileRows(midNZ[pr.id][mid])
+			words += len(pr.hop1X[mid]) + len(grps[t].rows)
+		}
+		arena := newValArena(words)
+		for t, mid := range mids {
+			pr.p1Sends = append(pr.p1Sends, newSendPlan(pr.id, mid, pr.hop1X[mid], grps[t], arena))
+		}
+
+		// Phase-2 forwards, sorted by destination: x from hop2X, y from the
+		// routed rows owned by that destination.
+		words = 0
+		destRows := make(map[int][]int, len(pr.phase2Dests))
+		for _, r := range yRows {
+			if dst := e.d.YPart[r]; dst != pr.id {
+				destRows[dst] = append(destRows[dst], r)
+			}
+		}
+		for dst := range pr.phase2Dests {
+			words += len(pr.hop2X[dst]) + len(destRows[dst])
+		}
+		arena = newValArena(words)
+		for _, dst := range sortedKeys(pr.phase2Dests) {
+			fp := &fwdPlan{dest: dst}
+			xIdx := pr.hop2X[dst]
+			fp.xSlot = make([]int, len(xIdx))
+			for t, j := range xIdx {
+				fp.xSlot[t] = xSlot[j]
+			}
+			rows := destRows[dst]
+			fp.ySlot = make([]int, len(rows))
+			for t, r := range rows {
+				fp.ySlot[t] = ySlot[r]
+			}
+			fp.buf = packet{
+				from: pr.id,
+				xIdx: xIdx,
+				xVal: arena.take(len(xIdx)),
+				yIdx: rows,
+				yVal: arena.take(len(rows)),
+			}
+			pr.p2Sends = append(pr.p2Sends, fp)
+		}
+
+		// Rows folded locally.
+		for _, r := range yRows {
+			if e.d.YPart[r] == pr.id {
+				pr.yLocalRows = append(pr.yLocalRows, r)
+				pr.yLocalSlot = append(pr.yLocalSlot, ySlot[r])
+			}
+		}
+	}
+
+	// Receive translations: each sender's fixed payload is known, so the
+	// receiver precomputes slot arrays instead of doing per-word map
+	// lookups at run time.
+	for _, pr := range e.rprocs {
+		var p1Senders, p2Senders []int
+		for _, s := range e.rprocs {
+			if s.id == pr.id {
+				continue
+			}
+			if _, ok := s.phase1Dests[pr.id]; ok {
+				p1Senders = append(p1Senders, s.id)
+				tr := &routeRecv{}
+				idxs := s.hop1X[pr.id]
+				tr.xRoute = make([]int, len(idxs))
+				tr.xExt = make([]int, len(idxs))
+				for t, j := range idxs {
+					tr.xRoute[t] = xSlots[pr.id][j]
+					if slot, ok := pr.extSlot[j]; ok {
+						tr.xExt[t] = slot
+					} else {
+						tr.xExt[t] = -1
+					}
+				}
+				rows := compiledGroupRows(midNZ[s.id][pr.id])
+				tr.ySlot = make([]int, len(rows))
+				for t, r := range rows {
+					tr.ySlot[t] = ySlots[pr.id][r]
+				}
+				pr.p1Recv[s.id] = tr
+			}
+			if _, ok := s.phase2Dests[pr.id]; ok {
+				p2Senders = append(p2Senders, s.id)
+				idxs := s.hop2X[pr.id]
+				slots := make([]int, len(idxs))
+				for t, j := range idxs {
+					slots[t] = pr.extSlot[j]
+				}
+				pr.p2Recv[s.id] = slots
+			}
+		}
+		sort.Ints(p1Senders)
+		sort.Ints(p2Senders)
+		pr.recv[0] = newRecvPlan(p1Senders)
+		pr.recv[1] = newRecvPlan(p2Senders)
+	}
+}
+
+func dedupSelfX(xs []slotIdx) []slotIdx {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x.slot != xs[i-1].slot {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 func dedupSorted(xs []int) []int {
@@ -183,135 +409,70 @@ func dedupSorted(xs []int) []int {
 	return out
 }
 
+// Close parks the routed engine permanently (see Engine.Close).
+func (e *RoutedEngine) Close() { e.pool.close() }
+
 // Multiply computes y ← Ax with the routed two-phase schedule.
 func (e *RoutedEngine) Multiply(x, y []float64) {
 	a := e.d.A
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("spmv: dimension mismatch")
 	}
-	for i := range y {
-		y[i] = 0
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(e.rprocs))
-	for _, pr := range e.rprocs {
-		go func(pr *rproc) {
-			defer wg.Done()
-			e.run(pr, x, y)
-		}(pr)
-	}
-	wg.Wait()
+	e.pool.dispatch(x, y)
 }
 
 func (e *RoutedEngine) run(pr *rproc, x, y []float64) {
-	mesh := e.mesh
-	pr.routeX = make(map[int]float64)
-	pr.routeY = make(map[int]float64)
-
-	// Precompute partials per final destination, then fold them into
-	// per-intermediate phase-1 payloads (or keep locally if self-routed).
-	hop1Y := make(map[int]map[int]float64) // mid -> row -> partial
-	for dest, nzs := range pr.preGroups {
-		mid := mesh.PartAt(mesh.RowOf(dest), mesh.ColOf(pr.id))
-		acc := hop1Y[mid]
-		if acc == nil {
-			acc = make(map[int]float64)
-			hop1Y[mid] = acc
-		}
-		for _, nz := range nzs {
-			acc[nz.row] += nz.val * x[nz.src]
-		}
+	for i := range pr.routeYVal {
+		pr.routeYVal[i] = 0
 	}
+	// Seed the routing buffers with self-routed payloads.
+	for _, s := range pr.selfX {
+		pr.routeXVal[s.slot] = x[s.idx]
+	}
+	pr.selfY.addInto(pr.routeYVal, x, nil)
 	// Phase 1 sends.
-	for mid := range pr.phase1Dests {
-		pk := packet{from: pr.id}
-		for _, j := range pr.hop1X[mid] {
-			pk.xIdx = append(pk.xIdx, j)
-			pk.xVal = append(pk.xVal, x[j])
-		}
-		for i, v := range hop1Y[mid] {
-			pk.yIdx = append(pk.yIdx, i)
-			pk.yVal = append(pk.yVal, v)
-		}
-		e.rprocs[mid].inbox[0] <- pk
+	for _, sp := range pr.p1Sends {
+		sp.fill(x, nil)
+		e.rprocs[sp.dest].inbox[0] <- sp.buf
 	}
-	// Self-routed payloads bypass the channel.
-	for _, j := range pr.hop1X[pr.id] {
-		pr.routeX[j] = x[j]
-	}
-	if acc := hop1Y[pr.id]; acc != nil {
-		for i, v := range acc {
-			pr.routeY[i] += v
-		}
-	}
-	// Locally-owned x entries we must forward in phase 2 but never shipped
-	// in phase 1 (we are our own intermediate for same-row destinations).
-	for _, idxs := range pr.hop2X {
-		for _, j := range idxs {
-			if e.d.XPart[j] == pr.id {
-				pr.routeX[j] = x[j]
+	// Phase 1 receives: combine into the dense routing buffers. An x value
+	// whose final destination is this very processor lands in extX too.
+	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
+		tr := pr.p1Recv[pk.from]
+		for t, v := range pk.xVal {
+			pr.routeXVal[tr.xRoute[t]] = v
+			if s := tr.xExt[t]; s >= 0 {
+				pr.extX[s] = v
 			}
 		}
-	}
-	// Phase 1 receives: combine. An x value whose final destination is
-	// this very processor (source in our mesh column) is consumed here.
-	for n := 0; n < pr.recvCount[0]; n++ {
-		pk := <-pr.inbox[0]
-		for t, j := range pk.xIdx {
-			pr.routeX[j] = pk.xVal[t]
-			if s, ok := pr.extSlot[j]; ok {
-				pr.extX[s] = pk.xVal[t]
-			}
-		}
-		for t, i := range pk.yIdx {
-			pr.routeY[i] += pk.yVal[t] // combining: same y_i from many sources
+		for t, v := range pk.yVal {
+			pr.routeYVal[tr.ySlot[t]] += v // combining: same y_i from many sources
 		}
 	}
 	// Phase 2 sends: forward combined payloads to final destinations.
-	yByDest := make(map[int]map[int]float64)
-	for i, v := range pr.routeY {
-		dest := e.d.YPart[i]
-		if dest == pr.id {
-			y[i] += v // we are the final owner
-			continue
+	for _, fp := range pr.p2Sends {
+		for t, s := range fp.xSlot {
+			fp.buf.xVal[t] = pr.routeXVal[s]
 		}
-		acc := yByDest[dest]
-		if acc == nil {
-			acc = make(map[int]float64)
-			yByDest[dest] = acc
+		for t, s := range fp.ySlot {
+			fp.buf.yVal[t] = pr.routeYVal[s]
 		}
-		acc[i] += v
+		e.rprocs[fp.dest].inbox[1] <- fp.buf
 	}
-	for dest := range pr.phase2Dests {
-		pk := packet{from: pr.id}
-		for _, j := range pr.hop2X[dest] {
-			pk.xIdx = append(pk.xIdx, j)
-			pk.xVal = append(pk.xVal, pr.routeX[j])
-		}
-		for i, v := range yByDest[dest] {
-			pk.yIdx = append(pk.yIdx, i)
-			pk.yVal = append(pk.yVal, v)
-		}
-		e.rprocs[dest].inbox[1] <- pk
+	// Rows this proc owns fold straight out of the routing buffer.
+	for t, i := range pr.yLocalRows {
+		y[i] += pr.routeYVal[pr.yLocalSlot[t]]
 	}
 	// Phase 2 receives.
-	for n := 0; n < pr.recvCount[1]; n++ {
-		pk := <-pr.inbox[1]
-		for t, j := range pk.xIdx {
-			pr.extX[pr.extSlot[j]] = pk.xVal[t]
+	for _, pk := range pr.recv[1].gather(pr.inbox[1]) {
+		slots := pr.p2Recv[pk.from]
+		for t, v := range pk.xVal {
+			pr.extX[slots[t]] = v
 		}
 		for t, i := range pk.yIdx {
 			y[i] += pk.yVal[t]
 		}
 	}
 	// Compute local rows.
-	for _, nz := range pr.ownRows {
-		xv := 0.0
-		if nz.src >= 0 {
-			xv = x[nz.src]
-		} else {
-			xv = pr.extX[-(nz.src + 1)]
-		}
-		y[nz.row] += nz.val * xv
-	}
+	pr.own.addInto(y, x, pr.extX)
 }

@@ -29,6 +29,7 @@ func TestScheduleStatsMatchAnalytic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(e.Close)
 		got := e.ScheduleStats()
 		want := d.Comm()
 		if got.TotalVolume != want.TotalVolume || got.TotalMsgs != want.TotalMsgs {
@@ -49,6 +50,7 @@ func TestScheduleStatsTwoPhase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(e.Close)
 	got := e.ScheduleStats()
 	want := d.Comm()
 	if got.TotalVolume != want.TotalVolume {
@@ -88,6 +90,7 @@ func TestRoutedScheduleStatsMatchS2DB(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(e.Close)
 		got := e.ScheduleStats()
 		want := core.S2DBComm(d, mesh)
 		if got.TotalVolume != want.TotalVolume {
