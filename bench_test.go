@@ -147,6 +147,6 @@ func BenchmarkAblation(b *testing.B) {
 	}
 	b.ReportMetric(geomeanRatio(rows, "s2D", "s2D-opt"), "s2D/opt-vol")
 	b.ReportMetric(geomeanRatio(rows, "s2D-x", "s2D"), "ext/s2D-vol")
-	b.ReportMetric(geomeanRatio(rows, "s2D/rcm", "s2D"), "rcm/hp-vol")
+	b.ReportMetric(geomeanRatio(rows, "s2D-rcm", "s2D"), "rcm/hp-vol")
 	b.ReportMetric(geomeanLI(rows, "s2D-x"), "ext-LI")
 }

@@ -1,16 +1,17 @@
-// Command s2dpart partitions a sparse matrix with any of the implemented
-// methods and prints a quality report (load imbalance, communication
-// volume, message counts, modelled speedup). It optionally verifies the
-// partition by running the distributed SpMV engine against the serial
-// reference.
+// Command s2dpart partitions a sparse matrix with any registered method
+// and prints a quality report (load imbalance, communication volume,
+// message counts, modelled speedup). It optionally verifies the partition
+// by running the distributed SpMV engine against the serial reference.
 //
 // Usage:
 //
 //	s2dpart -matrix c-big -k 64 -method s2d
 //	s2dpart -file m.mtx -k 16 -method 2d -verify
 //	s2dpart -matrix rmat_20 -scale 0.01 -k 256 -method s2d-b
+//	s2dpart -matrix boyd2 -k 64 -method all      # compare every method
 //
-// Methods: 1d, 1d-col, 2d, 2d-b, 1d-b, s2d, s2d-opt, s2d-b, s2d-mg.
+// Methods come from the registry in internal/method; run with
+// -list-methods (or pass a bogus -method) to see them.
 package main
 
 import (
@@ -20,10 +21,9 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/distrib"
 	"repro/internal/gen"
+	"repro/internal/method"
 	"repro/internal/model"
 	"repro/internal/sparse"
 	"repro/internal/spmv"
@@ -33,8 +33,9 @@ func main() {
 	matrix := flag.String("matrix", "", "named suite matrix (see -list)")
 	file := flag.String("file", "", "MatrixMarket file to partition")
 	list := flag.Bool("list", false, "list the named suite matrices")
+	listMethods := flag.Bool("list-methods", false, "list the registered partitioning methods")
 	k := flag.Int("k", 16, "number of parts")
-	method := flag.String("method", "s2d", "partitioning method")
+	methodName := flag.String("method", "s2d", "partitioning method, or 'all' to compare every registered method")
 	scale := flag.Float64("scale", 1.0/64, "suite matrix scale (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	verify := flag.Bool("verify", false, "run the parallel engine against serial SpMV")
@@ -44,6 +45,12 @@ func main() {
 	if *list {
 		for _, s := range append(gen.SetA(), gen.SetB()...) {
 			fmt.Printf("%-12s %10d x %-10d nnz %-10d %s\n", s.Name, s.PaperN, s.PaperN, s.PaperNNZ, s.App)
+		}
+		return
+	}
+	if *listMethods {
+		for _, info := range method.List() {
+			fmt.Printf("%-10s %s\n", info.Name, info.Desc)
 		}
 		return
 	}
@@ -57,27 +64,33 @@ func main() {
 	fmt.Printf("matrix %s: %d x %d, %d nonzeros (davg %.1f, dmax %d)\n",
 		name, st.Rows, st.Cols, st.NNZ, st.DavgRow, st.DmaxRow)
 
-	d, mesh, err := buildDistribution(a, *method, *k, *seed)
+	if *methodName == "all" {
+		if *viz {
+			fmt.Fprintln(os.Stderr, "s2dpart: -viz is ignored with -method all (pick one method for the heatmap)")
+		}
+		if err := compareAll(a, *k, *seed, *verify); err != nil {
+			fmt.Fprintln(os.Stderr, "s2dpart:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	b, err := method.BuildByName(*methodName, a, *k, method.Options{Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "s2dpart:", err)
 		os.Exit(1)
 	}
 
-	var cs distrib.CommStats
-	if mesh != nil {
-		cs = core.S2DBComm(d, *mesh)
-	} else {
-		cs = d.Comm()
-	}
-	est := model.CrayXE6().Evaluate(d.PartLoads(), cs.Phases, a.NNZ())
+	cs := b.Comm()
+	est := model.CrayXE6().Evaluate(b.Dist.PartLoads(), cs.Phases, a.NNZ())
 
-	fmt.Printf("method %s, K=%d", *method, *k)
-	if mesh != nil {
-		fmt.Printf(" (mesh %v)", *mesh)
+	fmt.Printf("method %s, K=%d", b.Method, *k)
+	if b.Mesh != nil {
+		fmt.Printf(" (mesh %v)", *b.Mesh)
 	}
 	fmt.Println()
-	fmt.Printf("  s2D property:       %v\n", d.IsS2D())
-	fmt.Printf("  load imbalance:     %.1f%%\n", d.LoadImbalance()*100)
+	fmt.Printf("  s2D property:       %v\n", b.Dist.IsS2D())
+	fmt.Printf("  load imbalance:     %.1f%%\n", b.Dist.LoadImbalance()*100)
 	fmt.Printf("  total volume:       %d words\n", cs.TotalVolume)
 	fmt.Printf("  messages:           total %d, avg/proc %.1f, max/proc %d\n",
 		cs.TotalMsgs, cs.AvgSendMsgs, cs.MaxSendMsgs)
@@ -89,15 +102,55 @@ func main() {
 		est.Speedup, est.ComputeTime, est.CommTime, est.SerialTime)
 
 	if *verify {
-		if err := verifyEngine(a, d, mesh); err != nil {
+		if err := verifyEngine(a, b); err != nil {
 			fmt.Fprintln(os.Stderr, "s2dpart: VERIFY FAILED:", err)
 			os.Exit(1)
 		}
 		fmt.Println("  engine verification: OK (parallel == serial)")
 	}
 	if *viz {
-		printHeatmap(d, *k)
+		printHeatmap(b.Dist, *k)
 	}
+}
+
+// compareAll builds every registered method on one shared pipeline and
+// prints a comparison table. Shared prerequisites (the vector partition,
+// the Algorithm 1 distribution) are computed once across the sweep.
+func compareAll(a *sparse.CSR, k int, seed int64, verify bool) error {
+	machine := model.CrayXE6()
+	opt := method.Options{Seed: seed, Pipeline: method.NewPipeline()}
+	fmt.Printf("all methods at K=%d:\n", k)
+	fmt.Printf("  %-10s %8s %10s %8s %8s %9s %7s\n",
+		"method", "LI", "volume", "avg-msg", "max-msg", "speedup", "verify")
+	failed := 0
+	for _, name := range method.Names() {
+		b, err := method.BuildByName(name, a, k, opt)
+		if err != nil {
+			// A method can be inapplicable to this matrix (e.g. s2D-mgS
+			// on rectangular input); report it and keep comparing.
+			fmt.Printf("  %-10s (skipped: %v)\n", name, err)
+			continue
+		}
+		cs := b.Comm()
+		est := machine.Evaluate(b.Dist.PartLoads(), cs.Phases, a.NNZ())
+		status := "-"
+		if verify {
+			if err := verifyEngine(a, b); err != nil {
+				status = "FAIL"
+				failed++
+				fmt.Fprintf(os.Stderr, "s2dpart: %s verification: %v\n", name, err)
+			} else {
+				status = "ok"
+			}
+		}
+		fmt.Printf("  %-10s %8.1f%% %10d %8.1f %8d %9.1f %7s\n",
+			b.Method, b.Dist.LoadImbalance()*100, cs.TotalVolume,
+			cs.AvgSendMsgs, cs.MaxSendMsgs, est.Speedup, status)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d method(s) failed engine verification", failed)
+	}
+	return nil
 }
 
 // printHeatmap renders the pairwise message-volume matrix; brightness
@@ -152,42 +205,7 @@ func loadMatrix(name, file string, scale float64, seed int64) (*sparse.CSR, stri
 	}
 }
 
-func buildDistribution(a *sparse.CSR, method string, k int, seed int64) (*distrib.Distribution, *core.Mesh, error) {
-	opt := baselines.Options{Seed: seed}
-	switch method {
-	case "1d":
-		return baselines.Rowwise1D(a, k, opt), nil, nil
-	case "1d-col":
-		return baselines.Colwise1D(a, k, opt), nil, nil
-	case "2d":
-		return baselines.FineGrain2D(a, k, opt), nil, nil
-	case "2d-b":
-		return baselines.Checkerboard2DB(a, k, opt), nil, nil
-	case "1d-b":
-		rows := baselines.RowwiseParts(a, k, opt)
-		return baselines.OneDB(a, rows, k, opt), nil, nil
-	case "s2d", "s2d-opt", "s2d-b":
-		rows := baselines.RowwiseParts(a, k, opt)
-		oneD := baselines.Rowwise1DFromParts(a, rows, k)
-		var d *distrib.Distribution
-		if method == "s2d-opt" {
-			d = core.Optimal(a, oneD.XPart, oneD.YPart, k)
-		} else {
-			d = core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-		}
-		if method == "s2d-b" {
-			mesh := core.NewMesh(k)
-			return d, &mesh, nil
-		}
-		return d, nil, nil
-	case "s2d-mg":
-		return baselines.MediumGrainS2D(a, k, opt), nil, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown method %q", method)
-	}
-}
-
-func verifyEngine(a *sparse.CSR, d *distrib.Distribution, mesh *core.Mesh) error {
+func verifyEngine(a *sparse.CSR, b method.Build) error {
 	r := rand.New(rand.NewSource(7))
 	x := make([]float64, a.Cols)
 	for i := range x {
@@ -196,21 +214,12 @@ func verifyEngine(a *sparse.CSR, d *distrib.Distribution, mesh *core.Mesh) error
 	want := make([]float64, a.Rows)
 	a.MulVec(x, want)
 	got := make([]float64, a.Rows)
-	if mesh != nil {
-		e, err := spmv.NewRoutedEngine(d, *mesh)
-		if err != nil {
-			return err
-		}
-		defer e.Close()
-		e.Multiply(x, got)
-	} else {
-		e, err := spmv.NewEngine(d)
-		if err != nil {
-			return err
-		}
-		defer e.Close()
-		e.Multiply(x, got)
+	e, err := spmv.New(b)
+	if err != nil {
+		return err
 	}
+	defer e.Close()
+	e.Multiply(x, got)
 	for i := range want {
 		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
 			return fmt.Errorf("y[%d] = %g, want %g", i, got[i], want[i])

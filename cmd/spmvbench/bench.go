@@ -6,20 +6,22 @@ import (
 	"io"
 	"testing"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
-	"repro/internal/distrib"
 	"repro/internal/gen"
 	"repro/internal/harness"
+	"repro/internal/method"
 	"repro/internal/spmv"
 )
 
 // benchRecord is one machine-readable engine measurement, emitted by
 // `spmvbench -json` so successive PRs can track the perf trajectory in
-// BENCH_*.json files.
+// BENCH_*.json files. Method, matrix, seed, and K identify the
+// measurement; schedule names the engine variant the build ran on.
 type benchRecord struct {
-	Schedule    string  `json:"schedule"`
+	Method      string  `json:"method"`
+	Matrix      string  `json:"matrix"`
+	Seed        int64   `json:"seed"`
 	K           int     `json:"k"`
+	Schedule    string  `json:"schedule"`
 	Rows        int     `json:"rows"`
 	Cols        int     `json:"cols"`
 	NNZ         int     `json:"nnz"`
@@ -30,15 +32,22 @@ type benchRecord struct {
 	VolumeWords int     `json:"volume_words"`
 }
 
-type multiplier interface {
-	Multiply(x, y []float64)
-	ScheduleStats() distrib.CommStats
-	Close()
+func scheduleOf(b method.Build) string {
+	switch {
+	case b.Routed():
+		return "routed"
+	case b.Dist.Fused:
+		return "fused"
+	default:
+		return "twophase"
+	}
 }
 
-// runJSONBench benchmarks steady-state Multiply for every schedule at each
-// K and writes a JSON array to w.
-func runJSONBench(w io.Writer, cfg harness.Config) error {
+// runJSONBench benchmarks steady-state Multiply for every requested
+// registry method at each K and writes a JSON array to w. All builds
+// share one pipeline, so common prerequisites are computed once across
+// the sweep.
+func runJSONBench(w io.Writer, cfg harness.Config, methods []string) error {
 	ks := cfg.Ks
 	if len(ks) == 0 {
 		ks = []int{4, 16, 64}
@@ -47,6 +56,7 @@ func runJSONBench(w io.Writer, cfg harness.Config) error {
 	if n < 1000 {
 		n = 1000
 	}
+	const matrixName = "powerlaw"
 	a := gen.PowerLaw(gen.PowerLawConfig{
 		Rows: n, Cols: n, NNZ: 10 * n, Beta: 0.5,
 		DenseRows: 2, DenseMax: n / 16, Symmetric: true, Locality: 0.9,
@@ -57,53 +67,42 @@ func runJSONBench(w io.Writer, cfg harness.Config) error {
 		x[i] = float64(i%13) - 6
 	}
 
+	opt := method.Options{Seed: cfg.Seed, Pipeline: method.NewPipeline(), Ks: ks}
 	var recs []benchRecord
-	measure := func(schedule string, k int, eng multiplier) {
-		defer eng.Close()
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				eng.Multiply(x, y)
-			}
-		})
-		cs := eng.ScheduleStats()
-		recs = append(recs, benchRecord{
-			Schedule:    schedule,
-			K:           k,
-			Rows:        a.Rows,
-			Cols:        a.Cols,
-			NNZ:         a.NNZ(),
-			NsPerOp:     float64(res.NsPerOp()),
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			Packets:     cs.TotalMsgs,
-			VolumeWords: cs.TotalVolume,
-		})
-	}
-
 	for _, k := range ks {
-		opt := baselines.Options{Seed: cfg.Seed}
-		rows := baselines.RowwiseParts(a, k, opt)
-		oneD := baselines.Rowwise1DFromParts(a, rows, k)
-		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-
-		fused, err := spmv.NewEngine(s2d)
-		if err != nil {
-			return fmt.Errorf("fused K=%d: %w", k, err)
+		for _, name := range methods {
+			b, err := method.BuildByName(name, a, k, opt)
+			if err != nil {
+				return err
+			}
+			eng, err := spmv.New(b)
+			if err != nil {
+				return fmt.Errorf("%s K=%d: %w", name, k, err)
+			}
+			res := testing.Benchmark(func(bm *testing.B) {
+				bm.ReportAllocs()
+				for i := 0; i < bm.N; i++ {
+					eng.Multiply(x, y)
+				}
+			})
+			cs := eng.ScheduleStats()
+			eng.Close()
+			recs = append(recs, benchRecord{
+				Method:      b.Method,
+				Matrix:      matrixName,
+				Seed:        cfg.Seed,
+				K:           k,
+				Schedule:    scheduleOf(b),
+				Rows:        a.Rows,
+				Cols:        a.Cols,
+				NNZ:         a.NNZ(),
+				NsPerOp:     float64(res.NsPerOp()),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				Packets:     cs.TotalMsgs,
+				VolumeWords: cs.TotalVolume,
+			})
 		}
-		measure("fused", k, fused)
-
-		routed, err := spmv.NewRoutedEngine(s2d, core.NewMesh(k))
-		if err != nil {
-			return fmt.Errorf("routed K=%d: %w", k, err)
-		}
-		measure("routed", k, routed)
-
-		twoPhase, err := spmv.NewEngine(baselines.FineGrain2D(a, k, opt))
-		if err != nil {
-			return fmt.Errorf("two-phase K=%d: %w", k, err)
-		}
-		measure("twophase", k, twoPhase)
 	}
 
 	enc := json.NewEncoder(w)

@@ -9,6 +9,10 @@
 //	spmvbench -table 6 -k 64,256    # override the K list
 //	spmvbench -full                 # paper-scale matrices (slow)
 //	spmvbench -json > BENCH.json    # machine-readable engine benchmarks
+//	spmvbench -json -methods all    # benchmark every registered method
+//
+// Each -json record carries the method name, matrix, seed, and K, so
+// BENCH_*.json baselines from successive PRs are directly comparable.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/method"
 )
 
 func main() {
@@ -31,12 +36,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	kList := flag.String("k", "", "comma-separated K override, e.g. 16,64,256")
 	par := flag.Int("p", 0, "max concurrent experiment cells (default NumCPU)")
-	jsonBench := flag.Bool("json", false, "benchmark steady-state Multiply per schedule and emit JSON results")
+	jsonBench := flag.Bool("json", false, "benchmark steady-state Multiply per method and emit JSON results")
+	methodList := flag.String("methods", "1d,2d,s2d,s2d-b",
+		"comma-separated registry methods for -json, or 'all'")
 	flag.Parse()
 
 	cfg := harness.Config{Scale: *scale, Seed: *seed, Parallelism: *par}
 	if *full {
 		cfg.Scale = 1.0
+	} else {
+		// One pipeline for the whole run: -all then reuses matrices,
+		// hypergraph models, and finished builds across tables. The cache
+		// holds everything it computes for the process lifetime, so at
+		// paper scale (-full) we leave it unset and let each table use a
+		// private pipeline that becomes collectable when the table ends.
+		cfg.Pipeline = method.NewPipeline()
 	}
 	if *kList != "" {
 		for _, s := range strings.Split(*kList, ",") {
@@ -74,7 +88,14 @@ func main() {
 
 	switch {
 	case *jsonBench:
-		if err := runJSONBench(w, cfg); err != nil {
+		methods := strings.Split(*methodList, ",")
+		if *methodList == "all" {
+			methods = method.Names()
+		}
+		for i := range methods {
+			methods[i] = strings.TrimSpace(methods[i])
+		}
+		if err := runJSONBench(w, cfg, methods); err != nil {
 			fmt.Fprintf(os.Stderr, "spmvbench: %v\n", err)
 			os.Exit(1)
 		}

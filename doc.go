@@ -7,14 +7,16 @@
 // Dulmage–Mendelsohn decomposition (internal/bipartite), hypergraph models
 // and a multilevel partitioner (internal/hypergraph, internal/partition),
 // the s2D core (internal/core), the comparison methods
-// (internal/baselines), a message-passing SpMV engine that compiles each
-// schedule into an allocation-free execution plan run by persistent
-// workers (internal/spmv), the α–β cost model (internal/model), and the
-// experiment
-// harness regenerating the paper's Tables I–VII and Figure 1
-// (internal/harness).
+// (internal/baselines), the method registry and memoizing build pipeline
+// through which every consumer constructs partitions (internal/method), a
+// message-passing SpMV engine that compiles each schedule into an
+// allocation-free execution plan run by persistent workers
+// (internal/spmv), the α–β cost model (internal/model), and the
+// experiment harness regenerating the paper's Tables I–VII and Figure 1
+// as data-driven loops over the registry (internal/harness).
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
-// bench_test.go regenerate one table or figure each.
+// See README.md for a tour and DESIGN.md for the system inventory and
+// layer contracts. The benchmarks in bench_test.go regenerate one table
+// or figure each; BENCH_*.json files hold the machine-readable engine
+// baselines emitted by cmd/spmvbench -json.
 package repro

@@ -12,9 +12,8 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/method"
 	"repro/internal/solver"
 	"repro/internal/spmv"
 )
@@ -25,18 +24,18 @@ func main() {
 	a := gen.Laplace3D(20, 18, 16)
 	fmt.Printf("SPD system: n=%d, nnz=%d (7-point 3D Laplacian)\n", a.Rows, a.NNZ())
 
-	opt := baselines.Options{Seed: 5}
-	rows := baselines.RowwiseParts(a, k, opt)
-	oneD := baselines.Rowwise1DFromParts(a, rows, k)
-	d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-	engine, err := spmv.NewEngine(d)
+	b, err := method.BuildByName("s2D", a, k, method.Options{Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+	engine, err := spmv.New(b)
 	if err != nil {
 		panic(err)
 	}
 	defer engine.Close()
-	cs := d.Comm()
+	cs := b.Comm()
 	fmt.Printf("s2D partition: volume %d words/SpMV, %d msgs, LI %.1f%%\n",
-		cs.TotalVolume, cs.TotalMsgs, d.LoadImbalance()*100)
+		cs.TotalVolume, cs.TotalMsgs, b.Dist.LoadImbalance()*100)
 
 	// Manufactured random solution x*, b = A x*.
 	rng := rand.New(rand.NewSource(9))
@@ -44,11 +43,11 @@ func main() {
 	for i := range xStar {
 		xStar[i] = rng.Float64()*2 - 1
 	}
-	b := make([]float64, a.Rows)
-	a.MulVec(xStar, b)
+	rhs := make([]float64, a.Rows)
+	a.MulVec(xStar, rhs)
 
 	x := make([]float64, a.Rows)
-	res, err := solver.CG(engine.Multiply, b, x, 1e-10, 2000)
+	res, err := solver.CG(engine.Multiply, rhs, x, 1e-10, 2000)
 	if err != nil {
 		panic(err)
 	}

@@ -10,9 +10,8 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/method"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/spmv"
@@ -35,19 +34,19 @@ func main() {
 	// Column-stochastic transition matrix M = A D^{-1}.
 	m := columnStochastic(g)
 
-	// s2D partition via Algorithm 1 on a 1D rowwise vector partition.
-	opt := baselines.Options{Seed: 3}
-	rows := baselines.RowwiseParts(m, k, opt)
-	oneD := baselines.Rowwise1DFromParts(m, rows, k)
-	d := core.Balanced(m, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-	engine, err := spmv.NewEngine(d)
+	// s2D partition from the method registry.
+	b, err := method.BuildByName("s2D", m, k, method.Options{Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	engine, err := spmv.New(b)
 	if err != nil {
 		panic(err)
 	}
 	defer engine.Close()
-	cs := d.Comm()
+	cs := b.Comm()
 	fmt.Printf("s2D partition: K=%d, volume %d words/iter, max %d msgs/proc, LI %.1f%%\n",
-		k, cs.TotalVolume, cs.MaxSendMsgs, d.LoadImbalance()*100)
+		k, cs.TotalVolume, cs.MaxSendMsgs, b.Dist.LoadImbalance()*100)
 
 	// Damped power iteration over the fused-phase engine.
 	r, res := solver.PageRank(engine.Multiply, n, damping, 1e-10, iters)

@@ -1,6 +1,6 @@
-// Quickstart: generate a sparse matrix, build an s2D partition on the
-// vector partition induced by 1D rowwise, run the fused-phase parallel
-// SpMV, and compare its quality against plain 1D.
+// Quickstart: generate a sparse matrix, build partitions through the
+// method registry, run the fused-phase parallel SpMV, and compare s2D's
+// quality against plain 1D.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -10,9 +10,8 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/method"
 	"repro/internal/model"
 	"repro/internal/spmv"
 )
@@ -26,30 +25,28 @@ func main() {
 	}, 42)
 	const k = 32
 
-	// Step 1: a 1D rowwise partition provides the vector partition.
-	opt := baselines.Options{Seed: 42}
-	rowParts := baselines.RowwiseParts(a, k, opt)
-	oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
-
-	// Step 2: Algorithm 1 reassigns horizontal blocks to build the s2D
-	// partition — same communication pattern, less volume, better balance.
-	s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-
+	// Build both methods on one pipeline: s2D (Algorithm 1) imports the
+	// vector partition the 1D rowwise build induces, so their shared
+	// prerequisite — the column-net hypergraph partition of the rows —
+	// is computed exactly once.
+	opt := method.Options{Seed: 42, Pipeline: method.NewPipeline()}
 	machine := model.CrayXE6()
-	report := func(name string, li float64, vol, maxMsgs int, sp float64) {
+	var s2d method.Build
+	for _, name := range []string{"1D", "s2D"} {
+		b, err := method.BuildByName(name, a, k, opt)
+		if err != nil {
+			panic(err)
+		}
+		cs := b.Comm()
+		est := machine.Evaluate(b.Dist.PartLoads(), cs.Phases, a.NNZ())
 		fmt.Printf("%-6s load imbalance %6.1f%%   volume %7d   max msgs %4d   modelled speedup %6.1f\n",
-			name, li*100, vol, maxMsgs, sp)
+			name, b.Dist.LoadImbalance()*100, cs.TotalVolume, cs.MaxSendMsgs, est.Speedup)
+		s2d = b
 	}
-	c1 := oneD.Comm()
-	e1 := machine.Evaluate(oneD.PartLoads(), c1.Phases, a.NNZ())
-	report("1D", oneD.LoadImbalance(), c1.TotalVolume, c1.MaxSendMsgs, e1.Speedup)
-	c2 := s2d.Comm()
-	e2 := machine.Evaluate(s2d.PartLoads(), c2.Phases, a.NNZ())
-	report("s2D", s2d.LoadImbalance(), c2.TotalVolume, c2.MaxSendMsgs, e2.Speedup)
 
-	// Step 3: run the fused Expand-and-Fold engine and verify against the
-	// serial reference.
-	engine, err := spmv.NewEngine(s2d)
+	// Run the fused Expand-and-Fold engine on the s2D build and verify
+	// against the serial reference.
+	engine, err := spmv.New(s2d)
 	if err != nil {
 		panic(err)
 	}

@@ -12,8 +12,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
+	"repro/internal/method"
 	"repro/internal/sparse"
 	"repro/internal/spmv"
 )
@@ -27,18 +26,19 @@ func main() {
 	a := constraintMatrix(rows, cols, 5, 3)
 	fmt.Printf("LP-style constraint matrix: %d x %d, nnz %d\n", a.Rows, a.Cols, a.NNZ())
 
-	opt := baselines.Options{Seed: 11}
-	rowParts := baselines.RowwiseParts(a, k, opt)
-	oneD := baselines.Rowwise1DFromParts(a, rowParts, k) // x derived by column majority
-	d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-	engine, err := spmv.NewEngine(d)
+	opt := method.Options{Seed: 11}
+	b, err := method.BuildByName("s2D", a, k, opt)
+	if err != nil {
+		panic(err)
+	}
+	engine, err := spmv.New(b)
 	if err != nil {
 		panic(err)
 	}
 	defer engine.Close()
-	cs := d.Comm()
+	cs := b.Comm()
 	fmt.Printf("s2D on A:  volume %d, msgs %d, LI %.1f%%\n",
-		cs.TotalVolume, cs.TotalMsgs, d.LoadImbalance()*100)
+		cs.TotalVolume, cs.TotalMsgs, b.Dist.LoadImbalance()*100)
 
 	// Forward product.
 	r := rand.New(rand.NewSource(4))
@@ -54,10 +54,11 @@ func main() {
 
 	// Transpose product with its own s2D partition (A^T is wide).
 	at := a.Transpose()
-	rowPartsT := baselines.RowwiseParts(at, k, opt)
-	oneDT := baselines.Rowwise1DFromParts(at, rowPartsT, k)
-	dt := core.Balanced(at, oneDT.XPart, oneDT.YPart, k, core.BalanceConfig{})
-	engineT, err := spmv.NewEngine(dt)
+	bt, err := method.BuildByName("s2D", at, k, opt)
+	if err != nil {
+		panic(err)
+	}
+	engineT, err := spmv.New(bt)
 	if err != nil {
 		panic(err)
 	}
@@ -67,9 +68,9 @@ func main() {
 	wantZ := make([]float64, cols)
 	at.MulVec(y, wantZ)
 	fmt.Printf("z <- A'y: max |err| = %.2e\n", maxErr(z, wantZ))
-	csT := dt.Comm()
+	csT := bt.Comm()
 	fmt.Printf("s2D on A': volume %d, msgs %d, LI %.1f%%\n",
-		csT.TotalVolume, csT.TotalMsgs, dt.LoadImbalance()*100)
+		csT.TotalVolume, csT.TotalMsgs, bt.Dist.LoadImbalance()*100)
 }
 
 // constraintMatrix builds a tall sparse matrix: each row (constraint)

@@ -9,10 +9,8 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
-	"repro/internal/distrib"
 	"repro/internal/gen"
+	"repro/internal/method"
 	"repro/internal/model"
 )
 
@@ -23,25 +21,26 @@ func main() {
 	fmt.Printf("matrix %s (1/16 scale): n=%d nnz=%d dmax=%d\n\n", "ASIC_680k", st.Rows, st.NNZ, st.DmaxRow)
 
 	machine := model.CrayXE6()
-	fmt.Printf("%6s | %10s %10s %10s\n", "K", "1D", "s2D", "s2D-b")
+	methods := []string{"1D", "s2D", "s2D-b"}
+	ks := []int{4, 16, 64, 256, 1024}
+	fmt.Printf("%6s | %10s %10s %10s\n", "K", methods[0], methods[1], methods[2])
 	fmt.Printf("%6s | %10s %10s %10s\n", "", "speedup", "speedup", "speedup")
-	for _, k := range []int{4, 16, 64, 256, 1024} {
-		opt := baselines.Options{Seed: 1}
-		rows := baselines.RowwiseParts(a, k, opt)
-		oneD := baselines.Rowwise1DFromParts(a, rows, k)
-		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-		mesh := core.NewMesh(k)
-
-		sp := func(d *distrib.Distribution, routed bool) float64 {
-			var cs distrib.CommStats
-			if routed {
-				cs = core.S2DBComm(d, mesh)
-			} else {
-				cs = d.Comm()
+	// One pipeline for the whole sweep: the power-of-two Ks hint lets all
+	// five K values share a single recursive-bisection tree per model, and
+	// s2D-b reuses the s2D distribution at every K.
+	opt := method.Options{Seed: 1, Pipeline: method.NewPipeline(), Ks: ks}
+	for _, k := range ks {
+		fmt.Printf("%6d |", k)
+		for _, name := range methods {
+			b, err := method.BuildByName(name, a, k, opt)
+			if err != nil {
+				panic(err)
 			}
-			return machine.Evaluate(d.PartLoads(), cs.Phases, a.NNZ()).Speedup
+			cs := b.Comm()
+			est := machine.Evaluate(b.Dist.PartLoads(), cs.Phases, a.NNZ())
+			fmt.Printf(" %10.1f", est.Speedup)
 		}
-		fmt.Printf("%6d | %10.1f %10.1f %10.1f\n", k, sp(oneD, false), sp(s2d, false), sp(s2d, true))
+		fmt.Println()
 	}
 	fmt.Println("\n(1D saturates on imbalance+latency; s2D fixes volume/balance but")
 	fmt.Println("shares 1D's O(K) message pattern; s2D-b's O(sqrt K) routing keeps scaling.)")

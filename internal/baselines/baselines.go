@@ -83,6 +83,13 @@ func Colwise1D(a *sparse.CSR, k int, opt Options) *distrib.Distribution {
 func FineGrain2D(a *sparse.CSR, k int, opt Options) *distrib.Distribution {
 	fg := hypergraph.FineGrain(a)
 	owner := partition.Partition(fg.H, opt.pcfg(k))
+	return FineGrain2DFromParts(a, fg, owner, k)
+}
+
+// FineGrain2DFromParts builds the 2D fine-grain distribution from an
+// existing partition of the fine-grain hypergraph's nonzero vertices
+// (used to share partitioning work across a K sweep).
+func FineGrain2DFromParts(a *sparse.CSR, fg *hypergraph.FineGrainModel, owner []int, k int) *distrib.Distribution {
 	xp := majorityByIndex(fg.NonzeroCol, owner, a.Cols, k)
 	yp := majorityByIndex(fg.NonzeroRow, owner, a.Rows, k)
 	return &distrib.Distribution{A: a, K: k, Owner: owner, XPart: xp, YPart: yp, Fused: false}

@@ -3,13 +3,22 @@ package harness
 import (
 	"io"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/disagg"
 	"repro/internal/gen"
 	"repro/internal/order"
 	"repro/internal/sparse"
 )
+
+// ablationMethods are the registry methods the ablation compares: the
+// paper's s2D construction spectrum (optimal DM split vs Algorithm 1 vs
+// the A3 extension vs the medium-grain adaptations), the vector-partition
+// source study (hypergraph vs RCM-contiguous), and the latency-bounding
+// alternatives (routed s2D-b vs Cartesian 2D-b; the disaggregation
+// baseline is appended as an extra cell since it does not produce a
+// Distribution).
+var ablationMethods = []string{
+	"1D", "s2D-opt", "s2D", "s2D-x", "s2D-mg", "s2D-mgS", "s2D-rcm", "s2D-b", "2D-b",
+}
 
 // Ablation examines the design choices DESIGN.md calls out, on the
 // dense-row set at one K:
@@ -25,52 +34,13 @@ import (
 //     per-processor message count.
 func Ablation(w io.Writer, cfg Config) []Row {
 	cfg = cfg.withDefaults()
-	k := 256
-	if len(cfg.Ks) > 0 {
-		k = cfg.Ks[0]
+	ks := cfg.Ks
+	if len(ks) == 0 {
+		ks = []int{256}
 	}
+	rows := forEachCell(cfg, gen.SetB(), ks[:1], ablationMethods, disaggCell)
 
-	rows := forEachCell(cfg, gen.SetB(), []int{k}, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
-		opt := baselines.Options{Seed: seed}
-		rowParts := baselines.RowwiseParts(a, k, opt)
-		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
-		xp, yp := oneD.XPart, oneD.YPart
-
-		// RCM-contiguous vector partition.
-		perm := order.RCM(a)
-		inv := make([]int, len(perm))
-		for old, new := range perm {
-			inv[new] = old
-		}
-		weights := make([]int, a.Rows)
-		for new := 0; new < a.Rows; new++ {
-			weights[new] = a.RowNNZ(inv[new])
-		}
-		chunk := order.ContiguousParts(a.Rows, k, weights)
-		rcmParts := make([]int, a.Rows)
-		for old := 0; old < a.Rows; old++ {
-			rcmParts[old] = chunk[perm[old]]
-		}
-		rcm1D := baselines.Rowwise1DFromParts(a, rcmParts, k)
-
-		mesh := core.NewMesh(k)
-		s2d := core.Balanced(a, xp, yp, k, core.BalanceConfig{})
-		res := []MethodResult{
-			Cell("1D", oneD, nil, cfg.Machine),
-			Cell("s2D-opt", core.Optimal(a, xp, yp, k), nil, cfg.Machine),
-			Cell("s2D", s2d, nil, cfg.Machine),
-			Cell("s2D-x", core.BalancedExt(a, xp, yp, k, core.BalanceConfig{}), nil, cfg.Machine),
-			Cell("s2D-mg", baselines.MediumGrainS2D(a, k, opt), nil, cfg.Machine),
-			Cell("s2D-mgS", baselines.MediumGrainS2DSym(a, k, opt), nil, cfg.Machine),
-			Cell("s2D/rcm", core.Balanced(a, rcm1D.XPart, rcm1D.YPart, k, core.BalanceConfig{}), nil, cfg.Machine),
-			Cell("s2D-b", s2d, &mesh, cfg.Machine),
-			Cell("2D-b", baselines.Checkerboard2DB(a, k, opt), nil, cfg.Machine),
-			disaggCell(a, k, cfg),
-		}
-		return res
-	})
-
-	fprintf(w, "Ablation (set B, K=%d, scale=%.4g)\n", k, cfg.Scale)
+	fprintf(w, "Ablation (set B, K=%d, scale=%.4g)\n", rows[0].K, cfg.Scale)
 	fprintf(w, "%-12s |", "name")
 	for _, m := range rows[0].Res {
 		fprintf(w, " %-8s %6s %5s %8s |", m.Method, "LI", "max", "vol")

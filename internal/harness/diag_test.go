@@ -3,9 +3,8 @@ package harness
 import (
 	"testing"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/method"
 )
 
 // TestDiag is a development aid printing 1D-vs-s2D quality across K; run
@@ -14,20 +13,27 @@ func TestDiag(t *testing.T) {
 	if testing.Short() {
 		t.Skip("diagnostic")
 	}
+	pl := method.NewPipeline()
+	ks := []int{16, 64, 256}
 	for _, name := range []string{"boyd2", "ASIC_680k", "com-Youtube"} {
 		spec, _ := gen.ByName(name)
-		a := spec.Generate(1.0/64, 1)
+		a := pl.Matrix(spec, 1.0/64, 1)
 		st := a.ComputeStats()
-		for _, k := range []int{16, 64, 256} {
-			opt := baselines.Options{Seed: 1}
-			rows := baselines.RowwiseParts(a, k, opt)
-			oneD := baselines.Rowwise1DFromParts(a, rows, k)
-			s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+		for _, k := range ks {
+			opt := method.Options{Seed: 1, Pipeline: pl, Ks: ks}
+			oneD, err := method.BuildByName("1D", a, k, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2d, err := method.BuildByName("s2D", a, k, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
 			v1 := oneD.Comm().TotalVolume
 			vs := s2d.Comm().TotalVolume
 			t.Logf("%-12s K=%-4d n=%d nnz=%d dmax=%d | 1D LI=%6.2f vol=%7d | s2D LI=%5.2f vol=%7d ratio=%.3f",
 				name, k, st.Rows, st.NNZ, st.DmaxRow,
-				oneD.LoadImbalance(), v1, s2d.LoadImbalance(), vs,
+				oneD.Dist.LoadImbalance(), v1, s2d.Dist.LoadImbalance(), vs,
 				float64(vs)/float64(v1))
 			if vs > v1 {
 				t.Errorf("%s K=%d: s2D volume above 1D", name, k)

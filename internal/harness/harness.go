@@ -3,6 +3,14 @@
 // (load imbalance, message counts, normalized communication volume,
 // modelled speedup) for synthetic stand-ins of the paper's matrices.
 //
+// Every table is a data-driven loop over method-registry names
+// (internal/method): a table is its matrix set, its K list, its method
+// list, and a renderer. Builds go through one shared method.Pipeline per
+// Config, so matrices, vector partitions, and distributions that several
+// tables (or several methods within a table) need are computed once —
+// including one recursive-bisection tree per matrix shared across the
+// whole K sweep.
+//
 // Scale controls matrix size (1.0 = paper scale); the qualitative shape —
 // which method wins, where, and by roughly what factor — is stable across
 // scales, which is what the reproduction targets (absolute numbers depend
@@ -15,9 +23,8 @@ import (
 	"runtime"
 	"sync"
 
-	"repro/internal/core"
-	"repro/internal/distrib"
 	"repro/internal/gen"
+	"repro/internal/method"
 	"repro/internal/model"
 	"repro/internal/sparse"
 )
@@ -30,6 +37,10 @@ type Config struct {
 	Machine model.Machine
 	// Parallelism bounds concurrent matrix evaluations; default NumCPU.
 	Parallelism int
+	// Pipeline memoizes matrices and method prerequisites. Leave nil for
+	// a per-table pipeline; set one pipeline on the Config to share work
+	// across tables (cmd/spmvbench -all does this).
+	Pipeline *method.Pipeline
 }
 
 func (c Config) withDefaults() Config {
@@ -41,6 +52,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.NumCPU()
+	}
+	if c.Pipeline == nil {
+		c.Pipeline = method.NewPipeline()
 	}
 	return c
 }
@@ -55,15 +69,11 @@ type MethodResult struct {
 	Speedup float64 // modelled speedup vs serial
 }
 
-// Cell evaluates a distribution into a MethodResult, using the s2D-b
-// routed statistics when mesh is non-nil.
-func Cell(name string, d *distrib.Distribution, mesh *core.Mesh, m model.Machine) MethodResult {
-	var cs distrib.CommStats
-	if mesh != nil {
-		cs = core.S2DBComm(d, *mesh)
-	} else {
-		cs = d.Comm()
-	}
+// Cell evaluates a method build into a MethodResult under the build's own
+// schedule (routed two-hop statistics when the build carries a mesh).
+func Cell(name string, b method.Build, m model.Machine) MethodResult {
+	cs := b.Comm()
+	d := b.Dist
 	est := m.Evaluate(d.PartLoads(), cs.Phases, d.A.NNZ())
 	return MethodResult{
 		Method:  name,
@@ -93,31 +103,47 @@ func (r Row) Find(method string) (MethodResult, bool) {
 	return MethodResult{}, false
 }
 
-// forEachCell evaluates f over specs × ks with bounded parallelism and
-// deterministic per-cell seeds, returning rows in (spec, k) order.
-func forEachCell(cfg Config, specs []gen.Spec, ks []int,
-	f func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult) []Row {
+// forEachCell evaluates the named registry methods over specs × ks with
+// bounded parallelism, returning rows in (spec, k) order. Seeds are
+// per-matrix (not per-K), so the whole K sweep of a matrix keys the same
+// pipeline prerequisites and shares one recursive-bisection tree; the Ks
+// hint tells the pipeline the sweep up front. Extras append
+// per-cell results for methods that do not fit the registry's Build shape
+// (the ablation's disaggregation baseline).
+func forEachCell(cfg Config, specs []gen.Spec, ks []int, methods []string,
+	extras ...func(a *sparse.CSR, k int, cfg Config) MethodResult) []Row {
 
-	type cellKey struct{ si, ki int }
 	rows := make([]Row, len(specs)*len(ks))
 	sem := make(chan struct{}, cfg.Parallelism)
 	var wg sync.WaitGroup
 
 	for si, spec := range specs {
-		// One matrix instance per spec, shared across K values.
-		a := spec.Generate(cfg.Scale, cfg.Seed+int64(si))
+		// One matrix instance per spec, shared across K values and — via
+		// the pipeline cache — across tables.
+		a := cfg.Pipeline.Matrix(spec, cfg.Scale, cfg.Seed+int64(si))
+		seed := cfg.Seed + int64(si*1000)
 		for ki, k := range ks {
 			wg.Add(1)
-			go func(spec gen.Spec, a *sparse.CSR, key cellKey, k int) {
+			go func(spec gen.Spec, a *sparse.CSR, idx, k int) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				seed := cfg.Seed + int64(key.si*1000+key.ki)
-				rows[key.si*len(ks)+key.ki] = Row{
-					Matrix: spec.Name, K: k, NNZ: a.NNZ(),
-					Res: f(spec, a, k, seed),
+				opt := method.Options{Seed: seed, Pipeline: cfg.Pipeline, Ks: ks}
+				res := make([]MethodResult, 0, len(methods)+len(extras))
+				for _, name := range methods {
+					b, err := method.BuildByName(name, a, k, opt)
+					if err != nil {
+						// Method lists are package constants; an unknown
+						// name or failed build is a programming error.
+						panic(fmt.Sprintf("harness: %s on %s K=%d: %v", name, spec.Name, k, err))
+					}
+					res = append(res, Cell(name, b, cfg.Machine))
 				}
-			}(spec, a, cellKey{si, ki}, k)
+				for _, extra := range extras {
+					res = append(res, extra(a, k, cfg))
+				}
+				rows[idx] = Row{Matrix: spec.Name, K: k, NNZ: a.NNZ(), Res: res}
+			}(spec, a, si*len(ks)+ki, k)
 		}
 	}
 	wg.Wait()

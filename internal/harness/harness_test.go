@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/method"
 )
 
 // tinyCfg keeps harness tests fast: very small matrices, small K.
@@ -168,9 +169,10 @@ func TestFigure1Renders(t *testing.T) {
 
 func TestCellUsesRoutedStatsWithMesh(t *testing.T) {
 	d := Figure1Example()
-	plain := Cell("s2D", d, nil, Config{}.withDefaults().Machine)
+	machine := Config{}.withDefaults().Machine
+	plain := Cell("s2D", method.Build{Method: "s2D", Dist: d}, machine)
 	mesh := core.NewMesh(d.K)
-	routed := Cell("s2D-b", d, &mesh, Config{}.withDefaults().Machine)
+	routed := Cell("s2D-b", method.Build{Method: "s2D-b", Dist: d, Mesh: &mesh}, machine)
 	if routed.Volume < plain.Volume {
 		t.Errorf("routed volume %d below direct %d", routed.Volume, plain.Volume)
 	}

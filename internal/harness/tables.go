@@ -5,8 +5,6 @@ import (
 	"io"
 	"math"
 
-	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/sparse"
 )
@@ -29,7 +27,7 @@ func propertiesTable(w io.Writer, cfg Config, specs []gen.Spec, title string) []
 		"name", "n", "nnz", "davg", "dmax", "paper n", "paper nnz", "p.davg", "p.dmax", "application")
 	out := make([]sparse.Stats, 0, len(specs))
 	for i, spec := range specs {
-		a := spec.Generate(cfg.Scale, cfg.Seed+int64(i))
+		a := cfg.Pipeline.Matrix(spec, cfg.Scale, cfg.Seed+int64(i))
 		s := a.ComputeStats()
 		out = append(out, s)
 		fprintf(w, "%-12s %10d %12d %8.1f %9d | %10d %12d %8.1f %9d  %s\n",
@@ -40,28 +38,22 @@ func propertiesTable(w io.Writer, cfg Config, specs []gen.Spec, title string) []
 	return out
 }
 
+// ksOr returns the Config override, or the table's paper default.
+func ksOr(cfg Config, def []int) []int {
+	if cfg.Ks != nil {
+		return cfg.Ks
+	}
+	return def
+}
+
 // Table2 reproduces Table II: 1D rowwise vs 2D fine-grain vs s2D on set A
 // for K ∈ {16, 64, 256}. The s2D column uses Algorithm 1 on the vector
 // partition induced by the 1D rowwise partition, exactly as in §VI-A, so
 // its communication pattern (and message counts) match 1D by construction.
 func Table2(w io.Writer, cfg Config) []Row {
 	cfg = cfg.withDefaults()
-	ks := cfg.Ks
-	if ks == nil {
-		ks = []int{16, 64, 256}
-	}
-	rows := forEachCell(cfg, gen.SetA(), ks, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
-		opt := baselines.Options{Seed: seed}
-		rowParts := baselines.RowwiseParts(a, k, opt)
-		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
-		twoD := baselines.FineGrain2D(a, k, opt)
-		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-		return []MethodResult{
-			Cell("1D", oneD, nil, cfg.Machine),
-			Cell("2D", twoD, nil, cfg.Machine),
-			Cell("s2D", s2d, nil, cfg.Machine),
-		}
-	})
+	rows := forEachCell(cfg, gen.SetA(), ksOr(cfg, []int{16, 64, 256}),
+		[]string{"1D", "2D", "s2D"})
 	renderVersus(w, "Table II: 1D vs 2D fine-grain vs s2D", rows, "1D")
 	return rows
 }
@@ -74,20 +66,8 @@ func Table3(w io.Writer, cfg Config) []Row {
 	if len(cfg.Ks) > 0 {
 		k = cfg.Ks[len(cfg.Ks)-1]
 	}
-	rows := forEachCell(cfg, gen.SetA(), []int{k}, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
-		opt := baselines.Options{Seed: seed}
-		rowParts := baselines.RowwiseParts(a, k, opt)
-		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
-		twoD := baselines.FineGrain2D(a, k, opt)
-		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-		cb := baselines.Checkerboard2DB(a, k, opt)
-		return []MethodResult{
-			Cell("1D", oneD, nil, cfg.Machine),
-			Cell("2D", twoD, nil, cfg.Machine),
-			Cell("s2D", s2d, nil, cfg.Machine),
-			Cell("2D-b", cb, nil, cfg.Machine),
-		}
-	})
+	rows := forEachCell(cfg, gen.SetA(), []int{k},
+		[]string{"1D", "2D", "s2D", "2D-b"})
 
 	fprintf(w, "Table III: checkerboard 2D-b vs best of {1D, 2D, s2D} at K=%d (scale=%.4g)\n", k, cfg.Scale)
 	fprintf(w, "%-12s %18s | %8s %8s %8s %10s %9s\n",
@@ -114,22 +94,8 @@ func Table3(w io.Writer, cfg Config) []Row {
 // the (routed, bounded) schedule differs.
 func Table5(w io.Writer, cfg Config) []Row {
 	cfg = cfg.withDefaults()
-	ks := cfg.Ks
-	if ks == nil {
-		ks = []int{256, 1024, 4096}
-	}
-	rows := forEachCell(cfg, gen.SetB(), ks, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
-		opt := baselines.Options{Seed: seed}
-		rowParts := baselines.RowwiseParts(a, k, opt)
-		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
-		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-		mesh := core.NewMesh(k)
-		return []MethodResult{
-			Cell("1D", oneD, nil, cfg.Machine),
-			Cell("s2D", s2d, nil, cfg.Machine),
-			Cell("s2D-b", s2d, &mesh, cfg.Machine),
-		}
-	})
+	rows := forEachCell(cfg, gen.SetB(), ksOr(cfg, []int{256, 1024, 4096}),
+		[]string{"1D", "s2D", "s2D-b"})
 	renderVersus(w, "Table V: 1D vs s2D vs s2D-b (dense-row matrices)", rows, "1D")
 	return rows
 }
@@ -139,22 +105,8 @@ func Table5(w io.Writer, cfg Config) []Row {
 // in the paper.
 func Table6(w io.Writer, cfg Config) []Row {
 	cfg = cfg.withDefaults()
-	ks := cfg.Ks
-	if ks == nil {
-		ks = []int{256, 1024, 4096}
-	}
-	rows := forEachCell(cfg, gen.SetB(), ks, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
-		opt := baselines.Options{Seed: seed}
-		rowParts := baselines.RowwiseParts(a, k, opt)
-		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
-		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-		mesh := core.NewMesh(k)
-		return []MethodResult{
-			Cell("2D-b", baselines.Checkerboard2DB(a, k, opt), nil, cfg.Machine),
-			Cell("1D-b", baselines.OneDB(a, rowParts, k, opt), nil, cfg.Machine),
-			Cell("s2D-b", s2d, &mesh, cfg.Machine),
-		}
-	})
+	rows := forEachCell(cfg, gen.SetB(), ksOr(cfg, []int{256, 1024, 4096}),
+		[]string{"2D-b", "1D-b", "s2D-b"})
 
 	fprintf(w, "Table VI: 2D-b vs 1D-b vs s2D-b (volumes normalized to 2D-b, scale=%.4g)\n", cfg.Scale)
 	fprintf(w, "%-12s %6s | %8s %10s | %8s %10s | %8s %10s\n",
@@ -176,21 +128,8 @@ func Table6(w io.Writer, cfg Config) []Row {
 // Algorithm 1's s2D (volumes normalized to s2D-mg).
 func Table7(w io.Writer, cfg Config) []Row {
 	cfg = cfg.withDefaults()
-	ks := cfg.Ks
-	if ks == nil {
-		ks = []int{256, 1024, 4096}
-	}
-	rows := forEachCell(cfg, gen.SetB(), ks, func(spec gen.Spec, a *sparse.CSR, k int, seed int64) []MethodResult {
-		opt := baselines.Options{Seed: seed}
-		rowParts := baselines.RowwiseParts(a, k, opt)
-		oneD := baselines.Rowwise1DFromParts(a, rowParts, k)
-		s2d := core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
-		mg := baselines.MediumGrainS2D(a, k, opt)
-		return []MethodResult{
-			Cell("s2D-mg", mg, nil, cfg.Machine),
-			Cell("s2D", s2d, nil, cfg.Machine),
-		}
-	})
+	rows := forEachCell(cfg, gen.SetB(), ksOr(cfg, []int{256, 1024, 4096}),
+		[]string{"s2D-mg", "s2D"})
 
 	fprintf(w, "Table VII: s2D vs medium-grain s2D-mg (volumes normalized to s2D-mg, scale=%.4g)\n", cfg.Scale)
 	fprintf(w, "%-12s %6s | %8s %6s %10s | %8s %6s %10s\n",

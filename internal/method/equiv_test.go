@@ -1,0 +1,163 @@
+package method_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/gen"
+	"repro/internal/method"
+	"repro/internal/sparse"
+	"repro/internal/spmv"
+)
+
+// directBuild replicates the pre-registry construction chains exactly as
+// the harness tables and cmd/s2dpart wired them by hand. It is the
+// reference the registry must reproduce bit for bit when no sweep hint is
+// given.
+func directBuild(t *testing.T, name string, a *sparse.CSR, k int, seed int64) (*distrib.Distribution, *core.Mesh) {
+	t.Helper()
+	opt := baselines.Options{Seed: seed}
+	switch name {
+	case "1D":
+		return baselines.Rowwise1D(a, k, opt), nil
+	case "1D-col":
+		return baselines.Colwise1D(a, k, opt), nil
+	case "2D":
+		return baselines.FineGrain2D(a, k, opt), nil
+	case "2D-b":
+		return baselines.Checkerboard2DB(a, k, opt), nil
+	case "1D-b":
+		rows := baselines.RowwiseParts(a, k, opt)
+		return baselines.OneDB(a, rows, k, opt), nil
+	case "s2D", "s2D-opt", "s2D-b":
+		rows := baselines.RowwiseParts(a, k, opt)
+		oneD := baselines.Rowwise1DFromParts(a, rows, k)
+		var d *distrib.Distribution
+		if name == "s2D-opt" {
+			d = core.Optimal(a, oneD.XPart, oneD.YPart, k)
+		} else {
+			d = core.Balanced(a, oneD.XPart, oneD.YPart, k, core.BalanceConfig{})
+		}
+		if name == "s2D-b" {
+			mesh := core.NewMesh(k)
+			return d, &mesh
+		}
+		return d, nil
+	case "s2D-mg":
+		return baselines.MediumGrainS2D(a, k, opt), nil
+	default:
+		t.Fatalf("no direct constructor for %q", name)
+		return nil, nil
+	}
+}
+
+var nineMethods = []string{
+	"1D", "1D-col", "2D", "2D-b", "1D-b", "s2D", "s2D-opt", "s2D-b", "s2D-mg",
+}
+
+func equivMatrices(t *testing.T) map[string]*sparse.CSR {
+	t.Helper()
+	out := make(map[string]*sparse.CSR)
+	for i, name := range []string{"crystk02", "c-big", "boyd2"} {
+		spec, ok := gen.ByName(name)
+		if !ok {
+			t.Fatalf("suite matrix %q missing", name)
+		}
+		out[name] = spec.Generate(1.0/512, 1+int64(i))
+	}
+	return out
+}
+
+// commOf mirrors Build.Comm for the direct reference.
+func commOf(d *distrib.Distribution, mesh *core.Mesh) distrib.CommStats {
+	if mesh != nil {
+		return core.S2DBComm(d, *mesh)
+	}
+	return d.Comm()
+}
+
+// TestRegistryEquivalentToDirectConstructors pins the refactor contract:
+// for every registered paper method, building through the registry (no
+// sweep hint) yields the same distribution, the same communication
+// statistics, and the same engine output as the pre-refactor hand-wired
+// chains.
+func TestRegistryEquivalentToDirectConstructors(t *testing.T) {
+	mats := equivMatrices(t)
+	for matName, a := range mats {
+		for _, k := range []int{4, 8} {
+			seed := int64(1)
+			for _, name := range nineMethods {
+				b, err := method.BuildByName(name, a, k, method.Options{Seed: seed})
+				if err != nil {
+					t.Fatalf("%s on %s K=%d: %v", name, matName, k, err)
+				}
+				d, mesh := directBuild(t, name, a, k, seed)
+
+				if !reflect.DeepEqual(b.Dist.Owner, d.Owner) {
+					t.Errorf("%s on %s K=%d: Owner differs from direct constructor", name, matName, k)
+				}
+				if !reflect.DeepEqual(b.Dist.XPart, d.XPart) || !reflect.DeepEqual(b.Dist.YPart, d.YPart) {
+					t.Errorf("%s on %s K=%d: vector partition differs", name, matName, k)
+				}
+				if b.Dist.Fused != d.Fused {
+					t.Errorf("%s on %s K=%d: Fused %v != %v", name, matName, k, b.Dist.Fused, d.Fused)
+				}
+				if (b.Mesh == nil) != (mesh == nil) {
+					t.Fatalf("%s on %s K=%d: mesh presence differs", name, matName, k)
+				}
+				if b.Mesh != nil && *b.Mesh != *mesh {
+					t.Errorf("%s on %s K=%d: mesh %v != %v", name, matName, k, *b.Mesh, *mesh)
+				}
+				if got, want := b.Comm(), commOf(d, mesh); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s on %s K=%d: Comm() stats differ:\n got %+v\nwant %+v",
+						name, matName, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// multiplyOnce runs one Multiply through the unified engine constructor.
+func multiplyOnce(t *testing.T, name string, b method.Build, x []float64, rows int) []float64 {
+	t.Helper()
+	eng, err := spmv.New(b)
+	if err != nil {
+		t.Fatalf("%s: engine: %v", name, err)
+	}
+	defer eng.Close()
+	y := make([]float64, rows)
+	eng.Multiply(x, y)
+	return y
+}
+
+// TestRegistryEngineOutputMatchesDirect runs the actual engines: the
+// registry build's Multiply must produce bitwise-identical output to an
+// engine built from the direct constructor's distribution.
+func TestRegistryEngineOutputMatchesDirect(t *testing.T) {
+	spec, _ := gen.ByName("crystk02")
+	a := spec.Generate(1.0/512, 1)
+	const k = 4
+	r := rand.New(rand.NewSource(17))
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = r.Float64()*2 - 1
+	}
+	for _, name := range nineMethods {
+		b, err := method.BuildByName(name, a, k, method.Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d, mesh := directBuild(t, name, a, k, 1)
+		got := multiplyOnce(t, name, b, x, a.Rows)
+		want := multiplyOnce(t, name, method.Build{Method: name, Dist: d, Mesh: mesh}, x, a.Rows)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: y[%d] = %v != direct %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package method
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func testMatrix(t *testing.T) *sparse.CSR {
+	t.Helper()
+	spec, ok := gen.ByName("crystk02")
+	if !ok {
+		t.Fatal("crystk02 missing from suite")
+	}
+	return spec.Generate(1.0/512, 1)
+}
+
+func TestRegistryHasAllPaperMethods(t *testing.T) {
+	want := []string{"1D", "1D-col", "2D", "2D-b", "1D-b", "s2D", "s2D-opt", "s2D-b", "s2D-mg"}
+	for _, name := range want {
+		if _, ok := Get(name); !ok {
+			t.Errorf("method %q not registered", name)
+		}
+		// Lookup is case-insensitive: CLI flags use the lower-case form.
+		if _, ok := Get(strings.ToLower(name)); !ok {
+			t.Errorf("method %q not found via lower-case lookup", name)
+		}
+	}
+	if got := len(Names()); got < len(want) {
+		t.Errorf("registry has %d methods, want >= %d", got, len(want))
+	}
+	for _, info := range List() {
+		if info.Desc == "" {
+			t.Errorf("method %q has no description", info.Name)
+		}
+	}
+}
+
+func TestBuildByNameUnknownListsRegistered(t *testing.T) {
+	a := testMatrix(t)
+	_, err := BuildByName("nope", a, 4, Options{Seed: 1})
+	if err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+	for _, name := range []string{"s2D", "2D-b", "s2D-mg"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+// TestPipelineSharesPrerequisites pins the memoization contract: methods
+// built through one pipeline share the underlying vector partition and
+// the s2D distribution (same instances, not just equal values).
+func TestPipelineSharesPrerequisites(t *testing.T) {
+	a := testMatrix(t)
+	pl := NewPipeline()
+	opt := Options{Seed: 1, Pipeline: pl}
+	oneD, err := BuildByName("1D", a, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2d, err := BuildByName("s2D", a, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2db, err := BuildByName("s2D-b", a, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &oneD.Dist.XPart[0] != &s2d.Dist.XPart[0] {
+		t.Error("1D and s2D do not share the vector partition instance")
+	}
+	if s2d.Dist != s2db.Dist {
+		t.Error("s2D and s2D-b do not share the distribution instance")
+	}
+	// Repeated build returns the cached instance.
+	again, _ := BuildByName("s2D", a, 4, opt)
+	if again.Dist != s2d.Dist {
+		t.Error("repeated build did not hit the build cache")
+	}
+}
+
+// TestSweepHintProducesValidBuilds checks the shared-tree path: with a
+// power-of-two Ks hint, every K yields a valid distribution with the
+// method's structural guarantees intact (s2D property, K-consistent
+// labels), and the largest K matches the unhinted build exactly.
+func TestSweepHintProducesValidBuilds(t *testing.T) {
+	a := testMatrix(t)
+	pl := NewPipeline()
+	ks := []int{4, 8, 16}
+	for _, k := range ks {
+		for _, name := range []string{"1D", "s2D", "2D"} {
+			b, err := BuildByName(name, a, k, Options{Seed: 1, Pipeline: pl, Ks: ks})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", name, k, err)
+			}
+			if err := b.Dist.Validate(); err != nil {
+				t.Errorf("%s K=%d: %v", name, k, err)
+			}
+		}
+	}
+	// At K = max(Ks) the shared tree is just the direct run.
+	hinted, _ := BuildByName("s2D", a, 16, Options{Seed: 1, Pipeline: pl, Ks: ks})
+	direct, _ := BuildByName("s2D", a, 16, Options{Seed: 1})
+	for p := range direct.Dist.Owner {
+		if hinted.Dist.Owner[p] != direct.Dist.Owner[p] {
+			t.Fatal("hinted build at max(Ks) differs from direct build")
+		}
+	}
+}
+
+func TestMatrixCacheSharesInstances(t *testing.T) {
+	pl := NewPipeline()
+	spec, _ := gen.ByName("crystk02")
+	a1 := pl.Matrix(spec, 1.0/512, 1)
+	a2 := pl.Matrix(spec, 1.0/512, 1)
+	if a1 != a2 {
+		t.Error("same (spec, scale, seed) generated twice")
+	}
+	if a3 := pl.Matrix(spec, 1.0/512, 2); a3 == a1 {
+		t.Error("different seed returned the cached instance")
+	}
+}

@@ -1,0 +1,79 @@
+package partition
+
+import "repro/internal/hypergraph"
+
+// PartitionMulti computes a K-way partition of h for every K in ks. When
+// every K is a power of two, all of them are derived from a single
+// recursive-bisection run at Kmax = max(ks): the recursion tree of a
+// power-of-two run halves the part range at every level, so the node at
+// depth d covering parts [b, b+Kmax/2^d) is exactly one part of the
+// (2^d)-way partition, and its capacity bound cell·(Kmax/2^d) equals the
+// bound a direct 2^d-way run would use. Projecting labels with an integer
+// division therefore yields partitions with the same balance guarantee and
+// the same per-level bisection quality as direct runs — only the RNG
+// realization differs — at roughly the cost of the deepest run alone
+// instead of the sum over all requested K values.
+//
+// The partition returned for Kmax is bit-identical to Partition(h, cfg)
+// with cfg.K = Kmax. If any K is not a power of two, every K falls back to
+// an independent Partition call.
+func PartitionMulti(h *hypergraph.H, cfg Config, ks []int) map[int][]int {
+	out := make(map[int][]int, len(ks))
+	if len(ks) == 0 {
+		return out
+	}
+	kmax := ks[0]
+	shareable := true
+	for _, k := range ks {
+		if k > kmax {
+			kmax = k
+		}
+		if k < 1 || k&(k-1) != 0 {
+			shareable = false
+		}
+	}
+	if !shareable {
+		for _, k := range ks {
+			if _, dup := out[k]; dup {
+				continue
+			}
+			c := cfg
+			c.K = k
+			out[k] = Partition(h, c)
+		}
+		return out
+	}
+
+	c := cfg
+	c.K = kmax
+	base := Partition(h, c)
+	for _, k := range ks {
+		if _, dup := out[k]; dup {
+			continue
+		}
+		out[k] = ProjectPow2(base, kmax, k)
+	}
+	return out
+}
+
+// ProjectPow2 derives the k-way partition from a kmax-way recursive-
+// bisection result, for powers of two k ≤ kmax: the depth-d node of a
+// power-of-two run covers exactly kmax/2^d consecutive part labels under
+// the capacity bound a direct (2^d)-way run would use, so grouping labels
+// by integer division reads the tree's internal level off the leaves.
+// k == kmax returns the input unchanged. Callers must ensure both counts
+// are powers of two with k dividing kmax; anything else panics.
+func ProjectPow2(base []int, kmax, k int) []int {
+	if k < 1 || k&(k-1) != 0 || kmax&(kmax-1) != 0 || kmax%k != 0 {
+		panic("partition: ProjectPow2 requires powers of two with k dividing kmax")
+	}
+	if k == kmax {
+		return base
+	}
+	group := kmax / k
+	parts := make([]int, len(base))
+	for v, p := range base {
+		parts[v] = p / group
+	}
+	return parts
+}

@@ -1,0 +1,85 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hypergraph"
+)
+
+func testHypergraph(t *testing.T) *hypergraph.H {
+	t.Helper()
+	a := gen.PowerLaw(gen.PowerLawConfig{
+		Rows: 3000, Cols: 3000, NNZ: 24000, Beta: 0.5, Symmetric: true, Locality: 0.8,
+	}, 3)
+	return hypergraph.ColumnNetModel(a)
+}
+
+func TestPartitionMultiMaxMatchesDirect(t *testing.T) {
+	h := testHypergraph(t)
+	cfg := Config{Seed: 7}
+	multi := PartitionMulti(h, cfg, []int{4, 16, 64})
+	cfg.K = 64
+	direct := Partition(h, cfg)
+	got := multi[64]
+	if len(got) != len(direct) {
+		t.Fatalf("length %d != %d", len(got), len(direct))
+	}
+	for v := range got {
+		if got[v] != direct[v] {
+			t.Fatalf("vertex %d: multi %d != direct %d", v, got[v], direct[v])
+		}
+	}
+}
+
+func TestPartitionMultiProjectionValidAndBalanced(t *testing.T) {
+	h := testHypergraph(t)
+	cfg := Config{Seed: 7, Epsilon: 0.03}
+	ks := []int{4, 16, 64}
+	multi := PartitionMulti(h, cfg, ks)
+	total := h.TotalVWeight()
+	for _, k := range ks {
+		parts := multi[k]
+		if len(parts) != h.NumV {
+			t.Fatalf("K=%d: %d labels for %d vertices", k, len(parts), h.NumV)
+		}
+		w := make([]int, k)
+		for v, p := range parts {
+			if p < 0 || p >= k {
+				t.Fatalf("K=%d: label %d out of range", k, p)
+			}
+			w[p] += h.VWeight[v]
+		}
+		// The projected parts inherit the direct run's capacity bound
+		// cell·(Kmax/K) = total/K·(1+eps); allow integer-rounding slack.
+		bound := int(float64(total)/float64(k)*(1+cfg.Epsilon)) + k
+		for p, wp := range w {
+			if wp > bound {
+				t.Errorf("K=%d part %d: weight %d above bound %d", k, p, wp, bound)
+			}
+		}
+	}
+	// Nesting: the K=16 partition refines the K=4 partition (labels group
+	// by integer division), because both project from one tree.
+	for v := range multi[16] {
+		if multi[16][v]/4 != multi[4][v] {
+			t.Fatalf("vertex %d: K=16 label %d does not refine K=4 label %d",
+				v, multi[16][v], multi[4][v])
+		}
+	}
+}
+
+func TestPartitionMultiNonPowerOfTwoFallsBack(t *testing.T) {
+	h := testHypergraph(t)
+	cfg := Config{Seed: 7}
+	multi := PartitionMulti(h, cfg, []int{3, 8})
+	for _, k := range []int{3, 8} {
+		cfg.K = k
+		direct := Partition(h, cfg)
+		for v := range direct {
+			if multi[k][v] != direct[v] {
+				t.Fatalf("K=%d vertex %d: fallback %d != direct %d", k, v, multi[k][v], direct[v])
+			}
+		}
+	}
+}

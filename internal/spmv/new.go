@@ -1,0 +1,27 @@
+package spmv
+
+import (
+	"repro/internal/distrib"
+	"repro/internal/method"
+)
+
+// Multiplier is the engine surface every schedule implements: repeated
+// allocation-free y ← Ax, the static schedule's communication statistics,
+// and worker shutdown.
+type Multiplier interface {
+	Multiply(x, y []float64)
+	ScheduleStats() distrib.CommStats
+	Close()
+}
+
+// New builds the engine a method build calls for: the routed two-hop
+// engine when the build carries a mesh (the latency-bounded s2D-b
+// schedule), the compiled fused or two-phase engine otherwise. Callers
+// get one constructor for every registered method instead of branching on
+// engine type.
+func New(b method.Build) (Multiplier, error) {
+	if b.Mesh != nil {
+		return NewRoutedEngine(b.Dist, *b.Mesh)
+	}
+	return NewEngine(b.Dist)
+}
