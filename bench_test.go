@@ -135,6 +135,44 @@ func BenchmarkTable7(b *testing.B) {
 	b.ReportMetric(geomeanLI(rows, "s2D"), "s2D-LI")
 }
 
+// BenchmarkTableNRHS regenerates the multi-RHS scaling comparison. The
+// metrics track the paper-extending result: s2D-b trades communication
+// volume for a message-count bound, so against s2D (same nonzero
+// partition, unbounded schedule) its per-column advantage at nrhs=1 must
+// erode as the batch widens and the α latency term it optimizes is
+// amortized away. s2Db/s2D@1 and @max are the geomean per-column time
+// ratios at the narrowest and widest width — the result is @max drifting
+// up toward (or past) 1.0 from a sub-1.0 @1.
+func BenchmarkTableNRHS(b *testing.B) {
+	b.ReportAllocs()
+	nrhsList := []int{1, 8, 64}
+	var rows []harness.NRHSRow
+	cfg := benchCfgB()
+	for i := 0; i < b.N; i++ {
+		rows = harness.TableNRHS(io.Discard, cfg, nrhsList)
+	}
+	ratioAt := func(nrhs int) float64 {
+		logSum, n := 0.0, 0
+		for _, r := range rows {
+			if r.NRHS != nrhs {
+				continue
+			}
+			sb, okB := r.Find("s2D-b")
+			sd, okD := r.Find("s2D")
+			if okB && okD && sb.PerColUS > 0 && sd.PerColUS > 0 {
+				logSum += math.Log(sb.PerColUS / sd.PerColUS)
+				n++
+			}
+		}
+		if n == 0 {
+			return math.NaN()
+		}
+		return math.Exp(logSum / float64(n))
+	}
+	b.ReportMetric(ratioAt(nrhsList[0]), "s2Db/s2D@1")
+	b.ReportMetric(ratioAt(nrhsList[len(nrhsList)-1]), "s2Db/s2D@max")
+}
+
 // BenchmarkAblation regenerates the design-choice ablation (DESIGN.md §4):
 // s2D construction variants, vector-partition sources, and the three
 // latency-bounding schemes.

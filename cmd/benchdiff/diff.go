@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// record mirrors the spmvbench -json benchRecord fields the gate needs.
+// Unknown fields are ignored, so older and newer baselines both load.
+type record struct {
+	Method      string  `json:"method"`
+	Matrix      string  `json:"matrix"`
+	Seed        int64   `json:"seed"`
+	K           int     `json:"k"`
+	NRHS        int     `json:"nrhs"`
+	Schedule    string  `json:"schedule"`
+	Rows        int     `json:"rows"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// key identifies one measurement across files. Rows is part of the key so
+// runs at different -scale values never pair up: a cross-scale ns/op
+// ratio measures the matrix size, not a regression.
+type key struct {
+	Method   string
+	Matrix   string
+	Seed     int64
+	K        int
+	NRHS     int
+	Schedule string
+	Rows     int
+}
+
+func (r record) key() key {
+	nrhs := r.NRHS
+	if nrhs == 0 {
+		nrhs = 1 // baselines predating the nrhs field
+	}
+	return key{r.Method, r.Matrix, r.Seed, r.K, nrhs, r.Schedule, r.Rows}
+}
+
+func (k key) String() string {
+	return fmt.Sprintf("%s/%s/seed=%d/K=%d/nrhs=%d/%s/n=%d",
+		k.Method, k.Matrix, k.Seed, k.K, k.NRHS, k.Schedule, k.Rows)
+}
+
+func readRecords(path string) ([]record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []record
+	if err := json.NewDecoder(f).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark records", path)
+	}
+	return recs, nil
+}
+
+// pair is one baseline/current match.
+type pair struct {
+	key   key
+	ratio float64 // current ns/op ÷ baseline ns/op
+}
+
+// report is the gate's verdict plus everything print needs to explain it.
+type report struct {
+	pairs        []pair
+	geomean      float64
+	tolerance    float64
+	allocViolers []key
+	baseOnly     []key
+	curOnly      []key
+}
+
+func (r *report) ok() bool {
+	return len(r.pairs) > 0 && len(r.allocViolers) == 0 && r.geomean <= r.tolerance
+}
+
+// diff pairs the two record sets and computes the gate verdict.
+func diff(base, cur []record, tolerance float64) *report {
+	rep := &report{tolerance: tolerance}
+	baseBy := make(map[key]record, len(base))
+	for _, b := range base {
+		baseBy[b.key()] = b
+	}
+	seen := make(map[key]bool, len(cur))
+	for _, c := range cur {
+		k := c.key()
+		seen[k] = true
+		if c.AllocsPerOp != 0 {
+			rep.allocViolers = append(rep.allocViolers, k)
+		}
+		b, ok := baseBy[k]
+		if !ok {
+			rep.curOnly = append(rep.curOnly, k)
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > 0 {
+			rep.pairs = append(rep.pairs, pair{key: k, ratio: c.NsPerOp / b.NsPerOp})
+		}
+	}
+	for k := range baseBy {
+		if !seen[k] {
+			rep.baseOnly = append(rep.baseOnly, k)
+		}
+	}
+	sortKeys(rep.allocViolers)
+	sortKeys(rep.baseOnly)
+	sortKeys(rep.curOnly)
+	sort.Slice(rep.pairs, func(i, j int) bool { return rep.pairs[i].ratio > rep.pairs[j].ratio })
+
+	if len(rep.pairs) > 0 {
+		logSum := 0.0
+		for _, p := range rep.pairs {
+			logSum += math.Log(p.ratio)
+		}
+		rep.geomean = math.Exp(logSum / float64(len(rep.pairs)))
+	}
+	return rep
+}
+
+func sortKeys(ks []key) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i].String() < ks[j].String() })
+}
+
+func (r *report) print(w io.Writer) {
+	fmt.Fprintf(w, "benchdiff: %d paired records, geomean ns/op ratio %.3f (tolerance %.2f)\n",
+		len(r.pairs), r.geomean, r.tolerance)
+	show := len(r.pairs)
+	if show > 5 {
+		show = 5
+	}
+	for _, p := range r.pairs[:show] {
+		fmt.Fprintf(w, "  %-55s %.3fx\n", p.key, p.ratio)
+	}
+	if len(r.pairs) > show {
+		fmt.Fprintf(w, "  ... and %d more\n", len(r.pairs)-show)
+	}
+	for _, k := range r.baseOnly {
+		fmt.Fprintf(w, "  warning: baseline-only record %s (not measured now)\n", k)
+	}
+	for _, k := range r.curOnly {
+		fmt.Fprintf(w, "  warning: new record %s (no baseline; add it on the next baseline refresh)\n", k)
+	}
+	switch {
+	case len(r.pairs) == 0:
+		fmt.Fprintln(w, "FAIL: no records paired up — baseline and current runs must use the same scale/K/nrhs sweep")
+	case len(r.allocViolers) > 0:
+		fmt.Fprintf(w, "FAIL: %d record(s) allocate in steady state (contract is 0 allocs/op):\n", len(r.allocViolers))
+		for _, k := range r.allocViolers {
+			fmt.Fprintf(w, "  %s\n", k)
+		}
+	case r.geomean > r.tolerance:
+		fmt.Fprintf(w, "FAIL: geomean slowdown %.3f exceeds tolerance %.2f\n", r.geomean, r.tolerance)
+	default:
+		fmt.Fprintln(w, "OK: no benchmark regression")
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func rec(method string, k, nrhs int, ns float64, allocs int64) record {
+	return record{
+		Method: method, Matrix: "powerlaw", Seed: 1, K: k, NRHS: nrhs,
+		Schedule: "fused", Rows: 1280, NsPerOp: ns, AllocsPerOp: allocs,
+	}
+}
+
+func TestDiffRefusesCrossScalePairing(t *testing.T) {
+	big := rec("s2D", 4, 1, 8000, 0)
+	big.Rows = 6400
+	small := rec("s2D", 4, 1, 1000, 0)
+	rep := diff([]record{big}, []record{small}, 1.25)
+	if len(rep.pairs) != 0 {
+		t.Fatal("records at different scales must not pair")
+	}
+	if rep.ok() {
+		t.Fatal("cross-scale comparison must fail, not pass vacuously")
+	}
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	base := []record{rec("s2D", 4, 1, 1000, 0), rec("s2D", 4, 8, 4000, 0)}
+	cur := []record{rec("s2D", 4, 1, 1100, 0), rec("s2D", 4, 8, 4100, 0)}
+	rep := diff(base, cur, 1.25)
+	if !rep.ok() {
+		t.Fatalf("should pass: %+v", rep)
+	}
+	want := math.Sqrt(1.1 * (4100.0 / 4000.0))
+	if math.Abs(rep.geomean-want) > 1e-12 {
+		t.Fatalf("geomean = %v, want %v", rep.geomean, want)
+	}
+}
+
+func TestDiffFailsOnSlowdown(t *testing.T) {
+	base := []record{rec("s2D", 4, 1, 1000, 0)}
+	cur := []record{rec("s2D", 4, 1, 1300, 0)}
+	if rep := diff(base, cur, 1.25); rep.ok() {
+		t.Fatal("1.3x slowdown must fail at 1.25 tolerance")
+	}
+	if rep := diff(base, cur, 1.35); !rep.ok() {
+		t.Fatal("1.3x slowdown must pass at 1.35 tolerance")
+	}
+}
+
+func TestDiffFailsOnAllocs(t *testing.T) {
+	base := []record{rec("s2D", 4, 1, 1000, 0)}
+	cur := []record{rec("s2D", 4, 1, 500, 1)} // faster but allocating
+	rep := diff(base, cur, 1.25)
+	if rep.ok() {
+		t.Fatal("allocations must fail the gate regardless of speed")
+	}
+	if len(rep.allocViolers) != 1 {
+		t.Fatalf("allocViolers = %v", rep.allocViolers)
+	}
+}
+
+func TestDiffFailsWhenNothingPairs(t *testing.T) {
+	base := []record{rec("s2D", 4, 1, 1000, 0)}
+	cur := []record{rec("s2D", 16, 1, 1000, 0)} // different K: no pairing
+	rep := diff(base, cur, 1.25)
+	if rep.ok() {
+		t.Fatal("a vacuous comparison must fail, not pass")
+	}
+	if len(rep.baseOnly) != 1 || len(rep.curOnly) != 1 {
+		t.Fatalf("baseOnly=%v curOnly=%v", rep.baseOnly, rep.curOnly)
+	}
+}
+
+func TestDiffLegacyBaselineNRHSZero(t *testing.T) {
+	// Baselines written before the nrhs field existed decode as NRHS=0
+	// and must pair with current nrhs=1 records.
+	old := rec("s2D", 4, 0, 1000, 0)
+	cur := []record{rec("s2D", 4, 1, 1000, 0)}
+	rep := diff([]record{old}, cur, 1.25)
+	if !rep.ok() || len(rep.pairs) != 1 {
+		t.Fatalf("legacy baseline should pair: %+v", rep)
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	base := []record{rec("s2D", 4, 1, 1000, 0)}
+	cur := []record{rec("s2D", 4, 1, 2000, 0)}
+	rep := diff(base, cur, 1.25)
+	var buf bytes.Buffer
+	rep.print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "FAIL: geomean slowdown") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+}

@@ -1,0 +1,63 @@
+// Command benchdiff compares two spmvbench -json result files and fails
+// on performance regressions — the benchmark-regression gate CI runs on
+// every push against the committed BENCH_*.json baseline.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_PR3.json -current new.json
+//	benchdiff -baseline old.json -current new.json -tolerance 1.5
+//
+// Records pair up by (method, matrix, seed, k, nrhs, schedule); a
+// baseline written before the nrhs field existed reads as nrhs=1. The
+// gate fails (exit 1) when:
+//
+//   - any current record allocates: steady-state Multiply/MultiplyBlock
+//     must stay at 0 allocs/op, no tolerance;
+//   - the geometric-mean ns/op ratio (current/baseline) over the paired
+//     records exceeds -tolerance (default 1.25, i.e. a 25% slowdown) —
+//     the geomean damps single-record noise while catching an across-
+//     the-board regression;
+//   - no records pair up at all (a scale/K mismatch would otherwise
+//     pass vacuously).
+//
+// Exit codes: 0 ok, 1 regression, 2 usage or unreadable input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json (required)")
+	current := flag.String("current", "", "freshly measured spmvbench -json output (required)")
+	tolerance := flag.Float64("tolerance", 1.25, "maximum allowed geomean ns/op ratio current/baseline")
+	flag.Parse()
+
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: both -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tolerance <= 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -tolerance %v: want > 0\n", *tolerance)
+		os.Exit(2)
+	}
+	base, err := readRecords(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := readRecords(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep := diff(base, cur, *tolerance)
+	rep.print(os.Stdout)
+	if !rep.ok() {
+		os.Exit(1)
+	}
+}

@@ -48,6 +48,14 @@ func main() {
 		}
 		return
 	}
+	// Validate knobs up front: a bad -k or -scale used to surface as a
+	// panic deep inside the partitioner instead of a usage error.
+	if *k < 1 {
+		fatalUsage("bad -k %d: want a part count >= 1", *k)
+	}
+	if *scale <= 0 || *scale > 1 {
+		fatalUsage("bad -scale %v: want a fraction in (0, 1]", *scale)
+	}
 	if *listMethods {
 		for _, info := range method.List() {
 			fmt.Printf("%-10s %s\n", info.Name, info.Desc)
@@ -182,6 +190,13 @@ func printHeatmap(d *distrib.Distribution, k int) {
 		}
 		fmt.Println()
 	}
+}
+
+// fatalUsage prints an error plus the flag usage and exits 2.
+func fatalUsage(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "s2dpart: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func loadMatrix(name, file string, scale float64, seed int64) (*sparse.CSR, string, error) {

@@ -14,22 +14,31 @@ import (
 
 // benchRecord is one machine-readable engine measurement, emitted by
 // `spmvbench -json` so successive PRs can track the perf trajectory in
-// BENCH_*.json files. Method, matrix, seed, and K identify the
+// BENCH_*.json files. Method, matrix, seed, K, and nrhs identify the
 // measurement; schedule names the engine variant the build ran on.
+// NsPerOp times one whole block multiply (nrhs=1: one Multiply);
+// NsPerColumn = NsPerOp/nrhs is the per-RHS throughput figure. Packets
+// and MaxMsgs are per multiply regardless of nrhs — the block path widens
+// payloads, not the message count — so CommVolume (words moved per block
+// multiply) is VolumeWords·nrhs.
 type benchRecord struct {
 	Method      string  `json:"method"`
 	Matrix      string  `json:"matrix"`
 	Seed        int64   `json:"seed"`
 	K           int     `json:"k"`
+	NRHS        int     `json:"nrhs"`
 	Schedule    string  `json:"schedule"`
 	Rows        int     `json:"rows"`
 	Cols        int     `json:"cols"`
 	NNZ         int     `json:"nnz"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerColumn float64 `json:"ns_per_column"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Packets     int     `json:"packets_per_multiply"`
+	MaxMsgs     int     `json:"max_msgs"`
 	VolumeWords int     `json:"volume_words"`
+	CommVolume  int     `json:"comm_volume"`
 }
 
 func scheduleOf(b method.Build) string {
@@ -43,14 +52,17 @@ func scheduleOf(b method.Build) string {
 	}
 }
 
-// runJSONBench benchmarks steady-state Multiply for every requested
-// registry method at each K and writes a JSON array to w. All builds
-// share one pipeline, so common prerequisites are computed once across
-// the sweep.
-func runJSONBench(w io.Writer, cfg harness.Config, methods []string) error {
+// runJSONBench benchmarks steady-state Multiply (and, for nrhs > 1,
+// MultiplyBlock) for every requested registry method at each (K, nrhs)
+// and writes a JSON array to w. All builds share one pipeline, so common
+// prerequisites are computed once across the sweep.
+func runJSONBench(w io.Writer, cfg harness.Config, methods []string, nrhsList []int) error {
 	ks := cfg.Ks
 	if len(ks) == 0 {
 		ks = []int{4, 16, 64}
+	}
+	if len(nrhsList) == 0 {
+		nrhsList = []int{1}
 	}
 	n := int(320000 * cfg.Scale)
 	if n < 1000 {
@@ -61,10 +73,16 @@ func runJSONBench(w io.Writer, cfg harness.Config, methods []string) error {
 		Rows: n, Cols: n, NNZ: 10 * n, Beta: 0.5,
 		DenseRows: 2, DenseMax: n / 16, Symmetric: true, Locality: 0.9,
 	}, cfg.Seed)
-	x := make([]float64, a.Cols)
-	y := make([]float64, a.Rows)
-	for i := range x {
-		x[i] = float64(i%13) - 6
+	maxNRHS := 1
+	for _, nr := range nrhsList {
+		if nr > maxNRHS {
+			maxNRHS = nr
+		}
+	}
+	X := make([]float64, a.Cols*maxNRHS)
+	Y := make([]float64, a.Rows*maxNRHS)
+	for i := range X {
+		X[i] = float64(i%13) - 6
 	}
 
 	opt := method.Options{Seed: cfg.Seed, Pipeline: method.NewPipeline(), Ks: ks}
@@ -79,29 +97,48 @@ func runJSONBench(w io.Writer, cfg harness.Config, methods []string) error {
 			if err != nil {
 				return fmt.Errorf("%s K=%d: %w", name, k, err)
 			}
-			res := testing.Benchmark(func(bm *testing.B) {
-				bm.ReportAllocs()
-				for i := 0; i < bm.N; i++ {
-					eng.Multiply(x, y)
-				}
-			})
 			cs := eng.ScheduleStats()
+			for _, nrhs := range nrhsList {
+				var res testing.BenchmarkResult
+				if nrhs == 1 {
+					x, y := X[:a.Cols], Y[:a.Rows]
+					res = testing.Benchmark(func(bm *testing.B) {
+						bm.ReportAllocs()
+						for i := 0; i < bm.N; i++ {
+							eng.Multiply(x, y)
+						}
+					})
+				} else {
+					Xb, Yb := X[:a.Cols*nrhs], Y[:a.Rows*nrhs]
+					eng.MultiplyBlock(Xb, Yb, nrhs) // size the block buffers
+					res = testing.Benchmark(func(bm *testing.B) {
+						bm.ReportAllocs()
+						for i := 0; i < bm.N; i++ {
+							eng.MultiplyBlock(Xb, Yb, nrhs)
+						}
+					})
+				}
+				recs = append(recs, benchRecord{
+					Method:      b.Method,
+					Matrix:      matrixName,
+					Seed:        cfg.Seed,
+					K:           k,
+					NRHS:        nrhs,
+					Schedule:    scheduleOf(b),
+					Rows:        a.Rows,
+					Cols:        a.Cols,
+					NNZ:         a.NNZ(),
+					NsPerOp:     float64(res.NsPerOp()),
+					NsPerColumn: float64(res.NsPerOp()) / float64(nrhs),
+					AllocsPerOp: res.AllocsPerOp(),
+					BytesPerOp:  res.AllocedBytesPerOp(),
+					Packets:     cs.TotalMsgs,
+					MaxMsgs:     cs.MaxSendMsgs,
+					VolumeWords: cs.TotalVolume,
+					CommVolume:  cs.TotalVolume * nrhs,
+				})
+			}
 			eng.Close()
-			recs = append(recs, benchRecord{
-				Method:      b.Method,
-				Matrix:      matrixName,
-				Seed:        cfg.Seed,
-				K:           k,
-				Schedule:    scheduleOf(b),
-				Rows:        a.Rows,
-				Cols:        a.Cols,
-				NNZ:         a.NNZ(),
-				NsPerOp:     float64(res.NsPerOp()),
-				AllocsPerOp: res.AllocsPerOp(),
-				BytesPerOp:  res.AllocedBytesPerOp(),
-				Packets:     cs.TotalMsgs,
-				VolumeWords: cs.TotalVolume,
-			})
 		}
 	}
 

@@ -10,9 +10,12 @@
 //	spmvbench -full                 # paper-scale matrices (slow)
 //	spmvbench -json > BENCH.json    # machine-readable engine benchmarks
 //	spmvbench -json -methods all    # benchmark every registered method
+//	spmvbench -json -nrhs 1,8,32    # batched SpMM sweep (MultiplyBlock)
+//	spmvbench -nrhstable            # multi-RHS method comparison table
 //
-// Each -json record carries the method name, matrix, seed, and K, so
-// BENCH_*.json baselines from successive PRs are directly comparable.
+// Each -json record carries the method name, matrix, seed, K, and nrhs,
+// so BENCH_*.json baselines from successive PRs are directly comparable
+// (cmd/benchdiff consumes exactly these records).
 package main
 
 import (
@@ -39,6 +42,10 @@ func main() {
 	jsonBench := flag.Bool("json", false, "benchmark steady-state Multiply per method and emit JSON results")
 	methodList := flag.String("methods", "1d,2d,s2d,s2d-b",
 		"comma-separated registry methods for -json, or 'all'")
+	nrhsList := flag.String("nrhs", "",
+		"comma-separated right-hand-side counts for -json and -nrhstable, e.g. 1,8,32")
+	nrhsTable := flag.Bool("nrhstable", false,
+		"render the multi-RHS (batched SpMM) method comparison table")
 	flag.Parse()
 
 	cfg := harness.Config{Scale: *scale, Seed: *seed, Parallelism: *par}
@@ -52,15 +59,13 @@ func main() {
 		// private pipeline that becomes collectable when the table ends.
 		cfg.Pipeline = method.NewPipeline()
 	}
-	if *kList != "" {
-		for _, s := range strings.Split(*kList, ",") {
-			k, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || k < 1 {
-				fmt.Fprintf(os.Stderr, "spmvbench: bad -k element %q\n", s)
-				os.Exit(2)
-			}
-			cfg.Ks = append(cfg.Ks, k)
-		}
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		fatalUsage("bad -scale %v: want a fraction in (0, 1]", *scale)
+	}
+	cfg.Ks = parseIntList("-k", *kList)
+	nrhs := parseIntList("-nrhs", *nrhsList)
+	if *nrhsList != "" && !*jsonBench && !*nrhsTable && !*all {
+		fatalUsage("-nrhs only applies to -json, -nrhstable, or -all")
 	}
 
 	w := os.Stdout
@@ -81,8 +86,7 @@ func main() {
 		case 7:
 			harness.Table7(w, cfg)
 		default:
-			fmt.Fprintf(os.Stderr, "spmvbench: unknown table %d\n", n)
-			os.Exit(2)
+			fatalUsage("unknown table %d (tables 1-7; see also -nrhstable)", n)
 		}
 	}
 
@@ -95,7 +99,7 @@ func main() {
 		for i := range methods {
 			methods[i] = strings.TrimSpace(methods[i])
 		}
-		if err := runJSONBench(w, cfg, methods); err != nil {
+		if err := runJSONBench(w, cfg, methods, nrhs); err != nil {
 			fmt.Fprintf(os.Stderr, "spmvbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -104,18 +108,50 @@ func main() {
 		for n := 1; n <= 7; n++ {
 			run(n)
 		}
+		harness.TableNRHS(w, cfg, nrhs)
 		harness.Ablation(w, cfg)
 	case *ablation:
 		harness.Ablation(w, cfg)
+	case *nrhsTable:
+		harness.TableNRHS(w, cfg, nrhs)
 	case *figure == 1:
 		harness.Figure1(w)
 	case *figure != 0:
-		fmt.Fprintf(os.Stderr, "spmvbench: unknown figure %d\n", *figure)
-		os.Exit(2)
+		fatalUsage("unknown figure %d (only figure 1 exists)", *figure)
 	case *table != 0:
 		run(*table)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// parseIntList parses a comma-separated list of positive integers,
+// exiting with a usage message (rather than a panic deeper in the
+// harness) on malformed input. An empty value returns nil.
+func parseIntList(flagName, value string) []int {
+	if value == "" {
+		return nil
+	}
+	var out []int
+	for _, s := range strings.Split(value, ",") {
+		s = strings.TrimSpace(s)
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			fatalUsage("bad %s element %q: want a positive integer (e.g. %s 4,16,64)",
+				flagName, s, flagName)
+		}
+		if v < 1 {
+			fatalUsage("bad %s element %d: want >= 1", flagName, v)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// fatalUsage prints an error plus the flag usage and exits 2.
+func fatalUsage(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "spmvbench: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

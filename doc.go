@@ -10,10 +10,16 @@
 // (internal/baselines), the method registry and memoizing build pipeline
 // through which every consumer constructs partitions (internal/method), a
 // message-passing SpMV engine that compiles each schedule into an
-// allocation-free execution plan run by persistent workers
-// (internal/spmv), the α–β cost model (internal/model), and the
-// experiment harness regenerating the paper's Tables I–VII and Figure 1
-// as data-driven loops over the registry (internal/harness).
+// allocation-free execution plan run by persistent workers, serving both
+// single-vector Multiply and batched multi-RHS MultiplyBlock/
+// MultiplyMulti with one packet per peer per phase at any width
+// (internal/spmv), iterative solvers including block CG, block BiCGSTAB,
+// and multi-seed PageRank over one SpMM per iteration (internal/solver),
+// the α–β cost model with its batched EvaluateNRHS extension
+// (internal/model), and the experiment harness regenerating the paper's
+// Tables I–VII and Figure 1 — plus the multi-RHS scaling table the paper
+// never measured — as data-driven loops over the registry
+// (internal/harness).
 //
 // See README.md for a tour and DESIGN.md for the system inventory and
 // layer contracts. The benchmarks in bench_test.go regenerate one table

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/method"
+)
+
+// NRHSResult is one method's modelled batched-SpMM numbers at one width.
+type NRHSResult struct {
+	Method    string
+	MaxMsgs   int     // messages the busiest processor sends per SpMM (any nrhs)
+	Volume    int     // single-column communication volume (words)
+	PerColUS  float64 // modelled per-column time, microseconds
+	Speedup   float64 // modelled speedup vs serial SpMM at this width
+	VsOneDPct float64 // per-column time as a percentage of 1D's (100 = parity)
+}
+
+// NRHSRow is all methods' results for one (matrix, nrhs) pair.
+type NRHSRow struct {
+	Matrix string
+	K      int
+	NRHS   int
+	Res    []NRHSResult
+}
+
+// Find returns the result of a named method in the row, if present.
+func (r NRHSRow) Find(method string) (NRHSResult, bool) {
+	for _, m := range r.Res {
+		if m.Method == method {
+			return m, true
+		}
+	}
+	return NRHSResult{}, false
+}
+
+// nrhsMethods are the methods the multi-RHS comparison sweeps: the 1D
+// baseline, the fine-grain 2D, and the paper's two s2D variants.
+var nrhsMethods = []string{"1D", "2D", "s2D", "s2D-b"}
+
+// TableNRHS renders the multi-RHS scaling comparison — a result the paper
+// never measured. Each cell models one batched SpMM over nrhs right-hand
+// sides: per-word volume and compute scale with nrhs while the
+// per-message α cost is paid once per packet, so the latency advantage
+// the message-bounded methods (s2D-b) hold at nrhs=1 must shrink as the
+// batch widens and the comparison converges to pure volume. nrhsList
+// defaults to {1, 4, 16, 64}; K comes from cfg.Ks (last entry) or 256.
+func TableNRHS(w io.Writer, cfg Config, nrhsList []int) []NRHSRow {
+	cfg = cfg.withDefaults()
+	if len(nrhsList) == 0 {
+		nrhsList = []int{1, 4, 16, 64}
+	}
+	k := 256
+	if len(cfg.Ks) > 0 {
+		k = cfg.Ks[len(cfg.Ks)-1]
+	}
+	specs := gen.SetB()
+
+	fprintf(w, "Multi-RHS scaling: per-column modelled time as the batch widens, K=%d (scale=%.4g)\n", k, cfg.Scale)
+	fprintf(w, "%-12s %6s |", "name", "nrhs")
+	for _, m := range nrhsMethods {
+		fprintf(w, " %8s %7s |", m+" µs/c", "vs1D")
+	}
+	fprintf(w, "\n")
+
+	var rows []NRHSRow
+	for si, spec := range specs {
+		a := cfg.Pipeline.Matrix(spec, cfg.Scale, cfg.Seed+int64(si))
+		seed := cfg.Seed + int64(si*1000)
+		opt := method.Options{Seed: seed, Pipeline: cfg.Pipeline, Ks: []int{k}}
+		// One build per method; the schedule is nrhs-independent, so every
+		// width is evaluated on the same communication statistics.
+		type built struct {
+			name  string
+			b     method.Build
+			loads []int
+		}
+		builds := make([]built, 0, len(nrhsMethods))
+		for _, name := range nrhsMethods {
+			b, err := method.BuildByName(name, a, k, opt)
+			if err != nil {
+				panic("harness: " + name + " on " + spec.Name + ": " + err.Error())
+			}
+			builds = append(builds, built{name: name, b: b, loads: b.Dist.PartLoads()})
+		}
+		for _, nrhs := range nrhsList {
+			row := NRHSRow{Matrix: spec.Name, K: k, NRHS: nrhs}
+			var oneDPerCol float64
+			for _, bu := range builds {
+				cs := bu.b.Comm()
+				est := cfg.Machine.EvaluateNRHS(bu.loads, cs.Phases, a.NNZ(), nrhs)
+				perCol := est.ParallelTime / float64(nrhs)
+				if bu.name == "1D" {
+					oneDPerCol = perCol
+				}
+				res := NRHSResult{
+					Method:   bu.name,
+					MaxMsgs:  cs.MaxSendMsgs,
+					Volume:   cs.TotalVolume,
+					PerColUS: perCol * 1e6,
+					Speedup:  est.Speedup,
+				}
+				if oneDPerCol > 0 {
+					res.VsOneDPct = perCol / oneDPerCol * 100
+				}
+				row.Res = append(row.Res, res)
+			}
+			rows = append(rows, row)
+
+			fprintf(w, "%-12s %6d |", spec.Name, nrhs)
+			for _, res := range row.Res {
+				fprintf(w, " %8.1f %6.0f%% |", res.PerColUS, res.VsOneDPct)
+			}
+			fprintf(w, "\n")
+		}
+	}
+	fprintf(w, "\n")
+	return rows
+}

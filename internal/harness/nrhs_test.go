@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestTableNRHSInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	nrhsList := []int{1, 4, 16}
+	rows := TableNRHS(&buf, tinyCfg(), nrhsList)
+	if want := len(gen.SetB()) * len(nrhsList); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	if !strings.Contains(buf.String(), "Multi-RHS scaling") {
+		t.Error("missing table title")
+	}
+	// Group rows per matrix; widths are rendered in nrhsList order.
+	byMatrix := make(map[string][]NRHSRow)
+	for _, r := range rows {
+		if len(r.Res) != len(nrhsMethods) {
+			t.Fatalf("%s nrhs=%d: %d methods, want %d", r.Matrix, r.NRHS, len(r.Res), len(nrhsMethods))
+		}
+		byMatrix[r.Matrix] = append(byMatrix[r.Matrix], r)
+	}
+	for matrix, rs := range byMatrix {
+		for _, m := range nrhsMethods {
+			for i := 1; i < len(rs); i++ {
+				prev, _ := rs[i-1].Find(m)
+				cur, _ := rs[i].Find(m)
+				// One packet per peer regardless of width: per-column time
+				// can only fall and speedup only rise as nrhs grows.
+				if cur.PerColUS > prev.PerColUS*(1+1e-12) {
+					t.Errorf("%s %s: per-column time rose %v -> %v from nrhs=%d to %d",
+						matrix, m, prev.PerColUS, cur.PerColUS, rs[i-1].NRHS, rs[i].NRHS)
+				}
+				if cur.Speedup+1e-12 < prev.Speedup {
+					t.Errorf("%s %s: speedup fell %v -> %v from nrhs=%d to %d",
+						matrix, m, prev.Speedup, cur.Speedup, rs[i-1].NRHS, rs[i].NRHS)
+				}
+				if cur.MaxMsgs != prev.MaxMsgs || cur.Volume != prev.Volume {
+					t.Errorf("%s %s: schedule stats changed with nrhs", matrix, m)
+				}
+			}
+		}
+		// The paper-extending claim: s2D-b buys its nrhs=1 edge with the α
+		// message bound, so against s2D (same nonzero partition, fewer
+		// messages, >= volume) its per-column ratio must not improve as
+		// the batch widens and the α term is amortized away.
+		first := rs[0]
+		last := rs[len(rs)-1]
+		sb1, _ := first.Find("s2D-b")
+		sd1, _ := first.Find("s2D")
+		sbN, _ := last.Find("s2D-b")
+		sdN, _ := last.Find("s2D")
+		if sd1.PerColUS > 0 && sdN.PerColUS > 0 {
+			r1 := sb1.PerColUS / sd1.PerColUS
+			rN := sbN.PerColUS / sdN.PerColUS
+			if rN < r1-1e-9 {
+				t.Errorf("%s: s2D-b/s2D per-column ratio improved with nrhs (%.3f -> %.3f), want the latency advantage to erode",
+					matrix, r1, rN)
+			}
+		}
+	}
+}

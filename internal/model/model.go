@@ -48,6 +48,24 @@ type Estimate struct {
 // per-phase maxima are over processors (send and receive considered
 // independently, as both gate progress on a torus NIC).
 func (m Machine) Evaluate(loads []int, phases []distrib.PhaseStats, nnz int) Estimate {
+	return m.EvaluateNRHS(loads, phases, nnz, 1)
+}
+
+// EvaluateDistribution is a convenience wrapper: loads and phases are taken
+// from the distribution's own schedule.
+func (m Machine) EvaluateDistribution(d *distrib.Distribution) Estimate {
+	return m.Evaluate(d.PartLoads(), d.Comm().Phases, d.A.NNZ())
+}
+
+// EvaluateNRHS models one batched SpMM over nrhs right-hand sides on the
+// same schedule: compute and per-word transfer scale by nrhs, while the
+// per-message α cost is paid once per packet regardless of width (the
+// engines send one nrhs-wide packet per peer per phase). All Estimate
+// fields are block totals; divide by nrhs for per-column figures. Speedup
+// is scale-free either way. As nrhs grows the α term's share of T_par
+// shrinks like 1/nrhs, which is exactly why latency-bounded methods lose
+// their edge on batched workloads.
+func (m Machine) EvaluateNRHS(loads []int, phases []distrib.PhaseStats, nnz, nrhs int) Estimate {
 	maxLoad := 0
 	for _, w := range loads {
 		if w > maxLoad {
@@ -55,8 +73,8 @@ func (m Machine) Evaluate(loads []int, phases []distrib.PhaseStats, nnz int) Est
 		}
 	}
 	est := Estimate{
-		SerialTime:  float64(nnz) * m.TNonzero,
-		ComputeTime: float64(maxLoad) * m.TNonzero,
+		SerialTime:  float64(nnz) * m.TNonzero * float64(nrhs),
+		ComputeTime: float64(maxLoad) * m.TNonzero * float64(nrhs),
 	}
 	for _, ph := range phases {
 		msgs := ph.MaxSendMsgs
@@ -67,17 +85,11 @@ func (m Machine) Evaluate(loads []int, phases []distrib.PhaseStats, nnz int) Est
 		if ph.MaxRecvVol > words {
 			words = ph.MaxRecvVol
 		}
-		est.CommTime += m.Alpha*float64(msgs) + m.Beta*float64(words)
+		est.CommTime += m.Alpha*float64(msgs) + m.Beta*float64(words)*float64(nrhs)
 	}
 	est.ParallelTime = est.ComputeTime + est.CommTime
 	if est.ParallelTime > 0 {
 		est.Speedup = est.SerialTime / est.ParallelTime
 	}
 	return est
-}
-
-// EvaluateDistribution is a convenience wrapper: loads and phases are taken
-// from the distribution's own schedule.
-func (m Machine) EvaluateDistribution(d *distrib.Distribution) Estimate {
-	return m.Evaluate(d.PartLoads(), d.Comm().Phases, d.A.NNZ())
 }

@@ -31,6 +31,38 @@ func TestEvaluateHandComputed(t *testing.T) {
 	}
 }
 
+func TestEvaluateNRHSHandComputed(t *testing.T) {
+	m := Machine{TNonzero: 1e-9, Alpha: 1e-6, Beta: 1e-8}
+	loads := []int{100, 200, 150}
+	phases := []distrib.PhaseStats{
+		{MaxSendMsgs: 2, MaxRecvMsgs: 3, MaxSendVol: 50, MaxRecvVol: 40},
+	}
+	const nrhs = 8
+	est := m.EvaluateNRHS(loads, phases, 450, nrhs)
+	// Compute and volume scale by nrhs; the α message term does not.
+	wantCompute := 200e-9 * nrhs
+	wantComm := 3e-6 + 50e-8*nrhs
+	if !close(est.ComputeTime, wantCompute) {
+		t.Errorf("compute = %v, want %v", est.ComputeTime, wantCompute)
+	}
+	if !close(est.CommTime, wantComm) {
+		t.Errorf("comm = %v, want %v", est.CommTime, wantComm)
+	}
+	if !close(est.SerialTime, 450e-9*nrhs) {
+		t.Errorf("serial = %v", est.SerialTime)
+	}
+	// nrhs=1 must agree with Evaluate exactly.
+	e1 := m.EvaluateNRHS(loads, phases, 450, 1)
+	ev := m.Evaluate(loads, phases, 450)
+	if e1 != ev {
+		t.Errorf("EvaluateNRHS(1) = %+v, Evaluate = %+v", e1, ev)
+	}
+	// Per-column time must fall as nrhs grows (latency amortization).
+	if est.ParallelTime/nrhs >= ev.ParallelTime {
+		t.Errorf("per-column time did not drop: %v vs %v", est.ParallelTime/nrhs, ev.ParallelTime)
+	}
+}
+
 func close(a, b float64) bool {
 	d := a - b
 	if d < 0 {

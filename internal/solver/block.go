@@ -1,0 +1,393 @@
+package solver
+
+import (
+	"math"
+)
+
+// This file holds the multi-RHS solver layer over the engines' batched
+// SpMM path: every iteration performs ONE block multiply for all nrhs
+// right-hand sides, so the per-packet latency the partitioners fight is
+// amortized across columns while each column still runs its own scalar
+// recurrences. Vectors use the same column-blocked layout as
+// spmv.MultiplyBlock: column c's entry for row i sits at V[i*nrhs+c].
+
+// MulBlock computes Y ← AX for nrhs column-blocked right-hand sides;
+// implementations include (*spmv.Engine).MultiplyBlock and
+// (*spmv.RoutedEngine).MultiplyBlock.
+type MulBlock func(X, Y []float64, nrhs int)
+
+// SingleBlock adapts a single-vector multiply to MulBlock by looping
+// columns through scratch buffers — the serial reference for tests and a
+// fallback for multipliers without a native block path.
+func SingleBlock(mul MulVec, n int) MulBlock {
+	x := make([]float64, n)
+	var y []float64
+	return func(X, Y []float64, nrhs int) {
+		rows := len(Y) / nrhs
+		if cap(y) < rows {
+			y = make([]float64, rows)
+		}
+		y = y[:rows]
+		for c := 0; c < nrhs; c++ {
+			for i := range x {
+				x[i] = X[i*nrhs+c]
+			}
+			mul(x, y)
+			for i, v := range y {
+				Y[i*nrhs+c] = v
+			}
+		}
+	}
+}
+
+// BlockDots computes the per-column inner products of two column-blocked
+// vectors: out[c] = Σ_i a[i*nrhs+c]·b[i*nrhs+c]. Per column the terms
+// accumulate in row order, matching Dot's order on the unblocked vector.
+func BlockDots(a, b []float64, nrhs int, out []float64) {
+	for c := range out[:nrhs] {
+		out[c] = 0
+	}
+	for i := 0; i < len(a); i += nrhs {
+		for c := 0; c < nrhs; c++ {
+			out[c] += a[i+c] * b[i+c]
+		}
+	}
+}
+
+// BlockCG solves A·x_c = b_c for all nrhs columns of the column-blocked B
+// simultaneously, one SpMM per iteration. A must be symmetric positive
+// definite. X is both the initial guess and the output. Columns converge
+// independently: a converged (or broken-down, pᵀAp ≤ 0) column freezes
+// while the rest keep iterating; its Result records the iteration count
+// at which it stopped. The returned error covers argument problems only.
+func BlockCG(mul MulBlock, B, X []float64, nrhs int, tol float64, maxIter int) ([]Result, error) {
+	n, err := blockDims(B, X, nrhs)
+	if err != nil {
+		return nil, err
+	}
+	r := make([]float64, n*nrhs)
+	ap := make([]float64, n*nrhs)
+	mul(X, ap, nrhs)
+	for i := range r {
+		r[i] = B[i] - ap[i]
+	}
+	p := append([]float64(nil), r...)
+
+	rr := make([]float64, nrhs)
+	BlockDots(r, r, nrhs, rr)
+	bNorm := blockNorms(B, nrhs)
+	res := make([]Result, nrhs)
+	done := make([]bool, nrhs)
+	active := nrhs
+	pap := make([]float64, nrhs)
+	alpha := make([]float64, nrhs)
+	rrNew := make([]float64, nrhs)
+
+	for iter := 0; iter < maxIter && active > 0; iter++ {
+		for c := 0; c < nrhs; c++ {
+			if done[c] {
+				continue
+			}
+			res[c].Iterations = iter
+			res[c].Residual = math.Sqrt(rr[c]) / bNorm[c]
+			if res[c].Residual < tol {
+				res[c].Converged = true
+				done[c] = true
+				active--
+			}
+		}
+		if active == 0 {
+			break
+		}
+		mul(p, ap, nrhs)
+		BlockDots(p, ap, nrhs, pap)
+		for c := 0; c < nrhs; c++ {
+			alpha[c] = 0
+			if done[c] {
+				continue
+			}
+			if pap[c] <= 0 {
+				// Not positive definite along this column's search
+				// direction; freeze it unconverged.
+				done[c] = true
+				active--
+				continue
+			}
+			alpha[c] = rr[c] / pap[c]
+		}
+		for i := 0; i < len(X); i += nrhs {
+			for c := 0; c < nrhs; c++ {
+				X[i+c] += alpha[c] * p[i+c]
+				r[i+c] -= alpha[c] * ap[i+c]
+			}
+		}
+		BlockDots(r, r, nrhs, rrNew)
+		for i := 0; i < len(p); i += nrhs {
+			for c := 0; c < nrhs; c++ {
+				if alpha[c] != 0 {
+					p[i+c] = r[i+c] + (rrNew[c]/rr[c])*p[i+c]
+				}
+			}
+		}
+		for c := 0; c < nrhs; c++ {
+			if !done[c] {
+				rr[c] = rrNew[c]
+			}
+		}
+	}
+	for c := 0; c < nrhs; c++ {
+		if !done[c] {
+			res[c].Iterations = maxIter
+			res[c].Residual = math.Sqrt(rr[c]) / bNorm[c]
+			res[c].Converged = res[c].Residual < tol
+		}
+	}
+	return res, nil
+}
+
+// BlockBiCGSTAB solves A·x_c = b_c for general (unsymmetric) A over all
+// nrhs columns, two SpMMs per iteration. Columns that converge or hit a
+// BiCGSTAB breakdown (ρ, r̂·v, t, or ω reaching zero) freeze while the
+// rest continue; breakdown columns report Converged=false at their final
+// residual.
+func BlockBiCGSTAB(mul MulBlock, B, X []float64, nrhs int, tol float64, maxIter int) ([]Result, error) {
+	n, err := blockDims(B, X, nrhs)
+	if err != nil {
+		return nil, err
+	}
+	r := make([]float64, n*nrhs)
+	mul(X, r, nrhs)
+	for i := range r {
+		r[i] = B[i] - r[i]
+	}
+	rHat := append([]float64(nil), r...)
+	v := make([]float64, n*nrhs)
+	p := make([]float64, n*nrhs)
+	s := make([]float64, n*nrhs)
+	t := make([]float64, n*nrhs)
+
+	rho := fill(nrhs, 1)
+	alpha := fill(nrhs, 1)
+	omega := fill(nrhs, 1)
+	bNorm := blockNorms(B, nrhs)
+	rr := make([]float64, nrhs)
+	rhoNew := make([]float64, nrhs)
+	den := make([]float64, nrhs)
+	ss := make([]float64, nrhs)
+	tt := make([]float64, nrhs)
+	ts := make([]float64, nrhs)
+	res := make([]Result, nrhs)
+	done := make([]bool, nrhs)
+	active := nrhs
+
+	freeze := func(c int) {
+		done[c] = true
+		active--
+	}
+	for iter := 0; iter < maxIter && active > 0; iter++ {
+		BlockDots(r, r, nrhs, rr)
+		BlockDots(rHat, r, nrhs, rhoNew)
+		for c := 0; c < nrhs; c++ {
+			if done[c] {
+				continue
+			}
+			res[c].Iterations = iter
+			res[c].Residual = math.Sqrt(rr[c]) / bNorm[c]
+			if res[c].Residual < tol {
+				res[c].Converged = true
+				freeze(c)
+				continue
+			}
+			if rhoNew[c] == 0 {
+				freeze(c)
+				continue
+			}
+			beta := (rhoNew[c] / rho[c]) * (alpha[c] / omega[c])
+			rho[c] = rhoNew[c]
+			for i := c; i < len(p); i += nrhs {
+				p[i] = r[i] + beta*(p[i]-omega[c]*v[i])
+			}
+		}
+		if active == 0 {
+			break
+		}
+		mul(p, v, nrhs)
+		BlockDots(rHat, v, nrhs, den)
+		for c := 0; c < nrhs; c++ {
+			if done[c] {
+				continue
+			}
+			if den[c] == 0 {
+				freeze(c)
+				continue
+			}
+			alpha[c] = rho[c] / den[c]
+			for i := c; i < len(s); i += nrhs {
+				s[i] = r[i] - alpha[c]*v[i]
+			}
+		}
+		BlockDots(s, s, nrhs, ss)
+		for c := 0; c < nrhs; c++ {
+			if done[c] {
+				continue
+			}
+			if math.Sqrt(ss[c])/bNorm[c] < tol {
+				for i := c; i < len(X); i += nrhs {
+					X[i] += alpha[c] * p[i]
+				}
+				res[c].Iterations++
+				res[c].Residual = math.Sqrt(ss[c]) / bNorm[c]
+				res[c].Converged = true
+				freeze(c)
+			}
+		}
+		if active == 0 {
+			break
+		}
+		mul(s, t, nrhs)
+		BlockDots(t, t, nrhs, tt)
+		BlockDots(t, s, nrhs, ts)
+		for c := 0; c < nrhs; c++ {
+			if done[c] {
+				continue
+			}
+			if tt[c] == 0 {
+				freeze(c)
+				continue
+			}
+			omega[c] = ts[c] / tt[c]
+			if omega[c] == 0 {
+				freeze(c)
+				continue
+			}
+			for i := c; i < len(X); i += nrhs {
+				X[i] += alpha[c]*p[i] + omega[c]*s[i]
+				r[i] = s[i] - omega[c]*t[i]
+			}
+		}
+	}
+	BlockDots(r, r, nrhs, rr)
+	for c := 0; c < nrhs; c++ {
+		if !done[c] {
+			res[c].Iterations = maxIter
+			res[c].Residual = math.Sqrt(rr[c]) / bNorm[c]
+			res[c].Converged = res[c].Residual < tol
+		}
+	}
+	return res, nil
+}
+
+// PageRankMulti runs the damped power iteration for nrhs personalization
+// vectors at once: R_c ← (1−d)·e_c + d·M R_c, one SpMM per iteration.
+// mul must apply the column-stochastic transition matrix. E is the
+// column-blocked teleport block (each column a probability vector); nil
+// means the uniform vector for every column, reducing each column to
+// classic PageRank. The returned block R is column-blocked; res[c]
+// reports column c's L1 delta at exit.
+func PageRankMulti(mul MulBlock, n, nrhs int, E []float64, damping, tol float64, maxIter int) ([]float64, []Result) {
+	if E != nil && len(E) != n*nrhs {
+		panic("solver: teleport block dimension mismatch")
+	}
+	teleport := func(i, c int) float64 {
+		if E == nil {
+			return 1 / float64(n)
+		}
+		return E[i*nrhs+c]
+	}
+	r := make([]float64, n*nrhs)
+	for i := 0; i < n; i++ {
+		for c := 0; c < nrhs; c++ {
+			r[i*nrhs+c] = teleport(i, c)
+		}
+	}
+	mr := make([]float64, n*nrhs)
+	delta := make([]float64, nrhs)
+	res := make([]Result, nrhs)
+	done := make([]bool, nrhs)
+	active := nrhs
+	for iter := 0; iter < maxIter && active > 0; iter++ {
+		mul(r, mr, nrhs)
+		for c := range delta {
+			delta[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			for c := 0; c < nrhs; c++ {
+				if done[c] {
+					continue
+				}
+				next := (1-damping)*teleport(i, c) + damping*mr[i*nrhs+c]
+				delta[c] += math.Abs(next - r[i*nrhs+c])
+				r[i*nrhs+c] = next
+			}
+		}
+		for c := 0; c < nrhs; c++ {
+			if done[c] {
+				continue
+			}
+			res[c].Iterations = iter // PageRank's convention: loop index at exit
+			res[c].Residual = delta[c]
+			if delta[c] < tol {
+				res[c].Converged = true
+				done[c] = true
+				active--
+			}
+		}
+	}
+	return r, res
+}
+
+// Column extracts column c of a column-blocked vector into a fresh slice.
+func Column(block []float64, nrhs, c int) []float64 {
+	out := make([]float64, len(block)/nrhs)
+	for i := range out {
+		out[i] = block[i*nrhs+c]
+	}
+	return out
+}
+
+// PackColumns interleaves vecs (equal-length vectors) into a fresh
+// column-blocked vector with nrhs = len(vecs).
+func PackColumns(vecs [][]float64) []float64 {
+	nrhs := len(vecs)
+	if nrhs == 0 {
+		return nil
+	}
+	n := len(vecs[0])
+	out := make([]float64, n*nrhs)
+	for c, v := range vecs {
+		if len(v) != n {
+			panic("solver: ragged columns")
+		}
+		for i, x := range v {
+			out[i*nrhs+c] = x
+		}
+	}
+	return out
+}
+
+func blockDims(B, X []float64, nrhs int) (int, error) {
+	if nrhs < 1 || len(B) != len(X) || len(B)%nrhs != 0 {
+		return 0, ErrDimension
+	}
+	return len(B) / nrhs, nil
+}
+
+func blockNorms(B []float64, nrhs int) []float64 {
+	out := make([]float64, nrhs)
+	BlockDots(B, B, nrhs, out)
+	for c := range out {
+		out[c] = math.Sqrt(out[c])
+		if out[c] == 0 {
+			out[c] = 1
+		}
+	}
+	return out
+}
+
+func fill(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}

@@ -1,0 +1,238 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// blockSystem builds nrhs random exact solutions and the matching
+// column-blocked right-hand sides for a.
+func blockSystem(a *sparse.CSR, nrhs int, seed int64) (xStar, B []float64) {
+	r := rand.New(rand.NewSource(seed))
+	n := a.Rows
+	xStar = make([]float64, n*nrhs)
+	for i := range xStar {
+		xStar[i] = r.Float64()*2 - 1
+	}
+	B = make([]float64, n*nrhs)
+	x := make([]float64, n)
+	b := make([]float64, n)
+	for c := 0; c < nrhs; c++ {
+		for i := 0; i < n; i++ {
+			x[i] = xStar[i*nrhs+c]
+		}
+		a.MulVec(x, b)
+		for i := 0; i < n; i++ {
+			B[i*nrhs+c] = b[i]
+		}
+	}
+	return xStar, B
+}
+
+func TestBlockCGSolvesLaplacian(t *testing.T) {
+	a := spd()
+	const nrhs = 5
+	xStar, B := blockSystem(a, nrhs, 3)
+	X := make([]float64, a.Rows*nrhs)
+	res, err := BlockCG(SingleBlock(a.MulVec, a.Cols), B, X, nrhs, 1e-10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, rc := range res {
+		if !rc.Converged {
+			t.Fatalf("column %d did not converge: %+v", c, rc)
+		}
+	}
+	for i := range X {
+		if math.Abs(X[i]-xStar[i]) > 1e-6 {
+			t.Fatalf("X[%d] = %v, want %v", i, X[i], xStar[i])
+		}
+	}
+}
+
+// TestBlockCGMatchesSingleCG pins each column of BlockCG to the result of
+// an independent single-vector CG run: the per-column recurrences use the
+// same floating-point order, so iteration counts and solutions agree.
+func TestBlockCGMatchesSingleCG(t *testing.T) {
+	a := spd()
+	const nrhs = 3
+	_, B := blockSystem(a, nrhs, 7)
+	X := make([]float64, a.Rows*nrhs)
+	res, err := BlockCG(SingleBlock(a.MulVec, a.Cols), B, X, nrhs, 1e-8, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < nrhs; c++ {
+		b := Column(B, nrhs, c)
+		x := make([]float64, a.Rows)
+		single, err := CG(a.MulVec, b, x, 1e-8, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Iterations != res[c].Iterations || single.Converged != res[c].Converged {
+			t.Fatalf("column %d: block %+v, single %+v", c, res[c], single)
+		}
+		for i := range x {
+			if got := X[i*nrhs+c]; math.Abs(got-x[i]) > 1e-9 {
+				t.Fatalf("column %d x[%d] = %v, single CG %v", c, i, got, x[i])
+			}
+		}
+	}
+}
+
+func TestBlockCGDimensionError(t *testing.T) {
+	a := spd()
+	mul := SingleBlock(a.MulVec, a.Cols)
+	if _, err := BlockCG(mul, make([]float64, 10), make([]float64, 8), 2, 1e-8, 5); err != ErrDimension {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+	if _, err := BlockCG(mul, make([]float64, 10), make([]float64, 10), 0, 1e-8, 5); err != ErrDimension {
+		t.Fatalf("nrhs=0: err = %v, want ErrDimension", err)
+	}
+	if _, err := BlockCG(mul, make([]float64, 10), make([]float64, 10), 3, 1e-8, 5); err != ErrDimension {
+		t.Fatalf("len%%nrhs != 0: err = %v, want ErrDimension", err)
+	}
+}
+
+// TestBlockCGFreezesIndefiniteColumn mixes a well-posed SPD column with a
+// breakdown: on -I every column hits pᵀAp < 0 immediately and must come
+// back unconverged rather than poisoning the run.
+func TestBlockCGFreezesIndefiniteColumn(t *testing.T) {
+	c := sparse.NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		c.Add(i, i, -1)
+	}
+	a := c.ToCSR()
+	const nrhs = 2
+	B := PackColumns([][]float64{{1, 2, 3, 4}, {4, 3, 2, 1}})
+	X := make([]float64, 4*nrhs)
+	res, err := BlockCG(SingleBlock(a.MulVec, a.Cols), B, X, nrhs, 1e-8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cIdx, rc := range res {
+		if rc.Converged {
+			t.Fatalf("column %d converged on an indefinite matrix: %+v", cIdx, rc)
+		}
+	}
+}
+
+func TestBlockBiCGSTABSolvesUnsymmetric(t *testing.T) {
+	a := unsymmetricDominant(300, 5)
+	const nrhs = 4
+	xStar, B := blockSystem(a, nrhs, 11)
+	X := make([]float64, a.Rows*nrhs)
+	res, err := BlockBiCGSTAB(SingleBlock(a.MulVec, a.Cols), B, X, nrhs, 1e-10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, rc := range res {
+		if !rc.Converged {
+			t.Fatalf("column %d did not converge: %+v", c, rc)
+		}
+	}
+	for i := range X {
+		if math.Abs(X[i]-xStar[i]) > 1e-5 {
+			t.Fatalf("X[%d] = %v, want %v", i, X[i], xStar[i])
+		}
+	}
+}
+
+// TestBlockBiCGSTABMatchesSingle pins each column to the single-vector
+// BiCGSTAB trajectory.
+func TestBlockBiCGSTABMatchesSingle(t *testing.T) {
+	a := unsymmetricDominant(200, 9)
+	const nrhs = 3
+	_, B := blockSystem(a, nrhs, 13)
+	X := make([]float64, a.Rows*nrhs)
+	res, err := BlockBiCGSTAB(SingleBlock(a.MulVec, a.Cols), B, X, nrhs, 1e-9, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < nrhs; c++ {
+		b := Column(B, nrhs, c)
+		x := make([]float64, a.Rows)
+		single, err := BiCGSTAB(a.MulVec, b, x, 1e-9, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Iterations != res[c].Iterations || single.Converged != res[c].Converged {
+			t.Fatalf("column %d: block %+v, single %+v", c, res[c], single)
+		}
+		for i := range x {
+			if got := X[i*nrhs+c]; math.Abs(got-x[i]) > 1e-8*(1+math.Abs(x[i])) {
+				t.Fatalf("column %d x[%d] = %v, single %v", c, i, got, x[i])
+			}
+		}
+	}
+}
+
+// ring returns the column-stochastic transition matrix of a directed
+// n-cycle.
+func ring(n int) *sparse.CSR {
+	c := sparse.NewCOO(n, n)
+	for j := 0; j < n; j++ {
+		c.Add((j+1)%n, j, 1)
+	}
+	return c.ToCSR()
+}
+
+// TestPageRankMultiUniformMatchesSingle runs nrhs uniform columns and
+// checks each against the single-vector PageRank.
+func TestPageRankMultiUniformMatchesSingle(t *testing.T) {
+	m := ring(40)
+	n := m.Rows
+	const nrhs = 3
+	R, res := PageRankMulti(SingleBlock(m.MulVec, n), n, nrhs, nil, 0.85, 1e-12, 200)
+	single, sres := PageRank(m.MulVec, n, 0.85, 1e-12, 200)
+	for c := 0; c < nrhs; c++ {
+		if res[c].Iterations != sres.Iterations || res[c].Converged != sres.Converged {
+			t.Fatalf("column %d: block %+v, single %+v", c, res[c], sres)
+		}
+		for i := 0; i < n; i++ {
+			if got := R[i*nrhs+c]; math.Abs(got-single[i]) > 1e-12 {
+				t.Fatalf("column %d r[%d] = %v, single %v", c, i, got, single[i])
+			}
+		}
+	}
+}
+
+// TestPageRankMultiPersonalized checks that personalized columns remain
+// probability vectors and concentrate mass near their seed vertex.
+func TestPageRankMultiPersonalized(t *testing.T) {
+	m := ring(30)
+	n := m.Rows
+	const nrhs = 2
+	E := make([]float64, n*nrhs)
+	E[0*nrhs+0] = 1  // column 0 teleports to vertex 0
+	E[15*nrhs+1] = 1 // column 1 teleports to vertex 15
+	R, res := PageRankMulti(SingleBlock(m.MulVec, n), n, nrhs, E, 0.85, 1e-12, 500)
+	for c := 0; c < nrhs; c++ {
+		if !res[c].Converged {
+			t.Fatalf("column %d did not converge: %+v", c, res[c])
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += R[i*nrhs+c]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("column %d mass = %v, want 1", c, sum)
+		}
+	}
+	if R[0*nrhs+0] <= R[15*nrhs+0] || R[15*nrhs+1] <= R[0*nrhs+1] {
+		t.Fatalf("personalization did not concentrate mass at the seeds")
+	}
+}
+
+func TestBlockDots(t *testing.T) {
+	a := []float64{1, 10, 2, 20, 3, 30}
+	b := []float64{2, 1, 2, 1, 2, 1}
+	out := make([]float64, 2)
+	BlockDots(a, b, 2, out)
+	if out[0] != 12 || out[1] != 60 {
+		t.Fatalf("BlockDots = %v, want [12 60]", out)
+	}
+}

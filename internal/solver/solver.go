@@ -80,11 +80,10 @@ func Jacobi(mul MulVec, diag, b, x []float64, omega, tol float64, maxIter int) (
 	if len(x) != n || len(diag) != n {
 		return Result{}, ErrDimension
 	}
-	for i, d := range diag {
+	for _, d := range diag {
 		if d == 0 {
 			return Result{}, errors.New("solver: zero diagonal entry in Jacobi")
 		}
-		_ = i
 	}
 	ax := make([]float64, n)
 	bNorm := math.Sqrt(Dot(b, b))

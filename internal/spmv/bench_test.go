@@ -98,6 +98,48 @@ func BenchmarkEngineTwoPhaseK64(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiplyBlock compares one nrhs-wide block multiply against
+// nrhs sequential single multiplies for every schedule: the block path
+// sends one packet per peer per phase regardless of nrhs and streams each
+// matrix value once per nrhs columns, so per-column cost should drop well
+// below the sequential baseline (the PR acceptance bar is ≥2× at nrhs=8).
+func BenchmarkMultiplyBlock(b *testing.B) {
+	const k = 16
+	for _, nrhs := range []int{1, 4, 8, 16} {
+		fused, routed, x, _ := benchSetup(b, k)
+		twoPhase, _, _ := benchTwoPhaseSetup(b, k)
+		a := fused.d.A
+		X := make([]float64, a.Cols*nrhs)
+		Y := make([]float64, a.Rows*nrhs)
+		for i := range X {
+			X[i] = x[i/nrhs]
+		}
+		for name, eng := range map[string]interface {
+			Multiply(x, y []float64)
+			MultiplyBlock(X, Y []float64, nrhs int)
+		}{"fused": fused, "twophase": twoPhase, "routed": routed} {
+			b.Run(fmt.Sprintf("%s/block/nrhs=%d", name, nrhs), func(b *testing.B) {
+				eng.MultiplyBlock(X, Y, nrhs)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.MultiplyBlock(X, Y, nrhs)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/seq/nrhs=%d", name, nrhs), func(b *testing.B) {
+				y := Y[:a.Rows]
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for c := 0; c < nrhs; c++ {
+						eng.Multiply(x, y)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkMultiplySteadyState is the perf-trajectory benchmark tracked
 // across PRs: every schedule at K ∈ {4,16,64}, steady-state (engines built
 // outside the timed loop). All variants must report 0 allocs/op.

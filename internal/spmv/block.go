@@ -1,0 +1,274 @@
+package spmv
+
+// This file adds the multi-RHS (SpMM) execution path on top of the
+// compiled plans: Y ← AX for nrhs right-hand sides at once. The static
+// schedule is untouched — every packet keeps its fixed destination and
+// index arrays, so a block multiply sends exactly the same number of
+// messages as a single multiply and only the value payloads widen to
+// nrhs words per index. Vectors use the column-blocked (SoA row-major)
+// layout: column c's entry for row i lives at X[i*nrhs+c], which keeps
+// every kernel's inner loop a unit-stride run over the nrhs columns.
+//
+// Block buffers are carved lazily on the first MultiplyBlock at a given
+// width and cached at the maximum width seen, so steady-state block
+// multiplies — like single ones — perform zero heap allocations.
+
+// blockIO holds the pack/unpack scratch MultiplyMulti uses to adapt
+// slice-of-vectors callers to the column-blocked layout.
+type blockIO struct {
+	xb, yb []float64
+}
+
+// pack interleaves X (nrhs vectors of length n) into the column-blocked
+// scratch and returns it.
+func (io *blockIO) pack(X [][]float64, n int) []float64 {
+	nrhs := len(X)
+	io.xb = growBlock(io.xb, n*nrhs)
+	for c, xc := range X {
+		if len(xc) != n {
+			panic("spmv: dimension mismatch")
+		}
+		for i, v := range xc {
+			io.xb[i*nrhs+c] = v
+		}
+	}
+	return io.xb
+}
+
+// unpack de-interleaves the column-blocked result into Y.
+func (io *blockIO) unpack(Y [][]float64, n int) {
+	nrhs := len(Y)
+	for c, yc := range Y {
+		if len(yc) != n {
+			panic("spmv: dimension mismatch")
+		}
+		for i := range yc {
+			yc[i] = io.yb[i*nrhs+c]
+		}
+	}
+}
+
+// multi runs one slice-of-vectors multiply through the column-blocked
+// path: pack X into scratch, mulBlock, unpack into Y. Shared by both
+// engines' MultiplyMulti.
+func (io *blockIO) multi(X, Y [][]float64, cols, rows int, mulBlock func(X, Y []float64, nrhs int)) {
+	nrhs := len(X)
+	if nrhs == 0 || len(Y) != nrhs {
+		panic("spmv: dimension mismatch")
+	}
+	xb := io.pack(X, cols)
+	io.yb = growBlock(io.yb, rows*nrhs)
+	mulBlock(xb, io.yb, nrhs)
+	io.unpack(Y, rows)
+}
+
+// checkBlockDims panics unless X and Y are column-blocked for nrhs
+// right-hand sides over a cols×rows operator.
+func checkBlockDims(X, Y []float64, nrhs, cols, rows int) {
+	if nrhs < 1 {
+		panic("spmv: nrhs must be >= 1")
+	}
+	if len(X) != cols*nrhs || len(Y) != rows*nrhs {
+		panic("spmv: dimension mismatch")
+	}
+}
+
+// addBlock accumulates src into dst (both nrhs wide).
+func addBlock(dst, src []float64) {
+	for c := range dst {
+		dst[c] += src[c]
+	}
+}
+
+// ---- Engine ----
+
+// ensureBlock (re)sizes every per-proc block buffer for width nrhs.
+// Called with the workers parked, before dispatch; growth allocates,
+// repeat calls at or below the cached capacity only re-slice.
+func (e *Engine) ensureBlock(nrhs int) {
+	if nrhs == e.blockNRHS {
+		return
+	}
+	for _, pr := range e.procs {
+		pr.extXB = growBlock(pr.extXB, len(pr.extSlot)*nrhs)
+		pr.accB = growBlock(pr.accB, nrhs)
+		for _, sp := range pr.sends {
+			sp.ensureBlock(nrhs)
+		}
+		for _, sp := range pr.ySends {
+			sp.ensureBlock(nrhs)
+		}
+	}
+	e.blockNRHS = nrhs
+}
+
+// MultiplyBlock computes Y ← AX for nrhs right-hand sides in the
+// column-blocked layout (X[j*nrhs+c] is x_j of column c). It reuses the
+// engine's compiled plan with nrhs-wide payloads: one packet per peer per
+// phase regardless of nrhs, and zero steady-state heap allocations once
+// the block buffers are sized for the width. nrhs=1 is bit-identical to
+// Multiply. Like Multiply, calls must not overlap on one engine.
+func (e *Engine) MultiplyBlock(X, Y []float64, nrhs int) {
+	a := e.d.A
+	checkBlockDims(X, Y, nrhs, a.Cols, a.Rows)
+	e.ensureBlock(nrhs)
+	e.pool.dispatchBlock(X, Y, nrhs)
+}
+
+// MultiplyMulti computes Y[c] ← A·X[c] for every column c in one block
+// multiply. X and Y are nrhs vectors of the matrix's dimensions; the
+// engine packs them into its column-blocked scratch, runs MultiplyBlock,
+// and unpacks — zero steady-state allocations at a fixed nrhs.
+func (e *Engine) MultiplyMulti(X, Y [][]float64) {
+	e.io.multi(X, Y, e.d.A.Cols, e.d.A.Rows, e.MultiplyBlock)
+}
+
+// runFusedBlock is runFused with nrhs-wide payloads: same packets, same
+// sender-ordered folds, block kernels.
+func (e *Engine) runFusedBlock(pr *proc, x, y []float64, nrhs int) {
+	for _, sp := range pr.sends {
+		sp.fillBlock(x, pr.extXB, nrhs)
+		e.procs[sp.dest].inbox[0] <- sp.bufB
+	}
+	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
+		slots := pr.recvX[pk.from]
+		for t, s := range slots {
+			copy(pr.extXB[s*nrhs:(s+1)*nrhs], pk.xVal[t*nrhs:(t+1)*nrhs])
+		}
+		for t, i := range pk.yIdx {
+			addBlock(y[i*nrhs:(i+1)*nrhs], pk.yVal[t*nrhs:(t+1)*nrhs])
+		}
+	}
+	pr.own.addIntoBlock(y, x, pr.extXB, nrhs, pr.accB)
+}
+
+// runTwoPhaseBlock is runTwoPhase with nrhs-wide payloads.
+func (e *Engine) runTwoPhaseBlock(pr *proc, x, y []float64, nrhs int) {
+	// Phase 0 — Expand.
+	for _, sp := range pr.sends {
+		sp.fillBlock(x, pr.extXB, nrhs)
+		e.procs[sp.dest].inbox[0] <- sp.bufB
+	}
+	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
+		slots := pr.recvX[pk.from]
+		for t, s := range slots {
+			copy(pr.extXB[s*nrhs:(s+1)*nrhs], pk.xVal[t*nrhs:(t+1)*nrhs])
+		}
+	}
+	// Multiply.
+	pr.own.addIntoBlock(y, x, pr.extXB, nrhs, pr.accB)
+	// Phase 1 — Fold.
+	for _, sp := range pr.ySends {
+		sp.fillBlock(x, pr.extXB, nrhs)
+		e.procs[sp.dest].inbox[1] <- sp.bufB
+	}
+	for _, pk := range pr.recv[1].gather(pr.inbox[1]) {
+		for t, i := range pk.yIdx {
+			addBlock(y[i*nrhs:(i+1)*nrhs], pk.yVal[t*nrhs:(t+1)*nrhs])
+		}
+	}
+}
+
+// ---- RoutedEngine ----
+
+// ensureBlock mirrors Engine.ensureBlock for the routed plan's dense
+// routing buffers and forward packets.
+func (e *RoutedEngine) ensureBlock(nrhs int) {
+	if nrhs == e.blockNRHS {
+		return
+	}
+	for _, pr := range e.rprocs {
+		pr.extXB = growBlock(pr.extXB, len(pr.extSlot)*nrhs)
+		pr.routeXValB = growBlock(pr.routeXValB, len(pr.routeXVal)*nrhs)
+		pr.routeYValB = growBlock(pr.routeYValB, len(pr.routeYVal)*nrhs)
+		pr.accB = growBlock(pr.accB, nrhs)
+		for _, sp := range pr.p1Sends {
+			sp.ensureBlock(nrhs)
+		}
+		for _, fp := range pr.p2Sends {
+			fp.bufB = packet{
+				from: fp.buf.from,
+				xIdx: fp.buf.xIdx,
+				xVal: growBlock(fp.bufB.xVal, len(fp.xSlot)*nrhs),
+				yIdx: fp.buf.yIdx,
+				yVal: growBlock(fp.bufB.yVal, len(fp.ySlot)*nrhs),
+			}
+		}
+	}
+	e.blockNRHS = nrhs
+}
+
+// MultiplyBlock computes Y ← AX for nrhs right-hand sides with the routed
+// two-hop schedule; see Engine.MultiplyBlock for the layout and the
+// allocation contract.
+func (e *RoutedEngine) MultiplyBlock(X, Y []float64, nrhs int) {
+	a := e.d.A
+	checkBlockDims(X, Y, nrhs, a.Cols, a.Rows)
+	e.ensureBlock(nrhs)
+	e.pool.dispatchBlock(X, Y, nrhs)
+}
+
+// MultiplyMulti computes Y[c] ← A·X[c] for every column c in one routed
+// block multiply; see Engine.MultiplyMulti.
+func (e *RoutedEngine) MultiplyMulti(X, Y [][]float64) {
+	e.io.multi(X, Y, e.d.A.Cols, e.d.A.Rows, e.MultiplyBlock)
+}
+
+// runBlock is run with nrhs-wide payloads: identical routing, combining,
+// and fold order, block kernels and block copies.
+func (e *RoutedEngine) runBlock(pr *rproc, x, y []float64, nrhs int) {
+	ryb := pr.routeYValB
+	for i := range ryb {
+		ryb[i] = 0
+	}
+	// Seed the routing buffers with self-routed payloads.
+	for _, s := range pr.selfX {
+		copy(pr.routeXValB[s.slot*nrhs:(s.slot+1)*nrhs], x[s.idx*nrhs:(s.idx+1)*nrhs])
+	}
+	pr.selfY.addIntoBlock(ryb, x, nil, nrhs, pr.accB)
+	// Phase 1 sends.
+	for _, sp := range pr.p1Sends {
+		sp.fillBlock(x, nil, nrhs)
+		e.rprocs[sp.dest].inbox[0] <- sp.bufB
+	}
+	// Phase 1 receives: combine into the dense routing buffers.
+	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
+		tr := pr.p1Recv[pk.from]
+		for t, rs := range tr.xRoute {
+			src := pk.xVal[t*nrhs : (t+1)*nrhs]
+			copy(pr.routeXValB[rs*nrhs:(rs+1)*nrhs], src)
+			if s := tr.xExt[t]; s >= 0 {
+				copy(pr.extXB[s*nrhs:(s+1)*nrhs], src)
+			}
+		}
+		for t, s := range tr.ySlot {
+			addBlock(ryb[s*nrhs:(s+1)*nrhs], pk.yVal[t*nrhs:(t+1)*nrhs])
+		}
+	}
+	// Phase 2 sends: forward combined payloads to final destinations.
+	for _, fp := range pr.p2Sends {
+		for t, s := range fp.xSlot {
+			copy(fp.bufB.xVal[t*nrhs:(t+1)*nrhs], pr.routeXValB[s*nrhs:(s+1)*nrhs])
+		}
+		for t, s := range fp.ySlot {
+			copy(fp.bufB.yVal[t*nrhs:(t+1)*nrhs], ryb[s*nrhs:(s+1)*nrhs])
+		}
+		e.rprocs[fp.dest].inbox[1] <- fp.bufB
+	}
+	// Rows this proc owns fold straight out of the routing buffer.
+	for t, i := range pr.yLocalRows {
+		addBlock(y[i*nrhs:(i+1)*nrhs], ryb[pr.yLocalSlot[t]*nrhs:(pr.yLocalSlot[t]+1)*nrhs])
+	}
+	// Phase 2 receives.
+	for _, pk := range pr.recv[1].gather(pr.inbox[1]) {
+		slots := pr.p2Recv[pk.from]
+		for t, s := range slots {
+			copy(pr.extXB[s*nrhs:(s+1)*nrhs], pk.xVal[t*nrhs:(t+1)*nrhs])
+		}
+		for t, i := range pk.yIdx {
+			addBlock(y[i*nrhs:(i+1)*nrhs], pk.yVal[t*nrhs:(t+1)*nrhs])
+		}
+	}
+	// Compute local rows.
+	pr.own.addIntoBlock(y, x, pr.extXB, nrhs, pr.accB)
+}

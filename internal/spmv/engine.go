@@ -68,6 +68,12 @@ type proc struct {
 	// extX slot.
 	recvX map[int][]int
 	recv  []recvPlan // one per phase, fixing fold order by sender
+
+	// Block (multi-RHS) twins of the per-call buffers, sized lazily by
+	// Engine.ensureBlock: extXB mirrors extX with nrhs values per slot,
+	// accB is the per-slot accumulator scratch for the block kernels.
+	extXB []float64
+	accB  []float64
 }
 
 type localNZ struct {
@@ -85,6 +91,11 @@ type Engine struct {
 	procs []*proc
 	fused bool
 	pool  workerPool
+
+	// blockNRHS is the width the block buffers are currently sliced for
+	// (0 until the first MultiplyBlock); see ensureBlock in block.go.
+	blockNRHS int
+	io        blockIO
 }
 
 // NewEngine builds the static communication and computation schedule for
@@ -107,10 +118,15 @@ func NewEngine(d *distrib.Distribution) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.pool.launch(len(e.procs), func(i int, x, y []float64) {
-		if e.fused {
+	e.pool.launch(len(e.procs), func(i int, x, y []float64, nrhs int) {
+		switch {
+		case nrhs > 0 && e.fused:
+			e.runFusedBlock(e.procs[i], x, y, nrhs)
+		case nrhs > 0:
+			e.runTwoPhaseBlock(e.procs[i], x, y, nrhs)
+		case e.fused:
 			e.runFused(e.procs[i], x, y)
-		} else {
+		default:
 			e.runTwoPhase(e.procs[i], x, y)
 		}
 	})

@@ -6,10 +6,21 @@ import (
 )
 
 // Multiplier is the engine surface every schedule implements: repeated
-// allocation-free y ← Ax, the static schedule's communication statistics,
-// and worker shutdown.
+// allocation-free y ← Ax, the multi-RHS twins Y ← AX (column-blocked and
+// slice-of-vectors), the static schedule's communication statistics, and
+// worker shutdown. Every registry method's build satisfies it through
+// New, so batched callers need no engine-specific code.
 type Multiplier interface {
 	Multiply(x, y []float64)
+	// MultiplyBlock computes Y ← AX for nrhs right-hand sides in the
+	// column-blocked layout (column c of row i at X[i*nrhs+c]), reusing
+	// the compiled plan's packets with nrhs-wide payloads: one message
+	// per peer per phase regardless of nrhs, zero steady-state
+	// allocations at a fixed width, and nrhs=1 bit-identical to Multiply.
+	MultiplyBlock(X, Y []float64, nrhs int)
+	// MultiplyMulti is MultiplyBlock over len(X) separate vectors, packed
+	// into (and unpacked from) engine-owned scratch.
+	MultiplyMulti(X, Y [][]float64)
 	ScheduleStats() distrib.CommStats
 	Close()
 }

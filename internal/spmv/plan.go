@@ -47,6 +47,32 @@ func (k *segKernel) value(t int, x, ext []float64) float64 {
 	return s
 }
 
+// valueBlock computes slot t's contribution for all nrhs columns into
+// acc[0:nrhs]. x and ext use the column-blocked layout: the value of
+// source j for column c sits at x[j*nrhs+c]. Per column, the nonzeros
+// accumulate in exactly the order value uses, so nrhs=1 reproduces the
+// single-vector result bit for bit.
+func (k *segKernel) valueBlock(t int, x, ext []float64, nrhs int, acc []float64) {
+	acc = acc[:nrhs]
+	for c := range acc {
+		acc[c] = 0
+	}
+	for q := k.locPtr[t]; q < k.locPtr[t+1]; q++ {
+		v := k.locVal[q]
+		xs := x[k.locSrc[q]*nrhs:]
+		for c := range acc {
+			acc[c] += v * xs[c]
+		}
+	}
+	for q := k.extPtr[t]; q < k.extPtr[t+1]; q++ {
+		v := k.extVal[q]
+		xs := ext[k.extSrc[q]*nrhs:]
+		for c := range acc {
+			acc[c] += v * xs[c]
+		}
+	}
+}
+
 // rowKernel couples a segKernel with its output indices (global y rows
 // for compute kernels, dense slots for routed accumulators).
 type rowKernel struct {
@@ -66,6 +92,28 @@ func (k *rowKernel) addInto(dst, x, ext []float64) {
 func (k *rowKernel) fillInto(dst, x, ext []float64) {
 	for t := range k.rows {
 		dst[t] = k.value(t, x, ext)
+	}
+}
+
+// addIntoBlock is the nrhs-wide addInto over column-blocked buffers: each
+// slot's nrhs values accumulate in acc (scratch, len >= nrhs) and are then
+// added to dst[rows[t]*nrhs : ...]. Going through acc keeps the per-column
+// floating-point order identical to value(), not just close.
+func (k *rowKernel) addIntoBlock(dst, x, ext []float64, nrhs int, acc []float64) {
+	for t, row := range k.rows {
+		k.valueBlock(t, x, ext, nrhs, acc)
+		out := dst[row*nrhs : (row+1)*nrhs]
+		for c := range out {
+			out[c] += acc[c]
+		}
+	}
+}
+
+// fillIntoBlock is the nrhs-wide fillInto: slot t's nrhs values overwrite
+// dst[t*nrhs : (t+1)*nrhs] (a block packet's yVal buffer).
+func (k *rowKernel) fillIntoBlock(dst, x, ext []float64, nrhs int) {
+	for t := range k.rows {
+		k.valueBlock(t, x, ext, nrhs, dst[t*nrhs:(t+1)*nrhs])
 	}
 }
 
@@ -139,12 +187,15 @@ func (a *valArena) take(n int) []float64 {
 
 // sendPlan is one precompiled outgoing packet: fixed destination and index
 // arrays, value buffers refilled per call. The packet's yIdx aliases
-// grp.rows.
+// grp.rows. bufB is the packet's nrhs-wide twin, sized lazily by
+// ensureBlock and sharing the same fixed index arrays — a multi-RHS
+// multiply still emits exactly one packet per peer per phase.
 type sendPlan struct {
 	dest int
 	xIdx []int
 	grp  rowKernel
 	buf  packet
+	bufB packet
 }
 
 func newSendPlan(from, dest int, xIdx []int, grp rowKernel, arena *valArena) *sendPlan {
@@ -166,6 +217,36 @@ func (sp *sendPlan) fill(x, ext []float64) {
 		sp.buf.xVal[t] = x[j]
 	}
 	sp.grp.fillInto(sp.buf.yVal, x, ext)
+}
+
+// ensureBlock (re)sizes the nrhs-wide packet buffers. Growth reallocates;
+// shrinking re-slices the existing backing arrays, so alternating between
+// a large and a small nrhs allocates only once.
+func (sp *sendPlan) ensureBlock(nrhs int) {
+	sp.bufB = packet{
+		from: sp.buf.from,
+		xIdx: sp.xIdx,
+		xVal: growBlock(sp.bufB.xVal, len(sp.xIdx)*nrhs),
+		yIdx: sp.grp.rows,
+		yVal: growBlock(sp.bufB.yVal, len(sp.grp.rows)*nrhs),
+	}
+}
+
+// fillBlock refreshes the nrhs-wide packet from column-blocked x/ext.
+func (sp *sendPlan) fillBlock(x, ext []float64, nrhs int) {
+	for t, j := range sp.xIdx {
+		copy(sp.bufB.xVal[t*nrhs:(t+1)*nrhs], x[j*nrhs:(j+1)*nrhs])
+	}
+	sp.grp.fillIntoBlock(sp.bufB.yVal, x, ext, nrhs)
+}
+
+// growBlock returns s re-sliced to n entries, reallocating only when the
+// existing capacity is insufficient.
+func growBlock(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // recvPlan stashes one phase's incoming packets by sender ordinal so they
@@ -202,25 +283,28 @@ func sortedKeys[V any](m map[int]V) []int {
 
 // workerPool is the persistent-worker barrier shared by Engine and
 // RoutedEngine: K goroutines parked on per-worker start channels, a
-// WaitGroup to collect them, and the per-call x/y published through the
-// pool. dispatch performs no heap allocations.
+// WaitGroup to collect them, and the per-call x/y (plus the block width
+// for multi-RHS calls) published through the pool. dispatch performs no
+// heap allocations.
 type workerPool struct {
 	x, y      []float64
+	nrhs      int // 0 = single-vector call, >0 = column-blocked SpMM
 	start     []chan struct{}
 	done      sync.WaitGroup
 	closeOnce sync.Once
 }
 
 // launch spawns n workers; each waits for a start signal, executes run
-// with the published vectors, and reports done.
-func (p *workerPool) launch(n int, run func(i int, x, y []float64)) {
+// with the published vectors (nrhs = 0 for Multiply, the block width for
+// MultiplyBlock), and reports done.
+func (p *workerPool) launch(n int, run func(i int, x, y []float64, nrhs int)) {
 	p.start = make([]chan struct{}, n)
 	for i := 0; i < n; i++ {
 		ch := make(chan struct{}, 1)
 		p.start[i] = ch
 		go func(i int, ch chan struct{}) {
 			for range ch {
-				run(i, p.x, p.y)
+				run(i, p.x, p.y, p.nrhs)
 				p.done.Done()
 			}
 		}(i, ch)
@@ -230,10 +314,16 @@ func (p *workerPool) launch(n int, run func(i int, x, y []float64)) {
 // dispatch zeroes y, publishes the vectors, releases every worker, and
 // waits for all of them to finish.
 func (p *workerPool) dispatch(x, y []float64) {
+	p.dispatchBlock(x, y, 0)
+}
+
+// dispatchBlock is dispatch with a published block width; nrhs = 0 runs
+// the single-vector plan.
+func (p *workerPool) dispatchBlock(x, y []float64, nrhs int) {
 	for i := range y {
 		y[i] = 0
 	}
-	p.x, p.y = x, y
+	p.x, p.y, p.nrhs = x, y, nrhs
 	p.done.Add(len(p.start))
 	for _, ch := range p.start {
 		ch <- struct{}{}

@@ -26,6 +26,11 @@ type RoutedEngine struct {
 
 	rprocs []*rproc
 	pool   workerPool
+
+	// blockNRHS is the width the block buffers are currently sliced for
+	// (0 until the first MultiplyBlock); see ensureBlock in block.go.
+	blockNRHS int
+	io        blockIO
 }
 
 type rproc struct {
@@ -74,6 +79,14 @@ type rproc struct {
 	yLocalRows []int
 	yLocalSlot []int
 	recv       [2]recvPlan
+
+	// Block (multi-RHS) twins of the per-call buffers, sized lazily by
+	// RoutedEngine.ensureBlock: nrhs values per slot of extX and the dense
+	// routing buffers, plus the block kernels' accumulator scratch.
+	extXB      []float64
+	routeXValB []float64
+	routeYValB []float64
+	accB       []float64
 }
 
 type slotIdx struct{ slot, idx int }
@@ -85,12 +98,14 @@ type routeRecv struct {
 }
 
 // fwdPlan is a precompiled phase-2 packet: fixed index arrays, values
-// gathered from the sender's dense routing buffers each call.
+// gathered from the sender's dense routing buffers each call. bufB is the
+// nrhs-wide twin sized by ensureBlock.
 type fwdPlan struct {
 	dest  int
 	xSlot []int
 	ySlot []int
 	buf   packet
+	bufB  packet
 }
 
 // NewRoutedEngine builds the two-hop schedule for a fused s2D distribution
@@ -206,8 +221,12 @@ func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, er
 	}
 
 	e.compile()
-	e.pool.launch(len(e.rprocs), func(i int, x, y []float64) {
-		e.run(e.rprocs[i], x, y)
+	e.pool.launch(len(e.rprocs), func(i int, x, y []float64, nrhs int) {
+		if nrhs > 0 {
+			e.runBlock(e.rprocs[i], x, y, nrhs)
+		} else {
+			e.run(e.rprocs[i], x, y)
+		}
 	})
 	return e, nil
 }

@@ -1,0 +1,267 @@
+package spmv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/method"
+	"repro/internal/sparse"
+)
+
+// blockMultiplier is the multi-RHS surface shared by Engine and
+// RoutedEngine, used to run every SpMM test over all three schedules.
+type blockMultiplier interface {
+	Multiply(x, y []float64)
+	MultiplyBlock(X, Y []float64, nrhs int)
+	MultiplyMulti(X, Y [][]float64)
+}
+
+// spmmFixtures returns the three schedules over one shared matrix.
+func spmmFixtures(t *testing.T) (a *sparse.CSR, engines map[string]blockMultiplier) {
+	t.Helper()
+	fused, twoPhase, routed, _, _ := allocFixtures(t)
+	return fused.d.A, map[string]blockMultiplier{
+		"fused":    fused,
+		"twophase": twoPhase,
+		"routed":   routed,
+	}
+}
+
+// blockOf packs nrhs deterministic pseudo-random vectors into the
+// column-blocked layout.
+func blockOf(r *rand.Rand, n, nrhs int) []float64 {
+	b := make([]float64, n*nrhs)
+	for i := range b {
+		b[i] = r.Float64()*4 - 2
+	}
+	return b
+}
+
+// checkBlockAgainstSerial verifies every column of Y = AX against the
+// serial reference.
+func checkBlockAgainstSerial(t *testing.T, a *sparse.CSR, X, Y []float64, nrhs int) {
+	t.Helper()
+	x := make([]float64, a.Cols)
+	want := make([]float64, a.Rows)
+	for c := 0; c < nrhs; c++ {
+		for i := range x {
+			x[i] = X[i*nrhs+c]
+		}
+		a.MulVec(x, want)
+		for i := range want {
+			got := Y[i*nrhs+c]
+			if math.Abs(want[i]-got) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("nrhs=%d col %d: y[%d] = %v, want %v", nrhs, c, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestMultiplyBlockMatchesSerial runs every schedule at power-of-two and
+// non-power-of-two widths against the serial reference.
+func TestMultiplyBlockMatchesSerial(t *testing.T) {
+	a, engines := spmmFixtures(t)
+	r := rand.New(rand.NewSource(23))
+	for name, eng := range engines {
+		for _, nrhs := range []int{1, 2, 3, 5, 8} {
+			X := blockOf(r, a.Cols, nrhs)
+			Y := make([]float64, a.Rows*nrhs)
+			eng.MultiplyBlock(X, Y, nrhs)
+			t.Run(fmt.Sprintf("%s/nrhs=%d", name, nrhs), func(t *testing.T) {
+				checkBlockAgainstSerial(t, a, X, Y, nrhs)
+			})
+		}
+	}
+}
+
+// TestMultiplyBlockNRHS1BitIdentical pins the nrhs=1 contract: the block
+// path must reproduce Multiply bit for bit, for all three schedules.
+func TestMultiplyBlockNRHS1BitIdentical(t *testing.T) {
+	a, engines := spmmFixtures(t)
+	r := rand.New(rand.NewSource(31))
+	x := randomVector(r, a.Cols)
+	for name, eng := range engines {
+		want := make([]float64, a.Rows)
+		eng.Multiply(x, want)
+		got := make([]float64, a.Rows)
+		eng.MultiplyBlock(x, got, 1)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: MultiplyBlock(nrhs=1) y[%d] = %x, Multiply %x", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMultiplyMultiMatchesBlock pins the slice-of-vectors wrapper to the
+// column-blocked path, including the pack/unpack round-trip.
+func TestMultiplyMultiMatchesBlock(t *testing.T) {
+	a, engines := spmmFixtures(t)
+	r := rand.New(rand.NewSource(41))
+	const nrhs = 5
+	X := make([][]float64, nrhs)
+	Y := make([][]float64, nrhs)
+	for c := range X {
+		X[c] = randomVector(r, a.Cols)
+		Y[c] = make([]float64, a.Rows)
+	}
+	xb := make([]float64, a.Cols*nrhs)
+	for c := range X {
+		for i, v := range X[c] {
+			xb[i*nrhs+c] = v
+		}
+	}
+	yb := make([]float64, a.Rows*nrhs)
+	for name, eng := range engines {
+		eng.MultiplyBlock(xb, yb, nrhs)
+		eng.MultiplyMulti(X, Y)
+		for c := range Y {
+			for i, v := range Y[c] {
+				if v != yb[i*nrhs+c] {
+					t.Fatalf("%s: MultiplyMulti col %d y[%d] = %x, MultiplyBlock %x",
+						name, c, i, v, yb[i*nrhs+c])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiplyBlockWidthChanges exercises growing and shrinking nrhs on
+// one engine: 8 → 3 → 8 → 1, each verified against serial, then a plain
+// Multiply to confirm the single-vector path is unaffected.
+func TestMultiplyBlockWidthChanges(t *testing.T) {
+	a, engines := spmmFixtures(t)
+	r := rand.New(rand.NewSource(53))
+	for name, eng := range engines {
+		for _, nrhs := range []int{8, 3, 8, 1} {
+			X := blockOf(r, a.Cols, nrhs)
+			Y := make([]float64, a.Rows*nrhs)
+			eng.MultiplyBlock(X, Y, nrhs)
+			if t.Failed() {
+				return
+			}
+			checkBlockAgainstSerial(t, a, X, Y, nrhs)
+		}
+		x := randomVector(r, a.Cols)
+		y := make([]float64, a.Rows)
+		eng.Multiply(x, y)
+		want := make([]float64, a.Rows)
+		a.MulVec(x, want)
+		for i := range want {
+			if math.Abs(want[i]-y[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%s: Multiply after block calls y[%d] = %v, want %v", name, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMultiplyBlockEmptyRowsCols builds a matrix with entirely empty rows
+// and columns and verifies the block path leaves empty outputs at zero
+// and ignores the empty inputs, on both fused and two-phase schedules.
+func TestMultiplyBlockEmptyRowsCols(t *testing.T) {
+	// 10×10 with rows 3,7 and cols 2,8 completely empty.
+	c := sparse.NewCOO(10, 10)
+	for i := 0; i < 10; i++ {
+		if i == 3 || i == 7 {
+			continue
+		}
+		for _, j := range []int{(i + 1) % 10, (i + 5) % 10} {
+			if j == 2 || j == 8 {
+				j = (j + 1) % 10
+			}
+			c.Add(i, j, float64(i*10+j+1))
+		}
+	}
+	a := c.ToCSR()
+	r := rand.New(rand.NewSource(61))
+	for _, nrhs := range []int{1, 3, 4} {
+		X := blockOf(r, a.Cols, nrhs)
+		for _, name := range []string{"1D", "2D"} {
+			b, err := method.BuildByName(name, a, 2, method.Options{Seed: 7})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			eng, err := New(b)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			Y := make([]float64, a.Rows*nrhs)
+			eng.MultiplyBlock(X, Y, nrhs)
+			eng.Close()
+			checkBlockAgainstSerial(t, a, X, Y, nrhs)
+			for _, row := range []int{3, 7} {
+				for cc := 0; cc < nrhs; cc++ {
+					if Y[row*nrhs+cc] != 0 {
+						t.Fatalf("%s nrhs=%d: empty row %d col %d = %v, want 0",
+							name, nrhs, row, cc, Y[row*nrhs+cc])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiplyBlockDeterministic pins bitwise run-to-run reproducibility
+// of the block path, like TestMultiplyDeterministic does for Multiply.
+func TestMultiplyBlockDeterministic(t *testing.T) {
+	a, engines := spmmFixtures(t)
+	r := rand.New(rand.NewSource(71))
+	const nrhs = 4
+	X := blockOf(r, a.Cols, nrhs)
+	for name, eng := range engines {
+		Y := make([]float64, a.Rows*nrhs)
+		eng.MultiplyBlock(X, Y, nrhs)
+		want := append([]float64(nil), Y...)
+		for rep := 0; rep < 5; rep++ {
+			eng.MultiplyBlock(X, Y, nrhs)
+			for i := range Y {
+				if Y[i] != want[i] {
+					t.Fatalf("%s rep %d: Y[%d] = %x, first run %x", name, rep, i, Y[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiplyBlockZeroAllocAllMethods pins the steady-state 0-alloc
+// contract of MultiplyBlock and MultiplyMulti for every method in the
+// registry — the batched analogue of TestMultiplySteadyStateZeroAlloc,
+// but covering all nine paper methods plus the extensions.
+func TestMultiplyBlockZeroAllocAllMethods(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	a := randomMatrix(r, 300, 300, 3000)
+	const k, nrhs = 8, 8
+	opt := method.Options{Seed: 11, Pipeline: method.NewPipeline()}
+	X := blockOf(r, a.Cols, nrhs)
+	Y := make([]float64, a.Rows*nrhs)
+	XM := make([][]float64, nrhs)
+	YM := make([][]float64, nrhs)
+	for c := range XM {
+		XM[c] = randomVector(r, a.Cols)
+		YM[c] = make([]float64, a.Rows)
+	}
+	for _, name := range method.Names() {
+		t.Run(name, func(t *testing.T) {
+			b, err := method.BuildByName(name, a, k, opt)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			eng, err := New(b)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			t.Cleanup(eng.Close)
+			eng.MultiplyBlock(X, Y, nrhs) // size the block buffers
+			if n := testing.AllocsPerRun(50, func() { eng.MultiplyBlock(X, Y, nrhs) }); n != 0 {
+				t.Errorf("MultiplyBlock allocates %v times per call, want 0", n)
+			}
+			eng.MultiplyMulti(XM, YM) // size the pack/unpack scratch
+			if n := testing.AllocsPerRun(50, func() { eng.MultiplyMulti(XM, YM) }); n != 0 {
+				t.Errorf("MultiplyMulti allocates %v times per call, want 0", n)
+			}
+			checkBlockAgainstSerial(t, a, X, Y, nrhs)
+		})
+	}
+}
