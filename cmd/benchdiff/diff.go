@@ -9,31 +9,44 @@ import (
 	"sort"
 )
 
-// record mirrors the spmvbench -json benchRecord fields the gate needs.
-// Unknown fields are ignored, so older and newer baselines both load.
+// record mirrors the fields the gate needs from both record kinds:
+// spmvbench -json kernel benchmarks (kind empty) and serve.LoadGen
+// serving-throughput records (kind "serve", keyed additionally by the
+// offered concurrency; ns_per_op there is 1e9/RPS, so the same
+// slowdown-ratio math gates requests/sec). Unknown fields are ignored,
+// so older and newer baselines both load.
 type record struct {
+	Kind        string  `json:"kind"`
 	Method      string  `json:"method"`
 	Matrix      string  `json:"matrix"`
 	Seed        int64   `json:"seed"`
 	K           int     `json:"k"`
 	NRHS        int     `json:"nrhs"`
+	Concurrency int     `json:"concurrency"`
 	Schedule    string  `json:"schedule"`
 	Rows        int     `json:"rows"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// serving reports whether the record measures the serving layer rather
+// than a raw kernel. Serving records are exempt from the 0-allocs gate:
+// the HTTP and scheduling path allocates per request by design.
+func (r record) serving() bool { return r.Kind == "serve" }
+
 // key identifies one measurement across files. Rows is part of the key so
 // runs at different -scale values never pair up: a cross-scale ns/op
 // ratio measures the matrix size, not a regression.
 type key struct {
-	Method   string
-	Matrix   string
-	Seed     int64
-	K        int
-	NRHS     int
-	Schedule string
-	Rows     int
+	Kind        string
+	Method      string
+	Matrix      string
+	Seed        int64
+	K           int
+	NRHS        int
+	Concurrency int
+	Schedule    string
+	Rows        int
 }
 
 func (r record) key() key {
@@ -41,12 +54,16 @@ func (r record) key() key {
 	if nrhs == 0 {
 		nrhs = 1 // baselines predating the nrhs field
 	}
-	return key{r.Method, r.Matrix, r.Seed, r.K, nrhs, r.Schedule, r.Rows}
+	return key{r.Kind, r.Method, r.Matrix, r.Seed, r.K, nrhs, r.Concurrency, r.Schedule, r.Rows}
 }
 
 func (k key) String() string {
-	return fmt.Sprintf("%s/%s/seed=%d/K=%d/nrhs=%d/%s/n=%d",
+	s := fmt.Sprintf("%s/%s/seed=%d/K=%d/nrhs=%d/%s/n=%d",
 		k.Method, k.Matrix, k.Seed, k.K, k.NRHS, k.Schedule, k.Rows)
+	if k.Kind != "" {
+		s = k.Kind + ":" + s + fmt.Sprintf("/conc=%d", k.Concurrency)
+	}
+	return s
 }
 
 func readRecords(path string) ([]record, error) {
@@ -96,7 +113,7 @@ func diff(base, cur []record, tolerance float64) *report {
 	for _, c := range cur {
 		k := c.key()
 		seen[k] = true
-		if c.AllocsPerOp != 0 {
+		if c.AllocsPerOp != 0 && !c.serving() {
 			rep.allocViolers = append(rep.allocViolers, k)
 		}
 		b, ok := baseBy[k]

@@ -86,6 +86,46 @@ func TestDiffLegacyBaselineNRHSZero(t *testing.T) {
 	}
 }
 
+func serveRec(method string, k, conc int, ns float64) record {
+	return record{
+		Kind: "serve", Method: method, Matrix: "powerlaw", Seed: 1, K: k,
+		Concurrency: conc, Schedule: "fused", Rows: 1280, NsPerOp: ns,
+		AllocsPerOp: 64, // serving path allocates per request by design
+	}
+}
+
+func TestDiffPairsServeRecordsByConcurrency(t *testing.T) {
+	base := []record{serveRec("s2D", 4, 8, 1000), serveRec("s2D", 4, 32, 800)}
+	cur := []record{serveRec("s2D", 4, 8, 1050), serveRec("s2D", 4, 32, 820)}
+	rep := diff(base, cur, 1.25)
+	if !rep.ok() || len(rep.pairs) != 2 {
+		t.Fatalf("serve records should pair per concurrency: %+v", rep)
+	}
+	if len(rep.allocViolers) != 0 {
+		t.Fatalf("serve records must be exempt from the alloc gate: %v", rep.allocViolers)
+	}
+}
+
+func TestDiffServeNeverPairsWithKernel(t *testing.T) {
+	// A kernel record and a serve record with otherwise identical fields
+	// measure different things and must not pair.
+	base := []record{rec("s2D", 4, 1, 1000, 0)}
+	cur := []record{serveRec("s2D", 4, 0, 1000)}
+	rep := diff(base, cur, 1.25)
+	if len(rep.pairs) != 0 {
+		t.Fatal("kernel and serve records paired")
+	}
+}
+
+func TestDiffServeThroughputRegressionFails(t *testing.T) {
+	// RPS halves → ns_per_op doubles → the gate trips.
+	base := []record{serveRec("s2D", 4, 32, 1000)}
+	cur := []record{serveRec("s2D", 4, 32, 2000)}
+	if rep := diff(base, cur, 1.25); rep.ok() {
+		t.Fatal("a 2x serving slowdown must fail")
+	}
+}
+
 func TestReportPrint(t *testing.T) {
 	base := []record{rec("s2D", 4, 1, 1000, 0)}
 	cur := []record{rec("s2D", 4, 1, 2000, 0)}

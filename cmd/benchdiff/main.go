@@ -1,22 +1,29 @@
-// Command benchdiff compares two spmvbench -json result files and fails
-// on performance regressions — the benchmark-regression gate CI runs on
-// every push against the committed BENCH_*.json baseline.
+// Command benchdiff compares two benchmark JSON result files and fails
+// on performance regressions — the regression gates CI runs on every
+// push against the committed BENCH_*.json (kernel) and LOADGEN_*.json
+// (serving) baselines.
 //
 // Usage:
 //
 //	benchdiff -baseline BENCH_PR3.json -current new.json
+//	benchdiff -baseline LOADGEN_PR4.json -current loadgen.json -tolerance 2
 //	benchdiff -baseline old.json -current new.json -tolerance 1.5
 //
-// Records pair up by (method, matrix, seed, k, nrhs, schedule); a
-// baseline written before the nrhs field existed reads as nrhs=1. The
-// gate fails (exit 1) when:
+// Two record kinds pair up, never across kinds: spmvbench -json kernel
+// records by (method, matrix, seed, k, nrhs, schedule, rows), and
+// serve.LoadGen serving records (kind "serve") additionally by the
+// offered concurrency. A baseline written before the nrhs field existed
+// reads as nrhs=1. The gate fails (exit 1) when:
 //
-//   - any current record allocates: steady-state Multiply/MultiplyBlock
-//     must stay at 0 allocs/op, no tolerance;
+//   - any current kernel record allocates: steady-state
+//     Multiply/MultiplyBlock must stay at 0 allocs/op, no tolerance
+//     (serving records are exempt — the HTTP/scheduling path allocates
+//     per request by design);
 //   - the geometric-mean ns/op ratio (current/baseline) over the paired
 //     records exceeds -tolerance (default 1.25, i.e. a 25% slowdown) —
 //     the geomean damps single-record noise while catching an across-
-//     the-board regression;
+//     the-board regression. Serving records store 1e9/RPS as ns_per_op,
+//     so the same ratio gates a requests/sec collapse;
 //   - no records pair up at all (a scale/K mismatch would otherwise
 //     pass vacuously).
 //

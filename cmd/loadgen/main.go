@@ -1,0 +1,94 @@
+// Command loadgen drives a running spmvserve instance with closed-loop
+// load: for each (method, concurrency) sweep point it keeps N clients'
+// requests in flight for the configured duration and reports
+// throughput, latency percentiles, and the batch width the server's
+// coalescing scheduler achieved — as JSON records cmd/benchdiff can
+// pair across runs to gate serving regressions.
+//
+// Usage:
+//
+//	loadgen -url http://localhost:8080 -matrix powerlaw -conc 1,8,32
+//	loadgen -url ... -methods s2d,1d,2d -k 16 -duration 5s -o LOADGEN.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/serve"
+)
+
+func main() {
+	url := flag.String("url", "", "base URL of a running spmvserve (required)")
+	matrix := flag.String("matrix", "", "matrix name registered on the server (required)")
+	methods := flag.String("methods", "s2d", "comma-separated registry methods to sweep")
+	k := flag.Int("k", 4, "part count")
+	conc := flag.String("conc", "1,8,32", "comma-separated offered concurrency sweep")
+	duration := flag.Duration("duration", 2*time.Second, "duration per sweep point")
+	seed := flag.Int64("seed", 1, "seed for the request vector")
+	out := flag.String("o", "", "write JSON records here (default stdout)")
+	strict := flag.Bool("strict", true, "exit non-zero on request errors or batch width < 1")
+	flag.Parse()
+
+	if *url == "" || *matrix == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -url and -matrix are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	concs, err := cliutil.ParseIntList(*conc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: bad -conc: %v\n", err)
+		os.Exit(2)
+	}
+
+	recs, err := serve.LoadGen(context.Background(), serve.LoadGenConfig{
+		BaseURL:     strings.TrimRight(*url, "/"),
+		Matrix:      *matrix,
+		Methods:     cliutil.SplitList(*methods),
+		K:           *k,
+		Concurrency: concs,
+		Duration:    *duration,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	bad := false
+	for _, r := range recs {
+		fmt.Fprintf(os.Stderr,
+			"loadgen %-8s conc=%-3d %6d req %5.0f req/s batch %.2f p50 %.2fms p99 %.2fms errors %d\n",
+			r.Method, r.Concurrency, r.Requests, r.RPS, r.MeanBatch, r.P50Ms, r.P99Ms, r.Errors)
+		if r.Errors > 0 || r.Requests == 0 || r.MeanBatch < 1 {
+			bad = true
+		}
+	}
+	if *strict && bad {
+		fmt.Fprintln(os.Stderr, "loadgen: FAIL (errors or no batching; see records)")
+		os.Exit(1)
+	}
+}

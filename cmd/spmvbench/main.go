@@ -22,9 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/harness"
 	"repro/internal/method"
 )
@@ -126,25 +126,14 @@ func main() {
 	}
 }
 
-// parseIntList parses a comma-separated list of positive integers,
-// exiting with a usage message (rather than a panic deeper in the
-// harness) on malformed input. An empty value returns nil.
+// parseIntList parses a comma-separated list of positive integers via
+// the shared cliutil helper, exiting with a usage message (rather than
+// a panic deeper in the harness) on malformed input. An empty value
+// returns nil.
 func parseIntList(flagName, value string) []int {
-	if value == "" {
-		return nil
-	}
-	var out []int
-	for _, s := range strings.Split(value, ",") {
-		s = strings.TrimSpace(s)
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			fatalUsage("bad %s element %q: want a positive integer (e.g. %s 4,16,64)",
-				flagName, s, flagName)
-		}
-		if v < 1 {
-			fatalUsage("bad %s element %d: want >= 1", flagName, v)
-		}
-		out = append(out, v)
+	out, err := cliutil.ParseIntList(value)
+	if err != nil {
+		fatalUsage("bad %s: %v (e.g. %s 4,16,64)", flagName, err, flagName)
 	}
 	return out
 }

@@ -1,0 +1,247 @@
+// Command spmvserve serves distributed SpMV over HTTP: a multi-tenant
+// engine pool (internal/serve) fronts the compiled engines, coalescing
+// concurrent /v1/multiply requests into batched SpMM flushes.
+//
+// Usage:
+//
+//	spmvserve -addr :8080                      # serve a generated matrix
+//	spmvserve -mtx web.mtx,road.mtx            # serve MatrixMarket files
+//	spmvserve -gen rmat_18 -scale 0.01         # serve a suite matrix
+//	spmvserve -selftest -duration 2s           # in-process load sweep
+//
+// Endpoints:
+//
+//	POST /v1/multiply   {"matrix","method","k","x":[...]}  → {"y":[...]}
+//	POST /v1/solve      {"matrix","method","k","b":[...]}  → CG solution
+//	GET  /v1/methods    registered methods + loaded matrices
+//	POST /v1/matrices   upload a MatrixMarket body (?name=...)
+//	GET  /metrics       pool + per-engine serving metrics
+//
+// A quickstart lives in README.md's "Serving" section.
+//
+// -selftest starts the server on a loopback port, runs the closed-loop
+// load generator against it (serve.LoadGen — the same sweep cmd/loadgen
+// offers against a remote server), writes the throughput records as
+// JSON, and exits non-zero if any request failed or the coalescing
+// scheduler never batched; CI runs exactly this as its serving smoke
+// test.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/gen"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	mtx := flag.String("mtx", "", "comma-separated MatrixMarket files to serve (name = file base)")
+	genName := flag.String("gen", "", "suite matrix to generate and serve (see cmd/matgen), or 'powerlaw'")
+	scale := flag.Float64("scale", 0.01, "generated matrix scale in (0,1]")
+	seed := flag.Int64("seed", 1, "RNG seed for generation and partitioning")
+	maxBatch := flag.Int("maxbatch", 8, "widest coalesced SpMM batch")
+	maxWait := flag.Duration("maxwait", 200*time.Microsecond, "batching window for a partial batch")
+	maxQueue := flag.Int("maxqueue", 1024, "per-engine queue depth bound (admission control)")
+	maxEngines := flag.Int("maxengines", 8, "resident engine cap (idle LRU eviction above it)")
+	defMethod := flag.String("method", "s2d", "default partitioning method for requests that omit one")
+	defK := flag.Int("k", 4, "default part count for requests that omit one")
+	selftest := flag.Bool("selftest", false, "serve on a loopback port, run the load generator, validate, exit")
+	duration := flag.Duration("duration", 2*time.Second, "selftest: duration per sweep point")
+	concList := flag.String("conc", "1,8,32", "selftest: offered concurrency sweep")
+	methodList := flag.String("methods", "s2d", "selftest: comma-separated methods to sweep")
+	out := flag.String("o", "", "selftest: write loadgen JSON records here (default stdout)")
+	flag.Parse()
+
+	pool := serve.NewPool(serve.Options{
+		MaxBatch:   *maxBatch,
+		MaxWait:    *maxWait,
+		MaxQueue:   *maxQueue,
+		MaxEngines: *maxEngines,
+		Seed:       *seed,
+	})
+	defer pool.Close()
+
+	defaultMatrix, err := loadMatrices(pool, *mtx, *genName, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	srv := serve.NewServer(pool)
+	srv.DefaultMethod = *defMethod
+	srv.DefaultK = *defK
+
+	if *selftest {
+		if err := runSelftest(srv, selftestConfig{
+			matrix:   defaultMatrix,
+			methods:  cliutil.SplitList(*methodList),
+			k:        *defK,
+			conc:     *concList,
+			duration: *duration,
+			seed:     *seed,
+			out:      *out,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	for _, m := range pool.Matrices() {
+		fmt.Fprintf(os.Stderr, "spmvserve: serving %s (%dx%d, %d nnz)\n", m.Name, m.Rows, m.Cols, m.NNZ)
+	}
+	fmt.Fprintf(os.Stderr, "spmvserve: listening on %s (default method %s, K=%d, maxbatch %d, maxwait %v)\n",
+		*addr, *defMethod, *defK, *maxBatch, *maxWait)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+// loadMatrices registers the requested matrices and returns the name of
+// the first one (the selftest target). With no -mtx and no -gen, a
+// power-law matrix in the spmvbench style is generated so a bare
+// `spmvserve` serves something immediately.
+func loadMatrices(pool *serve.Pool, mtxList, genName string, scale float64, seed int64) (string, error) {
+	first := ""
+	for _, path := range cliutil.SplitList(mtxList) {
+		f, err := os.Open(path)
+		if err != nil {
+			return "", err
+		}
+		a, err := sparse.ReadMatrixMarket(f)
+		f.Close()
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", path, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if err := pool.AddMatrix(name, a); err != nil {
+			return "", err
+		}
+		if first == "" {
+			first = name
+		}
+	}
+	if genName == "" && first != "" {
+		return first, nil
+	}
+	if genName == "" {
+		genName = "powerlaw"
+	}
+	if scale <= 0 || scale > 1 {
+		return "", fmt.Errorf("bad -scale %v: want a fraction in (0,1]", scale)
+	}
+	var a *sparse.CSR
+	if genName == "powerlaw" {
+		n := int(320000 * scale)
+		if n < 1000 {
+			n = 1000
+		}
+		a = gen.PowerLaw(gen.PowerLawConfig{
+			Rows: n, Cols: n, NNZ: 10 * n, Beta: 0.5,
+			DenseRows: 2, DenseMax: n / 16, Symmetric: true, Locality: 0.9,
+		}, seed)
+	} else {
+		spec, ok := gen.ByName(genName)
+		if !ok {
+			return "", fmt.Errorf("unknown -gen matrix %q", genName)
+		}
+		a = spec.Generate(scale, seed)
+	}
+	if err := pool.AddMatrix(genName, a); err != nil {
+		return "", err
+	}
+	if first == "" {
+		first = genName
+	}
+	return first, nil
+}
+
+type selftestConfig struct {
+	matrix   string
+	methods  []string
+	k        int
+	conc     string
+	duration time.Duration
+	seed     int64
+	out      string
+}
+
+// runSelftest serves on a loopback port, sweeps the load generator
+// against it over real HTTP, writes the records, and validates them:
+// any transport/HTTP error or a mean batch width below 1 fails.
+func runSelftest(srv *serve.Server, cfg selftestConfig) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck // closed via Shutdown below
+	defer hs.Shutdown(context.Background())
+
+	conc, err := cliutil.ParseIntList(cfg.conc)
+	if err != nil {
+		return fmt.Errorf("bad -conc: %w", err)
+	}
+	recs, err := serve.LoadGen(context.Background(), serve.LoadGenConfig{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Matrix:      cfg.matrix,
+		Methods:     cfg.methods,
+		K:           cfg.k,
+		Concurrency: conc,
+		Duration:    cfg.duration,
+		Seed:        cfg.seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		return err
+	}
+
+	failed := false
+	for _, r := range recs {
+		status := "ok"
+		switch {
+		case r.Errors > 0 || r.Requests == 0:
+			status = "FAIL (errors)"
+			failed = true
+		case r.MeanBatch < 1:
+			status = "FAIL (no batching)"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr,
+			"selftest %-8s conc=%-3d %6d req %5.0f req/s batch %.2f p50 %.2fms p99 %.2fms  %s\n",
+			r.Method, r.Concurrency, r.Requests, r.RPS, r.MeanBatch, r.P50Ms, r.P99Ms, status)
+	}
+	if failed {
+		return fmt.Errorf("selftest failed (see records above)")
+	}
+	fmt.Fprintln(os.Stderr, "selftest ok")
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "spmvserve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+// Package cliutil holds the small flag-parsing helpers the commands
+// share, so "-k 4,16" and "-conc 1,8,32" parse identically everywhere
+// instead of each main.go growing a divergent copy.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SplitList splits a comma-separated flag value, trimming whitespace
+// and dropping empty elements. An empty input returns nil.
+func SplitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParseIntList parses a comma-separated list of positive integers
+// ("4,16,64"). An empty input returns nil; any malformed or
+// non-positive element is an error naming the element.
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, p := range SplitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad element %q: want a positive integer", p)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("bad element %d: want >= 1", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

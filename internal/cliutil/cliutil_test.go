@@ -1,0 +1,31 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	if got := SplitList(""); got != nil {
+		t.Fatalf("empty input = %v, want nil", got)
+	}
+	got := SplitList(" a, b ,,c ")
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("4, 16,64")
+	if err != nil || !reflect.DeepEqual(got, []int{4, 16, 64}) {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if got, err := ParseIntList(""); err != nil || got != nil {
+		t.Fatalf("empty = %v, %v", got, err)
+	}
+	for _, bad := range []string{"3x", "0", "-1", "x"} {
+		if _, err := ParseIntList(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -79,10 +79,11 @@ type Method interface {
 	Build(a *sparse.CSR, k int, opt Options) (Build, error)
 }
 
-// Info describes a registered method for listings and usage messages.
+// Info describes a registered method for listings, usage messages, and
+// the serving API's /v1/methods payload.
 type Info struct {
-	Name string
-	Desc string
+	Name string `json:"name"`
+	Desc string `json:"desc,omitempty"`
 }
 
 var (

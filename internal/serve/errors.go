@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is returned by submissions and acquisitions after the pool
+// (or the engine's scheduler) has shut down.
+var ErrClosed = errors.New("serve: closed")
+
+// ErrOverloaded is the sentinel all overload rejections wrap; callers
+// match it with errors.Is and retry with backoff (HTTP maps it to 429).
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// OverloadError reports a submission rejected by admission control: the
+// engine's queue was at its configured depth limit.
+type OverloadError struct {
+	Depth int // queue depth observed at rejection
+	Limit int // configured MaxQueue
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: engine queue full (%d/%d)", e.Depth, e.Limit)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// UnknownMethodError reports a request naming a method the registry does
+// not know.
+type UnknownMethodError struct {
+	Method string
+}
+
+func (e *UnknownMethodError) Error() string {
+	return fmt.Sprintf("serve: unknown method %q (see /v1/methods)", e.Method)
+}
+
+// UnknownMatrixError reports a request naming a matrix the pool does not
+// hold.
+type UnknownMatrixError struct {
+	Matrix string
+	Known  []string
+}
+
+func (e *UnknownMatrixError) Error() string {
+	return fmt.Sprintf("serve: unknown matrix %q (loaded: %v)", e.Matrix, e.Known)
+}
+
+// DimensionError reports a request vector that does not match the
+// matrix.
+type DimensionError struct {
+	Got, Want int
+	What      string // "x" or "b"
+}
+
+func (e *DimensionError) Error() string {
+	return fmt.Sprintf("serve: %s has %d entries, matrix wants %d", e.What, e.Got, e.Want)
+}

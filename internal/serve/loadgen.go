@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadGenConfig drives one closed-loop load sweep against a running
+// spmvserve instance: for every (method, concurrency) point, Concurrency
+// clients each loop a POST /v1/multiply as fast as the server answers
+// for Duration, and the sweep records throughput, latency percentiles,
+// and the batch width the coalescing scheduler actually achieved
+// (measured from the server's own /metrics deltas).
+type LoadGenConfig struct {
+	BaseURL string       // e.g. "http://127.0.0.1:8080"
+	Client  *http.Client // default http.DefaultClient
+	Matrix  string       // registered matrix name
+	Methods []string     // registry methods to sweep (default ["s2d"])
+	K       int          // part count (default 4)
+	// Concurrency lists the offered in-flight client counts to sweep
+	// (default 1, 8, 32).
+	Concurrency []int
+	Duration    time.Duration // per sweep point (default 1s)
+	Seed        int64
+}
+
+func (c LoadGenConfig) withDefaults() LoadGenConfig {
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if len(c.Methods) == 0 {
+		c.Methods = []string{"s2d"}
+	}
+	if c.K == 0 {
+		c.K = 4
+	}
+	if len(c.Concurrency) == 0 {
+		c.Concurrency = []int{1, 8, 32}
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	return c
+}
+
+// Record is one sweep point's result, in the same JSON style the
+// BENCH_*.json kernel records use so cmd/benchdiff can pair and gate
+// serving throughput like kernel ns/op: records key on
+// (kind, method, matrix, seed, k, concurrency, rows), and NsPerOp is the
+// mean service time per request (1e9/RPS) so the existing
+// slowdown-ratio gate applies unchanged.
+type Record struct {
+	Kind        string  `json:"kind"` // always "serve"
+	Method      string  `json:"method"`
+	Matrix      string  `json:"matrix"`
+	Seed        int64   `json:"seed"`
+	K           int     `json:"k"`
+	Schedule    string  `json:"schedule"`
+	Concurrency int     `json:"concurrency"`
+	Rows        int     `json:"rows"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"` // non-200 responses (429 included)
+	RPS         float64 `json:"rps"`
+	NsPerOp     float64 `json:"ns_per_op"` // 1e9 / RPS
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MeanBatch   float64 `json:"mean_batch"` // achieved width, from /metrics deltas
+}
+
+// LoadGen runs the configured sweep and returns one Record per
+// (method, concurrency) point.
+func LoadGen(ctx context.Context, cfg LoadGenConfig) ([]Record, error) {
+	cfg = cfg.withDefaults()
+	cols, rows, err := matrixDims(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = r.Float64()*4 - 2
+	}
+	body, err := json.Marshal(multiplyRequest{
+		engineRequest: engineRequest{Matrix: cfg.Matrix, K: cfg.K},
+		X:             x,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var recs []Record
+	for _, m := range cfg.Methods {
+		for _, conc := range cfg.Concurrency {
+			rec, err := loadPoint(ctx, cfg, m, conc, rows, body)
+			if err != nil {
+				return recs, err
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return recs, nil
+}
+
+// loadPoint runs one closed-loop measurement at a fixed method and
+// offered concurrency.
+func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName string, conc, rows int, body []byte) (Record, error) {
+	// Patch the method into the request body once.
+	var req multiplyRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return Record{}, err
+	}
+	req.Method = methodName
+	pointBody, err := json.Marshal(req)
+	if err != nil {
+		return Record{}, err
+	}
+
+	// Warm the engine (build happens on first request) so the measured
+	// window is steady-state serving, not partitioning.
+	status, schedule, err := postMultiply(ctx, cfg, pointBody)
+	if err != nil {
+		return Record{}, fmt.Errorf("loadgen warmup %s: %w", methodName, err)
+	}
+	if status != http.StatusOK {
+		return Record{}, fmt.Errorf("loadgen warmup %s: HTTP %d", methodName, status)
+	}
+
+	before, err := engineMetrics(ctx, cfg, methodName)
+	if err != nil {
+		return Record{}, err
+	}
+
+	deadline := time.Now().Add(cfg.Duration)
+	type clientResult struct {
+		requests, errors int
+		latMs            []float64
+	}
+	results := make([]clientResult, conc)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res := &results[c]
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				start := time.Now()
+				status, _, err := postMultiply(ctx, cfg, pointBody)
+				if err != nil || status != http.StatusOK {
+					res.errors++
+					continue
+				}
+				res.requests++
+				res.latMs = append(res.latMs, msSince(start))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	after, err := engineMetrics(ctx, cfg, methodName)
+	if err != nil {
+		return Record{}, err
+	}
+
+	rec := Record{
+		Kind: "serve", Method: methodName, Matrix: cfg.Matrix, Seed: cfg.Seed,
+		K: cfg.K, Schedule: schedule, Concurrency: conc, Rows: rows,
+		DurationSec: elapsed.Seconds(),
+	}
+	var lats []float64
+	for _, res := range results {
+		rec.Requests += res.requests
+		rec.Errors += res.errors
+		lats = append(lats, res.latMs...)
+	}
+	if rec.Requests > 0 {
+		rec.RPS = float64(rec.Requests) / elapsed.Seconds()
+		rec.NsPerOp = 1e9 / rec.RPS
+	}
+	sort.Float64s(lats)
+	rec.P50Ms = percentile(lats, 0.50)
+	rec.P99Ms = percentile(lats, 0.99)
+	if dBatches := after.Batches - before.Batches; dBatches > 0 {
+		rec.MeanBatch = float64(after.Requests-before.Requests) / float64(dBatches)
+	}
+	return rec, nil
+}
+
+// postMultiply posts one multiply and reports the HTTP status and the
+// engine schedule named in a 200 response.
+func postMultiply(ctx context.Context, cfg LoadGenConfig, body []byte) (status int, schedule string, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		cfg.BaseURL+"/v1/multiply", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(hreq)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, "", nil
+	}
+	var mr struct {
+		Schedule string `json:"schedule"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return resp.StatusCode, "", err
+	}
+	return resp.StatusCode, mr.Schedule, nil
+}
+
+// matrixDims looks the matrix up via /v1/methods.
+func matrixDims(cfg LoadGenConfig) (cols, rows int, err error) {
+	resp, err := cfg.Client.Get(cfg.BaseURL + "/v1/methods")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var mr methodsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return 0, 0, err
+	}
+	for _, m := range mr.Matrices {
+		if m.Name == cfg.Matrix {
+			return m.Cols, m.Rows, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("loadgen: server does not hold matrix %q", cfg.Matrix)
+}
+
+// engineMetrics fetches the /metrics row for (matrix, method, K).
+func engineMetrics(ctx context.Context, cfg LoadGenConfig, methodName string) (Metrics, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/metrics", nil)
+	if err != nil {
+		return Metrics{}, err
+	}
+	resp, err := cfg.Client.Do(hreq)
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer resp.Body.Close()
+	var pm PoolMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&pm); err != nil {
+		return Metrics{}, err
+	}
+	for _, e := range pm.Engines {
+		if e.Matrix == cfg.Matrix && strings.EqualFold(e.Method, methodName) && e.K == cfg.K {
+			return e.Metrics, nil
+		}
+	}
+	// The engine may have been evicted between points; deltas then start
+	// from zero, which is still correct for a fresh engine.
+	return Metrics{}, nil
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestLoadGenSweep(t *testing.T) {
+	p := NewPool(Options{Seed: 1})
+	t.Cleanup(p.Close)
+	if err := p.AddMatrix("lap", testMatrix(t, 16, 16)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(p))
+	t.Cleanup(ts.Close)
+
+	recs, err := LoadGen(context.Background(), LoadGenConfig{
+		BaseURL:     ts.URL,
+		Matrix:      "lap",
+		Methods:     []string{"s2d", "1d"},
+		K:           4,
+		Concurrency: []int{1, 8},
+		Duration:    80 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4 (2 methods x 2 concurrencies)", len(recs))
+	}
+	for _, r := range recs {
+		if r.Kind != "serve" {
+			t.Errorf("%s/c=%d: kind = %q, want serve", r.Method, r.Concurrency, r.Kind)
+		}
+		if r.Requests == 0 {
+			t.Errorf("%s/c=%d: no requests completed", r.Method, r.Concurrency)
+		}
+		if r.Errors != 0 {
+			t.Errorf("%s/c=%d: %d errors", r.Method, r.Concurrency, r.Errors)
+		}
+		if r.MeanBatch < 1 {
+			t.Errorf("%s/c=%d: mean batch %.2f < 1", r.Method, r.Concurrency, r.MeanBatch)
+		}
+		if r.RPS <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s/c=%d: rps=%v ns_per_op=%v", r.Method, r.Concurrency, r.RPS, r.NsPerOp)
+		}
+		if r.Schedule == "" || r.Rows != 256 {
+			t.Errorf("%s/c=%d: schedule=%q rows=%d", r.Method, r.Concurrency, r.Schedule, r.Rows)
+		}
+	}
+}
+
+func TestLoadGenUnknownMatrix(t *testing.T) {
+	p := NewPool(Options{Seed: 1})
+	t.Cleanup(p.Close)
+	ts := httptest.NewServer(NewServer(p))
+	t.Cleanup(ts.Close)
+	_, err := LoadGen(context.Background(), LoadGenConfig{BaseURL: ts.URL, Matrix: "ghost"})
+	if err == nil {
+		t.Fatal("expected error for unregistered matrix")
+	}
+}

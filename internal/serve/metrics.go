@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latRingSize bounds the latency samples kept per engine. Percentiles
+// come from the most recent samples — enough resolution for a p99 at
+// serving rates, constant memory forever.
+const latRingSize = 4096
+
+// collector accumulates one engine's serving counters. All methods are
+// safe for concurrent use; Snapshot is consistent (taken under the same
+// lock the writers use).
+type collector struct {
+	mu        sync.Mutex
+	requests  uint64 // successfully completed multiplies (not batches)
+	batches   uint64 // successful engine flushes
+	widthSum  uint64 // sum of flushed batch widths
+	overloads uint64 // submissions rejected by admission control
+	cancelled uint64 // submissions abandoned via context
+	failures  uint64 // requests failed inside the engine
+
+	lat  [latRingSize]float64 // milliseconds, ring
+	nLat int                  // total recorded (ring index = nLat % size)
+}
+
+func (c *collector) recordBatch(width int, latMs []float64) {
+	c.mu.Lock()
+	c.batches++
+	c.widthSum += uint64(width)
+	c.requests += uint64(width)
+	for _, l := range latMs {
+		c.lat[c.nLat%latRingSize] = l
+		c.nLat++
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) overload()  { c.mu.Lock(); c.overloads++; c.mu.Unlock() }
+func (c *collector) cancel()    { c.mu.Lock(); c.cancelled++; c.mu.Unlock() }
+func (c *collector) fail(n int) { c.mu.Lock(); c.failures += uint64(n); c.mu.Unlock() }
+
+// Metrics is a point-in-time snapshot of one engine's serving behavior.
+type Metrics struct {
+	Requests   uint64  `json:"requests"`
+	Batches    uint64  `json:"batches"`
+	MeanBatch  float64 `json:"mean_batch"` // requests per flush
+	Overloads  uint64  `json:"overloads"`
+	Cancelled  uint64  `json:"cancelled"`
+	Failures   uint64  `json:"failures"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	QueueDepth int     `json:"queue_depth"`
+}
+
+// snapshot computes the derived figures; queue depth is supplied by the
+// scheduler because only it knows the live queue.
+func (c *collector) snapshot(queueDepth int) Metrics {
+	c.mu.Lock()
+	m := Metrics{
+		Requests:   c.requests,
+		Batches:    c.batches,
+		Overloads:  c.overloads,
+		Cancelled:  c.cancelled,
+		Failures:   c.failures,
+		QueueDepth: queueDepth,
+	}
+	n := c.nLat
+	if n > latRingSize {
+		n = latRingSize
+	}
+	widthSum := c.widthSum
+	samples := append([]float64(nil), c.lat[:n]...)
+	c.mu.Unlock()
+
+	if m.Batches > 0 {
+		m.MeanBatch = float64(widthSum) / float64(m.Batches)
+	}
+	if len(samples) > 0 {
+		sort.Float64s(samples)
+		m.P50Ms = percentile(samples, 0.50)
+		m.P99Ms = percentile(samples, 0.99)
+	}
+	return m
+}
+
+// percentile reads the q-quantile from an ascending sample slice using
+// the nearest-rank method.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// msSince converts an elapsed duration to float milliseconds.
+func msSince(t0 time.Time) float64 { return float64(time.Since(t0)) / float64(time.Millisecond) }

@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/method"
+	"repro/internal/sparse"
+	"repro/internal/spmv"
+)
+
+// EngineKey identifies one pooled engine: a named matrix partitioned by
+// a registry method at a part count.
+type EngineKey struct {
+	Matrix string `json:"matrix"`
+	Method string `json:"method"`
+	K      int    `json:"k"`
+}
+
+func (k EngineKey) String() string { return fmt.Sprintf("%s/%s/K=%d", k.Matrix, k.Method, k.K) }
+
+// Pool caches engines keyed by (matrix, method, K). Engines build
+// lazily on first Acquire — partitioning prerequisites go through one
+// shared method.Pipeline, so two engines on the same matrix reuse its
+// hypergraph models and vector partitions — and stay resident with
+// their persistent workers parked between requests. Acquire/Release
+// reference-count each engine; when the pool holds more than
+// Options.MaxEngines, idle engines evict in LRU order.
+type Pool struct {
+	opt      Options
+	pipeline *method.Pipeline
+
+	mu        sync.Mutex
+	matrices  map[string]*sparse.CSR
+	matOrder  []string
+	engines   map[EngineKey]*poolEntry
+	clock     uint64 // logical LRU time, bumped per touch
+	builds    uint64
+	evictions uint64
+	closed    bool
+}
+
+// poolEntry is one cached engine. ready closes when the build finishes
+// (successfully or not); refs counts outstanding Handles plus, during
+// the build, the builder itself.
+type poolEntry struct {
+	key      EngineKey
+	refs     int
+	lastUse  uint64
+	ready    chan struct{}
+	sched    *scheduler
+	schedule string // engine variant: fused / twophase / routed
+	err      error
+}
+
+// NewPool creates an empty pool; register matrices with AddMatrix.
+func NewPool(opt Options) *Pool {
+	return &Pool{
+		opt:      opt.withDefaults(),
+		pipeline: method.NewPipeline(),
+		matrices: make(map[string]*sparse.CSR),
+		engines:  make(map[EngineKey]*poolEntry),
+	}
+}
+
+// AddMatrix registers a named matrix for serving. Re-registering a name
+// is an error: resident engines were built against the old instance.
+func (p *Pool) AddMatrix(name string, a *sparse.CSR) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if name == "" {
+		return fmt.Errorf("serve: empty matrix name")
+	}
+	if _, dup := p.matrices[name]; dup {
+		return fmt.Errorf("serve: matrix %q already registered", name)
+	}
+	p.matrices[name] = a
+	p.matOrder = append(p.matOrder, name)
+	return nil
+}
+
+// MatrixInfo describes one registered matrix.
+type MatrixInfo struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+	NNZ  int    `json:"nnz"`
+}
+
+// Matrices lists the registered matrices in registration order.
+func (p *Pool) Matrices() []MatrixInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]MatrixInfo, 0, len(p.matOrder))
+	for _, name := range p.matOrder {
+		a := p.matrices[name]
+		out = append(out, MatrixInfo{Name: name, Rows: a.Rows, Cols: a.Cols, NNZ: a.NNZ()})
+	}
+	return out
+}
+
+// Matrix returns a registered matrix.
+func (p *Pool) Matrix(name string) (*sparse.CSR, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.matrices[name]
+	if !ok {
+		return nil, &UnknownMatrixError{Matrix: name, Known: append([]string(nil), p.matOrder...)}
+	}
+	return a, nil
+}
+
+// Acquire returns a Handle on the engine for (matrix, methodName, k),
+// building it if absent. The first acquirer performs the build (other
+// concurrent acquirers wait on it); the handle pins the engine against
+// eviction until Release.
+func (p *Pool) Acquire(matrix, methodName string, k int) (*Handle, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("serve: K must be >= 1, got %d", k)
+	}
+	m, ok := method.Get(methodName)
+	if !ok {
+		return nil, &UnknownMethodError{Method: methodName}
+	}
+	methodName = m.Name() // canonical: "s2d" and "s2D" share one engine
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	a, ok := p.matrices[matrix]
+	if !ok {
+		known := append([]string(nil), p.matOrder...)
+		p.mu.Unlock()
+		return nil, &UnknownMatrixError{Matrix: matrix, Known: known}
+	}
+	key := EngineKey{Matrix: matrix, Method: methodName, K: k}
+	e, ok := p.engines[key]
+	var build bool
+	var evict []*poolEntry
+	if !ok {
+		e = &poolEntry{key: key, ready: make(chan struct{})}
+		p.engines[key] = e
+		p.builds++
+		build = true
+		evict = p.evictLocked()
+	}
+	e.refs++
+	p.clock++
+	e.lastUse = p.clock
+	p.mu.Unlock()
+
+	for _, v := range evict {
+		v.sched.close()
+	}
+	if build {
+		p.build(e, a, methodName, k)
+	}
+	<-e.ready
+	if e.err != nil {
+		p.release(e, true)
+		return nil, e.err
+	}
+	return &Handle{pool: p, e: e}, nil
+}
+
+// build constructs the engine outside the pool lock (partitioning can
+// take seconds) and publishes the result through e.ready.
+func (p *Pool) build(e *poolEntry, a *sparse.CSR, methodName string, k int) {
+	defer close(e.ready)
+	opt := method.Options{Seed: p.opt.Seed, Epsilon: p.opt.Epsilon, Pipeline: p.pipeline}
+	b, err := method.BuildByName(methodName, a, k, opt)
+	if err != nil {
+		e.err = fmt.Errorf("serve: build %s: %w", e.key, err)
+		return
+	}
+	eng, err := spmv.New(b)
+	if err != nil {
+		e.err = fmt.Errorf("serve: engine %s: %w", e.key, err)
+		return
+	}
+	switch {
+	case b.Routed():
+		e.schedule = "routed"
+	case b.Dist.Fused:
+		e.schedule = "fused"
+	default:
+		e.schedule = "twophase"
+	}
+	e.sched = newScheduler(eng, a.Rows, a.Cols, p.opt)
+}
+
+// release drops one reference; failed entries leave the map so a later
+// Acquire can retry, and a successful release triggers LRU eviction if
+// the pool is over its cap.
+func (p *Pool) release(e *poolEntry, failed bool) {
+	var evict []*poolEntry
+	p.mu.Lock()
+	e.refs--
+	p.clock++
+	e.lastUse = p.clock
+	if failed && e.refs == 0 {
+		delete(p.engines, e.key)
+	} else if !p.closed {
+		evict = p.evictLocked()
+	}
+	p.mu.Unlock()
+	for _, v := range evict {
+		v.sched.close()
+	}
+}
+
+// evictLocked removes idle engines, least recently used first, until
+// the pool is back under MaxEngines. Entries still referenced (or still
+// building) are never touched, so the resident count can transiently
+// exceed the cap under load.
+func (p *Pool) evictLocked() []*poolEntry {
+	if len(p.engines) <= p.opt.MaxEngines {
+		return nil
+	}
+	idle := make([]*poolEntry, 0, len(p.engines))
+	for _, e := range p.engines {
+		if e.refs == 0 && e.sched != nil {
+			idle = append(idle, e)
+		}
+	}
+	sort.Slice(idle, func(i, j int) bool { return idle[i].lastUse < idle[j].lastUse })
+	var out []*poolEntry
+	for _, e := range idle {
+		if len(p.engines) <= p.opt.MaxEngines {
+			break
+		}
+		delete(p.engines, e.key)
+		p.evictions++
+		out = append(out, e)
+	}
+	return out
+}
+
+// EngineMetrics is one resident engine's snapshot.
+type EngineMetrics struct {
+	EngineKey
+	Schedule string `json:"schedule"`
+	Refs     int    `json:"refs"`
+	Metrics
+}
+
+// PoolMetrics is the /metrics payload: pool totals plus one row per
+// resident engine.
+type PoolMetrics struct {
+	Engines    []EngineMetrics `json:"engines"`
+	MaxEngines int             `json:"max_engines"`
+	Builds     uint64          `json:"builds"`
+	Evictions  uint64          `json:"evictions"`
+	Requests   uint64          `json:"requests"`
+	Batches    uint64          `json:"batches"`
+	MeanBatch  float64         `json:"mean_batch"`
+}
+
+// MetricsSnapshot gathers per-engine and pool-wide serving metrics.
+func (p *Pool) MetricsSnapshot() PoolMetrics {
+	p.mu.Lock()
+	entries := make([]*poolEntry, 0, len(p.engines))
+	for _, e := range p.engines {
+		entries = append(entries, e)
+	}
+	pm := PoolMetrics{MaxEngines: p.opt.MaxEngines, Builds: p.builds, Evictions: p.evictions}
+	refs := make(map[*poolEntry]int, len(entries))
+	for _, e := range entries {
+		refs[e] = e.refs
+	}
+	p.mu.Unlock()
+
+	for _, e := range entries {
+		select {
+		case <-e.ready:
+		default:
+			continue // still building
+		}
+		if e.err != nil {
+			continue
+		}
+		m := e.sched.metrics()
+		pm.Engines = append(pm.Engines, EngineMetrics{
+			EngineKey: e.key, Schedule: e.schedule, Refs: refs[e], Metrics: m,
+		})
+		pm.Requests += m.Requests
+		pm.Batches += m.Batches
+	}
+	sort.Slice(pm.Engines, func(i, j int) bool {
+		return pm.Engines[i].EngineKey.String() < pm.Engines[j].EngineKey.String()
+	})
+	if pm.Batches > 0 {
+		pm.MeanBatch = float64(pm.Requests) / float64(pm.Batches)
+	}
+	return pm
+}
+
+// Close shuts the pool down: subsequent Acquires fail with ErrClosed,
+// and every resident engine's scheduler drains and closes. Engines
+// still referenced by outstanding Handles close too — their handles'
+// submissions will return ErrClosed — so Close is for process shutdown.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	entries := make([]*poolEntry, 0, len(p.engines))
+	for _, e := range p.engines {
+		entries = append(entries, e)
+		delete(p.engines, e.key)
+	}
+	p.mu.Unlock()
+	for _, e := range entries {
+		<-e.ready
+		if e.sched != nil {
+			e.sched.close()
+		}
+	}
+}
+
+// Handle is a pinned reference to one pooled engine.
+type Handle struct {
+	pool     *Pool
+	e        *poolEntry
+	released sync.Once
+}
+
+// Key returns the engine's identity.
+func (h *Handle) Key() EngineKey { return h.e.key }
+
+// Schedule names the engine variant (fused / twophase / routed).
+func (h *Handle) Schedule() string { return h.e.schedule }
+
+// Rows and Cols are the served matrix's dimensions.
+func (h *Handle) Rows() int { return h.e.sched.rows }
+func (h *Handle) Cols() int { return h.e.sched.cols }
+
+// Multiply submits x for coalesced execution and returns y ← Ax,
+// bit-identical to a solo engine Multiply.
+func (h *Handle) Multiply(ctx context.Context, x []float64) ([]float64, error) {
+	return h.e.sched.submit(ctx, x)
+}
+
+// Release unpins the engine; the handle must not be used afterwards.
+// Releasing twice is a no-op.
+func (h *Handle) Release() {
+	h.released.Do(func() { h.pool.release(h.e, false) })
+}
+
+// Metrics snapshots the engine this handle pins.
+func (h *Handle) Metrics() Metrics { return h.e.sched.metrics() }

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/spmv"
+)
+
+// scheduler coalesces concurrent single-vector multiply submissions into
+// SpMM batches on one engine. A single runner goroutine owns the engine
+// (Multiply calls must never overlap), draining the queue in flushes of
+// up to maxBatch requests; a flush fires as soon as maxBatch requests
+// are queued, or when the oldest queued request has waited maxWait.
+//
+// Demultiplexed results are bit-identical to solo Multiply calls: the
+// block kernels accumulate every column in the scalar kernels' exact
+// nonzero order, and fold order is fixed by sender rank either way.
+type scheduler struct {
+	eng        spmv.Multiplier
+	rows, cols int
+	opt        Options
+
+	mu     sync.Mutex
+	queue  []*request
+	oldest time.Time // enqueue time of queue[0]
+	closed bool
+
+	wake chan struct{} // capacity 1; runner wake-up
+	wg   sync.WaitGroup
+
+	m collector
+}
+
+// request is one queued multiply. The caller owns x (and must not write
+// it until submit returns); y is allocated by the flush that serves it.
+// submit never returns while a flush holds the request, so the engine
+// is never reading x after the caller regains control of it.
+type request struct {
+	x    []float64
+	y    []float64
+	err  error
+	done chan struct{}
+	enq  time.Time
+}
+
+func newScheduler(eng spmv.Multiplier, rows, cols int, opt Options) *scheduler {
+	s := &scheduler{
+		eng:  eng,
+		rows: rows,
+		cols: cols,
+		opt:  opt,
+		wake: make(chan struct{}, 1),
+	}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// submit queues x for the next batch and blocks until the result is
+// demultiplexed back or ctx is cancelled. Admission control fails fast:
+// a full queue returns *OverloadError without blocking.
+func (s *scheduler) submit(ctx context.Context, x []float64) ([]float64, error) {
+	if len(x) != s.cols {
+		return nil, &DimensionError{Got: len(x), Want: s.cols, What: "x"}
+	}
+	req := &request{x: x, done: make(chan struct{}), enq: time.Now()}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(s.queue) >= s.opt.MaxQueue {
+		depth := len(s.queue)
+		s.mu.Unlock()
+		s.m.overload()
+		return nil, &OverloadError{Depth: depth, Limit: s.opt.MaxQueue}
+	}
+	if len(s.queue) == 0 {
+		s.oldest = req.enq
+	}
+	s.queue = append(s.queue, req)
+	n := len(s.queue)
+	s.mu.Unlock()
+
+	// Wake the runner when the queue goes non-empty (it may be parked
+	// with nothing to wait for) and when a full batch is ready (it may be
+	// sitting out the remainder of a maxWait window).
+	if n == 1 || n >= s.opt.MaxBatch {
+		s.wakeRunner()
+	}
+
+	select {
+	case <-req.done:
+		return req.y, req.err
+	case <-ctx.Done():
+		// Still queued → remove it ourselves: it never widens a batch and
+		// the caller gets its x slice back immediately. Already claimed by
+		// a flush → the engine is reading x right now, so wait the flush
+		// out (one multiply, bounded) and return its result; returning
+		// early would hand the caller a slice the engine workers are
+		// still reading.
+		if s.dequeue(req) {
+			s.m.cancel()
+			return nil, ctx.Err()
+		}
+		<-req.done
+		return req.y, req.err
+	}
+}
+
+// dequeue removes a still-queued request, reporting false when a flush
+// has already claimed it.
+func (s *scheduler) dequeue(req *request) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.queue {
+		if r == req {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			if i == 0 && len(s.queue) > 0 {
+				s.oldest = s.queue[0].enq
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (s *scheduler) wakeRunner() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the engine-owning loop: park while the queue is empty, honor
+// the maxWait window while a partial batch ages, flush otherwise.
+func (s *scheduler) run() {
+	defer s.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		s.mu.Lock()
+		n := len(s.queue)
+		closed := s.closed
+		wait := time.Duration(0)
+		if n > 0 && n < s.opt.MaxBatch && !closed {
+			wait = s.opt.MaxWait - time.Since(s.oldest)
+		}
+		var batch []*request
+		if n > 0 && wait <= 0 {
+			batch = s.takeBatchLocked()
+		}
+		s.mu.Unlock()
+
+		switch {
+		case batch != nil:
+			s.flush(batch)
+		case n == 0 && closed:
+			return
+		case n == 0:
+			<-s.wake
+		default: // partial batch aging: wake early on a full batch or close
+			timer.Reset(wait)
+			select {
+			case <-s.wake:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// takeBatchLocked removes up to MaxBatch requests from the queue head
+// and restarts the wait window for the remainder.
+func (s *scheduler) takeBatchLocked() []*request {
+	take := len(s.queue)
+	if take > s.opt.MaxBatch {
+		take = s.opt.MaxBatch
+	}
+	batch := s.queue[:take:take]
+	s.queue = append([]*request(nil), s.queue[take:]...)
+	if len(s.queue) > 0 {
+		s.oldest = s.queue[0].enq
+	}
+	return batch
+}
+
+// flush runs one coalesced multiply and demultiplexes the results.
+// (Requests cancelled while queued were dequeued by their submitters,
+// so everything in the batch is live.)
+func (s *scheduler) flush(batch []*request) {
+	err := s.multiply(batch)
+	latMs := make([]float64, 0, len(batch))
+	for _, r := range batch {
+		r.err = err
+		latMs = append(latMs, msSince(r.enq))
+		close(r.done)
+	}
+	if err != nil {
+		s.m.fail(len(batch))
+		return
+	}
+	s.m.recordBatch(len(batch), latMs)
+}
+
+// multiply executes the batch on the engine, converting an engine panic
+// into an error on every request rather than killing the server.
+func (s *scheduler) multiply(batch []*request) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: engine failure: %v", r)
+		}
+	}()
+	if len(batch) == 1 {
+		batch[0].y = make([]float64, s.rows)
+		s.eng.Multiply(batch[0].x, batch[0].y)
+		return nil
+	}
+	X := make([][]float64, len(batch))
+	Y := make([][]float64, len(batch))
+	for i, r := range batch {
+		r.y = make([]float64, s.rows)
+		X[i] = r.x
+		Y[i] = r.y
+	}
+	s.eng.MultiplyMulti(X, Y)
+	return nil
+}
+
+// metrics snapshots the collector with the live queue depth.
+func (s *scheduler) metrics() Metrics {
+	s.mu.Lock()
+	depth := len(s.queue)
+	s.mu.Unlock()
+	return s.m.snapshot(depth)
+}
+
+// close drains the queue (pending requests still complete), stops the
+// runner, and closes the engine. Safe to call twice.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.wakeRunner()
+	s.wg.Wait()
+	s.eng.Close()
+}

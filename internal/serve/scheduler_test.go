@@ -1,0 +1,466 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/method"
+	"repro/internal/sparse"
+	"repro/internal/spmv"
+)
+
+// testMatrix is a small SPD stencil — valid input for every registry
+// method and for CG.
+func testMatrix(t *testing.T, nx, ny int) *sparse.CSR {
+	t.Helper()
+	return gen.Laplace2D(nx, ny, false)
+}
+
+func buildEngine(t *testing.T, a *sparse.CSR, name string, k int, seed int64) spmv.Multiplier {
+	t.Helper()
+	b, err := method.BuildByName(name, a, k, method.Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	eng, err := spmv.New(b)
+	if err != nil {
+		t.Fatalf("engine %s: %v", name, err)
+	}
+	return eng
+}
+
+func newTestScheduler(t *testing.T, a *sparse.CSR, opt Options) *scheduler {
+	t.Helper()
+	s := newScheduler(buildEngine(t, a, "s2d", 4, 1), a.Rows, a.Cols, opt.withDefaults())
+	t.Cleanup(s.close)
+	return s
+}
+
+func randVec(r *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64()*4 - 2
+	}
+	return x
+}
+
+// TestFlushOnMaxWaitSingleRequest: a lone request must not wait for
+// companions forever — the maxWait window flushes it as a batch of one.
+func TestFlushOnMaxWaitSingleRequest(t *testing.T) {
+	a := testMatrix(t, 12, 12)
+	s := newTestScheduler(t, a, Options{MaxBatch: 8, MaxWait: 5 * time.Millisecond})
+	r := rand.New(rand.NewSource(3))
+	x := randVec(r, a.Cols)
+
+	t0 := time.Now()
+	y, err := s.submit(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("single request took %v; maxWait flush broken", elapsed)
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(x, want)
+	for i := range want {
+		if diff := y[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	m := s.metrics()
+	if m.Requests != 1 || m.Batches != 1 || m.MeanBatch != 1 {
+		t.Fatalf("metrics = %+v, want 1 request in 1 batch", m)
+	}
+}
+
+// TestFlushOnExactMaxBatch: the batch must flush the moment maxBatch
+// requests accumulate, long before the (deliberately huge) maxWait.
+func TestFlushOnExactMaxBatch(t *testing.T) {
+	a := testMatrix(t, 12, 12)
+	const batch = 4
+	s := newTestScheduler(t, a, Options{MaxBatch: batch, MaxWait: time.Hour})
+	r := rand.New(rand.NewSource(5))
+
+	var wg sync.WaitGroup
+	errs := make([]error, batch)
+	t0 := time.Now()
+	for i := 0; i < batch; i++ {
+		x := randVec(r, a.Cols)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.submit(context.Background(), x)
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("maxBatch-full batch did not flush (stuck on maxWait)")
+	}
+	if elapsed := time.Since(t0); elapsed > 10*time.Second {
+		t.Fatalf("full batch took %v", elapsed)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	m := s.metrics()
+	if m.Requests != batch || m.Batches != 1 || m.MeanBatch != batch {
+		t.Fatalf("metrics = %+v, want one batch of %d", m, batch)
+	}
+}
+
+// waitDepth polls until the scheduler's queue reaches depth n.
+func waitDepth(t *testing.T, s *scheduler, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.metrics().QueueDepth >= n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("queue never reached depth %d", n)
+}
+
+// TestContextCancelledMidBatch: a request cancelled while queued returns
+// ctx.Err immediately, leaves the queue (it must not widen the batch or
+// hold its caller's x slice), and does not disturb its batchmates'
+// results.
+func TestContextCancelledMidBatch(t *testing.T) {
+	a := testMatrix(t, 12, 12)
+	const batch = 4
+	s := newTestScheduler(t, a, Options{MaxBatch: batch, MaxWait: time.Hour})
+	r := rand.New(rand.NewSource(7))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelledErr := make(chan error, 1)
+	xs := make([][]float64, 5)
+	for i := range xs {
+		xs[i] = randVec(r, a.Cols)
+	}
+	go func() {
+		_, err := s.submit(ctx, xs[0])
+		cancelledErr <- err
+	}()
+	waitDepth(t, s, 1)
+
+	type out struct {
+		y   []float64
+		err error
+	}
+	outs := make([]chan out, 4)
+	sub := func(i int) {
+		outs[i] = make(chan out, 1)
+		go func() {
+			y, err := s.submit(context.Background(), xs[1+i])
+			outs[i] <- out{y, err}
+		}()
+	}
+	sub(0)
+	sub(1)
+	waitDepth(t, s, 3) // A (cancellable) + two batchmates, one short of a flush
+
+	// Cancel the first request: it leaves the queue immediately, so the
+	// batch is further from full and the batchmates keep waiting.
+	cancel()
+	if err := <-cancelledErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request returned %v, want context.Canceled", err)
+	}
+	if d := s.metrics().QueueDepth; d != 2 {
+		t.Fatalf("queue depth after cancel = %d, want 2", d)
+	}
+
+	// Two fresh requests fill the batch and trigger the flush.
+	sub(2)
+	sub(3)
+
+	want := make([]float64, a.Rows)
+	check := func(x, y []float64) {
+		t.Helper()
+		a.MulVec(x, want)
+		for i := range want {
+			if diff := y[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("batchmate result corrupted at %d: %v want %v", i, y[i], want[i])
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		o := <-outs[i]
+		if o.err != nil {
+			t.Fatalf("batchmate %d: %v", i, o.err)
+		}
+		check(xs[1+i], o.y)
+	}
+
+	m := s.metrics()
+	if m.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", m.Cancelled)
+	}
+	if m.Requests != 4 || m.Batches != 1 {
+		t.Fatalf("metrics = %+v, want one batch of 4 live requests", m)
+	}
+}
+
+// TestCancelStormNoRace hammers the scheduler with short-deadline
+// submissions and writes each caller's x slice the moment submit
+// returns — the pattern /v1/solve's CG produces when a client
+// disconnects mid-iteration. Run under -race this pins the contract
+// that submit never returns while a flush still reads x.
+func TestCancelStormNoRace(t *testing.T) {
+	a := testMatrix(t, 20, 20)
+	s := newTestScheduler(t, a, Options{MaxBatch: 4, MaxWait: 100 * time.Microsecond})
+
+	const clients = 16
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(c)))
+			x := randVec(r, a.Cols)
+			for time.Now().Before(deadline) {
+				ctx, cancel := context.WithTimeout(context.Background(),
+					time.Duration(r.Intn(300))*time.Microsecond)
+				_, err := s.submit(ctx, x)
+				cancel()
+				if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				// Reuse x immediately, like an iterative solver would.
+				x[r.Intn(len(x))] = r.Float64()
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestSubmitOverload: the bounded queue rejects the request past
+// MaxQueue with a typed overload error, without blocking.
+func TestSubmitOverload(t *testing.T) {
+	a := testMatrix(t, 12, 12)
+	s := newTestScheduler(t, a, Options{MaxBatch: 64, MaxWait: time.Hour, MaxQueue: 2})
+	r := rand.New(rand.NewSource(11))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		go s.submit(ctx, randVec(r, a.Cols)) //nolint:errcheck // unblocked by cancel
+	}
+	waitDepth(t, s, 2)
+
+	_, err := s.submit(context.Background(), randVec(r, a.Cols))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Limit != 2 {
+		t.Fatalf("err = %#v, want *OverloadError with Limit 2", err)
+	}
+	if m := s.metrics(); m.Overloads != 1 {
+		t.Fatalf("overloads = %d, want 1", m.Overloads)
+	}
+}
+
+// TestSubmitAfterClose: submissions after close fail with ErrClosed and
+// close drains queued work first.
+func TestSubmitAfterClose(t *testing.T) {
+	a := testMatrix(t, 12, 12)
+	s := newScheduler(buildEngine(t, a, "s2d", 4, 1), a.Rows, a.Cols,
+		Options{}.withDefaults())
+	r := rand.New(rand.NewSource(13))
+	x := randVec(r, a.Cols)
+	if _, err := s.submit(context.Background(), x); err != nil {
+		t.Fatal(err)
+	}
+	s.close()
+	s.close() // idempotent
+	if _, err := s.submit(context.Background(), x); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestSubmitDimensionError: admission control rejects wrong-sized
+// vectors before they reach the engine.
+func TestSubmitDimensionError(t *testing.T) {
+	a := testMatrix(t, 12, 12)
+	s := newTestScheduler(t, a, Options{})
+	_, err := s.submit(context.Background(), make([]float64, a.Cols+1))
+	var de *DimensionError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want *DimensionError", err)
+	}
+}
+
+// TestCoalescedBitwiseEqualsSolo is the correctness half of the serving
+// acceptance criterion: results demultiplexed from coalesced batches
+// must be bit-identical to solo engine Multiply calls, across engine
+// schedules (fused s2D, two-phase 2D, routed s2D-b, medium-grain).
+func TestCoalescedBitwiseEqualsSolo(t *testing.T) {
+	a := testMatrix(t, 16, 14)
+	const k, seed = 4, 1
+	for _, name := range []string{"1d", "2d", "2d-b", "s2d", "s2d-b", "s2d-mg"} {
+		t.Run(name, func(t *testing.T) {
+			solo := buildEngine(t, a, name, k, seed)
+			defer solo.Close()
+			s := newScheduler(buildEngine(t, a, name, k, seed), a.Rows, a.Cols,
+				Options{MaxBatch: 8, MaxWait: 2 * time.Millisecond}.withDefaults())
+			defer s.close()
+
+			r := rand.New(rand.NewSource(17))
+			const n = 24
+			xs := make([][]float64, n)
+			for i := range xs {
+				xs[i] = randVec(r, a.Cols)
+			}
+			got := make([][]float64, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					got[i], errs[i] = s.submit(context.Background(), xs[i])
+				}(i)
+			}
+			wg.Wait()
+
+			want := make([]float64, a.Rows)
+			for i := 0; i < n; i++ {
+				if errs[i] != nil {
+					t.Fatalf("request %d: %v", i, errs[i])
+				}
+				solo.Multiply(xs[i], want)
+				for j := range want {
+					if got[i][j] != want[j] {
+						t.Fatalf("request %d: y[%d] = %v, want %v (not bit-identical)",
+							i, j, got[i][j], want[j])
+					}
+				}
+			}
+			if m := s.metrics(); m.Requests != n {
+				t.Fatalf("requests = %d, want %d", m.Requests, n)
+			}
+		})
+	}
+}
+
+// TestCoalescingThroughputUnderLoad is the performance half of the
+// acceptance criterion: with >= 32 in-flight clients and maxBatch=8 the
+// coalescing scheduler must achieve a mean batch width above 2 and more
+// requests/sec than a no-batching baseline that serializes solo
+// Multiply calls on an identical engine.
+func TestCoalescingThroughputUnderLoad(t *testing.T) {
+	a := testMatrix(t, 50, 50) // 2500 rows, ~12k nnz
+	const (
+		clients  = 32
+		duration = 400 * time.Millisecond
+	)
+	r := rand.New(rand.NewSource(19))
+	xs := make([][]float64, clients)
+	for i := range xs {
+		xs[i] = randVec(r, a.Cols)
+	}
+
+	// Baseline: same engine build, solo Multiply behind a mutex (the only
+	// safe no-batching way to share an engine across goroutines).
+	solo := buildEngine(t, a, "s2d", 4, 1)
+	defer solo.Close()
+	var soloMu sync.Mutex
+	soloOps := loadLoop(clients, duration, func(c int) {
+		y := make([]float64, a.Rows)
+		soloMu.Lock()
+		solo.Multiply(xs[c], y)
+		soloMu.Unlock()
+	})
+
+	s := newScheduler(buildEngine(t, a, "s2d", 4, 1), a.Rows, a.Cols,
+		Options{MaxBatch: 8, MaxWait: 200 * time.Microsecond}.withDefaults())
+	defer s.close()
+	coalescedOps := loadLoop(clients, duration, func(c int) {
+		if _, err := s.submit(context.Background(), xs[c]); err != nil {
+			t.Error(err)
+		}
+	})
+
+	m := s.metrics()
+	t.Logf("solo %d ops, coalesced %d ops, mean batch %.2f over %d batches",
+		soloOps, coalescedOps, m.MeanBatch, m.Batches)
+	if m.MeanBatch <= 2 {
+		t.Errorf("mean batch width = %.2f, want > 2", m.MeanBatch)
+	}
+	if coalescedOps <= soloOps {
+		t.Errorf("coalesced throughput %d ops <= solo %d ops", coalescedOps, soloOps)
+	}
+}
+
+// loadLoop runs clients goroutines hammering op until the duration
+// elapses and returns total completed operations.
+func loadLoop(clients int, d time.Duration, op func(c int)) int {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int
+	)
+	deadline := time.Now().Add(d)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			n := 0
+			for time.Now().Before(deadline) {
+				op(c)
+				n++
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	return total
+}
+
+// TestSchedulerManyBatches drives enough sequential traffic through a
+// small-batch scheduler to exercise the window-restart path (requests
+// left over after a full flush start a fresh maxWait window).
+func TestSchedulerManyBatches(t *testing.T) {
+	a := testMatrix(t, 10, 10)
+	s := newTestScheduler(t, a, Options{MaxBatch: 2, MaxWait: time.Millisecond})
+	r := rand.New(rand.NewSource(23))
+
+	const n = 40
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		x := randVec(r, a.Cols)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.submit(context.Background(), x); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	m := s.metrics()
+	if m.Requests != n {
+		t.Fatalf("requests = %d, want %d", m.Requests, n)
+	}
+	if m.Batches == 0 || m.Batches > n {
+		t.Fatalf("batches = %d, want in [%d, %d]", m.Batches, (n+1)/2, n)
+	}
+	if fmt.Sprintf("%.3f", m.MeanBatch) == "0.000" {
+		t.Fatal("mean batch width unrecorded")
+	}
+}

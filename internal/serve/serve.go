@@ -1,0 +1,71 @@
+// Package serve is the multi-tenant SpMV serving subsystem: it fronts
+// the compiled spmv engines with a production-style request path so that
+// many concurrent clients can share a handful of expensive engines and
+// the batched SpMM plans turn per-multiply wins into throughput wins.
+//
+// The pieces, bottom up:
+//
+//   - Pool: an engine cache keyed by (matrix, method, K). Engines build
+//     lazily through the method registry's memoizing Pipeline, are
+//     reference-counted by Acquire/Release, and idle engines evict LRU
+//     when the pool exceeds its cap — each engine keeps its K persistent
+//     workers parked between requests, so a cache hit costs nothing.
+//   - scheduler: a request-coalescing batcher per engine. Concurrent
+//     Multiply submissions queue and flush as one MultiplyBlock call
+//     when either MaxBatch vectors accumulate or the MaxWait window
+//     expires; results demultiplex back to callers bit-identical to a
+//     solo Multiply (the block kernels accumulate each column in the
+//     scalar kernels' exact nonzero order).
+//   - admission control: a bounded per-engine queue with typed overload
+//     errors (*OverloadError, 429 over HTTP) and context cancellation
+//     for queued requests.
+//   - Metrics: lock-cheap counters plus a latency ring, snapshotted per
+//     engine and pool-wide (requests, batches, mean batch width,
+//     p50/p99 latency, live queue depth).
+//   - Server: the HTTP JSON front end (cmd/spmvserve) exposing
+//     /v1/multiply, /v1/solve (CG on the pooled engine), /v1/methods,
+//     /v1/matrices (MatrixMarket upload), and /metrics.
+//   - LoadGen: a closed-loop load generator that sweeps offered
+//     concurrency against a running server and reports
+//     throughput/latency/achieved-batch-width records in the same JSON
+//     shape cmd/benchdiff gates on.
+package serve
+
+import "time"
+
+// Options configures a Pool and the schedulers it creates.
+type Options struct {
+	// MaxBatch is the widest SpMM batch one flush may coalesce
+	// (default 8).
+	MaxBatch int
+	// MaxWait is how long the first queued request may wait for
+	// companions before the batch flushes anyway (default 200µs).
+	MaxWait time.Duration
+	// MaxQueue bounds the per-engine queue depth; submissions beyond it
+	// fail fast with *OverloadError (default 1024).
+	MaxQueue int
+	// MaxEngines caps the pool's resident engines; when exceeded, idle
+	// (refcount zero) engines evict in LRU order. In-use engines never
+	// evict, so the pool can transiently exceed the cap (default 8).
+	MaxEngines int
+	// Seed and Epsilon are the method.Options knobs shared by every
+	// build the pool performs.
+	Seed    int64
+	Epsilon float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 200 * time.Microsecond
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 1024
+	}
+	if o.MaxEngines <= 0 {
+		o.MaxEngines = 8
+	}
+	return o
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/method"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+// Server is the HTTP JSON front end over a Pool. It implements
+// http.Handler; cmd/spmvserve mounts it directly.
+//
+//	POST /v1/multiply  {"matrix","method","k","x":[...]}      → {"y":[...]}
+//	POST /v1/solve     {"matrix","method","k","b":[...],...}  → {"x":[...],...}
+//	GET  /v1/methods                                          → registry + matrices
+//	POST /v1/matrices?name=N   (MatrixMarket body)            → {"name","rows",...}
+//	GET  /metrics                                             → PoolMetrics
+//
+// Error mapping: unknown matrix/method 404, malformed request 400,
+// admission-control overload 429, pool shutdown 503, engine failure 500.
+type Server struct {
+	pool *Pool
+	mux  *http.ServeMux
+
+	// DefaultMethod and DefaultK fill requests that omit them.
+	DefaultMethod string
+	DefaultK      int
+}
+
+// NewServer wraps pool in the HTTP API.
+func NewServer(pool *Pool) *Server {
+	s := &Server{pool: pool, mux: http.NewServeMux(), DefaultMethod: "s2d", DefaultK: 4}
+	s.mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
+	s.mux.HandleFunc("POST /v1/matrices", s.handleUpload)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// engineRequest is the addressing triple shared by multiply and solve.
+type engineRequest struct {
+	Matrix string `json:"matrix"`
+	Method string `json:"method"`
+	K      int    `json:"k"`
+}
+
+func (s *Server) acquire(req engineRequest) (*Handle, error) {
+	if req.Method == "" {
+		req.Method = s.DefaultMethod
+	}
+	if req.K == 0 {
+		req.K = s.DefaultK
+	}
+	return s.pool.Acquire(req.Matrix, req.Method, req.K)
+}
+
+type multiplyRequest struct {
+	engineRequest
+	X []float64 `json:"x"`
+}
+
+type multiplyResponse struct {
+	Y         []float64 `json:"y"`
+	Method    string    `json:"method"`
+	K         int       `json:"k"`
+	Schedule  string    `json:"schedule"`
+	ElapsedMs float64   `json:"elapsed_ms"`
+}
+
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	var req multiplyRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	h, err := s.acquire(req.engineRequest)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer h.Release()
+	t0 := time.Now()
+	y, err := h.Multiply(r.Context(), req.X)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, multiplyResponse{
+		Y: y, Method: h.Key().Method, K: h.Key().K, Schedule: h.Schedule(),
+		ElapsedMs: msSince(t0),
+	})
+}
+
+type solveRequest struct {
+	engineRequest
+	B       []float64 `json:"b"`
+	Tol     float64   `json:"tol"`      // default 1e-8
+	MaxIter int       `json:"max_iter"` // default 500
+}
+
+type solveResponse struct {
+	X          []float64 `json:"x"`
+	Iterations int       `json:"iterations"`
+	Residual   float64   `json:"residual"`
+	Converged  bool      `json:"converged"`
+	Method     string    `json:"method"`
+	K          int       `json:"k"`
+	ElapsedMs  float64   `json:"elapsed_ms"`
+}
+
+// handleSolve runs CG on the pooled engine. Every CG iteration's
+// multiply goes through the coalescing scheduler, so concurrent solves
+// on the same engine batch each other's iterations.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		return
+	}
+	if req.Tol <= 0 {
+		req.Tol = 1e-8
+	}
+	if req.MaxIter <= 0 {
+		req.MaxIter = 500
+	}
+	h, err := s.acquire(req.engineRequest)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer h.Release()
+	if len(req.B) != h.Rows() {
+		writeError(w, &DimensionError{Got: len(req.B), Want: h.Rows(), What: "b"})
+		return
+	}
+
+	t0 := time.Now()
+	var mulErr error
+	mul := func(x, y []float64) {
+		if mulErr != nil {
+			return
+		}
+		res, err := h.Multiply(r.Context(), x)
+		if err != nil {
+			mulErr = err
+			return
+		}
+		copy(y, res)
+	}
+	stop := func() error {
+		if mulErr != nil {
+			return mulErr
+		}
+		return r.Context().Err()
+	}
+	x := make([]float64, len(req.B))
+	res, err := solver.CGStop(mul, req.B, x, req.Tol, req.MaxIter, stop)
+	if mulErr != nil {
+		writeError(w, mulErr)
+		return
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The stop hook fired on the request context, not on a solver
+			// verdict — report it as a cancellation, not a 422.
+			writeError(w, err)
+			return
+		}
+		// A solver rejection (indefinite matrix, dimension mismatch) is a
+		// property of the requested system, not a server fault.
+		writeJSON(w, http.StatusUnprocessableEntity,
+			errorBody{Error: fmt.Sprintf("serve: solve: %v", err)})
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse{
+		X: x, Iterations: res.Iterations, Residual: res.Residual, Converged: res.Converged,
+		Method: h.Key().Method, K: h.Key().K, ElapsedMs: msSince(t0),
+	})
+}
+
+type methodsResponse struct {
+	Methods  []method.Info `json:"methods"`
+	Matrices []MatrixInfo  `json:"matrices"`
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, methodsResponse{
+		Methods:  method.List(),
+		Matrices: s.pool.Matrices(),
+	})
+}
+
+// handleUpload registers a MatrixMarket matrix posted in the request
+// body under ?name= (falling back to a generated name).
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = fmt.Sprintf("upload-%d", time.Now().UnixNano())
+	}
+	a, err := sparse.ReadMatrixMarket(http.MaxBytesReader(w, r.Body, 1<<30))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if err := s.pool.AddMatrix(name, a); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, MatrixInfo{Name: name, Rows: a.Rows, Cols: a.Cols, NNZ: a.NNZ()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.MetricsSnapshot())
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<30))
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return err
+	}
+	return nil
+}
+
+// writeError maps the serving layer's typed errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var (
+		unknownMat *UnknownMatrixError
+		unknownMet *UnknownMethodError
+		dim        *DimensionError
+	)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.As(err, &unknownMat) || errors.As(err, &unknownMet):
+		status = http.StatusNotFound
+	case errors.As(err, &dim):
+		status = http.StatusBadRequest
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sparse"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Pool) {
+	t.Helper()
+	p := NewPool(Options{Seed: 1})
+	t.Cleanup(p.Close)
+	if err := p.AddMatrix("lap", testMatrix(t, 14, 14)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(p))
+	t.Cleanup(ts.Close)
+	return ts, p
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestHTTPMultiply(t *testing.T) {
+	ts, p := newTestServer(t)
+	a, err := p.Matrix("lap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	x := randVec(r, a.Cols)
+
+	resp, body := postJSON(t, ts.URL+"/v1/multiply", multiplyRequest{
+		engineRequest: engineRequest{Matrix: "lap", Method: "s2d", K: 4}, X: x,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var mr multiplyResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Schedule != "fused" || mr.Method != "s2D" || mr.K != 4 {
+		t.Fatalf("response meta = %+v", mr)
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(x, want)
+	for i := range want {
+		if math.Abs(mr.Y[i]-want[i]) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", i, mr.Y[i], want[i])
+		}
+	}
+}
+
+func TestHTTPMultiplyDefaults(t *testing.T) {
+	ts, _ := newTestServer(t)
+	x := make([]float64, 14*14)
+	resp, body := postJSON(t, ts.URL+"/v1/multiply", multiplyRequest{
+		engineRequest: engineRequest{Matrix: "lap"}, X: x, // method and K omitted
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		req  multiplyRequest
+		want int
+	}{
+		{"unknown matrix", multiplyRequest{engineRequest: engineRequest{Matrix: "nope"}, X: make([]float64, 196)}, http.StatusNotFound},
+		{"unknown method", multiplyRequest{engineRequest: engineRequest{Matrix: "lap", Method: "bogus"}, X: make([]float64, 196)}, http.StatusNotFound},
+		{"bad dims", multiplyRequest{engineRequest: engineRequest{Matrix: "lap"}, X: make([]float64, 7)}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/multiply", tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: error body %q not structured", tc.name, body)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/multiply", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPSolve(t *testing.T) {
+	ts, p := newTestServer(t)
+	a, err := p.Matrix("lap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	b := randVec(r, a.Rows)
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{
+		engineRequest: engineRequest{Matrix: "lap", Method: "s2d", K: 4},
+		B:             b, Tol: 1e-10, MaxIter: 2000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Converged {
+		t.Fatalf("CG did not converge: %+v", sr)
+	}
+	// Verify Ax ≈ b against the serial reference.
+	ax := make([]float64, a.Rows)
+	a.MulVec(sr.X, ax)
+	var bn, rn float64
+	for i := range b {
+		d := ax[i] - b[i]
+		rn += d * d
+		bn += b[i] * b[i]
+	}
+	if math.Sqrt(rn/bn) > 1e-8 {
+		t.Fatalf("relative residual %v too large", math.Sqrt(rn/bn))
+	}
+}
+
+func TestHTTPSolveNonSPDIsClientError(t *testing.T) {
+	ts, p := newTestServer(t)
+	// A matrix with a negative diagonal is indefinite: CG must refuse,
+	// and the refusal is the request's fault (422), not a server fault.
+	c := sparse.NewCOO(4, 4)
+	for i := 0; i < 4; i++ {
+		c.Add(i, i, -1)
+	}
+	if err := p.AddMatrix("neg", c.ToCSR()); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{
+		engineRequest: engineRequest{Matrix: "neg", K: 2},
+		B:             []float64{1, 2, 3, 4},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPMethodsAndMetrics(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/methods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr methodsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(mr.Methods) < 9 {
+		t.Fatalf("methods listed = %d, want >= 9 (the paper set)", len(mr.Methods))
+	}
+	if len(mr.Matrices) != 1 || mr.Matrices[0].Name != "lap" {
+		t.Fatalf("matrices = %+v", mr.Matrices)
+	}
+
+	// Drive one request, then verify /metrics reflects it.
+	x := make([]float64, mr.Matrices[0].Cols)
+	if resp, body := postJSON(t, ts.URL+"/v1/multiply", multiplyRequest{
+		engineRequest: engineRequest{Matrix: "lap"}, X: x,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("multiply: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pm PoolMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&pm); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pm.Requests != 1 || len(pm.Engines) != 1 || pm.Engines[0].Schedule == "" {
+		t.Fatalf("metrics = %+v, want 1 request on 1 engine", pm)
+	}
+}
+
+func TestHTTPUpload(t *testing.T) {
+	ts, _ := newTestServer(t)
+	m := testMatrix(t, 6, 6)
+	var mtx bytes.Buffer
+	if err := sparse.WriteMatrixMarket(&mtx, m); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/matrices?name=uploaded", "text/plain", &mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mi MatrixInfo
+	if err := json.NewDecoder(resp.Body).Decode(&mi); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || mi.Rows != 36 {
+		t.Fatalf("upload: status %d info %+v", resp.StatusCode, mi)
+	}
+	// The uploaded matrix serves immediately.
+	x := make([]float64, 36)
+	if resp, body := postJSON(t, ts.URL+"/v1/multiply", multiplyRequest{
+		engineRequest: engineRequest{Matrix: "uploaded", K: 2}, X: x,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("multiply on upload: %d %s", resp.StatusCode, body)
+	}
+	// Garbage uploads are rejected cleanly.
+	resp, err = http.Post(ts.URL+"/v1/matrices?name=bad", "text/plain", strings.NewReader("not a matrix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPOverload(t *testing.T) {
+	p := NewPool(Options{Seed: 1, MaxQueue: 1, MaxBatch: 64, MaxWait: time.Hour})
+	t.Cleanup(p.Close)
+	if err := p.AddMatrix("lap", testMatrix(t, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Pin the queue: acquire the engine directly and stuff its queue so
+	// the HTTP request hits admission control.
+	h, err := p.Acquire("lap", "s2d", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	s := h.e.sched
+	s.mu.Lock()
+	// Synthetic occupant with a fresh window: the runner sits out MaxWait
+	// (an hour), so the next submission must hit admission control.
+	s.oldest = time.Now()
+	s.queue = append(s.queue, &request{done: make(chan struct{}), enq: s.oldest})
+	s.mu.Unlock()
+
+	ts := httptest.NewServer(NewServer(p))
+	t.Cleanup(ts.Close)
+	resp, body := postJSON(t, ts.URL+"/v1/multiply", multiplyRequest{
+		engineRequest: engineRequest{Matrix: "lap"}, X: make([]float64, 100),
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	// Unstuff so close() can drain.
+	s.mu.Lock()
+	s.queue = nil
+	s.mu.Unlock()
+}

@@ -28,6 +28,14 @@ var ErrDimension = errors.New("solver: dimension mismatch")
 // CG solves Ax = b for symmetric positive definite A. x is both the
 // initial guess and the output. n is the system dimension.
 func CG(mul MulVec, b, x []float64, tol float64, maxIter int) (Result, error) {
+	return CGStop(mul, b, x, tol, maxIter, nil)
+}
+
+// CGStop is CG with a per-iteration abort hook for serving callers: stop
+// (nil means never) runs before each iteration, and a non-nil return —
+// a cancelled request context, a failed pooled multiply — ends the solve
+// immediately with that error and the progress so far in Result.
+func CGStop(mul MulVec, b, x []float64, tol float64, maxIter int, stop func() error) (Result, error) {
 	n := len(b)
 	if len(x) != n {
 		return Result{}, ErrDimension
@@ -50,6 +58,11 @@ func CG(mul MulVec, b, x []float64, tol float64, maxIter int) (Result, error) {
 		if res.Residual < tol {
 			res.Converged = true
 			return res, nil
+		}
+		if stop != nil {
+			if err := stop(); err != nil {
+				return res, err
+			}
 		}
 		mul(p, ap)
 		pap := Dot(p, ap)

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -37,6 +38,46 @@ func TestCGSolvesLaplacian(t *testing.T) {
 		if math.Abs(x[i]-xStar[i]) > 1e-6 {
 			t.Fatalf("x[%d] = %v, want %v", i, x[i], xStar[i])
 		}
+	}
+}
+
+func TestCGStopAbortsMidSolve(t *testing.T) {
+	a := spd()
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	stopErr := errors.New("client went away")
+	calls := 0
+	stop := func() error {
+		calls++
+		if calls > 3 {
+			return stopErr
+		}
+		return nil
+	}
+	x := make([]float64, n)
+	res, err := CGStop(a.MulVec, b, x, 1e-12, 2000, stop)
+	if !errors.Is(err, stopErr) {
+		t.Fatalf("err = %v, want the stop error", err)
+	}
+	if res.Converged {
+		t.Fatal("aborted solve reported convergence")
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("iterations = %d, want 3 (aborted on the 4th check)", res.Iterations)
+	}
+}
+
+func TestCGStopNilNeverStops(t *testing.T) {
+	a := spd()
+	b := make([]float64, a.Rows)
+	b[0] = 1
+	x := make([]float64, a.Rows)
+	res, err := CGStop(a.MulVec, b, x, 1e-10, 2000, nil)
+	if err != nil || !res.Converged {
+		t.Fatalf("nil stop hook must behave like CG: res=%+v err=%v", res, err)
 	}
 }
 

@@ -32,16 +32,30 @@ func WriteMatrixMarket(w io.Writer, m *CSR) error {
 // ReadMatrixMarket parses a MatrixMarket coordinate file. Supported
 // qualifiers: real/integer/pattern and general/symmetric. Symmetric input
 // is expanded to general storage (mirror entries added for off-diagonals).
+//
+// Real-world .mtx files are messy, so the parser is liberal where the
+// spec allows: a UTF-8 BOM and blank lines before the header, `%`
+// comment and blank lines anywhere after the header (including between
+// entries and trailing at EOF), and CRLF line endings are all accepted.
+// Data lines beyond the declared entry count are an error — a count
+// mismatch means a truncated or corrupt upload, not formatting noise.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 
-	if !sc.Scan() {
+	first := ""
+	for sc.Scan() {
+		first = strings.TrimPrefix(sc.Text(), "\ufeff")
+		if strings.TrimSpace(first) != "" {
+			break
+		}
+	}
+	if strings.TrimSpace(first) == "" {
 		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
 	}
-	header := strings.Fields(strings.ToLower(sc.Text()))
+	header := strings.Fields(strings.ToLower(first))
 	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
-		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", first)
 	}
 	field, sym := header[3], header[4]
 	switch field {
@@ -108,6 +122,15 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		if sym == "symmetric" && i != j {
 			c.Add(j-1, i-1, v)
 		}
+	}
+	// Anything after the declared entries must be comments or blank
+	// trailing lines.
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return nil, fmt.Errorf("sparse: unexpected data after %d declared entries: %q", nnz, line)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,68 @@
+package spmv
+
+import (
+	"testing"
+)
+
+// The serving layer's engine pool refcounts shared engines and calls
+// Close on eviction; a second Close (or a racing Multiply that loses to
+// Close) must fail loudly and diagnosably, never panic with the
+// runtime's "send on closed channel" or deadlock.
+
+// closers builds one engine per schedule without registering cleanup,
+// so the tests own the Close calls.
+func closers(t *testing.T) map[string]Multiplier {
+	t.Helper()
+	fused, twoPhase, routed, _, _ := allocFixtures(t)
+	return map[string]Multiplier{
+		"fused":    fused,
+		"twophase": twoPhase,
+		"routed":   routed,
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	for name, eng := range closers(t) {
+		t.Run(name, func(t *testing.T) {
+			eng.Close()
+			eng.Close() // must not panic
+			eng.Close()
+		})
+	}
+}
+
+func TestMultiplyAfterClosePanics(t *testing.T) {
+	for name, eng := range closers(t) {
+		t.Run(name, func(t *testing.T) {
+			eng.Close()
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("Multiply after Close did not panic")
+				}
+				if s, ok := r.(string); !ok || s != "spmv: Multiply on closed engine" {
+					t.Fatalf("unexpected panic %v", r)
+				}
+			}()
+			x := make([]float64, 400)
+			y := make([]float64, 400)
+			eng.Multiply(x, y)
+		})
+	}
+}
+
+func TestMultiplyBlockAfterClosePanics(t *testing.T) {
+	for name, eng := range closers(t) {
+		t.Run(name, func(t *testing.T) {
+			eng.Close()
+			defer func() {
+				if recover() == nil {
+					t.Fatal("MultiplyBlock after Close did not panic")
+				}
+			}()
+			X := make([]float64, 400*2)
+			Y := make([]float64, 400*2)
+			eng.MultiplyBlock(X, Y, 2)
+		})
+	}
+}

@@ -134,9 +134,11 @@ func NewEngine(d *distrib.Distribution) (*Engine, error) {
 }
 
 // Close parks the engine permanently: its worker goroutines exit and
-// Multiply must not be called again. Closing is optional — an unclosed
-// engine merely keeps K goroutines parked until process exit — but
-// long-lived programs that build many engines should close them.
+// Multiply must not be called again (it panics with a diagnosable
+// message if it is). Close is idempotent — sharing layers that
+// refcount engines may Close defensively. Closing is optional — an
+// unclosed engine merely keeps K goroutines parked until process exit —
+// but long-lived programs that build many engines should close them.
 func (e *Engine) Close() { e.pool.close() }
 
 func newProcs(k, phases int) []*proc {

@@ -4,6 +4,7 @@ import (
 	"maps"
 	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // This file holds the compiled execution plan shared by all three
@@ -292,6 +293,7 @@ type workerPool struct {
 	start     []chan struct{}
 	done      sync.WaitGroup
 	closeOnce sync.Once
+	closed    atomic.Bool
 }
 
 // launch spawns n workers; each waits for a start signal, executes run
@@ -320,6 +322,12 @@ func (p *workerPool) dispatch(x, y []float64) {
 // dispatchBlock is dispatch with a published block width; nrhs = 0 runs
 // the single-vector plan.
 func (p *workerPool) dispatchBlock(x, y []float64, nrhs int) {
+	if p.closed.Load() {
+		// A sharing layer (refcounted pools, pipelines) that races Multiply
+		// against Close gets a diagnosable panic instead of the runtime's
+		// "send on closed channel".
+		panic("spmv: Multiply on closed engine")
+	}
 	for i := range y {
 		y[i] = 0
 	}
@@ -333,9 +341,10 @@ func (p *workerPool) dispatchBlock(x, y []float64, nrhs int) {
 }
 
 // close releases the parked workers permanently; dispatch must not be
-// called afterwards.
+// called afterwards. Closing twice is a no-op.
 func (p *workerPool) close() {
 	p.closeOnce.Do(func() {
+		p.closed.Store(true)
 		for _, ch := range p.start {
 			close(ch)
 		}

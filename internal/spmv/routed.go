@@ -428,7 +428,8 @@ func dedupSorted(xs []int) []int {
 	return out
 }
 
-// Close parks the routed engine permanently (see Engine.Close).
+// Close parks the routed engine permanently; like Engine.Close it is
+// idempotent, and Multiply after Close panics with a clear message.
 func (e *RoutedEngine) Close() { e.pool.close() }
 
 // Multiply computes y ← Ax with the routed two-phase schedule.
