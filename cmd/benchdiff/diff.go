@@ -13,10 +13,12 @@ import (
 // spmvbench -json kernel benchmarks (kind empty) and serve.LoadGen
 // serving-throughput records (kind "serve", keyed additionally by the
 // offered concurrency; ns_per_op there is 1e9/RPS, so the same
-// slowdown-ratio math gates requests/sec). Unknown fields are ignored,
-// so older and newer baselines both load.
+// slowdown-ratio math gates requests/sec). Op distinguishes forward
+// records (empty) from transpose kernels ("transpose"). Unknown fields
+// are ignored, so older and newer baselines both load.
 type record struct {
 	Kind        string  `json:"kind"`
+	Op          string  `json:"op"`
 	Method      string  `json:"method"`
 	Matrix      string  `json:"matrix"`
 	Seed        int64   `json:"seed"`
@@ -39,6 +41,7 @@ func (r record) serving() bool { return r.Kind == "serve" }
 // ratio measures the matrix size, not a regression.
 type key struct {
 	Kind        string
+	Op          string
 	Method      string
 	Matrix      string
 	Seed        int64
@@ -54,12 +57,15 @@ func (r record) key() key {
 	if nrhs == 0 {
 		nrhs = 1 // baselines predating the nrhs field
 	}
-	return key{r.Kind, r.Method, r.Matrix, r.Seed, r.K, nrhs, r.Concurrency, r.Schedule, r.Rows}
+	return key{r.Kind, r.Op, r.Method, r.Matrix, r.Seed, r.K, nrhs, r.Concurrency, r.Schedule, r.Rows}
 }
 
 func (k key) String() string {
 	s := fmt.Sprintf("%s/%s/seed=%d/K=%d/nrhs=%d/%s/n=%d",
 		k.Method, k.Matrix, k.Seed, k.K, k.NRHS, k.Schedule, k.Rows)
+	if k.Op != "" {
+		s = k.Op + ":" + s
+	}
 	if k.Kind != "" {
 		s = k.Kind + ":" + s + fmt.Sprintf("/conc=%d", k.Concurrency)
 	}
@@ -96,10 +102,19 @@ type report struct {
 	allocViolers []key
 	baseOnly     []key
 	curOnly      []key
+	// badRecords lists every record (either file) with a non-positive
+	// ns_per_op — a corrupted or zeroed measurement. Any such record
+	// fails the gate: silently skipping it would shrink coverage with no
+	// signal.
+	badRecords []key
+	// dropped lists key matches that could not be compared because one
+	// side's ns_per_op was non-positive.
+	dropped []key
 }
 
 func (r *report) ok() bool {
-	return len(r.pairs) > 0 && len(r.allocViolers) == 0 && r.geomean <= r.tolerance
+	return len(r.pairs) > 0 && len(r.allocViolers) == 0 &&
+		len(r.badRecords) == 0 && r.geomean <= r.tolerance
 }
 
 // diff pairs the two record sets and computes the gate verdict.
@@ -108,11 +123,17 @@ func diff(base, cur []record, tolerance float64) *report {
 	baseBy := make(map[key]record, len(base))
 	for _, b := range base {
 		baseBy[b.key()] = b
+		if b.NsPerOp <= 0 {
+			rep.badRecords = append(rep.badRecords, b.key())
+		}
 	}
 	seen := make(map[key]bool, len(cur))
 	for _, c := range cur {
 		k := c.key()
 		seen[k] = true
+		if c.NsPerOp <= 0 {
+			rep.badRecords = append(rep.badRecords, k)
+		}
 		if c.AllocsPerOp != 0 && !c.serving() {
 			rep.allocViolers = append(rep.allocViolers, k)
 		}
@@ -123,6 +144,8 @@ func diff(base, cur []record, tolerance float64) *report {
 		}
 		if b.NsPerOp > 0 && c.NsPerOp > 0 {
 			rep.pairs = append(rep.pairs, pair{key: k, ratio: c.NsPerOp / b.NsPerOp})
+		} else {
+			rep.dropped = append(rep.dropped, k)
 		}
 	}
 	for k := range baseBy {
@@ -133,6 +156,8 @@ func diff(base, cur []record, tolerance float64) *report {
 	sortKeys(rep.allocViolers)
 	sortKeys(rep.baseOnly)
 	sortKeys(rep.curOnly)
+	sortKeys(rep.badRecords)
+	sortKeys(rep.dropped)
 	sort.Slice(rep.pairs, func(i, j int) bool { return rep.pairs[i].ratio > rep.pairs[j].ratio })
 
 	if len(rep.pairs) > 0 {
@@ -150,8 +175,8 @@ func sortKeys(ks []key) {
 }
 
 func (r *report) print(w io.Writer) {
-	fmt.Fprintf(w, "benchdiff: %d paired records, geomean ns/op ratio %.3f (tolerance %.2f)\n",
-		len(r.pairs), r.geomean, r.tolerance)
+	fmt.Fprintf(w, "benchdiff: %d paired records, %d dropped, geomean ns/op ratio %.3f (tolerance %.2f)\n",
+		len(r.pairs), len(r.dropped), r.geomean, r.tolerance)
 	show := len(r.pairs)
 	if show > 5 {
 		show = 5
@@ -168,7 +193,16 @@ func (r *report) print(w io.Writer) {
 	for _, k := range r.curOnly {
 		fmt.Fprintf(w, "  warning: new record %s (no baseline; add it on the next baseline refresh)\n", k)
 	}
+	for _, k := range r.dropped {
+		fmt.Fprintf(w, "  dropped pair %s (non-positive ns_per_op on one side)\n", k)
+	}
 	switch {
+	case len(r.badRecords) > 0:
+		fmt.Fprintf(w, "FAIL: %d record(s) carry non-positive ns_per_op (corrupted or zeroed measurement):\n",
+			len(r.badRecords))
+		for _, k := range r.badRecords {
+			fmt.Fprintf(w, "  %s\n", k)
+		}
 	case len(r.pairs) == 0:
 		fmt.Fprintln(w, "FAIL: no records paired up — baseline and current runs must use the same scale/K/nrhs sweep")
 	case len(r.allocViolers) > 0:

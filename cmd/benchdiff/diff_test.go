@@ -137,3 +137,50 @@ func TestReportPrint(t *testing.T) {
 		t.Fatalf("unexpected report:\n%s", out)
 	}
 }
+
+func TestDiffFailsOnNonPositiveNsPerOp(t *testing.T) {
+	// A zeroed current record must fail the gate loudly, not silently
+	// shrink its coverage.
+	base := []record{rec("s2D", 4, 1, 1000, 0), rec("s2D", 16, 1, 1000, 0)}
+	cur := []record{rec("s2D", 4, 1, 1100, 0), rec("s2D", 16, 1, 0, 0)}
+	rep := diff(base, cur, 1.25)
+	if rep.ok() {
+		t.Fatal("a zeroed ns_per_op record must fail the gate")
+	}
+	if len(rep.badRecords) != 1 {
+		t.Fatalf("badRecords = %v, want exactly the zeroed record", rep.badRecords)
+	}
+	if len(rep.dropped) != 1 {
+		t.Fatalf("dropped = %v, want the unpaired key reported", rep.dropped)
+	}
+	var buf bytes.Buffer
+	rep.print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "1 dropped") || !strings.Contains(out, "non-positive ns_per_op") {
+		t.Fatalf("report must surface dropped pairs and the bad record:\n%s", out)
+	}
+}
+
+func TestDiffFailsOnCorruptBaselineRecord(t *testing.T) {
+	base := []record{rec("s2D", 4, 1, -5, 0)}
+	cur := []record{rec("s2D", 4, 1, 1000, 0)}
+	if rep := diff(base, cur, 1.25); rep.ok() {
+		t.Fatal("a corrupt baseline record must fail the gate")
+	}
+}
+
+func TestDiffTransposeRecordsPairSeparately(t *testing.T) {
+	// Forward and transpose measurements of the same kernel must never
+	// pair with each other.
+	fwd := rec("s2D", 4, 1, 1000, 0)
+	tr := rec("s2D", 4, 1, 1200, 0)
+	tr.Op = "transpose"
+	rep := diff([]record{fwd}, []record{tr}, 1.25)
+	if len(rep.pairs) != 0 {
+		t.Fatal("forward baseline paired with a transpose record")
+	}
+	rep = diff([]record{fwd, tr}, []record{fwd, tr}, 1.25)
+	if !rep.ok() || len(rep.pairs) != 2 {
+		t.Fatalf("op-matched records should pair: %+v", rep)
+	}
+}

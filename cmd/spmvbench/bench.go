@@ -14,14 +14,18 @@ import (
 
 // benchRecord is one machine-readable engine measurement, emitted by
 // `spmvbench -json` so successive PRs can track the perf trajectory in
-// BENCH_*.json files. Method, matrix, seed, K, and nrhs identify the
-// measurement; schedule names the engine variant the build ran on.
-// NsPerOp times one whole block multiply (nrhs=1: one Multiply);
-// NsPerColumn = NsPerOp/nrhs is the per-RHS throughput figure. Packets
-// and MaxMsgs are per multiply regardless of nrhs — the block path widens
-// payloads, not the message count — so CommVolume (words moved per block
+// BENCH_*.json files. Method, matrix, seed, K, nrhs, and op identify
+// the measurement; schedule names the engine variant the build ran on.
+// Op is empty for the forward product and "transpose" for y ← Aᵀx
+// records (-transpose), which reuse the forward plan's packets with the
+// phases reversed — so the communication columns are shared. NsPerOp
+// times one whole block multiply (nrhs=1: one Multiply); NsPerColumn =
+// NsPerOp/nrhs is the per-RHS throughput figure. Packets and MaxMsgs
+// are per multiply regardless of nrhs — the block path widens payloads,
+// not the message count — so CommVolume (words moved per block
 // multiply) is VolumeWords·nrhs.
 type benchRecord struct {
+	Op          string  `json:"op,omitempty"`
 	Method      string  `json:"method"`
 	Matrix      string  `json:"matrix"`
 	Seed        int64   `json:"seed"`
@@ -54,9 +58,12 @@ func scheduleOf(b method.Build) string {
 
 // runJSONBench benchmarks steady-state Multiply (and, for nrhs > 1,
 // MultiplyBlock) for every requested registry method at each (K, nrhs)
-// and writes a JSON array to w. All builds share one pipeline, so common
-// prerequisites are computed once across the sweep.
-func runJSONBench(w io.Writer, cfg harness.Config, methods []string, nrhsList []int) error {
+// and writes a JSON array to w; with transpose set it additionally
+// benchmarks MultiplyTranspose / MultiplyTransposeBlock on the same
+// engines, emitting op="transpose" records the benchdiff gate pairs
+// separately from the forward ones. All builds share one pipeline, so
+// common prerequisites are computed once across the sweep.
+func runJSONBench(w io.Writer, cfg harness.Config, methods []string, nrhsList []int, transpose bool) error {
 	ks := cfg.Ks
 	if len(ks) == 0 {
 		ks = []int{4, 16, 64}
@@ -98,6 +105,28 @@ func runJSONBench(w io.Writer, cfg harness.Config, methods []string, nrhsList []
 				return fmt.Errorf("%s K=%d: %w", name, k, err)
 			}
 			cs := eng.ScheduleStats()
+			record := func(op string, nrhs int, res testing.BenchmarkResult) {
+				recs = append(recs, benchRecord{
+					Op:          op,
+					Method:      b.Method,
+					Matrix:      matrixName,
+					Seed:        cfg.Seed,
+					K:           k,
+					NRHS:        nrhs,
+					Schedule:    scheduleOf(b),
+					Rows:        a.Rows,
+					Cols:        a.Cols,
+					NNZ:         a.NNZ(),
+					NsPerOp:     float64(res.NsPerOp()),
+					NsPerColumn: float64(res.NsPerOp()) / float64(nrhs),
+					AllocsPerOp: res.AllocsPerOp(),
+					BytesPerOp:  res.AllocedBytesPerOp(),
+					Packets:     cs.TotalMsgs,
+					MaxMsgs:     cs.MaxSendMsgs,
+					VolumeWords: cs.TotalVolume,
+					CommVolume:  cs.TotalVolume * nrhs,
+				})
+			}
 			for _, nrhs := range nrhsList {
 				var res testing.BenchmarkResult
 				if nrhs == 1 {
@@ -118,25 +147,33 @@ func runJSONBench(w io.Writer, cfg harness.Config, methods []string, nrhsList []
 						}
 					})
 				}
-				recs = append(recs, benchRecord{
-					Method:      b.Method,
-					Matrix:      matrixName,
-					Seed:        cfg.Seed,
-					K:           k,
-					NRHS:        nrhs,
-					Schedule:    scheduleOf(b),
-					Rows:        a.Rows,
-					Cols:        a.Cols,
-					NNZ:         a.NNZ(),
-					NsPerOp:     float64(res.NsPerOp()),
-					NsPerColumn: float64(res.NsPerOp()) / float64(nrhs),
-					AllocsPerOp: res.AllocsPerOp(),
-					BytesPerOp:  res.AllocedBytesPerOp(),
-					Packets:     cs.TotalMsgs,
-					MaxMsgs:     cs.MaxSendMsgs,
-					VolumeWords: cs.TotalVolume,
-					CommVolume:  cs.TotalVolume * nrhs,
-				})
+				record("", nrhs, res)
+				if !transpose {
+					continue
+				}
+				// Transpose sweep on the same engine: x lives in the row
+				// space, y in the column space. The square bench matrix lets
+				// the X/Y scratch serve both directions.
+				if nrhs == 1 {
+					x, y := X[:a.Rows], Y[:a.Cols]
+					eng.MultiplyTranspose(x, y) // compile the transpose plan
+					res = testing.Benchmark(func(bm *testing.B) {
+						bm.ReportAllocs()
+						for i := 0; i < bm.N; i++ {
+							eng.MultiplyTranspose(x, y)
+						}
+					})
+				} else {
+					Xb, Yb := X[:a.Rows*nrhs], Y[:a.Cols*nrhs]
+					eng.MultiplyTransposeBlock(Xb, Yb, nrhs)
+					res = testing.Benchmark(func(bm *testing.B) {
+						bm.ReportAllocs()
+						for i := 0; i < bm.N; i++ {
+							eng.MultiplyTransposeBlock(Xb, Yb, nrhs)
+						}
+					})
+				}
+				record("transpose", nrhs, res)
 			}
 			eng.Close()
 		}

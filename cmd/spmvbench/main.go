@@ -11,11 +11,13 @@
 //	spmvbench -json > BENCH.json    # machine-readable engine benchmarks
 //	spmvbench -json -methods all    # benchmark every registered method
 //	spmvbench -json -nrhs 1,8,32    # batched SpMM sweep (MultiplyBlock)
+//	spmvbench -json -transpose      # also sweep y <- A'x (MultiplyTranspose)
 //	spmvbench -nrhstable            # multi-RHS method comparison table
 //
-// Each -json record carries the method name, matrix, seed, K, and nrhs,
-// so BENCH_*.json baselines from successive PRs are directly comparable
-// (cmd/benchdiff consumes exactly these records).
+// Each -json record carries the method name, matrix, seed, K, nrhs, and
+// op ("" forward, "transpose" for A'x), so BENCH_*.json baselines from
+// successive PRs are directly comparable (cmd/benchdiff consumes
+// exactly these records).
 package main
 
 import (
@@ -46,6 +48,8 @@ func main() {
 		"comma-separated right-hand-side counts for -json and -nrhstable, e.g. 1,8,32")
 	nrhsTable := flag.Bool("nrhstable", false,
 		"render the multi-RHS (batched SpMM) method comparison table")
+	transpose := flag.Bool("transpose", false,
+		"with -json, additionally benchmark the transpose kernels (y <- A'x)")
 	flag.Parse()
 
 	cfg := harness.Config{Scale: *scale, Seed: *seed, Parallelism: *par}
@@ -66,6 +70,9 @@ func main() {
 	nrhs := parseIntList("-nrhs", *nrhsList)
 	if *nrhsList != "" && !*jsonBench && !*nrhsTable && !*all {
 		fatalUsage("-nrhs only applies to -json, -nrhstable, or -all")
+	}
+	if *transpose && !*jsonBench {
+		fatalUsage("-transpose only applies to -json")
 	}
 
 	w := os.Stdout
@@ -99,7 +106,7 @@ func main() {
 		for i := range methods {
 			methods[i] = strings.TrimSpace(methods[i])
 		}
-		if err := runJSONBench(w, cfg, methods, nrhs); err != nil {
+		if err := runJSONBench(w, cfg, methods, nrhs, *transpose); err != nil {
 			fmt.Fprintf(os.Stderr, "spmvbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -12,7 +12,8 @@
 // Endpoints:
 //
 //	POST /v1/multiply   {"matrix","method","k","x":[...]}  → {"y":[...]}
-//	POST /v1/solve      {"matrix","method","k","b":[...]}  → CG solution
+//	POST /v1/solve      {"matrix","method","k","b":[...]}  → CG (square) or
+//	                    LSQR/CGNR (rectangular; optional "solver" field)
 //	GET  /v1/methods    registered methods + loaded matrices
 //	POST /v1/matrices   upload a MatrixMarket body (?name=...)
 //	GET  /metrics       pool + per-engine serving metrics

@@ -10,12 +10,15 @@
 // (internal/baselines), the method registry and memoizing build pipeline
 // through which every consumer constructs partitions (internal/method), a
 // message-passing SpMV engine that compiles each schedule into an
-// allocation-free execution plan run by persistent workers, serving both
-// single-vector Multiply and batched multi-RHS MultiplyBlock/
-// MultiplyMulti with one packet per peer per phase at any width
-// (internal/spmv), iterative solvers including block CG, block BiCGSTAB,
-// and multi-seed PageRank over one SpMM per iteration (internal/solver),
-// the α–β cost model with its batched EvaluateNRHS extension
+// allocation-free execution plan run by persistent workers, serving
+// single-vector Multiply, batched multi-RHS MultiplyBlock/MultiplyMulti
+// with one packet per peer per phase at any width, and the transpose
+// product MultiplyTranspose (plus its blocked twins), which reuses each
+// plan's packets with the phases reversed (internal/spmv), iterative
+// solvers including block CG, block BiCGSTAB, multi-seed PageRank over
+// one SpMM per iteration, and the least-squares pair LSQR/CGNR over
+// (Ax, Aᵀx) (internal/solver), the α–β cost model with its batched
+// EvaluateNRHS and duality-stating EvaluateTranspose extensions
 // (internal/model), and the experiment harness regenerating the paper's
 // Tables I–VII and Figure 1 — plus the multi-RHS scaling table the paper
 // never measured — as data-driven loops over the registry

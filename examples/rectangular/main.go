@@ -1,8 +1,10 @@
-// Rectangular SpMV: the paper's formulation never assumes square matrices
-// (§III develops s2D for m×n A). This example partitions a tall LP-style
-// constraint matrix, where the input vector partition must be derived by
-// column majority rather than symmetrically, and runs both y ← Ax and the
-// transpose product z ← Aᵀy used by normal-equation solvers.
+// Rectangular least squares end to end: the paper's formulation never
+// assumes square matrices (§III develops s2D for m×n A), and its Expand
+// and Fold phases are exact duals — so one s2D distribution serves both
+// y ← Ax and z ← Aᵀy from the same compiled plan with the phases
+// reversed. This example partitions a tall LP-style constraint matrix
+// once, verifies both products against the serial reference, and then
+// solves min ‖Ax − b‖₂ with LSQR and CGNR driving that single engine.
 //
 // Run with: go run ./examples/rectangular
 package main
@@ -13,6 +15,7 @@ import (
 	"math/rand"
 
 	"repro/internal/method"
+	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/spmv"
 )
@@ -37,10 +40,10 @@ func main() {
 	}
 	defer engine.Close()
 	cs := b.Comm()
-	fmt.Printf("s2D on A:  volume %d, msgs %d, LI %.1f%%\n",
+	fmt.Printf("s2D on A: volume %d, msgs %d, LI %.1f%%\n",
 		cs.TotalVolume, cs.TotalMsgs, b.Dist.LoadImbalance()*100)
 
-	// Forward product.
+	// Forward and transpose products from the one compiled plan.
 	r := rand.New(rand.NewSource(4))
 	x := make([]float64, cols)
 	for i := range x {
@@ -50,27 +53,45 @@ func main() {
 	engine.Multiply(x, y)
 	want := make([]float64, rows)
 	a.MulVec(x, want)
-	fmt.Printf("y <- Ax: max |err| = %.2e\n", maxErr(y, want))
+	fmt.Printf("y <- Ax:  max |err| = %.2e\n", maxErr(y, want))
 
-	// Transpose product with its own s2D partition (A^T is wide).
-	at := a.Transpose()
-	bt, err := method.BuildByName("s2D", at, k, opt)
-	if err != nil {
-		panic(err)
-	}
-	engineT, err := spmv.New(bt)
-	if err != nil {
-		panic(err)
-	}
-	defer engineT.Close()
 	z := make([]float64, cols)
-	engineT.Multiply(y, z)
+	engine.MultiplyTranspose(y, z)
 	wantZ := make([]float64, cols)
-	at.MulVec(y, wantZ)
-	fmt.Printf("z <- A'y: max |err| = %.2e\n", maxErr(z, wantZ))
-	csT := bt.Comm()
-	fmt.Printf("s2D on A': volume %d, msgs %d, LI %.1f%%\n",
-		csT.TotalVolume, csT.TotalMsgs, bt.Dist.LoadImbalance()*100)
+	a.Transpose().MulVec(y, wantZ)
+	fmt.Printf("z <- A'y: max |err| = %.2e (same engine, phases reversed)\n", maxErr(z, wantZ))
+
+	// Least squares: plant a solution, perturb b off range(A), recover.
+	xTrue := make([]float64, cols)
+	for j := range xTrue {
+		xTrue[j] = r.Float64()*2 - 1
+	}
+	rhs := make([]float64, rows)
+	engine.Multiply(xTrue, rhs)
+	noisy := append([]float64(nil), rhs...)
+	for i := range noisy {
+		noisy[i] += (r.Float64() - 0.5) * 1e-3
+	}
+
+	for _, solve := range []struct {
+		name string
+		run  func(b, x []float64) (solver.Result, error)
+	}{
+		{"LSQR", func(bv, xv []float64) (solver.Result, error) {
+			return solver.LSQR(engine.Multiply, engine.MultiplyTranspose, bv, xv, 1e-10, 500)
+		}},
+		{"CGNR", func(bv, xv []float64) (solver.Result, error) {
+			return solver.CGNR(engine.Multiply, engine.MultiplyTranspose, bv, xv, 1e-10, 500)
+		}},
+	} {
+		xs := make([]float64, cols)
+		res, err := solve.run(noisy, xs)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d iters, residual %.2e, converged %v, max |x - x_true| = %.2e\n",
+			solve.name, res.Iterations, res.Residual, res.Converged, maxErr(xs, xTrue))
+	}
 }
 
 // constraintMatrix builds a tall sparse matrix: each row (constraint)
@@ -87,6 +108,10 @@ func constraintMatrix(rows, cols, perRow, globals int) *sparse.CSR {
 		if r.Intn(8) == 0 {
 			c.Add(i, r.Intn(globals), 1) // dense coupling columns
 		}
+	}
+	// Anchor every variable so A has full column rank.
+	for j := 0; j < cols; j++ {
+		c.Add(j*rows/cols, j, 4)
 	}
 	return c.ToCSR()
 }

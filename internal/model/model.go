@@ -57,6 +57,24 @@ func (m Machine) EvaluateDistribution(d *distrib.Distribution) Estimate {
 	return m.Evaluate(d.PartLoads(), d.Comm().Phases, d.A.NNZ())
 }
 
+// EvaluateTranspose models the transpose product y ← Aᵀx executed on
+// the same distribution: the engines reuse the forward plan's packets
+// with the phases reversed, so each forward phase's send pressure
+// becomes a transpose phase's receive pressure and vice versa. Because
+// the per-phase cost already charges the max of send and receive (both
+// gate progress on a torus NIC), the transpose estimate equals the
+// forward one — the model states the row/column duality the transpose
+// engines implement, and the property test pins it.
+func (m Machine) EvaluateTranspose(loads []int, phases []distrib.PhaseStats, nnz, nrhs int) Estimate {
+	rev := make([]distrib.PhaseStats, len(phases))
+	for i, ph := range phases {
+		ph.MaxSendMsgs, ph.MaxRecvMsgs = ph.MaxRecvMsgs, ph.MaxSendMsgs
+		ph.MaxSendVol, ph.MaxRecvVol = ph.MaxRecvVol, ph.MaxSendVol
+		rev[len(phases)-1-i] = ph
+	}
+	return m.EvaluateNRHS(loads, rev, nnz, nrhs)
+}
+
 // EvaluateNRHS models one batched SpMM over nrhs right-hand sides on the
 // same schedule: compute and per-word transfer scale by nrhs, while the
 // per-message α cost is paid once per packet regardless of width (the

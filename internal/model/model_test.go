@@ -118,3 +118,23 @@ func TestZeroWork(t *testing.T) {
 		t.Errorf("zero-work speedup = %v", est.Speedup)
 	}
 }
+
+// TestEvaluateTransposeEqualsForward pins the duality the transpose
+// engines implement: reversing the phases and swapping send/receive
+// pressure leaves the α–β estimate unchanged, because each phase is
+// charged the max of its send and receive figures.
+func TestEvaluateTransposeEqualsForward(t *testing.T) {
+	m := CrayXE6()
+	loads := []int{900, 1100, 1000, 950}
+	phases := []distrib.PhaseStats{
+		{MaxSendMsgs: 3, MaxRecvMsgs: 7, MaxSendVol: 120, MaxRecvVol: 40},
+		{MaxSendMsgs: 5, MaxRecvMsgs: 2, MaxSendVol: 30, MaxRecvVol: 200},
+	}
+	for _, nrhs := range []int{1, 8} {
+		fwd := m.EvaluateNRHS(loads, phases, 4000, nrhs)
+		tr := m.EvaluateTranspose(loads, phases, 4000, nrhs)
+		if fwd != tr {
+			t.Fatalf("nrhs=%d: transpose estimate %+v != forward %+v", nrhs, tr, fwd)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -87,13 +88,18 @@ func (c *collector) snapshot(queueDepth int) Metrics {
 	return m
 }
 
-// percentile reads the q-quantile from an ascending sample slice using
-// the nearest-rank method.
+// percentile reads the q-quantile from an ascending sample slice at
+// index ⌈q·(n−1)⌉ — the ceiling of the linear-interpolation position,
+// i.e. the upper of the two samples straddling the quantile. Rounding
+// the fractional rank up makes the estimate conservative everywhere
+// (p50 of an even window reads the upper median) and in particular
+// never under-reports the tail: the old truncating index int(q·(n−1))
+// read the 99th smallest of 100 samples as p99 instead of the maximum.
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
+	i := int(math.Ceil(q * float64(len(sorted)-1)))
 	return sorted[i]
 }
 

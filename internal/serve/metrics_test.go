@@ -1,0 +1,41 @@
+package serve
+
+import "testing"
+
+// TestPercentileCeilingNearestRank pins the ceiling nearest-rank
+// behavior on small windows, where the old truncating rank
+// systematically under-reported the tail: with 100 samples p99 read
+// index 98 (the 99th smallest) instead of the maximum.
+func TestPercentileCeilingNearestRank(t *testing.T) {
+	seq := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = float64(i + 1) // sorted 1..n
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		n    int
+		q    float64
+		want float64
+	}{
+		{"empty", 0, 0.99, 0},
+		{"single", 1, 0.99, 1},
+		{"single p50", 1, 0.50, 1},
+		{"p99 of 100 is the max", 100, 0.99, 100},
+		{"p99 of 10 is the max", 10, 0.99, 10},
+		{"p99 of 1000", 1000, 0.99, 991},
+		{"p50 of 2 rounds up", 2, 0.50, 2},
+		{"p50 of 100", 100, 0.50, 51},
+		{"p0 is the min", 10, 0, 1},
+		{"p100 is the max", 10, 1, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := percentile(seq(tc.n), tc.q); got != tc.want {
+				t.Fatalf("percentile(n=%d, q=%v) = %v, want %v", tc.n, tc.q, got, tc.want)
+			}
+		})
+	}
+}

@@ -349,6 +349,13 @@ func (h *Handle) Multiply(ctx context.Context, x []float64) ([]float64, error) {
 	return h.e.sched.submit(ctx, x)
 }
 
+// MultiplyTranspose submits x (length Rows) for coalesced execution and
+// returns y ← Aᵀx (length Cols). Transpose submissions batch with each
+// other, never into a forward flush.
+func (h *Handle) MultiplyTranspose(ctx context.Context, x []float64) ([]float64, error) {
+	return h.e.sched.submitT(ctx, x)
+}
+
 // Release unpins the engine; the handle must not be used afterwards.
 // Releasing twice is a no-op.
 func (h *Handle) Release() {

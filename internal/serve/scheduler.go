@@ -37,13 +37,16 @@ type scheduler struct {
 // request is one queued multiply. The caller owns x (and must not write
 // it until submit returns); y is allocated by the flush that serves it.
 // submit never returns while a flush holds the request, so the engine
-// is never reading x after the caller regains control of it.
+// is never reading x after the caller regains control of it. transpose
+// marks a y ← Aᵀx submission; a flush only ever coalesces requests of
+// one direction.
 type request struct {
-	x    []float64
-	y    []float64
-	err  error
-	done chan struct{}
-	enq  time.Time
+	x         []float64
+	y         []float64
+	transpose bool
+	err       error
+	done      chan struct{}
+	enq       time.Time
 }
 
 func newScheduler(eng spmv.Multiplier, rows, cols int, opt Options) *scheduler {
@@ -63,10 +66,25 @@ func newScheduler(eng spmv.Multiplier, rows, cols int, opt Options) *scheduler {
 // demultiplexed back or ctx is cancelled. Admission control fails fast:
 // a full queue returns *OverloadError without blocking.
 func (s *scheduler) submit(ctx context.Context, x []float64) ([]float64, error) {
-	if len(x) != s.cols {
-		return nil, &DimensionError{Got: len(x), Want: s.cols, What: "x"}
+	return s.submitOp(ctx, x, false)
+}
+
+// submitT is submit for the transpose product y ← Aᵀx (x length rows,
+// y length cols). Transpose submissions coalesce with each other but
+// never into a forward batch.
+func (s *scheduler) submitT(ctx context.Context, x []float64) ([]float64, error) {
+	return s.submitOp(ctx, x, true)
+}
+
+func (s *scheduler) submitOp(ctx context.Context, x []float64, transpose bool) ([]float64, error) {
+	want := s.cols
+	if transpose {
+		want = s.rows
 	}
-	req := &request{x: x, done: make(chan struct{}), enq: time.Now()}
+	if len(x) != want {
+		return nil, &DimensionError{Got: len(x), Want: want, What: "x"}
+	}
+	req := &request{x: x, transpose: transpose, done: make(chan struct{}), enq: time.Now()}
 
 	s.mu.Lock()
 	if s.closed {
@@ -149,7 +167,10 @@ func (s *scheduler) run() {
 		n := len(s.queue)
 		closed := s.closed
 		wait := time.Duration(0)
-		if n > 0 && n < s.opt.MaxBatch && !closed {
+		// The flushable batch is the homogeneous head run, not the whole
+		// queue: a full queue of mixed directions must not zero the wait,
+		// or a lone head request would flush sub-width with no window.
+		if n > 0 && s.headRunLocked() < s.opt.MaxBatch && !closed {
 			wait = s.opt.MaxWait - time.Since(s.oldest)
 		}
 		var batch []*request
@@ -178,13 +199,25 @@ func (s *scheduler) run() {
 	}
 }
 
-// takeBatchLocked removes up to MaxBatch requests from the queue head
-// and restarts the wait window for the remainder.
-func (s *scheduler) takeBatchLocked() []*request {
-	take := len(s.queue)
-	if take > s.opt.MaxBatch {
-		take = s.opt.MaxBatch
+// headRunLocked reports how many requests at the queue head share the
+// head's direction, capped at MaxBatch — the width the next flush
+// would coalesce.
+func (s *scheduler) headRunLocked() int {
+	run := 1
+	for run < len(s.queue) && run < s.opt.MaxBatch &&
+		s.queue[run].transpose == s.queue[0].transpose {
+		run++
 	}
+	return run
+}
+
+// takeBatchLocked removes up to MaxBatch requests from the queue head
+// and restarts the wait window for the remainder. A batch is
+// homogeneous in direction: the run stops at the first request whose
+// transpose flag differs from the head's, so forward and transpose
+// traffic each flush as their own SpMM.
+func (s *scheduler) takeBatchLocked() []*request {
+	take := s.headRunLocked()
 	batch := s.queue[:take:take]
 	s.queue = append([]*request(nil), s.queue[take:]...)
 	if len(s.queue) > 0 {
@@ -219,19 +252,32 @@ func (s *scheduler) multiply(batch []*request) (err error) {
 			err = fmt.Errorf("serve: engine failure: %v", r)
 		}
 	}()
+	transpose := batch[0].transpose
+	outLen := s.rows
+	if transpose {
+		outLen = s.cols
+	}
 	if len(batch) == 1 {
-		batch[0].y = make([]float64, s.rows)
-		s.eng.Multiply(batch[0].x, batch[0].y)
+		batch[0].y = make([]float64, outLen)
+		if transpose {
+			s.eng.MultiplyTranspose(batch[0].x, batch[0].y)
+		} else {
+			s.eng.Multiply(batch[0].x, batch[0].y)
+		}
 		return nil
 	}
 	X := make([][]float64, len(batch))
 	Y := make([][]float64, len(batch))
 	for i, r := range batch {
-		r.y = make([]float64, s.rows)
+		r.y = make([]float64, outLen)
 		X[i] = r.x
 		Y[i] = r.y
 	}
-	s.eng.MultiplyMulti(X, Y)
+	if transpose {
+		s.eng.MultiplyTransposeMulti(X, Y)
+	} else {
+		s.eng.MultiplyMulti(X, Y)
+	}
 	return nil
 }
 

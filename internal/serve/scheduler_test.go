@@ -464,3 +464,129 @@ func TestSchedulerManyBatches(t *testing.T) {
 		t.Fatal("mean batch width unrecorded")
 	}
 }
+
+// TestCoalescedTransposeBitwiseEqualsSolo mixes concurrent forward and
+// transpose submissions on one scheduler and checks both directions
+// against solo engine calls bit for bit — flushes must stay homogeneous
+// in direction, whatever interleaving the queue sees.
+func TestCoalescedTransposeBitwiseEqualsSolo(t *testing.T) {
+	a := testMatrix(t, 16, 14)
+	const k, seed = 4, 1
+	for _, name := range []string{"s2d", "2d", "s2d-b"} {
+		t.Run(name, func(t *testing.T) {
+			solo := buildEngine(t, a, name, k, seed)
+			defer solo.Close()
+			s := newScheduler(buildEngine(t, a, name, k, seed), a.Rows, a.Cols,
+				Options{MaxBatch: 8, MaxWait: 2 * time.Millisecond}.withDefaults())
+			defer s.close()
+
+			r := rand.New(rand.NewSource(29))
+			const n = 24
+			xs := make([][]float64, n)
+			for i := range xs {
+				if i%2 == 0 {
+					xs[i] = randVec(r, a.Cols) // forward
+				} else {
+					xs[i] = randVec(r, a.Rows) // transpose
+				}
+			}
+			got := make([][]float64, n)
+			errs := make([]error, n)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					if i%2 == 0 {
+						got[i], errs[i] = s.submit(context.Background(), xs[i])
+					} else {
+						got[i], errs[i] = s.submitT(context.Background(), xs[i])
+					}
+				}(i)
+			}
+			wg.Wait()
+
+			wantF := make([]float64, a.Rows)
+			wantT := make([]float64, a.Cols)
+			for i := 0; i < n; i++ {
+				if errs[i] != nil {
+					t.Fatalf("request %d: %v", i, errs[i])
+				}
+				want := wantF
+				if i%2 == 0 {
+					solo.Multiply(xs[i], wantF)
+				} else {
+					solo.MultiplyTranspose(xs[i], wantT)
+					want = wantT
+				}
+				for j := range want {
+					if got[i][j] != want[j] {
+						t.Fatalf("request %d: y[%d] = %v, want %v (not bit-identical)",
+							i, j, got[i][j], want[j])
+					}
+				}
+			}
+			if m := s.metrics(); m.Requests != n {
+				t.Fatalf("requests = %d, want %d", m.Requests, n)
+			}
+		})
+	}
+}
+
+// TestSubmitTransposeDimensionError: transpose admission control checks
+// against the row dimension, not the column one.
+func TestSubmitTransposeDimensionError(t *testing.T) {
+	a := testMatrix(t, 12, 10) // 120 rows == 120 cols only if square; use rect below
+	s := newTestScheduler(t, a, Options{})
+	if _, err := s.submitT(context.Background(), make([]float64, a.Rows+1)); err == nil {
+		t.Fatal("oversized transpose x accepted")
+	}
+	if _, err := s.submitT(context.Background(), make([]float64, a.Rows)); err != nil {
+		t.Fatalf("correctly sized transpose x rejected: %v", err)
+	}
+}
+
+// TestMixedDirectionQueueHonorsWaitWindow pins the wait-window rule
+// under mixed traffic: the flushable batch is the homogeneous head run,
+// so a lone forward request in front of a queue of transpose requests
+// must keep aging its MaxWait window — total queue length alone must
+// not trigger an immediate sub-width flush.
+func TestMixedDirectionQueueHonorsWaitWindow(t *testing.T) {
+	a := testMatrix(t, 12, 12)
+	s := newTestScheduler(t, a, Options{MaxBatch: 2, MaxWait: time.Hour})
+	r := rand.New(rand.NewSource(31))
+
+	fx := randVec(r, a.Cols)
+	tx := [2][]float64{randVec(r, a.Rows), randVec(r, a.Rows)}
+	results := make(chan error, 3)
+	go func() {
+		_, err := s.submit(context.Background(), fx)
+		results <- err
+	}()
+	waitDepth(t, s, 1)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := s.submitT(context.Background(), tx[i])
+			results <- err
+		}(i)
+	}
+	waitDepth(t, s, 3)
+
+	// Queue length (3) exceeds MaxBatch (2), but the head run is a single
+	// forward request: nothing may flush while its hour-long window ages.
+	time.Sleep(50 * time.Millisecond)
+	if m := s.metrics(); m.Batches != 0 || m.QueueDepth != 3 {
+		t.Fatalf("metrics = %+v, want 3 queued and no premature flush", m)
+	}
+
+	// close drains the queue: every request completes without error.
+	s.close()
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("drained request: %v", err)
+		}
+	}
+	if m := s.metrics(); m.Requests != 3 {
+		t.Fatalf("requests = %d, want 3 after drain", m.Requests)
+	}
+}

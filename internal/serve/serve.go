@@ -23,8 +23,9 @@
 //     engine and pool-wide (requests, batches, mean batch width,
 //     p50/p99 latency, live queue depth).
 //   - Server: the HTTP JSON front end (cmd/spmvserve) exposing
-//     /v1/multiply, /v1/solve (CG on the pooled engine), /v1/methods,
-//     /v1/matrices (MatrixMarket upload), and /metrics.
+//     /v1/multiply, /v1/solve (CG on square systems, LSQR/CGNR on
+//     rectangular ones, driving the engine's transpose plan),
+//     /v1/methods, /v1/matrices (MatrixMarket upload), and /metrics.
 //   - LoadGen: a closed-loop load generator that sweeps offered
 //     concurrency against a running server and reports
 //     throughput/latency/achieved-batch-width records in the same JSON

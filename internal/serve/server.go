@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/method"
@@ -101,9 +102,13 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 
 type solveRequest struct {
 	engineRequest
-	B       []float64 `json:"b"`
-	Tol     float64   `json:"tol"`      // default 1e-8
-	MaxIter int       `json:"max_iter"` // default 500
+	B []float64 `json:"b"`
+	// Solver selects the iterative method: "cg" (square SPD systems),
+	// "lsqr" or "cgnr" (rectangular least squares). Empty picks CG for
+	// square matrices and LSQR for rectangular ones.
+	Solver  string  `json:"solver"`
+	Tol     float64 `json:"tol"`      // default 1e-8
+	MaxIter int     `json:"max_iter"` // default 500
 }
 
 type solveResponse struct {
@@ -111,14 +116,17 @@ type solveResponse struct {
 	Iterations int       `json:"iterations"`
 	Residual   float64   `json:"residual"`
 	Converged  bool      `json:"converged"`
+	Solver     string    `json:"solver"`
 	Method     string    `json:"method"`
 	K          int       `json:"k"`
 	ElapsedMs  float64   `json:"elapsed_ms"`
 }
 
-// handleSolve runs CG on the pooled engine. Every CG iteration's
-// multiply goes through the coalescing scheduler, so concurrent solves
-// on the same engine batch each other's iterations.
+// handleSolve runs an iterative solver on the pooled engine: CG for
+// square systems, LSQR (or CGNR) over the Ax/Aᵀx pair for rectangular
+// ones. Every iteration's multiply goes through the coalescing
+// scheduler, so concurrent solves on the same engine batch each other's
+// iterations — forward and transpose products in their own batches.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req solveRequest
 	if err := decodeJSON(w, r, &req); err != nil {
@@ -136,32 +144,70 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer h.Release()
-	if len(req.B) != h.Rows() {
-		writeError(w, &DimensionError{Got: len(req.B), Want: h.Rows(), What: "b"})
+	rows, cols := h.Rows(), h.Cols()
+	if len(req.B) != rows {
+		writeError(w, &DimensionError{Got: len(req.B), Want: rows, What: "b"})
+		return
+	}
+	solverName := strings.ToLower(req.Solver)
+	if solverName == "" {
+		if rows == cols {
+			solverName = "cg"
+		} else {
+			solverName = "lsqr"
+		}
+	}
+	switch solverName {
+	case "cg":
+		if rows != cols {
+			// CG iterates y ← Ax on x of length Rows; on a rectangular
+			// matrix the first multiply would fail mid-solve. Reject the
+			// shape upfront and point at the least-squares solvers.
+			writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: fmt.Sprintf(
+				"serve: solve: CG requires a square system, matrix is %dx%d — use solver \"lsqr\" or \"cgnr\"",
+				rows, cols)})
+			return
+		}
+	case "lsqr", "cgnr":
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(
+			"serve: unknown solver %q (supported: cg, lsqr, cgnr)", req.Solver)})
 		return
 	}
 
 	t0 := time.Now()
 	var mulErr error
-	mul := func(x, y []float64) {
-		if mulErr != nil {
-			return
+	lift := func(call func(context.Context, []float64) ([]float64, error)) solver.MulVec {
+		return func(x, y []float64) {
+			if mulErr != nil {
+				return
+			}
+			res, err := call(r.Context(), x)
+			if err != nil {
+				mulErr = err
+				return
+			}
+			copy(y, res)
 		}
-		res, err := h.Multiply(r.Context(), x)
-		if err != nil {
-			mulErr = err
-			return
-		}
-		copy(y, res)
 	}
+	mul := lift(h.Multiply)
+	mulT := lift(h.MultiplyTranspose)
 	stop := func() error {
 		if mulErr != nil {
 			return mulErr
 		}
 		return r.Context().Err()
 	}
-	x := make([]float64, len(req.B))
-	res, err := solver.CGStop(mul, req.B, x, req.Tol, req.MaxIter, stop)
+	x := make([]float64, cols)
+	var res solver.Result
+	switch solverName {
+	case "cg":
+		res, err = solver.CGStop(mul, req.B, x, req.Tol, req.MaxIter, stop)
+	case "lsqr":
+		res, err = solver.LSQRStop(mul, mulT, req.B, x, req.Tol, req.MaxIter, stop)
+	case "cgnr":
+		res, err = solver.CGNRStop(mul, mulT, req.B, x, req.Tol, req.MaxIter, stop)
+	}
 	if mulErr != nil {
 		writeError(w, mulErr)
 		return
@@ -181,7 +227,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, solveResponse{
 		X: x, Iterations: res.Iterations, Residual: res.Residual, Converged: res.Converged,
-		Method: h.Key().Method, K: h.Key().K, ElapsedMs: msSince(t0),
+		Solver: solverName, Method: h.Key().Method, K: h.Key().K, ElapsedMs: msSince(t0),
 	})
 }
 

@@ -285,3 +285,118 @@ func TestHTTPOverload(t *testing.T) {
 	s.queue = nil
 	s.mu.Unlock()
 }
+
+// tallTestMatrix registers a rectangular (tall) constraint-style matrix.
+func tallTestMatrix(t *testing.T, p *Pool, name string, rows, cols int) *sparse.CSR {
+	t.Helper()
+	r := rand.New(rand.NewSource(71))
+	c := sparse.NewCOO(rows, cols)
+	for j := 0; j < cols; j++ {
+		c.Add(j, j, 4+r.Float64())
+	}
+	for i := cols; i < rows; i++ {
+		for k := 0; k < 3; k++ {
+			c.Add(i, r.Intn(cols), r.Float64()*2-1)
+		}
+	}
+	a := c.ToCSR()
+	if err := p.AddMatrix(name, a); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestHTTPSolveRectangularCGRejected pins the shape guard: an explicit
+// CG request on a rectangular system is a 422 naming the shape — not a
+// mid-solve engine failure.
+func TestHTTPSolveRectangularCGRejected(t *testing.T) {
+	ts, p := newTestServer(t)
+	a := tallTestMatrix(t, p, "tall", 90, 30)
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{
+		engineRequest: engineRequest{Matrix: "tall", K: 4},
+		B:             make([]float64, a.Rows), Solver: "cg",
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 (%s)", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.Error, "90x30") || !strings.Contains(eb.Error, "lsqr") {
+		t.Fatalf("error %q must name the shape and the least-squares solvers", eb.Error)
+	}
+}
+
+// TestHTTPSolveRectangularRoutesToLSQR is the end-to-end acceptance
+// path: a rectangular system with no solver field routes to LSQR and
+// converges, solving through the engine's transpose plan.
+func TestHTTPSolveRectangularRoutesToLSQR(t *testing.T) {
+	ts, p := newTestServer(t)
+	a := tallTestMatrix(t, p, "tall", 120, 40)
+	r := rand.New(rand.NewSource(73))
+	want := randVec(r, a.Cols)
+	b := make([]float64, a.Rows)
+	a.MulVec(want, b)
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{
+		engineRequest: engineRequest{Matrix: "tall", Method: "s2d", K: 4},
+		B:             b, Tol: 1e-12, MaxIter: 2000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Solver != "lsqr" {
+		t.Fatalf("solver = %q, want lsqr (auto-routed)", sr.Solver)
+	}
+	if !sr.Converged {
+		t.Fatalf("LSQR did not converge: %+v", sr)
+	}
+	for j := range want {
+		if math.Abs(sr.X[j]-want[j]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", j, sr.X[j], want[j])
+		}
+	}
+}
+
+// TestHTTPSolveCGNRExplicit exercises the explicit cgnr route on the
+// same rectangular system.
+func TestHTTPSolveCGNRExplicit(t *testing.T) {
+	ts, p := newTestServer(t)
+	a := tallTestMatrix(t, p, "tall", 100, 25)
+	r := rand.New(rand.NewSource(79))
+	want := randVec(r, a.Cols)
+	b := make([]float64, a.Rows)
+	a.MulVec(want, b)
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{
+		engineRequest: engineRequest{Matrix: "tall", K: 4},
+		B:             b, Solver: "CGNR", Tol: 1e-12, MaxIter: 2000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Solver != "cgnr" || !sr.Converged {
+		t.Fatalf("response = %+v, want converged cgnr", sr)
+	}
+}
+
+// TestHTTPSolveUnknownSolver is a 400 naming the supported solvers.
+func TestHTTPSolveUnknownSolver(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{
+		engineRequest: engineRequest{Matrix: "lap"},
+		B:             make([]float64, 196), Solver: "sor",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+}

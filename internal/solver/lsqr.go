@@ -1,0 +1,216 @@
+// Least-squares solvers over the Ax / Aᵀx pair. A rectangular system
+// min ‖Ax − b‖₂ needs both products every iteration; the distributed
+// engines provide the transpose from the same compiled plan with the
+// phases reversed, so the partitioning quality the paper optimizes
+// compounds over both directions at once.
+
+package solver
+
+import "math"
+
+// LSQR solves min ‖Ax − b‖₂ with the Paige–Saunders Golub–Kahan
+// bidiagonalization method. mul computes y ← Ax (x length n, y length
+// m = len(b)); mulT computes y ← Aᵀx (x length m, y length n). x is
+// both the initial guess and the output. Convergence is declared when
+// the relative residual ‖r‖/‖b‖ drops below tol (consistent systems)
+// or the normal-equation residual estimate ‖Aᵀr‖/(‖A‖·‖r‖) does
+// (inconsistent least-squares systems).
+func LSQR(mul, mulT MulVec, b, x []float64, tol float64, maxIter int) (Result, error) {
+	return LSQRStop(mul, mulT, b, x, tol, maxIter, nil)
+}
+
+// LSQRStop is LSQR with a per-iteration abort hook for serving callers,
+// mirroring CGStop: stop (nil means never) runs before each iteration,
+// and a non-nil return ends the solve immediately with that error and
+// the progress so far in Result.
+func LSQRStop(mul, mulT MulVec, b, x []float64, tol float64, maxIter int, stop func() error) (Result, error) {
+	m, n := len(b), len(x)
+	if m == 0 || n == 0 {
+		return Result{}, ErrDimension
+	}
+	u := make([]float64, m)
+	v := make([]float64, n)
+	w := make([]float64, n)
+	tmpM := make([]float64, m)
+	tmpN := make([]float64, n)
+
+	// β₁ u₁ = b − A x₀; α₁ v₁ = Aᵀ u₁.
+	mul(x, tmpM)
+	for i := range u {
+		u[i] = b[i] - tmpM[i]
+	}
+	beta := math.Sqrt(Dot(u, u))
+	bNorm := math.Sqrt(Dot(b, b))
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	var res Result
+	if beta == 0 {
+		// x₀ already solves the system exactly.
+		res.Converged = true
+		return res, nil
+	}
+	scale(u, 1/beta)
+	mulT(u, v)
+	alpha := math.Sqrt(Dot(v, v))
+	if alpha == 0 {
+		// Aᵀr = 0: x₀ is already a least-squares solution.
+		res.Residual = beta / bNorm
+		res.Converged = true
+		return res, nil
+	}
+	scale(v, 1/alpha)
+	copy(w, v)
+
+	phiBar := beta
+	rhoBar := alpha
+	aNorm := 0.0 // Frobenius-norm estimate of A, grown per iteration
+
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		res.Residual = phiBar / bNorm
+		if res.Residual < tol {
+			res.Converged = true
+			return res, nil
+		}
+		if stop != nil {
+			if err := stop(); err != nil {
+				return res, err
+			}
+		}
+		aNorm = math.Sqrt(aNorm*aNorm + alpha*alpha + beta*beta)
+
+		// Bidiagonalization step: β u ← A v − α u; α v ← Aᵀ u − β v.
+		mul(v, tmpM)
+		for i := range u {
+			u[i] = tmpM[i] - alpha*u[i]
+		}
+		beta = math.Sqrt(Dot(u, u))
+		if beta > 0 {
+			scale(u, 1/beta)
+		}
+		mulT(u, tmpN)
+		for i := range v {
+			v[i] = tmpN[i] - beta*v[i]
+		}
+		alpha = math.Sqrt(Dot(v, v))
+		if alpha > 0 {
+			scale(v, 1/alpha)
+		}
+
+		// Givens rotation eliminating β from the lower bidiagonal.
+		rho := math.Hypot(rhoBar, beta)
+		c := rhoBar / rho
+		s := beta / rho
+		theta := s * alpha
+		rhoBar = -c * alpha
+		phi := c * phiBar
+		phiBar = s * phiBar
+
+		// Update the iterate and the search direction.
+		t1 := phi / rho
+		t2 := -theta / rho
+		for i := range x {
+			x[i] += t1 * w[i]
+			w[i] = v[i] + t2*w[i]
+		}
+
+		// Least-squares convergence: ‖Aᵀr‖ = φ̄·α·|c|, so
+		// ‖Aᵀr‖/(‖A‖·‖r‖) = α·|c|/‖A‖ — tiny means the residual is
+		// orthogonal to range(A).
+		if aNorm > 0 && alpha*math.Abs(c)/aNorm < tol {
+			res.Iterations++
+			res.Residual = phiBar / bNorm
+			res.Converged = true
+			return res, nil
+		}
+	}
+	res.Residual = phiBar / bNorm
+	res.Converged = res.Residual < tol
+	return res, nil
+}
+
+// CGNR solves min ‖Ax − b‖₂ by conjugate gradients on the normal
+// equations AᵀA x = Aᵀb (the CGLS recurrence, which avoids forming
+// AᵀA). mul and mulT are as in LSQR. The residual reported is the
+// normal-equation residual ‖Aᵀ(b − Ax)‖ relative to ‖Aᵀb‖ — the
+// quantity that reaches zero at a least-squares solution even when
+// ‖Ax − b‖ cannot.
+func CGNR(mul, mulT MulVec, b, x []float64, tol float64, maxIter int) (Result, error) {
+	return CGNRStop(mul, mulT, b, x, tol, maxIter, nil)
+}
+
+// CGNRStop is CGNR with the per-iteration abort hook of CGStop.
+func CGNRStop(mul, mulT MulVec, b, x []float64, tol float64, maxIter int, stop func() error) (Result, error) {
+	m, n := len(b), len(x)
+	if m == 0 || n == 0 {
+		return Result{}, ErrDimension
+	}
+	r := make([]float64, m) // residual b − Ax
+	s := make([]float64, n) // normal-equation residual Aᵀr
+	p := make([]float64, n)
+	q := make([]float64, m)
+
+	mul(x, q)
+	for i := range r {
+		r[i] = b[i] - q[i]
+	}
+	mulT(r, s)
+	copy(p, s)
+	gamma := Dot(s, s)
+
+	// ‖Aᵀb‖ normalizes the reported residual; fall back to the initial
+	// ‖Aᵀr‖ when b = 0 (then any nonzero x₀ drives the iteration).
+	atb := make([]float64, n)
+	mulT(b, atb)
+	sNorm0 := math.Sqrt(Dot(atb, atb))
+	if sNorm0 == 0 {
+		sNorm0 = math.Sqrt(gamma)
+	}
+	if sNorm0 == 0 {
+		sNorm0 = 1
+	}
+
+	var res Result
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		res.Residual = math.Sqrt(gamma) / sNorm0
+		if res.Residual < tol {
+			res.Converged = true
+			return res, nil
+		}
+		if stop != nil {
+			if err := stop(); err != nil {
+				return res, err
+			}
+		}
+		mul(p, q)
+		qq := Dot(q, q)
+		if qq == 0 {
+			// p in the null space of A: the normal equations are singular
+			// along this direction; the current x is as good as it gets.
+			return res, nil
+		}
+		alpha := gamma / qq
+		for i := range x {
+			x[i] += alpha * p[i]
+		}
+		for i := range r {
+			r[i] -= alpha * q[i]
+		}
+		mulT(r, s)
+		gammaNew := Dot(s, s)
+		betaK := gammaNew / gamma
+		for i := range p {
+			p[i] = s[i] + betaK*p[i]
+		}
+		gamma = gammaNew
+	}
+	res.Residual = math.Sqrt(gamma) / sNorm0
+	res.Converged = res.Residual < tol
+	return res, nil
+}
+
+func scale(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}

@@ -1,0 +1,211 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// tallMatrix builds a deterministic well-conditioned tall matrix:
+// banded entries plus a scaled identity block so AᵀA is comfortably
+// positive definite.
+func tallMatrix(rows, cols int, seed int64) *sparse.CSR {
+	r := rand.New(rand.NewSource(seed))
+	c := sparse.NewCOO(rows, cols)
+	for j := 0; j < cols; j++ {
+		c.Add(j, j, 4+r.Float64())
+	}
+	for i := cols; i < rows; i++ {
+		for t := 0; t < 3; t++ {
+			c.Add(i, r.Intn(cols), r.Float64()*2-1)
+		}
+	}
+	return c.ToCSR()
+}
+
+func mulPair(a *sparse.CSR) (mul, mulT MulVec) {
+	at := a.Transpose()
+	return a.MulVec, at.MulVec
+}
+
+// TestLSQRConsistentSystem solves a rectangular system with an exact
+// solution and checks the recovered x.
+func TestLSQRConsistentSystem(t *testing.T) {
+	a := tallMatrix(120, 40, 7)
+	mul, mulT := mulPair(a)
+	r := rand.New(rand.NewSource(9))
+	want := make([]float64, a.Cols)
+	for j := range want {
+		want[j] = r.Float64()*2 - 1
+	}
+	b := make([]float64, a.Rows)
+	mul(want, b)
+
+	x := make([]float64, a.Cols)
+	res, err := LSQR(mul, mulT, b, x, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("LSQR did not converge: %+v", res)
+	}
+	for j := range want {
+		if math.Abs(x[j]-want[j]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want %v (res %+v)", j, x[j], want[j], res)
+		}
+	}
+}
+
+// TestLSQRLeastSquares solves an inconsistent system and checks the
+// least-squares optimality condition Aᵀ(b − Ax) ≈ 0.
+func TestLSQRLeastSquares(t *testing.T) {
+	a := tallMatrix(150, 30, 13)
+	mul, mulT := mulPair(a)
+	r := rand.New(rand.NewSource(17))
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = r.Float64()*2 - 1 // generic b: not in range(A)
+	}
+	x := make([]float64, a.Cols)
+	res, err := LSQR(mul, mulT, b, x, 1e-10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("LSQR did not converge on least-squares system: %+v", res)
+	}
+	// Optimality: the residual must be orthogonal to the columns of A.
+	ax := make([]float64, a.Rows)
+	mul(x, ax)
+	rres := make([]float64, a.Rows)
+	for i := range rres {
+		rres[i] = b[i] - ax[i]
+	}
+	atr := make([]float64, a.Cols)
+	mulT(rres, atr)
+	norm := math.Sqrt(Dot(atr, atr))
+	bnorm := math.Sqrt(Dot(b, b))
+	if norm > 1e-6*bnorm {
+		t.Fatalf("‖Aᵀr‖ = %v not orthogonal (‖b‖ = %v, res %+v)", norm, bnorm, res)
+	}
+}
+
+// TestCGNRMatchesLSQR solves the same consistent system with CGNR and
+// checks it finds the same solution.
+func TestCGNRMatchesLSQR(t *testing.T) {
+	a := tallMatrix(100, 25, 23)
+	mul, mulT := mulPair(a)
+	r := rand.New(rand.NewSource(29))
+	want := make([]float64, a.Cols)
+	for j := range want {
+		want[j] = r.Float64()*4 - 2
+	}
+	b := make([]float64, a.Rows)
+	mul(want, b)
+
+	x := make([]float64, a.Cols)
+	res, err := CGNR(mul, mulT, b, x, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CGNR did not converge: %+v", res)
+	}
+	for j := range want {
+		if math.Abs(x[j]-want[j]) > 1e-7 {
+			t.Fatalf("x[%d] = %v, want %v", j, x[j], want[j])
+		}
+	}
+}
+
+// TestCGNRLeastSquares pins the normal-equation optimality on an
+// inconsistent system, like the LSQR test.
+func TestCGNRLeastSquares(t *testing.T) {
+	a := tallMatrix(140, 20, 31)
+	mul, mulT := mulPair(a)
+	r := rand.New(rand.NewSource(37))
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = r.Float64()*2 - 1
+	}
+	x := make([]float64, a.Cols)
+	res, err := CGNR(mul, mulT, b, x, 1e-10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CGNR did not converge: %+v", res)
+	}
+	ax := make([]float64, a.Rows)
+	mul(x, ax)
+	rres := make([]float64, a.Rows)
+	for i := range rres {
+		rres[i] = b[i] - ax[i]
+	}
+	atr := make([]float64, a.Cols)
+	mulT(rres, atr)
+	if n := math.Sqrt(Dot(atr, atr)); n > 1e-6 {
+		t.Fatalf("‖Aᵀr‖ = %v, want ≈ 0", n)
+	}
+}
+
+// TestLSQRStopHookAborts verifies the per-iteration hook ends the solve
+// with the hook's error.
+func TestLSQRStopHookAborts(t *testing.T) {
+	a := tallMatrix(80, 30, 41)
+	mul, mulT := mulPair(a)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, a.Cols)
+	boom := errors.New("abort")
+	calls := 0
+	_, err := LSQRStop(mul, mulT, b, x, 1e-12, 500, func() error {
+		calls++
+		if calls >= 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the hook's error", err)
+	}
+	x2 := make([]float64, a.Cols)
+	if _, err := CGNRStop(mul, mulT, b, x2, 1e-12, 500, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("CGNRStop err = %v, want the hook's error", err)
+	}
+}
+
+// TestLSQRZeroRHS: b = 0 must converge immediately to x = 0.
+func TestLSQRZeroRHS(t *testing.T) {
+	a := tallMatrix(60, 20, 43)
+	mul, mulT := mulPair(a)
+	b := make([]float64, a.Rows)
+	x := make([]float64, a.Cols)
+	res, err := LSQR(mul, mulT, b, x, 1e-10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("zero RHS should converge trivially: %+v", res)
+	}
+	for j := range x {
+		if x[j] != 0 {
+			t.Fatalf("x[%d] = %v, want 0", j, x[j])
+		}
+	}
+}
+
+// TestLSQRDimensionErrors rejects empty systems.
+func TestLSQRDimensionErrors(t *testing.T) {
+	if _, err := LSQR(nil, nil, nil, []float64{1}, 1e-8, 10); !errors.Is(err, ErrDimension) {
+		t.Fatalf("empty b: err = %v, want ErrDimension", err)
+	}
+	if _, err := CGNR(nil, nil, []float64{1}, nil, 1e-8, 10); !errors.Is(err, ErrDimension) {
+		t.Fatalf("empty x: err = %v, want ErrDimension", err)
+	}
+}

@@ -65,6 +65,41 @@ func TestMultiplySteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestMultiplyTransposeSteadyStateZeroAlloc pins the 0-alloc contract
+// for the transpose path: once the lazily-compiled transpose plan
+// exists, MultiplyTranspose must not touch the heap, for all three
+// schedules — and the forward path must stay at 0 allocs afterwards.
+func TestMultiplyTransposeSteadyStateZeroAlloc(t *testing.T) {
+	fused, twoPhase, routed, x, y := allocFixtures(t)
+	xt := make([]float64, len(y)) // row-space input
+	copy(xt, y)
+	for i := range xt {
+		xt[i] = float64(i%7) - 3
+	}
+	yt := make([]float64, len(x)) // column-space output
+	cases := []struct {
+		name string
+		mul  func(x, y []float64)
+		mulT func(x, y []float64)
+	}{
+		{"fused", fused.Multiply, fused.MultiplyTranspose},
+		{"twophase", twoPhase.Multiply, twoPhase.MultiplyTranspose},
+		{"routed", routed.Multiply, routed.MultiplyTranspose},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.mulT(xt, yt) // compile the transpose plan, warm buffers
+			if n := testing.AllocsPerRun(100, func() { tc.mulT(xt, yt) }); n != 0 {
+				t.Errorf("%s MultiplyTranspose allocates %v times per call, want 0", tc.name, n)
+			}
+			tc.mul(x, y)
+			if n := testing.AllocsPerRun(100, func() { tc.mul(x, y) }); n != 0 {
+				t.Errorf("%s Multiply after transpose allocates %v times per call, want 0", tc.name, n)
+			}
+		})
+	}
+}
+
 // TestMultiplyDeterministic pins bitwise reproducibility: packet emission
 // is sorted by destination and folds run in sender order, so repeated
 // multiplies — and rebuilt engines — produce identical bits despite

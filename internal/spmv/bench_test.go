@@ -171,3 +171,39 @@ func BenchmarkMultiplySteadyState(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMultiplyTransposeSteadyState tracks the transpose kernels
+// across PRs next to BenchmarkMultiplySteadyState: same schedules, same
+// matrix, y ← Aᵀx via the reversed plan. All variants must report
+// 0 allocs/op (the transpose plan compiles outside the timed loop).
+func BenchmarkMultiplyTransposeSteadyState(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("fused/K=%d", k), func(b *testing.B) {
+			eng, _, x, y := benchSetup(b, k)
+			eng.MultiplyTranspose(x, y) // square matrix: buffers serve both
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.MultiplyTranspose(x, y)
+			}
+		})
+		b.Run(fmt.Sprintf("twophase/K=%d", k), func(b *testing.B) {
+			eng, x, y := benchTwoPhaseSetup(b, k)
+			eng.MultiplyTranspose(x, y)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.MultiplyTranspose(x, y)
+			}
+		})
+		b.Run(fmt.Sprintf("routed/K=%d", k), func(b *testing.B) {
+			_, routed, x, y := benchSetup(b, k)
+			routed.MultiplyTranspose(x, y)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				routed.MultiplyTranspose(x, y)
+			}
+		})
+	}
+}

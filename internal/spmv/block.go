@@ -195,6 +195,9 @@ func (e *RoutedEngine) ensureBlock(nrhs int) {
 			}
 		}
 	}
+	// The dense routing buffers are shared with the transpose plan; it
+	// must re-slice them on its next block call (see ensureTransposeBlock).
+	e.tBlockNRHS = 0
 	e.blockNRHS = nrhs
 }
 

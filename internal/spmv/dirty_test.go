@@ -1,0 +1,87 @@
+package spmv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/method"
+)
+
+// TestDirtyOutputFullyOverwritten pins the documented output contract:
+// Multiply, MultiplyBlock, MultiplyTranspose, and MultiplyTransposeBlock
+// fully overwrite y — a buffer pre-filled with garbage (including NaN,
+// which poisons any accumulate-without-clear path) must come out exactly
+// as if it had been zeroed. Looped over every registry method so every
+// schedule variant honors it.
+func TestDirtyOutputFullyOverwritten(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	a := randomMatrix(r, 260, 260, 2600)
+	const k, nrhs = 8, 3
+	opt := method.Options{Seed: 5, Pipeline: method.NewPipeline()}
+	x := randomVector(r, a.Cols)
+	xt := randomVector(r, a.Rows)
+	X := blockOf(r, a.Cols, nrhs)
+	XT := blockOf(r, a.Rows, nrhs)
+
+	dirty := func(n int) []float64 {
+		d := make([]float64, n)
+		for i := range d {
+			switch i % 3 {
+			case 0:
+				d[i] = math.NaN()
+			case 1:
+				d[i] = math.Inf(1)
+			default:
+				d[i] = 1e300
+			}
+		}
+		return d
+	}
+	check := func(t *testing.T, what string, got, want []float64) {
+		t.Helper()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: dirty y[%d] = %v, clean run %v", what, i, got[i], want[i])
+			}
+		}
+	}
+
+	for _, name := range method.Names() {
+		t.Run(name, func(t *testing.T) {
+			b, err := method.BuildByName(name, a, k, opt)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			eng, err := New(b)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			t.Cleanup(eng.Close)
+
+			clean := make([]float64, a.Rows)
+			eng.Multiply(x, clean)
+			y := dirty(a.Rows)
+			eng.Multiply(x, y)
+			check(t, "Multiply", y, clean)
+
+			cleanT := make([]float64, a.Cols)
+			eng.MultiplyTranspose(xt, cleanT)
+			yt := dirty(a.Cols)
+			eng.MultiplyTranspose(xt, yt)
+			check(t, "MultiplyTranspose", yt, cleanT)
+
+			cleanB := make([]float64, a.Rows*nrhs)
+			eng.MultiplyBlock(X, cleanB, nrhs)
+			Y := dirty(a.Rows * nrhs)
+			eng.MultiplyBlock(X, Y, nrhs)
+			check(t, "MultiplyBlock", Y, cleanB)
+
+			cleanTB := make([]float64, a.Cols*nrhs)
+			eng.MultiplyTransposeBlock(XT, cleanTB, nrhs)
+			YT := dirty(a.Cols * nrhs)
+			eng.MultiplyTransposeBlock(XT, YT, nrhs)
+			check(t, "MultiplyTransposeBlock", YT, cleanTB)
+		})
+	}
+}

@@ -14,7 +14,9 @@
 // count real packets, and to serve iterative solvers efficiently:
 // NewEngine compiles the static schedule into a flat execution plan (see
 // plan.go) and parks K persistent workers, so a steady-state Multiply
-// spawns no goroutines and performs no heap allocations.
+// spawns no goroutines and performs no heap allocations. Every plan also
+// serves the transpose product y ← Aᵀx with the phases reversed (see
+// transpose.go, routed_transpose.go) under the same contracts.
 package spmv
 
 import (
@@ -74,6 +76,10 @@ type proc struct {
 	// accB is the per-slot accumulator scratch for the block kernels.
 	extXB []float64
 	accB  []float64
+
+	// Compiled transpose plan (y ← Aᵀx), built lazily on the first
+	// MultiplyTranspose; see transpose.go.
+	t *tproc
 }
 
 type localNZ struct {
@@ -96,6 +102,11 @@ type Engine struct {
 	// (0 until the first MultiplyBlock); see ensureBlock in block.go.
 	blockNRHS int
 	io        blockIO
+
+	// tready flips once the transpose plan is compiled (lazily, by the
+	// first MultiplyTranspose); tBlockNRHS is blockNRHS's transpose twin.
+	tready     bool
+	tBlockNRHS int
 }
 
 // NewEngine builds the static communication and computation schedule for
@@ -118,16 +129,25 @@ func NewEngine(d *distrib.Distribution) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.pool.launch(len(e.procs), func(i int, x, y []float64, nrhs int) {
+	e.pool.launch(len(e.procs), func(i int, x, y []float64, nrhs int, transpose bool) {
+		pr := e.procs[i]
 		switch {
+		case transpose && nrhs > 0 && e.fused:
+			e.runFusedTBlock(pr, x, y, nrhs)
+		case transpose && nrhs > 0:
+			e.runTwoPhaseTBlock(pr, x, y, nrhs)
+		case transpose && e.fused:
+			e.runFusedT(pr, x, y)
+		case transpose:
+			e.runTwoPhaseT(pr, x, y)
 		case nrhs > 0 && e.fused:
-			e.runFusedBlock(e.procs[i], x, y, nrhs)
+			e.runFusedBlock(pr, x, y, nrhs)
 		case nrhs > 0:
-			e.runTwoPhaseBlock(e.procs[i], x, y, nrhs)
+			e.runTwoPhaseBlock(pr, x, y, nrhs)
 		case e.fused:
-			e.runFused(e.procs[i], x, y)
+			e.runFused(pr, x, y)
 		default:
-			e.runTwoPhase(e.procs[i], x, y)
+			e.runTwoPhase(pr, x, y)
 		}
 	})
 	return e, nil

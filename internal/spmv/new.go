@@ -6,10 +6,11 @@ import (
 )
 
 // Multiplier is the engine surface every schedule implements: repeated
-// allocation-free y ← Ax, the multi-RHS twins Y ← AX (column-blocked and
-// slice-of-vectors), the static schedule's communication statistics, and
-// worker shutdown. Every registry method's build satisfies it through
-// New, so batched callers need no engine-specific code.
+// allocation-free y ← Ax and its transpose y ← Aᵀx, the multi-RHS twins
+// (column-blocked and slice-of-vectors) of both, the static schedule's
+// communication statistics, and worker shutdown. Every registry
+// method's build satisfies it through New, so batched and
+// normal-equation callers need no engine-specific code.
 type Multiplier interface {
 	Multiply(x, y []float64)
 	// MultiplyBlock computes Y ← AX for nrhs right-hand sides in the
@@ -21,6 +22,17 @@ type Multiplier interface {
 	// MultiplyMulti is MultiplyBlock over len(X) separate vectors, packed
 	// into (and unpacked from) engine-owned scratch.
 	MultiplyMulti(X, Y [][]float64)
+	// MultiplyTranspose computes y ← Aᵀx (x length Rows, y length Cols)
+	// on the same distribution: the forward plan's packets run with the
+	// phases reversed, so message counts and steady-state allocation
+	// behavior (zero) match Multiply's. The transpose plan compiles
+	// lazily on the first call.
+	MultiplyTranspose(x, y []float64)
+	// MultiplyTransposeBlock and MultiplyTransposeMulti are the multi-RHS
+	// twins of MultiplyTranspose, with MultiplyBlock's layout and
+	// contracts.
+	MultiplyTransposeBlock(X, Y []float64, nrhs int)
+	MultiplyTransposeMulti(X, Y [][]float64)
 	ScheduleStats() distrib.CommStats
 	Close()
 }

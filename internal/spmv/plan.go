@@ -285,11 +285,12 @@ func sortedKeys[V any](m map[int]V) []int {
 // workerPool is the persistent-worker barrier shared by Engine and
 // RoutedEngine: K goroutines parked on per-worker start channels, a
 // WaitGroup to collect them, and the per-call x/y (plus the block width
-// for multi-RHS calls) published through the pool. dispatch performs no
-// heap allocations.
+// for multi-RHS calls and the transpose direction) published through the
+// pool. dispatch performs no heap allocations.
 type workerPool struct {
 	x, y      []float64
-	nrhs      int // 0 = single-vector call, >0 = column-blocked SpMM
+	nrhs      int  // 0 = single-vector call, >0 = column-blocked SpMM
+	transpose bool // run the y ← Aᵀx plan instead of y ← Ax
 	start     []chan struct{}
 	done      sync.WaitGroup
 	closeOnce sync.Once
@@ -298,15 +299,15 @@ type workerPool struct {
 
 // launch spawns n workers; each waits for a start signal, executes run
 // with the published vectors (nrhs = 0 for Multiply, the block width for
-// MultiplyBlock), and reports done.
-func (p *workerPool) launch(n int, run func(i int, x, y []float64, nrhs int)) {
+// MultiplyBlock; transpose selects the Aᵀx plan), and reports done.
+func (p *workerPool) launch(n int, run func(i int, x, y []float64, nrhs int, transpose bool)) {
 	p.start = make([]chan struct{}, n)
 	for i := 0; i < n; i++ {
 		ch := make(chan struct{}, 1)
 		p.start[i] = ch
 		go func(i int, ch chan struct{}) {
 			for range ch {
-				run(i, p.x, p.y, p.nrhs)
+				run(i, p.x, p.y, p.nrhs, p.transpose)
 				p.done.Done()
 			}
 		}(i, ch)
@@ -316,12 +317,17 @@ func (p *workerPool) launch(n int, run func(i int, x, y []float64, nrhs int)) {
 // dispatch zeroes y, publishes the vectors, releases every worker, and
 // waits for all of them to finish.
 func (p *workerPool) dispatch(x, y []float64) {
-	p.dispatchBlock(x, y, 0)
+	p.dispatchOp(x, y, 0, false)
 }
 
 // dispatchBlock is dispatch with a published block width; nrhs = 0 runs
 // the single-vector plan.
 func (p *workerPool) dispatchBlock(x, y []float64, nrhs int) {
+	p.dispatchOp(x, y, nrhs, false)
+}
+
+// dispatchOp is the general dispatch: block width plus direction.
+func (p *workerPool) dispatchOp(x, y []float64, nrhs int, transpose bool) {
 	if p.closed.Load() {
 		// A sharing layer (refcounted pools, pipelines) that races Multiply
 		// against Close gets a diagnosable panic instead of the runtime's
@@ -331,7 +337,7 @@ func (p *workerPool) dispatchBlock(x, y []float64, nrhs int) {
 	for i := range y {
 		y[i] = 0
 	}
-	p.x, p.y, p.nrhs = x, y, nrhs
+	p.x, p.y, p.nrhs, p.transpose = x, y, nrhs, transpose
 	p.done.Add(len(p.start))
 	for _, ch := range p.start {
 		ch <- struct{}{}

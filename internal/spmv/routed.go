@@ -31,6 +31,12 @@ type RoutedEngine struct {
 	// (0 until the first MultiplyBlock); see ensureBlock in block.go.
 	blockNRHS int
 	io        blockIO
+
+	// tready flips once the transpose plan is compiled (lazily, by the
+	// first MultiplyTranspose); tBlockNRHS is blockNRHS's transpose twin.
+	// See routed_transpose.go.
+	tready     bool
+	tBlockNRHS int
 }
 
 type rproc struct {
@@ -87,6 +93,16 @@ type rproc struct {
 	routeXValB []float64
 	routeYValB []float64
 	accB       []float64
+
+	// Dense slot layouts retained from compile so the transpose plan can
+	// address the routing buffers: xSlot maps a routed x column index to
+	// its routeXVal slot, ySlot a combined y row to its routeYVal slot.
+	xSlot map[int]int
+	ySlot map[int]int
+
+	// Compiled transpose plan (y ← Aᵀx), built lazily on the first
+	// MultiplyTranspose; see routed_transpose.go.
+	t *rtproc
 }
 
 type slotIdx struct{ slot, idx int }
@@ -221,11 +237,17 @@ func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, er
 	}
 
 	e.compile()
-	e.pool.launch(len(e.rprocs), func(i int, x, y []float64, nrhs int) {
-		if nrhs > 0 {
-			e.runBlock(e.rprocs[i], x, y, nrhs)
-		} else {
-			e.run(e.rprocs[i], x, y)
+	e.pool.launch(len(e.rprocs), func(i int, x, y []float64, nrhs int, transpose bool) {
+		pr := e.rprocs[i]
+		switch {
+		case transpose && nrhs > 0:
+			e.runTBlock(pr, x, y, nrhs)
+		case transpose:
+			e.runT(pr, x, y)
+		case nrhs > 0:
+			e.runBlock(pr, x, y, nrhs)
+		default:
+			e.run(pr, x, y)
 		}
 	})
 	return e, nil
@@ -267,6 +289,7 @@ func (e *RoutedEngine) compile() {
 			xSlot[j] = t
 		}
 		xSlots[pr.id] = xSlot
+		pr.xSlot = xSlot
 		pr.routeXVal = make([]float64, len(xIdxs))
 
 		// Dense routed-y layout: every row this proc combines, own partials
@@ -283,6 +306,7 @@ func (e *RoutedEngine) compile() {
 			ySlot[r] = t
 		}
 		ySlots[pr.id] = ySlot
+		pr.ySlot = ySlot
 		pr.routeYVal = make([]float64, len(yRows))
 
 		// Locally-owned x entries this proc forwards as its own

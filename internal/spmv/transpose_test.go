@@ -1,0 +1,337 @@
+package spmv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/method"
+	"repro/internal/sparse"
+)
+
+// transposeMultiplier is the Aᵀx surface shared by Engine and
+// RoutedEngine, used to run every transpose test over all schedules.
+type transposeMultiplier interface {
+	Multiply(x, y []float64)
+	MultiplyTranspose(x, y []float64)
+	MultiplyTransposeBlock(X, Y []float64, nrhs int)
+	MultiplyTransposeMulti(X, Y [][]float64)
+}
+
+// transposeFixtures returns the three schedules over one shared matrix.
+func transposeFixtures(t *testing.T) (a *sparse.CSR, engines map[string]transposeMultiplier) {
+	t.Helper()
+	fused, twoPhase, routed, _, _ := allocFixtures(t)
+	return fused.d.A, map[string]transposeMultiplier{
+		"fused":    fused,
+		"twophase": twoPhase,
+		"routed":   routed,
+	}
+}
+
+// checkTransposeAgainstSerial verifies y = Aᵀx against the serial CSR
+// reference on the explicitly transposed matrix.
+func checkTransposeAgainstSerial(t *testing.T, a *sparse.CSR, x, y []float64) {
+	t.Helper()
+	at := a.Transpose()
+	want := make([]float64, a.Cols)
+	at.MulVec(x, want)
+	for j := range want {
+		if math.Abs(want[j]-y[j]) > 1e-9*(1+math.Abs(want[j])) {
+			t.Fatalf("y[%d] = %v, want %v", j, y[j], want[j])
+		}
+	}
+}
+
+// TestMultiplyTransposeMatchesSerial runs every schedule against the
+// serial Aᵀx reference on the shared square fixture.
+func TestMultiplyTransposeMatchesSerial(t *testing.T) {
+	a, engines := transposeFixtures(t)
+	r := rand.New(rand.NewSource(97))
+	x := randomVector(r, a.Rows)
+	for name, eng := range engines {
+		t.Run(name, func(t *testing.T) {
+			y := make([]float64, a.Cols)
+			eng.MultiplyTranspose(x, y)
+			checkTransposeAgainstSerial(t, a, x, y)
+		})
+	}
+}
+
+// TestMultiplyTransposeAllMethods pins the acceptance contract: for
+// every registry method at K ∈ {4, 16}, MultiplyTranspose matches the
+// serial CSR Aᵀx reference and the blocked path matches per column.
+func TestMultiplyTransposeAllMethods(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	a := randomMatrix(r, 300, 300, 3000)
+	at := a.Transpose()
+	x := randomVector(r, a.Rows)
+	opt := method.Options{Seed: 11, Pipeline: method.NewPipeline()}
+	want := make([]float64, a.Cols)
+	at.MulVec(x, want)
+	for _, k := range []int{4, 16} {
+		for _, name := range method.Names() {
+			t.Run(fmt.Sprintf("%s/K=%d", name, k), func(t *testing.T) {
+				b, err := method.BuildByName(name, a, k, opt)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				eng, err := New(b)
+				if err != nil {
+					t.Fatalf("engine: %v", err)
+				}
+				t.Cleanup(eng.Close)
+				y := make([]float64, a.Cols)
+				eng.MultiplyTranspose(x, y)
+				for j := range want {
+					if math.Abs(want[j]-y[j]) > 1e-9*(1+math.Abs(want[j])) {
+						t.Fatalf("y[%d] = %v, want %v", j, y[j], want[j])
+					}
+				}
+				// Blocked path at K=4 widths 1 and 4: column 0 must equal
+				// the single-vector result bit for bit at nrhs=1.
+				const nrhs = 4
+				X := make([]float64, a.Rows*nrhs)
+				for i := 0; i < a.Rows; i++ {
+					for c := 0; c < nrhs; c++ {
+						X[i*nrhs+c] = x[i] * float64(c+1)
+					}
+				}
+				Y := make([]float64, a.Cols*nrhs)
+				eng.MultiplyTransposeBlock(X, Y, nrhs)
+				for c := 0; c < nrhs; c++ {
+					for j := range want {
+						got := Y[j*nrhs+c]
+						w := want[j] * float64(c+1)
+						if math.Abs(w-got) > 1e-8*(1+math.Abs(w)) {
+							t.Fatalf("block col %d: y[%d] = %v, want %v", c, j, got, w)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMultiplyTransposeRectangular exercises the transpose on a tall
+// rectangular matrix — the shape normal-equation solvers feed it.
+func TestMultiplyTransposeRectangular(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	a := randomMatrix(r, 420, 150, 2900)
+	x := randomVector(r, a.Rows)
+	opt := method.Options{Seed: 3, Pipeline: method.NewPipeline()}
+	for _, name := range []string{"1D", "2D", "s2D", "s2D-b"} {
+		t.Run(name, func(t *testing.T) {
+			b, err := method.BuildByName(name, a, 8, opt)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			eng, err := New(b)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			t.Cleanup(eng.Close)
+			y := make([]float64, a.Cols)
+			eng.MultiplyTranspose(x, y)
+			checkTransposeAgainstSerial(t, a, x, y)
+			// Forward product still works on the same engine afterwards.
+			fx := randomVector(r, a.Cols)
+			fy := make([]float64, a.Rows)
+			eng.Multiply(fx, fy)
+			fwant := make([]float64, a.Rows)
+			a.MulVec(fx, fwant)
+			for i := range fwant {
+				if math.Abs(fwant[i]-fy[i]) > 1e-9*(1+math.Abs(fwant[i])) {
+					t.Fatalf("forward after transpose: y[%d] = %v, want %v", i, fy[i], fwant[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMultiplyTransposeBlockWidths runs the blocked transpose at
+// power-of-two and odd widths against per-column serial references and
+// pins the nrhs=1 bit-identity with MultiplyTranspose.
+func TestMultiplyTransposeBlockWidths(t *testing.T) {
+	a, engines := transposeFixtures(t)
+	at := a.Transpose()
+	r := rand.New(rand.NewSource(131))
+	for name, eng := range engines {
+		for _, nrhs := range []int{1, 3, 8, 2} {
+			X := blockOf(r, a.Rows, nrhs)
+			Y := make([]float64, a.Cols*nrhs)
+			eng.MultiplyTransposeBlock(X, Y, nrhs)
+			x := make([]float64, a.Rows)
+			want := make([]float64, a.Cols)
+			for c := 0; c < nrhs; c++ {
+				for i := range x {
+					x[i] = X[i*nrhs+c]
+				}
+				at.MulVec(x, want)
+				for j := range want {
+					got := Y[j*nrhs+c]
+					if math.Abs(want[j]-got) > 1e-9*(1+math.Abs(want[j])) {
+						t.Fatalf("%s nrhs=%d col %d: y[%d] = %v, want %v", name, nrhs, c, j, got, want[j])
+					}
+				}
+			}
+		}
+		// nrhs=1 bit-identity.
+		x := randomVector(r, a.Rows)
+		want := make([]float64, a.Cols)
+		eng.MultiplyTranspose(x, want)
+		got := make([]float64, a.Cols)
+		eng.MultiplyTransposeBlock(x, got, 1)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("%s: MultiplyTransposeBlock(nrhs=1) y[%d] = %x, MultiplyTranspose %x",
+					name, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestMultiplyTransposeMultiMatchesBlock pins the slice-of-vectors
+// wrapper to the column-blocked transpose path.
+func TestMultiplyTransposeMultiMatchesBlock(t *testing.T) {
+	a, engines := transposeFixtures(t)
+	r := rand.New(rand.NewSource(139))
+	const nrhs = 3
+	X := make([][]float64, nrhs)
+	Y := make([][]float64, nrhs)
+	for c := range X {
+		X[c] = randomVector(r, a.Rows)
+		Y[c] = make([]float64, a.Cols)
+	}
+	xb := make([]float64, a.Rows*nrhs)
+	for c := range X {
+		for i, v := range X[c] {
+			xb[i*nrhs+c] = v
+		}
+	}
+	yb := make([]float64, a.Cols*nrhs)
+	for name, eng := range engines {
+		eng.MultiplyTransposeBlock(xb, yb, nrhs)
+		eng.MultiplyTransposeMulti(X, Y)
+		for c := range Y {
+			for j, v := range Y[c] {
+				if v != yb[j*nrhs+c] {
+					t.Fatalf("%s: MultiplyTransposeMulti col %d y[%d] = %x, block %x",
+						name, c, j, v, yb[j*nrhs+c])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiplyTransposeDeterministic pins bitwise run-to-run
+// reproducibility and rebuilt-engine agreement for the transpose path.
+func TestMultiplyTransposeDeterministic(t *testing.T) {
+	a, engines := transposeFixtures(t)
+	r := rand.New(rand.NewSource(149))
+	x := randomVector(r, a.Rows)
+	y := make([]float64, a.Cols)
+	for name, eng := range engines {
+		eng.MultiplyTranspose(x, y)
+		want := append([]float64(nil), y...)
+		for rep := 0; rep < 5; rep++ {
+			eng.MultiplyTranspose(x, y)
+			for j := range y {
+				if y[j] != want[j] {
+					t.Fatalf("%s rep %d: y[%d] = %x, first run %x", name, rep, j, y[j], want[j])
+				}
+			}
+		}
+	}
+	// Rebuilt engines over the same distribution must agree bitwise.
+	_, engines2 := transposeFixtures(t)
+	for name, eng := range engines {
+		eng.MultiplyTranspose(x, y)
+		want := append([]float64(nil), y...)
+		engines2[name].MultiplyTranspose(x, y)
+		for j := range y {
+			if y[j] != want[j] {
+				t.Fatalf("%s: rebuilt engine diverges at y[%d]: %x vs %x", name, j, y[j], want[j])
+			}
+		}
+	}
+}
+
+// TestForwardTransposeInterleaved alternates forward and transpose
+// calls — scalar and blocked at changing widths — on one engine, since
+// the routed schedule shares its dense routing buffers between the two
+// directions.
+func TestForwardTransposeInterleaved(t *testing.T) {
+	a, engines := transposeFixtures(t)
+	at := a.Transpose()
+	r := rand.New(rand.NewSource(157))
+	for name, eng := range engines {
+		for step, nrhs := range []int{4, 1, 2, 8, 3} {
+			// Forward block.
+			X := blockOf(r, a.Cols, nrhs)
+			Y := make([]float64, a.Rows*nrhs)
+			eng.(blockMultiplier).MultiplyBlock(X, Y, nrhs)
+			checkBlockAgainstSerial(t, a, X, Y, nrhs)
+			// Transpose block at the same width.
+			XT := blockOf(r, a.Rows, nrhs)
+			YT := make([]float64, a.Cols*nrhs)
+			eng.MultiplyTransposeBlock(XT, YT, nrhs)
+			x := make([]float64, a.Rows)
+			want := make([]float64, a.Cols)
+			for c := 0; c < nrhs; c++ {
+				for i := range x {
+					x[i] = XT[i*nrhs+c]
+				}
+				at.MulVec(x, want)
+				for j := range want {
+					if math.Abs(want[j]-YT[j*nrhs+c]) > 1e-9*(1+math.Abs(want[j])) {
+						t.Fatalf("%s step %d col %d: y[%d] = %v, want %v",
+							name, step, c, j, YT[j*nrhs+c], want[j])
+					}
+				}
+			}
+		}
+		// Scalar round-trip last.
+		x := randomVector(r, a.Rows)
+		y := make([]float64, a.Cols)
+		eng.MultiplyTranspose(x, y)
+		checkTransposeAgainstSerial(t, a, x, y)
+	}
+}
+
+// TestMultiplyTransposeZeroAllocAllMethods pins the steady-state 0-alloc
+// contract of MultiplyTranspose and MultiplyTransposeBlock for every
+// registry method.
+func TestMultiplyTransposeZeroAllocAllMethods(t *testing.T) {
+	r := rand.New(rand.NewSource(163))
+	a := randomMatrix(r, 300, 300, 3000)
+	const k, nrhs = 8, 4
+	opt := method.Options{Seed: 11, Pipeline: method.NewPipeline()}
+	x := randomVector(r, a.Rows)
+	y := make([]float64, a.Cols)
+	X := blockOf(r, a.Rows, nrhs)
+	Y := make([]float64, a.Cols*nrhs)
+	for _, name := range method.Names() {
+		t.Run(name, func(t *testing.T) {
+			b, err := method.BuildByName(name, a, k, opt)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			eng, err := New(b)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			t.Cleanup(eng.Close)
+			eng.MultiplyTranspose(x, y) // compile the transpose plan
+			if n := testing.AllocsPerRun(50, func() { eng.MultiplyTranspose(x, y) }); n != 0 {
+				t.Errorf("MultiplyTranspose allocates %v times per call, want 0", n)
+			}
+			eng.MultiplyTransposeBlock(X, Y, nrhs) // size the block buffers
+			if n := testing.AllocsPerRun(50, func() { eng.MultiplyTransposeBlock(X, Y, nrhs) }); n != 0 {
+				t.Errorf("MultiplyTransposeBlock allocates %v times per call, want 0", n)
+			}
+			checkTransposeAgainstSerial(t, a, x, y)
+		})
+	}
+}
