@@ -81,8 +81,8 @@ func main() {
 	bad := false
 	for _, r := range recs {
 		fmt.Fprintf(os.Stderr,
-			"loadgen %-8s conc=%-3d %6d req %5.0f req/s batch %.2f p50 %.2fms p99 %.2fms errors %d\n",
-			r.Method, r.Concurrency, r.Requests, r.RPS, r.MeanBatch, r.P50Ms, r.P99Ms, r.Errors)
+			"loadgen %-8s conc=%-3d %6d req %5.0f req/s batch %.2f p50 %.2fms p99 %.2fms errors %d retries %d\n",
+			r.Method, r.Concurrency, r.Requests, r.RPS, r.MeanBatch, r.P50Ms, r.P99Ms, r.Errors, r.Retries)
 		if r.Errors > 0 || r.Requests == 0 || r.MeanBatch < 1 {
 			bad = true
 		}

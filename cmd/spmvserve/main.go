@@ -26,23 +26,41 @@
 // JSON, and exits non-zero if any request failed or the coalescing
 // scheduler never batched; CI runs exactly this as its serving smoke
 // test.
+//
+// -selftest -chaos instead arms the pool's fault injector with the
+// -faults schedule and runs the chaos sweep (serve.ChaosRun): 32
+// concurrent clients under injected worker panics, payload corruption,
+// and rebuild failures, asserting bit-identical responses from healthy
+// engines, quarantine + breaker-gated recovery of the faulted one, a
+// graceful drain that drops no in-flight request, and no goroutine
+// leaks. The report (chaos-smoke.json shape) goes to -o or stdout; CI
+// runs this as its chaos smoke test.
+//
+// In serving mode SIGTERM/SIGINT triggers a graceful drain: /readyz
+// flips to 503, the listener stops accepting, in-flight requests finish
+// (bounded by -draintimeout), then engines shut down.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/gen"
 	"repro/internal/serve"
+	"repro/internal/serve/faultinject"
 	"repro/internal/sparse"
 )
 
@@ -63,15 +81,38 @@ func main() {
 	concList := flag.String("conc", "1,8,32", "selftest: offered concurrency sweep")
 	methodList := flag.String("methods", "s2d", "selftest: comma-separated methods to sweep")
 	out := flag.String("o", "", "selftest: write loadgen JSON records here (default stdout)")
+	chaos := flag.Bool("chaos", false, "selftest: chaos mode — arm the fault injector and validate the fault-tolerance contract")
+	faults := flag.String("faults", "worker.panic@400,build.fail@3,flush.nan@1500",
+		"chaos: seeded fault schedule, comma-separated point@nth[xcount] terms")
+	deadlineFlag := flag.Duration("deadline", 0, "server-side default request deadline (0 = none; requests may override via deadline_ms)")
+	maxUpload := flag.Int64("maxupload", 1<<30, "largest accepted /v1/matrices upload body in bytes (413 above)")
+	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "serving mode: how long a SIGTERM drain waits for in-flight requests")
 	flag.Parse()
 
-	pool := serve.NewPool(serve.Options{
+	opt := serve.Options{
 		MaxBatch:   *maxBatch,
 		MaxWait:    *maxWait,
 		MaxQueue:   *maxQueue,
 		MaxEngines: *maxEngines,
 		Seed:       *seed,
-	})
+	}
+	var inj *faultinject.Injector
+	if *chaos {
+		if !*selftest {
+			fatal(errors.New("-chaos requires -selftest"))
+		}
+		rules, err := faultinject.ParseSchedule(*faults)
+		if err != nil {
+			fatal(fmt.Errorf("bad -faults: %w", err))
+		}
+		inj = faultinject.New(rules...)
+		opt.Injector = inj
+		opt.PayloadChecks = true
+		// Tight rebuild cooldown so quarantine → failed rebuild → backoff →
+		// successful rebuild all fit inside the selftest window.
+		opt.RebuildBackoff = 50 * time.Millisecond
+	}
+	pool := serve.NewPool(opt)
 	defer pool.Close()
 
 	defaultMatrix, err := loadMatrices(pool, *mtx, *genName, *scale, *seed)
@@ -81,9 +122,13 @@ func main() {
 	srv := serve.NewServer(pool)
 	srv.DefaultMethod = *defMethod
 	srv.DefaultK = *defK
+	srv.DefaultDeadline = *deadlineFlag
+	if *maxUpload > 0 {
+		srv.MaxUploadBytes = *maxUpload
+	}
 
 	if *selftest {
-		if err := runSelftest(srv, selftestConfig{
+		cfg := selftestConfig{
 			matrix:   defaultMatrix,
 			methods:  cliutil.SplitList(*methodList),
 			k:        *defK,
@@ -91,7 +136,13 @@ func main() {
 			duration: *duration,
 			seed:     *seed,
 			out:      *out,
-		}); err != nil {
+		}
+		if *chaos {
+			err = runChaos(srv, pool, inj, cfg)
+		} else {
+			err = runSelftest(srv, cfg)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -102,9 +153,29 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "spmvserve: listening on %s (default method %s, K=%d, maxbatch %d, maxwait %v)\n",
 		*addr, *defMethod, *defK, *maxBatch, *maxWait)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	// Graceful drain: on SIGTERM/SIGINT flip /readyz to 503 (load
+	// balancers stop routing), close the listener, and let in-flight
+	// requests finish before the deferred pool.Close tears engines down.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		srv.SetDraining(true)
+		fmt.Fprintf(os.Stderr, "spmvserve: draining (no new connections; waiting up to %v for in-flight)\n", *drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		drained <- hs.Shutdown(sctx)
+	}()
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	if err := <-drained; err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	fmt.Fprintln(os.Stderr, "spmvserve: drained cleanly")
 }
 
 // loadMatrices registers the requested matrices and returns the name of
@@ -239,6 +310,129 @@ func runSelftest(srv *serve.Server, cfg selftestConfig) error {
 		return fmt.Errorf("selftest failed (see records above)")
 	}
 	fmt.Fprintln(os.Stderr, "selftest ok")
+	return nil
+}
+
+// runChaos serves on a loopback port with the fault injector armed and
+// runs the chaos acceptance: a 32-client sweep under injected worker
+// panics and rebuild failures (serve.ChaosRun), then a drain check that
+// shuts the HTTP server down with solve requests in flight
+// (serve.DrainCheck), then a goroutine-leak check after the pool closes.
+// The /readyz contract is probed at the drain boundary. The report is
+// written as JSON before validation so a failing run still leaves its
+// evidence behind.
+func runChaos(srv *serve.Server, pool *serve.Pool, inj *faultinject.Injector, cfg selftestConfig) error {
+	gBefore := runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln) //nolint:errcheck // closed via Shutdown below
+
+	methods := cfg.methods
+	if len(methods) < 2 {
+		// Chaos wants one engine to fault while another stays healthy.
+		methods = []string{"s2d", "2d"}
+	}
+	// A per-client idle connection each: the default per-host idle cap (2)
+	// churns connections under 32 concurrent posters, and a stale reused
+	// connection surfaces as a spurious transport EOF on a POST.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 64,
+	}}
+	ctx := context.Background()
+	ccfg := serve.ChaosConfig{
+		BaseURL:  "http://" + ln.Addr().String(),
+		Client:   client,
+		Matrix:   cfg.matrix,
+		Methods:  methods,
+		K:        cfg.k,
+		Clients:  32,
+		Duration: cfg.duration,
+		Seed:     cfg.seed,
+		Injector: inj,
+	}
+
+	rep, err := serve.ChaosRun(ctx, ccfg)
+	if err != nil {
+		hs.Shutdown(context.Background()) //nolint:errcheck
+		return err
+	}
+
+	// Drain with requests in flight. The shutdown closure is the real
+	// SIGTERM path: flip draining, confirm /readyz sheds while /healthz
+	// stays live, then Shutdown and wait for in-flight work.
+	drainErr := serve.DrainCheck(ctx, ccfg, rep, 16, func() error {
+		srv.SetDraining(true)
+		if err := expectStatus(client, ccfg.BaseURL+"/readyz", http.StatusServiceUnavailable); err != nil {
+			return err
+		}
+		if err := expectStatus(client, ccfg.BaseURL+"/healthz", http.StatusOK); err != nil {
+			return err
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	})
+
+	// Everything is down: engines must be gone too before counting.
+	pool.Close()
+	client.CloseIdleConnections()
+	rep.GoroutinesBefore = gBefore
+	for wait := time.Now().Add(2 * time.Second); ; {
+		rep.GoroutinesAfter = runtime.NumGoroutine()
+		if rep.GoroutinesAfter <= gBefore+2 || !time.Now().Before(wait) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	w := os.Stdout
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"chaos: %d ok, %d retries, %d mismatches; panics %d, rebuild failures %d, quarantines %d, recoveries %d; drain %d/%d in %.2fs; goroutines %d→%d\n",
+		rep.Requests, rep.Retries, rep.Mismatches,
+		rep.WorkerPanics, rep.RebuildFailures, rep.Quarantines, rep.Recoveries,
+		rep.DrainInFlight, rep.DrainCompleted, rep.DrainSec,
+		rep.GoroutinesBefore, rep.GoroutinesAfter)
+	if drainErr != nil {
+		return drainErr
+	}
+	if err := rep.Validate(5 * time.Second); err != nil {
+		return err
+	}
+	if rep.GoroutinesAfter > gBefore+2 {
+		return fmt.Errorf("chaos: goroutine leak: %d before, %d after drain+close", gBefore, rep.GoroutinesAfter)
+	}
+	fmt.Fprintln(os.Stderr, "chaos selftest ok")
+	return nil
+}
+
+// expectStatus GETs url and demands the given status code.
+func expectStatus(client *http.Client, url string, want int) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s: HTTP %d, want %d", url, resp.StatusCode, want)
+	}
 	return nil
 }
 

@@ -46,8 +46,21 @@ func main() {
 	rhs := make([]float64, a.Rows)
 	a.MulVec(xStar, rhs)
 
+	// The engine's multiplies return errors (closed / faulted engine);
+	// in a standalone example any such error is fatal.
+	mul := func(x, y []float64) {
+		if err := engine.Multiply(x, y); err != nil {
+			panic(err)
+		}
+	}
+	mulBlock := func(X, Y []float64, nrhs int) {
+		if err := engine.MultiplyBlock(X, Y, nrhs); err != nil {
+			panic(err)
+		}
+	}
+
 	x := make([]float64, a.Rows)
-	res, err := solver.CG(engine.Multiply, rhs, x, 1e-10, 2000)
+	res, err := solver.CG(mul, rhs, x, 1e-10, 2000)
 	if err != nil {
 		panic(err)
 	}
@@ -77,7 +90,7 @@ func main() {
 	}
 	B := solver.PackColumns(cols)
 	X := make([]float64, a.Rows*nrhs)
-	bres, err := solver.BlockCG(engine.MultiplyBlock, B, X, nrhs, 1e-10, 2000)
+	bres, err := solver.BlockCG(mulBlock, B, X, nrhs, 1e-10, 2000)
 	if err != nil {
 		panic(err)
 	}

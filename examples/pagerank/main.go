@@ -48,8 +48,14 @@ func main() {
 	fmt.Printf("s2D partition: K=%d, volume %d words/iter, max %d msgs/proc, LI %.1f%%\n",
 		k, cs.TotalVolume, cs.MaxSendMsgs, b.Dist.LoadImbalance()*100)
 
-	// Damped power iteration over the fused-phase engine.
-	r, res := solver.PageRank(engine.Multiply, n, damping, 1e-10, iters)
+	// Damped power iteration over the fused-phase engine. Engine errors
+	// (closed / faulted) are fatal in a standalone example.
+	mul := func(x, y []float64) {
+		if err := engine.Multiply(x, y); err != nil {
+			panic(err)
+		}
+	}
+	r, res := solver.PageRank(mul, n, damping, 1e-10, iters)
 	fmt.Printf("PageRank converged=%v in %d iterations (L1 delta %.3e)\n",
 		res.Converged, res.Iterations, res.Residual)
 
@@ -64,7 +70,12 @@ func main() {
 		seeds[c] = (c * n) / nrhs
 		E[seeds[c]*nrhs+c] = 1
 	}
-	R, bres := solver.PageRankMulti(engine.MultiplyBlock, n, nrhs, E, damping, 1e-10, 5*iters)
+	mulBlock := func(X, Y []float64, nrhs int) {
+		if err := engine.MultiplyBlock(X, Y, nrhs); err != nil {
+			panic(err)
+		}
+	}
+	R, bres := solver.PageRankMulti(mulBlock, n, nrhs, E, damping, 1e-10, 5*iters)
 	fmt.Printf("personalized PageRank, %d seeds in one SpMM stream:\n", nrhs)
 	for c := 0; c < nrhs; c++ {
 		top, topRank := 0, 0.0

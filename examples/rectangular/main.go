@@ -73,15 +73,26 @@ func main() {
 		noisy[i] += (r.Float64() - 0.5) * 1e-3
 	}
 
+	// Engine errors (closed / faulted) are fatal in a standalone example.
+	mul := func(x, y []float64) {
+		if err := engine.Multiply(x, y); err != nil {
+			panic(err)
+		}
+	}
+	mulT := func(x, y []float64) {
+		if err := engine.MultiplyTranspose(x, y); err != nil {
+			panic(err)
+		}
+	}
 	for _, solve := range []struct {
 		name string
 		run  func(b, x []float64) (solver.Result, error)
 	}{
 		{"LSQR", func(bv, xv []float64) (solver.Result, error) {
-			return solver.LSQR(engine.Multiply, engine.MultiplyTranspose, bv, xv, 1e-10, 500)
+			return solver.LSQR(mul, mulT, bv, xv, 1e-10, 500)
 		}},
 		{"CGNR", func(bv, xv []float64) (solver.Result, error) {
-			return solver.CGNR(engine.Multiply, engine.MultiplyTranspose, bv, xv, 1e-10, 500)
+			return solver.CGNR(mul, mulT, bv, xv, 1e-10, 500)
 		}},
 	} {
 		xs := make([]float64, cols)

@@ -1,0 +1,97 @@
+package serve
+
+import "time"
+
+// breakerState is the classic circuit-breaker trio.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one engine key's circuit breaker. It outlives the pool
+// entry it guards: a quarantined engine's entry is deleted so the next
+// Acquire rebuilds, but the breaker persists and decides when that
+// rebuild may run. All methods are called with Pool.mu held.
+//
+// States: closed admits everything; a fault or failed build trips to
+// open, which sheds with *QuarantinedError carrying the remaining
+// cooldown; once the cooldown expires the next acquirer becomes the
+// half-open probe and performs the one allowed rebuild — success resets
+// to closed, failure re-trips with the backoff doubled (capped).
+type breaker struct {
+	state   breakerState
+	until   time.Time     // open: when the cooldown ends
+	backoff time.Duration // the cooldown the last trip charged
+	probing bool          // half-open: the single probe build is in flight
+	trips   uint64
+}
+
+// allow reports whether an acquire that needs a build may proceed. When
+// shed, retry is how long the caller should wait. In half-open, exactly
+// one caller wins the probe slot; the pool marks the probe finished via
+// settle.
+func (b *breaker) allow(now time.Time) (ok bool, retry time.Duration) {
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if now.Before(b.until) {
+			return false, b.until.Sub(now)
+		}
+		b.state = breakerHalfOpen
+		fallthrough
+	default: // half-open
+		if b.probing {
+			return false, b.backoff
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// trip records a fault or failed build: the breaker opens and the
+// cooldown doubles, capped at RebuildBackoffMax.
+func (b *breaker) trip(now time.Time, o Options) {
+	if b.backoff <= 0 {
+		b.backoff = o.RebuildBackoff
+	} else if b.state != breakerClosed {
+		// Re-tripping from open/half-open escalates; a fresh trip from
+		// closed restarts at the base cooldown.
+		b.backoff *= 2
+	} else {
+		b.backoff = o.RebuildBackoff
+	}
+	if b.backoff > o.RebuildBackoffMax {
+		b.backoff = o.RebuildBackoffMax
+	}
+	b.state = breakerOpen
+	b.until = now.Add(b.backoff)
+	b.probing = false
+	b.trips++
+}
+
+// settle resolves the half-open probe (or a closed-state build): success
+// resets the breaker, failure re-trips with escalated backoff.
+func (b *breaker) settle(now time.Time, o Options, success bool) {
+	b.probing = false
+	if success {
+		b.state = breakerClosed
+		b.backoff = 0
+		return
+	}
+	b.trip(now, o)
+}

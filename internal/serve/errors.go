@@ -3,11 +3,54 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // ErrClosed is returned by submissions and acquisitions after the pool
 // (or the engine's scheduler) has shut down.
 var ErrClosed = errors.New("serve: closed")
+
+// ErrEngineFault is the sentinel every engine-fault rejection wraps: the
+// in-flight batch died to a contained panic (or corrupted payload) and
+// the engine is being quarantined. Callers match it with errors.Is and
+// retry — the pool rebuilds the engine behind the breaker.
+var ErrEngineFault = errors.New("serve: engine fault")
+
+// EngineFaultError reports one engine's fault to the requests caught in
+// the faulted batch (and to submissions racing the quarantine).
+type EngineFaultError struct {
+	Key   EngineKey
+	Cause error
+}
+
+func (e *EngineFaultError) Error() string {
+	return fmt.Sprintf("serve: engine %s faulted (quarantining): %v", e.Key, e.Cause)
+}
+
+func (e *EngineFaultError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrEngineFault) match.
+func (e *EngineFaultError) Is(target error) bool { return target == ErrEngineFault }
+
+// QuarantinedError reports an acquire shed by an open circuit breaker:
+// the engine faulted (or failed to rebuild) recently and the pool is in
+// its rebuild cooldown. RetryAfter is the remaining cooldown; HTTP maps
+// this to 503 + Retry-After.
+type QuarantinedError struct {
+	Key        EngineKey
+	RetryAfter time.Duration
+	Cause      error
+}
+
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("serve: engine %s quarantined, retry in %v", e.Key, e.RetryAfter)
+}
+
+func (e *QuarantinedError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrEngineFault) match quarantine sheds too —
+// both are the same condition from the client's point of view.
+func (e *QuarantinedError) Is(target error) bool { return target == ErrEngineFault }
 
 // ErrOverloaded is the sentinel all overload rejections wrap; callers
 // match it with errors.Is and retry with backoff (HTTP maps it to 429).

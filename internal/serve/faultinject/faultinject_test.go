@@ -1,0 +1,54 @@
+package faultinject
+
+import "testing"
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj.Fire("worker.panic") {
+		t.Fatal("nil injector fired")
+	}
+	if inj.Hits("worker.panic") != 0 || inj.Fired("worker.panic") != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+func TestFireByHitCount(t *testing.T) {
+	inj := New(Rule{Point: "p", Nth: 3, Count: 2})
+	want := []bool{false, false, true, true, false, false}
+	for i, w := range want {
+		if got := inj.Fire("p"); got != w {
+			t.Fatalf("hit %d fired=%v, want %v", i+1, got, w)
+		}
+	}
+	if inj.Hits("p") != 6 || inj.Fired("p") != 2 {
+		t.Fatalf("hits=%d fired=%d, want 6/2", inj.Hits("p"), inj.Fired("p"))
+	}
+	if inj.Fire("other") {
+		t.Fatal("unruled point fired")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	rules, err := ParseSchedule("worker.panic@40, build.fail@2x3,flush.nan@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Point: "worker.panic", Nth: 40, Count: 1},
+		{Point: "build.fail", Nth: 2, Count: 3},
+		{Point: "flush.nan", Nth: 1, Count: 1},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i, r := range rules {
+		if r != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	for _, bad := range []string{"nope", "@3", "p@x", "p@0", "p@2x0"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+}

@@ -69,12 +69,16 @@ type Record struct {
 	Rows        int     `json:"rows"`
 	DurationSec float64 `json:"duration_sec"`
 	Requests    int     `json:"requests"`
-	Errors      int     `json:"errors"` // non-200 responses (429 included)
-	RPS         float64 `json:"rps"`
-	NsPerOp     float64 `json:"ns_per_op"` // 1e9 / RPS
-	P50Ms       float64 `json:"p50_ms"`
-	P99Ms       float64 `json:"p99_ms"`
-	MeanBatch   float64 `json:"mean_batch"` // achieved width, from /metrics deltas
+	// Errors counts definitive non-200 responses; sheds (429/503) are not
+	// errors — clients honor the Retry-After hint with jittered
+	// exponential backoff and count each shed under Retries instead.
+	Errors    int     `json:"errors"`
+	Retries   int     `json:"retries"`
+	RPS       float64 `json:"rps"`
+	NsPerOp   float64 `json:"ns_per_op"` // 1e9 / RPS
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MeanBatch float64 `json:"mean_batch"` // achieved width, from /metrics deltas
 }
 
 // LoadGen runs the configured sweep and returns one Record per
@@ -126,13 +130,29 @@ func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName string, conc, 
 	}
 
 	// Warm the engine (build happens on first request) so the measured
-	// window is steady-state serving, not partitioning.
-	status, schedule, err := postMultiply(ctx, cfg, pointBody)
-	if err != nil {
-		return Record{}, fmt.Errorf("loadgen warmup %s: %w", methodName, err)
-	}
-	if status != http.StatusOK {
-		return Record{}, fmt.Errorf("loadgen warmup %s: HTTP %d", methodName, status)
+	// window is steady-state serving, not partitioning. A quarantined or
+	// rebuilding engine sheds the warmup with 503 + Retry-After; honor the
+	// hint for a bounded window before giving up.
+	var status int
+	var schedule string
+	warmRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	warmDeadline := time.Now().Add(5 * time.Second)
+	backoff := time.Duration(0)
+	for {
+		var retry time.Duration
+		status, schedule, retry, err = postMultiply(ctx, cfg, pointBody)
+		if err != nil {
+			return Record{}, fmt.Errorf("loadgen warmup %s: %w", methodName, err)
+		}
+		if status == http.StatusOK {
+			break
+		}
+		retriable := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+		if !retriable || !time.Now().Before(warmDeadline) {
+			return Record{}, fmt.Errorf("loadgen warmup %s: HTTP %d", methodName, status)
+		}
+		backoff = backoffNext(backoff, retry, warmRng, 250*time.Millisecond)
+		time.Sleep(backoff)
 	}
 
 	before, err := engineMetrics(ctx, cfg, methodName)
@@ -142,8 +162,8 @@ func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName string, conc, 
 
 	deadline := time.Now().Add(cfg.Duration)
 	type clientResult struct {
-		requests, errors int
-		latMs            []float64
+		requests, errors, retries int
+		latMs                     []float64
 	}
 	results := make([]clientResult, conc)
 	var wg sync.WaitGroup
@@ -153,15 +173,28 @@ func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName string, conc, 
 		go func(c int) {
 			defer wg.Done()
 			res := &results[c]
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*6151))
+			backoff := time.Duration(0)
 			for time.Now().Before(deadline) && ctx.Err() == nil {
 				start := time.Now()
-				status, _, err := postMultiply(ctx, cfg, pointBody)
-				if err != nil || status != http.StatusOK {
+				status, _, retry, err := postMultiply(ctx, cfg, pointBody)
+				switch {
+				case err != nil:
 					res.errors++
-					continue
+				case status == http.StatusOK:
+					backoff = 0
+					res.requests++
+					res.latMs = append(res.latMs, msSince(start))
+				case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+					// Shed: back off as the server hinted (jittered, capped)
+					// instead of hammering a full queue or a quarantined
+					// engine, and count the retry separately from errors.
+					res.retries++
+					backoff = backoffNext(backoff, retry, rng, 250*time.Millisecond)
+					time.Sleep(backoff)
+				default:
+					res.errors++
 				}
-				res.requests++
-				res.latMs = append(res.latMs, msSince(start))
 			}
 		}(c)
 	}
@@ -182,6 +215,7 @@ func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName string, conc, 
 	for _, res := range results {
 		rec.Requests += res.requests
 		rec.Errors += res.errors
+		rec.Retries += res.retries
 		lats = append(lats, res.latMs...)
 	}
 	if rec.Requests > 0 {
@@ -197,31 +231,32 @@ func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName string, conc, 
 	return rec, nil
 }
 
-// postMultiply posts one multiply and reports the HTTP status and the
-// engine schedule named in a 200 response.
-func postMultiply(ctx context.Context, cfg LoadGenConfig, body []byte) (status int, schedule string, err error) {
+// postMultiply posts one multiply and reports the HTTP status, the
+// engine schedule named in a 200 response, and the server's retry hint
+// on a shed (429/503) response.
+func postMultiply(ctx context.Context, cfg LoadGenConfig, body []byte) (status int, schedule string, retry time.Duration, err error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		cfg.BaseURL+"/v1/multiply", bytes.NewReader(body))
 	if err != nil {
-		return 0, "", err
+		return 0, "", 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := cfg.Client.Do(hreq)
 	if err != nil {
-		return 0, "", err
+		return 0, "", 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, "", nil
+		return resp.StatusCode, "", retryAfterOf(resp), nil
 	}
 	var mr struct {
 		Schedule string `json:"schedule"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
-		return resp.StatusCode, "", err
+		return resp.StatusCode, "", 0, err
 	}
-	return resp.StatusCode, mr.Schedule, nil
+	return resp.StatusCode, mr.Schedule, 0, nil
 }
 
 // matrixDims looks the matrix up via /v1/methods.

@@ -23,6 +23,7 @@ type collector struct {
 	overloads uint64 // submissions rejected by admission control
 	cancelled uint64 // submissions abandoned via context
 	failures  uint64 // requests failed inside the engine
+	faultedB  uint64 // batches lost to an engine fault (quarantine path)
 
 	lat  [latRingSize]float64 // milliseconds, ring
 	nLat int                  // total recorded (ring index = nLat % size)
@@ -44,17 +45,30 @@ func (c *collector) overload()  { c.mu.Lock(); c.overloads++; c.mu.Unlock() }
 func (c *collector) cancel()    { c.mu.Lock(); c.cancelled++; c.mu.Unlock() }
 func (c *collector) fail(n int) { c.mu.Lock(); c.failures += uint64(n); c.mu.Unlock() }
 
+// fault records one whole batch lost to an engine fault: its n requests
+// count as failures and the batch as faulted.
+func (c *collector) fault(n int) {
+	c.mu.Lock()
+	c.faultedB++
+	c.failures += uint64(n)
+	c.mu.Unlock()
+}
+
 // Metrics is a point-in-time snapshot of one engine's serving behavior.
 type Metrics struct {
-	Requests   uint64  `json:"requests"`
-	Batches    uint64  `json:"batches"`
-	MeanBatch  float64 `json:"mean_batch"` // requests per flush
-	Overloads  uint64  `json:"overloads"`
-	Cancelled  uint64  `json:"cancelled"`
-	Failures   uint64  `json:"failures"`
-	P50Ms      float64 `json:"p50_ms"`
-	P99Ms      float64 `json:"p99_ms"`
-	QueueDepth int     `json:"queue_depth"`
+	Requests  uint64  `json:"requests"`
+	Batches   uint64  `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"` // requests per flush
+	Overloads uint64  `json:"overloads"`
+	Cancelled uint64  `json:"cancelled"`
+	Failures  uint64  `json:"failures"`
+	// FaultedBatches counts flushes lost to an engine fault — the batches
+	// whose requests were failed by a contained panic or corrupted
+	// payload before the engine was quarantined.
+	FaultedBatches uint64  `json:"faulted_batches"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	QueueDepth     int     `json:"queue_depth"`
 }
 
 // snapshot computes the derived figures; queue depth is supplied by the
@@ -62,12 +76,13 @@ type Metrics struct {
 func (c *collector) snapshot(queueDepth int) Metrics {
 	c.mu.Lock()
 	m := Metrics{
-		Requests:   c.requests,
-		Batches:    c.batches,
-		Overloads:  c.overloads,
-		Cancelled:  c.cancelled,
-		Failures:   c.failures,
-		QueueDepth: queueDepth,
+		Requests:       c.requests,
+		Batches:        c.batches,
+		Overloads:      c.overloads,
+		Cancelled:      c.cancelled,
+		Failures:       c.failures,
+		FaultedBatches: c.faultedB,
+		QueueDepth:     queueDepth,
 	}
 	n := c.nLat
 	if n > latRingSize {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/method"
 	"repro/internal/sparse"
@@ -36,10 +37,16 @@ type Pool struct {
 	matrices  map[string]*sparse.CSR
 	matOrder  []string
 	engines   map[EngineKey]*poolEntry
-	clock     uint64 // logical LRU time, bumped per touch
+	breakers  map[EngineKey]*breaker // persists across quarantines
+	clock     uint64                 // logical LRU time, bumped per touch
 	builds    uint64
 	evictions uint64
+	quarants  uint64
 	closed    bool
+
+	// quarWG tracks the async scheduler closes quarantine spawns, so
+	// Close can wait for every quarantined engine's goroutines.
+	quarWG sync.WaitGroup
 }
 
 // poolEntry is one cached engine. ready closes when the build finishes
@@ -62,6 +69,7 @@ func NewPool(opt Options) *Pool {
 		pipeline: method.NewPipeline(),
 		matrices: make(map[string]*sparse.CSR),
 		engines:  make(map[EngineKey]*poolEntry),
+		breakers: make(map[EngineKey]*breaker),
 	}
 }
 
@@ -144,6 +152,19 @@ func (p *Pool) Acquire(matrix, methodName string, k int) (*Handle, error) {
 	var build bool
 	var evict []*poolEntry
 	if !ok {
+		// Absent entry → this acquire needs a (re)build; the key's circuit
+		// breaker decides whether one may run. While open (a recent fault
+		// or failed rebuild is in cooldown) the acquire sheds; the first
+		// acquire after the cooldown becomes the half-open probe.
+		br := p.breakers[key]
+		if br == nil {
+			br = &breaker{}
+			p.breakers[key] = br
+		}
+		if allowed, retry := br.allow(time.Now()); !allowed {
+			p.mu.Unlock()
+			return nil, &QuarantinedError{Key: key, RetryAfter: retry}
+		}
 		e = &poolEntry{key: key, ready: make(chan struct{})}
 		p.engines[key] = e
 		p.builds++
@@ -164,15 +185,42 @@ func (p *Pool) Acquire(matrix, methodName string, k int) (*Handle, error) {
 	<-e.ready
 	if e.err != nil {
 		p.release(e, true)
-		return nil, e.err
+		// The failed build already tripped the breaker (settle in build's
+		// defer, before ready closed), so a build failure is a transient
+		// shed for everyone who was waiting on it: 503 + Retry-After from
+		// the breaker's live cooldown, not a terminal 500. Read the
+		// cooldown directly — allow() here would consume the half-open
+		// probe slot a retrying client is entitled to.
+		p.mu.Lock()
+		retry := p.opt.RebuildBackoff
+		if br := p.breakers[e.key]; br != nil {
+			if d := time.Until(br.until); d > retry {
+				retry = d
+			}
+		}
+		p.mu.Unlock()
+		return nil, &QuarantinedError{Key: e.key, RetryAfter: retry, Cause: e.err}
 	}
 	return &Handle{pool: p, e: e}, nil
 }
 
 // build constructs the engine outside the pool lock (partitioning can
-// take seconds) and publishes the result through e.ready.
+// take seconds) and publishes the result through e.ready. The outcome
+// settles the key's circuit breaker: success closes it, failure trips
+// it (doubling the rebuild cooldown).
 func (p *Pool) build(e *poolEntry, a *sparse.CSR, methodName string, k int) {
 	defer close(e.ready)
+	defer func() {
+		p.mu.Lock()
+		if br := p.breakers[e.key]; br != nil {
+			br.settle(time.Now(), p.opt, e.err == nil)
+		}
+		p.mu.Unlock()
+	}()
+	if p.opt.Injector.Fire("build.fail") {
+		e.err = fmt.Errorf("serve: build %s: %w", e.key, fmt.Errorf("faultinject: build.fail"))
+		return
+	}
 	opt := method.Options{Seed: p.opt.Seed, Epsilon: p.opt.Epsilon, Pipeline: p.pipeline}
 	b, err := method.BuildByName(methodName, a, k, opt)
 	if err != nil {
@@ -192,7 +240,45 @@ func (p *Pool) build(e *poolEntry, a *sparse.CSR, methodName string, k int) {
 	default:
 		e.schedule = "twophase"
 	}
-	e.sched = newScheduler(eng, a.Rows, a.Cols, p.opt)
+	if inj := p.opt.Injector; inj != nil {
+		if h, ok := eng.(spmv.WorkerFaultHooker); ok {
+			h.SetWorkerFaultHook(func(worker int) {
+				if inj.Fire("worker.panic") {
+					panic("faultinject: worker.panic")
+				}
+			})
+		}
+	}
+	e.sched = newScheduler(eng, a.Rows, a.Cols, p.opt, e.key, func(cause error) {
+		p.quarantine(e, cause)
+	})
+}
+
+// quarantine evicts a faulted engine: the entry leaves the map so the
+// next Acquire rebuilds (behind the breaker, which trips here), and the
+// scheduler drains and closes asynchronously — quarantine is called
+// from the scheduler's own runner goroutine, which close() would wait
+// on. Outstanding Handles keep their pins; their submissions fail fast
+// with the fault until they Release.
+func (p *Pool) quarantine(e *poolEntry, cause error) {
+	p.mu.Lock()
+	if p.engines[e.key] == e {
+		delete(p.engines, e.key)
+		p.quarants++
+	}
+	br := p.breakers[e.key]
+	if br == nil {
+		br = &breaker{}
+		p.breakers[e.key] = br
+	}
+	br.trip(time.Now(), p.opt)
+	p.mu.Unlock()
+
+	p.quarWG.Add(1)
+	go func() {
+		defer p.quarWG.Done()
+		e.sched.close()
+	}()
 }
 
 // release drops one reference; failed entries leave the map so a later
@@ -205,7 +291,11 @@ func (p *Pool) release(e *poolEntry, failed bool) {
 	p.clock++
 	e.lastUse = p.clock
 	if failed && e.refs == 0 {
-		delete(p.engines, e.key)
+		// Only delete the entry we hold: a quarantine may already have
+		// removed it and a rebuild replaced it under the same key.
+		if p.engines[e.key] == e {
+			delete(p.engines, e.key)
+		}
 	} else if !p.closed {
 		evict = p.evictLocked()
 	}
@@ -250,16 +340,25 @@ type EngineMetrics struct {
 	Metrics
 }
 
+// BreakerMetrics is one engine key's circuit-breaker snapshot.
+type BreakerMetrics struct {
+	EngineKey
+	State string `json:"state"` // closed / open / half-open
+	Trips uint64 `json:"trips"`
+}
+
 // PoolMetrics is the /metrics payload: pool totals plus one row per
-// resident engine.
+// resident engine and one per known circuit breaker.
 type PoolMetrics struct {
-	Engines    []EngineMetrics `json:"engines"`
-	MaxEngines int             `json:"max_engines"`
-	Builds     uint64          `json:"builds"`
-	Evictions  uint64          `json:"evictions"`
-	Requests   uint64          `json:"requests"`
-	Batches    uint64          `json:"batches"`
-	MeanBatch  float64         `json:"mean_batch"`
+	Engines     []EngineMetrics  `json:"engines"`
+	Breakers    []BreakerMetrics `json:"breakers,omitempty"`
+	MaxEngines  int              `json:"max_engines"`
+	Builds      uint64           `json:"builds"`
+	Evictions   uint64           `json:"evictions"`
+	Quarantines uint64           `json:"quarantines"`
+	Requests    uint64           `json:"requests"`
+	Batches     uint64           `json:"batches"`
+	MeanBatch   float64          `json:"mean_batch"`
 }
 
 // MetricsSnapshot gathers per-engine and pool-wide serving metrics.
@@ -269,7 +368,20 @@ func (p *Pool) MetricsSnapshot() PoolMetrics {
 	for _, e := range p.engines {
 		entries = append(entries, e)
 	}
-	pm := PoolMetrics{MaxEngines: p.opt.MaxEngines, Builds: p.builds, Evictions: p.evictions}
+	pm := PoolMetrics{
+		MaxEngines:  p.opt.MaxEngines,
+		Builds:      p.builds,
+		Evictions:   p.evictions,
+		Quarantines: p.quarants,
+	}
+	for key, br := range p.breakers {
+		pm.Breakers = append(pm.Breakers, BreakerMetrics{
+			EngineKey: key, State: br.state.String(), Trips: br.trips,
+		})
+	}
+	sort.Slice(pm.Breakers, func(i, j int) bool {
+		return pm.Breakers[i].EngineKey.String() < pm.Breakers[j].EngineKey.String()
+	})
 	refs := make(map[*poolEntry]int, len(entries))
 	for _, e := range entries {
 		refs[e] = e.refs
@@ -324,6 +436,9 @@ func (p *Pool) Close() {
 			e.sched.close()
 		}
 	}
+	// Quarantined engines close asynchronously; collect their goroutines
+	// too so Close really means quiesced.
+	p.quarWG.Wait()
 }
 
 // Handle is a pinned reference to one pooled engine.

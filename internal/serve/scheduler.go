@@ -2,8 +2,11 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/spmv"
@@ -22,6 +25,7 @@ type scheduler struct {
 	eng        spmv.Multiplier
 	rows, cols int
 	opt        Options
+	key        EngineKey
 
 	mu     sync.Mutex
 	queue  []*request
@@ -30,6 +34,15 @@ type scheduler struct {
 
 	wake chan struct{} // capacity 1; runner wake-up
 	wg   sync.WaitGroup
+
+	// Engine-fault state: once a flush faults, faulted flips and every
+	// later submission fails fast with faultCause instead of queueing
+	// against a poisoned engine. onFault (the pool's quarantine) fires
+	// exactly once.
+	faulted    atomic.Bool
+	faultCause atomic.Value // of error
+	faultOnce  sync.Once
+	onFault    func(cause error)
 
 	m collector
 }
@@ -49,13 +62,15 @@ type request struct {
 	enq       time.Time
 }
 
-func newScheduler(eng spmv.Multiplier, rows, cols int, opt Options) *scheduler {
+func newScheduler(eng spmv.Multiplier, rows, cols int, opt Options, key EngineKey, onFault func(cause error)) *scheduler {
 	s := &scheduler{
-		eng:  eng,
-		rows: rows,
-		cols: cols,
-		opt:  opt,
-		wake: make(chan struct{}, 1),
+		eng:     eng,
+		rows:    rows,
+		cols:    cols,
+		opt:     opt,
+		key:     key,
+		onFault: onFault,
+		wake:    make(chan struct{}, 1),
 	}
 	s.wg.Add(1)
 	go s.run()
@@ -83,6 +98,18 @@ func (s *scheduler) submitOp(ctx context.Context, x []float64, transpose bool) (
 	}
 	if len(x) != want {
 		return nil, &DimensionError{Got: len(x), Want: want, What: "x"}
+	}
+	// A request arriving already expired (server-side deadline, client
+	// cancel) never enqueues: rejecting here keeps a dead request from
+	// widening a batch or occupying queue depth.
+	if err := ctx.Err(); err != nil {
+		s.m.cancel()
+		return nil, err
+	}
+	// A faulted engine fails fast — the queue drains through poisoned
+	// flushes during quarantine, so joining it buys nothing but latency.
+	if s.faulted.Load() {
+		return nil, s.faultError()
 	}
 	req := &request{x: x, transpose: transpose, done: make(chan struct{}), enq: time.Now()}
 
@@ -228,30 +255,72 @@ func (s *scheduler) takeBatchLocked() []*request {
 
 // flush runs one coalesced multiply and demultiplexes the results.
 // (Requests cancelled while queued were dequeued by their submitters,
-// so everything in the batch is live.)
+// so everything in the batch is live.) A fault fails the whole batch
+// with a typed *EngineFaultError and triggers the pool's quarantine —
+// once, however many flushes race the poisoned engine afterwards.
 func (s *scheduler) flush(batch []*request) {
-	err := s.multiply(batch)
+	err, fault := s.multiply(batch)
+	if fault {
+		err = s.recordFault(err)
+	}
 	latMs := make([]float64, 0, len(batch))
 	for _, r := range batch {
 		r.err = err
 		latMs = append(latMs, msSince(r.enq))
 		close(r.done)
 	}
-	if err != nil {
+	switch {
+	case fault:
+		s.m.fault(len(batch))
+	case err != nil:
 		s.m.fail(len(batch))
-		return
+	default:
+		s.m.recordBatch(len(batch), latMs)
 	}
-	s.m.recordBatch(len(batch), latMs)
 }
 
-// multiply executes the batch on the engine, converting an engine panic
-// into an error on every request rather than killing the server.
-func (s *scheduler) multiply(batch []*request) (err error) {
+// recordFault converts an engine fault into the typed error every caught
+// request sees, latches the fast-fail state, and fires the pool's
+// quarantine exactly once.
+func (s *scheduler) recordFault(cause error) error {
+	err := &EngineFaultError{Key: s.key, Cause: cause}
+	s.faultCause.CompareAndSwap(nil, error(err))
+	s.faulted.Store(true)
+	s.faultOnce.Do(func() {
+		if s.onFault != nil {
+			s.onFault(cause)
+		}
+	})
+	return err
+}
+
+// faultError returns the latched fault for fast-fail submissions.
+func (s *scheduler) faultError() error {
+	if err, ok := s.faultCause.Load().(error); ok {
+		return err
+	}
+	return &EngineFaultError{Key: s.key, Cause: ErrEngineFault}
+}
+
+// multiply executes the batch on the engine. fault reports conditions
+// that poison the engine and demand quarantine: a panic anywhere in the
+// flush path (contained worker panics surface as *spmv.EngineFaultError,
+// scheduler-level ones via recover) or corrupted output payloads. A
+// plain error (e.g. racing a Close) fails the batch without quarantine.
+func (s *scheduler) multiply(batch []*request) (err error, fault bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("serve: engine failure: %v", r)
+			err = fmt.Errorf("serve: flush panic: %v", r)
+			fault = true
 		}
 	}()
+	inj := s.opt.Injector
+	if inj.Fire("flush.panic") {
+		panic("faultinject: flush.panic")
+	}
+	if inj.Fire("flush.slow") {
+		time.Sleep(s.opt.FlushDelay)
+	}
 	transpose := batch[0].transpose
 	outLen := s.rows
 	if transpose {
@@ -260,25 +329,41 @@ func (s *scheduler) multiply(batch []*request) (err error) {
 	if len(batch) == 1 {
 		batch[0].y = make([]float64, outLen)
 		if transpose {
-			s.eng.MultiplyTranspose(batch[0].x, batch[0].y)
+			err = s.eng.MultiplyTranspose(batch[0].x, batch[0].y)
 		} else {
-			s.eng.Multiply(batch[0].x, batch[0].y)
+			err = s.eng.Multiply(batch[0].x, batch[0].y)
 		}
-		return nil
-	}
-	X := make([][]float64, len(batch))
-	Y := make([][]float64, len(batch))
-	for i, r := range batch {
-		r.y = make([]float64, outLen)
-		X[i] = r.x
-		Y[i] = r.y
-	}
-	if transpose {
-		s.eng.MultiplyTransposeMulti(X, Y)
 	} else {
-		s.eng.MultiplyMulti(X, Y)
+		X := make([][]float64, len(batch))
+		Y := make([][]float64, len(batch))
+		for i, r := range batch {
+			r.y = make([]float64, outLen)
+			X[i] = r.x
+			Y[i] = r.y
+		}
+		if transpose {
+			err = s.eng.MultiplyTransposeMulti(X, Y)
+		} else {
+			err = s.eng.MultiplyMulti(X, Y)
+		}
 	}
-	return nil
+	if err != nil {
+		var fe *spmv.EngineFaultError
+		return err, errors.As(err, &fe)
+	}
+	if inj.Fire("flush.nan") {
+		batch[0].y[0] = math.NaN()
+	}
+	if s.opt.PayloadChecks {
+		for _, r := range batch {
+			for _, v := range r.y {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("serve: corrupted payload (NaN/Inf) in flush output"), true
+				}
+			}
+		}
+	}
+	return nil, false
 }
 
 // metrics snapshots the collector with the live queue depth.

@@ -32,7 +32,11 @@
 //     shape cmd/benchdiff gates on.
 package serve
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/serve/faultinject"
+)
 
 // Options configures a Pool and the schedulers it creates.
 type Options struct {
@@ -49,6 +53,25 @@ type Options struct {
 	// (refcount zero) engines evict in LRU order. In-use engines never
 	// evict, so the pool can transiently exceed the cap (default 8).
 	MaxEngines int
+	// RebuildBackoff is the circuit breaker's first cooldown after an
+	// engine fault or failed rebuild; each further failure doubles it up
+	// to RebuildBackoffMax (defaults 100ms and 5s). While the breaker is
+	// open, acquires shed with *QuarantinedError (HTTP 503 +
+	// Retry-After).
+	RebuildBackoff    time.Duration
+	RebuildBackoffMax time.Duration
+	// PayloadChecks makes every flush scan its outputs for NaN/Inf and
+	// treat corruption as an engine fault. Off by default: a caller
+	// submitting NaN inputs legitimately produces NaN outputs, so the
+	// scan only makes sense under chaos testing's controlled inputs.
+	PayloadChecks bool
+	// Injector, when non-nil, arms the fault-injection points in the
+	// pool and schedulers (see serve/faultinject). Nil means every point
+	// is inert.
+	Injector *faultinject.Injector
+	// FlushDelay is how long an injected "flush.slow" fault stalls the
+	// flush (default 20ms, only meaningful with an Injector).
+	FlushDelay time.Duration
 	// Seed and Epsilon are the method.Options knobs shared by every
 	// build the pool performs.
 	Seed    int64
@@ -67,6 +90,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxEngines <= 0 {
 		o.MaxEngines = 8
+	}
+	if o.RebuildBackoff <= 0 {
+		o.RebuildBackoff = 100 * time.Millisecond
+	}
+	if o.RebuildBackoffMax <= 0 {
+		o.RebuildBackoffMax = 5 * time.Second
+	}
+	if o.FlushDelay <= 0 {
+		o.FlushDelay = 20 * time.Millisecond
 	}
 	return o
 }

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/method"
@@ -22,9 +25,15 @@ import (
 //	GET  /v1/methods                                          → registry + matrices
 //	POST /v1/matrices?name=N   (MatrixMarket body)            → {"name","rows",...}
 //	GET  /metrics                                             → PoolMetrics
+//	GET  /healthz                                             → liveness (always 200)
+//	GET  /readyz                                              → readiness (503 while draining)
 //
 // Error mapping: unknown matrix/method 404, malformed request 400,
-// admission-control overload 429, pool shutdown 503, engine failure 500.
+// oversized upload 413, admission-control overload 429 + Retry-After,
+// engine quarantine or pool shutdown 503 + Retry-After, deadline 504.
+// Retryable rejections carry both a standard integer-seconds Retry-After
+// header (rounded up, minimum 1) and a precise X-Retry-After-Ms header;
+// clients that understand the extension should prefer the latter.
 type Server struct {
 	pool *Pool
 	mux  *http.ServeMux
@@ -32,20 +41,75 @@ type Server struct {
 	// DefaultMethod and DefaultK fill requests that omit them.
 	DefaultMethod string
 	DefaultK      int
+	// DefaultDeadline bounds every multiply/solve that does not carry its
+	// own deadline_ms; zero means no server-side deadline. Deadlines are
+	// enforced before a request enqueues and inside the solver stop
+	// hooks, so an expired request never widens a batch.
+	DefaultDeadline time.Duration
+	// MaxUploadBytes caps the /v1/matrices request body; larger uploads
+	// fail with 413 (default 1 GiB).
+	MaxUploadBytes int64
+
+	draining atomic.Bool
 }
 
 // NewServer wraps pool in the HTTP API.
 func NewServer(pool *Pool) *Server {
-	s := &Server{pool: pool, mux: http.NewServeMux(), DefaultMethod: "s2d", DefaultK: 4}
+	s := &Server{
+		pool: pool, mux: http.NewServeMux(),
+		DefaultMethod: "s2d", DefaultK: 4,
+		MaxUploadBytes: 1 << 30,
+	}
 	s.mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
 	s.mux.HandleFunc("POST /v1/matrices", s.handleUpload)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining flips the readiness signal. A draining server keeps
+// answering every endpoint — in-flight and just-arrived requests finish
+// normally while the load balancer reads /readyz and routes new traffic
+// elsewhere; the listener itself stops accepting only when
+// http.Server.Shutdown closes it.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the readiness state.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// handleHealthz is liveness: the process is up and the mux is serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 while accepting new work, 503 once
+// draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// requestCtx derives the request context with the effective deadline:
+// the request's own deadline_ms when given, else the server default,
+// else no deadline.
+func (s *Server) requestCtx(r *http.Request, deadlineMs int) (context.Context, context.CancelFunc) {
+	switch {
+	case deadlineMs > 0:
+		return context.WithTimeout(r.Context(), time.Duration(deadlineMs)*time.Millisecond)
+	case s.DefaultDeadline > 0:
+		return context.WithTimeout(r.Context(), s.DefaultDeadline)
+	default:
+		return r.Context(), func() {}
+	}
+}
 
 // engineRequest is the addressing triple shared by multiply and solve.
 type engineRequest struct {
@@ -67,6 +131,8 @@ func (s *Server) acquire(req engineRequest) (*Handle, error) {
 type multiplyRequest struct {
 	engineRequest
 	X []float64 `json:"x"`
+	// DeadlineMs overrides the server's default deadline for this request.
+	DeadlineMs int `json:"deadline_ms"`
 }
 
 type multiplyResponse struct {
@@ -82,6 +148,8 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if err := decodeJSON(w, r, &req); err != nil {
 		return
 	}
+	ctx, cancel := s.requestCtx(r, req.DeadlineMs)
+	defer cancel()
 	h, err := s.acquire(req.engineRequest)
 	if err != nil {
 		writeError(w, err)
@@ -89,7 +157,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	}
 	defer h.Release()
 	t0 := time.Now()
-	y, err := h.Multiply(r.Context(), req.X)
+	y, err := h.Multiply(ctx, req.X)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -109,6 +177,8 @@ type solveRequest struct {
 	Solver  string  `json:"solver"`
 	Tol     float64 `json:"tol"`      // default 1e-8
 	MaxIter int     `json:"max_iter"` // default 500
+	// DeadlineMs overrides the server's default deadline for this request.
+	DeadlineMs int `json:"deadline_ms"`
 }
 
 type solveResponse struct {
@@ -138,6 +208,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.MaxIter <= 0 {
 		req.MaxIter = 500
 	}
+	ctx, cancel := s.requestCtx(r, req.DeadlineMs)
+	defer cancel()
 	h, err := s.acquire(req.engineRequest)
 	if err != nil {
 		writeError(w, err)
@@ -182,7 +254,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			if mulErr != nil {
 				return
 			}
-			res, err := call(r.Context(), x)
+			res, err := call(ctx, x)
 			if err != nil {
 				mulErr = err
 				return
@@ -192,11 +264,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	mul := lift(h.Multiply)
 	mulT := lift(h.MultiplyTranspose)
+	// The stop hook runs between solver iterations: a deadline or fault
+	// ends the solve at the next iteration boundary instead of burning
+	// the remaining MaxIter multiplies.
 	stop := func() error {
 		if mulErr != nil {
 			return mulErr
 		}
-		return r.Context().Err()
+		return ctx.Err()
 	}
 	x := make([]float64, cols)
 	var res solver.Result
@@ -244,14 +319,22 @@ func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleUpload registers a MatrixMarket matrix posted in the request
-// body under ?name= (falling back to a generated name).
+// body under ?name= (falling back to a generated name). Bodies are read
+// through MaxBytesReader, never buffered unbounded: an upload past
+// MaxUploadBytes fails with 413 the moment the limit trips.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
 		name = fmt.Sprintf("upload-%d", time.Now().UnixNano())
 	}
-	a, err := sparse.ReadMatrixMarket(http.MaxBytesReader(w, r.Body, 1<<30))
+	a, err := sparse.ReadMatrixMarket(http.MaxBytesReader(w, r.Body, s.MaxUploadBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: fmt.Sprintf(
+				"serve: upload body exceeds the %d-byte limit", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
@@ -273,23 +356,58 @@ type errorBody struct {
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<30))
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: "request body too large: " + err.Error()})
+			return err
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return err
 	}
 	return nil
 }
 
+// setRetryAfter writes the retry contract headers: the RFC's
+// integer-seconds Retry-After (rounded up, minimum 1 — the header cannot
+// express sub-second waits) plus the precise X-Retry-After-Ms.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	ms := d.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("X-Retry-After-Ms", strconv.FormatInt(ms, 10))
+}
+
 // writeError maps the serving layer's typed errors onto HTTP statuses.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var (
-		unknownMat *UnknownMatrixError
-		unknownMet *UnknownMethodError
-		dim        *DimensionError
+		unknownMat  *UnknownMatrixError
+		unknownMet  *UnknownMethodError
+		dim         *DimensionError
+		quarantined *QuarantinedError
 	)
 	switch {
 	case errors.Is(err, ErrOverloaded):
+		// Overload is transient at batch-flush timescales; hint a short
+		// precise backoff.
+		setRetryAfter(w, 25*time.Millisecond)
 		status = http.StatusTooManyRequests
+	case errors.As(err, &quarantined):
+		// The breaker knows exactly when the rebuild cooldown ends.
+		setRetryAfter(w, quarantined.RetryAfter)
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrEngineFault):
+		// The batch died with the engine; the quarantine + rebuild path
+		// typically has a fresh engine within one breaker cooldown.
+		setRetryAfter(w, 100*time.Millisecond)
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.As(err, &unknownMat) || errors.As(err, &unknownMet):

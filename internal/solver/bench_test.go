@@ -49,7 +49,12 @@ func BenchmarkCGEngineBacked(b *testing.B) {
 		for j := range x {
 			x[j] = 0
 		}
-		if _, err := solver.CG(eng.Multiply, rhs, x, 1e-8, 500); err != nil {
+		mul := func(xv, yv []float64) {
+			if err := eng.Multiply(xv, yv); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := solver.CG(mul, rhs, x, 1e-8, 500); err != nil {
 			b.Fatal(err)
 		}
 	}

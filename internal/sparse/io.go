@@ -51,6 +51,9 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		}
 	}
 	if strings.TrimSpace(first) == "" {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("sparse: read: %w", err)
+		}
 		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
 	}
 	header := strings.Fields(strings.ToLower(first))
@@ -73,6 +76,9 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	var rows, cols, nnz int
 	for {
 		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, fmt.Errorf("sparse: read: %w", err)
+			}
 			return nil, fmt.Errorf("sparse: missing size line")
 		}
 		line := strings.TrimSpace(sc.Text())
@@ -89,6 +95,12 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	c.Entries = make([]Entry, 0, nnz)
 	for read := 0; read < nnz; {
 		if !sc.Scan() {
+			// A truncated stream and a failed read are different failures:
+			// surface the reader's own error (e.g. a body-size limit) so
+			// callers can match its type.
+			if err := sc.Err(); err != nil {
+				return nil, fmt.Errorf("sparse: read: %w", err)
+			}
 			return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, read)
 		}
 		line := strings.TrimSpace(sc.Text())

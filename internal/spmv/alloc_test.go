@@ -49,7 +49,7 @@ func TestMultiplySteadyStateZeroAlloc(t *testing.T) {
 	fused, twoPhase, routed, x, y := allocFixtures(t)
 	cases := []struct {
 		name string
-		mul  func(x, y []float64)
+		mul  func(x, y []float64) error
 	}{
 		{"fused", fused.Multiply},
 		{"twophase", twoPhase.Multiply},
@@ -79,8 +79,8 @@ func TestMultiplyTransposeSteadyStateZeroAlloc(t *testing.T) {
 	yt := make([]float64, len(x)) // column-space output
 	cases := []struct {
 		name string
-		mul  func(x, y []float64)
-		mulT func(x, y []float64)
+		mul  func(x, y []float64) error
+		mulT func(x, y []float64) error
 	}{
 		{"fused", fused.Multiply, fused.MultiplyTranspose},
 		{"twophase", twoPhase.Multiply, twoPhase.MultiplyTranspose},
@@ -108,7 +108,7 @@ func TestMultiplyDeterministic(t *testing.T) {
 	fused, twoPhase, routed, x, y := allocFixtures(t)
 	for _, tc := range []struct {
 		name string
-		mul  func(x, y []float64)
+		mul  func(x, y []float64) error
 	}{
 		{"fused", fused.Multiply},
 		{"twophase", twoPhase.Multiply},

@@ -115,8 +115,8 @@ func BenchmarkMultiplyBlock(b *testing.B) {
 			X[i] = x[i/nrhs]
 		}
 		for name, eng := range map[string]interface {
-			Multiply(x, y []float64)
-			MultiplyBlock(X, Y []float64, nrhs int)
+			Multiply(x, y []float64) error
+			MultiplyBlock(X, Y []float64, nrhs int) error
 		}{"fused": fused, "twophase": twoPhase, "routed": routed} {
 			b.Run(fmt.Sprintf("%s/block/nrhs=%d", name, nrhs), func(b *testing.B) {
 				eng.MultiplyBlock(X, Y, nrhs)

@@ -51,15 +51,18 @@ func (io *blockIO) unpack(Y [][]float64, n int) {
 // multi runs one slice-of-vectors multiply through the column-blocked
 // path: pack X into scratch, mulBlock, unpack into Y. Shared by both
 // engines' MultiplyMulti.
-func (io *blockIO) multi(X, Y [][]float64, cols, rows int, mulBlock func(X, Y []float64, nrhs int)) {
+func (io *blockIO) multi(X, Y [][]float64, cols, rows int, mulBlock func(X, Y []float64, nrhs int) error) error {
 	nrhs := len(X)
 	if nrhs == 0 || len(Y) != nrhs {
 		panic("spmv: dimension mismatch")
 	}
 	xb := io.pack(X, cols)
 	io.yb = growBlock(io.yb, rows*nrhs)
-	mulBlock(xb, io.yb, nrhs)
+	if err := mulBlock(xb, io.yb, nrhs); err != nil {
+		return err
+	}
 	io.unpack(Y, rows)
+	return nil
 }
 
 // checkBlockDims panics unless X and Y are column-blocked for nrhs
@@ -108,19 +111,19 @@ func (e *Engine) ensureBlock(nrhs int) {
 // phase regardless of nrhs, and zero steady-state heap allocations once
 // the block buffers are sized for the width. nrhs=1 is bit-identical to
 // Multiply. Like Multiply, calls must not overlap on one engine.
-func (e *Engine) MultiplyBlock(X, Y []float64, nrhs int) {
+func (e *Engine) MultiplyBlock(X, Y []float64, nrhs int) error {
 	a := e.d.A
 	checkBlockDims(X, Y, nrhs, a.Cols, a.Rows)
 	e.ensureBlock(nrhs)
-	e.pool.dispatchBlock(X, Y, nrhs)
+	return e.pool.dispatchBlock(X, Y, nrhs)
 }
 
 // MultiplyMulti computes Y[c] ← A·X[c] for every column c in one block
 // multiply. X and Y are nrhs vectors of the matrix's dimensions; the
 // engine packs them into its column-blocked scratch, runs MultiplyBlock,
 // and unpacks — zero steady-state allocations at a fixed nrhs.
-func (e *Engine) MultiplyMulti(X, Y [][]float64) {
-	e.io.multi(X, Y, e.d.A.Cols, e.d.A.Rows, e.MultiplyBlock)
+func (e *Engine) MultiplyMulti(X, Y [][]float64) error {
+	return e.io.multi(X, Y, e.d.A.Cols, e.d.A.Rows, e.MultiplyBlock)
 }
 
 // runFusedBlock is runFused with nrhs-wide payloads: same packets, same
@@ -204,17 +207,17 @@ func (e *RoutedEngine) ensureBlock(nrhs int) {
 // MultiplyBlock computes Y ← AX for nrhs right-hand sides with the routed
 // two-hop schedule; see Engine.MultiplyBlock for the layout and the
 // allocation contract.
-func (e *RoutedEngine) MultiplyBlock(X, Y []float64, nrhs int) {
+func (e *RoutedEngine) MultiplyBlock(X, Y []float64, nrhs int) error {
 	a := e.d.A
 	checkBlockDims(X, Y, nrhs, a.Cols, a.Rows)
 	e.ensureBlock(nrhs)
-	e.pool.dispatchBlock(X, Y, nrhs)
+	return e.pool.dispatchBlock(X, Y, nrhs)
 }
 
 // MultiplyMulti computes Y[c] ← A·X[c] for every column c in one routed
 // block multiply; see Engine.MultiplyMulti.
-func (e *RoutedEngine) MultiplyMulti(X, Y [][]float64) {
-	e.io.multi(X, Y, e.d.A.Cols, e.d.A.Rows, e.MultiplyBlock)
+func (e *RoutedEngine) MultiplyMulti(X, Y [][]float64) error {
+	return e.io.multi(X, Y, e.d.A.Cols, e.d.A.Rows, e.MultiplyBlock)
 }
 
 // runBlock is run with nrhs-wide payloads: identical routing, combining,

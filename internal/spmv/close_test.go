@@ -1,13 +1,14 @@
 package spmv
 
 import (
+	"errors"
 	"testing"
 )
 
 // The serving layer's engine pool refcounts shared engines and calls
 // Close on eviction; a second Close (or a racing Multiply that loses to
-// Close) must fail loudly and diagnosably, never panic with the
-// runtime's "send on closed channel" or deadlock.
+// Close) must fail diagnosably — a typed *ClosedError, never the
+// runtime's "send on closed channel" panic or a deadlock.
 
 // closers builds one engine per schedule without registering cleanup,
 // so the tests own the Close calls.
@@ -31,38 +32,38 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 }
 
-func TestMultiplyAfterClosePanics(t *testing.T) {
+func TestMultiplyAfterCloseReturnsClosedError(t *testing.T) {
 	for name, eng := range closers(t) {
 		t.Run(name, func(t *testing.T) {
 			eng.Close()
-			defer func() {
-				r := recover()
-				if r == nil {
-					t.Fatal("Multiply after Close did not panic")
-				}
-				if s, ok := r.(string); !ok || s != "spmv: Multiply on closed engine" {
-					t.Fatalf("unexpected panic %v", r)
-				}
-			}()
 			x := make([]float64, 400)
 			y := make([]float64, 400)
-			eng.Multiply(x, y)
+			err := eng.Multiply(x, y)
+			var ce *ClosedError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Multiply after Close returned %v, want *ClosedError", err)
+			}
+			if ce.Op != "Multiply" {
+				t.Fatalf("ClosedError.Op = %q, want %q", ce.Op, "Multiply")
+			}
 		})
 	}
 }
 
-func TestMultiplyBlockAfterClosePanics(t *testing.T) {
+func TestMultiplyBlockAfterCloseReturnsClosedError(t *testing.T) {
 	for name, eng := range closers(t) {
 		t.Run(name, func(t *testing.T) {
 			eng.Close()
-			defer func() {
-				if recover() == nil {
-					t.Fatal("MultiplyBlock after Close did not panic")
-				}
-			}()
 			X := make([]float64, 400*2)
 			Y := make([]float64, 400*2)
-			eng.MultiplyBlock(X, Y, 2)
+			err := eng.MultiplyBlock(X, Y, 2)
+			var ce *ClosedError
+			if !errors.As(err, &ce) {
+				t.Fatalf("MultiplyBlock after Close returned %v, want *ClosedError", err)
+			}
+			if ce.Op != "MultiplyBlock" {
+				t.Fatalf("ClosedError.Op = %q, want %q", ce.Op, "MultiplyBlock")
+			}
 		})
 	}
 }

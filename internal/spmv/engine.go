@@ -149,13 +149,13 @@ func NewEngine(d *distrib.Distribution) (*Engine, error) {
 		default:
 			e.runTwoPhase(pr, x, y)
 		}
-	})
+	}, e.releasePeers)
 	return e, nil
 }
 
 // Close parks the engine permanently: its worker goroutines exit and
-// Multiply must not be called again (it panics with a diagnosable
-// message if it is). Close is idempotent — sharing layers that
+// Multiply must not be called again (it returns a typed *ClosedError
+// if it is). Close is idempotent — sharing layers that
 // refcount engines may Close defensively. Closing is optional — an
 // unclosed engine merely keeps K goroutines parked until process exit —
 // but long-lived programs that build many engines should close them.
@@ -166,9 +166,11 @@ func newProcs(k, phases int) []*proc {
 	for i := range procs {
 		inbox := make([]chan packet, phases)
 		for ph := range inbox {
-			// Capacity k: sends never block, so no deadlock between
-			// mutually waiting processors.
-			inbox[ph] = make(chan packet, k)
+			// Capacity 2k: sends never block, so no deadlock between
+			// mutually waiting processors — even when fault containment
+			// floods one release packet per worker on top of the at most
+			// one real packet per sender per phase (see fault.go).
+			inbox[ph] = make(chan packet, 2*k)
 		}
 		procs[i] = &proc{
 			id:        i,
@@ -394,15 +396,18 @@ func newTwoPhaseEngine(d *distrib.Distribution) (*Engine, error) {
 }
 
 // Multiply computes y ← Ax in parallel. x and y must have the matrix's
-// dimensions; y is fully overwritten. Steady-state calls spawn no
+// dimensions (mismatches panic: that is a caller bug, not a runtime
+// condition); y is fully overwritten. Steady-state calls spawn no
 // goroutines and allocate nothing: the parked workers execute the
-// compiled plan against the published x and y.
-func (e *Engine) Multiply(x, y []float64) {
+// compiled plan against the published x and y. Multiply returns a typed
+// *ClosedError after Close and a typed *EngineFaultError once a
+// contained worker panic has poisoned the engine.
+func (e *Engine) Multiply(x, y []float64) error {
 	a := e.d.A
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("spmv: dimension mismatch")
 	}
-	e.pool.dispatch(x, y)
+	return e.pool.dispatch(x, y)
 }
 
 // runFused executes one processor's part of the §III algorithm: fill the

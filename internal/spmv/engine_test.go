@@ -33,14 +33,16 @@ func randomVector(r *rand.Rand, n int) []float64 {
 	return x
 }
 
-func checkAgainstSerial(t *testing.T, a *sparse.CSR, mul func(x, y []float64)) {
+func checkAgainstSerial(t *testing.T, a *sparse.CSR, mul func(x, y []float64) error) {
 	t.Helper()
 	r := rand.New(rand.NewSource(99))
 	x := randomVector(r, a.Cols)
 	want := make([]float64, a.Rows)
 	a.MulVec(x, want)
 	got := make([]float64, a.Rows)
-	mul(x, got)
+	if err := mul(x, got); err != nil {
+		t.Fatal(err)
+	}
 	for i := range want {
 		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
 			t.Fatalf("y[%d] = %v, want %v", i, got[i], want[i])

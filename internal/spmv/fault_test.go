@@ -1,0 +1,151 @@
+package spmv
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// faultEngines builds one engine per schedule; the tests own Close.
+func faultEngines(t *testing.T) map[string]Multiplier {
+	t.Helper()
+	fused, twoPhase, routed, _, _ := allocFixtures(t)
+	return map[string]Multiplier{
+		"fused":    fused,
+		"twophase": twoPhase,
+		"routed":   routed,
+	}
+}
+
+// multiplyWithTimeout guards against the exact failure mode this layer
+// exists to prevent: a worker panic deadlocking the dispatch barrier.
+func multiplyWithTimeout(t *testing.T, eng Multiplier, x, y []float64) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- eng.Multiply(x, y) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("Multiply deadlocked after injected worker panic")
+		return nil
+	}
+}
+
+// TestWorkerPanicContained injects a panic into one worker per schedule
+// and verifies the dispatch still completes, returns a typed
+// *EngineFaultError naming the worker, poisons the engine (subsequent
+// multiplies fail fast without running the plan), and leaves Close
+// clean.
+func TestWorkerPanicContained(t *testing.T) {
+	for name, eng := range faultEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			x := make([]float64, 400)
+			y := make([]float64, 400)
+			for i := range x {
+				x[i] = float64(i%5) - 2
+			}
+			if err := eng.Multiply(x, y); err != nil {
+				t.Fatalf("healthy multiply: %v", err)
+			}
+
+			hooker := eng.(WorkerFaultHooker)
+			hooker.SetWorkerFaultHook(func(worker int) {
+				if worker == 2 {
+					panic("injected fault")
+				}
+			})
+			err := multiplyWithTimeout(t, eng, x, y)
+			var fe *EngineFaultError
+			if !errors.As(err, &fe) {
+				t.Fatalf("Multiply with panicking worker returned %v, want *EngineFaultError", err)
+			}
+			if len(fe.Panics) == 0 || fe.Panics[0].Worker != 2 {
+				t.Fatalf("fault error %+v does not name worker 2", fe)
+			}
+			if !strings.Contains(err.Error(), "injected fault") {
+				t.Fatalf("fault error %q does not carry the panic value", err)
+			}
+
+			// The engine is poisoned: later multiplies fail fast with the
+			// same fault even after the hook is cleared, and never reach the
+			// workers again.
+			hooker.SetWorkerFaultHook(nil)
+			if err := multiplyWithTimeout(t, eng, x, y); !errors.As(err, &fe) {
+				t.Fatalf("poisoned multiply returned %v, want *EngineFaultError", err)
+			}
+			eng.Close()
+			eng.Close() // still idempotent after a fault
+		})
+	}
+}
+
+// TestAllWorkersPanicContained is the worst case: every worker panics in
+// the same dispatch. The barrier must still close and the goroutines
+// must still be collectable by Close.
+func TestAllWorkersPanicContained(t *testing.T) {
+	for name, eng := range faultEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			eng.(WorkerFaultHooker).SetWorkerFaultHook(func(int) { panic("boom") })
+			x := make([]float64, 400)
+			y := make([]float64, 400)
+			err := multiplyWithTimeout(t, eng, x, y)
+			var fe *EngineFaultError
+			if !errors.As(err, &fe) {
+				t.Fatalf("Multiply returned %v, want *EngineFaultError", err)
+			}
+			if len(fe.Panics) != 8 {
+				t.Fatalf("recorded %d panics, want 8 (one per worker)", len(fe.Panics))
+			}
+			eng.Close()
+			// The parked workers exit on Close even after containing panics.
+			deadline := time.Now().Add(5 * time.Second)
+			for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestBlockMultiplyFaultContained exercises the containment path through
+// the multi-RHS dispatch, which shares the inbox channels with the
+// single-vector plan.
+func TestBlockMultiplyFaultContained(t *testing.T) {
+	for name, eng := range faultEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			const nrhs = 3
+			X := make([]float64, 400*nrhs)
+			Y := make([]float64, 400*nrhs)
+			for i := range X {
+				X[i] = float64(i%7) - 3
+			}
+			if err := eng.MultiplyBlock(X, Y, nrhs); err != nil {
+				t.Fatalf("healthy block multiply: %v", err)
+			}
+			eng.(WorkerFaultHooker).SetWorkerFaultHook(func(worker int) {
+				if worker == 1 {
+					panic("block fault")
+				}
+			})
+			done := make(chan error, 1)
+			go func() { done <- eng.MultiplyBlock(X, Y, nrhs) }()
+			var err error
+			select {
+			case err = <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("MultiplyBlock deadlocked after injected worker panic")
+			}
+			var fe *EngineFaultError
+			if !errors.As(err, &fe) {
+				t.Fatalf("MultiplyBlock returned %v, want *EngineFaultError", err)
+			}
+			if fe.Op != "MultiplyBlock" {
+				t.Fatalf("fault op = %q, want MultiplyBlock", fe.Op)
+			}
+			eng.Close()
+		})
+	}
+}

@@ -11,28 +11,35 @@ import (
 // communication statistics, and worker shutdown. Every registry
 // method's build satisfies it through New, so batched and
 // normal-equation callers need no engine-specific code.
+//
+// Every multiply returns nil on success; dimension mismatches still
+// panic (caller bugs), but runtime conditions are errors: a typed
+// *ClosedError after Close, and a typed *EngineFaultError once a
+// contained worker panic has poisoned the engine (see fault.go). A
+// poisoned engine fails every subsequent multiply fast; the only
+// recovery is Close plus a fresh build.
 type Multiplier interface {
-	Multiply(x, y []float64)
+	Multiply(x, y []float64) error
 	// MultiplyBlock computes Y ← AX for nrhs right-hand sides in the
 	// column-blocked layout (column c of row i at X[i*nrhs+c]), reusing
 	// the compiled plan's packets with nrhs-wide payloads: one message
 	// per peer per phase regardless of nrhs, zero steady-state
 	// allocations at a fixed width, and nrhs=1 bit-identical to Multiply.
-	MultiplyBlock(X, Y []float64, nrhs int)
+	MultiplyBlock(X, Y []float64, nrhs int) error
 	// MultiplyMulti is MultiplyBlock over len(X) separate vectors, packed
 	// into (and unpacked from) engine-owned scratch.
-	MultiplyMulti(X, Y [][]float64)
+	MultiplyMulti(X, Y [][]float64) error
 	// MultiplyTranspose computes y ← Aᵀx (x length Rows, y length Cols)
 	// on the same distribution: the forward plan's packets run with the
 	// phases reversed, so message counts and steady-state allocation
 	// behavior (zero) match Multiply's. The transpose plan compiles
 	// lazily on the first call.
-	MultiplyTranspose(x, y []float64)
+	MultiplyTranspose(x, y []float64) error
 	// MultiplyTransposeBlock and MultiplyTransposeMulti are the multi-RHS
 	// twins of MultiplyTranspose, with MultiplyBlock's layout and
 	// contracts.
-	MultiplyTransposeBlock(X, Y []float64, nrhs int)
-	MultiplyTransposeMulti(X, Y [][]float64)
+	MultiplyTransposeBlock(X, Y []float64, nrhs int) error
+	MultiplyTransposeMulti(X, Y [][]float64) error
 	ScheduleStats() distrib.CommStats
 	Close()
 }

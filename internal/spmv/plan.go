@@ -1,6 +1,7 @@
 package spmv
 
 import (
+	"fmt"
 	"maps"
 	"slices"
 	"sync"
@@ -255,22 +256,45 @@ func growBlock(s []float64, n int) []float64 {
 type recvPlan struct {
 	ord  map[int]int
 	pend []packet
+	seen []bool
 }
 
 func newRecvPlan(senders []int) recvPlan {
-	r := recvPlan{ord: make(map[int]int, len(senders)), pend: make([]packet, len(senders))}
+	r := recvPlan{
+		ord:  make(map[int]int, len(senders)),
+		pend: make([]packet, len(senders)),
+		seen: make([]bool, len(senders)),
+	}
 	for t, s := range senders {
 		r.ord[s] = t
 	}
 	return r
 }
 
-// gather receives exactly len(pend) packets and returns them ordered by
-// sender. The returned slice is reused across calls.
+// gather receives until every expected sender has delivered one packet
+// and returns them ordered by sender. Counting senders rather than raw
+// packets matters under fault containment: a panicked worker floods a
+// release packet into every inbox of both phases (fault.go), including
+// inboxes whose gather does not expect that worker in that phase. If a
+// raw count admitted such a packet, the barrier would complete early
+// with a stale pend entry from the previous dispatch — aliasing a send
+// buffer its owner is concurrently rewriting. Packets from unexpected
+// or already-seen senders are therefore dropped; the 2K inbox capacity
+// absorbs anything left unconsumed on a poisoned engine. The returned
+// slice is reused across calls.
 func (r *recvPlan) gather(ch <-chan packet) []packet {
-	for n := 0; n < len(r.pend); n++ {
+	for n := 0; n < len(r.pend); {
 		pk := <-ch
-		r.pend[r.ord[pk.from]] = pk
+		t, ok := r.ord[pk.from]
+		if !ok || r.seen[t] {
+			continue
+		}
+		r.seen[t] = true
+		r.pend[t] = pk
+		n++
+	}
+	for t := range r.seen {
+		r.seen[t] = false
 	}
 	return r.pend
 }
@@ -287,6 +311,11 @@ func sortedKeys[V any](m map[int]V) []int {
 // WaitGroup to collect them, and the per-call x/y (plus the block width
 // for multi-RHS calls and the transpose direction) published through the
 // pool. dispatch performs no heap allocations.
+//
+// A panic inside a worker is contained, not fatal: the worker records it,
+// calls release(i) so its peers' gathers complete (see fault.go), and the
+// dispatch returns a typed *EngineFaultError with the pool poisoned
+// against further dispatches.
 type workerPool struct {
 	x, y      []float64
 	nrhs      int  // 0 = single-vector call, >0 = column-blocked SpMM
@@ -295,44 +324,123 @@ type workerPool struct {
 	done      sync.WaitGroup
 	closeOnce sync.Once
 	closed    atomic.Bool
+
+	// hook wraps an injectable per-worker fault hook (see
+	// WorkerFaultHooker); stored boxed because atomic.Value cannot hold a
+	// bare nil.
+	hook atomic.Value // of hookBox
+
+	poisoned atomic.Bool
+	faultMu  sync.Mutex
+	faults   []WorkerPanic
 }
+
+type hookBox struct{ f func(worker int) }
+
+func (p *workerPool) setHook(h func(worker int)) { p.hook.Store(hookBox{f: h}) }
 
 // launch spawns n workers; each waits for a start signal, executes run
 // with the published vectors (nrhs = 0 for Multiply, the block width for
 // MultiplyBlock; transpose selects the Aᵀx plan), and reports done.
-func (p *workerPool) launch(n int, run func(i int, x, y []float64, nrhs int, transpose bool)) {
+// release, when non-nil, is invoked after a contained worker panic to
+// unblock the panicked worker's peers.
+func (p *workerPool) launch(n int, run func(i int, x, y []float64, nrhs int, transpose bool), release func(i int)) {
 	p.start = make([]chan struct{}, n)
 	for i := 0; i < n; i++ {
 		ch := make(chan struct{}, 1)
 		p.start[i] = ch
 		go func(i int, ch chan struct{}) {
 			for range ch {
-				run(i, p.x, p.y, p.nrhs, p.transpose)
+				p.runContained(i, run, release)
 				p.done.Done()
 			}
 		}(i, ch)
 	}
 }
 
+// runContained executes one worker turn with panic containment: a panic
+// anywhere in the plan (or the injected fault hook) is recorded, the
+// pool is poisoned, and the worker's peers are released so the dispatch
+// barrier still closes. The worker goroutine itself survives, parked for
+// Close.
+func (p *workerPool) runContained(i int, run func(i int, x, y []float64, nrhs int, transpose bool), release func(i int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.recordFault(i, r)
+			if release != nil {
+				// release must not take the barrier down with a secondary
+				// panic; the engine is already poisoned.
+				defer func() { _ = recover() }()
+				release(i)
+			}
+		}
+	}()
+	if hb, ok := p.hook.Load().(hookBox); ok && hb.f != nil {
+		hb.f(i)
+	}
+	run(i, p.x, p.y, p.nrhs, p.transpose)
+}
+
+// recordFault notes a contained worker panic and poisons the pool before
+// the dispatch barrier closes, so even a racing dispatcher observes it.
+func (p *workerPool) recordFault(worker int, v any) {
+	p.faultMu.Lock()
+	p.faults = append(p.faults, WorkerPanic{Worker: worker, Value: fmt.Sprint(v)})
+	p.faultMu.Unlock()
+	p.poisoned.Store(true)
+}
+
+// faultErr materializes the poisoned state as a typed error; nil while
+// healthy. The fast path is one atomic load.
+func (p *workerPool) faultErr(op string) error {
+	if !p.poisoned.Load() {
+		return nil
+	}
+	p.faultMu.Lock()
+	panics := append([]WorkerPanic(nil), p.faults...)
+	p.faultMu.Unlock()
+	return &EngineFaultError{Op: op, Panics: panics}
+}
+
+// opName names the dispatch variant for error messages.
+func opName(nrhs int, transpose bool) string {
+	switch {
+	case transpose && nrhs > 0:
+		return "MultiplyTransposeBlock"
+	case transpose:
+		return "MultiplyTranspose"
+	case nrhs > 0:
+		return "MultiplyBlock"
+	default:
+		return "Multiply"
+	}
+}
+
 // dispatch zeroes y, publishes the vectors, releases every worker, and
 // waits for all of them to finish.
-func (p *workerPool) dispatch(x, y []float64) {
-	p.dispatchOp(x, y, 0, false)
+func (p *workerPool) dispatch(x, y []float64) error {
+	return p.dispatchOp(x, y, 0, false)
 }
 
 // dispatchBlock is dispatch with a published block width; nrhs = 0 runs
 // the single-vector plan.
-func (p *workerPool) dispatchBlock(x, y []float64, nrhs int) {
-	p.dispatchOp(x, y, nrhs, false)
+func (p *workerPool) dispatchBlock(x, y []float64, nrhs int) error {
+	return p.dispatchOp(x, y, nrhs, false)
 }
 
-// dispatchOp is the general dispatch: block width plus direction.
-func (p *workerPool) dispatchOp(x, y []float64, nrhs int, transpose bool) {
+// dispatchOp is the general dispatch: block width plus direction. It
+// returns *ClosedError after Close, and *EngineFaultError once a worker
+// panic has poisoned the pool — before running anything, so a poisoned
+// plan never executes over corrupted buffers.
+func (p *workerPool) dispatchOp(x, y []float64, nrhs int, transpose bool) error {
 	if p.closed.Load() {
 		// A sharing layer (refcounted pools, pipelines) that races Multiply
-		// against Close gets a diagnosable panic instead of the runtime's
-		// "send on closed channel".
-		panic("spmv: Multiply on closed engine")
+		// against Close gets a typed error instead of the runtime's
+		// "send on closed channel" panic.
+		return &ClosedError{Op: opName(nrhs, transpose)}
+	}
+	if err := p.faultErr(opName(nrhs, transpose)); err != nil {
+		return err
 	}
 	for i := range y {
 		y[i] = 0
@@ -344,6 +452,7 @@ func (p *workerPool) dispatchOp(x, y []float64, nrhs int, transpose bool) {
 	}
 	p.done.Wait()
 	p.x, p.y = nil, nil
+	return p.faultErr(opName(nrhs, transpose))
 }
 
 // close releases the parked workers permanently; dispatch must not be

@@ -150,8 +150,11 @@ func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, er
 			p1Recv:      make(map[int]*routeRecv),
 			p2Recv:      make(map[int][]int),
 		}
-		e.rprocs[i].inbox[0] = make(chan packet, d.K)
-		e.rprocs[i].inbox[1] = make(chan packet, d.K)
+		// Capacity 2K: sends never block even when fault containment
+		// floods one release packet per worker on top of the at most one
+		// real packet per sender per phase (see fault.go).
+		e.rprocs[i].inbox[0] = make(chan packet, 2*d.K)
+		e.rprocs[i].inbox[1] = make(chan packet, 2*d.K)
 	}
 
 	// Per (owner, dest) x needs, as in the fused engine.
@@ -249,7 +252,7 @@ func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, er
 		default:
 			e.run(pr, x, y)
 		}
-	})
+	}, e.releasePeers)
 	return e, nil
 }
 
@@ -453,16 +456,18 @@ func dedupSorted(xs []int) []int {
 }
 
 // Close parks the routed engine permanently; like Engine.Close it is
-// idempotent, and Multiply after Close panics with a clear message.
+// idempotent, and Multiply after Close returns a typed *ClosedError.
 func (e *RoutedEngine) Close() { e.pool.close() }
 
-// Multiply computes y ← Ax with the routed two-phase schedule.
-func (e *RoutedEngine) Multiply(x, y []float64) {
+// Multiply computes y ← Ax with the routed two-phase schedule. It
+// returns *ClosedError after Close and *EngineFaultError once a
+// contained worker panic has poisoned the engine.
+func (e *RoutedEngine) Multiply(x, y []float64) error {
 	a := e.d.A
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("spmv: dimension mismatch")
 	}
-	e.pool.dispatch(x, y)
+	return e.pool.dispatch(x, y)
 }
 
 func (e *RoutedEngine) run(pr *rproc, x, y []float64) {

@@ -234,13 +234,13 @@ func (e *RoutedEngine) ensureTranspose() {
 
 // MultiplyTranspose computes y ← Aᵀx with the reversed two-hop
 // schedule; see Engine.MultiplyTranspose for the contract.
-func (e *RoutedEngine) MultiplyTranspose(x, y []float64) {
+func (e *RoutedEngine) MultiplyTranspose(x, y []float64) error {
 	a := e.d.A
 	if len(x) != a.Rows || len(y) != a.Cols {
 		panic("spmv: dimension mismatch")
 	}
 	e.ensureTranspose()
-	e.pool.dispatchOp(x, y, 0, true)
+	return e.pool.dispatchOp(x, y, 0, true)
 }
 
 // runT executes one processor's transpose part of the reversed route.
@@ -342,18 +342,18 @@ func (e *RoutedEngine) ensureTransposeBlock(nrhs int) {
 
 // MultiplyTransposeBlock computes Y ← AᵀX for nrhs right-hand sides
 // with the reversed two-hop schedule; see Engine.MultiplyTransposeBlock.
-func (e *RoutedEngine) MultiplyTransposeBlock(X, Y []float64, nrhs int) {
+func (e *RoutedEngine) MultiplyTransposeBlock(X, Y []float64, nrhs int) error {
 	a := e.d.A
 	checkBlockDims(X, Y, nrhs, a.Rows, a.Cols)
 	e.ensureTranspose()
 	e.ensureTransposeBlock(nrhs)
-	e.pool.dispatchOp(X, Y, nrhs, true)
+	return e.pool.dispatchOp(X, Y, nrhs, true)
 }
 
 // MultiplyTransposeMulti computes Y[c] ← Aᵀ·X[c] for every column c in
 // one routed block transpose multiply; see Engine.MultiplyMulti.
-func (e *RoutedEngine) MultiplyTransposeMulti(X, Y [][]float64) {
-	e.io.multi(X, Y, e.d.A.Rows, e.d.A.Cols, e.MultiplyTransposeBlock)
+func (e *RoutedEngine) MultiplyTransposeMulti(X, Y [][]float64) error {
+	return e.io.multi(X, Y, e.d.A.Rows, e.d.A.Cols, e.MultiplyTransposeBlock)
 }
 
 // runTBlock is runT with nrhs-wide payloads.

@@ -13,9 +13,9 @@ import (
 // blockMultiplier is the multi-RHS surface shared by Engine and
 // RoutedEngine, used to run every SpMM test over all three schedules.
 type blockMultiplier interface {
-	Multiply(x, y []float64)
-	MultiplyBlock(X, Y []float64, nrhs int)
-	MultiplyMulti(X, Y [][]float64)
+	Multiply(x, y []float64) error
+	MultiplyBlock(X, Y []float64, nrhs int) error
+	MultiplyMulti(X, Y [][]float64) error
 }
 
 // spmmFixtures returns the three schedules over one shared matrix.

@@ -249,13 +249,13 @@ func compileTransposeRecvX(procs []*proc) {
 // schedule (reusing the forward plan's packet structure with the phases
 // reversed); steady-state calls spawn no goroutines and allocate
 // nothing. Like Multiply, calls must not overlap on one engine.
-func (e *Engine) MultiplyTranspose(x, y []float64) {
+func (e *Engine) MultiplyTranspose(x, y []float64) error {
 	a := e.d.A
 	if len(x) != a.Rows || len(y) != a.Cols {
 		panic("spmv: dimension mismatch")
 	}
 	e.ensureTranspose()
-	e.pool.dispatchOp(x, y, 0, true)
+	return e.pool.dispatchOp(x, y, 0, true)
 }
 
 // runFusedT executes one processor's transpose part of the fused
@@ -336,18 +336,18 @@ func (e *Engine) ensureTransposeBlock(nrhs int) {
 // the transpose plan with nrhs-wide payloads: one packet per peer per
 // phase regardless of nrhs, zero steady-state allocations once sized,
 // and nrhs=1 bit-identical to MultiplyTranspose.
-func (e *Engine) MultiplyTransposeBlock(X, Y []float64, nrhs int) {
+func (e *Engine) MultiplyTransposeBlock(X, Y []float64, nrhs int) error {
 	a := e.d.A
 	checkBlockDims(X, Y, nrhs, a.Rows, a.Cols)
 	e.ensureTranspose()
 	e.ensureTransposeBlock(nrhs)
-	e.pool.dispatchOp(X, Y, nrhs, true)
+	return e.pool.dispatchOp(X, Y, nrhs, true)
 }
 
 // MultiplyTransposeMulti computes Y[c] ← Aᵀ·X[c] for every column c in
 // one block transpose multiply; see Engine.MultiplyMulti.
-func (e *Engine) MultiplyTransposeMulti(X, Y [][]float64) {
-	e.io.multi(X, Y, e.d.A.Rows, e.d.A.Cols, e.MultiplyTransposeBlock)
+func (e *Engine) MultiplyTransposeMulti(X, Y [][]float64) error {
+	return e.io.multi(X, Y, e.d.A.Rows, e.d.A.Cols, e.MultiplyTransposeBlock)
 }
 
 // runFusedTBlock is runFusedT with nrhs-wide payloads.

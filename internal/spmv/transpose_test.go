@@ -13,10 +13,10 @@ import (
 // transposeMultiplier is the Aᵀx surface shared by Engine and
 // RoutedEngine, used to run every transpose test over all schedules.
 type transposeMultiplier interface {
-	Multiply(x, y []float64)
-	MultiplyTranspose(x, y []float64)
-	MultiplyTransposeBlock(X, Y []float64, nrhs int)
-	MultiplyTransposeMulti(X, Y [][]float64)
+	Multiply(x, y []float64) error
+	MultiplyTranspose(x, y []float64) error
+	MultiplyTransposeBlock(X, Y []float64, nrhs int) error
+	MultiplyTransposeMulti(X, Y [][]float64) error
 }
 
 // transposeFixtures returns the three schedules over one shared matrix.
