@@ -14,11 +14,15 @@ import (
 // serving-throughput records (kind "serve", keyed additionally by the
 // offered concurrency; ns_per_op there is 1e9/RPS, so the same
 // slowdown-ratio math gates requests/sec). Op distinguishes forward
-// records (empty) from transpose kernels ("transpose"). Unknown fields
-// are ignored, so older and newer baselines both load.
+// records (empty) from transpose kernels ("transpose"); Kernel is the
+// spmvbench -kernels selector ("" for the scalar reference, so pre-
+// kernel baselines pair against scalar records and never against an
+// autotuned run). Unknown fields are ignored, so older and newer
+// baselines both load.
 type record struct {
 	Kind        string  `json:"kind"`
 	Op          string  `json:"op"`
+	Kernel      string  `json:"kernel"`
 	Method      string  `json:"method"`
 	Matrix      string  `json:"matrix"`
 	Seed        int64   `json:"seed"`
@@ -42,6 +46,7 @@ func (r record) serving() bool { return r.Kind == "serve" }
 type key struct {
 	Kind        string
 	Op          string
+	Kernel      string
 	Method      string
 	Matrix      string
 	Seed        int64
@@ -57,12 +62,15 @@ func (r record) key() key {
 	if nrhs == 0 {
 		nrhs = 1 // baselines predating the nrhs field
 	}
-	return key{r.Kind, r.Op, r.Method, r.Matrix, r.Seed, r.K, nrhs, r.Concurrency, r.Schedule, r.Rows}
+	return key{r.Kind, r.Op, r.Kernel, r.Method, r.Matrix, r.Seed, r.K, nrhs, r.Concurrency, r.Schedule, r.Rows}
 }
 
 func (k key) String() string {
 	s := fmt.Sprintf("%s/%s/seed=%d/K=%d/nrhs=%d/%s/n=%d",
 		k.Method, k.Matrix, k.Seed, k.K, k.NRHS, k.Schedule, k.Rows)
+	if k.Kernel != "" {
+		s = s + "/kernel=" + k.Kernel
+	}
 	if k.Op != "" {
 		s = k.Op + ":" + s
 	}

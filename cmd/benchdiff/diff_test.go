@@ -169,6 +169,23 @@ func TestDiffFailsOnCorruptBaselineRecord(t *testing.T) {
 	}
 }
 
+func TestDiffKernelRecordsPairSeparately(t *testing.T) {
+	// An autotuned record must never pair against a scalar baseline: a
+	// pre-kernel baseline (Kernel "") pairs only with current scalar
+	// records (also ""), and kernel-keyed records pair among themselves.
+	scalar := rec("s2D", 4, 8, 1000, 0)
+	auto := rec("s2D", 4, 8, 700, 0)
+	auto.Kernel = "auto"
+	rep := diff([]record{scalar}, []record{auto}, 1.25)
+	if len(rep.pairs) != 0 {
+		t.Fatal("autotuned record paired against a scalar baseline")
+	}
+	rep = diff([]record{scalar, auto}, []record{scalar, auto}, 1.25)
+	if !rep.ok() || len(rep.pairs) != 2 {
+		t.Fatalf("kernel-matched records should pair: %+v", rep)
+	}
+}
+
 func TestDiffTransposeRecordsPairSeparately(t *testing.T) {
 	// Forward and transpose measurements of the same kernel must never
 	// pair with each other.

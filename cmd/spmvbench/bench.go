@@ -23,9 +23,16 @@ import (
 // NsPerOp/nrhs is the per-RHS throughput figure. Packets and MaxMsgs
 // are per multiply regardless of nrhs — the block path widens payloads,
 // not the message count — so CommVolume (words moved per block
-// multiply) is VolumeWords·nrhs.
+// multiply) is VolumeWords·nrhs. Kernel is the -kernels selector the
+// record ran under — empty for the scalar reference, so baselines from
+// PRs that predate kernel selection pair against scalar records — and
+// KernelChoice is the backend "auto" resolved to for this nrhs
+// (informational; benchdiff keys on Kernel only).
 type benchRecord struct {
-	Op          string  `json:"op,omitempty"`
+	Op           string `json:"op,omitempty"`
+	Kernel       string `json:"kernel,omitempty"`
+	KernelChoice string `json:"kernel_choice,omitempty"`
+
 	Method      string  `json:"method"`
 	Matrix      string  `json:"matrix"`
 	Seed        int64   `json:"seed"`
@@ -63,13 +70,23 @@ func scheduleOf(b method.Build) string {
 // engines, emitting op="transpose" records the benchdiff gate pairs
 // separately from the forward ones. All builds share one pipeline, so
 // common prerequisites are computed once across the sweep.
-func runJSONBench(w io.Writer, cfg harness.Config, methods []string, nrhsList []int, transpose bool) error {
+//
+// kernels lists the -kernels selectors to sweep per engine: backend
+// names install that backend for every width class, "auto" runs the
+// plan-time autotuner (decisions memoized in the pipeline, so both
+// K-sweep repeats and rebuilt engines reuse the first verdict). Empty
+// means scalar only. Each selector reuses the same engine — selection
+// swaps are cheap; plan compilation is not.
+func runJSONBench(w io.Writer, cfg harness.Config, methods []string, nrhsList []int, transpose bool, kernels []string) error {
 	ks := cfg.Ks
 	if len(ks) == 0 {
 		ks = []int{4, 16, 64}
 	}
 	if len(nrhsList) == 0 {
 		nrhsList = []int{1}
+	}
+	if len(kernels) == 0 {
+		kernels = []string{"scalar"}
 	}
 	n := int(320000 * cfg.Scale)
 	if n < 1000 {
@@ -105,9 +122,18 @@ func runJSONBench(w io.Writer, cfg harness.Config, methods []string, nrhsList []
 				return fmt.Errorf("%s K=%d: %w", name, k, err)
 			}
 			cs := eng.ScheduleStats()
+			var kernelKey string
+			var kernelRep spmv.KernelReport
 			record := func(op string, nrhs int, res testing.BenchmarkResult) {
+				choice := ""
+				if kernelKey == "auto" {
+					choice = kernelRep.For(nrhs)
+				}
 				recs = append(recs, benchRecord{
-					Op:          op,
+					Op:           op,
+					Kernel:       kernelKey,
+					KernelChoice: choice,
+
 					Method:      b.Method,
 					Matrix:      matrixName,
 					Seed:        cfg.Seed,
@@ -127,53 +153,78 @@ func runJSONBench(w io.Writer, cfg harness.Config, methods []string, nrhsList []
 					CommVolume:  cs.TotalVolume * nrhs,
 				})
 			}
-			for _, nrhs := range nrhsList {
-				var res testing.BenchmarkResult
-				if nrhs == 1 {
-					x, y := X[:a.Cols], Y[:a.Rows]
-					res = testing.Benchmark(func(bm *testing.B) {
-						bm.ReportAllocs()
-						for i := 0; i < bm.N; i++ {
-							eng.Multiply(x, y)
-						}
-					})
-				} else {
-					Xb, Yb := X[:a.Cols*nrhs], Y[:a.Rows*nrhs]
-					eng.MultiplyBlock(Xb, Yb, nrhs) // size the block buffers
-					res = testing.Benchmark(func(bm *testing.B) {
-						bm.ReportAllocs()
-						for i := 0; i < bm.N; i++ {
-							eng.MultiplyBlock(Xb, Yb, nrhs)
-						}
-					})
+			for _, sel := range kernels {
+				tune := spmv.TuneConfig{}
+				switch sel {
+				case "auto":
+					kernelKey = "auto"
+					tune.Widths = nrhsList
+					tune.Cache = opt.Pipeline.KernelCache(a, b.Method, k, cfg.Seed, 0)
+				case "scalar":
+					// The scalar reference keys as "" so baselines from PRs
+					// that predate kernel selection pair against it.
+					kernelKey = ""
+					tune.Force = "scalar"
+				default:
+					kernelKey = sel
+					tune.Force = sel
+					tune.RelaxedFP = sel == "relaxed"
 				}
-				record("", nrhs, res)
-				if !transpose {
-					continue
+				rep, err := eng.Autotune(tune)
+				if err != nil {
+					eng.Close()
+					return fmt.Errorf("%s K=%d -kernels %s: %w", name, k, sel, err)
 				}
-				// Transpose sweep on the same engine: x lives in the row
-				// space, y in the column space. The square bench matrix lets
-				// the X/Y scratch serve both directions.
-				if nrhs == 1 {
-					x, y := X[:a.Rows], Y[:a.Cols]
-					eng.MultiplyTranspose(x, y) // compile the transpose plan
-					res = testing.Benchmark(func(bm *testing.B) {
-						bm.ReportAllocs()
-						for i := 0; i < bm.N; i++ {
-							eng.MultiplyTranspose(x, y)
-						}
-					})
-				} else {
-					Xb, Yb := X[:a.Rows*nrhs], Y[:a.Cols*nrhs]
-					eng.MultiplyTransposeBlock(Xb, Yb, nrhs)
-					res = testing.Benchmark(func(bm *testing.B) {
-						bm.ReportAllocs()
-						for i := 0; i < bm.N; i++ {
-							eng.MultiplyTransposeBlock(Xb, Yb, nrhs)
-						}
-					})
+				kernelRep = rep
+
+				for _, nrhs := range nrhsList {
+					var res testing.BenchmarkResult
+					if nrhs == 1 {
+						x, y := X[:a.Cols], Y[:a.Rows]
+						res = testing.Benchmark(func(bm *testing.B) {
+							bm.ReportAllocs()
+							for i := 0; i < bm.N; i++ {
+								eng.Multiply(x, y)
+							}
+						})
+					} else {
+						Xb, Yb := X[:a.Cols*nrhs], Y[:a.Rows*nrhs]
+						eng.MultiplyBlock(Xb, Yb, nrhs) // size the block buffers
+						res = testing.Benchmark(func(bm *testing.B) {
+							bm.ReportAllocs()
+							for i := 0; i < bm.N; i++ {
+								eng.MultiplyBlock(Xb, Yb, nrhs)
+							}
+						})
+					}
+					record("", nrhs, res)
+					if !transpose {
+						continue
+					}
+					// Transpose sweep on the same engine: x lives in the row
+					// space, y in the column space. The square bench matrix lets
+					// the X/Y scratch serve both directions.
+					if nrhs == 1 {
+						x, y := X[:a.Rows], Y[:a.Cols]
+						eng.MultiplyTranspose(x, y) // compile the transpose plan
+						res = testing.Benchmark(func(bm *testing.B) {
+							bm.ReportAllocs()
+							for i := 0; i < bm.N; i++ {
+								eng.MultiplyTranspose(x, y)
+							}
+						})
+					} else {
+						Xb, Yb := X[:a.Rows*nrhs], Y[:a.Cols*nrhs]
+						eng.MultiplyTransposeBlock(Xb, Yb, nrhs)
+						res = testing.Benchmark(func(bm *testing.B) {
+							bm.ReportAllocs()
+							for i := 0; i < bm.N; i++ {
+								eng.MultiplyTransposeBlock(Xb, Yb, nrhs)
+							}
+						})
+					}
+					record("transpose", nrhs, res)
 				}
-				record("transpose", nrhs, res)
 			}
 			eng.Close()
 		}

@@ -12,18 +12,21 @@
 //	spmvbench -json -methods all    # benchmark every registered method
 //	spmvbench -json -nrhs 1,8,32    # batched SpMM sweep (MultiplyBlock)
 //	spmvbench -json -transpose      # also sweep y <- A'x (MultiplyTranspose)
+//	spmvbench -json -kernels auto   # autotuned kernel backends
 //	spmvbench -nrhstable            # multi-RHS method comparison table
 //
-// Each -json record carries the method name, matrix, seed, K, nrhs, and
-// op ("" forward, "transpose" for A'x), so BENCH_*.json baselines from
-// successive PRs are directly comparable (cmd/benchdiff consumes
-// exactly these records).
+// Each -json record carries the method name, matrix, seed, K, nrhs, op
+// ("" forward, "transpose" for A'x), and the kernel selector ("" for
+// the scalar reference), so BENCH_*.json baselines from successive PRs
+// are directly comparable (cmd/benchdiff consumes exactly these
+// records).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/cliutil"
@@ -50,6 +53,11 @@ func main() {
 		"render the multi-RHS (batched SpMM) method comparison table")
 	transpose := flag.Bool("transpose", false,
 		"with -json, additionally benchmark the transpose kernels (y <- A'x)")
+	kernelSel := flag.String("kernels", "",
+		"with -json, comma-separated kernel selectors to sweep: backend names "+
+			"(scalar,reg,sorted,sortedreg,relaxed) and/or 'auto' (plan-time autotuner); "+
+			"empty = scalar only")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 
 	cfg := harness.Config{Scale: *scale, Seed: *seed, Parallelism: *par}
@@ -73,6 +81,30 @@ func main() {
 	}
 	if *transpose && !*jsonBench {
 		fatalUsage("-transpose only applies to -json")
+	}
+	if *kernelSel != "" && !*jsonBench {
+		fatalUsage("-kernels only applies to -json")
+	}
+	var kernels []string
+	for _, s := range strings.Split(*kernelSel, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			kernels = append(kernels, s)
+		}
+	}
+
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalUsage("bad -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalUsage("-cpuprofile: %v", err)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
 	}
 
 	w := os.Stdout
@@ -106,7 +138,8 @@ func main() {
 		for i := range methods {
 			methods[i] = strings.TrimSpace(methods[i])
 		}
-		if err := runJSONBench(w, cfg, methods, nrhs, *transpose); err != nil {
+		if err := runJSONBench(w, cfg, methods, nrhs, *transpose, kernels); err != nil {
+			stopProfile()
 			fmt.Fprintf(os.Stderr, "spmvbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -131,6 +164,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProfile()
 }
 
 // parseIntList parses a comma-separated list of positive integers via

@@ -74,6 +74,8 @@ func main() {
 	maxWait := flag.Duration("maxwait", 200*time.Microsecond, "batching window for a partial batch")
 	maxQueue := flag.Int("maxqueue", 1024, "per-engine queue depth bound (admission control)")
 	maxEngines := flag.Int("maxengines", 8, "resident engine cap (idle LRU eviction above it)")
+	forceKernel := flag.String("forcekernel", "",
+		"pin one spmv kernel backend on every engine (scalar,reg,sorted,sortedreg); empty autotunes per engine")
 	defMethod := flag.String("method", "s2d", "default partitioning method for requests that omit one")
 	defK := flag.Int("k", 4, "default part count for requests that omit one")
 	selftest := flag.Bool("selftest", false, "serve on a loopback port, run the load generator, validate, exit")
@@ -90,11 +92,12 @@ func main() {
 	flag.Parse()
 
 	opt := serve.Options{
-		MaxBatch:   *maxBatch,
-		MaxWait:    *maxWait,
-		MaxQueue:   *maxQueue,
-		MaxEngines: *maxEngines,
-		Seed:       *seed,
+		MaxBatch:    *maxBatch,
+		MaxWait:     *maxWait,
+		MaxQueue:    *maxQueue,
+		MaxEngines:  *maxEngines,
+		Seed:        *seed,
+		ForceKernel: *forceKernel,
 	}
 	var inj *faultinject.Injector
 	if *chaos {
@@ -140,7 +143,7 @@ func main() {
 		if *chaos {
 			err = runChaos(srv, pool, inj, cfg)
 		} else {
-			err = runSelftest(srv, cfg)
+			err = runSelftest(srv, pool, cfg)
 		}
 		if err != nil {
 			fatal(err)
@@ -249,8 +252,10 @@ type selftestConfig struct {
 
 // runSelftest serves on a loopback port, sweeps the load generator
 // against it over real HTTP, writes the records, and validates them:
-// any transport/HTTP error or a mean batch width below 1 fails.
-func runSelftest(srv *serve.Server, cfg selftestConfig) error {
+// any transport/HTTP error, a mean batch width below 1, or an engine
+// without a kernel selection fails. The per-engine summary includes the
+// kernel backends each resident engine runs.
+func runSelftest(srv *serve.Server, pool *serve.Pool, cfg selftestConfig) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -305,6 +310,15 @@ func runSelftest(srv *serve.Server, cfg selftestConfig) error {
 		fmt.Fprintf(os.Stderr,
 			"selftest %-8s conc=%-3d %6d req %5.0f req/s batch %.2f p50 %.2fms p99 %.2fms  %s\n",
 			r.Method, r.Concurrency, r.Requests, r.RPS, r.MeanBatch, r.P50Ms, r.P99Ms, status)
+	}
+	for _, em := range pool.MetricsSnapshot().Engines {
+		status := "ok"
+		if em.Kernel == "" {
+			status = "FAIL (no kernel selection)"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "selftest engine %s schedule=%s kernel=[%s]  %s\n",
+			em.EngineKey, em.Schedule, em.Kernel, status)
 	}
 	if failed {
 		return fmt.Errorf("selftest failed (see records above)")

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/method"
+	"repro/internal/spmv"
 )
 
 // NRHSResult is one method's modelled batched-SpMM numbers at one width.
@@ -15,6 +16,7 @@ type NRHSResult struct {
 	PerColUS  float64 // modelled per-column time, microseconds
 	Speedup   float64 // modelled speedup vs serial SpMM at this width
 	VsOneDPct float64 // per-column time as a percentage of 1D's (100 = parity)
+	Kernel    string  // kernel backend the autotuner picked for this width
 }
 
 // NRHSRow is all methods' results for one (matrix, nrhs) pair.
@@ -46,6 +48,11 @@ var nrhsMethods = []string{"1D", "2D", "s2D", "s2D-b"}
 // the message-bounded methods (s2D-b) hold at nrhs=1 must shrink as the
 // batch widens and the comparison converges to pure volume. nrhsList
 // defaults to {1, 4, 16, 64}; K comes from cfg.Ks (last entry) or 256.
+//
+// Each cell additionally reports the kernel backend the plan-time
+// autotuner picks for that width (spmv.NewTuned on the real build; one
+// engine is probed per method and closed). The decision memoizes in
+// cfg.Pipeline, so repeated tables reuse the first verdict.
 func TableNRHS(w io.Writer, cfg Config, nrhsList []int) []NRHSRow {
 	cfg = cfg.withDefaults()
 	if len(nrhsList) == 0 {
@@ -60,7 +67,7 @@ func TableNRHS(w io.Writer, cfg Config, nrhsList []int) []NRHSRow {
 	fprintf(w, "Multi-RHS scaling: per-column modelled time as the batch widens, K=%d (scale=%.4g)\n", k, cfg.Scale)
 	fprintf(w, "%-12s %6s |", "name", "nrhs")
 	for _, m := range nrhsMethods {
-		fprintf(w, " %8s %7s |", m+" µs/c", "vs1D")
+		fprintf(w, " %8s %6s %-9s|", m+" µs/c", "vs1D", " kern")
 	}
 	fprintf(w, "\n")
 
@@ -75,6 +82,7 @@ func TableNRHS(w io.Writer, cfg Config, nrhsList []int) []NRHSRow {
 			name  string
 			b     method.Build
 			loads []int
+			rep   spmv.KernelReport
 		}
 		builds := make([]built, 0, len(nrhsMethods))
 		for _, name := range nrhsMethods {
@@ -82,7 +90,12 @@ func TableNRHS(w io.Writer, cfg Config, nrhsList []int) []NRHSRow {
 			if err != nil {
 				panic("harness: " + name + " on " + spec.Name + ": " + err.Error())
 			}
-			builds = append(builds, built{name: name, b: b, loads: b.Dist.PartLoads()})
+			eng, rep, err := spmv.NewTuned(b, opt)
+			if err != nil {
+				panic("harness: tune " + name + " on " + spec.Name + ": " + err.Error())
+			}
+			eng.Close()
+			builds = append(builds, built{name: name, b: b, loads: b.Dist.PartLoads(), rep: rep})
 		}
 		for _, nrhs := range nrhsList {
 			row := NRHSRow{Matrix: spec.Name, K: k, NRHS: nrhs}
@@ -100,6 +113,7 @@ func TableNRHS(w io.Writer, cfg Config, nrhsList []int) []NRHSRow {
 					Volume:   cs.TotalVolume,
 					PerColUS: perCol * 1e6,
 					Speedup:  est.Speedup,
+					Kernel:   bu.rep.For(nrhs),
 				}
 				if oneDPerCol > 0 {
 					res.VsOneDPct = perCol / oneDPerCol * 100
@@ -110,7 +124,7 @@ func TableNRHS(w io.Writer, cfg Config, nrhsList []int) []NRHSRow {
 
 			fprintf(w, "%-12s %6d |", spec.Name, nrhs)
 			for _, res := range row.Res {
-				fprintf(w, " %8.1f %6.0f%% |", res.PerColUS, res.VsOneDPct)
+				fprintf(w, " %8.1f %5.0f%% %-9s|", res.PerColUS, res.VsOneDPct, res.Kernel)
 			}
 			fprintf(w, "\n")
 		}

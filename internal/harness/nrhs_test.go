@@ -24,6 +24,11 @@ func TestTableNRHSInvariants(t *testing.T) {
 		if len(r.Res) != len(nrhsMethods) {
 			t.Fatalf("%s nrhs=%d: %d methods, want %d", r.Matrix, r.NRHS, len(r.Res), len(nrhsMethods))
 		}
+		for _, res := range r.Res {
+			if res.Kernel == "" {
+				t.Errorf("%s %s nrhs=%d: empty winning-kernel column", r.Matrix, res.Method, r.NRHS)
+			}
+		}
 		byMatrix[r.Matrix] = append(byMatrix[r.Matrix], r)
 	}
 	for matrix, rs := range byMatrix {

@@ -95,7 +95,57 @@ type (
 		eps    float64
 		sweep  int
 	}
+	kernelKey struct {
+		a      *sparse.CSR
+		method string
+		k      int
+		seed   int64
+		eps    float64
+	}
 )
+
+// KernelMemo stores one (matrix, method, K, seed, epsilon) slot's
+// per-width-class spmv kernel decisions. It satisfies spmv.KernelCache
+// structurally (method cannot import spmv), which is how engine-building
+// layers make autotuning deterministic across builds: the first Build's
+// probe verdict is stored here and every later Build with the same key
+// installs it without re-timing.
+type KernelMemo struct {
+	mu sync.Mutex
+	m  map[int]string
+}
+
+// Lookup returns the stored kernel for a width class (nrhs ∈ {0,1,2,4,8};
+// 0 is the generic class).
+func (km *KernelMemo) Lookup(nrhs int) (string, bool) {
+	km.mu.Lock()
+	defer km.mu.Unlock()
+	kernel, ok := km.m[nrhs]
+	return kernel, ok
+}
+
+// Store records the kernel decision for a width class; the first store
+// per class wins so concurrent tuners cannot flap a decision.
+func (km *KernelMemo) Store(nrhs int, kernel string) {
+	km.mu.Lock()
+	defer km.mu.Unlock()
+	if km.m == nil {
+		km.m = make(map[int]string)
+	}
+	if _, dup := km.m[nrhs]; !dup {
+		km.m[nrhs] = kernel
+	}
+}
+
+// KernelCache returns the memoized kernel-decision store for one
+// (matrix, method, K, seed, epsilon) slot. Every caller with the same
+// key shares one store, so a K-sweep over an nrhs list tunes each width
+// class exactly once per (matrix, method, K).
+func (pl *Pipeline) KernelCache(a *sparse.CSR, methodName string, k int, seed int64, eps float64) *KernelMemo {
+	return pl.memo(kernelKey{a, methodName, k, seed, eps}, func() any {
+		return &KernelMemo{}
+	}).(*KernelMemo)
+}
 
 // Matrix generates (or returns the cached) suite matrix for spec at the
 // given scale and seed. Tables that evaluate the same suite share one

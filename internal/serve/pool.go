@@ -59,6 +59,7 @@ type poolEntry struct {
 	ready    chan struct{}
 	sched    *scheduler
 	schedule string // engine variant: fused / twophase / routed
+	kernels  string // per-width-class kernel selection (KernelReport.String)
 	err      error
 }
 
@@ -240,6 +241,26 @@ func (p *Pool) build(e *poolEntry, a *sparse.CSR, methodName string, k int) {
 	default:
 		e.schedule = "twophase"
 	}
+	// Kernel selection runs before the fault hook arms: the tuner's probe
+	// multiplies must not consume count-based chaos schedules aimed at
+	// real traffic. RelaxedFP stays false — serving results are
+	// contractually bit-identical to a solo engine, and every non-relaxed
+	// backend preserves that bit for bit.
+	tune := spmv.TuneConfig{Force: p.opt.ForceKernel}
+	if tune.Force == "" {
+		tune.Cache = p.pipeline.KernelCache(a, methodName, k, p.opt.Seed, p.opt.Epsilon)
+	} else if tune.Force == "relaxed" {
+		eng.Close()
+		e.err = fmt.Errorf("serve: build %s: kernel %q is excluded from the bit-identical serving path", e.key, tune.Force)
+		return
+	}
+	rep, err := eng.Autotune(tune)
+	if err != nil {
+		eng.Close()
+		e.err = fmt.Errorf("serve: tune %s: %w", e.key, err)
+		return
+	}
+	e.kernels = rep.String()
 	if inj := p.opt.Injector; inj != nil {
 		if h, ok := eng.(spmv.WorkerFaultHooker); ok {
 			h.SetWorkerFaultHook(func(worker int) {
@@ -332,10 +353,13 @@ func (p *Pool) evictLocked() []*poolEntry {
 	return out
 }
 
-// EngineMetrics is one resident engine's snapshot.
+// EngineMetrics is one resident engine's snapshot. Kernel is the
+// per-width-class kernel selection the engine runs ("nrhs:backend"
+// pairs, e.g. "0:scalar 1:scalar 2:reg 4:reg 8:sortedreg").
 type EngineMetrics struct {
 	EngineKey
 	Schedule string `json:"schedule"`
+	Kernel   string `json:"kernel,omitempty"`
 	Refs     int    `json:"refs"`
 	Metrics
 }
@@ -399,7 +423,8 @@ func (p *Pool) MetricsSnapshot() PoolMetrics {
 		}
 		m := e.sched.metrics()
 		pm.Engines = append(pm.Engines, EngineMetrics{
-			EngineKey: e.key, Schedule: e.schedule, Refs: refs[e], Metrics: m,
+			EngineKey: e.key, Schedule: e.schedule, Kernel: e.kernels,
+			Refs: refs[e], Metrics: m,
 		})
 		pm.Requests += m.Requests
 		pm.Batches += m.Batches
@@ -453,6 +478,10 @@ func (h *Handle) Key() EngineKey { return h.e.key }
 
 // Schedule names the engine variant (fused / twophase / routed).
 func (h *Handle) Schedule() string { return h.e.schedule }
+
+// Kernel is the engine's per-width-class kernel selection, in
+// KernelReport.String form.
+func (h *Handle) Kernel() string { return h.e.kernels }
 
 // Rows and Cols are the served matrix's dimensions.
 func (h *Handle) Rows() int { return h.e.sched.rows }

@@ -76,6 +76,14 @@ type Options struct {
 	// build the pool performs.
 	Seed    int64
 	Epsilon float64
+	// ForceKernel names one spmv kernel backend to install on every
+	// pooled engine instead of autotuning ("scalar" pins the reference
+	// kernels). Empty autotunes each engine at build time; the verdicts
+	// memoize in the pool's pipeline, so a rebuilt engine reinstalls the
+	// original selection without re-probing. The relaxed backend is never
+	// admitted here: serving results are contractually bit-identical to a
+	// solo engine.
+	ForceKernel string
 }
 
 func (o Options) withDefaults() Options {

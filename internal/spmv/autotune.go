@@ -1,0 +1,299 @@
+package spmv
+
+// Plan-time autotuner. At build time (spmv.NewTuned, or explicitly via
+// Engine.Autotune) the engine probes every candidate (layout ×
+// width-class) kernel backend on its own compiled arenas — the real
+// packets, the real schedule, deterministic synthetic vectors — and
+// installs the per-width-class winner. Probing uses a fixed repetition
+// count and takes the minimum over a fixed number of rounds; a
+// specialized backend must beat scalar by a hysteresis margin or scalar
+// stays, so noise cannot flip a near-tie away from the reference
+// kernels.
+//
+// Wall-clock timing is inherently machine-dependent, so cross-build
+// determinism comes from the cache, not the stopwatch: when a
+// TuneConfig carries a KernelCache (method.Pipeline provides one keyed
+// by (matrix, method, K, seed, epsilon)), the first decision for each
+// width class is stored and every later Build with the same key
+// installs the cached winner without re-probing. TuneConfig.Force
+// bypasses probing entirely and installs one named backend for every
+// class.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// TuneConfig configures one Autotune run.
+type TuneConfig struct {
+	// Widths lists the nrhs width classes to tune (0 tunes the generic
+	// class, probed at nrhs=3). Nil tunes every class.
+	Widths []int
+	// Force installs the named backend for every width class without
+	// probing; unknown names error.
+	Force string
+	// RelaxedFP admits the relaxed multi-accumulator backend as a
+	// candidate. Off by default: relaxed results are only ulp-close to
+	// scalar, so it must never win a probe unless the caller explicitly
+	// opted out of bitwise reproducibility.
+	RelaxedFP bool
+	// Cache memoizes decisions across engine builds (see KernelCache);
+	// nil probes every time.
+	Cache KernelCache
+}
+
+// KernelCache persists per-width-class kernel decisions across engine
+// builds. method.Pipeline's KernelCache satisfies it.
+type KernelCache interface {
+	Lookup(nrhs int) (kernel string, ok bool)
+	Store(nrhs int, kernel string)
+}
+
+// KernelChoice is one width class's selection.
+type KernelChoice struct {
+	// NRHS identifies the width class: 1, 2, 4, 8, or 0 for the generic
+	// class covering every other width.
+	NRHS   int    `json:"nrhs"`
+	Kernel string `json:"kernel"`
+	// Source says how the choice was made: "default" (never tuned),
+	// "probed", "cached", or "forced".
+	Source string `json:"source"`
+	// ProbesNs holds the best probe time per candidate when Source is
+	// "probed".
+	ProbesNs map[string]float64 `json:"probes_ns,omitempty"`
+}
+
+// KernelReport is the engine's per-width-class kernel selection.
+type KernelReport struct {
+	Choices []KernelChoice `json:"choices"`
+}
+
+func (r KernelReport) clone() KernelReport {
+	out := KernelReport{Choices: make([]KernelChoice, len(r.Choices))}
+	copy(out.Choices, r.Choices)
+	return out
+}
+
+// For returns the backend name serving the given nrhs.
+func (r KernelReport) For(nrhs int) string {
+	w := classWidths[classOf(nrhs)]
+	for _, ch := range r.Choices {
+		if ch.NRHS == w {
+			return ch.Kernel
+		}
+	}
+	return kernScalar.String()
+}
+
+// String renders the selection compactly, one "nrhs:kernel" pair per
+// width class (0 is the generic class), e.g. "0:scalar 1:scalar 2:reg
+// 4:reg 8:sortedreg".
+func (r KernelReport) String() string {
+	parts := make([]string, 0, len(r.Choices))
+	for _, ch := range r.Choices {
+		parts = append(parts, fmt.Sprintf("%d:%s", ch.NRHS, ch.Kernel))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Probe shape: fixed warmup and repetition counts, minimum over rounds.
+// The generic class has no width of its own, so it probes at nrhs=3.
+const (
+	tuneWarmups       = 1
+	tuneRounds        = 3
+	tuneInner         = 2
+	genericProbeWidth = 3
+	// tuneHysteresis: a candidate must run in under this fraction of the
+	// scalar time to displace it.
+	tuneHysteresis = 0.98
+)
+
+// tunable is the engine surface autotune drives; Engine and
+// RoutedEngine both satisfy it.
+type tunable interface {
+	Multiply(x, y []float64) error
+	MultiplyBlock(X, Y []float64, nrhs int) error
+	kstate() *kernelState
+	installKernel(class int, kid kernelID)
+	tuneDims() (rows, cols int)
+}
+
+func (e *Engine) tuneDims() (int, int)       { return e.d.A.Rows, e.d.A.Cols }
+func (e *RoutedEngine) tuneDims() (int, int) { return e.d.A.Rows, e.d.A.Cols }
+
+// Autotune probes the candidate kernel backends on the engine's own
+// compiled plan and installs per-width-class winners; see TuneConfig.
+// It must not overlap a Multiply (same single-caller contract) and runs
+// a bounded number of multiplies into private scratch, leaving no
+// visible state behind beyond the installed selection.
+func (e *Engine) Autotune(cfg TuneConfig) (KernelReport, error) { return autotune(e, cfg) }
+
+// Autotune is Engine.Autotune for the routed engine.
+func (e *RoutedEngine) Autotune(cfg TuneConfig) (KernelReport, error) { return autotune(e, cfg) }
+
+// KernelReport returns the engine's current kernel selection: the last
+// Autotune's verdict, or an all-default report when never tuned.
+func (e *Engine) KernelReport() KernelReport { return e.kstate().report() }
+
+// KernelReport is Engine.KernelReport for the routed engine.
+func (e *RoutedEngine) KernelReport() KernelReport { return e.kstate().report() }
+
+// tuneCandidates returns the deterministic candidate order for a width
+// class. The generic and single-vector classes have no register-blocked
+// variant (their loops are width-generic already), so only the layout
+// choice is probed there.
+func tuneCandidates(class int, relaxed bool) []kernelID {
+	var c []kernelID
+	if class <= 1 {
+		c = []kernelID{kernScalar, kernSorted}
+	} else {
+		c = []kernelID{kernScalar, kernReg, kernSorted, kernSortedReg}
+	}
+	if relaxed {
+		c = append(c, kernRelaxed)
+	}
+	return c
+}
+
+func autotune(e tunable, cfg TuneConfig) (KernelReport, error) {
+	ks := e.kstate()
+
+	if cfg.Force != "" {
+		kid, err := kernelByName(cfg.Force)
+		if err != nil {
+			return KernelReport{}, err
+		}
+		choices := make([]KernelChoice, numClasses)
+		for c := 0; c < numClasses; c++ {
+			e.installKernel(c, kid)
+			choices[c] = KernelChoice{NRHS: classWidths[c], Kernel: kid.String(), Source: "forced"}
+		}
+		rep := KernelReport{Choices: choices}
+		ks.tuned = &rep
+		return rep.clone(), nil
+	}
+
+	var want [numClasses]bool
+	if cfg.Widths == nil {
+		for c := range want {
+			want[c] = true
+		}
+	} else {
+		for _, w := range cfg.Widths {
+			want[classOf(w)] = true
+		}
+	}
+
+	rows, cols := e.tuneDims()
+	maxW := 1
+	for c, w := range classWidths {
+		if !want[c] {
+			continue
+		}
+		if w == 0 {
+			w = genericProbeWidth
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	x := make([]float64, cols*maxW)
+	y := make([]float64, rows*maxW)
+	for i := range x {
+		// Deterministic, sign-mixed, non-degenerate probe input.
+		x[i] = 1 + float64(i%7)*0.125 - float64(i%3)
+	}
+
+	choices := make([]KernelChoice, numClasses)
+	for c := range choices {
+		choices[c] = KernelChoice{
+			NRHS:   classWidths[c],
+			Kernel: ks.sel.byClass[c].String(),
+			Source: "default",
+		}
+	}
+
+	// Classes probe in ascending order regardless of cfg.Widths order, so
+	// the probe sequence — and with it any cache-store order — is fixed.
+	for c := 0; c < numClasses; c++ {
+		if !want[c] {
+			continue
+		}
+		width := classWidths[c]
+		probeW := width
+		if probeW == 0 {
+			probeW = genericProbeWidth
+		}
+		if cfg.Cache != nil {
+			if name, ok := cfg.Cache.Lookup(width); ok {
+				kid, err := kernelByName(name)
+				if err != nil {
+					return KernelReport{}, fmt.Errorf("spmv: cached kernel for nrhs=%d: %w", width, err)
+				}
+				e.installKernel(c, kid)
+				choices[c] = KernelChoice{NRHS: width, Kernel: name, Source: "cached"}
+				continue
+			}
+		}
+		cands := tuneCandidates(c, cfg.RelaxedFP)
+		probes := make(map[string]float64, len(cands))
+		winner, bestNs, scalarNs := kernScalar, math.MaxFloat64, 0.0
+		for _, kid := range cands {
+			e.installKernel(c, kid)
+			ns, err := probeNs(e, probeW, x, y, rows, cols)
+			if err != nil {
+				return KernelReport{}, err
+			}
+			probes[kid.String()] = ns
+			if kid == kernScalar {
+				scalarNs = ns
+			}
+			if ns < bestNs {
+				winner, bestNs = kid, ns
+			}
+		}
+		if winner != kernScalar && bestNs > scalarNs*tuneHysteresis {
+			winner = kernScalar
+		}
+		e.installKernel(c, winner)
+		choices[c] = KernelChoice{NRHS: width, Kernel: winner.String(), Source: "probed", ProbesNs: probes}
+		if cfg.Cache != nil {
+			cfg.Cache.Store(width, winner.String())
+		}
+	}
+
+	rep := KernelReport{Choices: choices}
+	ks.tuned = &rep
+	return rep.clone(), nil
+}
+
+// probeNs times the installed backend at the given width: tuneWarmups
+// warmup calls, then the best of tuneRounds rounds of tuneInner calls.
+func probeNs(e tunable, nrhs int, x, y []float64, rows, cols int) (float64, error) {
+	call := func() error {
+		if nrhs == 1 {
+			return e.Multiply(x[:cols], y[:rows])
+		}
+		return e.MultiplyBlock(x[:cols*nrhs], y[:rows*nrhs], nrhs)
+	}
+	for i := 0; i < tuneWarmups; i++ {
+		if err := call(); err != nil {
+			return 0, err
+		}
+	}
+	best := math.MaxFloat64
+	for r := 0; r < tuneRounds; r++ {
+		t0 := time.Now()
+		for i := 0; i < tuneInner; i++ {
+			if err := call(); err != nil {
+				return 0, err
+			}
+		}
+		if d := float64(time.Since(t0).Nanoseconds()) / tuneInner; d < best {
+			best = d
+		}
+	}
+	return best, nil
+}

@@ -140,6 +140,31 @@ func BenchmarkMultiplyBlock(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileRows times plan compilation's slot lookup. The
+// row→slot resolution used to go through a map[int]int built per group;
+// the binary search over the sorted, deduplicated row list replaced it
+// (see compileRows), cutting build time and the transient allocation.
+func BenchmarkCompileRows(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	// Power-law-ish row popularity: many nonzeros concentrated on few
+	// rows, the regime the suite's matrices put compileRows in.
+	const nnz = 100000
+	nzs := make([]localNZ, nnz)
+	for i := range nzs {
+		row := int(20000 * r.Float64() * r.Float64())
+		src := r.Intn(20000)
+		if r.Intn(4) == 0 {
+			src = -1 - r.Intn(5000)
+		}
+		nzs[i] = localNZ{row: row, src: src, val: r.NormFloat64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compileRows(nzs)
+	}
+}
+
 // BenchmarkMultiplySteadyState is the perf-trajectory benchmark tracked
 // across PRs: every schedule at K ∈ {4,16,64}, steady-state (engines built
 // outside the timed loop). All variants must report 0 allocs/op.

@@ -115,6 +115,7 @@ func (e *Engine) MultiplyBlock(X, Y []float64, nrhs int) error {
 	a := e.d.A
 	checkBlockDims(X, Y, nrhs, a.Cols, a.Rows)
 	e.ensureBlock(nrhs)
+	e.curKern = e.sel.forWidth(nrhs)
 	return e.pool.dispatchBlock(X, Y, nrhs)
 }
 
@@ -128,9 +129,9 @@ func (e *Engine) MultiplyMulti(X, Y [][]float64) error {
 
 // runFusedBlock is runFused with nrhs-wide payloads: same packets, same
 // sender-ordered folds, block kernels.
-func (e *Engine) runFusedBlock(pr *proc, x, y []float64, nrhs int) {
+func (e *Engine) runFusedBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
 	for _, sp := range pr.sends {
-		sp.fillBlock(x, pr.extXB, nrhs)
+		sp.fillBlock(kid, x, pr.extXB, nrhs)
 		e.procs[sp.dest].inbox[0] <- sp.bufB
 	}
 	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
@@ -142,14 +143,14 @@ func (e *Engine) runFusedBlock(pr *proc, x, y []float64, nrhs int) {
 			addBlock(y[i*nrhs:(i+1)*nrhs], pk.yVal[t*nrhs:(t+1)*nrhs])
 		}
 	}
-	pr.own.addIntoBlock(y, x, pr.extXB, nrhs, pr.accB)
+	ownOf(&pr.own, &pr.ownS, kid).addIntoBlockK(kid, y, x, pr.extXB, nrhs, pr.accB)
 }
 
 // runTwoPhaseBlock is runTwoPhase with nrhs-wide payloads.
-func (e *Engine) runTwoPhaseBlock(pr *proc, x, y []float64, nrhs int) {
+func (e *Engine) runTwoPhaseBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
 	// Phase 0 — Expand.
 	for _, sp := range pr.sends {
-		sp.fillBlock(x, pr.extXB, nrhs)
+		sp.fillBlock(kid, x, pr.extXB, nrhs)
 		e.procs[sp.dest].inbox[0] <- sp.bufB
 	}
 	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
@@ -159,10 +160,10 @@ func (e *Engine) runTwoPhaseBlock(pr *proc, x, y []float64, nrhs int) {
 		}
 	}
 	// Multiply.
-	pr.own.addIntoBlock(y, x, pr.extXB, nrhs, pr.accB)
+	ownOf(&pr.own, &pr.ownS, kid).addIntoBlockK(kid, y, x, pr.extXB, nrhs, pr.accB)
 	// Phase 1 — Fold.
 	for _, sp := range pr.ySends {
-		sp.fillBlock(x, pr.extXB, nrhs)
+		sp.fillBlock(kid, x, pr.extXB, nrhs)
 		e.procs[sp.dest].inbox[1] <- sp.bufB
 	}
 	for _, pk := range pr.recv[1].gather(pr.inbox[1]) {
@@ -211,6 +212,7 @@ func (e *RoutedEngine) MultiplyBlock(X, Y []float64, nrhs int) error {
 	a := e.d.A
 	checkBlockDims(X, Y, nrhs, a.Cols, a.Rows)
 	e.ensureBlock(nrhs)
+	e.curKern = e.sel.forWidth(nrhs)
 	return e.pool.dispatchBlock(X, Y, nrhs)
 }
 
@@ -222,19 +224,22 @@ func (e *RoutedEngine) MultiplyMulti(X, Y [][]float64) error {
 
 // runBlock is run with nrhs-wide payloads: identical routing, combining,
 // and fold order, block kernels and block copies.
-func (e *RoutedEngine) runBlock(pr *rproc, x, y []float64, nrhs int) {
+func (e *RoutedEngine) runBlock(pr *rproc, x, y []float64, nrhs int, kid kernelID) {
 	ryb := pr.routeYValB
 	for i := range ryb {
 		ryb[i] = 0
 	}
-	// Seed the routing buffers with self-routed payloads.
+	// Seed the routing buffers with self-routed payloads. selfY's rows
+	// index routing slots, not packet positions, so the relaxed loops may
+	// run here; the sorted layout still never applies (it is derived only
+	// for the own compute kernels).
 	for _, s := range pr.selfX {
 		copy(pr.routeXValB[s.slot*nrhs:(s.slot+1)*nrhs], x[s.idx*nrhs:(s.idx+1)*nrhs])
 	}
-	pr.selfY.addIntoBlock(ryb, x, nil, nrhs, pr.accB)
+	pr.selfY.addIntoBlockK(kid, ryb, x, nil, nrhs, pr.accB)
 	// Phase 1 sends.
 	for _, sp := range pr.p1Sends {
-		sp.fillBlock(x, nil, nrhs)
+		sp.fillBlock(kid, x, nil, nrhs)
 		e.rprocs[sp.dest].inbox[0] <- sp.bufB
 	}
 	// Phase 1 receives: combine into the dense routing buffers.
@@ -276,5 +281,5 @@ func (e *RoutedEngine) runBlock(pr *rproc, x, y []float64, nrhs int) {
 		}
 	}
 	// Compute local rows.
-	pr.own.addIntoBlock(y, x, pr.extXB, nrhs, pr.accB)
+	ownOf(&pr.own, &pr.ownS, kid).addIntoBlockK(kid, y, x, pr.extXB, nrhs, pr.accB)
 }

@@ -63,7 +63,11 @@ type proc struct {
 	inbox []chan packet
 
 	// Compiled execution plan (see plan.go).
-	own    rowKernel   // Compute step over ownRows
+	own rowKernel // Compute step over ownRows
+	// ownS is own recompiled in descending-work slot order, derived
+	// lazily the first time a sorted-layout backend is installed (see
+	// kernel.go); empty until then.
+	ownS   rowKernel
 	sends  []*sendPlan // fused: [x̂,ŷ] packets; two-phase: phase-0 x packets
 	ySends []*sendPlan // two-phase phase-1 fold packets
 	// recvX[sender] maps the t-th x entry of that sender's packet to an
@@ -98,6 +102,11 @@ type Engine struct {
 	fused bool
 	pool  workerPool
 
+	// Per-width-class kernel backend selection and the lazily derived
+	// sorted layouts (see kernel.go, autotune.go). The zero value runs
+	// the scalar reference kernels everywhere.
+	kernelState
+
 	// blockNRHS is the width the block buffers are currently sliced for
 	// (0 until the first MultiplyBlock); see ensureBlock in block.go.
 	blockNRHS int
@@ -131,23 +140,26 @@ func NewEngine(d *distrib.Distribution) (*Engine, error) {
 	}
 	e.pool.launch(len(e.procs), func(i int, x, y []float64, nrhs int, transpose bool) {
 		pr := e.procs[i]
+		// curKern is written by the dispatcher before the start-channel
+		// send, so this read is ordered after it.
+		kid := e.curKern
 		switch {
 		case transpose && nrhs > 0 && e.fused:
-			e.runFusedTBlock(pr, x, y, nrhs)
+			e.runFusedTBlock(pr, x, y, nrhs, kid)
 		case transpose && nrhs > 0:
-			e.runTwoPhaseTBlock(pr, x, y, nrhs)
+			e.runTwoPhaseTBlock(pr, x, y, nrhs, kid)
 		case transpose && e.fused:
-			e.runFusedT(pr, x, y)
+			e.runFusedT(pr, x, y, kid)
 		case transpose:
-			e.runTwoPhaseT(pr, x, y)
+			e.runTwoPhaseT(pr, x, y, kid)
 		case nrhs > 0 && e.fused:
-			e.runFusedBlock(pr, x, y, nrhs)
+			e.runFusedBlock(pr, x, y, nrhs, kid)
 		case nrhs > 0:
-			e.runTwoPhaseBlock(pr, x, y, nrhs)
+			e.runTwoPhaseBlock(pr, x, y, nrhs, kid)
 		case e.fused:
-			e.runFused(pr, x, y)
+			e.runFused(pr, x, y, kid)
 		default:
-			e.runTwoPhase(pr, x, y)
+			e.runTwoPhase(pr, x, y, kid)
 		}
 	}, e.releasePeers)
 	return e, nil
@@ -407,15 +419,16 @@ func (e *Engine) Multiply(x, y []float64) error {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("spmv: dimension mismatch")
 	}
+	e.curKern = e.sel.forWidth(1)
 	return e.pool.dispatch(x, y)
 }
 
 // runFused executes one processor's part of the §III algorithm: fill the
 // precompiled [x̂,ŷ] packets (Precompute + Expand-and-Fold), bank the
 // incoming ones in sender order, then run the local Compute kernel.
-func (e *Engine) runFused(pr *proc, x, y []float64) {
+func (e *Engine) runFused(pr *proc, x, y []float64, kid kernelID) {
 	for _, sp := range pr.sends {
-		sp.fill(x, pr.extX)
+		sp.fill(kid, x, pr.extX)
 		e.procs[sp.dest].inbox[0] <- sp.buf
 	}
 	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
@@ -427,14 +440,14 @@ func (e *Engine) runFused(pr *proc, x, y []float64) {
 			y[i] += pk.yVal[t] // rows owned exclusively by this proc
 		}
 	}
-	pr.own.addInto(y, x, pr.extX)
+	ownOf(&pr.own, &pr.ownS, kid).addIntoK(kid, y, x, pr.extX)
 }
 
 // runTwoPhase executes one processor's part of the classic algorithm.
-func (e *Engine) runTwoPhase(pr *proc, x, y []float64) {
+func (e *Engine) runTwoPhase(pr *proc, x, y []float64, kid kernelID) {
 	// Phase 0 — Expand.
 	for _, sp := range pr.sends {
-		sp.fill(x, pr.extX)
+		sp.fill(kid, x, pr.extX)
 		e.procs[sp.dest].inbox[0] <- sp.buf
 	}
 	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
@@ -444,10 +457,10 @@ func (e *Engine) runTwoPhase(pr *proc, x, y []float64) {
 		}
 	}
 	// Multiply.
-	pr.own.addInto(y, x, pr.extX)
+	ownOf(&pr.own, &pr.ownS, kid).addIntoK(kid, y, x, pr.extX)
 	// Phase 1 — Fold.
 	for _, sp := range pr.ySends {
-		sp.fill(x, pr.extX)
+		sp.fill(kid, x, pr.extX)
 		e.procs[sp.dest].inbox[1] <- sp.buf
 	}
 	for _, pk := range pr.recv[1].gather(pr.inbox[1]) {

@@ -40,6 +40,13 @@ type Multiplier interface {
 	// contracts.
 	MultiplyTransposeBlock(X, Y []float64, nrhs int) error
 	MultiplyTransposeMulti(X, Y [][]float64) error
+	// Autotune probes the candidate kernel backends on the engine's own
+	// compiled plan and installs per-width-class winners (see TuneConfig
+	// in autotune.go); KernelReport returns the current selection. The
+	// zero selection — scalar everywhere — is always valid, so calling
+	// Autotune is optional.
+	Autotune(cfg TuneConfig) (KernelReport, error)
+	KernelReport() KernelReport
 	ScheduleStats() distrib.CommStats
 	Close()
 }
@@ -54,4 +61,28 @@ func New(b method.Build) (Multiplier, error) {
 		return NewRoutedEngine(b.Dist, *b.Mesh)
 	}
 	return NewEngine(b.Dist)
+}
+
+// NewTuned is New followed by Autotune wired from the method options:
+// opt.ForceKernel forces one backend, opt.RelaxedFP admits the relaxed
+// candidates, and when opt.Pipeline is set the tuner decisions memoize
+// there keyed by (matrix, method, K, seed, epsilon, width-class) — so a
+// K-sweep or a rebuilt serve engine tunes once per key and every later
+// build installs the cached winners without re-probing. The engine is
+// closed on tuning failure.
+func NewTuned(b method.Build, opt method.Options) (Multiplier, KernelReport, error) {
+	m, err := New(b)
+	if err != nil {
+		return nil, KernelReport{}, err
+	}
+	cfg := TuneConfig{Force: opt.ForceKernel, RelaxedFP: opt.RelaxedFP}
+	if opt.Pipeline != nil {
+		cfg.Cache = opt.Pipeline.KernelCache(b.Dist.A, b.Method, b.Dist.K, opt.Seed, opt.Epsilon)
+	}
+	rep, err := m.Autotune(cfg)
+	if err != nil {
+		m.Close()
+		return nil, KernelReport{}, err
+	}
+	return m, rep, nil
 }

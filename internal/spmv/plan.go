@@ -133,18 +133,21 @@ func compileRows(nzs []localNZ) rowKernel {
 		rows = append(rows, nz.row)
 	}
 	rows = dedupSorted(rows)
-	slot := make(map[int]int, len(rows))
-	for t, r := range rows {
-		slot[r] = t
+	// rows is sorted and distinct, so slot lookup is a binary search —
+	// measurably faster to build than the map[int]int this used (see
+	// BenchmarkCompileRows) and allocation-free.
+	slot := func(r int) int {
+		t, _ := slices.BinarySearch(rows, r)
+		return t
 	}
 	k.rows = rows
 	k.locPtr = make([]int, len(rows)+1)
 	k.extPtr = make([]int, len(rows)+1)
 	for _, nz := range nzs {
 		if nz.src >= 0 {
-			k.locPtr[slot[nz.row]+1]++
+			k.locPtr[slot(nz.row)+1]++
 		} else {
-			k.extPtr[slot[nz.row]+1]++
+			k.extPtr[slot(nz.row)+1]++
 		}
 	}
 	for t := 0; t < len(rows); t++ {
@@ -158,7 +161,7 @@ func compileRows(nzs []localNZ) rowKernel {
 	locPos := slices.Clone(k.locPtr[:len(rows)])
 	extPos := slices.Clone(k.extPtr[:len(rows)])
 	for _, nz := range nzs {
-		t := slot[nz.row]
+		t := slot(nz.row)
 		if nz.src >= 0 {
 			p := locPos[t]
 			locPos[t]++
@@ -213,12 +216,15 @@ func newSendPlan(from, dest int, xIdx []int, grp rowKernel, arena *valArena) *se
 }
 
 // fill refreshes the packet's value arrays from the current x (and the
-// proc's external buffer for two-phase fold groups).
-func (sp *sendPlan) fill(x, ext []float64) {
+// proc's external buffer for two-phase fold groups) under the given
+// kernel backend. Send groups never use the sorted layout — their slot
+// order is the packet payload order the receivers were compiled against
+// — so kid only selects between the scalar and relaxed loops here.
+func (sp *sendPlan) fill(kid kernelID, x, ext []float64) {
 	for t, j := range sp.xIdx {
 		sp.buf.xVal[t] = x[j]
 	}
-	sp.grp.fillInto(sp.buf.yVal, x, ext)
+	sp.grp.fillIntoK(kid, sp.buf.yVal, x, ext)
 }
 
 // ensureBlock (re)sizes the nrhs-wide packet buffers. Growth reallocates;
@@ -234,12 +240,13 @@ func (sp *sendPlan) ensureBlock(nrhs int) {
 	}
 }
 
-// fillBlock refreshes the nrhs-wide packet from column-blocked x/ext.
-func (sp *sendPlan) fillBlock(x, ext []float64, nrhs int) {
+// fillBlock refreshes the nrhs-wide packet from column-blocked x/ext
+// under the given kernel backend (see fill for the layout caveat).
+func (sp *sendPlan) fillBlock(kid kernelID, x, ext []float64, nrhs int) {
 	for t, j := range sp.xIdx {
 		copy(sp.bufB.xVal[t*nrhs:(t+1)*nrhs], x[j*nrhs:(j+1)*nrhs])
 	}
-	sp.grp.fillIntoBlock(sp.bufB.yVal, x, ext, nrhs)
+	sp.grp.fillIntoBlockK(kid, sp.bufB.yVal, x, ext, nrhs)
 }
 
 // growBlock returns s re-sliced to n entries, reallocating only when the

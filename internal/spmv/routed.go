@@ -27,6 +27,11 @@ type RoutedEngine struct {
 	rprocs []*rproc
 	pool   workerPool
 
+	// Per-width-class kernel backend selection and the lazily derived
+	// sorted layouts (see kernel.go, autotune.go). The zero value runs
+	// the scalar reference kernels everywhere.
+	kernelState
+
 	// blockNRHS is the width the block buffers are currently sliced for
 	// (0 until the first MultiplyBlock); see ensureBlock in block.go.
 	blockNRHS int
@@ -62,8 +67,11 @@ type rproc struct {
 
 	// Compiled plan. The routing state that used to live in per-call maps
 	// (routeX, routeY) is laid out densely: every x index this proc ever
-	// routes and every y row it ever combines has a fixed slot.
+	// routes and every y row it ever combines has a fixed slot. ownS is
+	// own's sorted-slot twin, derived lazily once a sorted-layout backend
+	// is installed.
 	own       rowKernel
+	ownS      rowKernel
 	routeXVal []float64
 	routeYVal []float64
 	// selfX seeds routeXVal with locally-owned entries this proc forwards
@@ -242,15 +250,18 @@ func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, er
 	e.compile()
 	e.pool.launch(len(e.rprocs), func(i int, x, y []float64, nrhs int, transpose bool) {
 		pr := e.rprocs[i]
+		// curKern is written by the dispatcher before the start-channel
+		// send, so this read is ordered after it.
+		kid := e.curKern
 		switch {
 		case transpose && nrhs > 0:
-			e.runTBlock(pr, x, y, nrhs)
+			e.runTBlock(pr, x, y, nrhs, kid)
 		case transpose:
-			e.runT(pr, x, y)
+			e.runT(pr, x, y, kid)
 		case nrhs > 0:
-			e.runBlock(pr, x, y, nrhs)
+			e.runBlock(pr, x, y, nrhs, kid)
 		default:
-			e.run(pr, x, y)
+			e.run(pr, x, y, kid)
 		}
 	}, e.releasePeers)
 	return e, nil
@@ -467,10 +478,11 @@ func (e *RoutedEngine) Multiply(x, y []float64) error {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic("spmv: dimension mismatch")
 	}
+	e.curKern = e.sel.forWidth(1)
 	return e.pool.dispatch(x, y)
 }
 
-func (e *RoutedEngine) run(pr *rproc, x, y []float64) {
+func (e *RoutedEngine) run(pr *rproc, x, y []float64, kid kernelID) {
 	for i := range pr.routeYVal {
 		pr.routeYVal[i] = 0
 	}
@@ -478,10 +490,10 @@ func (e *RoutedEngine) run(pr *rproc, x, y []float64) {
 	for _, s := range pr.selfX {
 		pr.routeXVal[s.slot] = x[s.idx]
 	}
-	pr.selfY.addInto(pr.routeYVal, x, nil)
+	pr.selfY.addIntoK(kid, pr.routeYVal, x, nil)
 	// Phase 1 sends.
 	for _, sp := range pr.p1Sends {
-		sp.fill(x, nil)
+		sp.fill(kid, x, nil)
 		e.rprocs[sp.dest].inbox[0] <- sp.buf
 	}
 	// Phase 1 receives: combine into the dense routing buffers. An x value
@@ -523,5 +535,5 @@ func (e *RoutedEngine) run(pr *rproc, x, y []float64) {
 		}
 	}
 	// Compute local rows.
-	pr.own.addInto(y, x, pr.extX)
+	ownOf(&pr.own, &pr.ownS, kid).addIntoK(kid, y, x, pr.extX)
 }

@@ -26,8 +26,11 @@ type rtproc struct {
 	extX    []float64
 
 	// own computes the locally-owned output columns (kernel "rows" are
-	// global column indices; external sources read extX).
-	own rowKernel
+	// global column indices; external sources read extX). ownS is its
+	// sorted-slot twin, derived lazily once a sorted-layout backend is
+	// installed.
+	own  rowKernel
+	ownS rowKernel
 
 	// selfPartial accumulates this proc's partials for external columns
 	// that were delivered to it directly by their owners (the forward
@@ -230,6 +233,11 @@ func (e *RoutedEngine) ensureTranspose() {
 		t.recv[1] = newRecvPlan(t2Senders)
 	}
 	e.tready = true
+	if e.sel.anySorted() {
+		// A sorted-layout backend was installed before the transpose plan
+		// existed; derive its sorted own kernels now.
+		e.ensureSorted()
+	}
 }
 
 // MultiplyTranspose computes y ← Aᵀx with the reversed two-hop
@@ -240,13 +248,14 @@ func (e *RoutedEngine) MultiplyTranspose(x, y []float64) error {
 		panic("spmv: dimension mismatch")
 	}
 	e.ensureTranspose()
+	e.curKern = e.sel.forWidth(1)
 	return e.pool.dispatchOp(x, y, 0, true)
 }
 
 // runT executes one processor's transpose part of the reversed route.
 // Throughout, pr.routeYVal is the row buffer (routed x values) and
 // pr.routeXVal the column buffer (combined partials).
-func (e *RoutedEngine) runT(pr *rproc, x, y []float64) {
+func (e *RoutedEngine) runT(pr *rproc, x, y []float64, kid kernelID) {
 	t := pr.t
 	rxb, cyb := pr.routeYVal, pr.routeXVal
 	for i := range cyb {
@@ -254,13 +263,15 @@ func (e *RoutedEngine) runT(pr *rproc, x, y []float64) {
 	}
 	// Seed: rows this proc owns and routes as its own intermediate, and
 	// partials for columns their owners delivered here directly.
+	// selfPartial's rows index routing slots, not packet positions, so
+	// the relaxed loops may run here; the sorted layout never applies.
 	for i, r := range pr.yLocalRows {
 		rxb[pr.yLocalSlot[i]] = x[r]
 	}
-	t.selfPartial.addInto(cyb, x, nil)
+	t.selfPartial.addIntoK(kid, cyb, x, nil)
 	// Phase 1 sends.
 	for _, sp := range t.t1Sends {
-		sp.fill(x, nil)
+		sp.fill(kid, x, nil)
 		e.rprocs[sp.dest].inbox[0] <- sp.buf
 	}
 	// Phase 1 receives: x rows overwrite the row buffer, partials combine
@@ -304,7 +315,7 @@ func (e *RoutedEngine) runT(pr *rproc, x, y []float64) {
 		}
 	}
 	// Compute local columns.
-	t.own.addInto(y, x, t.extX)
+	ownOf(&t.own, &t.ownS, kid).addIntoK(kid, y, x, t.extX)
 }
 
 // ---- blocked transpose ----
@@ -347,6 +358,7 @@ func (e *RoutedEngine) MultiplyTransposeBlock(X, Y []float64, nrhs int) error {
 	checkBlockDims(X, Y, nrhs, a.Rows, a.Cols)
 	e.ensureTranspose()
 	e.ensureTransposeBlock(nrhs)
+	e.curKern = e.sel.forWidth(nrhs)
 	return e.pool.dispatchOp(X, Y, nrhs, true)
 }
 
@@ -357,7 +369,7 @@ func (e *RoutedEngine) MultiplyTransposeMulti(X, Y [][]float64) error {
 }
 
 // runTBlock is runT with nrhs-wide payloads.
-func (e *RoutedEngine) runTBlock(pr *rproc, x, y []float64, nrhs int) {
+func (e *RoutedEngine) runTBlock(pr *rproc, x, y []float64, nrhs int, kid kernelID) {
 	t := pr.t
 	rxb, cyb := pr.routeYValB, pr.routeXValB
 	for i := range cyb {
@@ -366,10 +378,10 @@ func (e *RoutedEngine) runTBlock(pr *rproc, x, y []float64, nrhs int) {
 	for i, r := range pr.yLocalRows {
 		copy(rxb[pr.yLocalSlot[i]*nrhs:(pr.yLocalSlot[i]+1)*nrhs], x[r*nrhs:(r+1)*nrhs])
 	}
-	t.selfPartial.addIntoBlock(cyb, x, nil, nrhs, t.accB)
+	t.selfPartial.addIntoBlockK(kid, cyb, x, nil, nrhs, t.accB)
 	// Phase 1 sends.
 	for _, sp := range t.t1Sends {
-		sp.fillBlock(x, nil, nrhs)
+		sp.fillBlock(kid, x, nil, nrhs)
 		e.rprocs[sp.dest].inbox[0] <- sp.bufB
 	}
 	// Phase 1 receives.
@@ -409,5 +421,5 @@ func (e *RoutedEngine) runTBlock(pr *rproc, x, y []float64, nrhs int) {
 		}
 	}
 	// Compute local columns.
-	t.own.addIntoBlock(y, x, t.extXB, nrhs, t.accB)
+	ownOf(&t.own, &t.ownS, kid).addIntoBlockK(kid, y, x, t.extXB, nrhs, t.accB)
 }

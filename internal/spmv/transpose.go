@@ -29,8 +29,10 @@ type tproc struct {
 
 	// own computes the locally-owned output columns: the "rows" of this
 	// kernel are global column indices, local sources read x by global
-	// row, external sources read extX.
-	own rowKernel
+	// row, external sources read extX. ownS is its sorted-slot twin,
+	// derived lazily once a sorted-layout backend is installed.
+	own  rowKernel
+	ownS rowKernel
 
 	// sends are the first-phase packets. Fused: one [x-rows, partial-cols]
 	// packet per peer (reverse of the forward fused packet). Two-phase:
@@ -89,6 +91,11 @@ func (e *Engine) ensureTranspose() {
 		e.compileTwoPhaseTranspose()
 	}
 	e.tready = true
+	if e.sel.anySorted() {
+		// A sorted-layout backend was installed before the transpose plan
+		// existed; derive its sorted own kernels now.
+		e.ensureSorted()
+	}
 }
 
 // transposeKernels splits one processor's nonzeros into the transpose
@@ -255,16 +262,17 @@ func (e *Engine) MultiplyTranspose(x, y []float64) error {
 		panic("spmv: dimension mismatch")
 	}
 	e.ensureTranspose()
+	e.curKern = e.sel.forWidth(1)
 	return e.pool.dispatchOp(x, y, 0, true)
 }
 
 // runFusedT executes one processor's transpose part of the fused
 // algorithm: fill the [x-rows, partial-cols] packets, bank incoming
 // ones in sender order, then compute the locally-owned columns.
-func (e *Engine) runFusedT(pr *proc, x, y []float64) {
+func (e *Engine) runFusedT(pr *proc, x, y []float64, kid kernelID) {
 	t := pr.t
 	for _, sp := range t.sends {
-		sp.fill(x, t.extX) // partial kernels read local x only under s2D
+		sp.fill(kid, x, t.extX) // partial kernels read local x only under s2D
 		e.procs[sp.dest].inbox[0] <- sp.buf
 	}
 	for _, pk := range t.recv[0].gather(pr.inbox[0]) {
@@ -276,16 +284,16 @@ func (e *Engine) runFusedT(pr *proc, x, y []float64) {
 			y[j] += pk.yVal[i] // columns owned exclusively by this proc
 		}
 	}
-	t.own.addInto(y, x, t.extX)
+	ownOf(&t.own, &t.ownS, kid).addIntoK(kid, y, x, t.extX)
 }
 
 // runTwoPhaseT executes one processor's transpose part of the classic
 // algorithm: expand x rows, compute, fold column partials.
-func (e *Engine) runTwoPhaseT(pr *proc, x, y []float64) {
+func (e *Engine) runTwoPhaseT(pr *proc, x, y []float64, kid kernelID) {
 	t := pr.t
 	// Phase 0 — Expand (x rows to their consumers).
 	for _, sp := range t.sends {
-		sp.fill(x, t.extX)
+		sp.fill(kid, x, t.extX)
 		e.procs[sp.dest].inbox[0] <- sp.buf
 	}
 	for _, pk := range t.recv[0].gather(pr.inbox[0]) {
@@ -295,10 +303,10 @@ func (e *Engine) runTwoPhaseT(pr *proc, x, y []float64) {
 		}
 	}
 	// Multiply.
-	t.own.addInto(y, x, t.extX)
+	ownOf(&t.own, &t.ownS, kid).addIntoK(kid, y, x, t.extX)
 	// Phase 1 — Fold (column partials to the column owners).
 	for _, sp := range t.ySends {
-		sp.fill(x, t.extX)
+		sp.fill(kid, x, t.extX)
 		e.procs[sp.dest].inbox[1] <- sp.buf
 	}
 	for _, pk := range t.recv[1].gather(pr.inbox[1]) {
@@ -341,6 +349,7 @@ func (e *Engine) MultiplyTransposeBlock(X, Y []float64, nrhs int) error {
 	checkBlockDims(X, Y, nrhs, a.Rows, a.Cols)
 	e.ensureTranspose()
 	e.ensureTransposeBlock(nrhs)
+	e.curKern = e.sel.forWidth(nrhs)
 	return e.pool.dispatchOp(X, Y, nrhs, true)
 }
 
@@ -351,10 +360,10 @@ func (e *Engine) MultiplyTransposeMulti(X, Y [][]float64) error {
 }
 
 // runFusedTBlock is runFusedT with nrhs-wide payloads.
-func (e *Engine) runFusedTBlock(pr *proc, x, y []float64, nrhs int) {
+func (e *Engine) runFusedTBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
 	t := pr.t
 	for _, sp := range t.sends {
-		sp.fillBlock(x, t.extXB, nrhs)
+		sp.fillBlock(kid, x, t.extXB, nrhs)
 		e.procs[sp.dest].inbox[0] <- sp.bufB
 	}
 	for _, pk := range t.recv[0].gather(pr.inbox[0]) {
@@ -366,15 +375,15 @@ func (e *Engine) runFusedTBlock(pr *proc, x, y []float64, nrhs int) {
 			addBlock(y[j*nrhs:(j+1)*nrhs], pk.yVal[i*nrhs:(i+1)*nrhs])
 		}
 	}
-	t.own.addIntoBlock(y, x, t.extXB, nrhs, t.accB)
+	ownOf(&t.own, &t.ownS, kid).addIntoBlockK(kid, y, x, t.extXB, nrhs, t.accB)
 }
 
 // runTwoPhaseTBlock is runTwoPhaseT with nrhs-wide payloads.
-func (e *Engine) runTwoPhaseTBlock(pr *proc, x, y []float64, nrhs int) {
+func (e *Engine) runTwoPhaseTBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
 	t := pr.t
 	// Phase 0 — Expand.
 	for _, sp := range t.sends {
-		sp.fillBlock(x, t.extXB, nrhs)
+		sp.fillBlock(kid, x, t.extXB, nrhs)
 		e.procs[sp.dest].inbox[0] <- sp.bufB
 	}
 	for _, pk := range t.recv[0].gather(pr.inbox[0]) {
@@ -384,10 +393,10 @@ func (e *Engine) runTwoPhaseTBlock(pr *proc, x, y []float64, nrhs int) {
 		}
 	}
 	// Multiply.
-	t.own.addIntoBlock(y, x, t.extXB, nrhs, t.accB)
+	ownOf(&t.own, &t.ownS, kid).addIntoBlockK(kid, y, x, t.extXB, nrhs, t.accB)
 	// Phase 1 — Fold.
 	for _, sp := range t.ySends {
-		sp.fillBlock(x, t.extXB, nrhs)
+		sp.fillBlock(kid, x, t.extXB, nrhs)
 		e.procs[sp.dest].inbox[1] <- sp.bufB
 	}
 	for _, pk := range t.recv[1].gather(pr.inbox[1]) {
