@@ -28,6 +28,8 @@ type record struct {
 	Seed        int64   `json:"seed"`
 	K           int     `json:"k"`
 	NRHS        int     `json:"nrhs"`
+	Encoding    string  `json:"encoding"`
+	Tenant      string  `json:"tenant"`
 	Concurrency int     `json:"concurrency"`
 	Schedule    string  `json:"schedule"`
 	Rows        int     `json:"rows"`
@@ -52,6 +54,8 @@ type key struct {
 	Seed        int64
 	K           int
 	NRHS        int
+	Encoding    string
+	Tenant      string
 	Concurrency int
 	Schedule    string
 	Rows        int
@@ -62,7 +66,11 @@ func (r record) key() key {
 	if nrhs == 0 {
 		nrhs = 1 // baselines predating the nrhs field
 	}
-	return key{r.Kind, r.Op, r.Kernel, r.Method, r.Matrix, r.Seed, r.K, nrhs, r.Concurrency, r.Schedule, r.Rows}
+	enc := r.Encoding
+	if r.serving() && enc == "" {
+		enc = "json" // serve baselines predating the wire protocol
+	}
+	return key{r.Kind, r.Op, r.Kernel, r.Method, r.Matrix, r.Seed, r.K, nrhs, enc, r.Tenant, r.Concurrency, r.Schedule, r.Rows}
 }
 
 func (k key) String() string {
@@ -76,6 +84,12 @@ func (k key) String() string {
 	}
 	if k.Kind != "" {
 		s = k.Kind + ":" + s + fmt.Sprintf("/conc=%d", k.Concurrency)
+		if k.Encoding != "" {
+			s += "/enc=" + k.Encoding
+		}
+		if k.Tenant != "" {
+			s += "/tenant=" + k.Tenant
+		}
 	}
 	return s
 }

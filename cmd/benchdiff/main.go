@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchdiff -baseline BENCH_PR3.json -current new.json
-//	benchdiff -baseline LOADGEN_PR4.json -current loadgen.json -tolerance 2
+//	benchdiff -baseline LOADGEN_PR8.json -current loadgen.json -tolerance 2
 //	benchdiff -baseline old.json -current new.json -tolerance 1.5
 //
 // Two record kinds pair up, never across kinds: spmvbench -json kernel

@@ -1,5 +1,5 @@
 // Command loadgen drives a running spmvserve instance with closed-loop
-// load: for each (method, concurrency) sweep point it keeps N clients'
+// load: for each (method, encoding, concurrency) sweep point it keeps N clients'
 // requests in flight for the configured duration and reports
 // throughput, latency percentiles, and the batch width the server's
 // coalescing scheduler achieved — as JSON records cmd/benchdiff can
@@ -9,6 +9,8 @@
 //
 //	loadgen -url http://localhost:8080 -matrix powerlaw -conc 1,8,32
 //	loadgen -url ... -methods s2d,1d,2d -k 16 -duration 5s -o LOADGEN.json
+//	loadgen -url ... -encodings json,binary -nrhs 8       # wire protocol sweep
+//	loadgen -url ... -auth $KEY -tenant alice             # keyed server
 package main
 
 import (
@@ -30,6 +32,10 @@ func main() {
 	methods := flag.String("methods", "s2d", "comma-separated registry methods to sweep")
 	k := flag.Int("k", 4, "part count")
 	conc := flag.String("conc", "1,8,32", "comma-separated offered concurrency sweep")
+	encodings := flag.String("encodings", "json", "comma-separated wire encodings to sweep (json,binary)")
+	nrhs := flag.Int("nrhs", 1, "right-hand sides per request (>1 posts multi-vector requests)")
+	authKey := flag.String("auth", "", "bearer key sent as Authorization (required against a keyed server)")
+	tenant := flag.String("tenant", "", "tenant label stamped on the records")
 	duration := flag.Duration("duration", 2*time.Second, "duration per sweep point")
 	seed := flag.Int64("seed", 1, "seed for the request vector")
 	out := flag.String("o", "", "write JSON records here (default stdout)")
@@ -53,6 +59,10 @@ func main() {
 		Methods:     cliutil.SplitList(*methods),
 		K:           *k,
 		Concurrency: concs,
+		Encodings:   cliutil.SplitList(*encodings),
+		NRHS:        *nrhs,
+		AuthKey:     *authKey,
+		Tenant:      *tenant,
 		Duration:    *duration,
 		Seed:        *seed,
 	})
@@ -81,8 +91,8 @@ func main() {
 	bad := false
 	for _, r := range recs {
 		fmt.Fprintf(os.Stderr,
-			"loadgen %-8s conc=%-3d %6d req %5.0f req/s batch %.2f p50 %.2fms p99 %.2fms errors %d retries %d\n",
-			r.Method, r.Concurrency, r.Requests, r.RPS, r.MeanBatch, r.P50Ms, r.P99Ms, r.Errors, r.Retries)
+			"loadgen %-8s enc=%-6s nrhs=%-2d conc=%-3d %6d req %5.0f req/s batch %.2f p50 %.2fms p99 %.2fms errors %d retries %d\n",
+			r.Method, r.Encoding, r.NRHS, r.Concurrency, r.Requests, r.RPS, r.MeanBatch, r.P50Ms, r.P99Ms, r.Errors, r.Retries)
 		if r.Errors > 0 || r.Requests == 0 || r.MeanBatch < 1 {
 			bad = true
 		}

@@ -12,11 +12,21 @@
 // Endpoints:
 //
 //	POST /v1/multiply   {"matrix","method","k","x":[...]}  → {"y":[...]}
+//	                    ("xs":[[...]] for multi-RHS, "transpose":true for
+//	                    y = A'x; Content-Type application/x-spmv-frame
+//	                    switches to the binary wire protocol)
 //	POST /v1/solve      {"matrix","method","k","b":[...]}  → CG (square) or
 //	                    LSQR/CGNR (rectangular; optional "solver" field)
 //	GET  /v1/methods    registered methods + loaded matrices
+//	GET  /v1/matrices   matrix resource: list, /{name} detail, DELETE
 //	POST /v1/matrices   upload a MatrixMarket body (?name=...)
-//	GET  /metrics       pool + per-engine serving metrics
+//	GET  /metrics       pool + per-engine + per-tenant serving metrics
+//
+// -tenants names a JSON keyfile ({"tenants":[{"name","key","weight",
+// "max_queue"}]}); with it every data-plane request must carry
+// `Authorization: Bearer <key>`, queue quotas apply per tenant, and the
+// batch scheduler interleaves tenants weighted-fair. Without it the
+// server runs a single open tenant (the pre-tenancy behavior).
 //
 // A quickstart lives in README.md's "Serving" section.
 //
@@ -26,6 +36,14 @@
 // JSON, and exits non-zero if any request failed or the coalescing
 // scheduler never batched; CI runs exactly this as its serving smoke
 // test.
+//
+// -selftest sweeps -encodings (json,binary) and -nrhs widths, and fails
+// if the binary frame does not at least halve the request bytes of the
+// JSON encoding at nrhs >= 8. -selftest -tenantmix additionally runs the
+// adversarial mixed-tenant scenario: a hot tenant with a tiny queue
+// quota floods the engine while light tenants keep posting; the run
+// fails unless the light tenant finishes error-free with bounded p99
+// while the hot tenant's overflow lands as 429-driven retries.
 //
 // -selftest -chaos instead arms the pool's fault injector with the
 // -faults schedule and runs the chaos sweep (serve.ChaosRun): 32
@@ -78,10 +96,16 @@ func main() {
 		"pin one spmv kernel backend on every engine (scalar,reg,sorted,sortedreg); empty autotunes per engine")
 	defMethod := flag.String("method", "s2d", "default partitioning method for requests that omit one")
 	defK := flag.Int("k", 4, "default part count for requests that omit one")
+	tenantsPath := flag.String("tenants", "",
+		"tenant keyfile JSON ({\"tenants\":[{\"name\",\"key\",\"weight\",\"max_queue\"}]}); empty serves one open tenant")
 	selftest := flag.Bool("selftest", false, "serve on a loopback port, run the load generator, validate, exit")
 	duration := flag.Duration("duration", 2*time.Second, "selftest: duration per sweep point")
 	concList := flag.String("conc", "1,8,32", "selftest: offered concurrency sweep")
 	methodList := flag.String("methods", "s2d", "selftest: comma-separated methods to sweep")
+	encList := flag.String("encodings", "json", "selftest: comma-separated wire encodings to sweep (json,binary)")
+	nrhsList := flag.String("nrhs", "1", "selftest: comma-separated right-hand-side counts to sweep")
+	tenantMix := flag.Bool("tenantmix", false,
+		"selftest: also run the adversarial mixed-tenant scenario (hot tenant with a tiny quota vs light tenants)")
 	out := flag.String("o", "", "selftest: write loadgen JSON records here (default stdout)")
 	chaos := flag.Bool("chaos", false, "selftest: chaos mode — arm the fault injector and validate the fault-tolerance contract")
 	faults := flag.String("faults", "worker.panic@400,build.fail@3,flush.nan@1500",
@@ -98,6 +122,32 @@ func main() {
 		MaxEngines:  *maxEngines,
 		Seed:        *seed,
 		ForceKernel: *forceKernel,
+	}
+	if *tenantsPath != "" {
+		reg, err := serve.LoadTenants(*tenantsPath)
+		if err != nil {
+			fatal(fmt.Errorf("bad -tenants: %w", err))
+		}
+		opt.Tenants = reg
+	}
+	if *tenantMix {
+		if !*selftest {
+			fatal(errors.New("-tenantmix requires -selftest"))
+		}
+		if *tenantsPath != "" {
+			fatal(errors.New("-tenantmix provisions its own tenants; drop -tenants"))
+		}
+		// The adversarial fixture: the hot tenant's quota (2) is far below
+		// its offered concurrency so its overflow must land as 429s, while
+		// the light tenant keeps the default quota and 4x the weight.
+		reg, err := serve.NewTenantRegistry(
+			serve.TenantSpec{Name: "hot", Key: selftestHotKey, Weight: 1, MaxQueue: 2},
+			serve.TenantSpec{Name: "light", Key: selftestLightKey, Weight: 4},
+		)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Tenants = reg
 	}
 	var inj *faultinject.Injector
 	if *chaos {
@@ -131,14 +181,21 @@ func main() {
 	}
 
 	if *selftest {
+		nrhs, err := cliutil.ParseIntList(*nrhsList)
+		if err != nil {
+			fatal(fmt.Errorf("bad -nrhs: %w", err))
+		}
 		cfg := selftestConfig{
-			matrix:   defaultMatrix,
-			methods:  cliutil.SplitList(*methodList),
-			k:        *defK,
-			conc:     *concList,
-			duration: *duration,
-			seed:     *seed,
-			out:      *out,
+			matrix:    defaultMatrix,
+			methods:   cliutil.SplitList(*methodList),
+			k:         *defK,
+			conc:      *concList,
+			encodings: cliutil.SplitList(*encList),
+			nrhs:      nrhs,
+			mix:       *tenantMix,
+			duration:  *duration,
+			seed:      *seed,
+			out:       *out,
 		}
 		if *chaos {
 			err = runChaos(srv, pool, inj, cfg)
@@ -241,20 +298,34 @@ func loadMatrices(pool *serve.Pool, mtxList, genName string, scale float64, seed
 }
 
 type selftestConfig struct {
-	matrix   string
-	methods  []string
-	k        int
-	conc     string
-	duration time.Duration
-	seed     int64
-	out      string
+	matrix    string
+	methods   []string
+	k         int
+	conc      string
+	encodings []string
+	nrhs      []int
+	mix       bool
+	duration  time.Duration
+	seed      int64
+	out       string
 }
 
+// Bearer keys the -tenantmix fixture provisions. They gate a loopback
+// selftest server only, so fixed values keep the run reproducible.
+const (
+	selftestHotKey   = "selftest-hot-key"
+	selftestLightKey = "selftest-light-key"
+)
+
 // runSelftest serves on a loopback port, sweeps the load generator
-// against it over real HTTP, writes the records, and validates them:
-// any transport/HTTP error, a mean batch width below 1, or an engine
-// without a kernel selection fails. The per-engine summary includes the
-// kernel backends each resident engine runs.
+// against it over real HTTP (methods x encodings x nrhs x concurrency),
+// writes the records, and validates them: any transport/HTTP error, a
+// mean batch width below 1, an engine without a kernel selection, or a
+// binary frame that fails to halve the JSON request bytes at nrhs >= 8
+// fails. With cfg.mix the adversarial mixed-tenant scenario runs on the
+// same server afterwards and its QoS contract is validated too. The
+// per-engine summary includes the kernel backends each resident engine
+// runs.
 func runSelftest(srv *serve.Server, pool *serve.Pool, cfg selftestConfig) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -263,22 +334,52 @@ func runSelftest(srv *serve.Server, pool *serve.Pool, cfg selftestConfig) error 
 	hs := &http.Server{Handler: srv}
 	go hs.Serve(ln) //nolint:errcheck // closed via Shutdown below
 	defer hs.Shutdown(context.Background())
+	base := "http://" + ln.Addr().String()
 
 	conc, err := cliutil.ParseIntList(cfg.conc)
 	if err != nil {
 		return fmt.Errorf("bad -conc: %w", err)
 	}
-	recs, err := serve.LoadGen(context.Background(), serve.LoadGenConfig{
-		BaseURL:     "http://" + ln.Addr().String(),
+	lcfg := serve.LoadGenConfig{
+		BaseURL:     base,
 		Matrix:      cfg.matrix,
 		Methods:     cfg.methods,
 		K:           cfg.k,
 		Concurrency: conc,
+		Encodings:   cfg.encodings,
 		Duration:    cfg.duration,
 		Seed:        cfg.seed,
-	})
-	if err != nil {
-		return err
+	}
+	if cfg.mix {
+		// The -tenantmix registry keys the server, so the sweep itself
+		// runs authenticated as the light tenant.
+		lcfg.AuthKey, lcfg.Tenant = selftestLightKey, "light"
+	}
+	var recs []serve.Record
+	for _, nrhs := range cfg.nrhs {
+		lcfg.NRHS = nrhs
+		r, err := serve.LoadGen(context.Background(), lcfg)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, r...)
+	}
+
+	var mixRecs []serve.Record
+	if cfg.mix {
+		mixRecs, err = serve.MixedLoad(context.Background(), serve.MixedLoadConfig{
+			BaseURL:  base,
+			Matrix:   cfg.matrix,
+			Method:   cfg.methods[0],
+			K:        cfg.k,
+			HotKey:   selftestHotKey,
+			LightKey: selftestLightKey,
+			Duration: cfg.duration,
+			Seed:     cfg.seed,
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	w := os.Stdout
@@ -292,11 +393,12 @@ func runSelftest(srv *serve.Server, pool *serve.Pool, cfg selftestConfig) error 
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(recs); err != nil {
+	if err := enc.Encode(append(append([]serve.Record{}, recs...), mixRecs...)); err != nil {
 		return err
 	}
 
 	failed := false
+	jsonReqBytes := map[string]int{} // method/nrhs -> JSON request size
 	for _, r := range recs {
 		status := "ok"
 		switch {
@@ -307,9 +409,30 @@ func runSelftest(srv *serve.Server, pool *serve.Pool, cfg selftestConfig) error 
 			status = "FAIL (no batching)"
 			failed = true
 		}
+		if r.Encoding == serve.EncodingJSON {
+			jsonReqBytes[fmt.Sprintf("%s/%d", r.Method, r.NRHS)] = r.ReqBytes
+		}
 		fmt.Fprintf(os.Stderr,
-			"selftest %-8s conc=%-3d %6d req %5.0f req/s batch %.2f p50 %.2fms p99 %.2fms  %s\n",
-			r.Method, r.Concurrency, r.Requests, r.RPS, r.MeanBatch, r.P50Ms, r.P99Ms, status)
+			"selftest %-8s enc=%-6s nrhs=%-2d conc=%-3d %6d req %5.0f req/s batch %.2f p50 %.2fms p99 %.2fms %6dB  %s\n",
+			r.Method, r.Encoding, r.NRHS, r.Concurrency, r.Requests, r.RPS,
+			r.MeanBatch, r.P50Ms, r.P99Ms, r.ReqBytes, status)
+	}
+	// The wire-protocol acceptance: at nrhs >= 8 the binary frame must
+	// carry at most half the bytes the JSON encoding needs for the same
+	// request.
+	for _, r := range recs {
+		if r.Encoding != serve.EncodingBinary || r.NRHS < 8 {
+			continue
+		}
+		jb, ok := jsonReqBytes[fmt.Sprintf("%s/%d", r.Method, r.NRHS)]
+		if ok && 2*r.ReqBytes > jb {
+			fmt.Fprintf(os.Stderr, "selftest FAIL: binary request %dB vs JSON %dB at %s nrhs=%d (want <= half)\n",
+				r.ReqBytes, jb, r.Method, r.NRHS)
+			failed = true
+		}
+	}
+	if err := validateMix(mixRecs, &failed); err != nil {
+		return err
 	}
 	for _, em := range pool.MetricsSnapshot().Engines {
 		status := "ok"
@@ -324,6 +447,42 @@ func runSelftest(srv *serve.Server, pool *serve.Pool, cfg selftestConfig) error 
 		return fmt.Errorf("selftest failed (see records above)")
 	}
 	fmt.Fprintln(os.Stderr, "selftest ok")
+	return nil
+}
+
+// validateMix checks the mixed-tenant QoS contract: the light tenant
+// finished error-free with bounded p99 while the hot tenant's overflow
+// became retried 429s rather than light-tenant latency.
+func validateMix(mixRecs []serve.Record, failed *bool) error {
+	if len(mixRecs) == 0 {
+		return nil
+	}
+	byTenant := map[string]serve.Record{}
+	for _, r := range mixRecs {
+		byTenant[r.Tenant] = r
+		fmt.Fprintf(os.Stderr,
+			"selftest mix %-5s conc=%-3d %6d req %4d retries %3d errors p50 %.2fms p99 %.2fms\n",
+			r.Tenant, r.Concurrency, r.Requests, r.Retries, r.Errors, r.P50Ms, r.P99Ms)
+	}
+	hot, light := byTenant["hot"], byTenant["light"]
+	const lightP99BoundMs = 250 // generous: loopback batches flush in microseconds
+	switch {
+	case light.Requests == 0 || light.Errors > 0:
+		fmt.Fprintf(os.Stderr, "selftest FAIL: light tenant saw errors (%d req, %d errors)\n",
+			light.Requests, light.Errors)
+		*failed = true
+	case light.P99Ms > lightP99BoundMs:
+		fmt.Fprintf(os.Stderr, "selftest FAIL: light tenant p99 %.2fms exceeds %dms under the hot tenant's flood\n",
+			light.P99Ms, lightP99BoundMs)
+		*failed = true
+	case hot.Retries == 0:
+		fmt.Fprintln(os.Stderr, "selftest FAIL: hot tenant was never shed (quota 2 at conc 32 must 429)")
+		*failed = true
+	case hot.Errors > 0:
+		fmt.Fprintf(os.Stderr, "selftest FAIL: hot tenant saw hard errors (%d); overflow must shed as 429, not fail\n",
+			hot.Errors)
+		*failed = true
+	}
 	return nil
 }
 

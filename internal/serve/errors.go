@@ -57,14 +57,16 @@ func (e *QuarantinedError) Is(target error) bool { return target == ErrEngineFau
 var ErrOverloaded = errors.New("serve: overloaded")
 
 // OverloadError reports a submission rejected by admission control: the
-// engine's queue was at its configured depth limit.
+// submitting tenant's queue on that engine was at its quota. Overload is
+// per tenant — one tenant at its limit does not shed anyone else.
 type OverloadError struct {
-	Depth int // queue depth observed at rejection
-	Limit int // configured MaxQueue
+	Tenant string // tenant whose quota rejected the submission
+	Depth  int    // tenant's queue depth observed at rejection
+	Limit  int    // effective quota (tenant MaxQueue, or Options.MaxQueue)
 }
 
 func (e *OverloadError) Error() string {
-	return fmt.Sprintf("serve: engine queue full (%d/%d)", e.Depth, e.Limit)
+	return fmt.Sprintf("serve: tenant %s queue full (%d/%d)", e.Tenant, e.Depth, e.Limit)
 }
 
 // Unwrap makes errors.Is(err, ErrOverloaded) match.
@@ -89,6 +91,40 @@ type UnknownMatrixError struct {
 
 func (e *UnknownMatrixError) Error() string {
 	return fmt.Sprintf("serve: unknown matrix %q (loaded: %v)", e.Matrix, e.Known)
+}
+
+// UnauthorizedError reports a request that failed tenant authentication
+// against a keyed registry (HTTP 401).
+type UnauthorizedError struct {
+	Reason string
+}
+
+func (e *UnauthorizedError) Error() string {
+	return fmt.Sprintf("serve: unauthorized: %s", e.Reason)
+}
+
+// DuplicateMatrixError reports a registration under a name already
+// taken (HTTP 409): resident engines were built against the old
+// instance, so re-registering requires deleting the matrix first.
+type DuplicateMatrixError struct {
+	Matrix string
+}
+
+func (e *DuplicateMatrixError) Error() string {
+	return fmt.Sprintf("serve: matrix %q already registered", e.Matrix)
+}
+
+// PinnedMatrixError reports a DELETE of a matrix that still has
+// referenced engines (HTTP 409): release the handles (or wait out the
+// in-flight requests) and retry.
+type PinnedMatrixError struct {
+	Matrix string
+	Key    EngineKey // one pinned engine (there may be more)
+	Refs   int
+}
+
+func (e *PinnedMatrixError) Error() string {
+	return fmt.Sprintf("serve: matrix %q is pinned by engine %s (%d refs)", e.Matrix, e.Key, e.Refs)
 }
 
 // DimensionError reports a request vector that does not match the

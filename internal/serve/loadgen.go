@@ -12,14 +12,17 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // LoadGenConfig drives one closed-loop load sweep against a running
-// spmvserve instance: for every (method, concurrency) point, Concurrency
-// clients each loop a POST /v1/multiply as fast as the server answers
-// for Duration, and the sweep records throughput, latency percentiles,
-// and the batch width the coalescing scheduler actually achieved
-// (measured from the server's own /metrics deltas).
+// spmvserve instance: for every (method, encoding, concurrency) point,
+// Concurrency clients each loop a POST /v1/multiply as fast as the
+// server answers for Duration, and the sweep records throughput,
+// latency percentiles, wire bytes per request, and the batch width the
+// coalescing scheduler actually achieved (measured from the server's
+// own /metrics deltas).
 type LoadGenConfig struct {
 	BaseURL string       // e.g. "http://127.0.0.1:8080"
 	Client  *http.Client // default http.DefaultClient
@@ -29,8 +32,18 @@ type LoadGenConfig struct {
 	// Concurrency lists the offered in-flight client counts to sweep
 	// (default 1, 8, 32).
 	Concurrency []int
-	Duration    time.Duration // per sweep point (default 1s)
-	Seed        int64
+	// Encodings lists the wire encodings to sweep: "json", "binary"
+	// (default ["json"]).
+	Encodings []string
+	// NRHS is the number of right-hand sides per request (default 1; >1
+	// posts "xs" / multi-vector frames).
+	NRHS     int
+	Duration time.Duration // per sweep point (default 1s)
+	Seed     int64
+	// AuthKey, when set, is sent as `Authorization: Bearer <AuthKey>`
+	// (required against a keyed server). Tenant labels the records.
+	AuthKey string
+	Tenant  string
 }
 
 func (c LoadGenConfig) withDefaults() LoadGenConfig {
@@ -46,6 +59,12 @@ func (c LoadGenConfig) withDefaults() LoadGenConfig {
 	if len(c.Concurrency) == 0 {
 		c.Concurrency = []int{1, 8, 32}
 	}
+	if len(c.Encodings) == 0 {
+		c.Encodings = []string{EncodingJSON}
+	}
+	if c.NRHS <= 0 {
+		c.NRHS = 1
+	}
 	if c.Duration <= 0 {
 		c.Duration = time.Second
 	}
@@ -55,9 +74,9 @@ func (c LoadGenConfig) withDefaults() LoadGenConfig {
 // Record is one sweep point's result, in the same JSON style the
 // BENCH_*.json kernel records use so cmd/benchdiff can pair and gate
 // serving throughput like kernel ns/op: records key on
-// (kind, method, matrix, seed, k, concurrency, rows), and NsPerOp is the
-// mean service time per request (1e9/RPS) so the existing
-// slowdown-ratio gate applies unchanged.
+// (kind, method, matrix, seed, k, nrhs, encoding, tenant, concurrency,
+// rows), and NsPerOp is the mean service time per request (1e9/RPS) so
+// the existing slowdown-ratio gate applies unchanged.
 type Record struct {
 	Kind        string  `json:"kind"` // always "serve"
 	Method      string  `json:"method"`
@@ -65,6 +84,9 @@ type Record struct {
 	Seed        int64   `json:"seed"`
 	K           int     `json:"k"`
 	Schedule    string  `json:"schedule"`
+	Encoding    string  `json:"encoding,omitempty"` // json / binary ("" = json)
+	NRHS        int     `json:"nrhs,omitempty"`     // right-hand sides per request (0 = 1)
+	Tenant      string  `json:"tenant,omitempty"`   // mixed-tenant scenario label
 	Concurrency int     `json:"concurrency"`
 	Rows        int     `json:"rows"`
 	DurationSec float64 `json:"duration_sec"`
@@ -79,80 +101,112 @@ type Record struct {
 	P50Ms     float64 `json:"p50_ms"`
 	P99Ms     float64 `json:"p99_ms"`
 	MeanBatch float64 `json:"mean_batch"` // achieved width, from /metrics deltas
+	// ReqBytes and RespBytes are the wire payload sizes of one request
+	// and one successful response at this point — the direct
+	// binary-vs-JSON volume comparison.
+	ReqBytes  int `json:"req_bytes,omitempty"`
+	RespBytes int `json:"resp_bytes,omitempty"`
+}
+
+// multiplyBodies builds the request payload for every swept encoding.
+func multiplyBodies(cfg LoadGenConfig, methodName string, cols int, rng *rand.Rand) (map[string][]byte, error) {
+	xs := make([][]float64, cfg.NRHS)
+	for i := range xs {
+		xs[i] = make([]float64, cols)
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()*4 - 2
+		}
+	}
+	bodies := make(map[string][]byte, len(cfg.Encodings))
+	for _, enc := range cfg.Encodings {
+		switch enc {
+		case EncodingJSON:
+			req := multiplyRequest{engineRequest: engineRequest{Matrix: cfg.Matrix, Method: methodName, K: cfg.K}}
+			if cfg.NRHS == 1 {
+				req.X = xs[0]
+			} else {
+				req.Xs = xs
+			}
+			b, err := json.Marshal(req)
+			if err != nil {
+				return nil, err
+			}
+			bodies[enc] = b
+		case EncodingBinary:
+			b, err := wire.Append(nil, &wire.Frame{
+				Op: wire.OpMultiplyReq, Matrix: cfg.Matrix, Method: methodName, K: cfg.K,
+				Vectors: xs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			bodies[enc] = b
+		default:
+			return nil, fmt.Errorf("loadgen: unknown encoding %q", enc)
+		}
+	}
+	return bodies, nil
 }
 
 // LoadGen runs the configured sweep and returns one Record per
-// (method, concurrency) point.
+// (method, encoding, concurrency) point.
 func LoadGen(ctx context.Context, cfg LoadGenConfig) ([]Record, error) {
 	cfg = cfg.withDefaults()
 	cols, rows, err := matrixDims(cfg)
 	if err != nil {
 		return nil, err
 	}
-	r := rand.New(rand.NewSource(cfg.Seed))
-	x := make([]float64, cols)
-	for i := range x {
-		x[i] = r.Float64()*4 - 2
-	}
-	body, err := json.Marshal(multiplyRequest{
-		engineRequest: engineRequest{Matrix: cfg.Matrix, K: cfg.K},
-		X:             x,
-	})
-	if err != nil {
-		return nil, err
-	}
-
 	var recs []Record
 	for _, m := range cfg.Methods {
-		for _, conc := range cfg.Concurrency {
-			rec, err := loadPoint(ctx, cfg, m, conc, rows, body)
-			if err != nil {
-				return recs, err
+		bodies, err := multiplyBodies(cfg, m, cols, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return recs, err
+		}
+		for _, enc := range cfg.Encodings {
+			for _, conc := range cfg.Concurrency {
+				rec, err := loadPoint(ctx, cfg, m, enc, conc, rows, bodies[enc])
+				if err != nil {
+					return recs, err
+				}
+				recs = append(recs, rec)
 			}
-			recs = append(recs, rec)
 		}
 	}
 	return recs, nil
 }
 
-// loadPoint runs one closed-loop measurement at a fixed method and
-// offered concurrency.
-func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName string, conc, rows int, body []byte) (Record, error) {
-	// Patch the method into the request body once.
-	var req multiplyRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		return Record{}, err
-	}
-	req.Method = methodName
-	pointBody, err := json.Marshal(req)
-	if err != nil {
-		return Record{}, err
-	}
-
+// loadPoint runs one closed-loop measurement at a fixed method,
+// encoding, and offered concurrency.
+func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName, enc string, conc, rows int, body []byte) (Record, error) {
 	// Warm the engine (build happens on first request) so the measured
 	// window is steady-state serving, not partitioning. A quarantined or
 	// rebuilding engine sheds the warmup with 503 + Retry-After; honor the
 	// hint for a bounded window before giving up.
 	var status int
 	var schedule string
+	var respBytes int
+	var err error
 	warmRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
 	warmDeadline := time.Now().Add(5 * time.Second)
 	backoff := time.Duration(0)
 	for {
 		var retry time.Duration
-		status, schedule, retry, err = postMultiply(ctx, cfg, pointBody)
+		status, schedule, respBytes, retry, err = postMultiply(ctx, cfg, enc, body)
 		if err != nil {
-			return Record{}, fmt.Errorf("loadgen warmup %s: %w", methodName, err)
+			return Record{}, fmt.Errorf("loadgen warmup %s/%s: %w", methodName, enc, err)
 		}
 		if status == http.StatusOK {
 			break
 		}
 		retriable := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 		if !retriable || !time.Now().Before(warmDeadline) {
-			return Record{}, fmt.Errorf("loadgen warmup %s: HTTP %d", methodName, status)
+			return Record{}, fmt.Errorf("loadgen warmup %s/%s: HTTP %d", methodName, enc, status)
 		}
 		backoff = backoffNext(backoff, retry, warmRng, 250*time.Millisecond)
 		time.Sleep(backoff)
+	}
+	if schedule == "" {
+		schedule, _ = engineSchedule(ctx, cfg, methodName)
 	}
 
 	before, err := engineMetrics(ctx, cfg, methodName)
@@ -161,10 +215,6 @@ func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName string, conc, 
 	}
 
 	deadline := time.Now().Add(cfg.Duration)
-	type clientResult struct {
-		requests, errors, retries int
-		latMs                     []float64
-	}
 	results := make([]clientResult, conc)
 	var wg sync.WaitGroup
 	t0 := time.Now()
@@ -172,30 +222,7 @@ func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName string, conc, 
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			res := &results[c]
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*6151))
-			backoff := time.Duration(0)
-			for time.Now().Before(deadline) && ctx.Err() == nil {
-				start := time.Now()
-				status, _, retry, err := postMultiply(ctx, cfg, pointBody)
-				switch {
-				case err != nil:
-					res.errors++
-				case status == http.StatusOK:
-					backoff = 0
-					res.requests++
-					res.latMs = append(res.latMs, msSince(start))
-				case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
-					// Shed: back off as the server hinted (jittered, capped)
-					// instead of hammering a full queue or a quarantined
-					// engine, and count the retry separately from errors.
-					res.retries++
-					backoff = backoffNext(backoff, retry, rng, 250*time.Millisecond)
-					time.Sleep(backoff)
-				default:
-					res.errors++
-				}
-			}
+			runClient(ctx, cfg, enc, body, deadline, cfg.Seed+int64(c)*6151, &results[c])
 		}(c)
 	}
 	wg.Wait()
@@ -208,9 +235,53 @@ func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName string, conc, 
 
 	rec := Record{
 		Kind: "serve", Method: methodName, Matrix: cfg.Matrix, Seed: cfg.Seed,
-		K: cfg.K, Schedule: schedule, Concurrency: conc, Rows: rows,
-		DurationSec: elapsed.Seconds(),
+		K: cfg.K, Schedule: schedule, Encoding: enc, NRHS: cfg.NRHS, Tenant: cfg.Tenant,
+		Concurrency: conc, Rows: rows, DurationSec: elapsed.Seconds(),
+		ReqBytes: len(body), RespBytes: respBytes,
 	}
+	fillRecord(&rec, results)
+	if dBatches := after.Batches - before.Batches; dBatches > 0 {
+		rec.MeanBatch = float64(after.Requests-before.Requests) / float64(dBatches)
+	}
+	return rec, nil
+}
+
+// clientResult is one closed-loop client's tally.
+type clientResult struct {
+	requests, errors, retries int
+	latMs                     []float64
+}
+
+// runClient loops one closed-loop client until deadline, honoring the
+// server's backoff hints on sheds.
+func runClient(ctx context.Context, cfg LoadGenConfig, enc string, body []byte, deadline time.Time, seed int64, res *clientResult) {
+	rng := rand.New(rand.NewSource(seed))
+	backoff := time.Duration(0)
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		start := time.Now()
+		status, _, _, retry, err := postMultiply(ctx, cfg, enc, body)
+		switch {
+		case err != nil:
+			res.errors++
+		case status == http.StatusOK:
+			backoff = 0
+			res.requests++
+			res.latMs = append(res.latMs, msSince(start))
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			// Shed: back off as the server hinted (jittered, capped)
+			// instead of hammering a full queue or a quarantined
+			// engine, and count the retry separately from errors.
+			res.retries++
+			backoff = backoffNext(backoff, retry, rng, 250*time.Millisecond)
+			time.Sleep(backoff)
+		default:
+			res.errors++
+		}
+	}
+}
+
+// fillRecord folds per-client tallies into the record.
+func fillRecord(rec *Record, results []clientResult) {
 	var lats []float64
 	for _, res := range results {
 		rec.Requests += res.requests
@@ -218,45 +289,179 @@ func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName string, conc, 
 		rec.Retries += res.retries
 		lats = append(lats, res.latMs...)
 	}
-	if rec.Requests > 0 {
-		rec.RPS = float64(rec.Requests) / elapsed.Seconds()
+	if rec.Requests > 0 && rec.DurationSec > 0 {
+		rec.RPS = float64(rec.Requests) / rec.DurationSec
 		rec.NsPerOp = 1e9 / rec.RPS
 	}
 	sort.Float64s(lats)
 	rec.P50Ms = percentile(lats, 0.50)
 	rec.P99Ms = percentile(lats, 0.99)
-	if dBatches := after.Batches - before.Batches; dBatches > 0 {
-		rec.MeanBatch = float64(after.Requests-before.Requests) / float64(dBatches)
-	}
-	return rec, nil
 }
 
-// postMultiply posts one multiply and reports the HTTP status, the
-// engine schedule named in a 200 response, and the server's retry hint
-// on a shed (429/503) response.
-func postMultiply(ctx context.Context, cfg LoadGenConfig, body []byte) (status int, schedule string, retry time.Duration, err error) {
+// MixedLoadConfig is the adversarial multi-tenant scenario: one hot
+// tenant offering far more concurrency than its queue quota absorbs,
+// against light tenants that must stay fast. Run it against a server
+// started with a keyfile giving the hot tenant a small max_queue.
+type MixedLoadConfig struct {
+	BaseURL string
+	Client  *http.Client
+	Matrix  string
+	Method  string // default "s2d"
+	K       int    // default 4
+	// HotKey/LightKey are the tenants' bearer keys.
+	HotKey, LightKey string
+	// HotConc and LightConc are the offered client counts
+	// (defaults 32 and 4).
+	HotConc, LightConc int
+	NRHS               int // right-hand sides per request (default 1)
+	Encoding           string
+	Duration           time.Duration // default 2s
+	Seed               int64
+}
+
+// MixedLoad runs the hot and light tenants simultaneously and returns
+// one Record per tenant (Tenant = "hot" / "light"). The QoS contract
+// under inspection: the light tenant sees zero errors and bounded p99
+// while the hot tenant's overflow turns into Retries (429s), not into
+// light-tenant latency.
+func MixedLoad(ctx context.Context, cfg MixedLoadConfig) ([]Record, error) {
+	if cfg.Method == "" {
+		cfg.Method = "s2d"
+	}
+	if cfg.HotConc <= 0 {
+		cfg.HotConc = 32
+	}
+	if cfg.LightConc <= 0 {
+		cfg.LightConc = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Encoding == "" {
+		cfg.Encoding = EncodingJSON
+	}
+	base := LoadGenConfig{
+		BaseURL: cfg.BaseURL, Client: cfg.Client, Matrix: cfg.Matrix,
+		Methods: []string{cfg.Method}, K: cfg.K, NRHS: cfg.NRHS,
+		Encodings: []string{cfg.Encoding}, Duration: cfg.Duration, Seed: cfg.Seed,
+	}.withDefaults()
+	cols, rows, err := matrixDims(base)
+	if err != nil {
+		return nil, err
+	}
+	bodies, err := multiplyBodies(base, cfg.Method, cols, rand.New(rand.NewSource(base.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	body := bodies[cfg.Encoding]
+
+	tenants := []struct {
+		label string
+		key   string
+		conc  int
+	}{
+		{"hot", cfg.HotKey, cfg.HotConc},
+		{"light", cfg.LightKey, cfg.LightConc},
+	}
+
+	// Warm the engine once (as the light tenant) so both measure
+	// steady-state serving.
+	warm := base
+	warm.AuthKey, warm.Tenant = cfg.LightKey, "light"
+	warmDeadline := time.Now().Add(5 * time.Second)
+	backoff := time.Duration(0)
+	warmRng := rand.New(rand.NewSource(base.Seed ^ 0x5eed))
+	for {
+		status, _, _, retry, err := postMultiply(ctx, warm, cfg.Encoding, body)
+		if err != nil {
+			return nil, fmt.Errorf("mixedload warmup: %w", err)
+		}
+		if status == http.StatusOK {
+			break
+		}
+		if !(status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable) ||
+			!time.Now().Before(warmDeadline) {
+			return nil, fmt.Errorf("mixedload warmup: HTTP %d", status)
+		}
+		backoff = backoffNext(backoff, retry, warmRng, 250*time.Millisecond)
+		time.Sleep(backoff)
+	}
+	schedule, _ := engineSchedule(ctx, warm, cfg.Method)
+
+	deadline := time.Now().Add(cfg.Duration)
+	results := make([][]clientResult, len(tenants))
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for ti, tn := range tenants {
+		results[ti] = make([]clientResult, tn.conc)
+		tcfg := base
+		tcfg.AuthKey, tcfg.Tenant = tn.key, tn.label
+		for c := 0; c < tn.conc; c++ {
+			wg.Add(1)
+			go func(tcfg LoadGenConfig, ti, c int, seed int64) {
+				defer wg.Done()
+				runClient(ctx, tcfg, cfg.Encoding, body, deadline, seed, &results[ti][c])
+			}(tcfg, ti, c, base.Seed+int64(ti)*104729+int64(c)*6151)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	recs := make([]Record, 0, len(tenants))
+	for ti, tn := range tenants {
+		rec := Record{
+			Kind: "serve", Method: cfg.Method, Matrix: cfg.Matrix, Seed: base.Seed,
+			K: base.K, Schedule: schedule, Encoding: cfg.Encoding, NRHS: base.NRHS,
+			Tenant: tn.label, Concurrency: tn.conc, Rows: rows,
+			DurationSec: elapsed.Seconds(), ReqBytes: len(body),
+		}
+		fillRecord(&rec, results[ti])
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// postMultiply posts one multiply under the configured encoding and
+// auth, reporting the HTTP status, the engine schedule named in a JSON
+// 200 response (binary responses carry none), the response body size,
+// and the server's retry hint on a shed (429/503) response.
+func postMultiply(ctx context.Context, cfg LoadGenConfig, enc string, body []byte) (status int, schedule string, respBytes int, retry time.Duration, err error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		cfg.BaseURL+"/v1/multiply", bytes.NewReader(body))
 	if err != nil {
-		return 0, "", 0, err
+		return 0, "", 0, 0, err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
+	if enc == EncodingBinary {
+		hreq.Header.Set("Content-Type", wire.ContentType)
+	} else {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	if cfg.AuthKey != "" {
+		hreq.Header.Set("Authorization", "Bearer "+cfg.AuthKey)
+	}
 	resp, err := cfg.Client.Do(hreq)
 	if err != nil {
-		return 0, "", 0, err
+		return 0, "", 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, "", retryAfterOf(resp), nil
+		return resp.StatusCode, "", 0, retryAfterOf(resp), nil
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", 0, 0, err
+	}
+	if enc == EncodingBinary {
+		return resp.StatusCode, "", len(raw), 0, nil
 	}
 	var mr struct {
 		Schedule string `json:"schedule"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
-		return resp.StatusCode, "", 0, err
+	if err := json.Unmarshal(raw, &mr); err != nil {
+		return resp.StatusCode, "", 0, 0, err
 	}
-	return resp.StatusCode, mr.Schedule, 0, nil
+	return resp.StatusCode, mr.Schedule, len(raw), 0, nil
 }
 
 // matrixDims looks the matrix up via /v1/methods.
@@ -278,19 +483,28 @@ func matrixDims(cfg LoadGenConfig) (cols, rows int, err error) {
 	return 0, 0, fmt.Errorf("loadgen: server does not hold matrix %q", cfg.Matrix)
 }
 
-// engineMetrics fetches the /metrics row for (matrix, method, K).
-func engineMetrics(ctx context.Context, cfg LoadGenConfig, methodName string) (Metrics, error) {
+// poolMetrics fetches the whole /metrics snapshot.
+func poolMetrics(ctx context.Context, cfg LoadGenConfig) (PoolMetrics, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/metrics", nil)
 	if err != nil {
-		return Metrics{}, err
+		return PoolMetrics{}, err
 	}
 	resp, err := cfg.Client.Do(hreq)
 	if err != nil {
-		return Metrics{}, err
+		return PoolMetrics{}, err
 	}
 	defer resp.Body.Close()
 	var pm PoolMetrics
 	if err := json.NewDecoder(resp.Body).Decode(&pm); err != nil {
+		return PoolMetrics{}, err
+	}
+	return pm, nil
+}
+
+// engineMetrics fetches the /metrics row for (matrix, method, K).
+func engineMetrics(ctx context.Context, cfg LoadGenConfig, methodName string) (Metrics, error) {
+	pm, err := poolMetrics(ctx, cfg)
+	if err != nil {
 		return Metrics{}, err
 	}
 	for _, e := range pm.Engines {
@@ -301,4 +515,19 @@ func engineMetrics(ctx context.Context, cfg LoadGenConfig, methodName string) (M
 	// The engine may have been evicted between points; deltas then start
 	// from zero, which is still correct for a fresh engine.
 	return Metrics{}, nil
+}
+
+// engineSchedule reads the engine's schedule name from /metrics (used
+// when the response encoding carries no schedule field).
+func engineSchedule(ctx context.Context, cfg LoadGenConfig, methodName string) (string, error) {
+	pm, err := poolMetrics(ctx, cfg)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range pm.Engines {
+		if e.Matrix == cfg.Matrix && strings.EqualFold(e.Method, methodName) && e.K == cfg.K {
+			return e.Schedule, nil
+		}
+	}
+	return "", nil
 }

@@ -86,7 +86,7 @@ func (p *Pool) AddMatrix(name string, a *sparse.CSR) error {
 		return fmt.Errorf("serve: empty matrix name")
 	}
 	if _, dup := p.matrices[name]; dup {
-		return fmt.Errorf("serve: matrix %q already registered", name)
+		return &DuplicateMatrixError{Matrix: name}
 	}
 	p.matrices[name] = a
 	p.matOrder = append(p.matOrder, name)
@@ -122,6 +122,59 @@ func (p *Pool) Matrix(name string) (*sparse.CSR, error) {
 		return nil, &UnknownMatrixError{Matrix: name, Known: append([]string(nil), p.matOrder...)}
 	}
 	return a, nil
+}
+
+// Tenants exposes the pool's tenant registry (never nil — an open
+// registry is installed by default).
+func (p *Pool) Tenants() *TenantRegistry { return p.opt.Tenants }
+
+// RemoveMatrix unregisters a matrix and closes its idle engines. While
+// any engine on the matrix is referenced (a Handle is live, or a build
+// is in flight) the delete refuses with *PinnedMatrixError (HTTP 409) —
+// release the handles and retry. Unknown names are *UnknownMatrixError.
+func (p *Pool) RemoveMatrix(name string) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := p.matrices[name]; !ok {
+		known := append([]string(nil), p.matOrder...)
+		p.mu.Unlock()
+		return &UnknownMatrixError{Matrix: name, Known: known}
+	}
+	// Builds hold a ref until Acquire returns, so refs>0 also covers
+	// engines still under construction — never close a building entry.
+	for key, e := range p.engines {
+		if key.Matrix == name && e.refs > 0 {
+			p.mu.Unlock()
+			return &PinnedMatrixError{Matrix: name, Key: key, Refs: e.refs}
+		}
+	}
+	var victims []*poolEntry
+	for key, e := range p.engines {
+		if key.Matrix == name {
+			delete(p.engines, key)
+			victims = append(victims, e)
+		}
+	}
+	for key := range p.breakers {
+		if key.Matrix == name {
+			delete(p.breakers, key)
+		}
+	}
+	delete(p.matrices, name)
+	for i, n := range p.matOrder {
+		if n == name {
+			p.matOrder = append(p.matOrder[:i], p.matOrder[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	for _, v := range victims {
+		v.sched.close()
+	}
+	return nil
 }
 
 // Acquire returns a Handle on the engine for (matrix, methodName, k),
@@ -376,6 +429,7 @@ type BreakerMetrics struct {
 type PoolMetrics struct {
 	Engines     []EngineMetrics  `json:"engines"`
 	Breakers    []BreakerMetrics `json:"breakers,omitempty"`
+	Tenants     []TenantMetrics  `json:"tenants,omitempty"`
 	MaxEngines  int              `json:"max_engines"`
 	Builds      uint64           `json:"builds"`
 	Evictions   uint64           `json:"evictions"`
@@ -412,6 +466,7 @@ func (p *Pool) MetricsSnapshot() PoolMetrics {
 	}
 	p.mu.Unlock()
 
+	depths := make(map[*Tenant]int)
 	for _, e := range entries {
 		select {
 		case <-e.ready:
@@ -422,6 +477,7 @@ func (p *Pool) MetricsSnapshot() PoolMetrics {
 			continue
 		}
 		m := e.sched.metrics()
+		e.sched.tenantDepths(depths)
 		pm.Engines = append(pm.Engines, EngineMetrics{
 			EngineKey: e.key, Schedule: e.schedule, Kernel: e.kernels,
 			Refs: refs[e], Metrics: m,
@@ -429,6 +485,7 @@ func (p *Pool) MetricsSnapshot() PoolMetrics {
 		pm.Requests += m.Requests
 		pm.Batches += m.Batches
 	}
+	pm.Tenants = p.opt.Tenants.Metrics(depths)
 	sort.Slice(pm.Engines, func(i, j int) bool {
 		return pm.Engines[i].EngineKey.String() < pm.Engines[j].EngineKey.String()
 	})
@@ -488,16 +545,35 @@ func (h *Handle) Rows() int { return h.e.sched.rows }
 func (h *Handle) Cols() int { return h.e.sched.cols }
 
 // Multiply submits x for coalesced execution and returns y ← Ax,
-// bit-identical to a solo engine Multiply.
+// bit-identical to a solo engine Multiply. Runs as the default tenant.
 func (h *Handle) Multiply(ctx context.Context, x []float64) ([]float64, error) {
 	return h.e.sched.submit(ctx, x)
 }
 
 // MultiplyTranspose submits x (length Rows) for coalesced execution and
 // returns y ← Aᵀx (length Cols). Transpose submissions batch with each
-// other, never into a forward flush.
+// other, never into a forward flush. Runs as the default tenant.
 func (h *Handle) MultiplyTranspose(ctx context.Context, x []float64) ([]float64, error) {
 	return h.e.sched.submitT(ctx, x)
+}
+
+// MultiplyFor is Multiply charged to tn's quota and fair-share weight.
+func (h *Handle) MultiplyFor(ctx context.Context, tn *Tenant, x []float64) ([]float64, error) {
+	return h.e.sched.submitOne(ctx, tn, x, false)
+}
+
+// MultiplyTransposeFor is MultiplyTranspose charged to tn.
+func (h *Handle) MultiplyTransposeFor(ctx context.Context, tn *Tenant, x []float64) ([]float64, error) {
+	return h.e.sched.submitOne(ctx, tn, x, true)
+}
+
+// MultiplyBatch submits nrhs vectors as one atomic admission for tn
+// (all admitted or all rejected) and returns the corresponding outputs.
+// The vectors coalesce through the same homogeneous-direction scheduler
+// path as everyone else's, so results remain bit-identical to solo
+// multiplies in every mix.
+func (h *Handle) MultiplyBatch(ctx context.Context, tn *Tenant, xs [][]float64, transpose bool) ([][]float64, error) {
+	return h.e.sched.submitBatch(ctx, tn, xs, transpose)
 }
 
 // Release unpins the engine; the handle must not be used afterwards.

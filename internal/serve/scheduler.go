@@ -14,9 +14,19 @@ import (
 
 // scheduler coalesces concurrent single-vector multiply submissions into
 // SpMM batches on one engine. A single runner goroutine owns the engine
-// (Multiply calls must never overlap), draining the queue in flushes of
+// (Multiply calls must never overlap), draining the queues in flushes of
 // up to maxBatch requests; a flush fires as soon as maxBatch requests
-// are queued, or when the oldest queued request has waited maxWait.
+// are eligible, or when the oldest queued request has waited maxWait.
+//
+// Admission and ordering are per tenant. Each tenant has its own FIFO
+// bounded by its quota — a hot tenant filling its queue sheds its own
+// traffic with *OverloadError while everyone else keeps enqueueing — and
+// flushes assemble across tenant queues by stride scheduling: each
+// tenant carries a virtual "pass" advanced by 1/weight per served
+// request, and the assembler repeatedly takes the head of the
+// lowest-pass queue. Under contention tenant i therefore receives a
+// weight_i / Σweights share of every engine's flush bandwidth,
+// independent of how hard anyone else is offering.
 //
 // Demultiplexed results are bit-identical to solo Multiply calls: the
 // block kernels accumulate every column in the scalar kernels' exact
@@ -28,8 +38,10 @@ type scheduler struct {
 	key        EngineKey
 
 	mu     sync.Mutex
-	queue  []*request
-	oldest time.Time // enqueue time of queue[0]
+	tq     map[*Tenant]*tenantQueue
+	nq     int       // total queued requests across tenants
+	oldest time.Time // earliest enqueue time among queued requests
+	vtime  float64   // stride scheduler's global virtual time
 	closed bool
 
 	wake chan struct{} // capacity 1; runner wake-up
@@ -47,15 +59,23 @@ type scheduler struct {
 	m collector
 }
 
+// tenantQueue is one tenant's FIFO on one engine plus its stride state.
+type tenantQueue struct {
+	tn   *Tenant
+	reqs []*request
+	pass float64 // virtual time; lowest pass is served next
+}
+
 // request is one queued multiply. The caller owns x (and must not write
-// it until submit returns); y is allocated by the flush that serves it.
-// submit never returns while a flush holds the request, so the engine
-// is never reading x after the caller regains control of it. transpose
-// marks a y ← Aᵀx submission; a flush only ever coalesces requests of
-// one direction.
+// it until its submission returns); y is allocated by the flush that
+// serves it. A submission never returns while a flush holds the
+// request, so the engine is never reading x after the caller regains
+// control of it. transpose marks a y ← Aᵀx submission; a flush only
+// ever coalesces requests of one direction.
 type request struct {
 	x         []float64
 	y         []float64
+	tn        *Tenant
 	transpose bool
 	err       error
 	done      chan struct{}
@@ -70,6 +90,7 @@ func newScheduler(eng spmv.Multiplier, rows, cols int, opt Options, key EngineKe
 		opt:     opt,
 		key:     key,
 		onFault: onFault,
+		tq:      make(map[*Tenant]*tenantQueue),
 		wake:    make(chan struct{}, 1),
 	}
 	s.wg.Add(1)
@@ -77,27 +98,53 @@ func newScheduler(eng spmv.Multiplier, rows, cols int, opt Options, key EngineKe
 	return s
 }
 
-// submit queues x for the next batch and blocks until the result is
-// demultiplexed back or ctx is cancelled. Admission control fails fast:
-// a full queue returns *OverloadError without blocking.
+// defaultTenant is the tenant internal submissions run as.
+func (s *scheduler) defaultTenant() *Tenant { return s.opt.Tenants.Default() }
+
+// submit queues x for the next batch as the default tenant and blocks
+// until the result is demultiplexed back or ctx is cancelled.
 func (s *scheduler) submit(ctx context.Context, x []float64) ([]float64, error) {
-	return s.submitOp(ctx, x, false)
+	return s.submitOne(ctx, s.defaultTenant(), x, false)
 }
 
 // submitT is submit for the transpose product y ← Aᵀx (x length rows,
 // y length cols). Transpose submissions coalesce with each other but
 // never into a forward batch.
 func (s *scheduler) submitT(ctx context.Context, x []float64) ([]float64, error) {
-	return s.submitOp(ctx, x, true)
+	return s.submitOne(ctx, s.defaultTenant(), x, true)
 }
 
-func (s *scheduler) submitOp(ctx context.Context, x []float64, transpose bool) ([]float64, error) {
+// submitOne is submitBatch for a single vector.
+func (s *scheduler) submitOne(ctx context.Context, tn *Tenant, x []float64, transpose bool) ([]float64, error) {
+	ys, err := s.submitBatch(ctx, tn, [][]float64{x}, transpose)
+	if err != nil {
+		return nil, err
+	}
+	return ys[0], nil
+}
+
+// submitBatch queues xs (one request per vector, all one direction) for
+// tenant tn and blocks until every result is back or ctx cancels. The
+// vectors enqueue atomically — admission control accepts or rejects the
+// whole call against the tenant's quota, so a multi-RHS request never
+// half-lands — but they flush independently, coalescing with whatever
+// else is queued. On error the results are invalid; the first error
+// (by submission order) is returned.
+func (s *scheduler) submitBatch(ctx context.Context, tn *Tenant, xs [][]float64, transpose bool) ([][]float64, error) {
+	if tn == nil {
+		tn = s.defaultTenant()
+	}
 	want := s.cols
 	if transpose {
 		want = s.rows
 	}
-	if len(x) != want {
-		return nil, &DimensionError{Got: len(x), Want: want, What: "x"}
+	for _, x := range xs {
+		if len(x) != want {
+			return nil, &DimensionError{Got: len(x), Want: want, What: "x"}
+		}
+	}
+	if len(xs) == 0 {
+		return nil, nil
 	}
 	// A request arriving already expired (server-side deadline, client
 	// cancel) never enqueues: rejecting here keeps a dead request from
@@ -111,50 +158,86 @@ func (s *scheduler) submitOp(ctx context.Context, x []float64, transpose bool) (
 	if s.faulted.Load() {
 		return nil, s.faultError()
 	}
-	req := &request{x: x, transpose: transpose, done: make(chan struct{}), enq: time.Now()}
+	now := time.Now()
+	reqs := make([]*request, len(xs))
+	for i, x := range xs {
+		reqs[i] = &request{x: x, tn: tn, transpose: transpose, done: make(chan struct{}), enq: now}
+	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if len(s.queue) >= s.opt.MaxQueue {
-		depth := len(s.queue)
+	q := s.queueForLocked(tn)
+	limit := tn.MaxQueue
+	if limit <= 0 {
+		limit = s.opt.MaxQueue
+	}
+	if len(q.reqs)+len(reqs) > limit {
+		depth := len(q.reqs)
 		s.mu.Unlock()
+		tn.rejections.Add(uint64(len(reqs)))
 		s.m.overload()
-		return nil, &OverloadError{Depth: depth, Limit: s.opt.MaxQueue}
+		return nil, &OverloadError{Tenant: tn.Name, Depth: depth, Limit: limit}
 	}
-	if len(s.queue) == 0 {
-		s.oldest = req.enq
+	if s.nq == 0 {
+		s.oldest = now
 	}
-	s.queue = append(s.queue, req)
-	n := len(s.queue)
+	q.reqs = append(q.reqs, reqs...)
+	s.nq += len(reqs)
+	n := s.nq
 	s.mu.Unlock()
 
 	// Wake the runner when the queue goes non-empty (it may be parked
-	// with nothing to wait for) and when a full batch is ready (it may be
-	// sitting out the remainder of a maxWait window).
-	if n == 1 || n >= s.opt.MaxBatch {
+	// with nothing to wait for) and when a full batch may be ready (it
+	// may be sitting out the remainder of a maxWait window).
+	if n == len(reqs) || n >= s.opt.MaxBatch {
 		s.wakeRunner()
 	}
 
-	select {
-	case <-req.done:
-		return req.y, req.err
-	case <-ctx.Done():
-		// Still queued → remove it ourselves: it never widens a batch and
-		// the caller gets its x slice back immediately. Already claimed by
-		// a flush → the engine is reading x right now, so wait the flush
-		// out (one multiply, bounded) and return its result; returning
-		// early would hand the caller a slice the engine workers are
-		// still reading.
-		if s.dequeue(req) {
-			s.m.cancel()
-			return nil, ctx.Err()
+	ys := make([][]float64, len(reqs))
+	var firstErr error
+	for i, req := range reqs {
+		select {
+		case <-req.done:
+		case <-ctx.Done():
+			// Still queued → remove it ourselves: it never widens a batch
+			// and the caller gets its x slice back immediately. Already
+			// claimed by a flush → the engine is reading x right now, so
+			// wait the flush out (one multiply, bounded) and take its
+			// result; returning early would hand the caller a slice the
+			// engine workers are still reading.
+			if s.dequeue(req) {
+				s.m.cancel()
+				req.err = ctx.Err()
+			} else {
+				<-req.done
+			}
 		}
-		<-req.done
-		return req.y, req.err
+		ys[i] = req.y
+		if req.err != nil && firstErr == nil {
+			firstErr = req.err
+		}
 	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ys, nil
+}
+
+// queueForLocked finds or creates tn's queue. A queue (re)activating
+// picks up the global virtual time so an idle tenant cannot bank an
+// arbitrarily low pass and then monopolize the next flushes.
+func (s *scheduler) queueForLocked(tn *Tenant) *tenantQueue {
+	q := s.tq[tn]
+	if q == nil {
+		q = &tenantQueue{tn: tn, pass: s.vtime}
+		s.tq[tn] = q
+	} else if len(q.reqs) == 0 && q.pass < s.vtime {
+		q.pass = s.vtime
+	}
+	return q
 }
 
 // dequeue removes a still-queued request, reporting false when a flush
@@ -162,16 +245,34 @@ func (s *scheduler) submitOp(ctx context.Context, x []float64, transpose bool) (
 func (s *scheduler) dequeue(req *request) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i, r := range s.queue {
+	q := s.tq[req.tn]
+	if q == nil {
+		return false
+	}
+	for i, r := range q.reqs {
 		if r == req {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			if i == 0 && len(s.queue) > 0 {
-				s.oldest = s.queue[0].enq
-			}
+			q.reqs = append(q.reqs[:i], q.reqs[i+1:]...)
+			s.nq--
+			s.recomputeOldestLocked()
 			return true
 		}
 	}
 	return false
+}
+
+// recomputeOldestLocked resets oldest to the earliest queued request
+// (queues are FIFO, so only heads matter).
+func (s *scheduler) recomputeOldestLocked() {
+	var oldest time.Time
+	for _, q := range s.tq {
+		if len(q.reqs) == 0 {
+			continue
+		}
+		if oldest.IsZero() || q.reqs[0].enq.Before(oldest) {
+			oldest = q.reqs[0].enq
+		}
+	}
+	s.oldest = oldest
 }
 
 func (s *scheduler) wakeRunner() {
@@ -181,7 +282,7 @@ func (s *scheduler) wakeRunner() {
 	}
 }
 
-// run is the engine-owning loop: park while the queue is empty, honor
+// run is the engine-owning loop: park while the queues are empty, honor
 // the maxWait window while a partial batch ages, flush otherwise.
 func (s *scheduler) run() {
 	defer s.wg.Done()
@@ -191,13 +292,14 @@ func (s *scheduler) run() {
 	}
 	for {
 		s.mu.Lock()
-		n := len(s.queue)
+		n := s.nq
 		closed := s.closed
 		wait := time.Duration(0)
-		// The flushable batch is the homogeneous head run, not the whole
-		// queue: a full queue of mixed directions must not zero the wait,
-		// or a lone head request would flush sub-width with no window.
-		if n > 0 && s.headRunLocked() < s.opt.MaxBatch && !closed {
+		// The flushable batch is what the fair assembler could take right
+		// now (homogeneous in direction), not the raw queue total: a full
+		// queue of mixed directions must not zero the wait, or a lone
+		// head request would flush sub-width with no window.
+		if n > 0 && s.eligibleWidthLocked() < s.opt.MaxBatch && !closed {
 			wait = s.opt.MaxWait - time.Since(s.oldest)
 		}
 		var batch []*request
@@ -226,30 +328,87 @@ func (s *scheduler) run() {
 	}
 }
 
-// headRunLocked reports how many requests at the queue head share the
-// head's direction, capped at MaxBatch — the width the next flush
-// would coalesce.
-func (s *scheduler) headRunLocked() int {
-	run := 1
-	for run < len(s.queue) && run < s.opt.MaxBatch &&
-		s.queue[run].transpose == s.queue[0].transpose {
-		run++
+// minPassLocked returns the non-empty tenant queue with the lowest
+// pass, optionally restricted to queues whose head matches direction d.
+// Ties break on tenant name so behavior is stable under the map's
+// iteration order.
+func (s *scheduler) minPassLocked(d *bool) *tenantQueue {
+	var best *tenantQueue
+	for _, q := range s.tq {
+		if len(q.reqs) == 0 {
+			continue
+		}
+		if d != nil && q.reqs[0].transpose != *d {
+			continue
+		}
+		if best == nil || q.pass < best.pass ||
+			(q.pass == best.pass && q.tn.Name < best.tn.Name) {
+			best = q
+		}
 	}
-	return run
+	return best
 }
 
-// takeBatchLocked removes up to MaxBatch requests from the queue head
-// and restarts the wait window for the remainder. A batch is
-// homogeneous in direction: the run stops at the first request whose
-// transpose flag differs from the head's, so forward and transpose
-// traffic each flush as their own SpMM.
-func (s *scheduler) takeBatchLocked() []*request {
-	take := s.headRunLocked()
-	batch := s.queue[:take:take]
-	s.queue = append([]*request(nil), s.queue[take:]...)
-	if len(s.queue) > 0 {
-		s.oldest = s.queue[0].enq
+// eligibleWidthLocked reports how many requests the fair assembler
+// could flush right now: the direction is set by the request it would
+// serve first, and each tenant contributes its queue's prefix run of
+// that direction. Capped at MaxBatch — the width the next flush would
+// coalesce.
+func (s *scheduler) eligibleWidthLocked() int {
+	first := s.minPassLocked(nil)
+	if first == nil {
+		return 0
 	}
+	d := first.reqs[0].transpose
+	width := 0
+	for _, q := range s.tq {
+		for _, r := range q.reqs {
+			if r.transpose != d {
+				break
+			}
+			width++
+			if width >= s.opt.MaxBatch {
+				return width
+			}
+		}
+	}
+	return width
+}
+
+// popLocked removes q's head, advances the stride clock, and returns
+// the request.
+func (s *scheduler) popLocked(q *tenantQueue) *request {
+	req := q.reqs[0]
+	q.reqs[0] = nil
+	q.reqs = q.reqs[1:]
+	s.nq--
+	s.vtime = q.pass
+	q.pass += q.tn.stride()
+	return req
+}
+
+// takeBatchLocked assembles up to MaxBatch requests by stride
+// scheduling: pop the head of the lowest-pass queue, then keep popping
+// from the lowest-pass queue whose head matches the first request's
+// direction. A batch is homogeneous in direction, so forward and
+// transpose traffic each flush as their own SpMM; under contention each
+// tenant's share of the batch converges to its weight share.
+func (s *scheduler) takeBatchLocked() []*request {
+	first := s.minPassLocked(nil)
+	if first == nil {
+		return nil
+	}
+	batch := make([]*request, 0, s.opt.MaxBatch)
+	batch = append(batch, s.popLocked(first))
+	d := batch[0].transpose
+	for len(batch) < s.opt.MaxBatch {
+		q := s.minPassLocked(&d)
+		if q == nil {
+			break
+		}
+		batch = append(batch, s.popLocked(q))
+	}
+	s.recomputeOldestLocked()
 	return batch
 }
 
@@ -267,6 +426,9 @@ func (s *scheduler) flush(batch []*request) {
 	for _, r := range batch {
 		r.err = err
 		latMs = append(latMs, msSince(r.enq))
+		if err == nil {
+			r.tn.requests.Add(1)
+		}
 		close(r.done)
 	}
 	switch {
@@ -369,12 +531,24 @@ func (s *scheduler) multiply(batch []*request) (err error, fault bool) {
 // metrics snapshots the collector with the live queue depth.
 func (s *scheduler) metrics() Metrics {
 	s.mu.Lock()
-	depth := len(s.queue)
+	depth := s.nq
 	s.mu.Unlock()
 	return s.m.snapshot(depth)
 }
 
-// close drains the queue (pending requests still complete), stops the
+// tenantDepths reports the live queue occupancy per tenant; the pool
+// sums these across engines for /metrics.
+func (s *scheduler) tenantDepths(into map[*Tenant]int) {
+	s.mu.Lock()
+	for tn, q := range s.tq {
+		if len(q.reqs) > 0 {
+			into[tn] += len(q.reqs)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// close drains the queues (pending requests still complete), stops the
 // runner, and closes the engine. Safe to call twice.
 func (s *scheduler) close() {
 	s.mu.Lock()

@@ -16,9 +16,12 @@
 //     expires; results demultiplex back to callers bit-identical to a
 //     solo Multiply (the block kernels accumulate each column in the
 //     scalar kernels' exact nonzero order).
-//   - admission control: a bounded per-engine queue with typed overload
-//     errors (*OverloadError, 429 over HTTP) and context cancellation
-//     for queued requests.
+//   - admission control: per-tenant bounded queues on every engine with
+//     typed overload errors (*OverloadError, per-tenant 429 over HTTP),
+//     weighted-fair flush ordering across tenants (stride scheduling),
+//     and context cancellation for queued requests. The TenantRegistry
+//     resolves API keys to tenants; without one, everything runs as the
+//     anonymous default tenant and behaves like a single global queue.
 //   - Metrics: lock-cheap counters plus a latency ring, snapshotted per
 //     engine and pool-wide (requests, batches, mean batch width,
 //     p50/p99 latency, live queue depth).
@@ -76,6 +79,11 @@ type Options struct {
 	// build the pool performs.
 	Seed    int64
 	Epsilon float64
+	// Tenants resolves API keys to tenants and carries each tenant's
+	// weight and queue quota. Nil means the open single-tenant registry:
+	// no authentication, every request is the default tenant, and the
+	// scheduler behaves exactly like the pre-tenancy global queue.
+	Tenants *TenantRegistry
 	// ForceKernel names one spmv kernel backend to install on every
 	// pooled engine instead of autotuning ("scalar" pins the reference
 	// kernels). Empty autotunes each engine at build time; the verdicts
@@ -107,6 +115,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FlushDelay <= 0 {
 		o.FlushDelay = 20 * time.Millisecond
+	}
+	if o.Tenants == nil {
+		o.Tenants, _ = NewTenantRegistry() // open registry cannot fail
 	}
 	return o
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -15,25 +16,41 @@ import (
 	"repro/internal/method"
 	"repro/internal/solver"
 	"repro/internal/sparse"
+	"repro/internal/wire"
 )
 
-// Server is the HTTP JSON front end over a Pool. It implements
-// http.Handler; cmd/spmvserve mounts it directly.
+// Server is the HTTP front end over a Pool. It implements http.Handler;
+// cmd/spmvserve mounts it directly. See API.md for the full reference.
 //
-//	POST /v1/multiply  {"matrix","method","k","x":[...]}      → {"y":[...]}
-//	POST /v1/solve     {"matrix","method","k","b":[...],...}  → {"x":[...],...}
-//	GET  /v1/methods                                          → registry + matrices
-//	POST /v1/matrices?name=N   (MatrixMarket body)            → {"name","rows",...}
-//	GET  /metrics                                             → PoolMetrics
-//	GET  /healthz                                             → liveness (always 200)
-//	GET  /readyz                                              → readiness (503 while draining)
+//	POST   /v1/multiply         y ← Ax (or Aᵀx), single or multi-RHS
+//	POST   /v1/solve            iterative solve (cg / lsqr / cgnr)
+//	GET    /v1/methods          partitioning-method registry
+//	GET    /v1/matrices         registered matrices
+//	POST   /v1/matrices?name=N  MatrixMarket upload
+//	GET    /v1/matrices/{name}  matrix info + its resident engines
+//	DELETE /v1/matrices/{name}  unregister (409 while pinned)
+//	GET    /metrics             PoolMetrics (per-engine, per-tenant)
+//	GET    /healthz             liveness (always 200)
+//	GET    /readyz              readiness (503 while draining)
 //
-// Error mapping: unknown matrix/method 404, malformed request 400,
-// oversized upload 413, admission-control overload 429 + Retry-After,
-// engine quarantine or pool shutdown 503 + Retry-After, deadline 504.
-// Retryable rejections carry both a standard integer-seconds Retry-After
-// header (rounded up, minimum 1) and a precise X-Retry-After-Ms header;
-// clients that understand the extension should prefer the latter.
+// Encodings: /v1/multiply and /v1/solve speak JSON by default and the
+// binary frame format (package wire) when the request body carries
+// Content-Type: application/x-spmv-frame; the response mirrors the
+// request's encoding and results are bit-identical either way. Error
+// responses are always the JSON envelope {"error","code","retryable",
+// "retry_after_ms"} with stable machine-readable codes, whatever the
+// request encoding.
+//
+// Tenancy: with a keyed TenantRegistry (spmvserve -tenants), multiply,
+// solve, and matrix mutations require `Authorization: Bearer <key>`;
+// each tenant is admitted against its own queue quota (overload is a
+// per-tenant 429) and scheduled by weight. Without a registry every
+// request runs as the anonymous default tenant.
+//
+// Retryable rejections carry both a standard integer-seconds
+// Retry-After header (rounded up, minimum 1) and a precise
+// X-Retry-After-Ms header; clients that understand the extension should
+// prefer the latter (the envelope's retry_after_ms matches it).
 type Server struct {
 	pool *Pool
 	mux  *http.ServeMux
@@ -60,10 +77,13 @@ func NewServer(pool *Pool) *Server {
 		DefaultMethod: "s2d", DefaultK: 4,
 		MaxUploadBytes: 1 << 30,
 	}
-	s.mux.HandleFunc("POST /v1/multiply", s.handleMultiply)
-	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/multiply", s.auth(s.handleMultiply))
+	s.mux.HandleFunc("POST /v1/solve", s.auth(s.handleSolve))
 	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
-	s.mux.HandleFunc("POST /v1/matrices", s.handleUpload)
+	s.mux.HandleFunc("GET /v1/matrices", s.handleMatrixList)
+	s.mux.HandleFunc("POST /v1/matrices", s.auth(s.handleUpload))
+	s.mux.HandleFunc("GET /v1/matrices/{name}", s.handleMatrixGet)
+	s.mux.HandleFunc("DELETE /v1/matrices/{name}", s.auth(s.handleMatrixDelete))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -71,6 +91,21 @@ func NewServer(pool *Pool) *Server {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// auth resolves the request's tenant before the handler runs. Data-plane
+// and mutating endpoints go through here; read-only introspection
+// (methods, matrix listings, metrics, health) stays open so dashboards
+// and probes need no keys.
+func (s *Server) auth(h func(http.ResponseWriter, *http.Request, *Tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tn, err := s.pool.Tenants().Authenticate(r.Header.Get("Authorization"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		h(w, r, tn)
+	}
+}
 
 // SetDraining flips the readiness signal. A draining server keeps
 // answering every endpoint — in-flight and just-arrived requests finish
@@ -87,11 +122,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handleReadyz is readiness: 200 while accepting new work, 503 once
-// draining.
+// handleReadyz is readiness: 200 while accepting new work, 503 (in the
+// standard envelope) once draining.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeEnvelope(w, http.StatusServiceUnavailable, ErrorEnvelope{
+			Error: "serve: draining", Code: CodeDraining, Retryable: true,
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -109,6 +146,24 @@ func (s *Server) requestCtx(r *http.Request, deadlineMs int) (context.Context, c
 	default:
 		return r.Context(), func() {}
 	}
+}
+
+// encodingOf maps the request's Content-Type onto the response encoding.
+func encodingOf(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	if strings.TrimSpace(ct) == wire.ContentType {
+		return EncodingBinary
+	}
+	return EncodingJSON
+}
+
+// readBody drains the request body through MaxBytesReader; the caller
+// routes errors through writeError (a tripped limit maps to 413).
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 }
 
 // engineRequest is the addressing triple shared by multiply and solve.
@@ -130,22 +185,67 @@ func (s *Server) acquire(req engineRequest) (*Handle, error) {
 
 type multiplyRequest struct {
 	engineRequest
-	X []float64 `json:"x"`
+	// X is the single right-hand side; Xs submits several at once
+	// (admitted atomically, coalesced through the same batches). Exactly
+	// one of the two may be set.
+	X  []float64   `json:"x,omitempty"`
+	Xs [][]float64 `json:"xs,omitempty"`
+	// Transpose computes y ← Aᵀx (x of length rows, y of length cols).
+	Transpose bool `json:"transpose,omitempty"`
 	// DeadlineMs overrides the server's default deadline for this request.
-	DeadlineMs int `json:"deadline_ms"`
+	DeadlineMs int `json:"deadline_ms,omitempty"`
 }
 
 type multiplyResponse struct {
-	Y         []float64 `json:"y"`
-	Method    string    `json:"method"`
-	K         int       `json:"k"`
-	Schedule  string    `json:"schedule"`
-	ElapsedMs float64   `json:"elapsed_ms"`
+	Y         []float64   `json:"y,omitempty"`
+	Ys        [][]float64 `json:"ys,omitempty"`
+	Method    string      `json:"method"`
+	K         int         `json:"k"`
+	Schedule  string      `json:"schedule"`
+	ElapsedMs float64     `json:"elapsed_ms"`
 }
 
-func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request, tn *Tenant) {
+	enc := encodingOf(r)
+	body, err := readBody(w, r, s.MaxUploadBytes)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	var req multiplyRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	single := false
+	if enc == EncodingBinary {
+		f, err := wire.Decode(body)
+		if err != nil {
+			writeErrCode(w, http.StatusBadRequest, CodeBadRequest, "wire: "+err.Error())
+			return
+		}
+		if f.Op != wire.OpMultiplyReq {
+			writeErrCode(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("wire: op %d is not a multiply request", f.Op))
+			return
+		}
+		req = multiplyRequest{
+			engineRequest: engineRequest{Matrix: f.Matrix, Method: f.Method, K: f.K},
+			Xs:            f.Vectors, Transpose: f.Transpose, DeadlineMs: f.DeadlineMs,
+		}
+	} else {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErrCode(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	}
+	xs := req.Xs
+	switch {
+	case req.X != nil && req.Xs != nil:
+		writeErrCode(w, http.StatusBadRequest, CodeBadRequest, `"x" and "xs" are mutually exclusive`)
+		return
+	case req.X != nil:
+		xs, single = [][]float64{req.X}, true
+	}
+	if len(xs) > wire.MaxVectors {
+		writeErrCode(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("%d right-hand sides exceeds the limit of %d", len(xs), wire.MaxVectors))
 		return
 	}
 	ctx, cancel := s.requestCtx(r, req.DeadlineMs)
@@ -157,15 +257,37 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	}
 	defer h.Release()
 	t0 := time.Now()
-	y, err := h.Multiply(ctx, req.X)
+	ys, err := h.MultiplyBatch(ctx, tn, xs, req.Transpose)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, multiplyResponse{
-		Y: y, Method: h.Key().Method, K: h.Key().K, Schedule: h.Schedule(),
-		ElapsedMs: msSince(t0),
-	})
+	var out []byte
+	if enc == EncodingBinary {
+		key := h.Key()
+		out, err = wire.Append(nil, &wire.Frame{
+			Op: wire.OpMultiplyResp, Matrix: key.Matrix, Method: key.Method, K: key.K,
+			Transpose: req.Transpose, Vectors: ys,
+		})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(out)
+	} else {
+		resp := multiplyResponse{
+			Method: h.Key().Method, K: h.Key().K, Schedule: h.Schedule(), ElapsedMs: msSince(t0),
+		}
+		if single {
+			resp.Y = ys[0]
+		} else {
+			resp.Ys = ys
+		}
+		out = marshalJSON(w, http.StatusOK, resp)
+	}
+	tn.CountBytes(enc, len(body), len(out))
 }
 
 type solveRequest struct {
@@ -195,12 +317,43 @@ type solveResponse struct {
 // handleSolve runs an iterative solver on the pooled engine: CG for
 // square systems, LSQR (or CGNR) over the Ax/Aᵀx pair for rectangular
 // ones. Every iteration's multiply goes through the coalescing
-// scheduler, so concurrent solves on the same engine batch each other's
-// iterations — forward and transpose products in their own batches.
-func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	var req solveRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+// scheduler charged to the calling tenant, so concurrent solves on the
+// same engine batch each other's iterations — forward and transpose
+// products in their own batches.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, tn *Tenant) {
+	enc := encodingOf(r)
+	body, err := readBody(w, r, s.MaxUploadBytes)
+	if err != nil {
+		writeError(w, err)
 		return
+	}
+	var req solveRequest
+	if enc == EncodingBinary {
+		f, err := wire.Decode(body)
+		if err != nil {
+			writeErrCode(w, http.StatusBadRequest, CodeBadRequest, "wire: "+err.Error())
+			return
+		}
+		if f.Op != wire.OpSolveReq {
+			writeErrCode(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("wire: op %d is not a solve request", f.Op))
+			return
+		}
+		if len(f.Vectors) != 1 {
+			writeErrCode(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("wire: solve wants exactly 1 right-hand side, got %d", len(f.Vectors)))
+			return
+		}
+		req = solveRequest{
+			engineRequest: engineRequest{Matrix: f.Matrix, Method: f.Method, K: f.K},
+			B:             f.Vectors[0], Solver: wire.SolverName(f.Solver),
+			Tol: f.Tol, MaxIter: f.MaxIter, DeadlineMs: f.DeadlineMs,
+		}
+	} else {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErrCode(w, http.StatusBadRequest, CodeBadRequest, "bad request body: "+err.Error())
+			return
+		}
 	}
 	if req.Tol <= 0 {
 		req.Tol = 1e-8
@@ -235,26 +388,32 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			// CG iterates y ← Ax on x of length Rows; on a rectangular
 			// matrix the first multiply would fail mid-solve. Reject the
 			// shape upfront and point at the least-squares solvers.
-			writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: fmt.Sprintf(
+			writeErrCode(w, http.StatusUnprocessableEntity, CodeUnprocessable, fmt.Sprintf(
 				"serve: solve: CG requires a square system, matrix is %dx%d — use solver \"lsqr\" or \"cgnr\"",
-				rows, cols)})
+				rows, cols))
 			return
 		}
 	case "lsqr", "cgnr":
 	default:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(
-			"serve: unknown solver %q (supported: cg, lsqr, cgnr)", req.Solver)})
+		writeErrCode(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf(
+			"serve: unknown solver %q (supported: cg, lsqr, cgnr)", req.Solver))
 		return
 	}
 
 	t0 := time.Now()
 	var mulErr error
-	lift := func(call func(context.Context, []float64) ([]float64, error)) solver.MulVec {
+	lift := func(transpose bool) solver.MulVec {
 		return func(x, y []float64) {
 			if mulErr != nil {
 				return
 			}
-			res, err := call(ctx, x)
+			var res []float64
+			var err error
+			if transpose {
+				res, err = h.MultiplyTransposeFor(ctx, tn, x)
+			} else {
+				res, err = h.MultiplyFor(ctx, tn, x)
+			}
 			if err != nil {
 				mulErr = err
 				return
@@ -262,8 +421,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			copy(y, res)
 		}
 	}
-	mul := lift(h.Multiply)
-	mulT := lift(h.MultiplyTranspose)
+	mul := lift(false)
+	mulT := lift(true)
 	// The stop hook runs between solver iterations: a deadline or fault
 	// ends the solve at the next iteration boundary instead of burning
 	// the remaining MaxIter multiplies.
@@ -296,14 +455,33 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		// A solver rejection (indefinite matrix, dimension mismatch) is a
 		// property of the requested system, not a server fault.
-		writeJSON(w, http.StatusUnprocessableEntity,
-			errorBody{Error: fmt.Sprintf("serve: solve: %v", err)})
+		writeErrCode(w, http.StatusUnprocessableEntity, CodeUnprocessable,
+			fmt.Sprintf("serve: solve: %v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, solveResponse{
-		X: x, Iterations: res.Iterations, Residual: res.Residual, Converged: res.Converged,
-		Solver: solverName, Method: h.Key().Method, K: h.Key().K, ElapsedMs: msSince(t0),
-	})
+	var out []byte
+	if enc == EncodingBinary {
+		key := h.Key()
+		code, _ := wire.SolverCode(solverName) // validated above
+		out, err = wire.Append(nil, &wire.Frame{
+			Op: wire.OpSolveResp, Matrix: key.Matrix, Method: key.Method, K: key.K,
+			Vectors: [][]float64{x}, Solver: code,
+			Tol: res.Residual, MaxIter: res.Iterations, Converged: res.Converged,
+		})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(out)
+	} else {
+		out = marshalJSON(w, http.StatusOK, solveResponse{
+			X: x, Iterations: res.Iterations, Residual: res.Residual, Converged: res.Converged,
+			Solver: solverName, Method: h.Key().Method, K: h.Key().K, ElapsedMs: msSince(t0),
+		})
+	}
+	tn.CountBytes(enc, len(body), len(out))
 }
 
 type methodsResponse struct {
@@ -318,24 +496,101 @@ func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+type matrixListResponse struct {
+	Matrices []MatrixInfo `json:"matrices"`
+}
+
+func (s *Server) handleMatrixList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, matrixListResponse{Matrices: s.pool.Matrices()})
+}
+
+// matrixEngineInfo is one resident engine serving the matrix.
+type matrixEngineInfo struct {
+	Method   string `json:"method"`
+	K        int    `json:"k"`
+	Schedule string `json:"schedule"`
+	Kernel   string `json:"kernel,omitempty"`
+	Refs     int    `json:"refs"`
+}
+
+type matrixDetail struct {
+	MatrixInfo
+	Engines []matrixEngineInfo `json:"engines,omitempty"`
+}
+
+func (s *Server) handleMatrixGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	a, err := s.pool.Matrix(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	d := matrixDetail{MatrixInfo: MatrixInfo{Name: name, Rows: a.Rows, Cols: a.Cols, NNZ: a.NNZ()}}
+	for _, e := range s.pool.MetricsSnapshot().Engines {
+		if e.Matrix == name {
+			d.Engines = append(d.Engines, matrixEngineInfo{
+				Method: e.Method, K: e.K, Schedule: e.Schedule, Kernel: e.Kernel, Refs: e.Refs,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) handleMatrixDelete(w http.ResponseWriter, r *http.Request, _ *Tenant) {
+	if err := s.pool.RemoveMatrix(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// validateMatrixName guards upload names: path separators and parent
+// references would corrupt anything that later maps names to files, and
+// unbounded names bloat keys and metrics.
+func validateMatrixName(name string) error {
+	if name == "" {
+		return fmt.Errorf("matrix name is empty")
+	}
+	if len(name) > wire.MaxNameLen {
+		return fmt.Errorf("matrix name exceeds %d bytes", wire.MaxNameLen)
+	}
+	if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return fmt.Errorf("matrix name %q contains path separators", name)
+	}
+	return nil
+}
+
 // handleUpload registers a MatrixMarket matrix posted in the request
 // body under ?name= (falling back to a generated name). Bodies are read
 // through MaxBytesReader, never buffered unbounded: an upload past
 // MaxUploadBytes fails with 413 the moment the limit trips.
-func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
-	if name == "" {
-		name = fmt.Sprintf("upload-%d", time.Now().UnixNano())
-	}
-	a, err := sparse.ReadMatrixMarket(http.MaxBytesReader(w, r.Body, s.MaxUploadBytes))
-	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: fmt.Sprintf(
-				"serve: upload body exceeds the %d-byte limit", tooBig.Limit)})
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, _ *Tenant) {
+	name := strings.TrimSpace(r.URL.Query().Get("name"))
+	if r.URL.Query().Has("name") {
+		if err := validateMatrixName(name); err != nil {
+			writeErrCode(w, http.StatusBadRequest, CodeBadRequest, "serve: "+err.Error())
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	} else {
+		name = fmt.Sprintf("upload-%d", time.Now().UnixNano())
+	}
+	lr := http.MaxBytesReader(w, r.Body, s.MaxUploadBytes)
+	a, err := sparse.ReadMatrixMarket(lr)
+	if err != nil {
+		// A body truncated at the limit surfaces as a parse error on the
+		// cut-off line; probe the reader so an oversized upload reports 413
+		// whatever shape the truncation artifact took.
+		var tooBig *http.MaxBytesError
+		if !errors.As(err, &tooBig) {
+			if _, perr := lr.Read(make([]byte, 1)); perr != nil {
+				errors.As(perr, &tooBig)
+			}
+		}
+		if tooBig != nil {
+			writeError(w, tooBig)
+			return
+		}
+		writeErrCode(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	if err := s.pool.AddMatrix(name, a); err != nil {
@@ -349,29 +604,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.pool.MetricsSnapshot())
 }
 
-type errorBody struct {
-	Error string `json:"error"`
+// Stable machine-readable error codes: clients branch on these, never
+// on message text. Every error response carries exactly one.
+const (
+	CodeBadRequest      = "bad_request"       // 400: malformed body/frame/params
+	CodeBadDimension    = "bad_dimension"     // 400: vector does not match matrix
+	CodeUnauthorized    = "unauthorized"      // 401: missing/unknown API key
+	CodeUnknownMatrix   = "unknown_matrix"    // 404
+	CodeUnknownMethod   = "unknown_method"    // 404
+	CodeConflict        = "conflict"          // 409: duplicate name, pinned delete
+	CodePayloadTooLarge = "payload_too_large" // 413
+	CodeUnprocessable   = "unprocessable"     // 422: valid request, unsolvable system
+	CodeOverloaded      = "overloaded"        // 429: tenant queue quota (retryable)
+	CodeQuarantined     = "quarantined"       // 503: engine in rebuild cooldown (retryable)
+	CodeEngineFault     = "engine_fault"      // 503: batch died with the engine (retryable)
+	CodeDraining        = "draining"          // 503: pool/server shutting down
+	CodeDeadline        = "deadline"          // 504: deadline_ms expired (retryable)
+	CodeCancelled       = "cancelled"         // 499: client closed request
+	CodeInternal        = "internal"          // 500
+)
+
+// ErrorEnvelope is the one error shape every endpoint returns.
+// retry_after_ms is set exactly when the Retry-After headers are.
+type ErrorEnvelope struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	Retryable    bool   `json:"retryable"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
 }
 
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<30))
-	if err := dec.Decode(v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorBody{Error: "request body too large: " + err.Error()})
-			return err
-		}
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
-		return err
-	}
-	return nil
-}
+// errorBody aliases the envelope under the legacy name used by tests.
+type errorBody = ErrorEnvelope
 
 // setRetryAfter writes the retry contract headers: the RFC's
 // integer-seconds Retry-After (rounded up, minimum 1 — the header cannot
 // express sub-second waits) plus the precise X-Retry-After-Ms.
-func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+func setRetryAfter(w http.ResponseWriter, d time.Duration) int64 {
 	secs := int(math.Ceil(d.Seconds()))
 	if secs < 1 {
 		secs = 1
@@ -382,48 +650,90 @@ func setRetryAfter(w http.ResponseWriter, d time.Duration) {
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	w.Header().Set("X-Retry-After-Ms", strconv.FormatInt(ms, 10))
+	return ms
 }
 
-// writeError maps the serving layer's typed errors onto HTTP statuses.
+// writeErrCode emits the envelope for handler-level rejections that
+// have no typed error behind them (malformed bodies, bad parameters).
+func writeErrCode(w http.ResponseWriter, status int, code, msg string) {
+	writeEnvelope(w, status, ErrorEnvelope{Error: msg, Code: code})
+}
+
+// writeError maps the serving layer's typed errors onto HTTP statuses
+// and envelope codes.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	env := ErrorEnvelope{Error: err.Error(), Code: CodeInternal}
 	var (
 		unknownMat  *UnknownMatrixError
 		unknownMet  *UnknownMethodError
+		unauth      *UnauthorizedError
+		pinned      *PinnedMatrixError
+		dup         *DuplicateMatrixError
 		dim         *DimensionError
 		quarantined *QuarantinedError
+		tooBig      *http.MaxBytesError
 	)
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		// Overload is transient at batch-flush timescales; hint a short
 		// precise backoff.
-		setRetryAfter(w, 25*time.Millisecond)
-		status = http.StatusTooManyRequests
+		env.RetryAfterMs = setRetryAfter(w, 25*time.Millisecond)
+		status, env.Code, env.Retryable = http.StatusTooManyRequests, CodeOverloaded, true
 	case errors.As(err, &quarantined):
 		// The breaker knows exactly when the rebuild cooldown ends.
-		setRetryAfter(w, quarantined.RetryAfter)
-		status = http.StatusServiceUnavailable
+		env.RetryAfterMs = setRetryAfter(w, quarantined.RetryAfter)
+		status, env.Code, env.Retryable = http.StatusServiceUnavailable, CodeQuarantined, true
 	case errors.Is(err, ErrEngineFault):
 		// The batch died with the engine; the quarantine + rebuild path
 		// typically has a fresh engine within one breaker cooldown.
-		setRetryAfter(w, 100*time.Millisecond)
-		status = http.StatusServiceUnavailable
+		env.RetryAfterMs = setRetryAfter(w, 100*time.Millisecond)
+		status, env.Code, env.Retryable = http.StatusServiceUnavailable, CodeEngineFault, true
 	case errors.Is(err, ErrClosed):
-		status = http.StatusServiceUnavailable
-	case errors.As(err, &unknownMat) || errors.As(err, &unknownMet):
-		status = http.StatusNotFound
+		status, env.Code, env.Retryable = http.StatusServiceUnavailable, CodeDraining, true
+	case errors.As(err, &unauth):
+		status, env.Code = http.StatusUnauthorized, CodeUnauthorized
+	case errors.As(err, &unknownMat):
+		status, env.Code = http.StatusNotFound, CodeUnknownMatrix
+	case errors.As(err, &unknownMet):
+		status, env.Code = http.StatusNotFound, CodeUnknownMethod
+	case errors.As(err, &pinned), errors.As(err, &dup):
+		status, env.Code = http.StatusConflict, CodeConflict
 	case errors.As(err, &dim):
-		status = http.StatusBadRequest
+		status, env.Code = http.StatusBadRequest, CodeBadDimension
+	case errors.As(err, &tooBig):
+		status, env.Code = http.StatusRequestEntityTooLarge, CodePayloadTooLarge
+		env.Error = fmt.Sprintf("serve: request body exceeds the %d-byte limit", tooBig.Limit)
 	case errors.Is(err, context.Canceled):
-		status = 499 // client closed request (nginx convention)
+		status, env.Code = 499, CodeCancelled // client closed request (nginx convention)
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		status, env.Code, env.Retryable = http.StatusGatewayTimeout, CodeDeadline, true
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeEnvelope(w, status, env)
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, env ErrorEnvelope) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(env)
+}
+
+// marshalJSON writes v as the response and returns the bytes written
+// (for per-tenant byte accounting).
+func marshalJSON(w http.ResponseWriter, status int, v any) []byte {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		writeEnvelope(w, http.StatusInternalServerError,
+			ErrorEnvelope{Error: err.Error(), Code: CodeInternal})
+		return nil
+	}
+	buf = append(buf, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf)
+	return buf
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_ = marshalJSON(w, status, v)
 }

@@ -265,11 +265,14 @@ func TestHTTPOverload(t *testing.T) {
 	}
 	defer h.Release()
 	s := h.e.sched
+	tn := p.Tenants().Default()
 	s.mu.Lock()
 	// Synthetic occupant with a fresh window: the runner sits out MaxWait
 	// (an hour), so the next submission must hit admission control.
 	s.oldest = time.Now()
-	s.queue = append(s.queue, &request{done: make(chan struct{}), enq: s.oldest})
+	q := s.queueForLocked(tn)
+	q.reqs = append(q.reqs, &request{tn: tn, done: make(chan struct{}), enq: s.oldest})
+	s.nq++
 	s.mu.Unlock()
 
 	ts := httptest.NewServer(NewServer(p))
@@ -282,7 +285,8 @@ func TestHTTPOverload(t *testing.T) {
 	}
 	// Unstuff so close() can drain.
 	s.mu.Lock()
-	s.queue = nil
+	s.tq = make(map[*Tenant]*tenantQueue)
+	s.nq = 0
 	s.mu.Unlock()
 }
 

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Encodings a tenant's bytes are accounted under.
+const (
+	EncodingJSON   = "json"
+	EncodingBinary = "binary"
+)
+
+// encIndex maps an encoding name onto the tenant counters' array index.
+func encIndex(encoding string) int {
+	if encoding == EncodingBinary {
+		return 1
+	}
+	return 0
+}
+
+// TenantSpec is the configuration for one tenant, as loaded from the
+// keyfile (`spmvserve -tenants`).
+type TenantSpec struct {
+	// Name identifies the tenant in metrics and error messages.
+	Name string `json:"name"`
+	// Key is the bearer token presented in the Authorization header.
+	Key string `json:"key"`
+	// Weight sets the tenant's share of each engine's flush bandwidth
+	// under contention; the fair scheduler serves tenants proportionally
+	// to weight. Zero or negative defaults to 1.
+	Weight float64 `json:"weight"`
+	// MaxQueue is the tenant's per-engine queue quota; submissions past
+	// it shed with a per-tenant 429. Zero defaults to Options.MaxQueue.
+	MaxQueue int `json:"max_queue"`
+}
+
+// Tenant is one admitted principal's runtime state: its configured
+// weight and quota plus the serving counters the /metrics endpoint
+// reports. Tenants are created once by the registry and shared by every
+// scheduler, so the counters aggregate across engines.
+type Tenant struct {
+	Name     string
+	Weight   float64 // normalized: always > 0
+	MaxQueue int     // 0 means "use Options.MaxQueue"
+	key      string
+
+	requests   atomic.Uint64 // multiplies completed successfully
+	rejections atomic.Uint64 // submissions shed by the tenant quota
+	bytesIn    [2]atomic.Uint64
+	bytesOut   [2]atomic.Uint64
+}
+
+// stride is the tenant's virtual-time increment per served request —
+// the inverse weight, so heavier tenants accumulate pass more slowly
+// and are picked more often.
+func (t *Tenant) stride() float64 { return 1 / t.Weight }
+
+// CountBytes accrues wire traffic for the tenant under the given
+// encoding ("json" or "binary").
+func (t *Tenant) CountBytes(encoding string, in, out int) {
+	i := encIndex(encoding)
+	if in > 0 {
+		t.bytesIn[i].Add(uint64(in))
+	}
+	if out > 0 {
+		t.bytesOut[i].Add(uint64(out))
+	}
+}
+
+// TenantMetrics is one tenant's /metrics row.
+type TenantMetrics struct {
+	Name       string  `json:"name"`
+	Weight     float64 `json:"weight"`
+	Requests   uint64  `json:"requests"`
+	Rejections uint64  `json:"rejections"`
+	// QueueDepth sums the tenant's live queue occupancy across engines.
+	QueueDepth     int    `json:"queue_depth"`
+	BytesInJSON    uint64 `json:"bytes_in_json"`
+	BytesOutJSON   uint64 `json:"bytes_out_json"`
+	BytesInBinary  uint64 `json:"bytes_in_binary"`
+	BytesOutBinary uint64 `json:"bytes_out_binary"`
+}
+
+func (t *Tenant) metrics(depth int) TenantMetrics {
+	return TenantMetrics{
+		Name:           t.Name,
+		Weight:         t.Weight,
+		Requests:       t.requests.Load(),
+		Rejections:     t.rejections.Load(),
+		QueueDepth:     depth,
+		BytesInJSON:    t.bytesIn[0].Load(),
+		BytesOutJSON:   t.bytesOut[0].Load(),
+		BytesInBinary:  t.bytesIn[1].Load(),
+		BytesOutBinary: t.bytesOut[1].Load(),
+	}
+}
+
+// DefaultTenantName is the anonymous tenant every request maps to when
+// no keyfile is configured.
+const DefaultTenantName = "default"
+
+// TenantRegistry resolves bearer keys to tenants. A registry without
+// keys (the zero configuration) admits everyone as the default tenant;
+// once any keyed tenant is registered, multiply/solve requests must
+// authenticate and unknown keys are rejected.
+//
+// The tenant set is fixed at construction — per-request resolution is
+// lock-free map reads.
+type TenantRegistry struct {
+	byKey  map[string]*Tenant
+	byName map[string]*Tenant
+	list   []*Tenant // registration order
+	def    *Tenant
+}
+
+// NewTenantRegistry builds a registry from specs. An empty call yields
+// the open registry (default tenant only, no authentication).
+func NewTenantRegistry(specs ...TenantSpec) (*TenantRegistry, error) {
+	r := &TenantRegistry{
+		byKey:  make(map[string]*Tenant),
+		byName: make(map[string]*Tenant),
+	}
+	r.def = &Tenant{Name: DefaultTenantName, Weight: 1}
+	for _, sp := range specs {
+		name := strings.TrimSpace(sp.Name)
+		if name == "" {
+			return nil, fmt.Errorf("serve: tenant with empty name")
+		}
+		if sp.Key == "" {
+			return nil, fmt.Errorf("serve: tenant %q has no key", name)
+		}
+		if _, dup := r.byName[name]; dup || name == DefaultTenantName {
+			return nil, fmt.Errorf("serve: duplicate tenant name %q", name)
+		}
+		if _, dup := r.byKey[sp.Key]; dup {
+			return nil, fmt.Errorf("serve: tenants share one key (second: %q)", name)
+		}
+		t := &Tenant{Name: name, Weight: sp.Weight, MaxQueue: sp.MaxQueue, key: sp.Key}
+		if t.Weight <= 0 {
+			t.Weight = 1
+		}
+		r.byKey[sp.Key] = t
+		r.byName[name] = t
+		r.list = append(r.list, t)
+	}
+	return r, nil
+}
+
+// LoadTenants reads a keyfile: JSON {"tenants":[{name,key,weight,max_queue},...]}.
+func LoadTenants(path string) (*TenantRegistry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var file struct {
+		Tenants []TenantSpec `json:"tenants"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return nil, fmt.Errorf("serve: tenants file %s: %w", path, err)
+	}
+	if len(file.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: tenants file %s lists no tenants", path)
+	}
+	r, err := NewTenantRegistry(file.Tenants...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenants file %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Keyed reports whether authentication is required: any tenant with a
+// key makes the registry closed.
+func (r *TenantRegistry) Keyed() bool { return len(r.byKey) > 0 }
+
+// Default is the anonymous tenant (used when the registry is open, and
+// by internal callers like solvers re-submitting on a caller's behalf).
+func (r *TenantRegistry) Default() *Tenant { return r.def }
+
+// Lookup finds a tenant by name; the default tenant resolves too.
+func (r *TenantRegistry) Lookup(name string) (*Tenant, bool) {
+	if name == DefaultTenantName {
+		return r.def, true
+	}
+	t, ok := r.byName[name]
+	return t, ok
+}
+
+// Authenticate resolves an Authorization header value to a tenant. With
+// an open registry every request (header or not) is the default tenant.
+// With a keyed registry the header must be `Bearer <key>` for a known
+// key; anything else is an *UnauthorizedError (HTTP 401).
+func (r *TenantRegistry) Authenticate(authorization string) (*Tenant, error) {
+	if !r.Keyed() {
+		return r.def, nil
+	}
+	const prefix = "Bearer "
+	if authorization == "" {
+		return nil, &UnauthorizedError{Reason: "missing Authorization header"}
+	}
+	if !strings.HasPrefix(authorization, prefix) {
+		return nil, &UnauthorizedError{Reason: "Authorization is not a Bearer token"}
+	}
+	t, ok := r.byKey[strings.TrimSpace(authorization[len(prefix):])]
+	if !ok {
+		return nil, &UnauthorizedError{Reason: "unknown API key"}
+	}
+	return t, nil
+}
+
+// Metrics snapshots every tenant (default included when it has seen
+// traffic or the registry is open), with per-tenant queue depths summed
+// across engines supplied by the pool.
+func (r *TenantRegistry) Metrics(depths map[*Tenant]int) []TenantMetrics {
+	out := make([]TenantMetrics, 0, len(r.list)+1)
+	if !r.Keyed() || r.def.requests.Load() > 0 || r.def.rejections.Load() > 0 {
+		out = append(out, r.def.metrics(depths[r.def]))
+	}
+	for _, t := range r.list {
+		out = append(out, t.metrics(depths[t]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
