@@ -97,6 +97,24 @@ func main() {
 			bad = true
 		}
 	}
+	// JSON sweep points sample the server's own stage breakdown
+	// (?timings=1 on every Nth request); surface where the time went.
+	for _, r := range recs {
+		if len(r.StageP99Ms) == 0 {
+			continue
+		}
+		var b strings.Builder
+		for _, st := range []string{
+			serve.StageDecode, serve.StageAdmission, serve.StageQueue,
+			serve.StageAssemble, serve.StageFlush, serve.StageEncode,
+		} {
+			if p99, ok := r.StageP99Ms[st]; ok {
+				fmt.Fprintf(&b, "  %s %.3f/%.3f", st, r.StageP50Ms[st], p99)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "loadgen stages %-8s nrhs=%-2d conc=%-3d p50/p99 ms:%s\n",
+			r.Method, r.NRHS, r.Concurrency, b.String())
+	}
 	if *strict && bad {
 		fmt.Fprintln(os.Stderr, "loadgen: FAIL (errors or no batching; see records)")
 		os.Exit(1)

@@ -65,8 +65,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -77,6 +80,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/serve/faultinject"
 	"repro/internal/sparse"
@@ -113,7 +117,20 @@ func main() {
 	deadlineFlag := flag.Duration("deadline", 0, "server-side default request deadline (0 = none; requests may override via deadline_ms)")
 	maxUpload := flag.Int64("maxupload", 1<<30, "largest accepted /v1/matrices upload body in bytes (413 above)")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "serving mode: how long a SIGTERM drain waits for in-flight requests")
+	logLevel := flag.String("loglevel", "info", "structured log level (debug, info, warn, error)")
+	logFormat := flag.String("logformat", "text", "structured log format (text, json)")
+	debugAddr := flag.String("debugaddr", "",
+		"serve net/http/pprof on this separate address (empty disables the debug listener)")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(fmt.Errorf("bad -loglevel: %w", err))
+	}
+	logger, err := obs.NewLogger(os.Stderr, lvl, *logFormat)
+	if err != nil {
+		fatal(fmt.Errorf("bad -logformat: %w", err))
+	}
 
 	opt := serve.Options{
 		MaxBatch:    *maxBatch,
@@ -150,6 +167,7 @@ func main() {
 		opt.Tenants = reg
 	}
 	var inj *faultinject.Injector
+	var events *obs.EventCounter
 	if *chaos {
 		if !*selftest {
 			fatal(errors.New("-chaos requires -selftest"))
@@ -164,7 +182,12 @@ func main() {
 		// Tight rebuild cooldown so quarantine → failed rebuild → backoff →
 		// successful rebuild all fit inside the selftest window.
 		opt.RebuildBackoff = 50 * time.Millisecond
+		// Count structured log events so the chaos run can assert that
+		// every quarantine and breaker trip emitted exactly one.
+		events = obs.NewEventCounter(logger.Handler())
+		logger = slog.New(events)
 	}
+	opt.Logger = logger
 	pool := serve.NewPool(opt)
 	defer pool.Close()
 
@@ -178,6 +201,23 @@ func main() {
 	srv.DefaultDeadline = *deadlineFlag
 	if *maxUpload > 0 {
 		srv.MaxUploadBytes = *maxUpload
+	}
+
+	// The debug listener is deliberately a second socket: pprof exposes
+	// heap contents and must never ride on the data-plane address.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("debug listener up", "event", "debug_listen", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				logger.Error("debug listener failed", "event", "debug_listen_failed", "err", err.Error())
+			}
+		}()
 	}
 
 	if *selftest {
@@ -198,7 +238,7 @@ func main() {
 			out:       *out,
 		}
 		if *chaos {
-			err = runChaos(srv, pool, inj, cfg)
+			err = runChaos(srv, pool, inj, events, cfg)
 		} else {
 			err = runSelftest(srv, pool, cfg)
 		}
@@ -365,6 +405,15 @@ func runSelftest(srv *serve.Server, pool *serve.Pool, cfg selftestConfig) error 
 		recs = append(recs, r...)
 	}
 
+	// First of two /metrics scrapes: the exposition must lint as
+	// Prometheus text, and the second scrape (after the rest of the run)
+	// must not move any counter backwards. In-process because CI's shell
+	// cannot reach the ephemeral loopback port.
+	prom1, err := scrapeProm(base)
+	if err != nil {
+		return err
+	}
+
 	var mixRecs []serve.Record
 	if cfg.mix {
 		mixRecs, err = serve.MixedLoad(context.Background(), serve.MixedLoadConfig{
@@ -417,6 +466,33 @@ func runSelftest(srv *serve.Server, pool *serve.Pool, cfg selftestConfig) error 
 			r.Method, r.Encoding, r.NRHS, r.Concurrency, r.Requests, r.RPS,
 			r.MeanBatch, r.P50Ms, r.P99Ms, r.ReqBytes, status)
 	}
+	// Stage-latency table: JSON sweep points sample the server's own
+	// timing breakdown, so the records carry per-stage percentiles. At
+	// concurrency 1 the closed loop admits each request to an idle
+	// runner, so queue time must not dominate — a queue p99 above the
+	// flush p99 there means the stage attribution regressed.
+	for _, r := range recs {
+		if len(r.StageP99Ms) == 0 {
+			continue
+		}
+		var b strings.Builder
+		for _, st := range []string{
+			serve.StageDecode, serve.StageAdmission, serve.StageQueue,
+			serve.StageAssemble, serve.StageFlush, serve.StageEncode,
+		} {
+			if p99, ok := r.StageP99Ms[st]; ok {
+				fmt.Fprintf(&b, "  %s %.3f/%.3f", st, r.StageP50Ms[st], p99)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "selftest stages %-8s nrhs=%-2d conc=%-3d p50/p99 ms:%s\n",
+			r.Method, r.NRHS, r.Concurrency, b.String())
+		if r.Concurrency == 1 && r.StageP99Ms[serve.StageQueue] > r.StageP99Ms[serve.StageFlush] {
+			fmt.Fprintf(os.Stderr,
+				"selftest FAIL: queue p99 %.3fms exceeds flush p99 %.3fms at concurrency 1 (%s nrhs=%d)\n",
+				r.StageP99Ms[serve.StageQueue], r.StageP99Ms[serve.StageFlush], r.Method, r.NRHS)
+			failed = true
+		}
+	}
 	// The wire-protocol acceptance: at nrhs >= 8 the binary frame must
 	// carry at most half the bytes the JSON encoding needs for the same
 	// request.
@@ -443,11 +519,49 @@ func runSelftest(srv *serve.Server, pool *serve.Pool, cfg selftestConfig) error 
 		fmt.Fprintf(os.Stderr, "selftest engine %s schedule=%s kernel=[%s]  %s\n",
 			em.EngineKey, em.Schedule, em.Kernel, status)
 	}
+	prom2, err := scrapeProm(base)
+	if err != nil {
+		return err
+	}
+	if err := obs.LintMonotonic(prom1, prom2); err != nil {
+		return fmt.Errorf("/metrics between scrapes: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "selftest /metrics: %d series, exposition lints, counters monotonic across scrapes\n", len(prom2))
 	if failed {
 		return fmt.Errorf("selftest failed (see records above)")
 	}
 	fmt.Fprintln(os.Stderr, "selftest ok")
 	return nil
+}
+
+// scrapeProm GETs /metrics asking for the Prometheus text exposition
+// and lints it, returning the parsed series values keyed by series ID.
+func scrapeProm(base string) (map[string]float64, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		return nil, fmt.Errorf("GET /metrics (Accept: text/plain): Content-Type %q, want %q", ct, obs.PromContentType)
+	}
+	series, err := obs.LintPrometheus(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("/metrics exposition: %w", err)
+	}
+	return series, nil
 }
 
 // validateMix checks the mixed-tenant QoS contract: the light tenant
@@ -493,8 +607,10 @@ func validateMix(mixRecs []serve.Record, failed *bool) error {
 // (serve.DrainCheck), then a goroutine-leak check after the pool closes.
 // The /readyz contract is probed at the drain boundary. The report is
 // written as JSON before validation so a failing run still leaves its
-// evidence behind.
-func runChaos(srv *serve.Server, pool *serve.Pool, inj *faultinject.Injector, cfg selftestConfig) error {
+// evidence behind. events counts the structured log records the pool
+// emitted; the run fails unless every quarantine and breaker trip
+// logged exactly one event.
+func runChaos(srv *serve.Server, pool *serve.Pool, inj *faultinject.Injector, events *obs.EventCounter, cfg selftestConfig) error {
 	gBefore := runtime.NumGoroutine()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -550,6 +666,15 @@ func runChaos(srv *serve.Server, pool *serve.Pool, inj *faultinject.Injector, cf
 		return hs.Shutdown(sctx)
 	})
 
+	// Final pool snapshot before Close, for the log-event contract: the
+	// counts must match what actually happened, including anything after
+	// ChaosRun's own mid-run snapshot.
+	finalPM := pool.MetricsSnapshot()
+	trips := 0
+	for _, b := range finalPM.Breakers {
+		trips += int(b.Trips)
+	}
+
 	// Everything is down: engines must be gone too before counting.
 	pool.Close()
 	client.CloseIdleConnections()
@@ -591,6 +716,18 @@ func runChaos(srv *serve.Server, pool *serve.Pool, inj *faultinject.Injector, cf
 	}
 	if rep.GoroutinesAfter > gBefore+2 {
 		return fmt.Errorf("chaos: goroutine leak: %d before, %d after drain+close", gBefore, rep.GoroutinesAfter)
+	}
+	// Structured-logging contract: state transitions log exactly once.
+	// A missing event means an unobservable quarantine; an extra one
+	// means a transition fired twice.
+	fmt.Fprintf(os.Stderr, "chaos: log events quarantine=%d breaker_open=%d breaker_closed=%d (pool: quarantines %d, trips %d)\n",
+		events.Count("quarantine"), events.Count("breaker_open"), events.Count("breaker_closed"),
+		finalPM.Quarantines, trips)
+	if got := events.Count("quarantine"); got != int(finalPM.Quarantines) {
+		return fmt.Errorf("chaos: %d quarantine log events, want %d (one per pool quarantine)", got, finalPM.Quarantines)
+	}
+	if got := events.Count("breaker_open"); got != trips {
+		return fmt.Errorf("chaos: %d breaker_open log events, want %d (one per breaker trip)", got, trips)
 	}
 	fmt.Fprintln(os.Stderr, "chaos selftest ok")
 	return nil

@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WantsPrometheus decides /metrics content negotiation: the Prometheus
+// text format is served only when the client asks for it explicitly
+// (text/plain, or an OpenMetrics type, as scrapers send). An absent
+// Accept header, */*, or application/json keeps the legacy JSON
+// snapshot, so existing consumers keep working unchanged.
+func WantsPrometheus(accept string) bool {
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// PromWriter renders metric families in the Prometheus text exposition
+// format. All escaping flows through here; callers emit a Family header
+// then its Samples. Errors latch: the first write failure sticks and
+// later calls are no-ops.
+type PromWriter struct {
+	w    *bufio.Writer
+	name string
+	err  error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w)}
+}
+
+// Family emits the # HELP / # TYPE header and sets the current family
+// name for subsequent Sample calls.
+func (p *PromWriter) Family(name string, typ MetricType, help string) {
+	p.name = name
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one series of the current family. kv alternates label
+// key, label value; a "__name__" key suffixes the metric name instead
+// (used for histogram _bucket/_sum/_count series).
+func (p *PromWriter) Sample(value float64, kv ...string) {
+	if p.err != nil {
+		return
+	}
+	if len(kv)%2 != 0 {
+		p.err = fmt.Errorf("obs: odd label key/value list for %s", p.name)
+		return
+	}
+	name := p.name
+	var sb strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if kv[i] == "__name__" {
+			name += kv[i+1]
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(kv[i+1]))
+		sb.WriteByte('"')
+	}
+	if sb.Len() > 0 {
+		_, p.err = fmt.Fprintf(p.w, "%s{%s} %s\n", name, sb.String(), formatFloat(value))
+	} else {
+		_, p.err = fmt.Fprintf(p.w, "%s %s\n", name, formatFloat(value))
+	}
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (p *PromWriter) Flush() error {
+	if p.err == nil {
+		p.err = p.w.Flush()
+	}
+	return p.err
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteTo renders every family in the registry, names sorted, children
+// sorted by label values — deterministic output for golden tests and
+// diff-friendly scrapes. Histograms render cumulative _bucket series
+// (le ascending, +Inf last) plus _sum and _count.
+func (r *Registry) WriteTo(p *PromWriter) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		f.mu.Lock()
+		kids := make([]*child, 0, len(f.children))
+		for _, c := range f.children {
+			kids = append(kids, c)
+		}
+		f.mu.Unlock()
+		if len(kids) == 0 {
+			continue
+		}
+		sort.Slice(kids, func(i, j int) bool {
+			return strings.Join(kids[i].labelValues, "\x1f") < strings.Join(kids[j].labelValues, "\x1f")
+		})
+		p.Family(f.name, f.typ, f.help)
+		for _, c := range kids {
+			base := make([]string, 0, 2*len(f.labels)+2)
+			for i, k := range f.labels {
+				base = append(base, k, c.labelValues[i])
+			}
+			if f.typ != TypeHistogram {
+				p.Sample(math.Float64frombits(c.bits.Load()), base...)
+				continue
+			}
+			var cum uint64
+			for i, bound := range f.buckets {
+				cum += c.counts[i].Load()
+				p.Sample(float64(cum), append(append([]string{"__name__", "_bucket"}, base...), "le", formatFloat(bound))...)
+			}
+			cum += c.counts[len(f.buckets)].Load()
+			p.Sample(float64(cum), append(append([]string{"__name__", "_bucket"}, base...), "le", "+Inf")...)
+			p.Sample(math.Float64frombits(c.sumBits.Load()), append([]string{"__name__", "_sum"}, base...)...)
+			p.Sample(float64(cum), append([]string{"__name__", "_count"}, base...)...)
+		}
+	}
+}
+
+// LintPrometheus parses text exposition output and checks the invariants
+// a scraper depends on: every sample line parses, no series (name plus
+// label set) appears twice, and histogram _bucket series are cumulative
+// in ascending le order with a +Inf bucket matching _count. It returns
+// the parsed series values keyed by the literal series string, for
+// cross-scrape monotonicity checks (see LintMonotonic).
+func LintPrometheus(text string) (map[string]float64, error) {
+	series := make(map[string]float64)
+	type bucketRun struct {
+		prev    float64
+		prevLe  float64
+		sawInf  bool
+		infVal  float64
+		groupID string
+	}
+	buckets := make(map[string]*bucketRun) // keyed by name + labels sans le
+	counts := make(map[string]float64)     // _count series by group key
+
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, value, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if _, dup := series[id.series]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", ln+1, id.series)
+		}
+		series[id.series] = value
+
+		if strings.HasSuffix(id.name, "_count") {
+			counts[strings.TrimSuffix(id.name, "_count")+"|"+id.labelsNoLe] = value
+		}
+		if !strings.HasSuffix(id.name, "_bucket") || id.le == "" {
+			continue
+		}
+		gk := strings.TrimSuffix(id.name, "_bucket") + "|" + id.labelsNoLe
+		run := buckets[gk]
+		if run == nil {
+			run = &bucketRun{prev: -1, prevLe: math.Inf(-1), groupID: gk}
+			buckets[gk] = run
+		}
+		le := math.Inf(1)
+		if id.le != "+Inf" {
+			le, err = strconv.ParseFloat(id.le, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad le %q", ln+1, id.le)
+			}
+		}
+		if le <= run.prevLe {
+			return nil, fmt.Errorf("line %d: histogram %s buckets out of order (le=%s)", ln+1, gk, id.le)
+		}
+		if value < run.prev {
+			return nil, fmt.Errorf("line %d: histogram %s buckets not cumulative (%g < %g)", ln+1, gk, value, run.prev)
+		}
+		run.prev, run.prevLe = value, le
+		if math.IsInf(le, 1) {
+			run.sawInf, run.infVal = true, value
+		}
+	}
+	for gk, run := range buckets {
+		if !run.sawInf {
+			return nil, fmt.Errorf("histogram %s has no +Inf bucket", gk)
+		}
+		if cnt, ok := counts[gk]; ok && cnt != run.infVal {
+			return nil, fmt.Errorf("histogram %s +Inf bucket %g != _count %g", gk, run.infVal, cnt)
+		}
+	}
+	return series, nil
+}
+
+// LintMonotonic checks that every *_total (and histogram _bucket/_count)
+// series present in both scrapes did not decrease — the counter
+// contract a Prometheus server assumes between scrapes.
+func LintMonotonic(prev, cur map[string]float64) error {
+	for id, was := range prev {
+		name := id
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !strings.HasSuffix(name, "_total") && !strings.HasSuffix(name, "_count") &&
+			!strings.HasSuffix(name, "_bucket") && !strings.HasSuffix(name, "_sum") {
+			continue
+		}
+		if now, ok := cur[id]; ok && now < was {
+			return fmt.Errorf("counter %s decreased across scrapes: %g -> %g", id, was, now)
+		}
+	}
+	return nil
+}
+
+// promID is one parsed sample's identity.
+type promID struct {
+	series     string // canonical name{sorted labels}
+	name       string
+	le         string
+	labelsNoLe string // sorted labels with le removed
+}
+
+// parsePromLine parses `name{k="v",...} value` (labels optional).
+func parsePromLine(line string) (promID, float64, error) {
+	var id promID
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var labels []string
+	if brace >= 0 {
+		id.name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return id, 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		var err error
+		labels, err = parsePromLabels(rest[brace+1 : end])
+		if err != nil {
+			return id, 0, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return id, 0, fmt.Errorf("no value in %q", line)
+		}
+		id.name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if id.name == "" {
+		return id, 0, fmt.Errorf("empty metric name in %q", line)
+	}
+	val, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return id, 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	sort.Strings(labels)
+	var noLe []string
+	for _, l := range labels {
+		if strings.HasPrefix(l, `le="`) {
+			id.le = strings.TrimSuffix(strings.TrimPrefix(l, `le="`), `"`)
+			continue
+		}
+		noLe = append(noLe, l)
+	}
+	id.labelsNoLe = strings.Join(noLe, ",")
+	id.series = id.name + "{" + strings.Join(labels, ",") + "}"
+	return id, val, nil
+}
+
+// parsePromLabels splits `k="v",k2="v2"` honoring escapes.
+func parsePromLabels(s string) ([]string, error) {
+	var out []string
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			if s[i] == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i+1])
+				}
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			val.WriteByte(s[i])
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value for %s", key)
+		}
+		out = append(out, key+`="`+escapeLabel(val.String())+`"`)
+		s = s[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}

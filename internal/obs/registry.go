@@ -1,0 +1,207 @@
+// Package obs is the serving stack's dependency-free observability
+// layer: a small metrics registry with Prometheus text exposition
+// (registry.go, prom.go), request traces with a bounded in-memory
+// buffer (trace.go), and log/slog helpers (log.go).
+//
+// The registry deliberately implements only what the serving path
+// needs — counters, gauges, and fixed-bucket histograms with label
+// vectors — not the full Prometheus client data model. Children are
+// cached per label-value tuple so the hot path (a histogram Observe
+// per request per stage) costs one atomic add after the first lookup.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType is the exposition TYPE of a family.
+type MetricType string
+
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Registry holds metric families and renders them as Prometheus text.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string
+	buckets []float64 // histogram upper bounds, ascending; nil otherwise
+
+	mu       sync.Mutex
+	children map[string]*child // keyed by joined label values
+}
+
+// child is one labelled series (or histogram series group).
+type child struct {
+	labelValues []string
+
+	// counter/gauge value. Counters store integral-friendly float64
+	// via atomic bits; gauges the same.
+	bits atomic.Uint64
+
+	// histogram state: per-bucket (non-cumulative) counts, +Inf last.
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, typ MetricType, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*child),
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers (or returns) a counter family. Values only go up.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, TypeCounter, nil, labels)}
+}
+
+// Gauge registers (or returns) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, TypeGauge, nil, labels)}
+}
+
+// Histogram registers (or returns) a histogram family with fixed
+// upper-bound buckets (ascending, in the observed unit; +Inf implied).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		panic("obs: histogram needs at least one bucket")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets are not ascending", name))
+		}
+	}
+	return &HistogramVec{r.family(name, help, TypeHistogram, buckets, labels)}
+}
+
+// childFor returns the cached series for the label-value tuple.
+func (f *family) childFor(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x1f")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labelValues: append([]string(nil), values...)}
+		if f.typ == TypeHistogram {
+			c.counts = make([]atomic.Uint64, len(f.buckets)+1)
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// CounterVec is a counter family; With resolves one labelled counter.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the label values (cached).
+func (v *CounterVec) With(values ...string) *Counter {
+	return &Counter{v.f.childFor(values)}
+}
+
+// Counter is one monotonically increasing series.
+type Counter struct{ c *child }
+
+// Add increments the counter by d (must be >= 0).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("obs: counter decrease")
+	}
+	addFloat(&c.c.bits, d)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.c.bits.Load()) }
+
+// GaugeVec is a gauge family; With resolves one labelled gauge.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the label values (cached).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return &Gauge{v.f.childFor(values)}
+}
+
+// Gauge is one series that can go up and down.
+type Gauge struct{ c *child }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.c.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) { addFloat(&g.c.bits, d) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.c.bits.Load()) }
+
+// HistogramVec is a histogram family; With resolves one labelled
+// histogram.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the label values (cached). Hot paths
+// should resolve once and hold the *Histogram.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{f: v.f, c: v.f.childFor(values)}
+}
+
+// Histogram is one labelled fixed-bucket histogram series group.
+type Histogram struct {
+	f *family
+	c *child
+}
+
+// Observe records v: one bucket increment plus a sum update.
+func (h *Histogram) Observe(v float64) {
+	b := sort.SearchFloat64s(h.f.buckets, v) // first bucket with bound >= v
+	h.c.counts[b].Add(1)
+	addFloat(&h.c.sumBits, v)
+}
+
+// addFloat is an atomic float64 += d on a Uint64 bit store.
+func addFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

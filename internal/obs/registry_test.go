@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// newFixtureRegistry builds a deterministic registry exercising every
+// family type plus the escaping edge cases the exposition format has.
+func newFixtureRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("demo_requests_total", "Requests served.", "tenant", "direction")
+	c.With("acme", "forward").Add(3)
+	c.With("acme", "transpose").Inc()
+	c.With(`we"ird\ten`+"\nant", "forward").Inc() // label escaping
+
+	g := r.Gauge("demo_queue_depth", "Live queue depth.\nSecond help line.", "engine")
+	g.With("A/s2d/K=4").Set(7)
+	g.With("B/1d/K=2").Set(0.5)
+
+	h := r.Histogram("demo_stage_seconds", "Stage latency.", []float64{0.001, 0.01, 0.1}, "stage")
+	hd := h.With("decode")
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 2} {
+		hd.Observe(v)
+	}
+	h.With("flush").Observe(0.01) // exactly on a bound: goes in le=0.01
+	return r
+}
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	r.WriteTo(pw)
+	if err := pw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.String()
+}
+
+// TestPromGolden pins the full text exposition byte for byte: family
+// ordering, HELP/TYPE headers, label and help escaping, cumulative
+// buckets with +Inf, _sum/_count.
+func TestPromGolden(t *testing.T) {
+	got := render(t, newFixtureRegistry())
+	golden := filepath.Join("testdata", "registry.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPromLintAcceptsFixture feeds the fixture output through the
+// linter: the renderer and linter agree on the format.
+func TestPromLintAcceptsFixture(t *testing.T) {
+	text := render(t, newFixtureRegistry())
+	series, err := LintPrometheus(text)
+	if err != nil {
+		t.Fatalf("lint rejected rendered output: %v", err)
+	}
+	if v := series[`demo_requests_total{direction="forward",tenant="acme"}`]; v != 3 {
+		t.Errorf("parsed counter = %v, want 3", v)
+	}
+	// Bucket cumulativity: decode saw 1 <=0.001, 3 <=0.01, 4 <=0.1, 5 total.
+	for le, want := range map[string]float64{"0.001": 1, "0.01": 3, "0.1": 4, "+Inf": 5} {
+		id := `demo_stage_seconds_bucket{le="` + le + `",stage="decode"}`
+		if v := series[id]; v != want {
+			t.Errorf("%s = %v, want %v", id, v, want)
+		}
+	}
+	if v := series[`demo_stage_seconds_count{stage="decode"}`]; v != 5 {
+		t.Errorf("decode _count = %v, want 5", v)
+	}
+}
+
+func TestLintRejectsDuplicates(t *testing.T) {
+	_, err := LintPrometheus("a_total 1\na_total 2\n")
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate-series error, got %v", err)
+	}
+}
+
+func TestLintRejectsNonCumulativeBuckets(t *testing.T) {
+	text := "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n"
+	_, err := LintPrometheus(text)
+	if err == nil || !strings.Contains(err.Error(), "cumulative") {
+		t.Fatalf("want cumulativity error, got %v", err)
+	}
+}
+
+func TestLintRejectsInfCountMismatch(t *testing.T) {
+	text := "h_bucket{le=\"+Inf\"} 5\nh_count 6\n"
+	_, err := LintPrometheus(text)
+	if err == nil || !strings.Contains(err.Error(), "_count") {
+		t.Fatalf("want +Inf/_count mismatch error, got %v", err)
+	}
+}
+
+func TestLintMonotonic(t *testing.T) {
+	prev := map[string]float64{"a_total{}": 5, "g{}": 9}
+	cur := map[string]float64{"a_total{}": 7, "g{}": 1}
+	if err := LintMonotonic(prev, cur); err != nil {
+		t.Fatalf("gauge decrease must not fail monotonicity: %v", err)
+	}
+	cur["a_total{}"] = 4
+	if err := LintMonotonic(prev, cur); err == nil {
+		t.Fatal("counter decrease must fail monotonicity")
+	}
+}
+
+func TestCounterPanicsOnDecrease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) must panic")
+		}
+	}()
+	NewRegistry().Counter("x_total", "").With().Add(-1)
+}
+
+func TestRegistryReRegisterReturnsSameFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", "l")
+	b := r.Counter("x_total", "", "l")
+	a.With("v").Add(2)
+	b.With("v").Inc()
+	if got := a.With("v").Value(); got != 3 {
+		t.Fatalf("re-registered counter split state: %v", got)
+	}
+}
+
+func TestHistogramObserveBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{1, 2}).With()
+	h.Observe(1)           // le="1" (bounds are inclusive)
+	h.Observe(math.Inf(1)) // +Inf bucket
+	h.Observe(-5)          // below first bound still lands in le="1"
+	text := render(t, &Registry{fams: map[string]*family{"h_seconds": h.f}})
+	series, err := LintPrometheus(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := series[`h_seconds_bucket{le="1"}`]; v != 2 {
+		t.Errorf("le=1 bucket = %v, want 2", v)
+	}
+	if v := series[`h_seconds_bucket{le="+Inf"}`]; v != 3 {
+		t.Errorf("+Inf bucket = %v, want 3", v)
+	}
+}

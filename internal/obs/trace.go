@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one stage of a request's span tree. Ms is the stage's wall
+// time; top-level spans are contiguous (their sum equals the trace
+// total exactly), nested spans attribute a parent's interval in finer
+// grain and may not sum to it (e.g. engine phases sampled from one
+// worker).
+type Span struct {
+	Stage string         `json:"stage"`
+	Ms    float64        `json:"ms"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+	Spans []Span         `json:"spans,omitempty"`
+}
+
+// Trace is one finished request.
+type Trace struct {
+	ID       string    `json:"trace_id"`
+	Endpoint string    `json:"endpoint"`
+	Start    time.Time `json:"start"`
+	TotalMs  float64   `json:"total_ms"`
+	Status   int       `json:"status"`
+	Tenant   string    `json:"tenant,omitempty"`
+	Engine   string    `json:"engine,omitempty"`
+	Spans    []Span    `json:"stages,omitempty"`
+}
+
+// TraceBuffer keeps a bounded window of finished traces: the most
+// recent N plus the slowest M seen since start. Both are snapshots for
+// /debug/traces; nothing here is on the hot path except Add.
+type TraceBuffer struct {
+	mu      sync.Mutex
+	recent  []*Trace // ring
+	next    int
+	n       int
+	slowest []*Trace // ascending by TotalMs, len <= slowCap
+	slowCap int
+	seen    uint64
+}
+
+// NewTraceBuffer sizes the buffer (recentN most recent, slowN slowest).
+func NewTraceBuffer(recentN, slowN int) *TraceBuffer {
+	if recentN < 1 {
+		recentN = 1
+	}
+	if slowN < 1 {
+		slowN = 1
+	}
+	return &TraceBuffer{recent: make([]*Trace, recentN), slowCap: slowN}
+}
+
+// Add records a finished trace.
+func (b *TraceBuffer) Add(t *Trace) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seen++
+	b.recent[b.next] = t
+	b.next = (b.next + 1) % len(b.recent)
+	if b.n < len(b.recent) {
+		b.n++
+	}
+	i := sort.Search(len(b.slowest), func(i int) bool { return b.slowest[i].TotalMs >= t.TotalMs })
+	if len(b.slowest) < b.slowCap {
+		b.slowest = append(b.slowest, nil)
+		copy(b.slowest[i+1:], b.slowest[i:])
+		b.slowest[i] = t
+	} else if i > 0 {
+		copy(b.slowest[:i-1], b.slowest[1:i])
+		b.slowest[i-1] = t
+	}
+}
+
+// Snapshot returns the recent traces (newest first), the slowest
+// traces (slowest first), and the total traces seen.
+func (b *TraceBuffer) Snapshot() (recent, slowest []*Trace, seen uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	recent = make([]*Trace, 0, b.n)
+	for i := 0; i < b.n; i++ {
+		recent = append(recent, b.recent[(b.next-1-i+len(b.recent)*2)%len(b.recent)])
+	}
+	slowest = make([]*Trace, len(b.slowest))
+	for i, t := range b.slowest {
+		slowest[len(b.slowest)-1-i] = t
+	}
+	return recent, slowest, b.seen
+}
+
+// NewTraceID generates a 32-hex-digit trace ID (the W3C traceparent
+// trace-id width). math/rand/v2's global generator is goroutine-safe
+// and plenty for correlation IDs — these are not secrets.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64())
+}
+
+// RequestTraceID resolves the trace ID for an inbound request: a W3C
+// traceparent's trace-id field wins, then X-Request-Id (sanitized),
+// else a fresh ID.
+func RequestTraceID(h http.Header) string {
+	if tp := h.Get("traceparent"); tp != "" {
+		// version "-" trace-id "-" parent-id "-" flags
+		parts := strings.Split(tp, "-")
+		if len(parts) >= 3 && len(parts[1]) == 32 && isHex(parts[1]) && parts[1] != strings.Repeat("0", 32) {
+			return strings.ToLower(parts[1])
+		}
+	}
+	if rid := sanitizeID(h.Get("X-Request-Id")); rid != "" {
+		return rid
+	}
+	return NewTraceID()
+}
+
+// sanitizeID keeps a client-supplied request ID only when it is safe to
+// echo into headers and logs: ASCII letters, digits, '-', '_', '.', at
+// a bounded length.
+func sanitizeID(s string) string {
+	if s == "" || len(s) > 128 {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return s
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRequestTraceIDPrecedence(t *testing.T) {
+	h := http.Header{}
+	h.Set("traceparent", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01")
+	h.Set("X-Request-Id", "client-id-1")
+	if got := RequestTraceID(h); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("traceparent should win and lowercase: %q", got)
+	}
+
+	h.Del("traceparent")
+	if got := RequestTraceID(h); got != "client-id-1" {
+		t.Errorf("X-Request-Id fallback: %q", got)
+	}
+
+	h.Set("X-Request-Id", "bad id with spaces\n")
+	got := RequestTraceID(h)
+	if len(got) != 32 || !isHex(got) {
+		t.Errorf("unsafe request id must be replaced by a generated one: %q", got)
+	}
+
+	// All-zero traceparent trace-id is invalid per W3C; must generate.
+	h = http.Header{}
+	h.Set("traceparent", "00-"+strings.Repeat("0", 32)+"-00f067aa0ba902b7-01")
+	got = RequestTraceID(h)
+	if got == strings.Repeat("0", 32) {
+		t.Error("all-zero trace id must not be accepted")
+	}
+}
+
+func TestNewTraceIDShape(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 32 || !isHex(id) {
+			t.Fatalf("bad id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceBufferRecentAndSlowest(t *testing.T) {
+	b := NewTraceBuffer(4, 3)
+	for i := 1; i <= 10; i++ {
+		b.Add(&Trace{ID: fmt.Sprintf("t%d", i), TotalMs: float64(i % 7)})
+	}
+	recent, slowest, seen := b.Snapshot()
+	if seen != 10 {
+		t.Errorf("seen = %d", seen)
+	}
+	if len(recent) != 4 || recent[0].ID != "t10" || recent[3].ID != "t7" {
+		t.Errorf("recent window wrong: %+v", ids(recent))
+	}
+	// Totals seen: 1..6,0,1,2,3 — slowest three are 6,5,4 in that order.
+	if len(slowest) != 3 || slowest[0].TotalMs != 6 || slowest[1].TotalMs != 5 || slowest[2].TotalMs != 4 {
+		t.Errorf("slowest wrong: %+v", ids(slowest))
+	}
+}
+
+func ids(ts []*Trace) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = fmt.Sprintf("%s(%.0f)", t.ID, t.TotalMs)
+	}
+	return out
+}

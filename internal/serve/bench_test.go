@@ -25,7 +25,7 @@ func BenchmarkSchedulerSubmit(b *testing.B) {
 		b.Fatal(err)
 	}
 	s := newScheduler(eng, a.Rows, a.Cols,
-		Options{MaxBatch: 8, MaxWait: 100 * time.Microsecond}.withDefaults(), EngineKey{}, nil)
+		Options{MaxBatch: 8, MaxWait: 100 * time.Microsecond}.withDefaults(), EngineKey{}, "", nil, nil)
 	defer s.close()
 
 	x := make([]float64, a.Cols)

@@ -169,7 +169,7 @@ func TestNaNPayloadQuarantines(t *testing.T) {
 	opt := Options{MaxBatch: 4, MaxWait: time.Millisecond, Injector: inj, PayloadChecks: true}.withDefaults()
 	faults := 0
 	s := newScheduler(buildEngine(t, a, "s2d", 4, 1), a.Rows, a.Cols, opt,
-		EngineKey{Matrix: "lap", Method: "s2d", K: 4}, func(error) { faults++ })
+		EngineKey{Matrix: "lap", Method: "s2d", K: 4}, "", nil, func(error) { faults++ })
 	t.Cleanup(s.close)
 
 	x := make([]float64, a.Cols)
@@ -199,7 +199,7 @@ func TestFlushPanicQuarantines(t *testing.T) {
 	inj := faultinject.New(faultinject.Rule{Point: "flush.panic", Nth: 1, Count: 1})
 	a := testMatrix(t, 12, 12)
 	opt := Options{MaxBatch: 4, MaxWait: time.Millisecond, Injector: inj}.withDefaults()
-	s := newScheduler(buildEngine(t, a, "s2d", 4, 1), a.Rows, a.Cols, opt, EngineKey{}, nil)
+	s := newScheduler(buildEngine(t, a, "s2d", 4, 1), a.Rows, a.Cols, opt, EngineKey{}, "", nil, nil)
 	t.Cleanup(s.close)
 
 	_, err := s.submit(context.Background(), make([]float64, a.Cols))

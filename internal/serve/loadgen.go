@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -106,7 +107,21 @@ type Record struct {
 	// binary-vs-JSON volume comparison.
 	ReqBytes  int `json:"req_bytes,omitempty"`
 	RespBytes int `json:"resp_bytes,omitempty"`
+	// TraceSample is the server-side stage breakdown of the slowest
+	// sampled request at this point: every ~8th JSON request opts into
+	// the response timings block, so client-side latency spikes come with
+	// the server's own account of where the time went.
+	TraceSample *TimingsBlock `json:"trace_sample,omitempty"`
+	// StageP50Ms / StageP99Ms are per-stage latency percentiles over the
+	// sampled requests (decode/admission/queue/assemble/flush/encode),
+	// flattened from the timings blocks' span trees.
+	StageP50Ms map[string]float64 `json:"stage_p50_ms,omitempty"`
+	StageP99Ms map[string]float64 `json:"stage_p99_ms,omitempty"`
 }
+
+// traceSampleEvery is the JSON-request sampling stride for the timings
+// block: cheap enough to leave on, frequent enough to catch tails.
+const traceSampleEvery = 8
 
 // multiplyBodies builds the request payload for every swept encoding.
 func multiplyBodies(cfg LoadGenConfig, methodName string, cols int, rng *rand.Rand) (map[string][]byte, error) {
@@ -182,29 +197,27 @@ func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName, enc string, c
 	// window is steady-state serving, not partitioning. A quarantined or
 	// rebuilding engine sheds the warmup with 503 + Retry-After; honor the
 	// hint for a bounded window before giving up.
-	var status int
-	var schedule string
-	var respBytes int
-	var err error
+	var warm postResult
 	warmRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
 	warmDeadline := time.Now().Add(5 * time.Second)
 	backoff := time.Duration(0)
 	for {
-		var retry time.Duration
-		status, schedule, respBytes, retry, err = postMultiply(ctx, cfg, enc, body)
+		var err error
+		warm, err = postMultiply(ctx, cfg, enc, body, false)
 		if err != nil {
 			return Record{}, fmt.Errorf("loadgen warmup %s/%s: %w", methodName, enc, err)
 		}
-		if status == http.StatusOK {
+		if warm.status == http.StatusOK {
 			break
 		}
-		retriable := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+		retriable := warm.status == http.StatusTooManyRequests || warm.status == http.StatusServiceUnavailable
 		if !retriable || !time.Now().Before(warmDeadline) {
-			return Record{}, fmt.Errorf("loadgen warmup %s/%s: HTTP %d", methodName, enc, status)
+			return Record{}, fmt.Errorf("loadgen warmup %s/%s: HTTP %d", methodName, enc, warm.status)
 		}
-		backoff = backoffNext(backoff, retry, warmRng, 250*time.Millisecond)
+		backoff = backoffNext(backoff, warm.retry, warmRng, 250*time.Millisecond)
 		time.Sleep(backoff)
 	}
+	schedule, respBytes := warm.schedule, warm.respBytes
 	if schedule == "" {
 		schedule, _ = engineSchedule(ctx, cfg, methodName)
 	}
@@ -250,29 +263,37 @@ func loadPoint(ctx context.Context, cfg LoadGenConfig, methodName, enc string, c
 type clientResult struct {
 	requests, errors, retries int
 	latMs                     []float64
+	samples                   []*TimingsBlock // sampled server-side stage breakdowns
 }
 
 // runClient loops one closed-loop client until deadline, honoring the
-// server's backoff hints on sheds.
+// server's backoff hints on sheds. Every traceSampleEvery-th JSON
+// request opts into the server's timings block.
 func runClient(ctx context.Context, cfg LoadGenConfig, enc string, body []byte, deadline time.Time, seed int64, res *clientResult) {
 	rng := rand.New(rand.NewSource(seed))
 	backoff := time.Duration(0)
+	sent := 0
 	for time.Now().Before(deadline) && ctx.Err() == nil {
+		sample := enc != EncodingBinary && sent%traceSampleEvery == 0
+		sent++
 		start := time.Now()
-		status, _, _, retry, err := postMultiply(ctx, cfg, enc, body)
+		pr, err := postMultiply(ctx, cfg, enc, body, sample)
 		switch {
 		case err != nil:
 			res.errors++
-		case status == http.StatusOK:
+		case pr.status == http.StatusOK:
 			backoff = 0
 			res.requests++
 			res.latMs = append(res.latMs, msSince(start))
-		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			if pr.timings != nil {
+				res.samples = append(res.samples, pr.timings)
+			}
+		case pr.status == http.StatusTooManyRequests || pr.status == http.StatusServiceUnavailable:
 			// Shed: back off as the server hinted (jittered, capped)
 			// instead of hammering a full queue or a quarantined
 			// engine, and count the retry separately from errors.
 			res.retries++
-			backoff = backoffNext(backoff, retry, rng, 250*time.Millisecond)
+			backoff = backoffNext(backoff, pr.retry, rng, 250*time.Millisecond)
 			time.Sleep(backoff)
 		default:
 			res.errors++
@@ -280,14 +301,19 @@ func runClient(ctx context.Context, cfg LoadGenConfig, enc string, body []byte, 
 	}
 }
 
-// fillRecord folds per-client tallies into the record.
+// fillRecord folds per-client tallies into the record: throughput and
+// latency percentiles from every request, plus the stage-level view
+// from the sampled timings blocks — per-stage percentiles and the
+// slowest sampled request's full breakdown.
 func fillRecord(rec *Record, results []clientResult) {
 	var lats []float64
+	var samples []*TimingsBlock
 	for _, res := range results {
 		rec.Requests += res.requests
 		rec.Errors += res.errors
 		rec.Retries += res.retries
 		lats = append(lats, res.latMs...)
+		samples = append(samples, res.samples...)
 	}
 	if rec.Requests > 0 && rec.DurationSec > 0 {
 		rec.RPS = float64(rec.Requests) / rec.DurationSec
@@ -296,6 +322,34 @@ func fillRecord(rec *Record, results []clientResult) {
 	sort.Float64s(lats)
 	rec.P50Ms = percentile(lats, 0.50)
 	rec.P99Ms = percentile(lats, 0.99)
+
+	if len(samples) == 0 {
+		return
+	}
+	stageMs := map[string][]float64{}
+	for _, tb := range samples {
+		if rec.TraceSample == nil || tb.TotalMs > rec.TraceSample.TotalMs {
+			rec.TraceSample = tb
+		}
+		for _, sp := range tb.Stages {
+			stageMs[sp.Stage] = append(stageMs[sp.Stage], sp.Ms)
+			// Flatten the scheduler's children (queue/assemble/flush) of
+			// the schedule/solve stage; deeper levels (engine phases) stay
+			// in TraceSample only.
+			if sp.Stage == StageSchedule || sp.Stage == StageSolve {
+				for _, ch := range sp.Spans {
+					stageMs[ch.Stage] = append(stageMs[ch.Stage], ch.Ms)
+				}
+			}
+		}
+	}
+	rec.StageP50Ms = make(map[string]float64, len(stageMs))
+	rec.StageP99Ms = make(map[string]float64, len(stageMs))
+	for stage, ms := range stageMs {
+		sort.Float64s(ms)
+		rec.StageP50Ms[stage] = percentile(ms, 0.50)
+		rec.StageP99Ms[stage] = percentile(ms, 0.99)
+	}
 }
 
 // MixedLoadConfig is the adversarial multi-tenant scenario: one hot
@@ -372,18 +426,18 @@ func MixedLoad(ctx context.Context, cfg MixedLoadConfig) ([]Record, error) {
 	backoff := time.Duration(0)
 	warmRng := rand.New(rand.NewSource(base.Seed ^ 0x5eed))
 	for {
-		status, _, _, retry, err := postMultiply(ctx, warm, cfg.Encoding, body)
+		pr, err := postMultiply(ctx, warm, cfg.Encoding, body, false)
 		if err != nil {
 			return nil, fmt.Errorf("mixedload warmup: %w", err)
 		}
-		if status == http.StatusOK {
+		if pr.status == http.StatusOK {
 			break
 		}
-		if !(status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable) ||
+		if !(pr.status == http.StatusTooManyRequests || pr.status == http.StatusServiceUnavailable) ||
 			!time.Now().Before(warmDeadline) {
-			return nil, fmt.Errorf("mixedload warmup: HTTP %d", status)
+			return nil, fmt.Errorf("mixedload warmup: HTTP %d", pr.status)
 		}
-		backoff = backoffNext(backoff, retry, warmRng, 250*time.Millisecond)
+		backoff = backoffNext(backoff, pr.retry, warmRng, 250*time.Millisecond)
 		time.Sleep(backoff)
 	}
 	schedule, _ := engineSchedule(ctx, warm, cfg.Method)
@@ -421,15 +475,35 @@ func MixedLoad(ctx context.Context, cfg MixedLoadConfig) ([]Record, error) {
 	return recs, nil
 }
 
+// postResult is one postMultiply outcome: the HTTP status, the engine
+// schedule named in a JSON 200 response (binary responses carry none),
+// the response body size, the server's retry hint on a shed (429/503)
+// response, and the server-side timings block when sampled.
+type postResult struct {
+	status    int
+	schedule  string
+	respBytes int
+	retry     time.Duration
+	timings   *TimingsBlock
+}
+
+// loadgenReqID numbers every request the generator sends, so each one
+// carries a unique X-Request-Id the server adopts as its trace ID.
+var loadgenReqID atomic.Uint64
+
 // postMultiply posts one multiply under the configured encoding and
-// auth, reporting the HTTP status, the engine schedule named in a JSON
-// 200 response (binary responses carry none), the response body size,
-// and the server's retry hint on a shed (429/503) response.
-func postMultiply(ctx context.Context, cfg LoadGenConfig, enc string, body []byte) (status int, schedule string, respBytes int, retry time.Duration, err error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		cfg.BaseURL+"/v1/multiply", bytes.NewReader(body))
+// auth. withTimings opts into the server's stage breakdown via
+// ?timings=1 (JSON responses only). Every request propagates a unique
+// X-Request-Id and the response's X-Trace-Id must echo it — loadgen
+// doubles as the trace-propagation check.
+func postMultiply(ctx context.Context, cfg LoadGenConfig, enc string, body []byte, withTimings bool) (postResult, error) {
+	url := cfg.BaseURL + "/v1/multiply"
+	if withTimings && enc != EncodingBinary {
+		url += "?timings=1"
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, "", 0, 0, err
+		return postResult{}, err
 	}
 	if enc == EncodingBinary {
 		hreq.Header.Set("Content-Type", wire.ContentType)
@@ -439,29 +513,40 @@ func postMultiply(ctx context.Context, cfg LoadGenConfig, enc string, body []byt
 	if cfg.AuthKey != "" {
 		hreq.Header.Set("Authorization", "Bearer "+cfg.AuthKey)
 	}
+	reqID := fmt.Sprintf("loadgen-%d", loadgenReqID.Add(1))
+	hreq.Header.Set("X-Request-Id", reqID)
 	resp, err := cfg.Client.Do(hreq)
 	if err != nil {
-		return 0, "", 0, 0, err
+		return postResult{}, err
 	}
 	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != reqID {
+		io.Copy(io.Discard, resp.Body)
+		return postResult{status: resp.StatusCode},
+			fmt.Errorf("loadgen: X-Trace-Id %q does not echo X-Request-Id %q", got, reqID)
+	}
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, "", 0, retryAfterOf(resp), nil
+		return postResult{status: resp.StatusCode, retry: retryAfterOf(resp)}, nil
 	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, "", 0, 0, err
+		return postResult{status: resp.StatusCode}, err
 	}
 	if enc == EncodingBinary {
-		return resp.StatusCode, "", len(raw), 0, nil
+		return postResult{status: resp.StatusCode, respBytes: len(raw)}, nil
 	}
 	var mr struct {
-		Schedule string `json:"schedule"`
+		Schedule string        `json:"schedule"`
+		Timings  *TimingsBlock `json:"timings"`
 	}
 	if err := json.Unmarshal(raw, &mr); err != nil {
-		return resp.StatusCode, "", 0, 0, err
+		return postResult{status: resp.StatusCode}, err
 	}
-	return resp.StatusCode, mr.Schedule, len(raw), 0, nil
+	return postResult{
+		status: resp.StatusCode, schedule: mr.Schedule,
+		respBytes: len(raw), timings: mr.Timings,
+	}, nil
 }
 
 // matrixDims looks the matrix up via /v1/methods.

@@ -50,6 +50,19 @@ func TestLoadGenSweep(t *testing.T) {
 		if r.Schedule == "" || r.Rows != 256 {
 			t.Errorf("%s/c=%d: schedule=%q rows=%d", r.Method, r.Concurrency, r.Schedule, r.Rows)
 		}
+		// JSON sweeps sample server-side timings: the slowest sampled
+		// request's breakdown and per-stage percentiles ride along.
+		if r.TraceSample == nil || r.TraceSample.TraceID == "" || len(r.TraceSample.Stages) == 0 {
+			t.Errorf("%s/c=%d: trace_sample missing or empty: %+v", r.Method, r.Concurrency, r.TraceSample)
+		}
+		for _, stage := range []string{StageDecode, StageQueue, StageAssemble, StageFlush, StageEncode} {
+			if _, ok := r.StageP50Ms[stage]; !ok {
+				t.Errorf("%s/c=%d: stage_p50_ms missing %q: %v", r.Method, r.Concurrency, stage, r.StageP50Ms)
+			}
+			if _, ok := r.StageP99Ms[stage]; !ok {
+				t.Errorf("%s/c=%d: stage_p99_ms missing %q: %v", r.Method, r.Concurrency, stage, r.StageP99Ms)
+			}
+		}
 	}
 }
 

@@ -84,6 +84,12 @@ func (c *collector) snapshot(queueDepth int) Metrics {
 		FaultedBatches: c.faultedB,
 		QueueDepth:     queueDepth,
 	}
+	// Percentile window on ring wrap: nLat counts every sample ever
+	// recorded, so once it passes latRingSize the whole array is the
+	// window — every slot holds one of the most recent latRingSize
+	// samples (slot nLat%size was overwritten most recently). Clamping to
+	// the array length is exactly right; order within the window does not
+	// matter because snapshot sorts before reading percentiles.
 	n := c.nLat
 	if n > latRingSize {
 		n = latRingSize

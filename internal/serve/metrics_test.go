@@ -39,3 +39,45 @@ func TestPercentileCeilingNearestRank(t *testing.T) {
 		})
 	}
 }
+
+// TestSnapshotPercentileWindowOnRingWrap: once more than latRingSize
+// samples have been recorded, the percentile window must be exactly the
+// most recent latRingSize samples — the wrapped slots' old values must
+// be gone, and nLat (which counts every sample ever) must not inflate
+// the window length.
+func TestSnapshotPercentileWindowOnRingWrap(t *testing.T) {
+	var c collector
+	// Fill the ring with high-latency samples, then wrap it completely
+	// with low-latency ones plus a quarter turn more.
+	high := make([]float64, latRingSize)
+	for i := range high {
+		high[i] = 1000
+	}
+	c.recordBatch(latRingSize, high)
+	low := make([]float64, latRingSize+latRingSize/4)
+	for i := range low {
+		low[i] = 1
+	}
+	c.recordBatch(len(low), low)
+
+	m := c.snapshot(0)
+	if m.P50Ms != 1 || m.P99Ms != 1 {
+		t.Fatalf("after full wrap p50=%v p99=%v, want 1/1 — old window leaked in", m.P50Ms, m.P99Ms)
+	}
+
+	// Partial wrap: the window is the latest latRingSize samples, a mix
+	// of the tail of the low run and a fresh spike. The spike is 1/8 of
+	// the window, so p50 stays low and p99 sees it.
+	spike := make([]float64, latRingSize/8)
+	for i := range spike {
+		spike[i] = 2000
+	}
+	c.recordBatch(len(spike), spike)
+	m = c.snapshot(0)
+	if m.P50Ms != 1 {
+		t.Fatalf("p50 = %v, want 1 (spike is only 1/8 of the window)", m.P50Ms)
+	}
+	if m.P99Ms != 2000 {
+		t.Fatalf("p99 = %v, want 2000 (spike must be inside the window)", m.P99Ms)
+	}
+}

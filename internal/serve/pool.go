@@ -3,11 +3,13 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/method"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/spmv"
 )
@@ -32,6 +34,8 @@ func (k EngineKey) String() string { return fmt.Sprintf("%s/%s/K=%d", k.Matrix, 
 type Pool struct {
 	opt      Options
 	pipeline *method.Pipeline
+	log      *slog.Logger
+	inst     *instruments
 
 	mu        sync.Mutex
 	matrices  map[string]*sparse.CSR
@@ -65,14 +69,23 @@ type poolEntry struct {
 
 // NewPool creates an empty pool; register matrices with AddMatrix.
 func NewPool(opt Options) *Pool {
-	return &Pool{
+	p := &Pool{
 		opt:      opt.withDefaults(),
 		pipeline: method.NewPipeline(),
 		matrices: make(map[string]*sparse.CSR),
 		engines:  make(map[EngineKey]*poolEntry),
 		breakers: make(map[EngineKey]*breaker),
 	}
+	p.log = p.opt.Logger
+	p.inst = newInstruments(p.opt.Registry)
+	return p
 }
+
+// Logger is the pool's structured logger (never nil).
+func (p *Pool) Logger() *slog.Logger { return p.log }
+
+// Registry is the metrics registry backing the stage histograms.
+func (p *Pool) Registry() *obs.Registry { return p.opt.Registry }
 
 // AddMatrix registers a named matrix for serving. Re-registering a name
 // is an error: resident engines were built against the old instance.
@@ -215,7 +228,10 @@ func (p *Pool) Acquire(matrix, methodName string, k int) (*Handle, error) {
 			br = &breaker{}
 			p.breakers[key] = br
 		}
-		if allowed, retry := br.allow(time.Now()); !allowed {
+		prev := br.state
+		allowed, retry := br.allow(time.Now())
+		p.logBreakerLocked(key, prev, br)
+		if !allowed {
 			p.mu.Unlock()
 			return nil, &QuarantinedError{Key: key, RetryAfter: retry}
 		}
@@ -264,12 +280,25 @@ func (p *Pool) Acquire(matrix, methodName string, k int) (*Handle, error) {
 // it (doubling the rebuild cooldown).
 func (p *Pool) build(e *poolEntry, a *sparse.CSR, methodName string, k int) {
 	defer close(e.ready)
+	t0 := time.Now()
 	defer func() {
 		p.mu.Lock()
 		if br := p.breakers[e.key]; br != nil {
+			prev := br.state
 			br.settle(time.Now(), p.opt, e.err == nil)
+			p.logBreakerLocked(e.key, prev, br)
 		}
 		p.mu.Unlock()
+		if e.err != nil {
+			p.log.LogAttrs(context.Background(), slog.LevelError, "engine build failed",
+				slog.String("event", "build_failed"), slog.String("engine", e.key.String()),
+				slog.String("error", e.err.Error()), slog.Duration("elapsed", time.Since(t0)))
+		} else {
+			p.log.LogAttrs(context.Background(), slog.LevelInfo, "engine built",
+				slog.String("event", "build"), slog.String("engine", e.key.String()),
+				slog.String("schedule", e.schedule), slog.String("kernel", e.kernels),
+				slog.Duration("elapsed", time.Since(t0)))
+		}
 	}()
 	if p.opt.Injector.Fire("build.fail") {
 		e.err = fmt.Errorf("serve: build %s: %w", e.key, fmt.Errorf("faultinject: build.fail"))
@@ -323,9 +352,30 @@ func (p *Pool) build(e *poolEntry, a *sparse.CSR, methodName string, k int) {
 			})
 		}
 	}
-	e.sched = newScheduler(eng, a.Rows, a.Cols, p.opt, e.key, func(cause error) {
+	e.sched = newScheduler(eng, a.Rows, a.Cols, p.opt, e.key, e.kernels, p.inst, func(cause error) {
 		p.quarantine(e, cause)
 	})
+}
+
+// logBreakerLocked emits one structured event per breaker state change
+// (called with p.mu held; transitions are rare, so logging under the
+// lock is fine). Event names are distinct per target state so
+// chaos-smoke can assert "one breaker_open per trip" by counting.
+func (p *Pool) logBreakerLocked(key EngineKey, prev breakerState, br *breaker) {
+	if br.state == prev {
+		return
+	}
+	event, lvl := "breaker_closed", slog.LevelInfo
+	switch br.state {
+	case breakerOpen:
+		event, lvl = "breaker_open", slog.LevelWarn
+	case breakerHalfOpen:
+		event = "breaker_half_open"
+	}
+	p.log.LogAttrs(context.Background(), lvl, "breaker state change",
+		slog.String("event", event), slog.String("engine", key.String()),
+		slog.String("from", prev.String()), slog.String("to", br.state.String()),
+		slog.Uint64("trips", br.trips), slog.Duration("cooldown", br.backoff))
 }
 
 // quarantine evicts a faulted engine: the entry leaves the map so the
@@ -345,8 +395,14 @@ func (p *Pool) quarantine(e *poolEntry, cause error) {
 		br = &breaker{}
 		p.breakers[e.key] = br
 	}
+	prev := br.state
 	br.trip(time.Now(), p.opt)
+	p.logBreakerLocked(e.key, prev, br)
+	cooldown := br.backoff
 	p.mu.Unlock()
+	p.log.LogAttrs(context.Background(), slog.LevelWarn, "engine quarantined",
+		slog.String("event", "quarantine"), slog.String("engine", e.key.String()),
+		slog.String("cause", cause.Error()), slog.Duration("cooldown", cooldown))
 
 	p.quarWG.Add(1)
 	go func() {
@@ -402,6 +458,8 @@ func (p *Pool) evictLocked() []*poolEntry {
 		delete(p.engines, e.key)
 		p.evictions++
 		out = append(out, e)
+		p.log.LogAttrs(context.Background(), slog.LevelInfo, "engine evicted",
+			slog.String("event", "evict"), slog.String("engine", e.key.String()))
 	}
 	return out
 }

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// promSeries is one snapshot-derived family: its schema plus a closure
+// emitting every sample. The table is shared by the exposition writer
+// and the JSON↔Prometheus contract test, which checks that every field
+// of the /metrics JSON snapshot has a corresponding series here.
+type promSeries struct {
+	name string
+	typ  obs.MetricType
+	help string
+	emit func(p *obs.PromWriter, pm *PoolMetrics)
+}
+
+// engineLabels is the identity label set every per-engine series carries.
+func engineLabels(k EngineKey) []string {
+	return []string{"matrix", k.Matrix, "method", k.Method, "k", strconv.Itoa(k.K)}
+}
+
+// perEngine lifts a per-engine value accessor into a sample emitter.
+func perEngine(v func(*EngineMetrics) float64) func(*obs.PromWriter, *PoolMetrics) {
+	return func(p *obs.PromWriter, pm *PoolMetrics) {
+		for i := range pm.Engines {
+			e := &pm.Engines[i]
+			p.Sample(v(e), engineLabels(e.EngineKey)...)
+		}
+	}
+}
+
+// perTenant lifts a per-tenant value accessor into a sample emitter.
+func perTenant(v func(*TenantMetrics) float64) func(*obs.PromWriter, *PoolMetrics) {
+	return func(p *obs.PromWriter, pm *PoolMetrics) {
+		for i := range pm.Tenants {
+			t := &pm.Tenants[i]
+			p.Sample(v(t), "tenant", t.Name)
+		}
+	}
+}
+
+// breakerStateValue encodes breaker states for the gauge: closed 0,
+// half-open 1, open 2.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// promTable maps the PoolMetrics snapshot onto Prometheus families.
+// JSON field → series correspondences (the contract the test pins):
+//
+//	engines[].requests         spmv_engine_requests_total
+//	engines[].batches          spmv_engine_batches_total
+//	engines[].mean_batch       spmv_engine_mean_batch_width
+//	engines[].overloads        spmv_engine_overloads_total
+//	engines[].cancelled        spmv_engine_cancelled_total
+//	engines[].failures         spmv_engine_failures_total
+//	engines[].faulted_batches  spmv_engine_faulted_batches_total
+//	engines[].p50_ms / p99_ms  spmv_engine_latency_p50_seconds / _p99_
+//	engines[].queue_depth      spmv_engine_queue_depth
+//	engines[].refs             spmv_engine_refs
+//	engines[].schedule/kernel  spmv_engine_info labels
+//	breakers[].state / trips   spmv_breaker_state / spmv_breaker_trips_total
+//	tenants[].*                spmv_tenant_*
+//	pool totals                spmv_pool_*
+var promTable = []promSeries{
+	{"spmv_breaker_state", obs.TypeGauge,
+		"Circuit-breaker state per engine key: 0 closed, 1 half-open, 2 open.",
+		func(p *obs.PromWriter, pm *PoolMetrics) {
+			for _, b := range pm.Breakers {
+				p.Sample(breakerStateValue(b.State), engineLabels(b.EngineKey)...)
+			}
+		}},
+	{"spmv_breaker_trips_total", obs.TypeCounter,
+		"Circuit-breaker trips (quarantines plus failed rebuilds) per engine key.",
+		func(p *obs.PromWriter, pm *PoolMetrics) {
+			for _, b := range pm.Breakers {
+				p.Sample(float64(b.Trips), engineLabels(b.EngineKey)...)
+			}
+		}},
+	{"spmv_engine_batches_total", obs.TypeCounter,
+		"Successful engine flushes.",
+		perEngine(func(e *EngineMetrics) float64 { return float64(e.Batches) })},
+	{"spmv_engine_cancelled_total", obs.TypeCounter,
+		"Submissions abandoned via context cancellation.",
+		perEngine(func(e *EngineMetrics) float64 { return float64(e.Cancelled) })},
+	{"spmv_engine_failures_total", obs.TypeCounter,
+		"Requests failed inside the engine.",
+		perEngine(func(e *EngineMetrics) float64 { return float64(e.Failures) })},
+	{"spmv_engine_faulted_batches_total", obs.TypeCounter,
+		"Batches lost to an engine fault before quarantine.",
+		perEngine(func(e *EngineMetrics) float64 { return float64(e.FaultedBatches) })},
+	{"spmv_engine_info", obs.TypeGauge,
+		"Engine identity: schedule and kernel selection as labels, value 1.",
+		func(p *obs.PromWriter, pm *PoolMetrics) {
+			for i := range pm.Engines {
+				e := &pm.Engines[i]
+				p.Sample(1, append(engineLabels(e.EngineKey),
+					"schedule", e.Schedule, "kernel", e.Kernel)...)
+			}
+		}},
+	{"spmv_engine_latency_p50_seconds", obs.TypeGauge,
+		"Median request latency over the engine's recent-sample window.",
+		perEngine(func(e *EngineMetrics) float64 { return e.P50Ms / 1e3 })},
+	{"spmv_engine_latency_p99_seconds", obs.TypeGauge,
+		"99th-percentile request latency over the engine's recent-sample window.",
+		perEngine(func(e *EngineMetrics) float64 { return e.P99Ms / 1e3 })},
+	{"spmv_engine_mean_batch_width", obs.TypeGauge,
+		"Requests per flush since the engine was built.",
+		perEngine(func(e *EngineMetrics) float64 { return e.MeanBatch })},
+	{"spmv_engine_overloads_total", obs.TypeCounter,
+		"Submissions rejected by admission control.",
+		perEngine(func(e *EngineMetrics) float64 { return float64(e.Overloads) })},
+	{"spmv_engine_queue_depth", obs.TypeGauge,
+		"Live queued requests on the engine.",
+		perEngine(func(e *EngineMetrics) float64 { return float64(e.QueueDepth) })},
+	{"spmv_engine_refs", obs.TypeGauge,
+		"Outstanding handles pinning the engine.",
+		perEngine(func(e *EngineMetrics) float64 { return float64(e.Refs) })},
+	{"spmv_engine_requests_total", obs.TypeCounter,
+		"Successfully completed multiplies (not batches).",
+		perEngine(func(e *EngineMetrics) float64 { return float64(e.Requests) })},
+	{"spmv_pool_batches_total", obs.TypeCounter,
+		"Successful flushes across all resident engines.",
+		func(p *obs.PromWriter, pm *PoolMetrics) { p.Sample(float64(pm.Batches)) }},
+	{"spmv_pool_builds_total", obs.TypeCounter,
+		"Engine builds performed by the pool.",
+		func(p *obs.PromWriter, pm *PoolMetrics) { p.Sample(float64(pm.Builds)) }},
+	{"spmv_pool_engines", obs.TypeGauge,
+		"Resident engines.",
+		func(p *obs.PromWriter, pm *PoolMetrics) { p.Sample(float64(len(pm.Engines))) }},
+	{"spmv_pool_evictions_total", obs.TypeCounter,
+		"Idle engines evicted over the pool cap.",
+		func(p *obs.PromWriter, pm *PoolMetrics) { p.Sample(float64(pm.Evictions)) }},
+	{"spmv_pool_max_engines", obs.TypeGauge,
+		"Configured resident-engine cap.",
+		func(p *obs.PromWriter, pm *PoolMetrics) { p.Sample(float64(pm.MaxEngines)) }},
+	{"spmv_pool_mean_batch_width", obs.TypeGauge,
+		"Requests per flush across all resident engines.",
+		func(p *obs.PromWriter, pm *PoolMetrics) { p.Sample(pm.MeanBatch) }},
+	{"spmv_pool_quarantines_total", obs.TypeCounter,
+		"Engines quarantined after faults.",
+		func(p *obs.PromWriter, pm *PoolMetrics) { p.Sample(float64(pm.Quarantines)) }},
+	{"spmv_pool_requests_total", obs.TypeCounter,
+		"Completed multiplies across all resident engines.",
+		func(p *obs.PromWriter, pm *PoolMetrics) { p.Sample(float64(pm.Requests)) }},
+	{"spmv_tenant_bytes_total", obs.TypeCounter,
+		"Wire bytes by tenant, encoding, and direction.",
+		func(p *obs.PromWriter, pm *PoolMetrics) {
+			for i := range pm.Tenants {
+				t := &pm.Tenants[i]
+				for _, s := range []struct {
+					enc, dir string
+					v        uint64
+				}{
+					{"json", "in", t.BytesInJSON}, {"json", "out", t.BytesOutJSON},
+					{"binary", "in", t.BytesInBinary}, {"binary", "out", t.BytesOutBinary},
+				} {
+					p.Sample(float64(s.v), "tenant", t.Name, "encoding", s.enc, "direction", s.dir)
+				}
+			}
+		}},
+	{"spmv_tenant_queue_depth", obs.TypeGauge,
+		"Live queued requests summed across engines, per tenant.",
+		perTenant(func(t *TenantMetrics) float64 { return float64(t.QueueDepth) })},
+	{"spmv_tenant_rejections_total", obs.TypeCounter,
+		"Requests shed by the tenant's queue quota.",
+		perTenant(func(t *TenantMetrics) float64 { return float64(t.Rejections) })},
+	{"spmv_tenant_requests_total", obs.TypeCounter,
+		"Requests completed for the tenant.",
+		perTenant(func(t *TenantMetrics) float64 { return float64(t.Requests) })},
+	{"spmv_tenant_weight", obs.TypeGauge,
+		"Stride-scheduling weight.",
+		perTenant(func(t *TenantMetrics) float64 { return t.Weight })},
+}
+
+// writePromMetrics renders the full Prometheus exposition: the
+// PoolMetrics snapshot through promTable (sorted by family name above)
+// followed by the registry's stage-latency histograms.
+func (s *Server) writePromMetrics(w http.ResponseWriter) {
+	pm := s.pool.MetricsSnapshot()
+	w.Header().Set("Content-Type", obs.PromContentType)
+	p := obs.NewPromWriter(w)
+	for _, fam := range promTable {
+		p.Family(fam.name, fam.typ, fam.help)
+		fam.emit(p, &pm)
+	}
+	s.pool.Registry().WriteTo(p)
+	_ = p.Flush()
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// promContract maps every JSON field of the /metrics snapshot onto its
+// Prometheus series (or the label that carries it). The test below
+// reflects over the snapshot structs, so adding a JSON field without
+// extending the exposition — or this table — fails the build's tests.
+var promContract = map[string]string{
+	"Metrics.requests":        "spmv_engine_requests_total",
+	"Metrics.batches":         "spmv_engine_batches_total",
+	"Metrics.mean_batch":      "spmv_engine_mean_batch_width",
+	"Metrics.overloads":       "spmv_engine_overloads_total",
+	"Metrics.cancelled":       "spmv_engine_cancelled_total",
+	"Metrics.failures":        "spmv_engine_failures_total",
+	"Metrics.faulted_batches": "spmv_engine_faulted_batches_total",
+	"Metrics.p50_ms":          "spmv_engine_latency_p50_seconds",
+	"Metrics.p99_ms":          "spmv_engine_latency_p99_seconds",
+	"Metrics.queue_depth":     "spmv_engine_queue_depth",
+
+	"EngineMetrics.matrix":   "label:matrix",
+	"EngineMetrics.method":   "label:method",
+	"EngineMetrics.k":        "label:k",
+	"EngineMetrics.schedule": "label:spmv_engine_info.schedule",
+	"EngineMetrics.kernel":   "label:spmv_engine_info.kernel",
+	"EngineMetrics.refs":     "spmv_engine_refs",
+
+	"BreakerMetrics.matrix": "label:matrix",
+	"BreakerMetrics.method": "label:method",
+	"BreakerMetrics.k":      "label:k",
+	"BreakerMetrics.state":  "spmv_breaker_state",
+	"BreakerMetrics.trips":  "spmv_breaker_trips_total",
+
+	"TenantMetrics.name":             "label:tenant",
+	"TenantMetrics.weight":           "spmv_tenant_weight",
+	"TenantMetrics.requests":         "spmv_tenant_requests_total",
+	"TenantMetrics.rejections":       "spmv_tenant_rejections_total",
+	"TenantMetrics.queue_depth":      "spmv_tenant_queue_depth",
+	"TenantMetrics.bytes_in_json":    "spmv_tenant_bytes_total",
+	"TenantMetrics.bytes_out_json":   "spmv_tenant_bytes_total",
+	"TenantMetrics.bytes_in_binary":  "spmv_tenant_bytes_total",
+	"TenantMetrics.bytes_out_binary": "spmv_tenant_bytes_total",
+
+	"PoolMetrics.engines":     "spmv_pool_engines",
+	"PoolMetrics.breakers":    "nested", // rows expand via BreakerMetrics
+	"PoolMetrics.tenants":     "nested", // rows expand via TenantMetrics
+	"PoolMetrics.max_engines": "spmv_pool_max_engines",
+	"PoolMetrics.builds":      "spmv_pool_builds_total",
+	"PoolMetrics.evictions":   "spmv_pool_evictions_total",
+	"PoolMetrics.quarantines": "spmv_pool_quarantines_total",
+	"PoolMetrics.requests":    "spmv_pool_requests_total",
+	"PoolMetrics.batches":     "spmv_pool_batches_total",
+	"PoolMetrics.mean_batch":  "spmv_pool_mean_batch_width",
+}
+
+// jsonFields collects a struct's JSON field names, flattening embedded
+// structs (EngineMetrics embeds EngineKey and Metrics) under the outer
+// type's name.
+func jsonFields(typeName string, t reflect.Type, into map[string]bool) {
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Anonymous && f.Type.Kind() == reflect.Struct {
+			jsonFields(typeName, f.Type, into)
+			continue
+		}
+		tag := strings.SplitN(f.Tag.Get("json"), ",", 2)[0]
+		if tag == "" || tag == "-" {
+			continue
+		}
+		into[typeName+"."+tag] = true
+	}
+}
+
+// TestPromContractCoversEveryJSONField: the JSON snapshot and the
+// Prometheus exposition must describe the same data. Every JSON field
+// maps to a series or a label, and every mapped series is actually in
+// the exposition table.
+func TestPromContractCoversEveryJSONField(t *testing.T) {
+	fields := map[string]bool{}
+	// EngineMetrics/BreakerMetrics flatten their embeds themselves;
+	// Metrics is checked standalone so the engine rows stay covered even
+	// if the embedding changes.
+	jsonFields("Metrics", reflect.TypeOf(Metrics{}), fields)
+	jsonFields("EngineMetrics", reflect.TypeOf(EngineMetrics{}), fields)
+	jsonFields("BreakerMetrics", reflect.TypeOf(BreakerMetrics{}), fields)
+	jsonFields("TenantMetrics", reflect.TypeOf(TenantMetrics{}), fields)
+	jsonFields("PoolMetrics", reflect.TypeOf(PoolMetrics{}), fields)
+
+	// EngineMetrics embeds Metrics: its flattened fields are the
+	// Metrics.* entries. Dedup by stripping those duplicates.
+	for f := range fields {
+		if strings.HasPrefix(f, "EngineMetrics.") {
+			if _, ok := promContract["Metrics."+strings.TrimPrefix(f, "EngineMetrics.")]; ok {
+				delete(fields, f)
+			}
+		}
+		if strings.HasPrefix(f, "BreakerMetrics.") {
+			continue
+		}
+	}
+
+	series := map[string]bool{}
+	for _, fam := range promTable {
+		series[fam.name] = true
+	}
+
+	var missing, unknown []string
+	for f := range fields {
+		want, ok := promContract[f]
+		if !ok {
+			missing = append(missing, f)
+			continue
+		}
+		if want == "nested" || strings.HasPrefix(want, "label:") {
+			continue
+		}
+		if !series[want] {
+			unknown = append(unknown, f+" -> "+want)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(unknown)
+	if len(missing) > 0 {
+		t.Errorf("JSON fields with no Prometheus mapping (extend promTable and promContract): %v", missing)
+	}
+	if len(unknown) > 0 {
+		t.Errorf("contract names series missing from promTable: %v", unknown)
+	}
+
+	// The inverse direction: every promTable family is mapped from some
+	// JSON field, so the table cannot drift into unexplained series.
+	mapped := map[string]bool{}
+	for _, v := range promContract {
+		mapped[v] = true
+		if i := strings.IndexByte(v, '.'); strings.HasPrefix(v, "label:") && i >= 0 {
+			mapped[strings.TrimPrefix(v[:i], "label:")] = true
+		}
+	}
+	for _, fam := range promTable {
+		if !mapped[fam.name] {
+			t.Errorf("promTable family %s has no JSON counterpart in promContract", fam.name)
+		}
+	}
+
+	// promTable must stay sorted by family name (the exposition relies
+	// on deterministic ordering for diffability).
+	for i := 1; i < len(promTable); i++ {
+		if promTable[i].name <= promTable[i-1].name {
+			t.Errorf("promTable out of order: %s after %s", promTable[i].name, promTable[i-1].name)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/spmv"
 )
 
@@ -57,13 +58,29 @@ type scheduler struct {
 	onFault    func(cause error)
 
 	m collector
+
+	// Stage attribution state, owned by the runner goroutine. availT is
+	// when the engine last became free (end of the previous flush): a
+	// request waits in "queue" while the engine serves earlier flushes
+	// (availT − enq) and in "assemble" from max(enq, availT) until the
+	// engine starts — the deliberate MaxWait aging plus batch take. The
+	// three stages sum exactly to the request's measured latency.
+	availT  time.Time
+	kernel  string            // engine's kernel selection, for flush spans
+	sampler spmv.PhaseSampler // non-nil when the engine exposes phase timings
+	// Cached per-engine stage histogram children (nil without instruments).
+	hQueue, hAssemble, hFlush *obs.Histogram
+	inst                      *instruments
 }
 
-// tenantQueue is one tenant's FIFO on one engine plus its stride state.
+// tenantQueue is one tenant's FIFO on one engine plus its stride state
+// and the tenant's cached stage-histogram children.
 type tenantQueue struct {
 	tn   *Tenant
 	reqs []*request
 	pass float64 // virtual time; lowest pass is served next
+
+	hQueue, hAssemble, hFlush *obs.Histogram
 }
 
 // request is one queued multiply. The caller owns x (and must not write
@@ -80,18 +97,33 @@ type request struct {
 	err       error
 	done      chan struct{}
 	enq       time.Time
+	sink      *stageSink // optional per-request trace sink
+	tq        *tenantQueue
 }
 
-func newScheduler(eng spmv.Multiplier, rows, cols int, opt Options, key EngineKey, onFault func(cause error)) *scheduler {
+func newScheduler(eng spmv.Multiplier, rows, cols int, opt Options, key EngineKey, kernel string, inst *instruments, onFault func(cause error)) *scheduler {
 	s := &scheduler{
 		eng:     eng,
 		rows:    rows,
 		cols:    cols,
 		opt:     opt,
 		key:     key,
+		kernel:  kernel,
+		inst:    inst,
 		onFault: onFault,
 		tq:      make(map[*Tenant]*tenantQueue),
 		wake:    make(chan struct{}, 1),
+		availT:  time.Now(),
+	}
+	if inst != nil {
+		s.hQueue, s.hAssemble, s.hFlush = inst.engineStages(key)
+	}
+	// Arm phase sampling before the runner can flush: LastPhases is read
+	// by the runner after every multiply (the dispatch barrier orders the
+	// worker's writes before that read).
+	if ps, ok := eng.(spmv.PhaseSampler); ok {
+		ps.SamplePhases(true)
+		s.sampler = ps
 	}
 	s.wg.Add(1)
 	go s.run()
@@ -159,9 +191,10 @@ func (s *scheduler) submitBatch(ctx context.Context, tn *Tenant, xs [][]float64,
 		return nil, s.faultError()
 	}
 	now := time.Now()
+	sink := sinkFrom(ctx)
 	reqs := make([]*request, len(xs))
 	for i, x := range xs {
-		reqs[i] = &request{x: x, tn: tn, transpose: transpose, done: make(chan struct{}), enq: now}
+		reqs[i] = &request{x: x, tn: tn, transpose: transpose, done: make(chan struct{}), enq: now, sink: sink}
 	}
 
 	s.mu.Lock()
@@ -183,6 +216,9 @@ func (s *scheduler) submitBatch(ctx context.Context, tn *Tenant, xs [][]float64,
 	}
 	if s.nq == 0 {
 		s.oldest = now
+	}
+	for _, r := range reqs {
+		r.tq = q
 	}
 	q.reqs = append(q.reqs, reqs...)
 	s.nq += len(reqs)
@@ -233,6 +269,9 @@ func (s *scheduler) queueForLocked(tn *Tenant) *tenantQueue {
 	q := s.tq[tn]
 	if q == nil {
 		q = &tenantQueue{tn: tn, pass: s.vtime}
+		if s.inst != nil {
+			q.hQueue, q.hAssemble, q.hFlush = s.inst.tenantStages(tn.Name)
+		}
 		s.tq[tn] = q
 	} else if len(q.reqs) == 0 && q.pass < s.vtime {
 		q.pass = s.vtime
@@ -418,16 +457,50 @@ func (s *scheduler) takeBatchLocked() []*request {
 // with a typed *EngineFaultError and triggers the pool's quarantine —
 // once, however many flushes race the poisoned engine afterwards.
 func (s *scheduler) flush(batch []*request) {
-	err, fault := s.multiply(batch)
+	var ft flushTiming
+	err, fault := s.multiply(batch, &ft)
 	if fault {
 		err = s.recordFault(err)
 	}
+	end := time.Now()
+	avail := s.availT // engine was free since the previous flush ended
+	s.availT = end
+
+	var ph spmv.PhaseTimings
+	var phOK bool
+	if s.sampler != nil && err == nil {
+		ph, phOK = s.sampler.LastPhases()
+	}
+	engOK := err == nil && !ft.engStart.IsZero()
+
 	latMs := make([]float64, 0, len(batch))
 	for _, r := range batch {
 		r.err = err
 		latMs = append(latMs, msSince(r.enq))
 		if err == nil {
 			r.tn.requests.Add(1)
+		}
+		if engOK {
+			// queue: the engine was busy with earlier flushes; assemble:
+			// MaxWait aging plus batch take and buffer prep; flush: the
+			// engine multiply. The three sum to engEnd − enq exactly.
+			queue := avail.Sub(r.enq)
+			if queue < 0 {
+				queue = 0
+			}
+			asmStart := r.enq
+			if avail.After(asmStart) {
+				asmStart = avail
+			}
+			assemble := ft.engStart.Sub(asmStart)
+			if assemble < 0 {
+				assemble = 0
+			}
+			flushD := ft.engEnd.Sub(ft.engStart)
+			s.observeStages(r, queue, assemble, flushD)
+			if r.sink != nil {
+				r.sink.addFlush(queue, assemble, flushD, len(batch), s.kernel, ph, phOK)
+			}
 		}
 		close(r.done)
 	}
@@ -464,12 +537,33 @@ func (s *scheduler) faultError() error {
 	return &EngineFaultError{Key: s.key, Cause: ErrEngineFault}
 }
 
+// observeStages records one request's scheduler-stage durations into
+// the per-engine and per-tenant histograms.
+func (s *scheduler) observeStages(r *request, queue, assemble, flush time.Duration) {
+	if s.hQueue != nil {
+		s.hQueue.Observe(queue.Seconds())
+		s.hAssemble.Observe(assemble.Seconds())
+		s.hFlush.Observe(flush.Seconds())
+	}
+	if q := r.tq; q != nil && q.hQueue != nil {
+		q.hQueue.Observe(queue.Seconds())
+		q.hAssemble.Observe(assemble.Seconds())
+		q.hFlush.Observe(flush.Seconds())
+	}
+}
+
+// flushTiming brackets the engine call inside one flush; engStart stays
+// zero when the flush dies before reaching the engine.
+type flushTiming struct {
+	engStart, engEnd time.Time
+}
+
 // multiply executes the batch on the engine. fault reports conditions
 // that poison the engine and demand quarantine: a panic anywhere in the
 // flush path (contained worker panics surface as *spmv.EngineFaultError,
 // scheduler-level ones via recover) or corrupted output payloads. A
 // plain error (e.g. racing a Close) fails the batch without quarantine.
-func (s *scheduler) multiply(batch []*request) (err error, fault bool) {
+func (s *scheduler) multiply(batch []*request, ft *flushTiming) (err error, fault bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serve: flush panic: %v", r)
@@ -490,11 +584,13 @@ func (s *scheduler) multiply(batch []*request) (err error, fault bool) {
 	}
 	if len(batch) == 1 {
 		batch[0].y = make([]float64, outLen)
+		ft.engStart = time.Now()
 		if transpose {
 			err = s.eng.MultiplyTranspose(batch[0].x, batch[0].y)
 		} else {
 			err = s.eng.Multiply(batch[0].x, batch[0].y)
 		}
+		ft.engEnd = time.Now()
 	} else {
 		X := make([][]float64, len(batch))
 		Y := make([][]float64, len(batch))
@@ -503,11 +599,13 @@ func (s *scheduler) multiply(batch []*request) (err error, fault bool) {
 			X[i] = r.x
 			Y[i] = r.y
 		}
+		ft.engStart = time.Now()
 		if transpose {
 			err = s.eng.MultiplyTransposeMulti(X, Y)
 		} else {
 			err = s.eng.MultiplyMulti(X, Y)
 		}
+		ft.engEnd = time.Now()
 	}
 	if err != nil {
 		var fe *spmv.EngineFaultError

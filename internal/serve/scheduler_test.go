@@ -37,7 +37,7 @@ func buildEngine(t *testing.T, a *sparse.CSR, name string, k int, seed int64) sp
 
 func newTestScheduler(t *testing.T, a *sparse.CSR, opt Options) *scheduler {
 	t.Helper()
-	s := newScheduler(buildEngine(t, a, "s2d", 4, 1), a.Rows, a.Cols, opt.withDefaults(), EngineKey{}, nil)
+	s := newScheduler(buildEngine(t, a, "s2d", 4, 1), a.Rows, a.Cols, opt.withDefaults(), EngineKey{}, "", nil, nil)
 	t.Cleanup(s.close)
 	return s
 }
@@ -278,7 +278,7 @@ func TestSubmitOverload(t *testing.T) {
 func TestSubmitAfterClose(t *testing.T) {
 	a := testMatrix(t, 12, 12)
 	s := newScheduler(buildEngine(t, a, "s2d", 4, 1), a.Rows, a.Cols,
-		Options{}.withDefaults(), EngineKey{}, nil)
+		Options{}.withDefaults(), EngineKey{}, "", nil, nil)
 	r := rand.New(rand.NewSource(13))
 	x := randVec(r, a.Cols)
 	if _, err := s.submit(context.Background(), x); err != nil {
@@ -315,7 +315,7 @@ func TestCoalescedBitwiseEqualsSolo(t *testing.T) {
 			solo := buildEngine(t, a, name, k, seed)
 			defer solo.Close()
 			s := newScheduler(buildEngine(t, a, name, k, seed), a.Rows, a.Cols,
-				Options{MaxBatch: 8, MaxWait: 2 * time.Millisecond}.withDefaults(), EngineKey{}, nil)
+				Options{MaxBatch: 8, MaxWait: 2 * time.Millisecond}.withDefaults(), EngineKey{}, "", nil, nil)
 			defer s.close()
 
 			r := rand.New(rand.NewSource(17))
@@ -386,7 +386,7 @@ func TestCoalescingThroughputUnderLoad(t *testing.T) {
 	})
 
 	s := newScheduler(buildEngine(t, a, "s2d", 4, 1), a.Rows, a.Cols,
-		Options{MaxBatch: 8, MaxWait: 200 * time.Microsecond}.withDefaults(), EngineKey{}, nil)
+		Options{MaxBatch: 8, MaxWait: 200 * time.Microsecond}.withDefaults(), EngineKey{}, "", nil, nil)
 	defer s.close()
 	coalescedOps := loadLoop(clients, duration, func(c int) {
 		if _, err := s.submit(context.Background(), xs[c]); err != nil {
@@ -477,7 +477,7 @@ func TestCoalescedTransposeBitwiseEqualsSolo(t *testing.T) {
 			solo := buildEngine(t, a, name, k, seed)
 			defer solo.Close()
 			s := newScheduler(buildEngine(t, a, name, k, seed), a.Rows, a.Cols,
-				Options{MaxBatch: 8, MaxWait: 2 * time.Millisecond}.withDefaults(), EngineKey{}, nil)
+				Options{MaxBatch: 8, MaxWait: 2 * time.Millisecond}.withDefaults(), EngineKey{}, "", nil, nil)
 			defer s.close()
 
 			r := rand.New(rand.NewSource(29))

@@ -36,8 +36,10 @@
 package serve
 
 import (
+	"log/slog"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve/faultinject"
 )
 
@@ -84,6 +86,14 @@ type Options struct {
 	// no authentication, every request is the default tenant, and the
 	// scheduler behaves exactly like the pre-tenancy global queue.
 	Tenants *TenantRegistry
+	// Logger receives the pool's structured operational log: engine
+	// lifecycle (build, quarantine, breaker transitions) at Info/Warn and
+	// per-request completion lines at Debug. Nil discards everything.
+	Logger *slog.Logger
+	// Registry collects the serving histograms (per-stage latency per
+	// engine and per tenant); the server renders it into the Prometheus
+	// /metrics exposition. Nil allocates a private registry.
+	Registry *obs.Registry
 	// ForceKernel names one spmv kernel backend to install on every
 	// pooled engine instead of autotuning ("scalar" pins the reference
 	// kernels). Empty autotunes each engine at build time; the verdicts
@@ -118,6 +128,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Tenants == nil {
 		o.Tenants, _ = NewTenantRegistry() // open registry cannot fail
+	}
+	if o.Logger == nil {
+		o.Logger = obs.Nop
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
 	}
 	return o
 }

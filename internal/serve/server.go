@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/method"
+	"repro/internal/obs"
 	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/wire"
@@ -66,6 +68,9 @@ type Server struct {
 	// MaxUploadBytes caps the /v1/matrices request body; larger uploads
 	// fail with 413 (default 1 GiB).
 	MaxUploadBytes int64
+	// Traces is the bounded in-flight trace buffer behind /debug/traces:
+	// every authenticated request records its span tree here.
+	Traces *obs.TraceBuffer
 
 	draining atomic.Bool
 }
@@ -76,6 +81,7 @@ func NewServer(pool *Pool) *Server {
 		pool: pool, mux: http.NewServeMux(),
 		DefaultMethod: "s2d", DefaultK: 4,
 		MaxUploadBytes: 1 << 30,
+		Traces:         obs.NewTraceBuffer(256, 32),
 	}
 	s.mux.HandleFunc("POST /v1/multiply", s.auth(s.handleMultiply))
 	s.mux.HandleFunc("POST /v1/solve", s.auth(s.handleSolve))
@@ -85,6 +91,7 @@ func NewServer(pool *Pool) *Server {
 	s.mux.HandleFunc("GET /v1/matrices/{name}", s.handleMatrixGet)
 	s.mux.HandleFunc("DELETE /v1/matrices/{name}", s.auth(s.handleMatrixDelete))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
@@ -92,18 +99,23 @@ func NewServer(pool *Pool) *Server {
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// auth resolves the request's tenant before the handler runs. Data-plane
-// and mutating endpoints go through here; read-only introspection
-// (methods, matrix listings, metrics, health) stays open so dashboards
-// and probes need no keys.
-func (s *Server) auth(h func(http.ResponseWriter, *http.Request, *Tenant)) http.HandlerFunc {
+// auth resolves the request's tenant before the handler runs, opens the
+// request trace (X-Trace-Id is on every response from here, including
+// auth failures), and publishes the finished trace. Data-plane and
+// mutating endpoints go through here; read-only introspection (methods,
+// matrix listings, metrics, health) stays open so dashboards and probes
+// need no keys.
+func (s *Server) auth(h func(http.ResponseWriter, *http.Request, *Tenant, *reqTrace)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		sw, rt := s.beginTrace(w, r)
+		defer rt.finish(s, sw)
 		tn, err := s.pool.Tenants().Authenticate(r.Header.Get("Authorization"))
 		if err != nil {
-			writeError(w, err)
+			writeError(sw, err)
 			return
 		}
-		h(w, r, tn)
+		rt.tenant = tn.Name
+		h(sw, r, tn, rt)
 	}
 }
 
@@ -112,7 +124,19 @@ func (s *Server) auth(h func(http.ResponseWriter, *http.Request, *Tenant)) http.
 // normally while the load balancer reads /readyz and routes new traffic
 // elsewhere; the listener itself stops accepting only when
 // http.Server.Shutdown closes it.
-func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+func (s *Server) SetDraining(v bool) {
+	if s.draining.Swap(v) == v {
+		return
+	}
+	log := s.pool.Logger()
+	if v {
+		log.LogAttrs(context.Background(), slog.LevelWarn, "server draining",
+			slog.String("event", "drain"))
+	} else {
+		log.LogAttrs(context.Background(), slog.LevelInfo, "server accepting traffic",
+			slog.String("event", "undrain"))
+	}
+}
 
 // Draining reports the readiness state.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -194,18 +218,28 @@ type multiplyRequest struct {
 	Transpose bool `json:"transpose,omitempty"`
 	// DeadlineMs overrides the server's default deadline for this request.
 	DeadlineMs int `json:"deadline_ms,omitempty"`
+	// Timings opts into the per-response stage breakdown (JSON responses
+	// only); `?timings=1` on the URL does the same.
+	Timings bool `json:"timings,omitempty"`
 }
 
 type multiplyResponse struct {
-	Y         []float64   `json:"y,omitempty"`
-	Ys        [][]float64 `json:"ys,omitempty"`
-	Method    string      `json:"method"`
-	K         int         `json:"k"`
-	Schedule  string      `json:"schedule"`
-	ElapsedMs float64     `json:"elapsed_ms"`
+	Y         []float64     `json:"y,omitempty"`
+	Ys        [][]float64   `json:"ys,omitempty"`
+	Method    string        `json:"method"`
+	K         int           `json:"k"`
+	Schedule  string        `json:"schedule"`
+	ElapsedMs float64       `json:"elapsed_ms"`
+	Timings   *TimingsBlock `json:"timings,omitempty"`
 }
 
-func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request, tn *Tenant) {
+// wantTimings reports whether the response should carry the stage
+// breakdown: the URL knob or the JSON body flag.
+func wantTimings(r *http.Request, bodyFlag bool) bool {
+	return bodyFlag || r.URL.Query().Get("timings") == "1"
+}
+
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request, tn *Tenant, rt *reqTrace) {
 	enc := encodingOf(r)
 	body, err := readBody(w, r, s.MaxUploadBytes)
 	if err != nil {
@@ -248,6 +282,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request, tn *Tena
 			fmt.Sprintf("%d right-hand sides exceeds the limit of %d", len(xs), wire.MaxVectors))
 		return
 	}
+	rt.mark(StageDecode)
 	ctx, cancel := s.requestCtx(r, req.DeadlineMs)
 	defer cancel()
 	h, err := s.acquire(req.engineRequest)
@@ -256,8 +291,11 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request, tn *Tena
 		return
 	}
 	defer h.Release()
+	rt.setEngine(h)
+	rt.mark(StageAdmission)
 	t0 := time.Now()
-	ys, err := h.MultiplyBatch(ctx, tn, xs, req.Transpose)
+	ys, err := h.MultiplyBatch(withStageSink(ctx, rt.sink), tn, xs, req.Transpose)
+	rt.mark(StageSchedule)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -273,6 +311,7 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request, tn *Tena
 			writeError(w, err)
 			return
 		}
+		rt.mark(StageEncode)
 		w.Header().Set("Content-Type", wire.ContentType)
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(out)
@@ -285,7 +324,21 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request, tn *Tena
 		} else {
 			resp.Ys = ys
 		}
-		out = marshalJSON(w, http.StatusOK, resp)
+		if wantTimings(r, req.Timings) {
+			// Measure the dominant marshal (the result vectors) as the
+			// encode stage, then attach the block; the top-level stages are
+			// contiguous, so their sum equals the block's total exactly.
+			if _, merr := json.Marshal(resp); merr != nil {
+				writeError(w, merr)
+				return
+			}
+			rt.mark(StageEncode)
+			resp.Timings = rt.block()
+			out = marshalJSON(w, http.StatusOK, resp)
+		} else {
+			out = marshalJSON(w, http.StatusOK, resp)
+			rt.mark(StageEncode)
+		}
 	}
 	tn.CountBytes(enc, len(body), len(out))
 }
@@ -301,17 +354,21 @@ type solveRequest struct {
 	MaxIter int     `json:"max_iter"` // default 500
 	// DeadlineMs overrides the server's default deadline for this request.
 	DeadlineMs int `json:"deadline_ms"`
+	// Timings opts into the per-response stage breakdown (JSON responses
+	// only); `?timings=1` on the URL does the same.
+	Timings bool `json:"timings,omitempty"`
 }
 
 type solveResponse struct {
-	X          []float64 `json:"x"`
-	Iterations int       `json:"iterations"`
-	Residual   float64   `json:"residual"`
-	Converged  bool      `json:"converged"`
-	Solver     string    `json:"solver"`
-	Method     string    `json:"method"`
-	K          int       `json:"k"`
-	ElapsedMs  float64   `json:"elapsed_ms"`
+	X          []float64     `json:"x"`
+	Iterations int           `json:"iterations"`
+	Residual   float64       `json:"residual"`
+	Converged  bool          `json:"converged"`
+	Solver     string        `json:"solver"`
+	Method     string        `json:"method"`
+	K          int           `json:"k"`
+	ElapsedMs  float64       `json:"elapsed_ms"`
+	Timings    *TimingsBlock `json:"timings,omitempty"`
 }
 
 // handleSolve runs an iterative solver on the pooled engine: CG for
@@ -320,7 +377,7 @@ type solveResponse struct {
 // scheduler charged to the calling tenant, so concurrent solves on the
 // same engine batch each other's iterations — forward and transpose
 // products in their own batches.
-func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, tn *Tenant) {
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, tn *Tenant, rt *reqTrace) {
 	enc := encodingOf(r)
 	body, err := readBody(w, r, s.MaxUploadBytes)
 	if err != nil {
@@ -361,6 +418,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, tn *Tenant)
 	if req.MaxIter <= 0 {
 		req.MaxIter = 500
 	}
+	rt.mark(StageDecode)
 	ctx, cancel := s.requestCtx(r, req.DeadlineMs)
 	defer cancel()
 	h, err := s.acquire(req.engineRequest)
@@ -369,6 +427,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, tn *Tenant)
 		return
 	}
 	defer h.Release()
+	rt.setEngine(h)
+	rt.mark(StageAdmission)
 	rows, cols := h.Rows(), h.Cols()
 	if len(req.B) != rows {
 		writeError(w, &DimensionError{Got: len(req.B), Want: rows, What: "b"})
@@ -401,6 +461,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, tn *Tenant)
 	}
 
 	t0 := time.Now()
+	ctx = withStageSink(ctx, rt.sink)
 	var mulErr error
 	lift := func(transpose bool) solver.MulVec {
 		return func(x, y []float64) {
@@ -442,6 +503,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, tn *Tenant)
 	case "cgnr":
 		res, err = solver.CGNRStop(mul, mulT, req.B, x, req.Tol, req.MaxIter, stop)
 	}
+	rt.mark(StageSolve)
 	if mulErr != nil {
 		writeError(w, mulErr)
 		return
@@ -472,14 +534,27 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, tn *Tenant)
 			writeError(w, err)
 			return
 		}
+		rt.mark(StageEncode)
 		w.Header().Set("Content-Type", wire.ContentType)
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(out)
 	} else {
-		out = marshalJSON(w, http.StatusOK, solveResponse{
+		resp := solveResponse{
 			X: x, Iterations: res.Iterations, Residual: res.Residual, Converged: res.Converged,
 			Solver: solverName, Method: h.Key().Method, K: h.Key().K, ElapsedMs: msSince(t0),
-		})
+		}
+		if wantTimings(r, req.Timings) {
+			if _, merr := json.Marshal(resp); merr != nil {
+				writeError(w, merr)
+				return
+			}
+			rt.mark(StageEncode)
+			resp.Timings = rt.block()
+			out = marshalJSON(w, http.StatusOK, resp)
+		} else {
+			out = marshalJSON(w, http.StatusOK, resp)
+			rt.mark(StageEncode)
+		}
 	}
 	tn.CountBytes(enc, len(body), len(out))
 }
@@ -536,7 +611,7 @@ func (s *Server) handleMatrixGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d)
 }
 
-func (s *Server) handleMatrixDelete(w http.ResponseWriter, r *http.Request, _ *Tenant) {
+func (s *Server) handleMatrixDelete(w http.ResponseWriter, r *http.Request, _ *Tenant, _ *reqTrace) {
 	if err := s.pool.RemoveMatrix(r.PathValue("name")); err != nil {
 		writeError(w, err)
 		return
@@ -564,7 +639,7 @@ func validateMatrixName(name string) error {
 // body under ?name= (falling back to a generated name). Bodies are read
 // through MaxBytesReader, never buffered unbounded: an upload past
 // MaxUploadBytes fails with 413 the moment the limit trips.
-func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, _ *Tenant) {
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, _ *Tenant, _ *reqTrace) {
 	name := strings.TrimSpace(r.URL.Query().Get("name"))
 	if r.URL.Query().Has("name") {
 		if err := validateMatrixName(name); err != nil {
@@ -600,8 +675,30 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request, _ *Tenant)
 	writeJSON(w, http.StatusCreated, MatrixInfo{Name: name, Rows: a.Rows, Cols: a.Cols, NNZ: a.NNZ()})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics negotiates the exposition format: an Accept header
+// naming text/plain (or OpenMetrics) gets the Prometheus text
+// exposition; everything else — including no Accept at all — keeps the
+// legacy PoolMetrics JSON, so existing scrapers are untouched.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if obs.WantsPrometheus(r.Header.Get("Accept")) {
+		s.writePromMetrics(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.pool.MetricsSnapshot())
+}
+
+// tracesResponse is the /debug/traces payload.
+type tracesResponse struct {
+	Seen    uint64       `json:"seen"`
+	Recent  []*obs.Trace `json:"recent"`
+	Slowest []*obs.Trace `json:"slowest"`
+}
+
+// handleTraces dumps the bounded trace buffer: the most recent requests
+// (newest first) and the slowest since start (slowest first).
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	recent, slowest, seen := s.Traces.Snapshot()
+	writeJSON(w, http.StatusOK, tracesResponse{Seen: seen, Recent: recent, Slowest: slowest})
 }
 
 // Stable machine-readable error codes: clients branch on these, never

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TimingsBlock is the opt-in per-response stage breakdown: request
+// `?timings=1` (or JSON `"timings": true`) and the JSON response gains
+// this block. Top-level stages are contiguous wall-time intervals, so
+// their sum equals TotalMs exactly; queue/assemble/flush nest under
+// schedule (or solve), and expand/compute/fold under flush.
+type TimingsBlock struct {
+	TraceID string     `json:"trace_id"`
+	TotalMs float64    `json:"total_ms"`
+	Stages  []obs.Span `json:"stages"`
+}
+
+// statusWriter captures the response status for the trace record and
+// the request log line.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// reqTrace accumulates one request's span tree as the handler runs.
+// mark(stage) closes the current top-level interval: every instant from
+// beginTrace to the last mark belongs to exactly one stage, which is
+// what makes the timings block sum to its total.
+type reqTrace struct {
+	id     string
+	route  string
+	tenant string
+	engine string
+	start  time.Time
+	last   time.Time
+	spans  []obs.Span
+	sink   *stageSink // scheduler-side attribution for schedule/solve
+}
+
+// beginTrace starts the span tree, resolves the inbound trace ID
+// (traceparent > X-Request-Id > generated), and stamps it onto the
+// response before the handler can write headers.
+func (s *Server) beginTrace(w http.ResponseWriter, r *http.Request) (*statusWriter, *reqTrace) {
+	id := obs.RequestTraceID(r.Header)
+	w.Header().Set("X-Trace-Id", id)
+	now := time.Now()
+	return &statusWriter{ResponseWriter: w}, &reqTrace{
+		id: id, route: r.URL.Path, start: now, last: now, sink: &stageSink{},
+	}
+}
+
+// mark ends the current stage at now. The schedule/solve stages adopt
+// the sink's scheduler-side breakdown as child spans.
+func (rt *reqTrace) mark(stage string) {
+	now := time.Now()
+	span := obs.Span{Stage: stage, Ms: float64(now.Sub(rt.last)) / 1e6}
+	if stage == StageSchedule || stage == StageSolve {
+		span.Spans = rt.sink.spans()
+	}
+	rt.spans = append(rt.spans, span)
+	rt.last = now
+}
+
+// setEngine records which engine served the request once it is known.
+func (rt *reqTrace) setEngine(h *Handle) { rt.engine = h.Key().String() }
+
+// block renders the opt-in response timings. Call after the last
+// pre-encode mark; the stage list is shared with the trace record, so
+// callers must not mutate it.
+func (rt *reqTrace) block() *TimingsBlock {
+	return &TimingsBlock{
+		TraceID: rt.id,
+		TotalMs: float64(rt.last.Sub(rt.start)) / 1e6,
+		Stages:  rt.spans,
+	}
+}
+
+// finish publishes the trace to the debug buffer, observes the
+// top-level stages into the per-tenant histograms, and emits the
+// request completion log line at Debug.
+func (rt *reqTrace) finish(s *Server, sw *statusWriter) {
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	total := float64(rt.last.Sub(rt.start)) / 1e6
+	s.Traces.Add(&obs.Trace{
+		ID: rt.id, Endpoint: rt.route, Start: rt.start, TotalMs: total,
+		Status: status, Tenant: rt.tenant, Engine: rt.engine, Spans: rt.spans,
+	})
+	if inst := s.pool.inst; inst != nil && rt.tenant != "" {
+		for _, sp := range rt.spans {
+			inst.tenStage.With(rt.tenant, sp.Stage).Observe(sp.Ms / 1e3)
+		}
+	}
+	log := s.pool.Logger()
+	if log.Enabled(context.Background(), slog.LevelDebug) {
+		attrs := []slog.Attr{
+			slog.String("event", "request"),
+			slog.String("trace_id", rt.id),
+			slog.String("route", rt.route),
+			slog.Int("status", status),
+			slog.String("tenant", rt.tenant),
+			slog.Float64("total_ms", total),
+		}
+		if rt.engine != "" {
+			attrs = append(attrs, slog.String("engine", rt.engine))
+		}
+		for _, sp := range rt.spans {
+			attrs = append(attrs, slog.Float64(sp.Stage+"_ms", sp.Ms))
+		}
+		log.LogAttrs(context.Background(), slog.LevelDebug, "request complete", attrs...)
+	}
+}

@@ -130,10 +130,12 @@ func (e *Engine) MultiplyMulti(X, Y [][]float64) error {
 // runFusedBlock is runFused with nrhs-wide payloads: same packets, same
 // sender-ordered folds, block kernels.
 func (e *Engine) runFusedBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
+	pc := e.phaseClock(pr)
 	for _, sp := range pr.sends {
 		sp.fillBlock(kid, x, pr.extXB, nrhs)
 		e.procs[sp.dest].inbox[0] <- sp.bufB
 	}
+	pc.lap(&e.pt.expandNs)
 	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
 		slots := pr.recvX[pk.from]
 		for t, s := range slots {
@@ -143,11 +145,14 @@ func (e *Engine) runFusedBlock(pr *proc, x, y []float64, nrhs int, kid kernelID)
 			addBlock(y[i*nrhs:(i+1)*nrhs], pk.yVal[t*nrhs:(t+1)*nrhs])
 		}
 	}
+	pc.lap(&e.pt.foldNs)
 	ownOf(&pr.own, &pr.ownS, kid).addIntoBlockK(kid, y, x, pr.extXB, nrhs, pr.accB)
+	pc.lap(&e.pt.computeNs)
 }
 
 // runTwoPhaseBlock is runTwoPhase with nrhs-wide payloads.
 func (e *Engine) runTwoPhaseBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
+	pc := e.phaseClock(pr)
 	// Phase 0 — Expand.
 	for _, sp := range pr.sends {
 		sp.fillBlock(kid, x, pr.extXB, nrhs)
@@ -159,8 +164,10 @@ func (e *Engine) runTwoPhaseBlock(pr *proc, x, y []float64, nrhs int, kid kernel
 			copy(pr.extXB[s*nrhs:(s+1)*nrhs], pk.xVal[t*nrhs:(t+1)*nrhs])
 		}
 	}
+	pc.lap(&e.pt.expandNs)
 	// Multiply.
 	ownOf(&pr.own, &pr.ownS, kid).addIntoBlockK(kid, y, x, pr.extXB, nrhs, pr.accB)
+	pc.lap(&e.pt.computeNs)
 	// Phase 1 — Fold.
 	for _, sp := range pr.ySends {
 		sp.fillBlock(kid, x, pr.extXB, nrhs)
@@ -171,6 +178,7 @@ func (e *Engine) runTwoPhaseBlock(pr *proc, x, y []float64, nrhs int, kid kernel
 			addBlock(y[i*nrhs:(i+1)*nrhs], pk.yVal[t*nrhs:(t+1)*nrhs])
 		}
 	}
+	pc.lap(&e.pt.foldNs)
 }
 
 // ---- RoutedEngine ----

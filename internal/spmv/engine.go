@@ -107,6 +107,10 @@ type Engine struct {
 	// the scalar reference kernels everywhere.
 	kernelState
 
+	// pt samples per-phase expand/compute/fold wall time on worker 0
+	// when armed via SamplePhases (see timing.go).
+	pt phaseTimer
+
 	// blockNRHS is the width the block buffers are currently sliced for
 	// (0 until the first MultiplyBlock); see ensureBlock in block.go.
 	blockNRHS int
@@ -427,10 +431,12 @@ func (e *Engine) Multiply(x, y []float64) error {
 // precompiled [x̂,ŷ] packets (Precompute + Expand-and-Fold), bank the
 // incoming ones in sender order, then run the local Compute kernel.
 func (e *Engine) runFused(pr *proc, x, y []float64, kid kernelID) {
+	pc := e.phaseClock(pr)
 	for _, sp := range pr.sends {
 		sp.fill(kid, x, pr.extX)
 		e.procs[sp.dest].inbox[0] <- sp.buf
 	}
+	pc.lap(&e.pt.expandNs)
 	for _, pk := range pr.recv[0].gather(pr.inbox[0]) {
 		slots := pr.recvX[pk.from]
 		for t, v := range pk.xVal {
@@ -440,11 +446,14 @@ func (e *Engine) runFused(pr *proc, x, y []float64, kid kernelID) {
 			y[i] += pk.yVal[t] // rows owned exclusively by this proc
 		}
 	}
+	pc.lap(&e.pt.foldNs)
 	ownOf(&pr.own, &pr.ownS, kid).addIntoK(kid, y, x, pr.extX)
+	pc.lap(&e.pt.computeNs)
 }
 
 // runTwoPhase executes one processor's part of the classic algorithm.
 func (e *Engine) runTwoPhase(pr *proc, x, y []float64, kid kernelID) {
+	pc := e.phaseClock(pr)
 	// Phase 0 — Expand.
 	for _, sp := range pr.sends {
 		sp.fill(kid, x, pr.extX)
@@ -456,8 +465,10 @@ func (e *Engine) runTwoPhase(pr *proc, x, y []float64, kid kernelID) {
 			pr.extX[slots[t]] = v
 		}
 	}
+	pc.lap(&e.pt.expandNs)
 	// Multiply.
 	ownOf(&pr.own, &pr.ownS, kid).addIntoK(kid, y, x, pr.extX)
+	pc.lap(&e.pt.computeNs)
 	// Phase 1 — Fold.
 	for _, sp := range pr.ySends {
 		sp.fill(kid, x, pr.extX)
@@ -468,4 +479,5 @@ func (e *Engine) runTwoPhase(pr *proc, x, y []float64, kid kernelID) {
 			y[i] += pk.yVal[t]
 		}
 	}
+	pc.lap(&e.pt.foldNs)
 }

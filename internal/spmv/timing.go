@@ -1,0 +1,92 @@
+package spmv
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// PhaseTimings is one multiply's expand/compute/fold breakdown as seen
+// by worker 0 — a sample of where the barrier's wall time went, in the
+// paper's phase vocabulary. Fused schedules report the packet sends as
+// Expand, the single gather-and-bank loop as Fold, and the local kernel
+// as Compute; two-phase schedules report phase 0 (x expand) as Expand,
+// the kernel as Compute, and phase 1 (partial-y fold) as Fold.
+type PhaseTimings struct {
+	Expand  time.Duration
+	Compute time.Duration
+	Fold    time.Duration
+}
+
+// PhaseSampler is the optional interface engines implement to expose
+// per-phase timings. The serving scheduler type-asserts it; engines
+// without it (e.g. the routed variant) simply omit phase spans.
+//
+// The contract mirrors the dispatch barrier: LastPhases returns the
+// timings of the most recent completed multiply and must only be called
+// by the dispatching goroutine (which already serializes multiplies).
+type PhaseSampler interface {
+	SamplePhases(on bool)
+	LastPhases() (PhaseTimings, bool)
+}
+
+// phaseTimer holds the engine's sampled phase durations. armed is
+// atomic because SamplePhases may be called from a goroutine other
+// than the workers; the ns fields are plain — worker 0 writes them
+// before the barrier's done.Wait() and the dispatcher reads them after,
+// so the pool's happens-before edge covers them.
+type phaseTimer struct {
+	armed     atomic.Bool
+	sampled   bool // a multiply has completed since arming
+	expandNs  int64
+	computeNs int64
+	foldNs    int64
+}
+
+// SamplePhases arms (or disarms) phase sampling. Disarmed engines skip
+// the two time.Now calls per phase on worker 0 and LastPhases reports
+// ok=false.
+func (e *Engine) SamplePhases(on bool) {
+	e.pt.armed.Store(on)
+	if !on {
+		e.pt.sampled = false
+	}
+}
+
+// LastPhases reports the phase breakdown of the most recent multiply.
+// Call only from the goroutine that dispatches multiplies.
+func (e *Engine) LastPhases() (PhaseTimings, bool) {
+	if !e.pt.armed.Load() || !e.pt.sampled {
+		return PhaseTimings{}, false
+	}
+	return PhaseTimings{
+		Expand:  time.Duration(e.pt.expandNs),
+		Compute: time.Duration(e.pt.computeNs),
+		Fold:    time.Duration(e.pt.foldNs),
+	}, true
+}
+
+// phaseClock is worker 0's stopwatch: a stack value armed only on the
+// sampling worker, so the other workers and disarmed engines pay one
+// atomic load per multiply and nothing else.
+type phaseClock struct {
+	t  time.Time
+	on bool
+}
+
+func (e *Engine) phaseClock(pr *proc) phaseClock {
+	if pr.id != 0 || !e.pt.armed.Load() {
+		return phaseClock{}
+	}
+	e.pt.sampled = true
+	return phaseClock{t: time.Now(), on: true}
+}
+
+// lap stores the time since the previous lap into dst and restarts.
+func (c *phaseClock) lap(dst *int64) {
+	if !c.on {
+		return
+	}
+	now := time.Now()
+	*dst = int64(now.Sub(c.t))
+	c.t = now
+}

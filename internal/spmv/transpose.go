@@ -271,10 +271,12 @@ func (e *Engine) MultiplyTranspose(x, y []float64) error {
 // ones in sender order, then compute the locally-owned columns.
 func (e *Engine) runFusedT(pr *proc, x, y []float64, kid kernelID) {
 	t := pr.t
+	pc := e.phaseClock(pr)
 	for _, sp := range t.sends {
 		sp.fill(kid, x, t.extX) // partial kernels read local x only under s2D
 		e.procs[sp.dest].inbox[0] <- sp.buf
 	}
+	pc.lap(&e.pt.expandNs)
 	for _, pk := range t.recv[0].gather(pr.inbox[0]) {
 		slots := t.recvX[pk.from]
 		for i, v := range pk.xVal {
@@ -284,13 +286,16 @@ func (e *Engine) runFusedT(pr *proc, x, y []float64, kid kernelID) {
 			y[j] += pk.yVal[i] // columns owned exclusively by this proc
 		}
 	}
+	pc.lap(&e.pt.foldNs)
 	ownOf(&t.own, &t.ownS, kid).addIntoK(kid, y, x, t.extX)
+	pc.lap(&e.pt.computeNs)
 }
 
 // runTwoPhaseT executes one processor's transpose part of the classic
 // algorithm: expand x rows, compute, fold column partials.
 func (e *Engine) runTwoPhaseT(pr *proc, x, y []float64, kid kernelID) {
 	t := pr.t
+	pc := e.phaseClock(pr)
 	// Phase 0 — Expand (x rows to their consumers).
 	for _, sp := range t.sends {
 		sp.fill(kid, x, t.extX)
@@ -302,8 +307,10 @@ func (e *Engine) runTwoPhaseT(pr *proc, x, y []float64, kid kernelID) {
 			t.extX[slots[i]] = v
 		}
 	}
+	pc.lap(&e.pt.expandNs)
 	// Multiply.
 	ownOf(&t.own, &t.ownS, kid).addIntoK(kid, y, x, t.extX)
+	pc.lap(&e.pt.computeNs)
 	// Phase 1 — Fold (column partials to the column owners).
 	for _, sp := range t.ySends {
 		sp.fill(kid, x, t.extX)
@@ -314,6 +321,7 @@ func (e *Engine) runTwoPhaseT(pr *proc, x, y []float64, kid kernelID) {
 			y[j] += pk.yVal[i]
 		}
 	}
+	pc.lap(&e.pt.foldNs)
 }
 
 // ---- blocked transpose ----
@@ -362,10 +370,12 @@ func (e *Engine) MultiplyTransposeMulti(X, Y [][]float64) error {
 // runFusedTBlock is runFusedT with nrhs-wide payloads.
 func (e *Engine) runFusedTBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
 	t := pr.t
+	pc := e.phaseClock(pr)
 	for _, sp := range t.sends {
 		sp.fillBlock(kid, x, t.extXB, nrhs)
 		e.procs[sp.dest].inbox[0] <- sp.bufB
 	}
+	pc.lap(&e.pt.expandNs)
 	for _, pk := range t.recv[0].gather(pr.inbox[0]) {
 		slots := t.recvX[pk.from]
 		for i, s := range slots {
@@ -375,12 +385,15 @@ func (e *Engine) runFusedTBlock(pr *proc, x, y []float64, nrhs int, kid kernelID
 			addBlock(y[j*nrhs:(j+1)*nrhs], pk.yVal[i*nrhs:(i+1)*nrhs])
 		}
 	}
+	pc.lap(&e.pt.foldNs)
 	ownOf(&t.own, &t.ownS, kid).addIntoBlockK(kid, y, x, t.extXB, nrhs, t.accB)
+	pc.lap(&e.pt.computeNs)
 }
 
 // runTwoPhaseTBlock is runTwoPhaseT with nrhs-wide payloads.
 func (e *Engine) runTwoPhaseTBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
 	t := pr.t
+	pc := e.phaseClock(pr)
 	// Phase 0 — Expand.
 	for _, sp := range t.sends {
 		sp.fillBlock(kid, x, t.extXB, nrhs)
@@ -392,8 +405,10 @@ func (e *Engine) runTwoPhaseTBlock(pr *proc, x, y []float64, nrhs int, kid kerne
 			copy(t.extXB[s*nrhs:(s+1)*nrhs], pk.xVal[i*nrhs:(i+1)*nrhs])
 		}
 	}
+	pc.lap(&e.pt.expandNs)
 	// Multiply.
 	ownOf(&t.own, &t.ownS, kid).addIntoBlockK(kid, y, x, t.extXB, nrhs, t.accB)
+	pc.lap(&e.pt.computeNs)
 	// Phase 1 — Fold.
 	for _, sp := range t.ySends {
 		sp.fillBlock(kid, x, t.extXB, nrhs)
@@ -404,4 +419,5 @@ func (e *Engine) runTwoPhaseTBlock(pr *proc, x, y []float64, nrhs int, kid kerne
 			addBlock(y[j*nrhs:(j+1)*nrhs], pk.yVal[i*nrhs:(i+1)*nrhs])
 		}
 	}
+	pc.lap(&e.pt.foldNs)
 }
