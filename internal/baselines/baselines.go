@@ -112,7 +112,7 @@ func majorityByIndex(idx []int, owner []int, n, k int) []int {
 			continue
 		}
 		best, bestCount := -1, -1
-		for part, c := range counts[ix] {
+		for part, c := range counts[ix] { //spmvlint:unordered argmax with a total tie-break on part index
 			if c > bestCount || (c == bestCount && part < best) {
 				best, bestCount = part, c
 			}

@@ -67,7 +67,7 @@ func collectBlocks(a *sparse.CSR, xpart, ypart []int, k int) []*block {
 		}
 	}
 	blocks := make([]*block, 0, len(byKey))
-	for _, b := range byKey {
+	for _, b := range byKey { //spmvlint:unordered per-block decomposition; blocks are sorted just below
 		decomposeBlock(b)
 		blocks = append(blocks, b)
 	}

@@ -81,7 +81,7 @@ func (m *MsgAccum) Stats() PhaseStats {
 
 func maxVal(m map[int]int) int {
 	max := 0
-	for _, v := range m {
+	for _, v := range m { //spmvlint:unordered running max; order-insensitive
 		if v > max {
 			max = v
 		}

@@ -224,7 +224,14 @@ func LintPrometheus(text string) (map[string]float64, error) {
 			run.sawInf, run.infVal = true, value
 		}
 	}
-	for gk, run := range buckets {
+	// Sorted so the first error reported is the same on every run.
+	groups := make([]string, 0, len(buckets))
+	for gk := range buckets {
+		groups = append(groups, gk)
+	}
+	sort.Strings(groups)
+	for _, gk := range groups {
+		run := buckets[gk]
 		if !run.sawInf {
 			return nil, fmt.Errorf("histogram %s has no +Inf bucket", gk)
 		}
@@ -239,7 +246,14 @@ func LintPrometheus(text string) (map[string]float64, error) {
 // series present in both scrapes did not decrease — the counter
 // contract a Prometheus server assumes between scrapes.
 func LintMonotonic(prev, cur map[string]float64) error {
-	for id, was := range prev {
+	// Sorted so the first error reported is the same on every run.
+	ids := make([]string, 0, len(prev))
+	for id := range prev {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		was := prev[id]
 		name := id
 		if i := strings.IndexByte(name, '{'); i >= 0 {
 			name = name[:i]

@@ -345,7 +345,7 @@ func fillRecord(rec *Record, results []clientResult) {
 	}
 	rec.StageP50Ms = make(map[string]float64, len(stageMs))
 	rec.StageP99Ms = make(map[string]float64, len(stageMs))
-	for stage, ms := range stageMs {
+	for stage, ms := range stageMs { //spmvlint:unordered per-stage independent writes
 		sort.Float64s(ms)
 		rec.StageP50Ms[stage] = percentile(ms, 0.50)
 		rec.StageP99Ms[stage] = percentile(ms, 0.99)

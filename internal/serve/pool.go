@@ -158,11 +158,21 @@ func (p *Pool) RemoveMatrix(name string) error {
 	}
 	// Builds hold a ref until Acquire returns, so refs>0 also covers
 	// engines still under construction — never close a building entry.
-	for key, e := range p.engines {
+	// The smallest pinned key is reported so the 409 payload does not
+	// depend on map iteration order.
+	var pinKey EngineKey
+	var pinRefs int
+	pinned := false
+	for key, e := range p.engines { //spmvlint:unordered selection with a total tie-break on the key
 		if key.Matrix == name && e.refs > 0 {
-			p.mu.Unlock()
-			return &PinnedMatrixError{Matrix: name, Key: key, Refs: e.refs}
+			if !pinned || key.String() < pinKey.String() {
+				pinKey, pinRefs, pinned = key, e.refs, true
+			}
 		}
+	}
+	if pinned {
+		p.mu.Unlock()
+		return &PinnedMatrixError{Matrix: name, Key: pinKey, Refs: pinRefs}
 	}
 	var victims []*poolEntry
 	for key, e := range p.engines {
@@ -347,7 +357,7 @@ func (p *Pool) build(e *poolEntry, a *sparse.CSR, methodName string, k int) {
 		if h, ok := eng.(spmv.WorkerFaultHooker); ok {
 			h.SetWorkerFaultHook(func(worker int) {
 				if inj.Fire("worker.panic") {
-					panic("faultinject: worker.panic")
+					panic("faultinject: worker.panic") //spmvlint:allowpanic fault injection; contained by runContained
 				}
 			})
 		}

@@ -303,7 +303,7 @@ func (s *scheduler) dequeue(req *request) bool {
 // (queues are FIFO, so only heads matter).
 func (s *scheduler) recomputeOldestLocked() {
 	var oldest time.Time
-	for _, q := range s.tq {
+	for _, q := range s.tq { //spmvlint:unordered running min over enqueue times
 		if len(q.reqs) == 0 {
 			continue
 		}
@@ -373,7 +373,7 @@ func (s *scheduler) run() {
 // iteration order.
 func (s *scheduler) minPassLocked(d *bool) *tenantQueue {
 	var best *tenantQueue
-	for _, q := range s.tq {
+	for _, q := range s.tq { //spmvlint:unordered selection with a total tie-break (pass, then tenant name)
 		if len(q.reqs) == 0 {
 			continue
 		}
@@ -400,7 +400,7 @@ func (s *scheduler) eligibleWidthLocked() int {
 	}
 	d := first.reqs[0].transpose
 	width := 0
-	for _, q := range s.tq {
+	for _, q := range s.tq { //spmvlint:unordered commutative count, capped at MaxBatch
 		for _, r := range q.reqs {
 			if r.transpose != d {
 				break
@@ -572,7 +572,7 @@ func (s *scheduler) multiply(batch []*request, ft *flushTiming) (err error, faul
 	}()
 	inj := s.opt.Injector
 	if inj.Fire("flush.panic") {
-		panic("faultinject: flush.panic")
+		panic("faultinject: flush.panic") //spmvlint:allowpanic fault injection; contained by runContained
 	}
 	if inj.Fire("flush.slow") {
 		time.Sleep(s.opt.FlushDelay)

@@ -752,12 +752,16 @@ func setRetryAfter(w http.ResponseWriter, d time.Duration) int64 {
 
 // writeErrCode emits the envelope for handler-level rejections that
 // have no typed error behind them (malformed bodies, bad parameters).
+//
+//spmv:errwriter
 func writeErrCode(w http.ResponseWriter, status int, code, msg string) {
 	writeEnvelope(w, status, ErrorEnvelope{Error: msg, Code: code})
 }
 
 // writeError maps the serving layer's typed errors onto HTTP statuses
 // and envelope codes.
+//
+//spmv:errwriter
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	env := ErrorEnvelope{Error: err.Error(), Code: CodeInternal}
@@ -809,6 +813,7 @@ func writeError(w http.ResponseWriter, err error) {
 	writeEnvelope(w, status, env)
 }
 
+//spmv:errwriter
 func writeEnvelope(w http.ResponseWriter, status int, env ErrorEnvelope) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -817,6 +822,8 @@ func writeEnvelope(w http.ResponseWriter, status int, env ErrorEnvelope) {
 
 // marshalJSON writes v as the response and returns the bytes written
 // (for per-tenant byte accounting).
+//
+//spmv:errwriter
 func marshalJSON(w http.ResponseWriter, status int, v any) []byte {
 	buf, err := json.Marshal(v)
 	if err != nil {
@@ -831,6 +838,7 @@ func marshalJSON(w http.ResponseWriter, status int, v any) []byte {
 	return buf
 }
 
+//spmv:errwriter
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = marshalJSON(w, status, v)
 }

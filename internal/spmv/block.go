@@ -129,6 +129,8 @@ func (e *Engine) MultiplyMulti(X, Y [][]float64) error {
 
 // runFusedBlock is runFused with nrhs-wide payloads: same packets, same
 // sender-ordered folds, block kernels.
+//
+//spmv:hotpath
 func (e *Engine) runFusedBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
 	pc := e.phaseClock(pr)
 	for _, sp := range pr.sends {
@@ -151,6 +153,8 @@ func (e *Engine) runFusedBlock(pr *proc, x, y []float64, nrhs int, kid kernelID)
 }
 
 // runTwoPhaseBlock is runTwoPhase with nrhs-wide payloads.
+//
+//spmv:hotpath
 func (e *Engine) runTwoPhaseBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
 	pc := e.phaseClock(pr)
 	// Phase 0 — Expand.
@@ -232,6 +236,8 @@ func (e *RoutedEngine) MultiplyMulti(X, Y [][]float64) error {
 
 // runBlock is run with nrhs-wide payloads: identical routing, combining,
 // and fold order, block kernels and block copies.
+//
+//spmv:hotpath
 func (e *RoutedEngine) runBlock(pr *rproc, x, y []float64, nrhs int, kid kernelID) {
 	ryb := pr.routeYValB
 	for i := range ryb {

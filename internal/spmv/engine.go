@@ -126,6 +126,8 @@ type Engine struct {
 // d, compiles it into an allocation-free execution plan, and starts one
 // persistent worker per processor. Fused distributions must satisfy the
 // s2D property.
+//
+//spmv:deterministic
 func NewEngine(d *distrib.Distribution) (*Engine, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -213,7 +215,7 @@ func (p *proc) slotFor(j int) int {
 // for each sender's fixed x payload.
 func compileRecvX(procs []*proc) {
 	for _, pr := range procs {
-		for dest, idxs := range pr.xNeed {
+		for dest, idxs := range pr.xNeed { //spmvlint:unordered each destination writes its own recvX slot
 			slots := make([]int, len(idxs))
 			for t, j := range idxs {
 				slots[t] = procs[dest].extSlot[j]
@@ -260,7 +262,7 @@ func newFusedEngine(d *distrib.Distribution) (*Engine, error) {
 	if s2dErr != nil {
 		return nil, s2dErr
 	}
-	for key, set := range xWant {
+	for key, set := range xWant { //spmvlint:unordered per-key independent writes; idxs are sorted before use
 		idxs := make([]int, 0, len(set))
 		for j := range set {
 			idxs = append(idxs, j)
@@ -277,11 +279,11 @@ func newFusedEngine(d *distrib.Distribution) (*Engine, error) {
 		}
 		sendersOf[to][from] = struct{}{}
 	}
-	for key := range xWant {
+	for key := range xWant { //spmvlint:unordered set insertion; commutative
 		addSender(key.from, key.to)
 	}
 	for _, pr := range procs {
-		for dest := range pr.preGroups {
+		for dest := range pr.preGroups { //spmvlint:unordered set insertion; commutative
 			addSender(pr.id, dest)
 		}
 	}
@@ -364,7 +366,7 @@ func newTwoPhaseEngine(d *distrib.Distribution) (*Engine, error) {
 		}
 		m[to][from] = struct{}{}
 	}
-	for key, set := range xWant {
+	for key, set := range xWant { //spmvlint:unordered per-key independent writes; idxs are sorted before use
 		idxs := make([]int, 0, len(set))
 		for j := range set {
 			idxs = append(idxs, j)
@@ -374,7 +376,7 @@ func newTwoPhaseEngine(d *distrib.Distribution) (*Engine, error) {
 		addSender(xSenders, key.from, key.to)
 	}
 	for _, pr := range procs {
-		for dest := range pr.preGroups {
+		for dest := range pr.preGroups { //spmvlint:unordered set insertion; commutative
 			addSender(ySenders, pr.id, dest)
 		}
 	}
@@ -430,6 +432,8 @@ func (e *Engine) Multiply(x, y []float64) error {
 // runFused executes one processor's part of the §III algorithm: fill the
 // precompiled [x̂,ŷ] packets (Precompute + Expand-and-Fold), bank the
 // incoming ones in sender order, then run the local Compute kernel.
+//
+//spmv:hotpath
 func (e *Engine) runFused(pr *proc, x, y []float64, kid kernelID) {
 	pc := e.phaseClock(pr)
 	for _, sp := range pr.sends {
@@ -452,6 +456,8 @@ func (e *Engine) runFused(pr *proc, x, y []float64, kid kernelID) {
 }
 
 // runTwoPhase executes one processor's part of the classic algorithm.
+//
+//spmv:hotpath
 func (e *Engine) runTwoPhase(pr *proc, x, y []float64, kid kernelID) {
 	pc := e.phaseClock(pr)
 	// Phase 0 — Expand.

@@ -159,6 +159,8 @@ func (ks *kernelState) report() KernelReport {
 // ---- dispatch ----
 
 // addIntoK is addInto under the given backend.
+//
+//spmv:hotpath
 func (k *rowKernel) addIntoK(kid kernelID, dst, x, ext []float64) {
 	if kid == kernRelaxed {
 		k.addIntoRelaxed(dst, x, ext)
@@ -168,6 +170,8 @@ func (k *rowKernel) addIntoK(kid kernelID, dst, x, ext []float64) {
 }
 
 // fillIntoK is fillInto under the given backend.
+//
+//spmv:hotpath
 func (k *rowKernel) fillIntoK(kid kernelID, dst, x, ext []float64) {
 	if kid == kernRelaxed {
 		k.fillIntoRelaxed(dst, x, ext)
@@ -179,6 +183,8 @@ func (k *rowKernel) fillIntoK(kid kernelID, dst, x, ext []float64) {
 // addIntoBlockK is addIntoBlock under the given backend. Widths without
 // a specialized loop use the generic path, which keeps them bitwise
 // identical to scalar even under reg/relaxed selections.
+//
+//spmv:hotpath
 func (k *rowKernel) addIntoBlockK(kid kernelID, dst, x, ext []float64, nrhs int, acc []float64) {
 	switch {
 	case kid.regBlocked():
@@ -213,6 +219,8 @@ func (k *rowKernel) addIntoBlockK(kid kernelID, dst, x, ext []float64, nrhs int,
 }
 
 // fillIntoBlockK is fillIntoBlock under the given backend.
+//
+//spmv:hotpath
 func (k *rowKernel) fillIntoBlockK(kid kernelID, dst, x, ext []float64, nrhs int) {
 	switch {
 	case kid.regBlocked():

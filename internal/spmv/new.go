@@ -56,6 +56,8 @@ type Multiplier interface {
 // schedule), the compiled fused or two-phase engine otherwise. Callers
 // get one constructor for every registered method instead of branching on
 // engine type.
+//
+//spmv:deterministic
 func New(b method.Build) (Multiplier, error) {
 	if b.Mesh != nil {
 		return NewRoutedEngine(b.Dist, *b.Mesh)

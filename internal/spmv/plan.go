@@ -38,6 +38,8 @@ type segKernel struct {
 }
 
 // value computes slot t's dot-product contribution.
+//
+//spmv:hotpath
 func (k *segKernel) value(t int, x, ext []float64) float64 {
 	s := 0.0
 	for q := k.locPtr[t]; q < k.locPtr[t+1]; q++ {
@@ -54,6 +56,8 @@ func (k *segKernel) value(t int, x, ext []float64) float64 {
 // source j for column c sits at x[j*nrhs+c]. Per column, the nonzeros
 // accumulate in exactly the order value uses, so nrhs=1 reproduces the
 // single-vector result bit for bit.
+//
+//spmv:hotpath
 func (k *segKernel) valueBlock(t int, x, ext []float64, nrhs int, acc []float64) {
 	acc = acc[:nrhs]
 	for c := range acc {
@@ -83,6 +87,8 @@ type rowKernel struct {
 }
 
 // addInto accumulates every slot's value into dst[rows[t]].
+//
+//spmv:hotpath
 func (k *rowKernel) addInto(dst, x, ext []float64) {
 	for t, row := range k.rows {
 		dst[row] += k.value(t, x, ext)
@@ -91,6 +97,8 @@ func (k *rowKernel) addInto(dst, x, ext []float64) {
 
 // fillInto overwrites dst[t] with slot t's value; dst must have
 // len(k.rows) entries (a packet's yVal buffer).
+//
+//spmv:hotpath
 func (k *rowKernel) fillInto(dst, x, ext []float64) {
 	for t := range k.rows {
 		dst[t] = k.value(t, x, ext)
@@ -101,6 +109,8 @@ func (k *rowKernel) fillInto(dst, x, ext []float64) {
 // slot's nrhs values accumulate in acc (scratch, len >= nrhs) and are then
 // added to dst[rows[t]*nrhs : ...]. Going through acc keeps the per-column
 // floating-point order identical to value(), not just close.
+//
+//spmv:hotpath
 func (k *rowKernel) addIntoBlock(dst, x, ext []float64, nrhs int, acc []float64) {
 	for t, row := range k.rows {
 		k.valueBlock(t, x, ext, nrhs, acc)
@@ -113,6 +123,8 @@ func (k *rowKernel) addIntoBlock(dst, x, ext []float64, nrhs int, acc []float64)
 
 // fillIntoBlock is the nrhs-wide fillInto: slot t's nrhs values overwrite
 // dst[t*nrhs : (t+1)*nrhs] (a block packet's yVal buffer).
+//
+//spmv:hotpath
 func (k *rowKernel) fillIntoBlock(dst, x, ext []float64, nrhs int) {
 	for t := range k.rows {
 		k.valueBlock(t, x, ext, nrhs, dst[t*nrhs:(t+1)*nrhs])
@@ -121,6 +133,8 @@ func (k *rowKernel) fillIntoBlock(dst, x, ext []float64, nrhs int) {
 
 // compileRows groups build-time nonzeros by output row into a rowKernel
 // with sorted distinct rows and separated local/external runs.
+//
+//spmv:deterministic
 func compileRows(nzs []localNZ) rowKernel {
 	var k rowKernel
 	if len(nzs) == 0 {
@@ -220,6 +234,8 @@ func newSendPlan(from, dest int, xIdx []int, grp rowKernel, arena *valArena) *se
 // kernel backend. Send groups never use the sorted layout — their slot
 // order is the packet payload order the receivers were compiled against
 // — so kid only selects between the scalar and relaxed loops here.
+//
+//spmv:hotpath
 func (sp *sendPlan) fill(kid kernelID, x, ext []float64) {
 	for t, j := range sp.xIdx {
 		sp.buf.xVal[t] = x[j]
@@ -242,6 +258,8 @@ func (sp *sendPlan) ensureBlock(nrhs int) {
 
 // fillBlock refreshes the nrhs-wide packet from column-blocked x/ext
 // under the given kernel backend (see fill for the layout caveat).
+//
+//spmv:hotpath
 func (sp *sendPlan) fillBlock(kid kernelID, x, ext []float64, nrhs int) {
 	for t, j := range sp.xIdx {
 		copy(sp.bufB.xVal[t*nrhs:(t+1)*nrhs], x[j*nrhs:(j+1)*nrhs])
@@ -289,6 +307,8 @@ func newRecvPlan(senders []int) recvPlan {
 // or already-seen senders are therefore dropped; the 2K inbox capacity
 // absorbs anything left unconsumed on a poisoned engine. The returned
 // slice is reused across calls.
+//
+//spmv:hotpath
 func (r *recvPlan) gather(ch <-chan packet) []packet {
 	for n := 0; n < len(r.pend); {
 		pk := <-ch

@@ -134,6 +134,8 @@ type fwdPlan struct {
 
 // NewRoutedEngine builds the two-hop schedule for a fused s2D distribution
 // on the given mesh, compiles it, and starts the persistent workers.
+//
+//spmv:deterministic
 func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -201,7 +203,7 @@ func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, er
 	}
 
 	// Build the x routing tables.
-	for key, set := range xWant {
+	for key, set := range xWant { //spmvlint:unordered per-key independent routing-table writes; idxs are sorted before use
 		src, dst := key.from, key.to
 		mid := mesh.PartAt(mesh.RowOf(dst), mesh.ColOf(src))
 		idxs := make([]int, 0, len(set))
@@ -233,7 +235,7 @@ func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, er
 	// y routing structure: source k with partials for dest ℓ messages
 	// mid=(RowOf(ℓ), ColOf(k)) in phase 1; mid messages ℓ in phase 2.
 	for _, pr := range e.rprocs {
-		for dest := range pr.preGroups {
+		for dest := range pr.preGroups { //spmvlint:unordered set insertion; commutative
 			mid := mesh.PartAt(mesh.RowOf(dest), mesh.ColOf(pr.id))
 			if mid != pr.id {
 				pr.phase1Dests[mid] = struct{}{}
@@ -268,6 +270,8 @@ func NewRoutedEngine(d *distrib.Distribution, mesh core.Mesh) (*RoutedEngine, er
 }
 
 // compile lowers the routing schedule to the dense execution plan.
+//
+//spmv:deterministic
 func (e *RoutedEngine) compile() {
 	mesh := e.mesh
 	// midNZ[p][mid]: p's precompute nonzeros routed via mid (mid may be p
@@ -275,9 +279,12 @@ func (e *RoutedEngine) compile() {
 	midNZ := make([]map[int][]localNZ, len(e.rprocs))
 	for _, pr := range e.rprocs {
 		midNZ[pr.id] = make(map[int][]localNZ)
-		for dest, nzs := range pr.preGroups {
+		// Destinations ascending: the concatenation order fixes the
+		// within-row nonzero order compileRows bakes into the kernel,
+		// and float accumulation order must not vary across rebuilds.
+		for _, dest := range sortedKeys(pr.preGroups) {
 			mid := mesh.PartAt(mesh.RowOf(dest), mesh.ColOf(pr.id))
-			midNZ[pr.id][mid] = append(midNZ[pr.id][mid], nzs...)
+			midNZ[pr.id][mid] = append(midNZ[pr.id][mid], pr.preGroups[dest]...)
 		}
 	}
 
@@ -482,6 +489,7 @@ func (e *RoutedEngine) Multiply(x, y []float64) error {
 	return e.pool.dispatch(x, y)
 }
 
+//spmv:hotpath
 func (e *RoutedEngine) run(pr *rproc, x, y []float64, kid kernelID) {
 	for i := range pr.routeYVal {
 		pr.routeYVal[i] = 0

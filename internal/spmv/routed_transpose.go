@@ -255,6 +255,8 @@ func (e *RoutedEngine) MultiplyTranspose(x, y []float64) error {
 // runT executes one processor's transpose part of the reversed route.
 // Throughout, pr.routeYVal is the row buffer (routed x values) and
 // pr.routeXVal the column buffer (combined partials).
+//
+//spmv:hotpath
 func (e *RoutedEngine) runT(pr *rproc, x, y []float64, kid kernelID) {
 	t := pr.t
 	rxb, cyb := pr.routeYVal, pr.routeXVal
@@ -369,6 +371,8 @@ func (e *RoutedEngine) MultiplyTransposeMulti(X, Y [][]float64) error {
 }
 
 // runTBlock is runT with nrhs-wide payloads.
+//
+//spmv:hotpath
 func (e *RoutedEngine) runTBlock(pr *rproc, x, y []float64, nrhs int, kid kernelID) {
 	t := pr.t
 	rxb, cyb := pr.routeYValB, pr.routeXValB

@@ -11,7 +11,7 @@ func (e *Engine) ScheduleStats() distrib.CommStats {
 	if e.fused {
 		acc := distrib.NewMsgAccum(e.d.K)
 		for _, pr := range e.procs {
-			for dest, words := range e.fusedPacketSizes(pr) {
+			for dest, words := range e.fusedPacketSizes(pr) { //spmvlint:unordered commutative integer accumulation
 				acc.Add(pr.id, dest, words)
 			}
 		}
@@ -20,10 +20,10 @@ func (e *Engine) ScheduleStats() distrib.CommStats {
 	expand := distrib.NewMsgAccum(e.d.K)
 	fold := distrib.NewMsgAccum(e.d.K)
 	for _, pr := range e.procs {
-		for dest, idxs := range pr.xNeed {
+		for dest, idxs := range pr.xNeed { //spmvlint:unordered commutative integer accumulation
 			expand.Add(pr.id, dest, len(idxs))
 		}
-		for dest, nzs := range pr.preGroups {
+		for dest, nzs := range pr.preGroups { //spmvlint:unordered commutative integer accumulation
 			fold.Add(pr.id, dest, countRows(nzs))
 		}
 	}
@@ -37,7 +37,7 @@ func (e *Engine) fusedPacketSizes(pr *proc) map[int]int {
 	for dest, idxs := range pr.xNeed {
 		sizes[dest] += len(idxs)
 	}
-	for dest, nzs := range pr.preGroups {
+	for dest, nzs := range pr.preGroups { //spmvlint:unordered commutative integer accumulation; countRows is pure
 		sizes[dest] += countRows(nzs)
 	}
 	return sizes
@@ -59,12 +59,12 @@ func (e *RoutedEngine) ScheduleStats() distrib.CommStats {
 	phase2 := distrib.NewMsgAccum(e.d.K)
 	for _, pr := range e.rprocs {
 		// Phase-1 x payloads.
-		for mid, idxs := range pr.hop1X {
+		for mid, idxs := range pr.hop1X { //spmvlint:unordered commutative integer accumulation
 			phase1.Add(pr.id, mid, len(idxs))
 		}
 		// Phase-1 y payloads: distinct rows per intermediate.
 		midRows := make(map[int]map[int]struct{})
-		for dest, nzs := range pr.preGroups {
+		for dest, nzs := range pr.preGroups { //spmvlint:unordered builds per-mid row sets; insertion commutes
 			mid := e.mesh.PartAt(e.mesh.RowOf(dest), e.mesh.ColOf(pr.id))
 			if midRows[mid] == nil {
 				midRows[mid] = make(map[int]struct{})
@@ -73,11 +73,11 @@ func (e *RoutedEngine) ScheduleStats() distrib.CommStats {
 				midRows[mid][nz.row] = struct{}{}
 			}
 		}
-		for mid, rows := range midRows {
+		for mid, rows := range midRows { //spmvlint:unordered commutative integer accumulation
 			phase1.Add(pr.id, mid, len(rows))
 		}
 		// Phase-2 x forwards.
-		for dest, idxs := range pr.hop2X {
+		for dest, idxs := range pr.hop2X { //spmvlint:unordered commutative integer accumulation
 			phase2.Add(pr.id, dest, len(idxs))
 		}
 	}
@@ -86,7 +86,7 @@ func (e *RoutedEngine) ScheduleStats() distrib.CommStats {
 	// senders' schedules (static).
 	midDestRows := make(map[int64]map[int]struct{})
 	for _, pr := range e.rprocs {
-		for dest, nzs := range pr.preGroups {
+		for dest, nzs := range pr.preGroups { //spmvlint:unordered builds per-dest row sets; insertion commutes
 			mid := e.mesh.PartAt(e.mesh.RowOf(dest), e.mesh.ColOf(pr.id))
 			if mid == dest {
 				continue
@@ -100,7 +100,7 @@ func (e *RoutedEngine) ScheduleStats() distrib.CommStats {
 			}
 		}
 	}
-	for key, rows := range midDestRows {
+	for key, rows := range midDestRows { //spmvlint:unordered commutative integer accumulation
 		mid := int(key / int64(e.d.K))
 		dest := int(key % int64(e.d.K))
 		phase2.Add(mid, dest, len(rows))

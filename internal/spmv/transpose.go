@@ -56,7 +56,7 @@ type tproc struct {
 // invertSlots turns an index→slot map into its slot→index array.
 func invertSlots(m map[int]int) []int {
 	out := make([]int, len(m))
-	for idx, slot := range m {
+	for idx, slot := range m { //spmvlint:unordered slot map is a bijection; each key writes its own slot
 		out[slot] = idx
 	}
 	return out
@@ -269,6 +269,8 @@ func (e *Engine) MultiplyTranspose(x, y []float64) error {
 // runFusedT executes one processor's transpose part of the fused
 // algorithm: fill the [x-rows, partial-cols] packets, bank incoming
 // ones in sender order, then compute the locally-owned columns.
+//
+//spmv:hotpath
 func (e *Engine) runFusedT(pr *proc, x, y []float64, kid kernelID) {
 	t := pr.t
 	pc := e.phaseClock(pr)
@@ -293,6 +295,8 @@ func (e *Engine) runFusedT(pr *proc, x, y []float64, kid kernelID) {
 
 // runTwoPhaseT executes one processor's transpose part of the classic
 // algorithm: expand x rows, compute, fold column partials.
+//
+//spmv:hotpath
 func (e *Engine) runTwoPhaseT(pr *proc, x, y []float64, kid kernelID) {
 	t := pr.t
 	pc := e.phaseClock(pr)
@@ -368,6 +372,8 @@ func (e *Engine) MultiplyTransposeMulti(X, Y [][]float64) error {
 }
 
 // runFusedTBlock is runFusedT with nrhs-wide payloads.
+//
+//spmv:hotpath
 func (e *Engine) runFusedTBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
 	t := pr.t
 	pc := e.phaseClock(pr)
@@ -391,6 +397,8 @@ func (e *Engine) runFusedTBlock(pr *proc, x, y []float64, nrhs int, kid kernelID
 }
 
 // runTwoPhaseTBlock is runTwoPhaseT with nrhs-wide payloads.
+//
+//spmv:hotpath
 func (e *Engine) runTwoPhaseTBlock(pr *proc, x, y []float64, nrhs int, kid kernelID) {
 	t := pr.t
 	pc := e.phaseClock(pr)

@@ -1,0 +1,317 @@
+// Package detrange pins the repo's bitwise-determinism contract
+// statically, in two parts.
+//
+// Map ranges: Go randomizes map iteration order, so a `range` over a
+// map whose effects leak into ordered output (plan compilation,
+// Prometheus exposition, JSON metrics, error messages) is a
+// nondeterminism bug. Every map range is flagged unless its body is
+// built only from provably order-insensitive statements — collect
+// appends (sorted by the caller), writes into other maps / deletes,
+// commutative integer updates (x += v, x++, |=, &=, ^=), pure local
+// declarations, guard-ifs around those, bare continue — or it is
+// annotated //spmvlint:unordered with a rationale (commutative
+// aggregation behind a method call, or a selection with a total
+// tie-break). The collect shape is accepted on faith that the sort
+// follows: that blind spot is the price of a syntactic check.
+//
+// Wall-clock and randomness: functions annotated //spmv:deterministic
+// (plan construction entry points) must not reach time.Now/Since/Until,
+// package-level math/rand functions (the global, unseeded source), or
+// crypto/rand through any chain of static calls within the module.
+// Methods on a *rand.Rand value are allowed — those are the seeded
+// sources the build pipeline threads everywhere.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/tools/spmvlint/internal/lintutil"
+	"repro/tools/spmvlint/internal/reach"
+)
+
+// Summary is the flattened per-function fact: every wall-clock or
+// unseeded-randomness site reachable from the function.
+type Summary struct {
+	Found []reach.Site
+}
+
+func (*Summary) AFact()                    {}
+func (s *Summary) Sites() []reach.Site     { return s.Found }
+func (s *Summary) SetSites(v []reach.Site) { s.Found = v }
+func (s *Summary) String() string          { return "detrange" }
+
+var engine = &reach.Config{
+	Label:      "deterministic",
+	RootMarker: lintutil.MarkDeterministic,
+	Classify: func(*analysis.Pass, ast.Node) (string, bool) {
+		return "", false
+	},
+	ExternalCall: externalCall,
+	NewSummary:   func() reach.Summary { return new(Summary) },
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "detrange",
+	Doc:       "reports map ranges feeding ordered output and wall-clock/randomness reachable from //spmv:deterministic functions",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(Summary)},
+}
+
+func externalCall(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	pkgLevel := sig == nil || sig.Recv() == nil
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name() + " (wall clock)", true
+		}
+	case "math/rand", "math/rand/v2":
+		// New/NewSource/NewPCG construct the seeded sources the build
+		// pipeline threads everywhere; methods on them are fine too.
+		// Only the package-level convenience funcs hit the global source.
+		if pkgLevel && !strings.HasPrefix(fn.Name(), "New") {
+			return fn.Pkg().Path() + "." + fn.Name() + " (global, unseeded source)", true
+		}
+	case "crypto/rand":
+		if pkgLevel {
+			return "crypto/rand." + fn.Name() + " (nondeterministic)", true
+		}
+	}
+	return "", false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if _, err := engine.Run(pass); err != nil {
+		return nil, err
+	}
+	files := lintutil.NonTestFiles(pass)
+	marks := lintutil.NewStmtMarks(pass.Fset, files...)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if marks.Has(rng.Pos(), lintutil.MarkUnordered) {
+				return true
+			}
+			if orderInsensitiveBody(pass, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "map range order feeds surrounding code; sort the keys first, or annotate //spmvlint:unordered with why order cannot matter")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// orderInsensitiveBody accepts bodies whose effect provably does not
+// depend on iteration order: every statement must be one of the
+// allowed order-insensitive forms.
+func orderInsensitiveBody(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	for _, s := range rng.Body.List {
+		if !allowedStmt(pass, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// allowedStmt is the per-statement whitelist. Anything outside it —
+// plain assignments, arbitrary calls, returns, nested loops — makes
+// the enclosing range order-sensitive as far as this check can tell.
+func allowedStmt(pass *analysis.Pass, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return allowedAssign(pass, s)
+	case *ast.IncDecStmt:
+		// x++ / x-- commutes when x is an integer.
+		return isIntExpr(pass, s.X)
+	case *ast.ExprStmt:
+		// delete(m, k) — removals commute.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin)
+		return ok && b.Name() == "delete"
+	case *ast.IfStmt:
+		// A guard around order-insensitive statements stays
+		// order-insensitive when the condition is pure.
+		if s.Else != nil || s.Init != nil || !pureExpr(pass, s.Cond) {
+			return false
+		}
+		for _, inner := range s.Body.List {
+			if !allowedStmt(pass, inner) {
+				return false
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		// A bare continue only filters iterations.
+		return s.Tok == token.CONTINUE && s.Label == nil
+	case *ast.RangeStmt:
+		// A nested loop of order-insensitive statements is itself
+		// order-insensitive (a nested map range is still checked on
+		// its own by the walk).
+		for _, inner := range s.Body.List {
+			if !allowedStmt(pass, inner) {
+				return false
+			}
+		}
+		return true
+	case *ast.DeclStmt:
+		// var x T / var x = <pure>.
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if !pureExpr(pass, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func allowedAssign(pass *analysis.Pass, as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.DEFINE:
+		// Iteration-local definitions with pure right-hand sides.
+		for _, r := range as.Rhs {
+			if !pureExpr(pass, r) {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+		token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative integer reductions: x += v and friends.
+		// Float accumulation is excluded — float addition is not
+		// associative, so its result is order-dependent bitwise.
+		return len(as.Lhs) == 1 && isIntExpr(pass, as.Lhs[0]) && pureExpr(pass, as.Rhs[0])
+	case token.ASSIGN:
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 && isCollectAppend(pass, as) {
+			return true
+		}
+		// m[k] = v for every target: map insertions commute per key
+		// (same-key collisions are a value question, not an order one,
+		// only when keys derive from the loop variable — close enough
+		// for the collect-into-maps idiom this accepts).
+		for _, l := range as.Lhs {
+			ix, ok := ast.Unparen(l).(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			t := pass.TypesInfo.TypeOf(ix.X)
+			if t == nil {
+				return false
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// isCollectAppend matches `s = append(s, ...)` onto the same slice,
+// where s is an identifier or a field selector chain.
+func isCollectAppend(pass *analysis.Pass, as *ast.AssignStmt) bool {
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return sameLValue(ast.Unparen(as.Lhs[0]), ast.Unparen(call.Args[0]))
+}
+
+// sameLValue reports whether two expressions name the same identifier
+// or field-selector chain (x, x.f, x.f.g).
+func sameLValue(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameLValue(ast.Unparen(a.X), ast.Unparen(b.X))
+	}
+	return false
+}
+
+func isIntExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// pureExpr reports whether evaluating e has no side effects and calls
+// nothing except type conversions and the len/cap/min/max builtins.
+func pureExpr(pass *analysis.Pass, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "len", "cap", "min", "max":
+						return true
+					}
+				}
+			}
+			pure = false
+			return false
+		case *ast.FuncLit, *ast.UnaryExpr:
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op != token.ARROW {
+				return true // & and arithmetic unaries are fine; <- is not
+			}
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}

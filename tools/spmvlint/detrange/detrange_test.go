@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/tools/spmvlint/detrange"
+	"repro/tools/spmvlint/internal/analysistest"
+)
+
+func TestDetRange(t *testing.T) {
+	analysistest.Run(t, "testdata", detrange.Analyzer, "plans")
+}

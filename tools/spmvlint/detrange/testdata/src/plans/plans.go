@@ -1,0 +1,83 @@
+package plans
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SumFloats is flagged: float accumulation is order-dependent bitwise.
+func SumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map range order feeds surrounding code`
+		total += v
+	}
+	return total
+}
+
+// FirstMatch is flagged: the returned key depends on iteration order.
+func FirstMatch(m map[string]int) string {
+	for k, v := range m { // want `map range order feeds surrounding code`
+		if v > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// CollectSorted is the accepted collect-then-sort idiom.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// IntCounters is accepted: commutative integer updates, map writes, and
+// guard-ifs only.
+func IntCounters(m map[string]int) int {
+	n := 0
+	seen := make(map[string]bool)
+	for k, v := range m {
+		if v > 0 {
+			n += v
+			seen[k] = true
+		}
+		if v == 0 {
+			continue
+		}
+	}
+	return n + len(seen)
+}
+
+// Reviewed is accepted through the annotation.
+func Reviewed(m map[string]int) int {
+	best := 0
+	for _, v := range m { //spmvlint:unordered running max; order cannot matter
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+//spmv:deterministic
+func BuildPlan(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded source: fine
+	n := r.Intn(10)                     // method on the seeded source: fine
+	n += rand.Intn(10)                  // want `deterministic: math/rand.Intn \(global, unseeded source\)`
+	_ = time.Now()                      // want `deterministic: time.Now \(wall clock\)`
+	stamp()                             // want `deterministic: call to stamp reaches time.Now \(wall clock\) \(plans\.go:\d+\)`
+	return n
+}
+
+func stamp() {
+	_ = time.Now()
+}
+
+// unannotated: wall-clock use is fine outside plan construction.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}

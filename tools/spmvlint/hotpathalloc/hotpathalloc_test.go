@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/tools/spmvlint/hotpathalloc"
+	"repro/tools/spmvlint/internal/analysistest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "kernels/leaf", "kernels")
+}

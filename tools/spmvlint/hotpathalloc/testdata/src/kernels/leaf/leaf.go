@@ -1,0 +1,12 @@
+package leaf
+
+// Alloc is an unannotated helper in another package; its allocation is
+// carried to hot callers through the exported flattened fact.
+func Alloc() []int {
+	return make([]int, 8)
+}
+
+// Clean has no forbidden constructs.
+func Clean(a, b float64) float64 {
+	return a * b
+}

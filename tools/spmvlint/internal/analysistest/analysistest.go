@@ -1,0 +1,205 @@
+// Package analysistest is a minimal golden-file harness for this
+// module's analyzers, mirroring the x/tools analysistest contract:
+// test packages live under testdata/src/<pkg>, and every expected
+// diagnostic is declared in-line with a `// want "regexp"` comment on
+// the offending line. A test fails on any missed want, any unexpected
+// diagnostic, or any analyzer error — so a neutered analyzer fails its
+// own suite.
+//
+// Packages are typechecked with the same loader the standalone driver
+// uses: testdata packages resolve against each other by import path
+// (list dependencies first), and everything else resolves through the
+// compiler's export data via `go list -export`.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/tools/spmvlint/internal/driver"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run checks the analyzer against the packages under dir/src, in the
+// given order (dependencies first, so facts flow to importers).
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+
+	loader := driver.NewLoader()
+	type parsed struct {
+		path  string
+		name  string
+		files []*ast.File
+	}
+	var units []parsed
+	var wants []*want
+	external := make(map[string]bool)
+	local := make(map[string]bool)
+	for _, p := range pkgs {
+		local[p] = true
+	}
+
+	for _, p := range pkgs {
+		root := filepath.Join(dir, "src", p)
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatalf("reading %s: %v", root, err)
+		}
+		u := parsed{path: p}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			full := filepath.Join(root, e.Name())
+			f, err := parser.ParseFile(loader.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse %s: %v", full, err)
+			}
+			u.files = append(u.files, f)
+			u.name = f.Name.Name
+			for _, imp := range f.Imports {
+				ip, _ := strconv.Unquote(imp.Path.Value)
+				if !local[ip] {
+					external[ip] = true
+				}
+			}
+			ws, err := parseWants(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+		units = append(units, u)
+	}
+
+	if len(external) > 0 {
+		patterns := make([]string, 0, len(external))
+		for ip := range external {
+			patterns = append(patterns, ip)
+		}
+		sort.Strings(patterns)
+		exports, err := driver.ListExports(patterns)
+		if err != nil {
+			t.Fatalf("resolving testdata imports: %v", err)
+		}
+		for ip, file := range exports { //spmvlint:unordered keyed registration; one entry per import path
+			loader.AddExport(ip, file)
+		}
+	}
+
+	var tcheck []*driver.Package
+	for _, u := range units {
+		pkg, err := loader.TypeCheck(u.path, u.name, "", u.files)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", u.path, err)
+		}
+		tcheck = append(tcheck, pkg)
+	}
+
+	diags, err := driver.RunAnalyzers(loader.Fset, tcheck, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		file, line := splitPos(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == file && w.line == line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", file, line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("no diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// parseWants extracts `// want "re" ["re" ...]` comments; each quoted
+// regexp is one expected diagnostic on that line.
+func parseWants(path string) ([]*want, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []*want
+	base := filepath.Base(path)
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		for rest != "" {
+			if rest[0] != '"' && rest[0] != '`' {
+				return nil, fmt.Errorf("%s:%d: malformed want %q", base, i+1, m[1])
+			}
+			lit, remainder, err := cutQuoted(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", base, i+1, err)
+			}
+			re, err := regexp.Compile(lit)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp: %v", base, i+1, err)
+			}
+			out = append(out, &want{file: base, line: i + 1, re: re})
+			rest = strings.TrimSpace(remainder)
+		}
+	}
+	return out, nil
+}
+
+// cutQuoted splits a leading Go string literal off rest.
+func cutQuoted(rest string) (lit, remainder string, err error) {
+	q := rest[0]
+	for i := 1; i < len(rest); i++ {
+		if rest[i] == '\\' && q == '"' {
+			i++
+			continue
+		}
+		if rest[i] == q {
+			s, err := strconv.Unquote(rest[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad want literal %s: %v", rest[:i+1], err)
+			}
+			return s, rest[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want literal %s", rest)
+}
+
+// splitPos extracts (base filename, line) from "path:line:col".
+func splitPos(pos string) (string, int) {
+	parts := strings.Split(pos, ":")
+	if len(parts) < 2 {
+		return pos, 0
+	}
+	line, _ := strconv.Atoi(parts[len(parts)-2])
+	return filepath.Base(parts[0]), line
+}

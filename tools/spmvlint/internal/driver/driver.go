@@ -1,0 +1,225 @@
+// Package driver runs go/analysis analyzers over a module without
+// golang.org/x/tools/go/packages: it shells out to `go list -deps
+// -export -json` for the package graph, typechecks the module's own
+// packages from source in dependency order (imports outside the module
+// resolve through the compiler's export data, so the stdlib is never
+// re-typechecked), and executes the analyzers with an in-process fact
+// store. Because every module package lives in one type universe,
+// object facts flow between packages without serialization — the same
+// semantics `go vet -vettool=` provides via the unitchecker protocol.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Diagnostic is one reported finding, position pre-rendered.
+type Diagnostic struct {
+	Pos      string
+	Analyzer string
+	Message  string
+	pos      token.Pos
+}
+
+// listPkg is the subset of `go list -json` output the driver consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	Module     *struct {
+		Path      string
+		Main      bool
+		GoVersion string
+	}
+	Error *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json patterns...` and decodes the
+// package stream.
+func goList(patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ListExports resolves the patterns (plus their dependency closure) to
+// compiler export-data files, building them into the go cache if
+// needed. The analysistest harness uses it to satisfy testdata imports
+// of the standard library.
+func ListExports(patterns []string) (map[string]string, error) {
+	metas, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(metas))
+	for _, m := range metas {
+		if m.Export != "" {
+			out[m.ImportPath] = m.Export
+		}
+	}
+	return out, nil
+}
+
+// Run loads the packages matching the patterns in args (default ./...)
+// and runs the analyzers. Arguments of the form -analyzer.flag=value
+// set analyzer flags first.
+func Run(args []string, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var patterns []string
+	for _, a := range args {
+		if !strings.HasPrefix(a, "-") {
+			patterns = append(patterns, a)
+			continue
+		}
+		if err := setAnalyzerFlag(analyzers, strings.TrimLeft(a, "-")); err != nil {
+			return nil, err
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	metas, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listPkg, len(metas))
+	for _, m := range metas {
+		byPath[m.ImportPath] = m
+	}
+
+	loader := NewLoader()
+	var moduleOrder []*listPkg
+	for _, m := range metas {
+		if m.Error != nil {
+			return nil, fmt.Errorf("%s: %s", m.ImportPath, m.Error.Err)
+		}
+		if m.Module != nil && m.Module.Main && !m.Standard {
+			if len(m.CgoFiles) > 0 {
+				return nil, fmt.Errorf("%s: cgo packages are not supported", m.ImportPath)
+			}
+			moduleOrder = append(moduleOrder, m)
+			continue
+		}
+		if m.Export != "" {
+			loader.AddExport(m.ImportPath, m.Export)
+		}
+	}
+	moduleOrder = topoSort(moduleOrder, byPath)
+
+	var pkgs []*Package
+	for _, m := range moduleOrder {
+		var files []*ast.File
+		for _, gf := range m.GoFiles {
+			f, err := parser.ParseFile(loader.Fset, join(m.Dir, gf), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		goVersion := ""
+		if m.Module != nil && m.Module.GoVersion != "" {
+			goVersion = "go" + m.Module.GoVersion
+		}
+		p, err := loader.TypeCheck(m.ImportPath, m.Name, goVersion, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	diags, err := RunAnalyzers(loader.Fset, pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+func setAnalyzerFlag(analyzers []*analysis.Analyzer, kv string) error {
+	name, rest, ok := strings.Cut(kv, ".")
+	if !ok {
+		return fmt.Errorf("unknown flag -%s (analyzer flags are -name.flag=value)", kv)
+	}
+	flagName, value, ok := strings.Cut(rest, "=")
+	if !ok {
+		return fmt.Errorf("flag -%s needs =value", kv)
+	}
+	for _, a := range analyzers {
+		if a.Name == name {
+			if f := a.Flags.Lookup(flagName); f != nil {
+				return f.Value.Set(value)
+			}
+			return fmt.Errorf("analyzer %s has no flag %q", name, flagName)
+		}
+	}
+	return fmt.Errorf("no analyzer named %q", name)
+}
+
+// topoSort orders module packages so every import precedes its
+// importers; ties resolve by path for reproducible runs.
+func topoSort(pkgs []*listPkg, byPath map[string]*listPkg) []*listPkg {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	inSet := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		inSet[p.ImportPath] = true
+	}
+	var out []*listPkg
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listPkg)
+	visit = func(p *listPkg) {
+		if state[p.ImportPath] != 0 {
+			return
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if inSet[imp] {
+				visit(byPath[imp])
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+func join(dir, file string) string {
+	if strings.HasPrefix(file, "/") {
+		return file
+	}
+	return dir + "/" + file
+}

@@ -1,0 +1,93 @@
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+)
+
+// Package is one typechecked source package.
+type Package struct {
+	Path    string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	imports []*types.Package
+}
+
+// Loader typechecks source packages in dependency order. Imports
+// resolve to previously-typechecked source packages when available
+// (one shared type universe, so facts can key on object identity) and
+// to compiler export data otherwise.
+type Loader struct {
+	Fset    *token.FileSet
+	exports map[string]string   // import path -> export data file
+	pkgs    map[string]*Package // typechecked source packages
+	gc      types.ImporterFrom
+}
+
+func NewLoader() *Loader {
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		pkgs:    make(map[string]*Package),
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", lookup).(types.ImporterFrom)
+	return l
+}
+
+// AddExport registers export data for one import path.
+func (l *Loader) AddExport(path, file string) { l.exports[path] = file }
+
+// Package returns a previously typechecked package.
+func (l *Loader) Package(path string) *Package { return l.pkgs[path] }
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	return l.gc.ImportFrom(path, "", 0)
+}
+
+// TypeCheck parses nothing itself: it typechecks the given files as
+// package path and memoizes the result for later imports.
+func (l *Loader) TypeCheck(path, name, goVersion string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := &types.Config{
+		Importer:  l,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersion,
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	p := &Package{Path: path, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}

@@ -1,0 +1,152 @@
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"reflect"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// RunAnalyzers executes the analyzers (and their Requires closures)
+// over the packages, which must already be in dependency order. All
+// facts live in one in-process store keyed by object/package identity —
+// every package was typechecked in one universe, so no serialization
+// happens.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	for _, a := range analyzers {
+		if err := analysis.Validate([]*analysis.Analyzer{a}); err != nil {
+			return nil, err
+		}
+	}
+
+	store := &factStore{
+		obj: make(map[factKey]analysis.Fact),
+		pkg: make(map[pkgFactKey]analysis.Fact),
+	}
+	type resultKey struct {
+		a *analysis.Analyzer
+		p *Package
+	}
+	results := make(map[resultKey]interface{})
+	var diags []Diagnostic
+
+	var runOne func(a *analysis.Analyzer, p *Package) error
+	runOne = func(a *analysis.Analyzer, p *Package) error {
+		key := resultKey{a, p}
+		if _, done := results[key]; done {
+			return nil
+		}
+		deps := make(map[*analysis.Analyzer]interface{})
+		for _, req := range a.Requires {
+			if err := runOne(req, p); err != nil {
+				return err
+			}
+			deps[req] = results[resultKey{req, p}]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      p.Files,
+			Pkg:        p.Types,
+			TypesInfo:  p.Info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   deps,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Pos:      fset.Position(d.Pos).String(),
+					Analyzer: a.Name,
+					Message:  d.Message,
+					pos:      d.Pos,
+				})
+			},
+			ImportObjectFact:  store.importObjectFact,
+			ImportPackageFact: store.importPackageFact,
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				store.obj[factKey{obj, reflect.TypeOf(fact)}] = fact
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				store.pkg[pkgFactKey{p.Types, reflect.TypeOf(fact)}] = fact
+			},
+			AllObjectFacts:  store.allObjectFacts,
+			AllPackageFacts: store.allPackageFacts,
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s on %s: %v", a.Name, p.Path, err)
+		}
+		results[key] = res
+		return nil
+	}
+
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			if err := runOne(a, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].pos != diags[j].pos {
+			return diags[i].pos < diags[j].pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+type factKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
+type factStore struct {
+	obj map[factKey]analysis.Fact
+	pkg map[pkgFactKey]analysis.Fact
+}
+
+func (s *factStore) importObjectFact(obj types.Object, fact analysis.Fact) bool {
+	got, ok := s.obj[factKey{obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+func (s *factStore) importPackageFact(pkg *types.Package, fact analysis.Fact) bool {
+	got, ok := s.pkg[pkgFactKey{pkg, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+func (s *factStore) allObjectFacts() []analysis.ObjectFact {
+	out := make([]analysis.ObjectFact, 0, len(s.obj))
+	for k, f := range s.obj {
+		out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.Pos() < out[j].Object.Pos() })
+	return out
+}
+
+func (s *factStore) allPackageFacts() []analysis.PackageFact {
+	out := make([]analysis.PackageFact, 0, len(s.pkg))
+	for k, f := range s.pkg {
+		out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Package.Path() < out[j].Package.Path() })
+	return out
+}

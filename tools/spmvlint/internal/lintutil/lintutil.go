@@ -1,0 +1,144 @@
+// Package lintutil holds the annotation grammar and small shared
+// helpers for the spmvlint analyzers.
+//
+// Function annotations (in the doc comment of a FuncDecl):
+//
+//	//spmv:hotpath        steady-state no-alloc contract; hotpathalloc
+//	                      checks the body and everything it statically
+//	                      calls within the module
+//	//spmv:coldpath       excluded from hotpathalloc traversal: a
+//	                      fault/error branch that is pre-verified cold
+//	//spmv:deterministic  no wall-clock or unseeded randomness reachable;
+//	                      checked transitively by detrange
+//	//spmv:errwriter      the function is an error-envelope writer;
+//	                      typederr permits WriteHeader(>=400) inside it
+//	                      and audits direct fmt.Errorf/errors.New
+//	                      arguments at its call sites
+//	//spmv:dimcheck       the function is a documented dimension-check
+//	                      helper; typederr permits panic inside it
+//
+// Statement annotations (a // comment on the line directly above the
+// statement, or trailing on the statement's first line):
+//
+//	//spmvlint:unordered   this map range is order-insensitive by
+//	                       construction (commutative aggregation, or a
+//	                       selection with a total tie-break)
+//	//spmvlint:allowpanic  this panic is deliberate (fault injection,
+//	                       contained by a recover upstream)
+//
+// Annotations may carry a trailing rationale after a space:
+// //spmvlint:unordered min-selection with name tie-break.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Function-level annotation markers.
+const (
+	MarkHotPath       = "spmv:hotpath"
+	MarkColdPath      = "spmv:coldpath"
+	MarkDeterministic = "spmv:deterministic"
+	MarkErrWriter     = "spmv:errwriter"
+	MarkDimCheck      = "spmv:dimcheck"
+)
+
+// Statement-level annotation markers.
+const (
+	MarkUnordered  = "spmvlint:unordered"
+	MarkAllowPanic = "spmvlint:allowpanic"
+)
+
+// markerOf extracts the marker from one comment: "//spmv:hotpath" or
+// "//spmvlint:unordered rationale..." -> "spmv:hotpath",
+// "spmvlint:unordered". Directive comments have no space after "//".
+func markerOf(c *ast.Comment) string {
+	text := c.Text
+	if !strings.HasPrefix(text, "//spmv") {
+		return ""
+	}
+	text = strings.TrimPrefix(text, "//")
+	if i := strings.IndexByte(text, ' '); i >= 0 {
+		text = text[:i]
+	}
+	if strings.HasPrefix(text, "spmv:") || strings.HasPrefix(text, "spmvlint:") {
+		return text
+	}
+	return ""
+}
+
+// FuncHas reports whether fn's doc comment carries the marker.
+func FuncHas(fn *ast.FuncDecl, marker string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if markerOf(c) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+type markKey struct {
+	file   string
+	line   int
+	marker string
+}
+
+// NewStmtMarks indexes every statement-level annotation in the files by
+// the line it applies to: a comment on line N annotates the statement
+// starting on line N+1, and a trailing comment annotates its own line.
+func NewStmtMarks(fset *token.FileSet, files ...*ast.File) *StmtMarksSet {
+	s := &StmtMarksSet{fset: fset, lines: make(map[markKey]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := markerOf(c)
+				if m == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// The comment covers its own line (trailing form) and
+				// the next line (leading form).
+				s.lines[markKey{pos.Filename, pos.Line, m}] = true
+				s.lines[markKey{pos.Filename, pos.Line + 1, m}] = true
+			}
+		}
+	}
+	return s
+}
+
+// StmtMarksSet answers "is the statement at pos annotated with marker".
+type StmtMarksSet struct {
+	fset  *token.FileSet
+	lines map[markKey]bool
+}
+
+// Has reports whether the statement starting at pos carries marker.
+func (s *StmtMarksSet) Has(pos token.Pos, marker string) bool {
+	p := s.fset.Position(pos)
+	return s.lines[markKey{p.Filename, p.Line, marker}]
+}
+
+// IsTestFile reports whether pos sits in a _test.go file. The static
+// invariants bind production code; tests exercise forbidden constructs
+// (and re-state event literals) freely.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// NonTestFiles returns the pass's files excluding _test.go files.
+func NonTestFiles(pass *analysis.Pass) []*ast.File {
+	var out []*ast.File
+	for _, f := range pass.Files {
+		if !IsTestFile(pass.Fset, f.Pos()) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

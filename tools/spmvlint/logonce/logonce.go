@@ -1,0 +1,291 @@
+// Package logonce pins the exactly-once lifecycle logging contract:
+// each lifecycle event string (build, evict, quarantine, breaker_*,
+// drain, ...) is emitted from exactly one slog call site, so counting
+// log records by event (obs.EventCounter) counts state transitions.
+// Two call sites for one event would double-count transitions — or
+// worse, half-migrate a rename.
+//
+// A call site is recognized as `slog.String("event", X)` where X is a
+// string literal, or an identifier whose enclosing function assigns it
+// one or more literals (the breaker pattern: `event := "breaker_open"`
+// on one branch, `"breaker_closed"` on another — each literal is its
+// own site). Only the configured lifecycle events are tracked; debug
+// and per-request events may appear anywhere. Sites are exported as a
+// package fact merged up the import graph, so two packages logging the
+// same event are caught in the first package that imports both.
+// Emission through a handle other than slog.String (slog.Attr, With
+// groups) is the documented blind spot.
+package logonce
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/tools/spmvlint/internal/lintutil"
+)
+
+// Sites is the package fact: every known lifecycle event logged in this
+// package or anything it imports, with its call sites.
+type Sites struct {
+	Entries []Entry
+}
+
+type Entry struct {
+	Event string
+	Sites []string // "pkgpath/file.go:line", sorted
+}
+
+func (*Sites) AFact()           {}
+func (s *Sites) String() string { return fmt.Sprintf("logonce(%d events)", len(s.Entries)) }
+
+// Events is the comma-separated lifecycle vocabulary under the
+// exactly-once contract.
+var Events = "build,build_failed,evict,quarantine,breaker_open,breaker_half_open,breaker_closed,drain,undrain"
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "logonce",
+	Doc:       "reports lifecycle event strings logged from more than one slog call site",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(Sites)},
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&Events, "events", Events, "comma-separated lifecycle events under the exactly-once contract")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	tracked := make(map[string]bool)
+	for _, e := range strings.Split(Events, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			tracked[e] = true
+		}
+	}
+
+	// Local sites: event -> site string -> position.
+	type localSite struct {
+		site string
+		pos  ast.Node
+	}
+	localSites := make(map[string][]localSite)
+	addLocal := func(event string, n ast.Node) {
+		p := pass.Fset.Position(n.Pos())
+		site := pass.Pkg.Path() + "/" + filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+		for _, s := range localSites[event] {
+			if s.site == site {
+				return
+			}
+		}
+		localSites[event] = append(localSites[event], localSite{site, n})
+	}
+
+	for _, f := range lintutil.NonTestFiles(pass) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				arg := slogEventArg(pass, call)
+				if arg == nil {
+					return true
+				}
+				switch x := ast.Unparen(arg).(type) {
+				case *ast.BasicLit:
+					if lit, err := strconv.Unquote(x.Value); err == nil && tracked[lit] {
+						addLocal(lit, call)
+					}
+				case *ast.Ident:
+					// The breaker pattern: each tracked literal assigned
+					// to the identifier in this function is a site at
+					// its assignment. Sorted so site registration (and
+					// therefore duplicate-report order) is stable.
+					las := literalAssignments(fd, x.Name)
+					lits := make([]string, 0, len(las))
+					for lit := range las {
+						lits = append(lits, lit)
+					}
+					sort.Strings(lits)
+					for _, lit := range lits {
+						if tracked[lit] {
+							addLocal(lit, las[lit])
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Merge the facts of direct imports. Each fact is already the union
+	// of its own subtree, so the merged view covers everything below.
+	merged := make(map[string]map[string]bool) // event -> site set
+	importHas := make(map[string]map[string]map[string]bool)
+	for _, imp := range pass.Pkg.Imports() {
+		var f Sites
+		if !pass.ImportPackageFact(imp, &f) {
+			continue
+		}
+		per := make(map[string]map[string]bool)
+		for _, e := range f.Entries {
+			for _, s := range e.Sites {
+				if merged[e.Event] == nil {
+					merged[e.Event] = make(map[string]bool)
+				}
+				merged[e.Event][s] = true
+				if per[e.Event] == nil {
+					per[e.Event] = make(map[string]bool)
+				}
+				per[e.Event][s] = true
+			}
+		}
+		importHas[imp.Path()] = per
+	}
+
+	// Report: a local site duplicating any other site (local or
+	// imported) reports here; an imported-vs-imported duplicate reports
+	// here only if no single import already saw both (that import — or
+	// something below it — already reported).
+	var localEvents []string
+	for e := range localSites {
+		localEvents = append(localEvents, e)
+	}
+	sort.Strings(localEvents)
+	for _, event := range localEvents {
+		sites := localSites[event]
+		others := len(merged[event])
+		for i, s := range sites {
+			if i > 0 || others > 0 {
+				var prior []string
+				for o := range merged[event] {
+					prior = append(prior, o)
+				}
+				for _, p := range sites[:i] {
+					prior = append(prior, p.site)
+				}
+				sort.Strings(prior)
+				pass.Reportf(s.pos.Pos(), "lifecycle event %q is already logged at %s; the exactly-once contract allows one slog site per event", event, strings.Join(prior, ", "))
+			}
+		}
+	}
+	var mergedEvents []string
+	for e := range merged {
+		mergedEvents = append(mergedEvents, e)
+	}
+	sort.Strings(mergedEvents)
+	for _, event := range mergedEvents {
+		set := merged[event]
+		if len(set) < 2 || len(localSites[event]) > 0 {
+			continue
+		}
+		covered := false
+		for _, per := range importHas { //spmvlint:unordered existence check; any covering import suffices
+			all := true
+			for s := range set { //spmvlint:unordered universal quantification; result independent of order
+				if !per[event][s] {
+					all = false
+					break
+				}
+			}
+			if all {
+				covered = true
+				break
+			}
+		}
+		if !covered && len(pass.Files) > 0 {
+			var all []string
+			for s := range set {
+				all = append(all, s)
+			}
+			sort.Strings(all)
+			pass.Reportf(pass.Files[0].Pos(), "imports log lifecycle event %q from %d sites (%s); the exactly-once contract allows one", event, len(all), strings.Join(all, ", "))
+		}
+	}
+
+	// Export the union.
+	union := make(map[string]map[string]bool)
+	for e, set := range merged {
+		union[e] = make(map[string]bool)
+		for s := range set {
+			union[e][s] = true
+		}
+	}
+	for e, sites := range localSites {
+		if union[e] == nil {
+			union[e] = make(map[string]bool)
+		}
+		for _, s := range sites {
+			union[e][s.site] = true
+		}
+	}
+	if len(union) > 0 {
+		out := Sites{}
+		for e, set := range union { //spmvlint:unordered entries and their sites are sorted after collection
+			var ss []string
+			for s := range set {
+				ss = append(ss, s)
+			}
+			sort.Strings(ss)
+			out.Entries = append(out.Entries, Entry{Event: e, Sites: ss})
+		}
+		sort.Slice(out.Entries, func(i, j int) bool { return out.Entries[i].Event < out.Entries[j].Event })
+		pass.ExportPackageFact(&out)
+	}
+	return nil, nil
+}
+
+// slogEventArg matches slog.String("event", X) and returns X.
+func slogEventArg(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 2 {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.FullName() != "log/slog.String" {
+		return nil
+	}
+	key, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return nil
+	}
+	if k, err := strconv.Unquote(key.Value); err != nil || k != "event" {
+		return nil
+	}
+	return call.Args[1]
+}
+
+// literalAssignments finds every string literal assigned to name inside
+// fn (e.g. `event, lvl := "breaker_closed", slog.LevelInfo` and the
+// later `event, lvl = "breaker_open", slog.LevelWarn`).
+func literalAssignments(fn *ast.FuncDecl, name string) map[string]ast.Node {
+	out := make(map[string]ast.Node)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || id.Name != name {
+				continue
+			}
+			if lit, ok := ast.Unparen(as.Rhs[i]).(*ast.BasicLit); ok {
+				if v, err := strconv.Unquote(lit.Value); err == nil {
+					out[v] = as
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,12 @@
+package logonce_test
+
+import (
+	"testing"
+
+	"repro/tools/spmvlint/internal/analysistest"
+	"repro/tools/spmvlint/logonce"
+)
+
+func TestLogOnce(t *testing.T) {
+	analysistest.Run(t, "testdata", logonce.Analyzer, "lifebase", "lifeapp")
+}

@@ -1,0 +1,38 @@
+package lifeapp
+
+import (
+	"log/slog"
+
+	"lifebase"
+)
+
+func evictOne(name string) {
+	slog.Info("evicted", slog.String("event", "evict"), slog.String("matrix", name))
+}
+
+func evictAll(names []string) {
+	for _, n := range names {
+		slog.Info("evicted", slog.String("event", "evict"), slog.String("matrix", n)) // want `lifecycle event "evict" is already logged at lifeapp/lifeapp\.go:\d+`
+	}
+}
+
+func drainHere(name string) {
+	lifebase.Drain(name)
+	slog.Warn("draining", slog.String("event", "drain"), slog.String("matrix", name)) // want `lifecycle event "drain" is already logged at lifebase/lifebase\.go:\d+`
+}
+
+// breaker is the identifier pattern: each literal assigned to event is
+// its own site, and each appears once.
+func breaker(open bool) {
+	event := "breaker_open"
+	if !open {
+		event = "breaker_closed"
+	}
+	slog.Info("breaker", slog.String("event", event))
+}
+
+// debugTicks is untracked vocabulary; duplicates are fine.
+func debugTicks() {
+	slog.Debug("tick", slog.String("event", "debug_tick"))
+	slog.Debug("tick", slog.String("event", "debug_tick"))
+}

@@ -1,0 +1,14 @@
+package lifebase
+
+import "log/slog"
+
+// Build logs its lifecycle event from exactly one site.
+func Build(name string) {
+	slog.Info("engine built", slog.String("event", "build"), slog.String("matrix", name))
+}
+
+// Drain logs its lifecycle event from exactly one site — the site this
+// package exports, which lifeapp then duplicates.
+func Drain(name string) {
+	slog.Warn("draining", slog.String("event", "drain"), slog.String("matrix", name))
+}

@@ -1,0 +1,61 @@
+// Command spmvlint is the project's static-analysis suite: custom
+// go/analysis passes that pin the codebase's load-bearing contracts —
+// allocation-free hot paths, bitwise-deterministic plan construction
+// and exposition, typed error envelopes on the serve surface, and
+// exactly-once lifecycle logging — at every call site in every branch.
+//
+// Two modes:
+//
+//	go vet -vettool=$(which spmvlint) ./...   # unitchecker protocol (CI)
+//	spmvlint ./...                            # standalone, own loader
+//
+// The standalone mode needs only the go toolchain: it loads packages
+// via `go list -deps -export -json`, typechecks the module's sources,
+// and runs the analyzers with in-process facts.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/tools/spmvlint/detrange"
+	"repro/tools/spmvlint/hotpathalloc"
+	"repro/tools/spmvlint/internal/driver"
+	"repro/tools/spmvlint/logonce"
+	"repro/tools/spmvlint/typederr"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		hotpathalloc.Analyzer,
+		detrange.Analyzer,
+		typederr.Analyzer,
+		logonce.Analyzer,
+	}
+}
+
+func main() {
+	// `go vet -vettool=` drives the unitchecker protocol: a lone
+	// *.cfg argument per compilation unit, plus -flags / -V=full
+	// handshakes. Everything else is the standalone driver.
+	for _, a := range os.Args[1:] {
+		if strings.HasSuffix(a, ".cfg") || a == "-flags" || strings.HasPrefix(a, "-V") {
+			unitchecker.Main(analyzers()...) // does not return
+		}
+	}
+	diags, err := driver.Run(os.Args[1:], analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmvlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

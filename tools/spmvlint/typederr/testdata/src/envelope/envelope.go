@@ -1,0 +1,11 @@
+package envelope
+
+import "net/http"
+
+// Write is the envelope helper handlers must route errors through.
+//
+//spmv:errwriter
+func Write(w http.ResponseWriter, status int, err error) {
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(err.Error()))
+}

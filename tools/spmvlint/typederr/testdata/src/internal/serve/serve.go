@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"envelope"
+)
+
+func handler(w http.ResponseWriter) {
+	http.Error(w, "boom", 500)                    // want `http.Error bypasses the error envelope`
+	w.WriteHeader(http.StatusBadGateway)          // want `WriteHeader\(502\) outside an //spmv:errwriter helper`
+	w.WriteHeader(http.StatusOK)                  // fine: success statuses carry no envelope
+	envelope.Write(w, 500, fmt.Errorf("x %d", 1)) // want `untyped fmt.Errorf crosses the API boundary through Write`
+	envelope.Write(w, 500, errors.New("x"))       // want `untyped errors.New crosses the API boundary through Write`
+	envelope.Write(w, 500, errBadShape)           // fine: a typed, named error value
+	writeLocal(w, 500, errBadShape)
+}
+
+var errBadShape = errors.New("bad shape")
+
+// writeLocal is a same-package envelope helper.
+//
+//spmv:errwriter
+func writeLocal(w http.ResponseWriter, status int, err error) {
+	w.WriteHeader(status) // fine: inside an errwriter
+	_, _ = w.Write([]byte(err.Error()))
+}
+
+//spmv:dimcheck
+func mustSquare(n, m int) {
+	if n != m {
+		panic("dimension mismatch") // fine: documented dimcheck helper
+	}
+}
+
+func faulty(n int) {
+	if n < 0 {
+		panic("faultinject: negative") //spmvlint:allowpanic contained by the worker recover
+	}
+	panic("unreachable state") // want `panic in a serve package; only //spmv:dimcheck helpers may panic`
+}

@@ -1,0 +1,9 @@
+package other
+
+import "net/http"
+
+// Unscoped package: the boundary rules do not apply here.
+func Handle(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // fine: not a serve package
+	panic("also fine here")
+}

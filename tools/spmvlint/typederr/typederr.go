@@ -1,0 +1,191 @@
+// Package typederr pins the serving layer's typed-error contract: every
+// error that crosses the HTTP API boundary flows through the envelope
+// helpers, so clients always get the {error, code, retryable,
+// retry_after_ms} shape with a stable code.
+//
+// Within the scoped packages (default: any package whose import path
+// ends in internal/serve):
+//
+//   - no calls to http.Error — it writes text/plain with no envelope
+//   - no WriteHeader with a constant status >= 400 outside functions
+//     annotated //spmv:errwriter (the envelope writers themselves)
+//   - no fmt.Errorf / errors.New value passed directly to an
+//     //spmv:errwriter function — an untyped error arrives at writeError
+//     with no matching case and falls through to a generic 500
+//   - no panic outside functions annotated //spmv:dimcheck (documented
+//     dimension-check helpers) or statements annotated
+//     //spmvlint:allowpanic (deliberate fault-injection sites contained
+//     by a recover upstream)
+//
+// The //spmv:errwriter annotation is exported as a fact, so helpers may
+// live in a different package than the handlers that call them. Only
+// direct call arguments are audited — an untyped error laundered
+// through a variable is the documented blind spot, covered by the
+// contract tests that enumerate every endpoint x code pair.
+package typederr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/tools/spmvlint/internal/lintutil"
+)
+
+// ErrWriterFact marks a function annotated //spmv:errwriter.
+type ErrWriterFact struct{}
+
+func (*ErrWriterFact) AFact()         {}
+func (*ErrWriterFact) String() string { return "errwriter" }
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "typederr",
+	Doc:       "reports error emissions that bypass the typed envelope helpers in the serve packages",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(ErrWriterFact)},
+}
+
+// Pkgs is the comma-separated list of import-path suffixes the
+// boundary rules apply to.
+var Pkgs = "internal/serve"
+
+func init() {
+	Analyzer.Flags.StringVar(&Pkgs, "pkgs", Pkgs, "comma-separated import-path suffixes holding API handlers")
+}
+
+func scoped(path string) bool {
+	for _, suf := range strings.Split(Pkgs, ",") {
+		suf = strings.TrimSpace(suf)
+		if suf != "" && (path == suf || strings.HasSuffix(path, "/"+suf)) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	files := lintutil.NonTestFiles(pass)
+
+	// Export //spmv:errwriter facts from every package, so helpers can
+	// live outside the scoped ones.
+	local := make(map[*types.Func]bool)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if lintutil.FuncHas(fd, lintutil.MarkErrWriter) {
+				local[obj] = true
+				pass.ExportObjectFact(obj, new(ErrWriterFact))
+			}
+		}
+	}
+
+	if !scoped(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	isErrWriter := func(fn *types.Func) bool {
+		if local[fn] {
+			return true
+		}
+		return pass.ImportObjectFact(fn, new(ErrWriterFact))
+	}
+
+	marks := lintutil.NewStmtMarks(pass.Fset, files...)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			inErrWriter := obj != nil && local[obj]
+			inDimCheck := lintutil.FuncHas(fd, lintutil.MarkDimCheck)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkCall(pass, call, marks, inErrWriter, inDimCheck, isErrWriter)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, marks *lintutil.StmtMarksSet,
+	inErrWriter, inDimCheck bool, isErrWriter func(*types.Func) bool) {
+
+	// panic(...)
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "panic" && !inDimCheck && !marks.Has(call.Pos(), lintutil.MarkAllowPanic) {
+				pass.Reportf(call.Pos(), "panic in a serve package; only //spmv:dimcheck helpers may panic (or annotate the statement //spmvlint:allowpanic for a contained fault-injection site)")
+			}
+			return
+		}
+	}
+
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+
+	switch fn.FullName() {
+	case "net/http.Error":
+		pass.Reportf(call.Pos(), "http.Error bypasses the error envelope; use the //spmv:errwriter helpers")
+		return
+	case "(net/http.ResponseWriter).WriteHeader":
+		if inErrWriter || len(call.Args) != 1 {
+			return
+		}
+		if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil {
+			if code, ok := constant.Int64Val(tv.Value); ok && code >= 400 {
+				pass.Reportf(call.Pos(), "WriteHeader(%d) outside an //spmv:errwriter helper; error statuses must carry the envelope", code)
+			}
+		}
+		return
+	}
+
+	if !isErrWriter(fn) {
+		return
+	}
+	for _, arg := range call.Args {
+		ac, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		af := calleeFunc(pass, ac)
+		if af == nil {
+			continue
+		}
+		switch af.FullName() {
+		case "fmt.Errorf", "errors.New":
+			pass.Reportf(arg.Pos(), "untyped %s crosses the API boundary through %s; use a typed serve error (writeError maps it to a stable code) or writeErrCode with an explicit code", af.FullName(), fn.Name())
+		}
+	}
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

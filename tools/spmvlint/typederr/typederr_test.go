@@ -1,0 +1,12 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"repro/tools/spmvlint/internal/analysistest"
+	"repro/tools/spmvlint/typederr"
+)
+
+func TestTypedErr(t *testing.T) {
+	analysistest.Run(t, "testdata", typederr.Analyzer, "envelope", "other", "internal/serve")
+}
